@@ -1,0 +1,64 @@
+// Shared helpers for the table-reproduction benches.
+//
+// Each bench binary prints its paper table first (so `./bench_*` with no
+// arguments reproduces the evaluation), then runs its google-benchmark
+// timing section.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/optimizer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace ht::benchx {
+
+/// u / t / v / mc columns of the paper's Tables 3-4 for one solution.
+struct RowMetrics {
+  std::size_t cores;     // u: IP core instances
+  std::size_t licenses;  // t: (vendor, type) licenses
+  std::size_t vendors;   // v: distinct vendors
+  long long cost;        // mc: minimum purchasing cost
+  bool starred;          // '*': not proved optimal (like the paper)
+};
+
+inline RowMetrics metrics_of(const core::ProblemSpec& spec,
+                             const core::OptimizeResult& result) {
+  RowMetrics metrics{};
+  metrics.cores = result.solution.cores_used(spec).size();
+  metrics.licenses = result.solution.licenses_used(spec).size();
+  metrics.vendors = result.solution.vendors_used(spec).size();
+  metrics.cost = result.cost;
+  metrics.starred = result.status != core::OptStatus::kOptimal;
+  return metrics;
+}
+
+inline std::string cost_cell(const RowMetrics& metrics) {
+  return util::format_money(metrics.cost) + (metrics.starred ? "*" : "");
+}
+
+/// Prints a rendered table plus its CSV twin to stdout.
+inline void print_table(const util::TablePrinter& table,
+                        const std::string& title) {
+  std::fputs(table.to_string(title).c_str(), stdout);
+  std::fputs("\n", stdout);
+}
+
+/// Standard main body: print the reproduction, then run registered
+/// google-benchmark timings.
+#define HT_BENCH_MAIN(print_fn)                                   \
+  int main(int argc, char** argv) {                               \
+    print_fn();                                                   \
+    ::benchmark::Initialize(&argc, argv);                         \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {   \
+      return 1;                                                   \
+    }                                                             \
+    ::benchmark::RunSpecifiedBenchmarks();                        \
+    ::benchmark::Shutdown();                                      \
+    return 0;                                                     \
+  }
+
+}  // namespace ht::benchx

@@ -1,0 +1,101 @@
+// A detailed single-attack walkthrough of the run-time machinery, printing
+// every observable value: golden outputs, NC vs RC outputs at detection,
+// and the recovery phase's outputs under both recovery strategies. Uses
+// the paper's diff2 benchmark (HAL differential-equation solver).
+#include <cstdio>
+
+#include "benchmarks/classic.hpp"
+#include "core/optimizer.hpp"
+#include "util/strings.hpp"
+#include "trojan/profiling.hpp"
+#include "trojan/simulator.hpp"
+#include "vendor/catalogs.hpp"
+
+using namespace ht;
+
+namespace {
+
+void print_words(const char* label, const std::vector<trojan::Word>& words) {
+  std::printf("%-22s", label);
+  for (trojan::Word word : words) std::printf(" %lld", (long long)word);
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::diff2();
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 6;
+  spec.lambda_recovery = 5;
+  spec.with_recovery = true;
+  spec.area_limit = 120000;
+
+  // Section 3.3: diff2 computes u*dx twice; those twin multiplications are
+  // closely related (identical, in fact), so recovery Rule 2 applies.
+  util::Rng rng(1);
+  trojan::ProfileConfig profile;
+  profile.tolerance = 0;
+  spec.closely_related =
+      trojan::profile_close_pairs(spec.graph, profile, rng);
+  std::printf("close pairs found by profiling: %zu\n",
+              spec.closely_related.size());
+  for (const auto& [i, j] : spec.closely_related) {
+    std::printf("  %s ~ %s\n", spec.graph.op(i).name.c_str(),
+                spec.graph.op(j).name.c_str());
+  }
+
+  const core::OptimizeResult design = core::minimize_cost(spec);
+  if (!design.has_solution()) {
+    std::printf("optimize failed: %s\n",
+                core::to_string(design.status).c_str());
+    return 1;
+  }
+  std::printf("\ndesign cost %s (%s)\n\n",
+              util::format_money(design.cost).c_str(),
+              core::to_string(design.status).c_str());
+  std::fputs(design.solution.to_string(spec).c_str(), stdout);
+
+  // Attack the twin multiplication: a Trojan in the vendor executing NC's
+  // "udx" triggered by (u, dx). Without rec-R2, recovery might re-bind
+  // "udx2" — which sees the same operands — onto this very vendor.
+  const std::vector<trojan::Word> inputs = {2, 3, 4, 5, 100};  // x y u dx a
+  const dfg::OpId udx = 1;  // see benchmarks/classic.cpp
+  trojan::TrojanSpec attack;
+  attack.trigger.pattern_a = 4;  // u
+  attack.trigger.pattern_b = 5;  // dx
+  attack.payload.xor_mask = 0b1010;
+  trojan::InfectionMap infections;
+  infections.emplace(
+      core::LicenseKey{
+          design.solution.at(core::CopyKind::kNormal, udx).vendor,
+          dfg::ResourceClass::kMultiplier},
+      attack);
+
+  const trojan::RuntimeSimulator simulator(spec, design.solution);
+
+  std::puts("\n--- strategy: rebind per rules (the paper's recovery) ---");
+  const trojan::RunResult rules = simulator.run(inputs, infections);
+  print_words("golden outputs:", rules.golden_outputs);
+  print_words("NC outputs:", rules.nc_outputs);
+  print_words("RC outputs:", rules.rc_outputs);
+  std::printf("mismatch detected: %s\n",
+              rules.mismatch_detected ? "yes" : "no");
+  if (rules.recovery_ran) {
+    print_words("recovery outputs:", rules.recovery_outputs);
+    std::printf("recovered: %s\n", rules.recovered_correctly ? "yes" : "NO");
+  }
+
+  std::puts("\n--- strategy: re-execute on the same cores (baseline) ---");
+  const trojan::RunResult naive = simulator.run(
+      inputs, infections, trojan::RecoveryStrategy::kReexecuteSame);
+  if (naive.recovery_ran) {
+    print_words("re-execution outputs:", naive.recovery_outputs);
+    std::printf("recovered: %s   (the trigger condition persists, Section "
+                "3.2)\n",
+                naive.recovered_correctly ? "yes" : "NO");
+  }
+
+  return rules.recovered_correctly && !naive.recovered_correctly ? 0 : 1;
+}

@@ -1,0 +1,215 @@
+#include "benchmarks/classic.hpp"
+
+#include <array>
+
+namespace ht::benchmarks {
+
+using dfg::Dfg;
+using dfg::Operand;
+using dfg::OpType;
+
+Dfg polynom() {
+  Dfg g("polynom");
+  Operand a = g.add_input("a");
+  Operand b = g.add_input("b");
+  Operand c = g.add_input("c");
+  Operand d = g.add_input("d");
+  Operand e = g.add_input("e");
+
+  dfg::OpId m1 = g.mul(a, b, "m1");                        // cycle-level 1
+  dfg::OpId m2 = g.mul(c, d, "m2");                        // 1
+  dfg::OpId s1 = g.add(Operand::op(m1), Operand::op(m2), "s1");  // 2
+  dfg::OpId m3 = g.mul(Operand::op(m2), e, "m3");          // 2
+  dfg::OpId s2 = g.add(Operand::op(s1), Operand::op(m3), "s2");  // 3
+  g.mark_output(s2);
+  return g;
+}
+
+Dfg diff2() {
+  Dfg g("diff2");
+  Operand x = g.add_input("x");
+  Operand y = g.add_input("y");
+  Operand u = g.add_input("u");
+  Operand dx = g.add_input("dx");
+  Operand a = g.add_input("a");
+  const Operand three = Operand::constant(3);
+
+  // Balanced HAL form: u' = u - (3x)(u dx) - (3y)dx. The product u*dx is
+  // materialized twice (p2 for the u' chain, p2b for y') exactly as GAUT's
+  // CDFG duplicates common factors across outputs, giving the paper's 11 ops.
+  dfg::OpId p1 = g.mul(three, x, "3x");        // level 1
+  dfg::OpId p2 = g.mul(u, dx, "udx");          // 1
+  dfg::OpId p3 = g.mul(three, y, "3y");        // 1
+  dfg::OpId p2b = g.mul(u, dx, "udx2");        // 1
+  dfg::OpId x1 = g.add(x, dx, "x1");           // 1
+  dfg::OpId q1 = g.mul(Operand::op(p1), Operand::op(p2), "3xudx");  // 2
+  dfg::OpId q2 = g.mul(Operand::op(p3), dx, "3ydx");                // 2
+  dfg::OpId y1 = g.add(y, Operand::op(p2b), "y1");                  // 2
+  dfg::OpId cont = g.add_op(OpType::kLt, Operand::op(x1), a, "cont");  // 2
+  dfg::OpId r1 = g.sub(u, Operand::op(q1), "r1");                   // 3
+  dfg::OpId u1 = g.sub(Operand::op(r1), Operand::op(q2), "u1");     // 4
+  g.mark_output(u1);
+  g.mark_output(x1);
+  g.mark_output(y1);
+  g.mark_output(cont);
+  return g;
+}
+
+Dfg dtmf() {
+  Dfg g("dtmf");
+  Operand c1 = g.add_input("c1");
+  Operand y11 = g.add_input("y11");
+  Operand y12 = g.add_input("y12");
+  Operand c2 = g.add_input("c2");
+  Operand y21 = g.add_input("y21");
+  Operand y22 = g.add_input("y22");
+  Operand x = g.add_input("x");
+  Operand amp = g.add_input("amp");
+  const Operand bias = Operand::constant(128);
+  const Operand two = Operand::constant(2);
+  const Operand one = Operand::constant(1);
+
+  // Two second-order oscillator updates y[n] = c*y[n-1] - y[n-2], mixed and
+  // scaled, with a DC/gain side path — the row/column tone pair of DTMF.
+  dfg::OpId m1 = g.mul(c1, y11, "m1");                       // level 1
+  dfg::OpId m2 = g.mul(c2, y21, "m2");                       // 1
+  dfg::OpId g1 = g.add(x, bias, "g1");                       // 1
+  dfg::OpId o1 = g.sub(Operand::op(m1), y12, "tone1");       // 2
+  dfg::OpId o2 = g.sub(Operand::op(m2), y22, "tone2");       // 2
+  dfg::OpId g2 = g.add_op(OpType::kShr, Operand::op(g1), two, "g2");  // 2
+  dfg::OpId mix = g.add(Operand::op(o1), Operand::op(o2), "mix");     // 3
+  dfg::OpId a1 = g.add_op(OpType::kShr, Operand::op(o1), one, "a1");  // 3
+  dfg::OpId out = g.add(Operand::op(mix), Operand::op(g2), "out");    // 4
+  dfg::OpId t = g.mul(Operand::op(mix), amp, "scaled");               // 4
+  dfg::OpId out2 = g.add(Operand::op(a1), Operand::op(o2), "out2");   // 4
+  g.mark_output(out);
+  g.mark_output(t);
+  g.mark_output(out2);
+  return g;
+}
+
+Dfg mof2() {
+  Dfg g("mof2");
+  Operand x = g.add_input("x");
+  Operand x1 = g.add_input("x1");
+  Operand x2 = g.add_input("x2");
+  Operand y1 = g.add_input("y1");
+  Operand y2 = g.add_input("y2");
+  Operand b0 = g.add_input("b0");
+  Operand b1 = g.add_input("b1");
+  Operand b2 = g.add_input("b2");
+  Operand a1 = g.add_input("a1");
+  Operand a2 = g.add_input("a2");
+  Operand c0 = g.add_input("c0");
+  Operand c1 = g.add_input("c1");
+
+  // y = b0 x + b1 x1 + b2 x2 - a1 y1 - a2 y2 ; z = c0 x + c1 y.
+  dfg::OpId m0 = g.mul(b0, x, "b0x");    // level 1
+  dfg::OpId m1 = g.mul(b1, x1, "b1x1");  // 1
+  dfg::OpId m2 = g.mul(b2, x2, "b2x2");  // 1
+  dfg::OpId m3 = g.mul(a1, y1, "a1y1");  // 1
+  dfg::OpId m4 = g.mul(a2, y2, "a2y2");  // 1
+  dfg::OpId m5 = g.mul(c0, x, "c0x");    // 1
+  dfg::OpId t1 = g.add(Operand::op(m0), Operand::op(m1), "t1");  // 2
+  dfg::OpId t2 = g.add(Operand::op(t1), Operand::op(m2), "t2");  // 3
+  dfg::OpId t3 = g.sub(Operand::op(t2), Operand::op(m3), "t3");  // 4
+  dfg::OpId y = g.sub(Operand::op(t3), Operand::op(m4), "y");    // 5
+  dfg::OpId m6 = g.mul(c1, Operand::op(y), "c1y");               // 6
+  dfg::OpId z = g.add(Operand::op(m5), Operand::op(m6), "z");    // 7
+  g.mark_output(y);
+  g.mark_output(z);
+  return g;
+}
+
+Dfg ellipticicass() {
+  Dfg g("ellipticicass");
+  Operand in = g.add_input("in");
+  std::array<Operand, 9> s{};
+  for (int i = 0; i < 9; ++i) {
+    s[static_cast<std::size_t>(i)] = g.add_input("s" + std::to_string(i + 1));
+  }
+  std::array<Operand, 8> c{};
+  for (int i = 0; i < 8; ++i) {
+    c[static_cast<std::size_t>(i)] = g.add_input("c" + std::to_string(i + 1));
+  }
+  auto O = [](dfg::OpId id) { return Operand::op(id); };
+
+  // Ladder of adder chains with coefficient multipliers, the elliptic wave
+  // filter shape, sized to the paper's 29 ops / 8-cycle critical path.
+  // level 1
+  dfg::OpId a1 = g.add(in, s[0], "a1");
+  dfg::OpId a2 = g.add(s[1], s[2], "a2");
+  dfg::OpId a3 = g.add(s[3], s[4], "a3");
+  dfg::OpId a4 = g.add(s[5], s[6], "a4");
+  dfg::OpId a0 = g.add(s[7], s[8], "a0");
+  // level 2
+  dfg::OpId m1 = g.mul(O(a1), c[0], "m1");
+  dfg::OpId m2 = g.mul(O(a2), c[1], "m2");
+  dfg::OpId a5 = g.add(O(a1), O(a2), "a5");
+  dfg::OpId a6 = g.add(O(a3), O(a4), "a6");
+  dfg::OpId a7 = g.add(O(a0), O(a3), "a7");
+  // level 3
+  dfg::OpId a8 = g.add(O(m1), O(a6), "a8");
+  dfg::OpId a9 = g.add(O(m2), O(a7), "a9");
+  dfg::OpId m3 = g.mul(O(a5), c[2], "m3");
+  dfg::OpId m4 = g.mul(O(a6), c[3], "m4");
+  // level 4
+  dfg::OpId a10 = g.add(O(a8), O(a9), "a10");
+  dfg::OpId a11 = g.add(O(m3), O(m4), "a11");
+  dfg::OpId m5 = g.mul(O(a8), c[4], "m5");
+  // level 5
+  dfg::OpId a12 = g.add(O(a10), O(a11), "a12");
+  dfg::OpId a13 = g.add(O(m5), O(a11), "a13");
+  dfg::OpId m6 = g.mul(O(a10), c[5], "m6");
+  // level 6
+  dfg::OpId a14 = g.add(O(a12), O(a13), "a14");
+  dfg::OpId a15 = g.add(O(m6), O(a13), "a15");
+  dfg::OpId m7 = g.mul(O(a12), c[6], "m7");
+  // level 7
+  dfg::OpId a16 = g.add(O(a14), O(m7), "a16");
+  dfg::OpId a17 = g.add(O(a15), O(a14), "a17");
+  dfg::OpId m8 = g.mul(O(a15), c[7], "m8");
+  // level 8
+  dfg::OpId a18 = g.add(O(a16), O(a17), "a18");
+  dfg::OpId a19 = g.add(O(m8), O(a16), "a19");
+  dfg::OpId a20 = g.add(O(a17), O(m8), "a20");
+
+  g.mark_output(a18);
+  g.mark_output(a19);
+  g.mark_output(a20);
+  return g;
+}
+
+Dfg fir16() {
+  Dfg g("fir16");
+  std::array<Operand, 16> x{};
+  std::array<Operand, 16> h{};
+  for (int i = 0; i < 16; ++i) {
+    x[static_cast<std::size_t>(i)] = g.add_input("x" + std::to_string(i));
+    h[static_cast<std::size_t>(i)] = g.add_input("h" + std::to_string(i));
+  }
+  // 16 taps, then a balanced adder tree (8 + 4 + 2 + 1 = 15 adds).
+  std::vector<dfg::OpId> layer;
+  for (int i = 0; i < 16; ++i) {
+    layer.push_back(g.mul(x[static_cast<std::size_t>(i)],
+                          h[static_cast<std::size_t>(i)],
+                          "t" + std::to_string(i)));
+  }
+  int depth = 0;
+  while (layer.size() > 1) {
+    ++depth;
+    std::vector<dfg::OpId> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(g.add(dfg::Operand::op(layer[i]),
+                           dfg::Operand::op(layer[i + 1]),
+                           "s" + std::to_string(depth) + "_" +
+                               std::to_string(i / 2)));
+    }
+    if (layer.size() % 2 == 1) next.push_back(layer.back());
+    layer = std::move(next);
+  }
+  g.mark_output(layer.front());
+  return g;
+}
+
+}  // namespace ht::benchmarks

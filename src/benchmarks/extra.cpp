@@ -1,0 +1,110 @@
+#include "benchmarks/extra.hpp"
+
+#include <array>
+
+namespace ht::benchmarks {
+
+using dfg::Dfg;
+using dfg::Operand;
+
+Dfg ar_lattice() {
+  Dfg g("ar_lattice");
+  Operand f = g.add_input("f0");
+  Operand b = g.add_input("b0");
+  std::array<Operand, 6> k{};
+  std::array<Operand, 6> kp{};
+  for (int i = 0; i < 6; ++i) {
+    k[static_cast<std::size_t>(i)] = g.add_input("k" + std::to_string(i));
+    kp[static_cast<std::size_t>(i)] = g.add_input("kp" + std::to_string(i));
+  }
+  // Six lattice stages:
+  //   f_{i+1} = f_i + k_i  * b_i
+  //   b_{i+1} = b_i + kp_i * f_i
+  for (int i = 0; i < 6; ++i) {
+    const dfg::OpId mf =
+        g.mul(k[static_cast<std::size_t>(i)], b, "kf" + std::to_string(i));
+    const dfg::OpId mb =
+        g.mul(kp[static_cast<std::size_t>(i)], f, "kb" + std::to_string(i));
+    const dfg::OpId f_next =
+        g.add(f, Operand::op(mf), "f" + std::to_string(i + 1));
+    const dfg::OpId b_next =
+        g.add(b, Operand::op(mb), "b" + std::to_string(i + 1));
+    f = Operand::op(f_next);
+    b = Operand::op(b_next);
+  }
+  // Output gain network: 4 more multiplies.
+  Operand gain = g.add_input("gain");
+  Operand atten = g.add_input("atten");
+  const dfg::OpId p = g.mul(f, gain, "p");
+  const dfg::OpId q = g.mul(b, gain, "q");
+  const dfg::OpId pr = g.mul(Operand::op(p), atten, "pr");
+  const dfg::OpId qr = g.mul(Operand::op(q), atten, "qr");
+  g.mark_output(pr);
+  g.mark_output(qr);
+  return g;
+}
+
+Dfg matmul2x2() {
+  Dfg g("matmul2x2");
+  std::array<std::array<Operand, 2>, 2> a{};
+  std::array<std::array<Operand, 2>, 2> b{};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      a[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          g.add_input("a" + std::to_string(i) + std::to_string(j));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      b[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+          g.add_input("b" + std::to_string(i) + std::to_string(j));
+    }
+  }
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      const std::string tag = std::to_string(i) + std::to_string(j);
+      const dfg::OpId m0 =
+          g.mul(a[static_cast<std::size_t>(i)][0],
+                b[0][static_cast<std::size_t>(j)], "m" + tag + "_0");
+      const dfg::OpId m1 =
+          g.mul(a[static_cast<std::size_t>(i)][1],
+                b[1][static_cast<std::size_t>(j)], "m" + tag + "_1");
+      const dfg::OpId c =
+          g.add(Operand::op(m0), Operand::op(m1), "c" + tag);
+      g.mark_output(c);
+    }
+  }
+  return g;
+}
+
+Dfg fft4() {
+  Dfg g("fft4");
+  Operand x0 = g.add_input("x0");
+  Operand x1 = g.add_input("x1");
+  Operand x2 = g.add_input("x2");
+  Operand x3 = g.add_input("x3");
+  Operand w0 = g.add_input("w0");
+  Operand w1 = g.add_input("w1");
+  Operand w2 = g.add_input("w2");
+  // Stage 1 butterflies.
+  const dfg::OpId t0 = g.add(x0, x2, "t0");
+  const dfg::OpId t1 = g.sub(x0, x2, "t1");
+  const dfg::OpId t2 = g.add(x1, x3, "t2");
+  const dfg::OpId t3 = g.sub(x1, x3, "t3");
+  // Stage 2.
+  const dfg::OpId X0 = g.add(Operand::op(t0), Operand::op(t2), "X0");
+  const dfg::OpId X2 = g.sub(Operand::op(t0), Operand::op(t2), "X2");
+  const dfg::OpId X1im = g.sub(Operand::constant(0), Operand::op(t3), "X1im");
+  // Windowing.
+  const dfg::OpId y0 = g.mul(Operand::op(X0), w0, "y0");
+  const dfg::OpId y2 = g.mul(Operand::op(X2), w2, "y2");
+  const dfg::OpId y1re = g.mul(Operand::op(t1), w1, "y1re");
+  const dfg::OpId y1im = g.mul(Operand::op(X1im), w1, "y1im");
+  g.mark_output(y0);
+  g.mark_output(y1re);
+  g.mark_output(y1im);
+  g.mark_output(y2);
+  return g;
+}
+
+}  // namespace ht::benchmarks

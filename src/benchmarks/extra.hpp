@@ -1,0 +1,25 @@
+// Additional classic HLS kernels beyond the paper's six evaluation
+// graphs. Not part of the Table 3/4 reproduction — they exist so users of
+// the library have a broader workload set (and so tests can exercise the
+// flow on deep multiply chains, wide trees, and multi-output kernels the
+// paper's suite doesn't cover).
+#pragma once
+
+#include "dfg/dfg.hpp"
+
+namespace ht::benchmarks {
+
+/// Six-stage AR lattice filter with an output gain network.
+/// 28 ops: 16 mul, 12 add; deep (critical path 14) — the stress case for
+/// latency-bound scheduling.
+dfg::Dfg ar_lattice();
+
+/// 2x2 matrix multiply, fully unrolled. 12 ops: 8 mul, 4 add; critical
+/// path 2 — the stress case for concurrency/area.
+dfg::Dfg matmul2x2();
+
+/// 4-point real-input FFT (radix-2 butterflies) with windowing. 11 ops:
+/// 4 mul, 7 add/sub; multiple outputs.
+dfg::Dfg fft4();
+
+}  // namespace ht::benchmarks

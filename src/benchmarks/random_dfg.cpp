@@ -1,0 +1,74 @@
+#include "benchmarks/random_dfg.hpp"
+
+#include <vector>
+
+namespace ht::benchmarks {
+
+using dfg::Dfg;
+using dfg::Operand;
+using dfg::OpType;
+
+namespace {
+
+OpType draw_op_type(const RandomDfgConfig& config, util::Rng& rng) {
+  const double total =
+      config.adder_weight + config.multiplier_weight + config.alu_weight;
+  util::check_spec(total > 0.0, "random_dfg: all class weights are zero");
+  const double draw = rng.uniform01() * total;
+  if (draw < config.adder_weight) {
+    return rng.chance(0.5) ? OpType::kAdd : OpType::kSub;
+  }
+  if (draw < config.adder_weight + config.multiplier_weight) {
+    return OpType::kMul;
+  }
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      return OpType::kXor;
+    case 1:
+      return OpType::kAnd;
+    case 2:
+      return OpType::kOr;
+    default:
+      return OpType::kShr;
+  }
+}
+
+}  // namespace
+
+dfg::Dfg random_dfg(const RandomDfgConfig& config, util::Rng& rng) {
+  util::check_spec(config.num_ops > 0, "random_dfg: num_ops must be > 0");
+  Dfg graph("random");
+  std::vector<int> depth;  // depth of each created op (1-based)
+
+  auto draw_operand = [&](int current_op) -> std::pair<Operand, int> {
+    // Candidates: earlier ops that keep us within max_depth.
+    std::vector<dfg::OpId> candidates;
+    for (dfg::OpId id = 0; id < current_op; ++id) {
+      if (config.max_depth <= 0 ||
+          depth[static_cast<std::size_t>(id)] < config.max_depth) {
+        candidates.push_back(id);
+      }
+    }
+    if (!candidates.empty() && rng.chance(config.edge_probability)) {
+      dfg::OpId chosen = rng.pick(candidates);
+      return {Operand::op(chosen), depth[static_cast<std::size_t>(chosen)]};
+    }
+    return {graph.add_input("in" + std::to_string(graph.num_inputs())), 0};
+  };
+
+  for (int i = 0; i < config.num_ops; ++i) {
+    auto [lhs, lhs_depth] = draw_operand(i);
+    auto [rhs, rhs_depth] = draw_operand(i);
+    graph.add_op(draw_op_type(config, rng), lhs, rhs);
+    depth.push_back(std::max(lhs_depth, rhs_depth) + 1);
+  }
+
+  // Everything with no consumer is an output.
+  for (dfg::OpId id = 0; id < graph.num_ops(); ++id) {
+    if (graph.children(id).empty()) graph.mark_output(id);
+  }
+  graph.validate();
+  return graph;
+}
+
+}  // namespace ht::benchmarks

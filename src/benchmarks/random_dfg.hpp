@@ -1,0 +1,32 @@
+// Parameterized random DFG generator.
+//
+// Used by property-based tests (scheduling/binding invariants must hold on
+// arbitrary DAGs, not just the six paper benchmarks) and by the solver
+// scaling bench to sweep problem size.
+#pragma once
+
+#include "dfg/dfg.hpp"
+#include "util/rng.hpp"
+
+namespace ht::benchmarks {
+
+struct RandomDfgConfig {
+  int num_ops = 10;
+  /// Probability that a given operand of an op is the output of an earlier
+  /// op (otherwise it is a fresh primary input).
+  double edge_probability = 0.6;
+  /// Weights of drawing each resource class for an op type
+  /// (adder : multiplier : alu).
+  double adder_weight = 0.5;
+  double multiplier_weight = 0.3;
+  double alu_weight = 0.2;
+  /// Upper bound on the depth of the generated DAG (0 = unconstrained).
+  /// Achieved by restricting operand candidates to shallow predecessors.
+  int max_depth = 0;
+};
+
+/// Generates a valid, connected-ish DAG with `config.num_ops` operations.
+/// Every op whose result is unused is marked as a primary output.
+dfg::Dfg random_dfg(const RandomDfgConfig& config, util::Rng& rng);
+
+}  // namespace ht::benchmarks

@@ -1,0 +1,46 @@
+#include "benchmarks/suite.hpp"
+
+#include "benchmarks/classic.hpp"
+#include "util/status.hpp"
+
+namespace ht::benchmarks {
+
+const std::vector<BenchmarkCase>& paper_suite() {
+  // (lambda, A) pairs copied from the paper's Tables 3 and 4.
+  static const std::vector<BenchmarkCase> suite = {
+      {"polynom",
+       polynom,
+       {{3, 30000}, {6, 20000}},
+       {{6, 60000}, {12, 30000}}},
+      {"diff2",
+       diff2,
+       {{4, 50000}, {14, 30000}},
+       {{8, 80000}, {14, 30000}}},
+      {"dtmf",
+       dtmf,
+       {{4, 70000}, {8, 30000}},
+       {{8, 70000}, {15, 35000}}},
+      {"mof2",
+       mof2,
+       {{7, 80000}, {14, 40000}},
+       {{14, 80000}, {24, 40000}}},
+      {"ellipticicass",
+       ellipticicass,
+       {{8, 30000}, {16, 20000}},
+       {{16, 50000}, {24, 40000}}},
+      {"fir16",
+       fir16,
+       {{6, 200000}, {12, 140000}},
+       {{12, 220000}, {16, 180000}}},
+  };
+  return suite;
+}
+
+const BenchmarkCase& by_name(const std::string& name) {
+  for (const BenchmarkCase& entry : paper_suite()) {
+    if (entry.name == name) return entry;
+  }
+  throw util::SpecError("unknown benchmark: " + name);
+}
+
+}  // namespace ht::benchmarks

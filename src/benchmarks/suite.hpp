@@ -1,0 +1,38 @@
+// Registry of the paper's evaluation benchmarks together with the latency
+// and area settings of Tables 3 and 4, so benches and tests can iterate the
+// whole evaluation exactly as the paper tabulates it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace ht::benchmarks {
+
+/// One (lambda, area) experiment row as listed in Table 3 / Table 4.
+struct TableRow {
+  int lambda = 0;  ///< latency bound (cycles); see table semantics below
+  long long area = 0;
+};
+
+/// A registered benchmark plus its per-table experiment settings.
+///
+/// Table 3 rows bound the *detection phase* latency (the designs are
+/// detection-only). Table 4 rows bound the *total* schedule length covering
+/// detection followed by recovery, per the paper's lambda definition.
+struct BenchmarkCase {
+  std::string name;
+  std::function<dfg::Dfg()> factory;
+  std::vector<TableRow> table3;  ///< detection-only settings
+  std::vector<TableRow> table4;  ///< detection + recovery settings
+};
+
+/// All six paper benchmarks in the paper's row order.
+const std::vector<BenchmarkCase>& paper_suite();
+
+/// Lookup by name; throws util::SpecError for unknown names.
+const BenchmarkCase& by_name(const std::string& name);
+
+}  // namespace ht::benchmarks

@@ -1,0 +1,462 @@
+#include "core/csp_solver.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/rules.hpp"
+#include "dfg/analysis.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace ht::core {
+namespace {
+
+constexpr int kMaxVendors = 64;  // vendor sets as bitmasks
+
+struct CopyMeta {
+  CopyKind kind;
+  dfg::OpId op;
+  int cls;      // resource class index
+  int phase;    // 0 = detection, 1 = recovery
+  int latency;  // cycles the op occupies its instance
+};
+
+class Search {
+ public:
+  Search(const ProblemSpec& spec, const Palettes& palettes,
+         const CspOptions& options)
+      : spec_(spec), options_(options), rng_(options.seed) {
+    util::check_spec(spec.catalog.num_vendors() <= kMaxVendors,
+                     "csp: too many vendors for bitmask representation");
+    build_copies();
+    build_windows();
+    build_conflicts();
+    build_palette_masks(palettes);
+    const int v = spec.catalog.num_vendors();
+    forbid_count_.assign(copies_.size() * static_cast<std::size_t>(v), 0);
+    assigned_cycle_.assign(copies_.size(), -1);
+    assigned_vendor_.assign(copies_.size(), -1);
+    const std::size_t usage_size =
+        2ull * static_cast<std::size_t>(v) * dfg::kNumResourceClasses *
+        static_cast<std::size_t>(max_lambda_);
+    usage_.assign(usage_size, 0);
+    peak_.assign(static_cast<std::size_t>(v) * dfg::kNumResourceClasses, 0);
+  }
+
+  CspResult run() {
+    CspResult result;
+    timer_.reset();
+    // Static infeasibility: a copy with an empty window or empty palette.
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      if (est_[c] > lst_[c] ||
+          palette_mask_[static_cast<std::size_t>(copies_[c].cls)] == 0) {
+        result.status = CspResult::Status::kInfeasible;
+        return result;
+      }
+    }
+    const Outcome outcome = dfs();
+    result.nodes = nodes_;
+    switch (outcome) {
+      case Outcome::kSolved:
+        result.status = CspResult::Status::kFeasible;
+        result.solution = extract_solution();
+        break;
+      case Outcome::kExhausted:
+        result.status = CspResult::Status::kInfeasible;
+        break;
+      case Outcome::kNodeLimit:
+        result.status = CspResult::Status::kNodeLimit;
+        break;
+      case Outcome::kTimeout:
+        result.status = CspResult::Status::kTimeout;
+        break;
+    }
+    return result;
+  }
+
+ private:
+  enum class Outcome { kSolved, kExhausted, kNodeLimit, kTimeout };
+
+  // ---- model construction ---------------------------------------------
+  void build_copies() {
+    const int n = spec_.graph.num_ops();
+    std::vector<CopyKind> kinds = {CopyKind::kNormal, CopyKind::kRedundant};
+    if (spec_.with_recovery) kinds.push_back(CopyKind::kRecovery);
+    for (CopyKind kind : kinds) {
+      for (dfg::OpId op = 0; op < n; ++op) {
+        const int cls = static_cast<int>(
+            dfg::resource_class_of(spec_.graph.op(op).type));
+        const int phase = kind == CopyKind::kRecovery ? 1 : 0;
+        copy_of_[{kind, op}] = static_cast<int>(copies_.size());
+        copies_.push_back(
+            CopyMeta{kind, op, cls, phase, spec_.op_latency(op)});
+      }
+    }
+    max_lambda_ = std::max(spec_.lambda_detection,
+                           spec_.with_recovery ? spec_.lambda_recovery : 0);
+  }
+
+  void build_windows() {
+    const std::vector<int> latencies = spec_.op_latencies();
+    const std::vector<int> asap = dfg::asap_levels(spec_.graph, latencies);
+    const std::vector<int> alap_det =
+        dfg::alap_levels(spec_.graph, spec_.lambda_detection, latencies);
+    std::vector<int> alap_rec;
+    if (spec_.with_recovery) {
+      alap_rec =
+          dfg::alap_levels(spec_.graph, spec_.lambda_recovery, latencies);
+    }
+    est_.resize(copies_.size());
+    lst_.resize(copies_.size());
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      const CopyMeta& meta = copies_[c];
+      est_[c] = asap[static_cast<std::size_t>(meta.op)];
+      lst_[c] = meta.phase == 0
+                    ? alap_det[static_cast<std::size_t>(meta.op)]
+                    : alap_rec[static_cast<std::size_t>(meta.op)];
+    }
+    // Same-schedule dependence neighbors.
+    parents_.resize(copies_.size());
+    children_.resize(copies_.size());
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      const CopyMeta& meta = copies_[c];
+      for (dfg::OpId parent : spec_.graph.parents(meta.op)) {
+        parents_[c].push_back(copy_of_.at({meta.kind, parent}));
+      }
+      for (dfg::OpId child : spec_.graph.children(meta.op)) {
+        children_[c].push_back(copy_of_.at({meta.kind, child}));
+      }
+    }
+  }
+
+  void build_conflicts() {
+    neighbors_.resize(copies_.size());
+    for (const VendorConflict& conflict : vendor_conflicts(spec_)) {
+      const int a = copy_of_.at(conflict.a);
+      const int b = copy_of_.at(conflict.b);
+      neighbors_[static_cast<std::size_t>(a)].push_back(b);
+      neighbors_[static_cast<std::size_t>(b)].push_back(a);
+    }
+    degree_.resize(copies_.size());
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      degree_[c] = static_cast<int>(neighbors_[c].size() +
+                                    parents_[c].size() + children_[c].size());
+    }
+  }
+
+  void build_palette_masks(const Palettes& palettes) {
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      std::uint64_t mask = 0;
+      for (vendor::VendorId v : palettes[static_cast<std::size_t>(cls)]) {
+        util::check_spec(
+            spec_.catalog.offers(v, static_cast<dfg::ResourceClass>(cls)),
+            "csp: palette vendor does not offer the class");
+        mask |= 1ull << v;
+      }
+      palette_mask_[static_cast<std::size_t>(cls)] = mask;
+      for (vendor::VendorId v = 0; v < spec_.catalog.num_vendors(); ++v) {
+        if (mask & (1ull << v)) {
+          offer_area_[static_cast<std::size_t>(cls)][static_cast<std::size_t>(
+              v)] =
+              spec_.catalog.offer(v, static_cast<dfg::ResourceClass>(cls))
+                  .area;
+        }
+      }
+    }
+  }
+
+  // ---- state access -----------------------------------------------------
+  int& usage(int phase, int v, int cls, int cycle) {
+    return usage_[((static_cast<std::size_t>(phase) *
+                        static_cast<std::size_t>(spec_.catalog.num_vendors()) +
+                    static_cast<std::size_t>(v)) *
+                       dfg::kNumResourceClasses +
+                   static_cast<std::size_t>(cls)) *
+                      static_cast<std::size_t>(max_lambda_) +
+                  static_cast<std::size_t>(cycle - 1)];
+  }
+  int& peak(int v, int cls) {
+    return peak_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
+                 static_cast<std::size_t>(cls)];
+  }
+  int& forbid_count(int copy, int v) {
+    return forbid_count_[static_cast<std::size_t>(copy) *
+                             static_cast<std::size_t>(
+                                 spec_.catalog.num_vendors()) +
+                         static_cast<std::size_t>(v)];
+  }
+
+  std::uint64_t allowed_vendors(int copy) const {
+    const int nv = spec_.catalog.num_vendors();
+    std::uint64_t mask =
+        palette_mask_[static_cast<std::size_t>(
+            copies_[static_cast<std::size_t>(copy)].cls)];
+    for (int v = 0; v < nv; ++v) {
+      if (forbid_count_[static_cast<std::size_t>(copy) *
+                            static_cast<std::size_t>(nv) +
+                        static_cast<std::size_t>(v)] > 0) {
+        mask &= ~(1ull << v);
+      }
+    }
+    return mask;
+  }
+
+  // ---- trail / undo -----------------------------------------------------
+  void record(int* slot) { trail_.emplace_back(slot, *slot); }
+  void record_ll(long long* slot) { trail_ll_.emplace_back(slot, *slot); }
+
+  struct Mark {
+    std::size_t trail;
+    std::size_t trail_ll;
+  };
+  Mark mark() const { return {trail_.size(), trail_ll_.size()}; }
+  void rewind(Mark m) {
+    while (trail_.size() > m.trail) {
+      auto [slot, old] = trail_.back();
+      trail_.pop_back();
+      *slot = old;
+    }
+    while (trail_ll_.size() > m.trail_ll) {
+      auto [slot, old] = trail_ll_.back();
+      trail_ll_.pop_back();
+      *slot = old;
+    }
+  }
+
+  // ---- assignment -------------------------------------------------------
+  /// Applies copy := (cycle, vendor). Returns false on an immediate
+  /// dead end (caller must rewind to its mark).
+  bool assign(int copy, int cycle, int v) {
+    const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
+    record(&assigned_cycle_[static_cast<std::size_t>(copy)]);
+    record(&assigned_vendor_[static_cast<std::size_t>(copy)]);
+    assigned_cycle_[static_cast<std::size_t>(copy)] = cycle;
+    assigned_vendor_[static_cast<std::size_t>(copy)] = v;
+
+    // Resource usage / peak / area, over the whole occupancy interval.
+    for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
+      int& use = usage(meta.phase, v, meta.cls, busy);
+      record(&use);
+      ++use;
+      int& pk = peak(v, meta.cls);
+      if (use > pk) {
+        if (use >
+            spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls))) {
+          return false;
+        }
+        record(&pk);
+        pk = use;
+        record_ll(&area_committed_);
+        area_committed_ +=
+            offer_area_[static_cast<std::size_t>(meta.cls)]
+                       [static_cast<std::size_t>(v)];
+        if (area_committed_ > spec_.area_limit) return false;
+      }
+    }
+
+    // Vendor-diversity propagation.
+    for (int nb : neighbors_[static_cast<std::size_t>(copy)]) {
+      if (assigned_vendor_[static_cast<std::size_t>(nb)] == v) return false;
+      if (assigned_vendor_[static_cast<std::size_t>(nb)] >= 0) continue;
+      int& count = forbid_count(nb, v);
+      record(&count);
+      ++count;
+      if (count == 1 && allowed_vendors(nb) == 0) return false;
+    }
+
+    // Dependence window propagation within the same schedule: children may
+    // start once this op finishes; parents must have finished before this
+    // op starts.
+    for (int child : children_[static_cast<std::size_t>(copy)]) {
+      if (est_[static_cast<std::size_t>(child)] < cycle + meta.latency) {
+        record(&est_[static_cast<std::size_t>(child)]);
+        est_[static_cast<std::size_t>(child)] = cycle + meta.latency;
+        if (est_[static_cast<std::size_t>(child)] >
+            lst_[static_cast<std::size_t>(child)]) {
+          return false;
+        }
+      }
+    }
+    for (int parent : parents_[static_cast<std::size_t>(copy)]) {
+      const int parent_latency =
+          copies_[static_cast<std::size_t>(parent)].latency;
+      if (lst_[static_cast<std::size_t>(parent)] > cycle - parent_latency) {
+        record(&lst_[static_cast<std::size_t>(parent)]);
+        lst_[static_cast<std::size_t>(parent)] = cycle - parent_latency;
+        if (est_[static_cast<std::size_t>(parent)] >
+            lst_[static_cast<std::size_t>(parent)]) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // ---- search -----------------------------------------------------------
+  int select_variable() const {
+    int best = -1;
+    long best_score = 0;
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      if (assigned_cycle_[c] >= 0) continue;
+      const long window = lst_[c] - est_[c] + 1;
+      const long vendors =
+          static_cast<long>(__builtin_popcountll(allowed_vendors(
+              static_cast<int>(c))));
+      const long score = window * vendors;
+      if (best < 0 || score < best_score ||
+          (score == best_score &&
+           degree_[c] > degree_[static_cast<std::size_t>(best)])) {
+        best = static_cast<int>(c);
+        best_score = score;
+      }
+    }
+    return best;
+  }
+
+  struct Value {
+    long long key;
+    int cycle;
+    int vendor;
+  };
+
+  std::vector<Value> enumerate_values(int copy) {
+    const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
+    const std::uint64_t allowed = allowed_vendors(copy);
+    std::vector<Value> values;
+    const int cap =
+        spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls));
+    for (int cycle = est_[static_cast<std::size_t>(copy)];
+         cycle <= lst_[static_cast<std::size_t>(copy)]; ++cycle) {
+      for (int v = 0; v < spec_.catalog.num_vendors(); ++v) {
+        if (!(allowed & (1ull << v))) continue;
+        int needed = 0;  // instances required over the occupancy interval
+        for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
+          needed = std::max(needed, usage(meta.phase, v, meta.cls, busy) + 1);
+        }
+        const int pk = peak_[static_cast<std::size_t>(v) *
+                                 dfg::kNumResourceClasses +
+                             static_cast<std::size_t>(meta.cls)];
+        long long area_delta = 0;
+        if (needed > pk) {
+          if (needed > cap) continue;
+          area_delta = static_cast<long long>(needed - pk) *
+                       offer_area_[static_cast<std::size_t>(meta.cls)]
+                                  [static_cast<std::size_t>(v)];
+          if (area_committed_ + area_delta > spec_.area_limit) continue;
+        }
+        // Prefer values that add no area, then earlier cycles; a small
+        // random tiebreak decorrelates restarts.
+        long long key = area_delta * 1000 + cycle * 8 + v;
+        if (options_.seed != 0) {
+          key = key * 64 +
+                static_cast<long long>(rng_.uniform_int(0, 63));
+        }
+        values.push_back(Value{key, cycle, v});
+      }
+    }
+    std::sort(values.begin(), values.end(),
+              [](const Value& a, const Value& b) { return a.key < b.key; });
+    return values;
+  }
+
+  Outcome dfs() {
+    if (++nodes_ > options_.max_nodes) return Outcome::kNodeLimit;
+    if ((nodes_ & 0x3ff) == 0 &&
+        timer_.elapsed_seconds() > options_.time_limit_seconds) {
+      return Outcome::kTimeout;
+    }
+    const int copy = select_variable();
+    if (copy < 0) return Outcome::kSolved;  // everything assigned
+
+    for (const Value& value : enumerate_values(copy)) {
+      const Mark m = mark();
+      if (assign(copy, value.cycle, value.vendor)) {
+        const Outcome outcome = dfs();
+        if (outcome != Outcome::kExhausted) return outcome;
+      }
+      rewind(m);
+    }
+    return Outcome::kExhausted;
+  }
+
+  Solution extract_solution() {
+    Solution solution(spec_.graph.num_ops(), spec_.with_recovery);
+    // Instances of one offer are interchangeable; pack the (possibly
+    // multi-cycle) occupancy intervals per (phase, vendor, class) onto
+    // instance indices with greedy interval scheduling — the instance
+    // count realized equals the peak tracked during search.
+    std::map<std::tuple<int, int, int>, std::vector<std::size_t>> groups;
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      util::check_internal(assigned_cycle_[c] >= 1 && assigned_vendor_[c] >= 0,
+                           "csp: extracting incomplete assignment");
+      groups[{copies_[c].phase, assigned_vendor_[c], copies_[c].cls}]
+          .push_back(c);
+    }
+    for (auto& [key, group] : groups) {
+      (void)key;
+      std::sort(group.begin(), group.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return assigned_cycle_[a] < assigned_cycle_[b];
+                });
+      std::vector<int> instance_free_at;
+      for (std::size_t c : group) {
+        const CopyMeta& meta = copies_[c];
+        const int start = assigned_cycle_[c];
+        const int finish = start + meta.latency;
+        int chosen = -1;
+        for (std::size_t i = 0; i < instance_free_at.size(); ++i) {
+          if (instance_free_at[i] <= start) {
+            chosen = static_cast<int>(i);
+            break;
+          }
+        }
+        if (chosen < 0) {
+          chosen = static_cast<int>(instance_free_at.size());
+          instance_free_at.push_back(0);
+        }
+        instance_free_at[static_cast<std::size_t>(chosen)] = finish;
+        solution.at(meta.kind, meta.op) =
+            Binding{start, assigned_vendor_[c], chosen};
+      }
+    }
+    return solution;
+  }
+
+  const ProblemSpec& spec_;
+  const CspOptions& options_;
+  util::Rng rng_;
+  util::Timer timer_;
+
+  std::vector<CopyMeta> copies_;
+  std::map<CopyRef, int> copy_of_;
+  int max_lambda_ = 0;
+
+  std::vector<int> est_, lst_;
+  std::vector<std::vector<int>> parents_, children_;  // same-schedule deps
+  std::vector<std::vector<int>> neighbors_;           // vendor conflicts
+  std::vector<int> degree_;
+  std::array<std::uint64_t, dfg::kNumResourceClasses> palette_mask_{};
+  std::array<std::array<long long, kMaxVendors>, dfg::kNumResourceClasses>
+      offer_area_{};
+
+  std::vector<int> forbid_count_;
+  std::vector<int> assigned_cycle_, assigned_vendor_;
+  std::vector<int> usage_;
+  std::vector<int> peak_;
+  long long area_committed_ = 0;
+
+  std::vector<std::pair<int*, int>> trail_;
+  std::vector<std::pair<long long*, long long>> trail_ll_;
+  long nodes_ = 0;
+};
+
+}  // namespace
+
+CspResult schedule_and_bind(const ProblemSpec& spec, const Palettes& palettes,
+                            const CspOptions& options) {
+  spec.validate();
+  Search search(spec, palettes, options);
+  return search.run();
+}
+
+}  // namespace ht::core

@@ -1,0 +1,55 @@
+// Complete backtracking scheduler/binder over a fixed vendor palette.
+//
+// Given a ProblemSpec and, per resource class, the set ("palette") of
+// vendors whose licenses the design may use, this solver decides whether a
+// schedule + binding exists that satisfies *all* constraints — dependence
+// order, latency windows, every vendor-diversity rule, per-instance
+// exclusivity and the area bound — and produces one if so.
+//
+// It is a classic CSP search: one variable per operation copy (NC/RC and,
+// when enabled, recovery), values are (cycle, vendor) pairs, instances are
+// never branched on because instances of one (vendor, class) offer are
+// interchangeable — a per-cycle usage count plus a running peak is enough,
+// and instance indices are assigned after the fact. Propagation maintains
+// per-copy cycle windows (ASAP/ALAP tightened by assigned same-schedule
+// neighbors) and per-copy forbidden-vendor counts from the conflict graph.
+//
+// Within its node budget the search is complete: kInfeasible is a proof.
+// The exact optimizer exploits this for cheapest-first license enumeration;
+// the heuristic optimizer runs it with small budgets and random restarts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace ht::core {
+
+struct CspOptions {
+  long max_nodes = 500'000;
+  double time_limit_seconds = 10.0;
+  /// Non-zero: shuffle tied value choices for randomized restarts.
+  std::uint64_t seed = 0;
+};
+
+struct CspResult {
+  enum class Status {
+    kFeasible,    ///< solution found (and validated by the caller)
+    kInfeasible,  ///< proof: no solution exists under this palette
+    kNodeLimit,   ///< gave up; nothing proved
+    kTimeout,     ///< gave up; nothing proved
+  };
+  Status status = Status::kNodeLimit;
+  Solution solution;
+  long nodes = 0;
+};
+
+/// One vendor palette per resource class (indexed by ResourceClass value).
+using Palettes = std::array<std::vector<vendor::VendorId>, dfg::kNumResourceClasses>;
+
+CspResult schedule_and_bind(const ProblemSpec& spec, const Palettes& palettes,
+                            const CspOptions& options = {});
+
+}  // namespace ht::core

@@ -1,0 +1,44 @@
+#include "core/frontier.hpp"
+
+#include "dfg/analysis.hpp"
+
+namespace ht::core {
+
+std::vector<FrontierPoint> area_frontier(const ProblemSpec& spec,
+                                         const std::vector<long long>& areas,
+                                         const OptimizerOptions& options) {
+  std::vector<FrontierPoint> frontier;
+  for (long long area : areas) {
+    ProblemSpec point_spec = spec;
+    point_spec.area_limit = area;
+    FrontierPoint point;
+    point.constraint = area;
+    point.result = minimize_cost(point_spec, options);
+    frontier.push_back(std::move(point));
+  }
+  return frontier;
+}
+
+std::vector<FrontierPoint> latency_frontier(
+    const ProblemSpec& base, const std::vector<int>& lambda_totals,
+    const OptimizerOptions& options) {
+  util::check_spec(base.with_recovery,
+                   "latency_frontier sweeps the combined schedule; the spec "
+                   "must have recovery enabled");
+  const int critical_path = dfg::critical_path_length(base.graph);
+  std::vector<FrontierPoint> frontier;
+  for (int lambda_total : lambda_totals) {
+    FrontierPoint point;
+    point.constraint = lambda_total;
+    if (lambda_total < 2 * critical_path) {
+      point.result.status = OptStatus::kInfeasible;
+    } else {
+      point.result =
+          minimize_cost_total_latency(base, lambda_total, options).result;
+    }
+    frontier.push_back(std::move(point));
+  }
+  return frontier;
+}
+
+}  // namespace ht::core

@@ -1,0 +1,284 @@
+#include "core/greedy.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/rules.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+
+namespace ht::core {
+namespace {
+
+struct CopyMeta {
+  CopyKind kind;
+  dfg::OpId op;
+  int cls;
+  int phase;  // 0 detection, 1 recovery
+};
+
+}  // namespace
+
+std::optional<Solution> greedy_construct(const ProblemSpec& spec,
+                                         const Palettes& palettes,
+                                         util::Rng& rng) {
+  const int n = spec.graph.num_ops();
+  std::vector<CopyKind> kinds = {CopyKind::kNormal, CopyKind::kRedundant};
+  if (spec.with_recovery) kinds.push_back(CopyKind::kRecovery);
+
+  // ---- copies and conflict adjacency -----------------------------------
+  std::vector<CopyMeta> copies;
+  std::map<CopyRef, int> index_of;
+  for (CopyKind kind : kinds) {
+    for (dfg::OpId op = 0; op < n; ++op) {
+      index_of[{kind, op}] = static_cast<int>(copies.size());
+      copies.push_back(CopyMeta{
+          kind, op,
+          static_cast<int>(dfg::resource_class_of(spec.graph.op(op).type)),
+          kind == CopyKind::kRecovery ? 1 : 0});
+    }
+  }
+  const std::size_t num_copies = copies.size();
+  std::vector<std::vector<int>> neighbors(num_copies);
+  for (const VendorConflict& conflict : vendor_conflicts(spec)) {
+    const int a = index_of.at(conflict.a);
+    const int b = index_of.at(conflict.b);
+    neighbors[static_cast<std::size_t>(a)].push_back(b);
+    neighbors[static_cast<std::size_t>(b)].push_back(a);
+  }
+
+  // ---- stage 1: DSATUR list coloring, load-balanced --------------------
+  const int nv = spec.catalog.num_vendors();
+  std::vector<int> color(num_copies, -1);
+  std::vector<std::vector<char>> forbidden(
+      num_copies, std::vector<char>(static_cast<std::size_t>(nv), 0));
+  std::vector<int> saturation(num_copies, 0);
+  // Two load signals steer the color choice toward low instance peaks:
+  // level_load balances within an op's ASAP level (a proxy for its cycle —
+  // exact when the latency equals the critical path and mobility is zero),
+  // total load balances overall.
+  const std::vector<int> asap_for_load = dfg::asap_levels(spec.graph);
+  const int max_level =
+      *std::max_element(asap_for_load.begin(), asap_for_load.end());
+  std::array<std::vector<int>, dfg::kNumResourceClasses> load;
+  std::array<std::vector<int>, dfg::kNumResourceClasses> level_load;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    load[static_cast<std::size_t>(cls)].assign(
+        static_cast<std::size_t>(nv), 0);
+    level_load[static_cast<std::size_t>(cls)].assign(
+        static_cast<std::size_t>(nv) * static_cast<std::size_t>(max_level),
+        0);
+  }
+  auto level_slot = [&](int cls, int v, int op) -> int& {
+    return level_load[static_cast<std::size_t>(cls)]
+                     [static_cast<std::size_t>(v) *
+                          static_cast<std::size_t>(max_level) +
+                      static_cast<std::size_t>(
+                          asap_for_load[static_cast<std::size_t>(op)] - 1)];
+  };
+
+  for (std::size_t step = 0; step < num_copies; ++step) {
+    // Most saturated uncolored copy; ties by degree, then randomly.
+    int chosen = -1;
+    for (std::size_t c = 0; c < num_copies; ++c) {
+      if (color[c] >= 0) continue;
+      if (chosen < 0) {
+        chosen = static_cast<int>(c);
+        continue;
+      }
+      const std::size_t best = static_cast<std::size_t>(chosen);
+      if (saturation[c] != saturation[best]) {
+        if (saturation[c] > saturation[best]) chosen = static_cast<int>(c);
+      } else if (neighbors[c].size() != neighbors[best].size()) {
+        if (neighbors[c].size() > neighbors[best].size()) {
+          chosen = static_cast<int>(c);
+        }
+      } else if (rng.chance(0.3)) {
+        chosen = static_cast<int>(c);
+      }
+    }
+    const std::size_t c = static_cast<std::size_t>(chosen);
+    const auto& palette =
+        palettes[static_cast<std::size_t>(copies[c].cls)];
+
+    vendor::VendorId best_vendor = -1;
+    std::pair<int, int> best_key{0, 0};
+    for (vendor::VendorId v : palette) {
+      if (forbidden[c][static_cast<std::size_t>(v)]) continue;
+      const std::pair<int, int> key = {
+          level_slot(copies[c].cls, v, copies[c].op),
+          load[static_cast<std::size_t>(copies[c].cls)]
+              [static_cast<std::size_t>(v)]};
+      if (best_vendor < 0 || key < best_key ||
+          (key == best_key && rng.chance(0.5))) {
+        best_vendor = v;
+        best_key = key;
+      }
+    }
+    if (best_vendor < 0) return std::nullopt;  // coloring dead end
+    color[c] = best_vendor;
+    load[static_cast<std::size_t>(copies[c].cls)]
+        [static_cast<std::size_t>(best_vendor)]++;
+    level_slot(copies[c].cls, best_vendor, copies[c].op)++;
+    for (int nb : neighbors[c]) {
+      auto& row = forbidden[static_cast<std::size_t>(nb)];
+      if (!row[static_cast<std::size_t>(best_vendor)]) {
+        row[static_cast<std::size_t>(best_vendor)] = 1;
+        ++saturation[static_cast<std::size_t>(nb)];
+      }
+    }
+  }
+
+  // ---- stage 2: list scheduling per phase timeline ----------------------
+  const std::vector<int> latencies = spec.op_latencies();
+  const std::vector<int> asap = dfg::asap_levels(spec.graph, latencies);
+  const std::vector<int> alap_det =
+      dfg::alap_levels(spec.graph, spec.lambda_detection, latencies);
+  std::vector<int> alap_rec;
+  if (spec.with_recovery) {
+    alap_rec =
+        dfg::alap_levels(spec.graph, spec.lambda_recovery, latencies);
+  }
+
+  std::vector<int> cycle_of(num_copies, -1);
+  // usage[(v, cls)] per cycle per phase, tracked as peaks.
+  std::map<std::pair<int, int>, int> peak;  // (v, cls) -> instances needed
+
+  for (int phase = 0; phase < (spec.with_recovery ? 2 : 1); ++phase) {
+    const int lambda =
+        phase == 0 ? spec.lambda_detection : spec.lambda_recovery;
+    const std::vector<int>& alap = phase == 0 ? alap_det : alap_rec;
+
+    // Copies in this timeline and per-(v, cls) per-cycle targets.
+    std::vector<int> members;
+    std::map<std::pair<int, int>, int> count;  // instance-cycles demanded
+    for (std::size_t c = 0; c < num_copies; ++c) {
+      if (copies[c].phase != phase) continue;
+      members.push_back(static_cast<int>(c));
+      count[{color[c], copies[c].cls}] +=
+          latencies[static_cast<std::size_t>(copies[c].op)];
+    }
+    std::map<std::pair<int, int>, int> target;
+    for (const auto& [key, total] : count) {
+      target[key] = (total + lambda - 1) / lambda;
+    }
+
+    std::vector<int> unscheduled_parents(num_copies, 0);
+    std::vector<int> earliest(num_copies, 0);
+    for (int c : members) {
+      unscheduled_parents[static_cast<std::size_t>(c)] = static_cast<int>(
+          spec.graph.parents(copies[static_cast<std::size_t>(c)].op).size());
+      earliest[static_cast<std::size_t>(c)] =
+          asap[static_cast<std::size_t>(
+              copies[static_cast<std::size_t>(c)].op)];
+    }
+
+    std::vector<char> done(num_copies, 0);
+    int remaining = static_cast<int>(members.size());
+    // Occupancy per (vendor, class) per cycle (multi-cycle ops hold their
+    // instance for their whole latency).
+    std::map<std::pair<int, int>, std::vector<int>> busy;
+    auto busy_at = [&](const std::pair<int, int>& key, int cycle) -> int& {
+      auto& row = busy[key];
+      if (row.empty()) row.assign(static_cast<std::size_t>(lambda) + 2, 0);
+      return row[static_cast<std::size_t>(cycle)];
+    };
+    for (int cycle = 1; cycle <= lambda && remaining > 0; ++cycle) {
+      // Ready members, urgent first, then earliest deadline.
+      std::vector<int> ready;
+      for (int c : members) {
+        if (done[static_cast<std::size_t>(c)]) continue;
+        if (unscheduled_parents[static_cast<std::size_t>(c)] == 0 &&
+            earliest[static_cast<std::size_t>(c)] <= cycle) {
+          ready.push_back(c);
+        }
+      }
+      rng.shuffle(ready);
+      std::stable_sort(ready.begin(), ready.end(), [&](int a, int b) {
+        return alap[static_cast<std::size_t>(
+                   copies[static_cast<std::size_t>(a)].op)] <
+               alap[static_cast<std::size_t>(
+                   copies[static_cast<std::size_t>(b)].op)];
+      });
+      for (int c : ready) {
+        const std::size_t ci = static_cast<std::size_t>(c);
+        const std::pair<int, int> key = {color[ci], copies[ci].cls};
+        const int op_lat =
+            latencies[static_cast<std::size_t>(copies[ci].op)];
+        const bool urgent =
+            alap[static_cast<std::size_t>(copies[ci].op)] == cycle;
+        if (!urgent && busy_at(key, cycle) >= target[key]) continue;
+        cycle_of[ci] = cycle;
+        done[ci] = 1;
+        --remaining;
+        for (int occupied = cycle; occupied < cycle + op_lat; ++occupied) {
+          int& count = busy_at(key, occupied);
+          ++count;
+          peak[key] = std::max(peak[key], count);
+        }
+        for (dfg::OpId child : spec.graph.children(copies[ci].op)) {
+          const int child_copy = index_of.at({copies[ci].kind, child});
+          --unscheduled_parents[static_cast<std::size_t>(child_copy)];
+          earliest[static_cast<std::size_t>(child_copy)] =
+              std::max(earliest[static_cast<std::size_t>(child_copy)],
+                       cycle + op_lat);
+        }
+      }
+    }
+    if (remaining > 0) {
+      throw util::InternalError(
+          "greedy_construct: list scheduling failed to place every op "
+          "within its ALAP deadline");
+    }
+  }
+
+  // ---- area / instance-cap check ----------------------------------------
+  long long area = 0;
+  for (const auto& [key, instances] : peak) {
+    const auto rc = static_cast<dfg::ResourceClass>(key.second);
+    if (instances > spec.instance_cap(rc)) return std::nullopt;
+    area += static_cast<long long>(instances) *
+            spec.catalog.offer(key.first, rc).area;
+  }
+  if (area > spec.area_limit) return std::nullopt;
+
+  // ---- emit: pack occupancy intervals onto instances --------------------
+  // Instances of one (vendor, class) are interchangeable; greedy interval
+  // packing (sorted by start, first instance free at that start) realizes
+  // exactly the peaks counted above — including multi-cycle occupancy.
+  Solution solution(n, spec.with_recovery);
+  std::map<std::tuple<int, int, int>, std::vector<std::size_t>> groups;
+  for (std::size_t c = 0; c < num_copies; ++c) {
+    groups[{copies[c].phase, color[c], copies[c].cls}].push_back(c);
+  }
+  for (auto& [key, group] : groups) {
+    (void)key;
+    std::sort(group.begin(), group.end(), [&](std::size_t a, std::size_t b) {
+      return cycle_of[a] < cycle_of[b];
+    });
+    std::vector<int> instance_free_at;  // first cycle each instance is free
+    for (std::size_t c : group) {
+      const int start = cycle_of[c];
+      const int finish =
+          start + latencies[static_cast<std::size_t>(copies[c].op)];
+      int chosen = -1;
+      for (std::size_t i = 0; i < instance_free_at.size(); ++i) {
+        if (instance_free_at[i] <= start) {
+          chosen = static_cast<int>(i);
+          break;
+        }
+      }
+      if (chosen < 0) {
+        chosen = static_cast<int>(instance_free_at.size());
+        instance_free_at.push_back(0);
+      }
+      instance_free_at[static_cast<std::size_t>(chosen)] = finish;
+      solution.at(copies[c].kind, copies[c].op) =
+          Binding{start, color[c], chosen};
+    }
+  }
+  require_valid(spec, solution);
+  return solution;
+}
+
+}  // namespace ht::core

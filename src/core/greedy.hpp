@@ -1,0 +1,33 @@
+// Fast greedy constructor: DSATUR vendor coloring + peak-minimizing list
+// scheduling.
+//
+// Key structural fact the pure CSP search cannot exploit: the
+// vendor-diversity rules constrain *vendors only*, never cycles, so a
+// solution decomposes into (1) a list coloring of the conflict graph with
+// the class palettes and (2) a schedule whose only coupling to (1) is the
+// silicon area — each (vendor, class) pair needs as many core instances as
+// its peak per-cycle usage. The constructor therefore colors first
+// (balancing load across palette vendors so peaks stay low), then
+// list-schedules each phase timeline deferring non-urgent ops whenever a
+// (vendor, class) is at its per-cycle target, and finally checks the area
+// bound. Randomized tie-breaking makes retries cheap and diverse.
+//
+// This is the workhorse of the heuristic optimizer strategy; the complete
+// CSP remains the fallback and the proof engine.
+#pragma once
+
+#include <optional>
+
+#include "core/csp_solver.hpp"
+#include "util/rng.hpp"
+
+namespace ht::core {
+
+/// One attempt; returns a validated-by-construction solution or nullopt if
+/// the coloring dead-ends or the area bound is exceeded. Deterministic for
+/// a given rng state.
+std::optional<Solution> greedy_construct(const ProblemSpec& spec,
+                                         const Palettes& palettes,
+                                         util::Rng& rng);
+
+}  // namespace ht::core

@@ -1,0 +1,86 @@
+// Cost-minimizing optimizer — the paper's Section 4 solved end to end.
+//
+// Strategy: enumerate license sets cheapest-first (see palette.hpp) and run
+// the complete CSP scheduler/binder on each until one is feasible. Because
+// license sets are visited in nondecreasing cost, the first feasible one is
+// provably cost-optimal as long as every cheaper set received a complete
+// (not budget-truncated) infeasibility proof; when a budget is exhausted the
+// result degrades honestly to "feasible, best found" — the same caveat the
+// paper marks with '*' in its Tables 3 and 4.
+//
+// kExact uses large CSP budgets per license set; kHeuristic uses small
+// budgets with randomized restarts and is the fast path for the bigger
+// benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/csp_solver.hpp"
+#include "core/validate.hpp"
+
+namespace ht::core {
+
+enum class Strategy { kExact, kHeuristic };
+
+struct OptimizerOptions {
+  Strategy strategy = Strategy::kExact;
+  double time_limit_seconds = 120.0;
+  /// Per-license-set CSP node budget (exact strategy).
+  long csp_node_limit = 4'000'000;
+  /// Heuristic strategy: restarts per license set and per-restart budget.
+  int heuristic_restarts = 3;
+  long heuristic_node_limit = 80'000;
+  /// Stop after this many license sets regardless of proof state.
+  long max_combos = 200'000;
+  std::uint64_t seed = 1;
+};
+
+enum class OptStatus {
+  kOptimal,     ///< minimum cost proved
+  kFeasible,    ///< valid design found; optimality not proved ('*' rows)
+  kInfeasible,  ///< proved that no design meets the constraints
+  kUnknown,     ///< budgets exhausted with nothing to show
+};
+
+std::string to_string(OptStatus status);
+
+struct OptimizeStats {
+  long combos_tried = 0;
+  long combos_skipped_by_bound = 0;
+  long unknown_combos = 0;
+  long csp_nodes = 0;
+  double seconds = 0.0;
+};
+
+struct OptimizeResult {
+  OptStatus status = OptStatus::kUnknown;
+  Solution solution;       ///< valid iff status is kOptimal/kFeasible
+  long long cost = 0;      ///< license cost of `solution`
+  OptimizeStats stats;
+
+  bool has_solution() const {
+    return status == OptStatus::kOptimal || status == OptStatus::kFeasible;
+  }
+};
+
+/// Minimizes license cost for a fully specified problem (fixed detection
+/// and recovery latency bounds). The returned solution is always validated
+/// against the spec before being returned.
+OptimizeResult minimize_cost(const ProblemSpec& spec,
+                             const OptimizerOptions& options = {});
+
+/// Table-4 semantics: `lambda_total` bounds the *combined* schedule
+/// (detection phase followed by recovery phase) and the split between the
+/// phases is free. Tries every split with at least the critical path on
+/// each side and returns the best result (plus the winning split).
+struct SplitResult {
+  OptimizeResult result;
+  int lambda_detection = 0;
+  int lambda_recovery = 0;
+};
+SplitResult minimize_cost_total_latency(const ProblemSpec& base,
+                                        int lambda_total,
+                                        const OptimizerOptions& options = {});
+
+}  // namespace ht::core

@@ -1,0 +1,107 @@
+#include "core/palette.hpp"
+
+#include <algorithm>
+
+namespace ht::core {
+
+std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses>
+enumerate_palettes(
+    const ProblemSpec& spec,
+    const std::array<int, dfg::kNumResourceClasses>& min_sizes) {
+  std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses> out;
+  const auto op_counts = spec.graph.ops_per_class();
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    auto& options = out[static_cast<std::size_t>(cls)];
+    if (op_counts[cls] == 0) {
+      options.push_back(PaletteOption{0, {}});
+      continue;
+    }
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    std::vector<vendor::VendorId> offering;
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      if (spec.catalog.offers(v, rc)) offering.push_back(v);
+    }
+    const int count = static_cast<int>(offering.size());
+    util::check_spec(count <= 24,
+                     "enumerate_palettes: too many vendors to enumerate");
+    const int min_size = std::max(1, min_sizes[cls]);
+    for (unsigned mask = 1; mask < (1u << count); ++mask) {
+      if (__builtin_popcount(mask) < min_size) continue;
+      PaletteOption option;
+      for (int bit = 0; bit < count; ++bit) {
+        if (mask & (1u << bit)) {
+          const vendor::VendorId v = offering[static_cast<std::size_t>(bit)];
+          option.vendors.push_back(v);
+          option.cost += spec.catalog.offer(v, rc).cost;
+        }
+      }
+      options.push_back(std::move(option));
+    }
+    util::check_spec(!options.empty(),
+                     "enumerate_palettes: no palette meets the lower bound "
+                     "for class " + dfg::resource_class_name(rc));
+    std::sort(options.begin(), options.end(),
+              [](const PaletteOption& a, const PaletteOption& b) {
+                if (a.cost != b.cost) return a.cost < b.cost;
+                return a.vendors.size() < b.vendors.size();
+              });
+  }
+  return out;
+}
+
+ComboQueue::ComboQueue(
+    std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses> options)
+    : options_(std::move(options)) {
+  for (const auto& list : options_) {
+    util::check_spec(!list.empty(), "ComboQueue: empty palette list");
+  }
+  push({0, 0, 0});
+}
+
+long long ComboQueue::cost_of(
+    const std::array<int, dfg::kNumResourceClasses>& index) const {
+  long long cost = 0;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    cost += options_[static_cast<std::size_t>(cls)]
+                    [static_cast<std::size_t>(index[static_cast<std::size_t>(
+                        cls)])]
+                        .cost;
+  }
+  return cost;
+}
+
+void ComboQueue::push(const std::array<int, dfg::kNumResourceClasses>& index) {
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (index[static_cast<std::size_t>(cls)] >=
+        static_cast<int>(options_[static_cast<std::size_t>(cls)].size())) {
+      return;
+    }
+  }
+  if (!visited_.insert(index).second) return;
+  heap_.push_back(Node{cost_of(index), index});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+}
+
+bool ComboQueue::next(Palettes& palettes, long long& cost) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  const Node node = heap_.back();
+  heap_.pop_back();
+  cost = node.cost;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    palettes[static_cast<std::size_t>(cls)] =
+        options_[static_cast<std::size_t>(cls)]
+                [static_cast<std::size_t>(
+                     node.index[static_cast<std::size_t>(cls)])]
+                    .vendors;
+  }
+  // Successors: advance one coordinate each.
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    std::array<int, dfg::kNumResourceClasses> successor = node.index;
+    ++successor[static_cast<std::size_t>(cls)];
+    push(successor);
+  }
+  return true;
+}
+
+}  // namespace ht::core

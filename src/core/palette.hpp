@@ -1,0 +1,62 @@
+// Cheapest-first enumeration of license sets ("palettes").
+//
+// The paper's objective (17) depends only on which (vendor, class) licenses
+// are purchased. The optimizer therefore searches the space of per-class
+// vendor subsets in nondecreasing total license cost; the first subset
+// combination that admits a valid schedule/binding is cost-optimal (given a
+// complete feasibility check). This module provides that enumeration:
+// per-class subset lists sorted by cost, and a best-first product queue
+// across the classes the DFG actually uses.
+#pragma once
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "core/csp_solver.hpp"
+
+namespace ht::core {
+
+/// One candidate palette for one resource class.
+struct PaletteOption {
+  long long cost = 0;  ///< sum of license costs of `vendors`
+  std::vector<vendor::VendorId> vendors;
+};
+
+/// All candidate palettes per class, each list sorted by ascending cost.
+/// Classes unused by the DFG get a single empty zero-cost option. Subset
+/// sizes range from `min_sizes[cls]` (a proven lower bound, see
+/// min_vendors_per_class) to every vendor offering the class.
+std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses>
+enumerate_palettes(const ProblemSpec& spec,
+                   const std::array<int, dfg::kNumResourceClasses>& min_sizes);
+
+/// Best-first iterator over palette combinations ordered by total cost.
+class ComboQueue {
+ public:
+  explicit ComboQueue(
+      std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses>
+          options);
+
+  /// Pops the next-cheapest combination; false when exhausted. Successive
+  /// costs are nondecreasing.
+  bool next(Palettes& palettes, long long& cost);
+
+ private:
+  struct Node {
+    long long cost;
+    std::array<int, dfg::kNumResourceClasses> index;
+
+    bool operator>(const Node& other) const { return cost > other.cost; }
+  };
+
+  long long cost_of(const std::array<int, dfg::kNumResourceClasses>& index)
+      const;
+  void push(const std::array<int, dfg::kNumResourceClasses>& index);
+
+  std::array<std::vector<PaletteOption>, dfg::kNumResourceClasses> options_;
+  std::vector<Node> heap_;
+  std::set<std::array<int, dfg::kNumResourceClasses>> visited_;
+};
+
+}  // namespace ht::core

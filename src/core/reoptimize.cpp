@@ -1,0 +1,57 @@
+#include "core/reoptimize.hpp"
+
+namespace ht::core {
+
+std::set<LicenseKey> suspect_licenses(const ProblemSpec& spec,
+                                      const Solution& solution,
+                                      std::optional<CopyKind> side) {
+  util::check_spec(!side || *side != CopyKind::kRecovery,
+                   "suspect_licenses: the suspect side is a detection-phase "
+                   "computation (NC or RC)");
+  std::set<LicenseKey> suspects;
+  for (CopyKind kind : {CopyKind::kNormal, CopyKind::kRedundant}) {
+    if (side && *side != kind) continue;
+    for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+      const Binding& binding = solution.at(kind, op);
+      suspects.insert(LicenseKey{
+          binding.vendor, dfg::resource_class_of(spec.graph.op(op).type)});
+    }
+  }
+  return suspects;
+}
+
+vendor::Catalog without_licenses(const vendor::Catalog& catalog,
+                                 const std::set<LicenseKey>& banned) {
+  vendor::Catalog thinned(catalog.num_vendors());
+  for (vendor::VendorId v = 0; v < catalog.num_vendors(); ++v) {
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      const auto rc = static_cast<dfg::ResourceClass>(cls);
+      if (!catalog.offers(v, rc)) continue;
+      if (banned.count(LicenseKey{v, rc})) continue;
+      thinned.set_offer(v, rc, catalog.offer(v, rc));
+    }
+  }
+  return thinned;
+}
+
+OptimizeResult reoptimize_without(const ProblemSpec& spec,
+                                  const std::set<LicenseKey>& banned,
+                                  const OptimizerOptions& options) {
+  ProblemSpec thinned = spec;
+  thinned.catalog = without_licenses(spec.catalog, banned);
+  // A class whose every offer is banned makes the problem unsolvable;
+  // report that as infeasibility rather than a spec error.
+  const auto counts = thinned.graph.ops_per_class();
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (counts[cls] == 0) continue;
+    if (thinned.catalog.num_vendors_offering(
+            static_cast<dfg::ResourceClass>(cls)) == 0) {
+      OptimizeResult result;
+      result.status = OptStatus::kInfeasible;
+      return result;
+    }
+  }
+  return minimize_cost(thinned, options);
+}
+
+}  // namespace ht::core

@@ -1,0 +1,162 @@
+#include "core/rules.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "dfg/analysis.hpp"
+
+namespace ht::core {
+
+int copy_index(CopyRef ref, int num_ops) {
+  return static_cast<int>(ref.kind) * num_ops + ref.op;
+}
+
+std::vector<VendorConflict> vendor_conflicts(const ProblemSpec& spec) {
+  const int n = spec.graph.num_ops();
+  std::map<std::pair<int, int>, VendorConflict> unique;
+
+  auto emit = [&](CopyRef a, CopyRef b, const char* rule) {
+    int ia = copy_index(a, n);
+    int ib = copy_index(b, n);
+    if (ia > ib) {
+      std::swap(ia, ib);
+      std::swap(a, b);
+    }
+    unique.emplace(std::make_pair(ia, ib), VendorConflict{a, b, rule});
+  };
+
+  std::vector<CopyKind> kinds = {CopyKind::kNormal, CopyKind::kRedundant};
+  if (spec.with_recovery) kinds.push_back(CopyKind::kRecovery);
+
+  // Detection Rule 1: same op, NC vs RC.
+  if (spec.rules.detection_same_op) {
+    for (dfg::OpId op = 0; op < n; ++op) {
+      emit({CopyKind::kNormal, op}, {CopyKind::kRedundant, op}, "det-R1");
+    }
+  }
+
+  // Detection Rule 2, parent-child, within every schedule (eq. 6 ranges
+  // over D, D' and R).
+  if (spec.rules.detection_parent_child) {
+    for (const auto& [from, to] : spec.graph.edges()) {
+      for (CopyKind kind : kinds) {
+        emit({kind, from}, {kind, to}, "det-R2-chain");
+      }
+    }
+  }
+
+  // Detection Rule 2, ops feeding the same child.
+  if (spec.rules.detection_sibling) {
+    for (const auto& [a, b] : dfg::sibling_pairs(spec.graph)) {
+      emit({CopyKind::kNormal, a}, {CopyKind::kNormal, b}, "det-R2-sibling");
+      if (spec.rules.sibling_diversity_all_copies) {
+        emit({CopyKind::kRedundant, a}, {CopyKind::kRedundant, b},
+             "det-R2-sibling");
+        if (spec.with_recovery) {
+          emit({CopyKind::kRecovery, a}, {CopyKind::kRecovery, b},
+               "det-R2-sibling");
+        }
+      }
+    }
+  }
+
+  if (spec.with_recovery) {
+    // Recovery Rule 1: recovery copy avoids both detection vendors of the
+    // same op.
+    if (spec.rules.recovery_same_op) {
+      for (dfg::OpId op = 0; op < n; ++op) {
+        emit({CopyKind::kRecovery, op}, {CopyKind::kNormal, op}, "rec-R1");
+        emit({CopyKind::kRecovery, op}, {CopyKind::kRedundant, op}, "rec-R1");
+      }
+    }
+    // Recovery Rule 2: recovery copy also avoids the detection vendors of
+    // closely-related ops (both orientations of the unordered pair).
+    if (spec.rules.recovery_close_pairs) {
+      for (const auto& [a, b] : spec.closely_related) {
+        emit({CopyKind::kRecovery, a}, {CopyKind::kNormal, b}, "rec-R2");
+        emit({CopyKind::kRecovery, a}, {CopyKind::kRedundant, b}, "rec-R2");
+        emit({CopyKind::kRecovery, b}, {CopyKind::kNormal, a}, "rec-R2");
+        emit({CopyKind::kRecovery, b}, {CopyKind::kRedundant, a}, "rec-R2");
+      }
+    }
+  }
+
+  std::vector<VendorConflict> out;
+  out.reserve(unique.size());
+  for (auto& [key, conflict] : unique) {
+    (void)key;
+    out.push_back(std::move(conflict));
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> conflict_adjacency(
+    const ProblemSpec& spec, const std::vector<VendorConflict>& conflicts) {
+  const int n = spec.graph.num_ops();
+  std::vector<std::vector<int>> adjacency(
+      static_cast<std::size_t>(kNumCopyKinds) * static_cast<std::size_t>(n));
+  for (const VendorConflict& conflict : conflicts) {
+    const int ia = copy_index(conflict.a, n);
+    const int ib = copy_index(conflict.b, n);
+    adjacency[static_cast<std::size_t>(ia)].push_back(ib);
+    adjacency[static_cast<std::size_t>(ib)].push_back(ia);
+  }
+  return adjacency;
+}
+
+std::array<int, dfg::kNumResourceClasses> min_vendors_per_class(
+    const ProblemSpec& spec) {
+  const int n = spec.graph.num_ops();
+  const std::vector<VendorConflict> conflicts = vendor_conflicts(spec);
+  const std::vector<std::vector<int>> adjacency =
+      conflict_adjacency(spec, conflicts);
+
+  std::array<int, dfg::kNumResourceClasses> bounds{};
+  for (int rc = 0; rc < dfg::kNumResourceClasses; ++rc) {
+    // Nodes of this class.
+    std::vector<int> nodes;
+    for (CopyKind kind :
+         {CopyKind::kNormal, CopyKind::kRedundant, CopyKind::kRecovery}) {
+      if (kind == CopyKind::kRecovery && !spec.with_recovery) continue;
+      for (dfg::OpId op = 0; op < n; ++op) {
+        if (static_cast<int>(dfg::resource_class_of(spec.graph.op(op).type)) ==
+            rc) {
+          nodes.push_back(copy_index({kind, op}, n));
+        }
+      }
+    }
+    if (nodes.empty()) continue;
+
+    // Greedy clique: repeatedly try to grow a clique seeded at each node in
+    // descending same-class degree order.
+    auto is_adjacent = [&](int a, int b) {
+      const auto& list = adjacency[static_cast<std::size_t>(a)];
+      return std::find(list.begin(), list.end(), b) != list.end();
+    };
+    std::vector<int> order = nodes;
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return adjacency[static_cast<std::size_t>(a)].size() >
+             adjacency[static_cast<std::size_t>(b)].size();
+    });
+    int best = 1;
+    for (int seed : order) {
+      std::vector<int> clique = {seed};
+      for (int candidate : order) {
+        if (candidate == seed) continue;
+        bool compatible = true;
+        for (int member : clique) {
+          if (!is_adjacent(candidate, member)) {
+            compatible = false;
+            break;
+          }
+        }
+        if (compatible) clique.push_back(candidate);
+      }
+      best = std::max(best, static_cast<int>(clique.size()));
+    }
+    bounds[rc] = best;
+  }
+  return bounds;
+}
+
+}  // namespace ht::core

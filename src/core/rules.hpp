@@ -1,0 +1,49 @@
+// The design rules as a conflict-constraint engine.
+//
+// Every rule of Sections 2 and 3 ("bind to IP cores from different vendors")
+// reduces to a binary *vendor-diversity conflict* between two operation
+// copies. This module derives the complete conflict set from a ProblemSpec;
+// the validator, the ILP formulation, the CSP solver and the heuristic all
+// consume the same list, so a rule cannot be enforced inconsistently across
+// engines.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+
+namespace ht::core {
+
+/// One pairwise constraint: vendor(a) != vendor(b).
+struct VendorConflict {
+  CopyRef a;
+  CopyRef b;
+  /// Which rule produced it: "det-R1", "det-R2-chain", "det-R2-sibling",
+  /// "rec-R1", "rec-R2".
+  std::string rule;
+};
+
+/// Derives all conflicts implied by the spec's RuleConfig (deduplicated;
+/// each unordered pair appears once, tagged with the first rule that
+/// produced it).
+std::vector<VendorConflict> vendor_conflicts(const ProblemSpec& spec);
+
+/// Dense index of a copy for adjacency structures:
+/// kind * num_ops + op, over 3 * num_ops slots.
+int copy_index(CopyRef ref, int num_ops);
+
+/// Adjacency lists over copy indices for the conflict set.
+std::vector<std::vector<int>> conflict_adjacency(
+    const ProblemSpec& spec, const std::vector<VendorConflict>& conflicts);
+
+/// Lower bound on the number of distinct vendors each resource class needs,
+/// from a greedy clique on the same-class conflict subgraph. This is the
+/// quantity the paper's conclusion is about: with recovery enabled the
+/// bound typically rises from 2 to 3-4 per class ("detection-only
+/// underestimates the need for diversity").
+std::array<int, dfg::kNumResourceClasses> min_vendors_per_class(
+    const ProblemSpec& spec);
+
+}  // namespace ht::core

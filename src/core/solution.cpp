@@ -1,0 +1,160 @@
+#include "core/solution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace ht::core {
+
+std::string copy_kind_name(CopyKind kind) {
+  switch (kind) {
+    case CopyKind::kNormal:
+      return "NC";
+    case CopyKind::kRedundant:
+      return "RC";
+    case CopyKind::kRecovery:
+      return "REC";
+  }
+  return "?";
+}
+
+Solution::Solution(int num_ops, bool with_recovery)
+    : num_ops_(num_ops), with_recovery_(with_recovery) {
+  util::check_spec(num_ops > 0, "Solution: num_ops must be positive");
+  bindings_.resize(static_cast<std::size_t>(num_ops) * kNumCopyKinds);
+}
+
+Binding& Solution::at(CopyRef ref) {
+  util::check_spec(ref.op >= 0 && ref.op < num_ops_,
+                   "Solution::at: op out of range");
+  util::check_spec(with_recovery_ || ref.kind != CopyKind::kRecovery,
+                   "Solution::at: recovery copy in detection-only solution");
+  return bindings_[static_cast<std::size_t>(ref.kind) *
+                       static_cast<std::size_t>(num_ops_) +
+                   static_cast<std::size_t>(ref.op)];
+}
+
+const Binding& Solution::at(CopyRef ref) const {
+  return const_cast<Solution*>(this)->at(ref);
+}
+
+std::vector<CopyKind> Solution::active_kinds() const {
+  if (with_recovery_) {
+    return {CopyKind::kNormal, CopyKind::kRedundant, CopyKind::kRecovery};
+  }
+  return {CopyKind::kNormal, CopyKind::kRedundant};
+}
+
+std::vector<CopyRef> Solution::all_copies() const {
+  std::vector<CopyRef> out;
+  for (CopyKind kind : active_kinds()) {
+    for (dfg::OpId op = 0; op < num_ops_; ++op) {
+      out.push_back(CopyRef{kind, op});
+    }
+  }
+  return out;
+}
+
+std::set<CoreKey> Solution::cores_used(const ProblemSpec& spec) const {
+  std::set<CoreKey> cores;
+  for (CopyRef ref : all_copies()) {
+    const Binding& binding = at(ref);
+    if (!binding.is_set()) continue;
+    cores.insert(CoreKey{binding.vendor,
+                         dfg::resource_class_of(spec.graph.op(ref.op).type),
+                         binding.instance});
+  }
+  return cores;
+}
+
+std::set<LicenseKey> Solution::licenses_used(const ProblemSpec& spec) const {
+  std::set<LicenseKey> licenses;
+  for (const CoreKey& core : cores_used(spec)) {
+    licenses.insert(LicenseKey{core.vendor, core.rc});
+  }
+  return licenses;
+}
+
+std::set<vendor::VendorId> Solution::vendors_used(
+    const ProblemSpec& spec) const {
+  std::set<vendor::VendorId> vendors;
+  for (const LicenseKey& license : licenses_used(spec)) {
+    vendors.insert(license.vendor);
+  }
+  return vendors;
+}
+
+long long Solution::license_cost(const ProblemSpec& spec) const {
+  long long total = 0;
+  for (const LicenseKey& license : licenses_used(spec)) {
+    total += spec.catalog.offer(license.vendor, license.rc).cost;
+  }
+  return total;
+}
+
+long long Solution::total_area(const ProblemSpec& spec) const {
+  long long total = 0;
+  for (const CoreKey& core : cores_used(spec)) {
+    total += spec.catalog.offer(core.vendor, core.rc).area;
+  }
+  return total;
+}
+
+int Solution::detection_makespan() const {
+  int makespan = 0;
+  for (dfg::OpId op = 0; op < num_ops_; ++op) {
+    for (CopyKind kind : {CopyKind::kNormal, CopyKind::kRedundant}) {
+      makespan = std::max(makespan, at(kind, op).cycle);
+    }
+  }
+  return makespan;
+}
+
+int Solution::recovery_makespan() const {
+  if (!with_recovery_) return 0;
+  int makespan = 0;
+  for (dfg::OpId op = 0; op < num_ops_; ++op) {
+    makespan = std::max(makespan, at(CopyKind::kRecovery, op).cycle);
+  }
+  return makespan;
+}
+
+std::string Solution::to_string(const ProblemSpec& spec) const {
+  std::string out;
+  auto render_phase = [&](const std::string& title,
+                          const std::vector<CopyKind>& kinds, int length) {
+    out += title + "\n";
+    std::map<int, std::vector<std::string>> by_cycle;
+    for (CopyKind kind : kinds) {
+      for (dfg::OpId op = 0; op < num_ops_; ++op) {
+        const Binding& binding = at(kind, op);
+        if (!binding.is_set()) continue;
+        by_cycle[binding.cycle].push_back(
+            copy_kind_name(kind) + ":" + spec.graph.op(op).name + "@Ven" +
+            std::to_string(binding.vendor + 1) + "." +
+            std::to_string(binding.instance));
+      }
+    }
+    for (int cycle = 1; cycle <= length; ++cycle) {
+      out += "  cycle " + std::to_string(cycle) + ": ";
+      auto it = by_cycle.find(cycle);
+      if (it != by_cycle.end()) {
+        std::sort(it->second.begin(), it->second.end());
+        for (std::size_t i = 0; i < it->second.size(); ++i) {
+          if (i > 0) out += "  ";
+          out += it->second[i];
+        }
+      }
+      out += "\n";
+    }
+  };
+  render_phase("detection phase (NC + RC):",
+               {CopyKind::kNormal, CopyKind::kRedundant},
+               std::max(detection_makespan(), spec.lambda_detection));
+  if (with_recovery_) {
+    render_phase("recovery phase:", {CopyKind::kRecovery},
+                 std::max(recovery_makespan(), spec.lambda_recovery));
+  }
+  return out;
+}
+
+}  // namespace ht::core

@@ -1,0 +1,112 @@
+// Solution model: a complete schedule and binding.
+//
+// Each DFG operation has up to three scheduled copies (the paper's D, D', R
+// variables): its NC copy and RC copy in the detection phase, and its
+// recovery copy. A Binding places one copy at a cycle on one instance of
+// one vendor's core. From the bindings every reported metric of the paper's
+// tables is derived: u (cores instantiated), t (licenses), v (distinct
+// vendors) and mc (minimum purchasing cost).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+
+namespace ht::core {
+
+/// The three scheduled copies of an operation.
+enum class CopyKind {
+  kNormal = 0,     ///< NC: the original computation (paper's D)
+  kRedundant = 1,  ///< RC: the re-computation for detection (paper's D')
+  kRecovery = 2,   ///< recovery-phase re-execution (paper's R)
+};
+
+inline constexpr int kNumCopyKinds = 3;
+
+std::string copy_kind_name(CopyKind kind);
+
+/// Reference to one copy of one operation.
+struct CopyRef {
+  CopyKind kind = CopyKind::kNormal;
+  dfg::OpId op = 0;
+
+  bool operator==(const CopyRef&) const = default;
+  auto operator<=>(const CopyRef&) const = default;
+};
+
+/// Placement of one copy: cycle (1-based within its phase's timeline),
+/// vendor, and instance index of that vendor's core of the op's class.
+struct Binding {
+  int cycle = -1;
+  vendor::VendorId vendor = -1;
+  int instance = -1;
+
+  bool is_set() const { return cycle >= 1 && vendor >= 0 && instance >= 0; }
+  bool operator==(const Binding&) const = default;
+};
+
+/// One physical core: `instance` of `vendor`'s core of class `rc`.
+struct CoreKey {
+  vendor::VendorId vendor = -1;
+  dfg::ResourceClass rc = dfg::ResourceClass::kAdder;
+  int instance = -1;
+
+  auto operator<=>(const CoreKey&) const = default;
+};
+
+/// A license: one purchasable (vendor, class) pair.
+struct LicenseKey {
+  vendor::VendorId vendor = -1;
+  dfg::ResourceClass rc = dfg::ResourceClass::kAdder;
+
+  auto operator<=>(const LicenseKey&) const = default;
+};
+
+/// Complete assignment for a ProblemSpec. The recovery copies are present
+/// only when the spec requests recovery.
+class Solution {
+ public:
+  Solution() = default;
+  Solution(int num_ops, bool with_recovery);
+
+  int num_ops() const { return num_ops_; }
+  bool with_recovery() const { return with_recovery_; }
+
+  Binding& at(CopyRef ref);
+  const Binding& at(CopyRef ref) const;
+  Binding& at(CopyKind kind, dfg::OpId op) { return at(CopyRef{kind, op}); }
+  const Binding& at(CopyKind kind, dfg::OpId op) const {
+    return at(CopyRef{kind, op});
+  }
+
+  /// Copy kinds present under this solution's mode.
+  std::vector<CopyKind> active_kinds() const;
+
+  /// All copy references in (kind, op) order.
+  std::vector<CopyRef> all_copies() const;
+
+  // ---- derived metrics (require the spec for classes/areas/costs) ------
+  std::set<CoreKey> cores_used(const ProblemSpec& spec) const;
+  std::set<LicenseKey> licenses_used(const ProblemSpec& spec) const;
+  std::set<vendor::VendorId> vendors_used(const ProblemSpec& spec) const;
+  long long license_cost(const ProblemSpec& spec) const;
+  long long total_area(const ProblemSpec& spec) const;
+
+  /// Schedule length actually used by the detection phase (max cycle over
+  /// NC and RC copies) / the recovery phase.
+  int detection_makespan() const;
+  int recovery_makespan() const;
+
+  /// Renders the two phase schedules as tables (rows = cycles, entries =
+  /// "op@VenK.instance"), the shape of the paper's Figure 5.
+  std::string to_string(const ProblemSpec& spec) const;
+
+ private:
+  int num_ops_ = 0;
+  bool with_recovery_ = false;
+  std::vector<Binding> bindings_;  // kind-major, 3 * num_ops_
+};
+
+}  // namespace ht::core

@@ -1,0 +1,130 @@
+#include "core/validate.hpp"
+
+#include <map>
+
+namespace ht::core {
+
+std::string ValidationReport::to_string() const {
+  std::string out;
+  for (const std::string& violation : violations) {
+    out += violation + "\n";
+  }
+  return out;
+}
+
+ValidationReport validate_solution(const ProblemSpec& spec,
+                                   const Solution& solution) {
+  ValidationReport report;
+  auto fail = [&](const std::string& message) {
+    report.violations.push_back(message);
+  };
+
+  const int n = spec.graph.num_ops();
+  if (solution.num_ops() != n) {
+    fail("solution op count differs from DFG");
+    return report;
+  }
+  if (solution.with_recovery() != spec.with_recovery) {
+    fail("solution recovery mode differs from spec");
+    return report;
+  }
+
+  auto describe = [&](CopyRef ref) {
+    return copy_kind_name(ref.kind) + ":" + spec.graph.op(ref.op).name;
+  };
+
+  // 1. Completeness, windows, catalog membership (eq. 3 plus domains).
+  for (CopyRef ref : solution.all_copies()) {
+    const Binding& binding = solution.at(ref);
+    if (!binding.is_set()) {
+      fail("unscheduled copy " + describe(ref));
+      continue;
+    }
+    const int lambda = ref.kind == CopyKind::kRecovery
+                           ? spec.lambda_recovery
+                           : spec.lambda_detection;
+    const int finish = binding.cycle + spec.op_latency(ref.op) - 1;
+    if (binding.cycle < 1 || finish > lambda) {
+      fail("copy " + describe(ref) + " occupies cycles [" +
+           std::to_string(binding.cycle) + ", " + std::to_string(finish) +
+           "] outside [1, " + std::to_string(lambda) + "]");
+    }
+    const dfg::ResourceClass rc =
+        dfg::resource_class_of(spec.graph.op(ref.op).type);
+    if (binding.vendor < 0 || binding.vendor >= spec.catalog.num_vendors() ||
+        !spec.catalog.offers(binding.vendor, rc)) {
+      fail("copy " + describe(ref) + " bound to vendor without a " +
+           dfg::resource_class_name(rc) + " offer");
+      continue;
+    }
+    if (binding.instance < 0 || binding.instance >= spec.instance_cap(rc)) {
+      fail("copy " + describe(ref) + " uses instance " +
+           std::to_string(binding.instance) + " beyond the cap");
+    }
+  }
+  if (!report.ok()) return report;  // later checks assume sane bindings
+
+  // 2. Dependence order inside each schedule (eq. 4): a consumer starts
+  // only after its producer has finished (start + latency).
+  for (const auto& [from, to] : spec.graph.edges()) {
+    for (CopyKind kind : solution.active_kinds()) {
+      if (solution.at(kind, from).cycle + spec.op_latency(from) >
+          solution.at(kind, to).cycle) {
+        fail("dependence violated in " + copy_kind_name(kind) + ": " +
+             spec.graph.op(from).name + " !< " + spec.graph.op(to).name);
+      }
+    }
+  }
+
+  // 3. Vendor-diversity rules (eqs. 5-10).
+  for (const VendorConflict& conflict : vendor_conflicts(spec)) {
+    if (solution.at(conflict.a).vendor == solution.at(conflict.b).vendor) {
+      fail("rule " + conflict.rule + " violated: " + describe(conflict.a) +
+           " and " + describe(conflict.b) + " share " +
+           spec.catalog.vendor_name(solution.at(conflict.a).vendor));
+    }
+  }
+
+  // 4. One op per core instance per cycle (eq. 16), over the whole
+  // occupancy interval for multi-cycle units. NC and RC share the
+  // detection timeline; the recovery phase has its own timeline.
+  std::map<std::tuple<int, CoreKey, int>, CopyRef> occupancy;  // phase, core, cycle
+  for (CopyRef ref : solution.all_copies()) {
+    const Binding& binding = solution.at(ref);
+    const int phase = ref.kind == CopyKind::kRecovery ? 1 : 0;
+    const CoreKey core{binding.vendor,
+                       dfg::resource_class_of(spec.graph.op(ref.op).type),
+                       binding.instance};
+    for (int cycle = binding.cycle;
+         cycle < binding.cycle + spec.op_latency(ref.op); ++cycle) {
+      auto [it, inserted] = occupancy.try_emplace({phase, core, cycle}, ref);
+      if (!inserted) {
+        fail("core conflict: " + describe(it->second) + " and " +
+             describe(ref) + " share " +
+             spec.catalog.vendor_name(core.vendor) + " " +
+             dfg::resource_class_name(core.rc) + "#" +
+             std::to_string(core.instance) + " at cycle " +
+             std::to_string(cycle));
+      }
+    }
+  }
+
+  // 5. Area bound (eq. 13).
+  const long long area = solution.total_area(spec);
+  if (area > spec.area_limit) {
+    fail("area " + std::to_string(area) + " exceeds limit " +
+         std::to_string(spec.area_limit));
+  }
+
+  return report;
+}
+
+void require_valid(const ProblemSpec& spec, const Solution& solution) {
+  const ValidationReport report = validate_solution(spec, solution);
+  if (!report.ok()) {
+    throw util::InternalError("solver produced an invalid solution:\n" +
+                              report.to_string());
+  }
+}
+
+}  // namespace ht::core

@@ -1,0 +1,34 @@
+// Independent solution checker.
+//
+// Verifies every constraint of the paper's Section 4 against a Solution:
+// completeness of the schedule, latency windows, dependence order inside
+// each of the three schedules, all vendor-diversity rules, exclusive use of
+// a core instance per cycle (eq. 16), the area bound (eq. 13), and catalog
+// consistency. Both solvers and all tests funnel through this one checker,
+// so a solver bug cannot be masked by a matching checker bug.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "core/solution.hpp"
+
+namespace ht::core {
+
+struct ValidationReport {
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+  std::string to_string() const;
+};
+
+/// Checks `solution` against `spec`; returns all violations found.
+ValidationReport validate_solution(const ProblemSpec& spec,
+                                   const Solution& solution);
+
+/// Convenience: throws util::InternalError listing the violations unless
+/// the solution validates. Solvers call this before returning.
+void require_valid(const ProblemSpec& spec, const Solution& solution);
+
+}  // namespace ht::core

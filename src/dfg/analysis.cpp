@@ -1,0 +1,141 @@
+#include "dfg/analysis.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ht::dfg {
+
+namespace {
+
+void check_latencies(const Dfg& graph, const std::vector<int>& op_latency) {
+  util::check_spec(
+      static_cast<int>(op_latency.size()) == graph.num_ops(),
+      "analysis: op_latency must have one entry per operation");
+  for (int latency : op_latency) {
+    util::check_spec(latency >= 1, "analysis: op latencies must be >= 1");
+  }
+}
+
+}  // namespace
+
+std::vector<int> asap_levels(const Dfg& graph,
+                             const std::vector<int>& op_latency) {
+  check_latencies(graph, op_latency);
+  std::vector<int> level(static_cast<std::size_t>(graph.num_ops()), 1);
+  // Ops are stored in topological order, so one forward pass suffices.
+  for (OpId id = 0; id < graph.num_ops(); ++id) {
+    for (OpId parent : graph.parents(id)) {
+      level[static_cast<std::size_t>(id)] = std::max(
+          level[static_cast<std::size_t>(id)],
+          level[static_cast<std::size_t>(parent)] +
+              op_latency[static_cast<std::size_t>(parent)]);
+    }
+  }
+  return level;
+}
+
+std::vector<int> asap_levels(const Dfg& graph) {
+  return asap_levels(
+      graph, std::vector<int>(static_cast<std::size_t>(graph.num_ops()), 1));
+}
+
+int critical_path_length(const Dfg& graph,
+                         const std::vector<int>& op_latency) {
+  if (graph.num_ops() == 0) return 0;
+  const std::vector<int> asap = asap_levels(graph, op_latency);
+  int finish = 0;
+  for (OpId id = 0; id < graph.num_ops(); ++id) {
+    finish = std::max(finish, asap[static_cast<std::size_t>(id)] +
+                                  op_latency[static_cast<std::size_t>(id)] -
+                                  1);
+  }
+  return finish;
+}
+
+int critical_path_length(const Dfg& graph) {
+  return critical_path_length(
+      graph, std::vector<int>(static_cast<std::size_t>(graph.num_ops()), 1));
+}
+
+std::vector<int> alap_levels(const Dfg& graph, int latency,
+                             const std::vector<int>& op_latency) {
+  check_latencies(graph, op_latency);
+  util::check_spec(latency >= 0, "alap_levels: negative latency");
+  const int needed = critical_path_length(graph, op_latency);
+  if (latency < needed) {
+    throw util::InfeasibleError(
+        "latency bound " + std::to_string(latency) +
+        " is below the critical path length " + std::to_string(needed) +
+        " of DFG '" + graph.name() + "'");
+  }
+  std::vector<int> level(static_cast<std::size_t>(graph.num_ops()), 0);
+  for (OpId id = graph.num_ops() - 1; id >= 0; --id) {
+    // Must finish by the bound...
+    level[static_cast<std::size_t>(id)] =
+        latency - op_latency[static_cast<std::size_t>(id)] + 1;
+    // ...and before every child starts.
+    for (OpId child : graph.children(id)) {
+      level[static_cast<std::size_t>(id)] =
+          std::min(level[static_cast<std::size_t>(id)],
+                   level[static_cast<std::size_t>(child)] -
+                       op_latency[static_cast<std::size_t>(id)]);
+    }
+  }
+  return level;
+}
+
+std::vector<int> alap_levels(const Dfg& graph, int latency) {
+  return alap_levels(
+      graph, latency,
+      std::vector<int>(static_cast<std::size_t>(graph.num_ops()), 1));
+}
+
+Schedulability analyze_schedulability(const Dfg& graph, int latency) {
+  Schedulability result;
+  result.asap = asap_levels(graph);
+  result.alap = alap_levels(graph, latency);
+  result.critical_path_length = critical_path_length(graph);
+  return result;
+}
+
+std::vector<std::pair<OpId, OpId>> sibling_pairs(const Dfg& graph) {
+  std::set<std::pair<OpId, OpId>> unique;
+  for (OpId child = 0; child < graph.num_ops(); ++child) {
+    const std::vector<OpId> parent_list = graph.parents(child);
+    for (std::size_t a = 0; a < parent_list.size(); ++a) {
+      for (std::size_t b = a + 1; b < parent_list.size(); ++b) {
+        OpId lo = std::min(parent_list[a], parent_list[b]);
+        OpId hi = std::max(parent_list[a], parent_list[b]);
+        unique.emplace(lo, hi);
+      }
+    }
+  }
+  return {unique.begin(), unique.end()};
+}
+
+int min_cores_lower_bound(const Dfg& graph, ResourceClass rc, int latency) {
+  util::check_spec(latency > 0, "min_cores_lower_bound: latency must be > 0");
+  const std::vector<int> asap = asap_levels(graph);
+  const std::vector<int> alap = alap_levels(graph, latency);
+  // For every cycle window [a, b], all ops of class rc whose whole ASAP/ALAP
+  // interval lies within the window must execute inside it, so at least
+  // ceil(count / window_length) cores are required.
+  int best = 0;
+  for (int a = 1; a <= latency; ++a) {
+    for (int b = a; b <= latency; ++b) {
+      int count = 0;
+      for (OpId id = 0; id < graph.num_ops(); ++id) {
+        if (resource_class_of(graph.op(id).type) != rc) continue;
+        if (asap[static_cast<std::size_t>(id)] >= a &&
+            alap[static_cast<std::size_t>(id)] <= b) {
+          ++count;
+        }
+      }
+      const int window = b - a + 1;
+      best = std::max(best, (count + window - 1) / window);
+    }
+  }
+  return best;
+}
+
+}  // namespace ht::dfg

@@ -1,0 +1,60 @@
+// Static scheduling analyses on a Dfg.
+//
+// All operations take one cycle, so ASAP/ALAP levels are plain longest-path
+// computations over the dependence DAG. Cycles are 1-based throughout the
+// repository to match the paper's formulation (steps l = 1..lambda).
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace ht::dfg {
+
+/// Per-op scheduling freedom under a latency bound.
+struct Schedulability {
+  std::vector<int> asap;      ///< earliest cycle (1-based)
+  std::vector<int> alap;      ///< latest cycle (1-based) for the given bound
+  int critical_path_length;   ///< cycles needed with unlimited resources
+};
+
+/// Earliest start cycle of every op (1-based longest path from sources).
+std::vector<int> asap_levels(const Dfg& graph);
+
+/// Latest start cycle of every op such that all finish by `latency` cycles.
+/// Throws util::InfeasibleError if `latency` is below the critical path.
+std::vector<int> alap_levels(const Dfg& graph, int latency);
+
+// ---- weighted variants: per-op execution latencies (multi-cycle units) ---
+
+/// Earliest start cycles when op i takes `op_latency[i]` cycles: a child
+/// may start once every parent has *finished* (parent start + its latency).
+std::vector<int> asap_levels(const Dfg& graph,
+                             const std::vector<int>& op_latency);
+
+/// Latest start cycles such that op i finishes (start + op_latency[i] - 1)
+/// by `latency`. Throws util::InfeasibleError when the weighted critical
+/// path exceeds the bound.
+std::vector<int> alap_levels(const Dfg& graph, int latency,
+                             const std::vector<int>& op_latency);
+
+/// Weighted critical path: cycles needed with unlimited resources.
+int critical_path_length(const Dfg& graph,
+                         const std::vector<int>& op_latency);
+
+/// ASAP + ALAP + critical path in one call.
+Schedulability analyze_schedulability(const Dfg& graph, int latency);
+
+/// Length of the longest dependence chain, in cycles (0 for an empty graph).
+int critical_path_length(const Dfg& graph);
+
+/// All unordered pairs (i, j), i < j, that feed the same child operation —
+/// the "provide inputs to the same operation" pairs of detection Rule 2.
+std::vector<std::pair<OpId, OpId>> sibling_pairs(const Dfg& graph);
+
+/// Minimum number of cores of `rc` needed to meet `latency` (a simple
+/// bin-packing lower bound: ceil(ops_of_class / latency) refined by ASAP/ALAP
+/// interval density). Used by the heuristic solver for initial allocation.
+int min_cores_lower_bound(const Dfg& graph, ResourceClass rc, int latency);
+
+}  // namespace ht::dfg

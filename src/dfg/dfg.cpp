@@ -1,0 +1,186 @@
+#include "dfg/dfg.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace ht::dfg {
+
+ResourceClass resource_class_of(OpType type) {
+  switch (type) {
+    case OpType::kAdd:
+    case OpType::kSub:
+      return ResourceClass::kAdder;
+    case OpType::kMul:
+    case OpType::kDiv:
+      return ResourceClass::kMultiplier;
+    case OpType::kShl:
+    case OpType::kShr:
+    case OpType::kAnd:
+    case OpType::kOr:
+    case OpType::kXor:
+    case OpType::kLt:
+    case OpType::kMax:
+    case OpType::kMin:
+      return ResourceClass::kAlu;
+  }
+  throw util::InternalError("resource_class_of: unknown OpType");
+}
+
+std::string op_type_name(OpType type) {
+  switch (type) {
+    case OpType::kAdd:
+      return "add";
+    case OpType::kSub:
+      return "sub";
+    case OpType::kMul:
+      return "mul";
+    case OpType::kDiv:
+      return "div";
+    case OpType::kShl:
+      return "shl";
+    case OpType::kShr:
+      return "shr";
+    case OpType::kAnd:
+      return "and";
+    case OpType::kOr:
+      return "or";
+    case OpType::kXor:
+      return "xor";
+    case OpType::kLt:
+      return "lt";
+    case OpType::kMax:
+      return "max";
+    case OpType::kMin:
+      return "min";
+  }
+  throw util::InternalError("op_type_name: unknown OpType");
+}
+
+std::string resource_class_name(ResourceClass rc) {
+  switch (rc) {
+    case ResourceClass::kAdder:
+      return "adder";
+    case ResourceClass::kMultiplier:
+      return "multiplier";
+    case ResourceClass::kAlu:
+      return "alu";
+  }
+  throw util::InternalError("resource_class_name: unknown class");
+}
+
+Operand Dfg::add_input(std::string name) {
+  input_names_.push_back(std::move(name));
+  return Operand::input(static_cast<int>(input_names_.size()) - 1);
+}
+
+OpId Dfg::add_op(OpType type, Operand a, Operand b, std::string name) {
+  auto check_operand = [&](const Operand& operand) {
+    switch (operand.kind) {
+      case Operand::Kind::kOp:
+        util::check_spec(operand.index >= 0 && operand.index < num_ops(),
+                         "Dfg::add_op: operand references a not-yet-created "
+                         "operation (graphs are append-only / acyclic)");
+        break;
+      case Operand::Kind::kInput:
+        util::check_spec(operand.index >= 0 && operand.index < num_inputs(),
+                         "Dfg::add_op: operand references unknown input");
+        break;
+      case Operand::Kind::kConst:
+        break;
+    }
+  };
+  check_operand(a);
+  check_operand(b);
+  if (name.empty()) {
+    name = op_type_name(type) + std::to_string(ops_.size());
+  }
+  ops_.push_back(Operation{type, {a, b}, std::move(name)});
+  return static_cast<OpId>(ops_.size()) - 1;
+}
+
+void Dfg::mark_output(OpId id) {
+  util::check_spec(id >= 0 && id < num_ops(),
+                   "Dfg::mark_output: unknown op id");
+  if (std::find(outputs_.begin(), outputs_.end(), id) == outputs_.end()) {
+    outputs_.push_back(id);
+  }
+}
+
+const Operation& Dfg::op(OpId id) const {
+  util::check_spec(id >= 0 && id < num_ops(), "Dfg::op: id out of range");
+  return ops_[static_cast<std::size_t>(id)];
+}
+
+std::vector<std::pair<OpId, OpId>> Dfg::edges() const {
+  std::set<std::pair<OpId, OpId>> unique;
+  for (OpId to = 0; to < num_ops(); ++to) {
+    for (const Operand& operand : ops_[static_cast<std::size_t>(to)].inputs) {
+      if (operand.kind == Operand::Kind::kOp) {
+        unique.emplace(operand.index, to);
+      }
+    }
+  }
+  return {unique.begin(), unique.end()};
+}
+
+std::vector<OpId> Dfg::parents(OpId id) const {
+  const Operation& operation = op(id);
+  std::vector<OpId> out;
+  for (const Operand& operand : operation.inputs) {
+    if (operand.kind == Operand::Kind::kOp &&
+        std::find(out.begin(), out.end(), operand.index) == out.end()) {
+      out.push_back(operand.index);
+    }
+  }
+  return out;
+}
+
+std::vector<OpId> Dfg::children(OpId id) const {
+  util::check_spec(id >= 0 && id < num_ops(), "Dfg::children: id out of range");
+  std::vector<OpId> out;
+  for (OpId to = 0; to < num_ops(); ++to) {
+    for (const Operand& operand : ops_[static_cast<std::size_t>(to)].inputs) {
+      if (operand.kind == Operand::Kind::kOp && operand.index == id) {
+        out.push_back(to);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::array<int, kNumResourceClasses> Dfg::ops_per_class() const {
+  std::array<int, kNumResourceClasses> counts{};
+  for (const Operation& operation : ops_) {
+    counts[static_cast<int>(resource_class_of(operation.type))]++;
+  }
+  return counts;
+}
+
+void Dfg::validate() const {
+  for (OpId id = 0; id < num_ops(); ++id) {
+    for (const Operand& operand : ops_[static_cast<std::size_t>(id)].inputs) {
+      switch (operand.kind) {
+        case Operand::Kind::kOp:
+          util::check_spec(
+              operand.index >= 0 && operand.index < id,
+              "Dfg::validate: op " + std::to_string(id) +
+                  " references op " + std::to_string(operand.index) +
+                  " which is not strictly earlier (acyclicity violated)");
+          break;
+        case Operand::Kind::kInput:
+          util::check_spec(operand.index >= 0 && operand.index < num_inputs(),
+                           "Dfg::validate: dangling input reference");
+          break;
+        case Operand::Kind::kConst:
+          break;
+      }
+    }
+  }
+  for (OpId id : outputs_) {
+    util::check_spec(id >= 0 && id < num_ops(),
+                     "Dfg::validate: dangling output reference");
+  }
+}
+
+}  // namespace ht::dfg

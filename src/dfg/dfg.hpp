@@ -1,0 +1,152 @@
+// Data-flow graph (DFG) intermediate representation.
+//
+// The paper schedules and binds the operations of a behavioral DFG (as
+// produced by an HLS front end such as GAUT) onto IP cores. This IR models
+// exactly what that flow needs:
+//
+//   * operations are binary (two operands), typed (add/sub/mul/...), and take
+//     one cycle on any core of the matching resource class;
+//   * operands are either outputs of other operations, named primary inputs,
+//     or integer constants — the operand *ordering* matters because the
+//     run-time simulator (ht_trojan) executes the DFG functionally;
+//   * the dependence edges required by scheduling are derived from operands.
+//
+// Graphs are built through Dfg's append-only API which keeps the operation
+// list topologically ordered by construction (an operand may only reference
+// an already-created operation), making cycles unrepresentable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ht::dfg {
+
+/// Functional kind of an operation. This drives both simulation semantics
+/// and the hardware resource class the operation must be bound to.
+enum class OpType {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kShl,   // left shift (by constant amounts in our benchmarks)
+  kShr,   // arithmetic right shift
+  kAnd,
+  kOr,
+  kXor,
+  kLt,    // signed less-than, yields 0/1
+  kMax,
+  kMin,
+};
+
+/// Hardware resource class: the kind of IP core that can execute an op.
+/// Matches the paper's Section 5 setup of "multipliers, adders and other
+/// operators" (three types of computational IPs per vendor).
+enum class ResourceClass { kAdder = 0, kMultiplier = 1, kAlu = 2 };
+
+inline constexpr int kNumResourceClasses = 3;
+
+/// Resource class an OpType executes on. Adds/subtracts map to adders,
+/// multiplies/divides to multipliers, everything else to the generic ALU.
+ResourceClass resource_class_of(OpType type);
+
+/// Short mnemonic, e.g. "mul"; used in DOT export and trace printing.
+std::string op_type_name(OpType type);
+
+/// Human-readable class name: "adder" / "multiplier" / "alu".
+std::string resource_class_name(ResourceClass rc);
+
+/// Index of an operation inside its Dfg (dense, 0-based).
+using OpId = int;
+
+/// One operand of an operation.
+struct Operand {
+  enum class Kind {
+    kOp,     ///< output of operation `index`
+    kInput,  ///< primary input `index`
+    kConst,  ///< immediate `value`
+  };
+
+  Kind kind = Kind::kConst;
+  int index = 0;            ///< op id or primary-input id (kOp / kInput)
+  std::int64_t value = 0;   ///< immediate (kConst)
+
+  static Operand op(OpId id) { return {Kind::kOp, id, 0}; }
+  static Operand input(int input_id) { return {Kind::kInput, input_id, 0}; }
+  static Operand constant(std::int64_t v) { return {Kind::kConst, 0, v}; }
+
+  bool operator==(const Operand&) const = default;
+};
+
+/// A single-cycle binary operation.
+struct Operation {
+  OpType type = OpType::kAdd;
+  std::array<Operand, 2> inputs{};
+  std::string name;  ///< optional label for diagnostics / DOT
+};
+
+/// Append-only DFG. See file comment for the invariants.
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Declares a primary input and returns an operand referring to it.
+  Operand add_input(std::string name);
+
+  /// Appends an operation; both operands must reference existing ops/inputs.
+  OpId add_op(OpType type, Operand a, Operand b, std::string name = "");
+
+  /// Marks an operation's result as a primary output of the graph.
+  void mark_output(OpId id);
+
+  // ---- convenience builders -------------------------------------------
+  OpId add(Operand a, Operand b, std::string name = "") {
+    return add_op(OpType::kAdd, a, b, std::move(name));
+  }
+  OpId sub(Operand a, Operand b, std::string name = "") {
+    return add_op(OpType::kSub, a, b, std::move(name));
+  }
+  OpId mul(Operand a, Operand b, std::string name = "") {
+    return add_op(OpType::kMul, a, b, std::move(name));
+  }
+
+  // ---- accessors --------------------------------------------------------
+  int num_ops() const { return static_cast<int>(ops_.size()); }
+  int num_inputs() const { return static_cast<int>(input_names_.size()); }
+  const Operation& op(OpId id) const;
+  const std::vector<Operation>& ops() const { return ops_; }
+  const std::vector<std::string>& input_names() const { return input_names_; }
+  const std::vector<OpId>& outputs() const { return outputs_; }
+
+  /// Dependence edges (from, to): `to` consumes the output of `from`.
+  /// Derived from operands; duplicates are collapsed.
+  std::vector<std::pair<OpId, OpId>> edges() const;
+
+  /// Ops whose output is consumed by `id` (0, 1 or 2 entries, deduplicated).
+  std::vector<OpId> parents(OpId id) const;
+
+  /// Ops consuming the output of `id`.
+  std::vector<OpId> children(OpId id) const;
+
+  /// Number of operations per resource class.
+  std::array<int, kNumResourceClasses> ops_per_class() const;
+
+  /// Throws util::SpecError when internal references are out of range
+  /// (cannot happen through the builder API; guards hand-rolled graphs).
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Operation> ops_;
+  std::vector<std::string> input_names_;
+  std::vector<OpId> outputs_;
+};
+
+}  // namespace ht::dfg

@@ -1,0 +1,47 @@
+#include "dfg/dot.hpp"
+
+#include <algorithm>
+
+namespace ht::dfg {
+
+std::string to_dot(const Dfg& graph) {
+  std::string out = "digraph \"" + graph.name() + "\" {\n";
+  out += "  rankdir=TB;\n";
+  for (int i = 0; i < graph.num_inputs(); ++i) {
+    out += "  in" + std::to_string(i) + " [shape=box,label=\"" +
+           graph.input_names()[static_cast<std::size_t>(i)] + "\"];\n";
+  }
+  const auto& outputs = graph.outputs();
+  for (OpId id = 0; id < graph.num_ops(); ++id) {
+    const Operation& operation = graph.op(id);
+    const bool is_output =
+        std::find(outputs.begin(), outputs.end(), id) != outputs.end();
+    out += "  op" + std::to_string(id) + " [shape=" +
+           (is_output ? "doublecircle" : "ellipse") + ",label=\"" +
+           operation.name + ":" + op_type_name(operation.type) + "\"];\n";
+  }
+  for (OpId id = 0; id < graph.num_ops(); ++id) {
+    const Operation& operation = graph.op(id);
+    for (std::size_t port = 0; port < operation.inputs.size(); ++port) {
+      const Operand& operand = operation.inputs[port];
+      switch (operand.kind) {
+        case Operand::Kind::kOp:
+          out += "  op" + std::to_string(operand.index) + " -> op" +
+                 std::to_string(id) + ";\n";
+          break;
+        case Operand::Kind::kInput:
+          out += "  in" + std::to_string(operand.index) + " -> op" +
+                 std::to_string(id) + ";\n";
+          break;
+        case Operand::Kind::kConst:
+          // Constants are folded into the node label space; omit from DOT to
+          // keep benchmark graphs readable.
+          break;
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ht::dfg

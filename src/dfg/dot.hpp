@@ -1,0 +1,15 @@
+// Graphviz DOT export for DFGs (and, in ht_core, for bound schedules).
+#pragma once
+
+#include <string>
+
+#include "dfg/dfg.hpp"
+
+namespace ht::dfg {
+
+/// Renders the dependence structure of `graph` as a DOT digraph. Primary
+/// inputs appear as boxes, operations as ellipses labeled "name:type",
+/// primary outputs as double circles.
+std::string to_dot(const Dfg& graph);
+
+}  // namespace ht::dfg

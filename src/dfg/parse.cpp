@@ -1,0 +1,171 @@
+#include "dfg/parse.hpp"
+
+#include <map>
+#include <optional>
+
+#include "util/strings.hpp"
+
+namespace ht::dfg {
+namespace {
+
+std::optional<OpType> op_type_from_name(std::string_view name) {
+  static const std::map<std::string, OpType, std::less<>> table = {
+      {"add", OpType::kAdd}, {"sub", OpType::kSub}, {"mul", OpType::kMul},
+      {"div", OpType::kDiv}, {"shl", OpType::kShl}, {"shr", OpType::kShr},
+      {"and", OpType::kAnd}, {"or", OpType::kOr},   {"xor", OpType::kXor},
+      {"lt", OpType::kLt},   {"max", OpType::kMax}, {"min", OpType::kMin},
+  };
+  const auto it = table.find(name);
+  if (it == table.end()) return std::nullopt;
+  return it->second;
+}
+
+bool is_integer_literal(const std::string& token) {
+  if (token.empty()) return false;
+  std::size_t start = token[0] == '-' ? 1 : 0;
+  if (start == token.size()) return false;
+  for (std::size_t i = start; i < token.size(); ++i) {
+    if (token[i] < '0' || token[i] > '9') return false;
+  }
+  return true;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw util::SpecError("dfg parse error at line " + std::to_string(line) +
+                        ": " + message);
+}
+
+/// Tokenizes one line (comments stripped) into whitespace-separated words.
+std::vector<std::string> tokenize(std::string_view line) {
+  const std::size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char ch : line) {
+    if (ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace
+
+Dfg parse_dfg(std::string_view text) {
+  Dfg graph;
+  bool named = false;
+  std::map<std::string, Operand> symbols;
+  std::map<std::string, OpId> op_names;
+  std::vector<std::pair<int, std::string>> pending_outputs;
+
+  int line_number = 0;
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    const std::vector<std::string> tokens = tokenize(raw_line);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "dfg") {
+      if (tokens.size() != 2) fail(line_number, "expected: dfg <name>");
+      if (named) fail(line_number, "duplicate dfg header");
+      graph.set_name(tokens[1]);
+      named = true;
+      continue;
+    }
+    if (tokens[0] == "input") {
+      if (tokens.size() < 2) fail(line_number, "expected: input <names...>");
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (symbols.count(tokens[i])) {
+          fail(line_number, "redefinition of '" + tokens[i] + "'");
+        }
+        symbols.emplace(tokens[i], graph.add_input(tokens[i]));
+      }
+      continue;
+    }
+    if (tokens[0] == "output") {
+      if (tokens.size() < 2) fail(line_number, "expected: output <names...>");
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        pending_outputs.emplace_back(line_number, tokens[i]);
+      }
+      continue;
+    }
+
+    // Operation statement: <name> = <op> <a> <b>
+    if (tokens.size() != 5 || tokens[1] != "=") {
+      fail(line_number, "expected: <name> = <op> <a> <b>");
+    }
+    const std::string& name = tokens[0];
+    if (symbols.count(name)) {
+      fail(line_number, "redefinition of '" + name + "'");
+    }
+    const std::optional<OpType> type = op_type_from_name(tokens[2]);
+    if (!type) fail(line_number, "unknown operation '" + tokens[2] + "'");
+
+    auto resolve = [&](const std::string& token) -> Operand {
+      if (is_integer_literal(token)) {
+        return Operand::constant(std::stoll(token));
+      }
+      const auto it = symbols.find(token);
+      if (it == symbols.end()) {
+        fail(line_number, "use of undefined name '" + token + "'");
+      }
+      return it->second;
+    };
+    const Operand a = resolve(tokens[3]);
+    const Operand b = resolve(tokens[4]);
+    const OpId id = graph.add_op(*type, a, b, name);
+    symbols.emplace(name, Operand::op(id));
+    op_names.emplace(name, id);
+  }
+
+  for (const auto& [line, name] : pending_outputs) {
+    const auto it = op_names.find(name);
+    if (it == op_names.end()) {
+      fail(line, "output '" + name + "' is not an operation");
+    }
+    graph.mark_output(it->second);
+  }
+  util::check_spec(graph.num_ops() > 0, "dfg parse error: no operations");
+  util::check_spec(!graph.outputs().empty(),
+                   "dfg parse error: no outputs declared");
+  graph.validate();
+  return graph;
+}
+
+std::string to_text(const Dfg& graph) {
+  std::string out = "dfg " + (graph.name().empty() ? "unnamed" : graph.name()) +
+                    "\n";
+  if (graph.num_inputs() > 0) {
+    out += "input";
+    for (const std::string& name : graph.input_names()) out += " " + name;
+    out += "\n";
+  }
+  auto operand_text = [&](const Operand& operand) -> std::string {
+    switch (operand.kind) {
+      case Operand::Kind::kOp:
+        return graph.op(operand.index).name;
+      case Operand::Kind::kInput:
+        return graph.input_names()[static_cast<std::size_t>(operand.index)];
+      case Operand::Kind::kConst:
+        return std::to_string(operand.value);
+    }
+    throw util::InternalError("to_text: unknown operand kind");
+  };
+  for (OpId id = 0; id < graph.num_ops(); ++id) {
+    const Operation& operation = graph.op(id);
+    out += operation.name + " = " + op_type_name(operation.type) + " " +
+           operand_text(operation.inputs[0]) + " " +
+           operand_text(operation.inputs[1]) + "\n";
+  }
+  if (!graph.outputs().empty()) {
+    out += "output";
+    for (OpId id : graph.outputs()) out += " " + graph.op(id).name;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ht::dfg

@@ -1,0 +1,35 @@
+// Textual DFG format parser — the front door for users who are not
+// constructing graphs through the C++ builder (and for the thls CLI).
+//
+// Format (one statement per line, '#' starts a comment):
+//
+//     dfg polynom
+//     input a b c d e
+//     m1 = mul a b
+//     m2 = mul c d
+//     s1 = add m1 m2
+//     m3 = mul m2 e
+//     s2 = add s1 m3
+//     output s2
+//
+// Operations: add sub mul div shl shr and or xor lt max min.
+// Operands are previously defined op names, declared inputs, or integer
+// literals. Every name must be defined before use (DFGs are acyclic).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dfg/dfg.hpp"
+
+namespace ht::dfg {
+
+/// Parses the format above; throws util::SpecError with a line number on
+/// any syntax or reference error.
+Dfg parse_dfg(std::string_view text);
+
+/// Renders a Dfg back into the textual format (round-trips with
+/// parse_dfg up to whitespace). Constants appear inline as literals.
+std::string to_text(const Dfg& graph);
+
+}  // namespace ht::dfg

@@ -1,0 +1,192 @@
+#include "ilp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace ht::ilp {
+namespace {
+
+bool objective_is_integral(const Model& model) {
+  for (const Variable& v : model.variables()) {
+    if (v.objective != std::round(v.objective)) return false;
+    if (v.kind == VarKind::kContinuous && v.objective != 0.0) return false;
+  }
+  return true;
+}
+
+struct Frame {
+  int var = -1;        // branched variable (-1 for root)
+  double lower = 0.0;  // bounds this frame imposes
+  double upper = 0.0;
+  double saved_lower = 0.0;  // bounds to restore on unwind
+  double saved_upper = 0.0;
+  int children_tried = 0;    // 0 = none, 1 = first child done, 2 = both
+  double branch_value = 0.0; // fractional LP value we branched on
+};
+
+}  // namespace
+
+SolveResult solve_branch_and_bound(const Model& model,
+                                   const BnbOptions& options) {
+  util::Timer timer;
+  SolveResult result;
+  lp::LpProblem relaxation = model.relaxation();
+  const bool integral_objective = objective_is_integral(model);
+
+  bool have_incumbent = false;
+  double incumbent_value = 0.0;
+  std::vector<double> incumbent;
+
+  bool exhausted = true;  // search completed without hitting a limit
+
+  // Explicit DFS stack. Each entry owns one bound change on `relaxation`.
+  std::vector<Frame> stack;
+
+  // Process one node: solve LP under current bounds and either prune,
+  // record an incumbent, or push a child frame. Returns false when the
+  // subtree is finished (caller should unwind).
+  auto explore = [&]() -> bool {
+    ++result.stats.nodes;
+    lp::LpResult lp_result = lp::solve(relaxation, options.lp_options);
+    result.stats.lp_iterations += lp_result.iterations;
+    if (lp_result.status == lp::LpStatus::kInfeasible) return false;
+    if (lp_result.status == lp::LpStatus::kIterationLimit) {
+      exhausted = false;  // cannot trust the subtree; treat as unexplored
+      return false;
+    }
+    util::check_internal(lp_result.status == lp::LpStatus::kOptimal,
+                         "bnb: bounded binary model reported unbounded");
+
+    double bound = lp_result.objective;
+    if (integral_objective) {
+      bound = std::ceil(bound - 1e-6);
+    }
+    const double cutoff = have_incumbent
+                              ? incumbent_value
+                              : options.initial_upper_bound;
+    if (bound >= cutoff - 1e-9) return false;
+
+    // Most fractional integer variable. Variables with a non-zero
+    // objective coefficient (the delta license indicators in the paper's
+    // formulation) take priority: fixing them collapses the cost bound far
+    // faster than fixing schedule variables.
+    int branch_var = -1;
+    double best_frac_distance = options.integrality_tol;
+    bool best_has_cost = false;
+    for (int v = 0; v < model.num_variables(); ++v) {
+      const Variable& var = model.variable(v);
+      if (var.kind == VarKind::kContinuous) continue;
+      const double value = lp_result.values[static_cast<std::size_t>(v)];
+      const double distance = std::abs(value - std::round(value));
+      if (distance <= options.integrality_tol) continue;
+      const bool has_cost = var.objective != 0.0;
+      const bool better =
+          branch_var < 0 || (has_cost && !best_has_cost) ||
+          (has_cost == best_has_cost &&
+           std::abs(distance - 0.5) < std::abs(best_frac_distance - 0.5));
+      if (better) {
+        branch_var = v;
+        best_frac_distance = distance;
+        best_has_cost = has_cost;
+      }
+    }
+
+    if (branch_var < 0) {
+      // Integral LP optimum: new incumbent.
+      if (!have_incumbent || lp_result.objective < incumbent_value - 1e-9) {
+        have_incumbent = true;
+        incumbent_value = lp_result.objective;
+        incumbent = lp_result.values;
+        for (int v = 0; v < model.num_variables(); ++v) {
+          if (model.variable(v).kind != VarKind::kContinuous) {
+            incumbent[static_cast<std::size_t>(v)] =
+                std::round(lp_result.values[static_cast<std::size_t>(v)]);
+          } else {
+            incumbent[static_cast<std::size_t>(v)] =
+                lp_result.values[static_cast<std::size_t>(v)];
+          }
+        }
+      }
+      return false;
+    }
+
+    // Push a child frame for branch_var.
+    Frame frame;
+    frame.var = branch_var;
+    frame.saved_lower = relaxation.lower(branch_var);
+    frame.saved_upper = relaxation.upper(branch_var);
+    frame.branch_value = lp_result.values[static_cast<std::size_t>(branch_var)];
+    stack.push_back(frame);
+    return true;
+  };
+
+  // Applies the next untried child of the top frame; false if both tried.
+  auto descend_child = [&]() -> bool {
+    Frame& frame = stack.back();
+    const double floor_value = std::floor(frame.branch_value);
+    const double frac = frame.branch_value - floor_value;
+    // Nearest-integer child first.
+    const bool down_first = frac < 0.5;
+    int child = frame.children_tried;
+    if (child >= 2) return false;
+    ++frame.children_tried;
+    const bool take_down = (child == 0) == down_first;
+    if (take_down) {
+      relaxation.set_bounds(frame.var, frame.saved_lower, floor_value);
+    } else {
+      relaxation.set_bounds(frame.var, floor_value + 1.0, frame.saved_upper);
+    }
+    return true;
+  };
+
+  // Root.
+  bool descending = explore();
+  while (!stack.empty()) {
+    if (timer.elapsed_seconds() > options.time_limit_seconds ||
+        result.stats.nodes > options.max_nodes ||
+        (options.first_feasible_only && have_incumbent)) {
+      exhausted = false;
+      break;
+    }
+    if (descending) {
+      if (descend_child()) {
+        descending = explore();
+      } else {
+        // Both children done: restore bounds and unwind.
+        Frame& frame = stack.back();
+        relaxation.set_bounds(frame.var, frame.saved_lower, frame.saved_upper);
+        stack.pop_back();
+        descending = false;
+      }
+    } else {
+      // Came back up: try the sibling of the top frame.
+      Frame& frame = stack.back();
+      // Restore before applying the other child's bounds.
+      relaxation.set_bounds(frame.var, frame.saved_lower, frame.saved_upper);
+      if (descend_child()) {
+        descending = explore();
+      } else {
+        stack.pop_back();
+        descending = false;
+      }
+    }
+  }
+
+  result.stats.seconds = timer.elapsed_seconds();
+  if (have_incumbent) {
+    result.objective = incumbent_value;
+    result.values = incumbent;
+    result.status = exhausted && stack.empty() ? SolveStatus::kOptimal
+                                               : SolveStatus::kFeasible;
+    if (options.first_feasible_only) result.status = SolveStatus::kFeasible;
+  } else {
+    result.status = exhausted && stack.empty() ? SolveStatus::kInfeasible
+                                               : SolveStatus::kUnknown;
+  }
+  return result;
+}
+
+}  // namespace ht::ilp

@@ -1,0 +1,34 @@
+// LP-relaxation branch & bound for 0-1 / integer models.
+//
+// Depth-first search; each node re-solves the LP relaxation with tightened
+// variable bounds, prunes on infeasibility and on bound >= incumbent, and
+// branches on the most fractional integer variable (nearest-integer child
+// first). When every objective coefficient is integral the bound is rounded
+// up, which prunes aggressively on the paper's dollar-valued objectives.
+#pragma once
+
+#include <limits>
+
+#include "ilp/model.hpp"
+
+namespace ht::ilp {
+
+struct BnbOptions {
+  double time_limit_seconds = 120.0;
+  long max_nodes = 5'000'000;
+  double integrality_tol = 1e-6;
+  lp::SimplexOptions lp_options{};
+  /// Stop as soon as any feasible incumbent is found (used for feasibility
+  /// probing rather than optimization).
+  bool first_feasible_only = false;
+  /// Known upper bound on the optimum (e.g. from a warm-start heuristic):
+  /// subtrees whose LP bound reaches it are pruned. If the search then
+  /// exhausts without an incumbent, kInfeasible means "nothing strictly
+  /// better than the bound exists".
+  double initial_upper_bound = std::numeric_limits<double>::infinity();
+};
+
+SolveResult solve_branch_and_bound(const Model& model,
+                                   const BnbOptions& options = {});
+
+}  // namespace ht::ilp

@@ -1,0 +1,59 @@
+#include "ilp/brute_force.hpp"
+
+#include <cmath>
+
+#include "util/timer.hpp"
+
+namespace ht::ilp {
+
+SolveResult solve_brute_force(const Model& model,
+                              const BruteForceOptions& options) {
+  util::Timer timer;
+  // Verify domain sizes and the total search-space bound.
+  long long total = 1;
+  std::vector<int> domain_sizes;
+  for (const Variable& v : model.variables()) {
+    util::check_spec(v.kind != VarKind::kContinuous,
+                     "solve_brute_force: continuous variables unsupported");
+    const long long size =
+        static_cast<long long>(std::floor(v.upper)) -
+        static_cast<long long>(std::ceil(v.lower)) + 1;
+    util::check_spec(size >= 1, "solve_brute_force: empty variable domain");
+    domain_sizes.push_back(static_cast<int>(size));
+    if (total > options.max_assignments / size) {
+      throw util::SpecError(
+          "solve_brute_force: search space exceeds max_assignments");
+    }
+    total *= size;
+  }
+
+  SolveResult result;
+  std::vector<double> assignment(model.variables().size(), 0.0);
+  std::vector<int> counters(model.variables().size(), 0);
+  bool found = false;
+  for (long long step = 0; step < total; ++step) {
+    for (std::size_t v = 0; v < assignment.size(); ++v) {
+      assignment[v] = std::ceil(model.variable(static_cast<int>(v)).lower) +
+                      counters[v];
+    }
+    ++result.stats.nodes;
+    if (model.is_feasible(assignment)) {
+      const double objective = model.objective_value(assignment);
+      if (!found || objective < result.objective) {
+        found = true;
+        result.objective = objective;
+        result.values = assignment;
+      }
+    }
+    // Odometer increment.
+    for (std::size_t v = 0; v < counters.size(); ++v) {
+      if (++counters[v] < domain_sizes[v]) break;
+      counters[v] = 0;
+    }
+  }
+  result.status = found ? SolveStatus::kOptimal : SolveStatus::kInfeasible;
+  result.stats.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace ht::ilp

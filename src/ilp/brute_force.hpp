@@ -1,0 +1,22 @@
+// Exhaustive reference solver for tiny models.
+//
+// Exists to certify the branch & bound: tests solve randomly generated small
+// models with both and require identical optima. Refuses models whose
+// search space exceeds `max_assignments`.
+#pragma once
+
+#include "ilp/model.hpp"
+
+namespace ht::ilp {
+
+struct BruteForceOptions {
+  /// Hard cap on the number of integer assignments enumerated.
+  long long max_assignments = 1 << 24;
+};
+
+/// Enumerates every integral assignment (continuous variables are not
+/// supported) and returns the best feasible one.
+SolveResult solve_brute_force(const Model& model,
+                              const BruteForceOptions& options = {});
+
+}  // namespace ht::ilp

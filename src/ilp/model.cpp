@@ -1,0 +1,113 @@
+#include "ilp/model.hpp"
+
+#include <cmath>
+
+namespace ht::ilp {
+
+int Model::add_binary(std::string name, double objective) {
+  if (name.empty()) name = "b" + std::to_string(variables_.size());
+  variables_.push_back(
+      Variable{VarKind::kBinary, 0.0, 1.0, objective, std::move(name)});
+  return num_variables() - 1;
+}
+
+int Model::add_integer(double lower, double upper, std::string name,
+                       double objective) {
+  util::check_spec(lower <= upper, "Model: lower bound exceeds upper");
+  if (name.empty()) name = "i" + std::to_string(variables_.size());
+  variables_.push_back(
+      Variable{VarKind::kInteger, lower, upper, objective, std::move(name)});
+  return num_variables() - 1;
+}
+
+int Model::add_continuous(double lower, double upper, std::string name,
+                          double objective) {
+  util::check_spec(lower <= upper, "Model: lower bound exceeds upper");
+  if (name.empty()) name = "c" + std::to_string(variables_.size());
+  variables_.push_back(Variable{VarKind::kContinuous, lower, upper, objective,
+                                std::move(name)});
+  return num_variables() - 1;
+}
+
+void Model::add_constraint(std::vector<std::pair<int, double>> terms,
+                           lp::Relation rel, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    (void)coeff;
+    util::check_spec(var >= 0 && var < num_variables(),
+                     "Model: constraint references unknown variable");
+  }
+  rows_.push_back(lp::Constraint{std::move(terms), rel, rhs});
+}
+
+const Variable& Model::variable(int index) const {
+  util::check_spec(index >= 0 && index < num_variables(),
+                   "Model: variable index out of range");
+  return variables_[static_cast<std::size_t>(index)];
+}
+
+lp::LpProblem Model::relaxation() const {
+  lp::LpProblem problem;
+  for (const Variable& v : variables_) {
+    problem.add_variable(v.lower, v.upper, v.objective, v.name);
+  }
+  for (const lp::Constraint& row : rows_) {
+    problem.add_constraint(row.terms, row.rel, row.rhs);
+  }
+  return problem;
+}
+
+bool Model::is_feasible(const std::vector<double>& values, double tol) const {
+  if (values.size() != variables_.size()) return false;
+  for (int v = 0; v < num_variables(); ++v) {
+    const Variable& var = variables_[static_cast<std::size_t>(v)];
+    const double value = values[static_cast<std::size_t>(v)];
+    if (value < var.lower - tol || value > var.upper + tol) return false;
+    if (var.kind != VarKind::kContinuous &&
+        std::abs(value - std::round(value)) > tol) {
+      return false;
+    }
+  }
+  for (const lp::Constraint& row : rows_) {
+    double lhs = 0.0;
+    for (const auto& [var, coeff] : row.terms) {
+      lhs += coeff * values[static_cast<std::size_t>(var)];
+    }
+    switch (row.rel) {
+      case lp::Relation::kLe:
+        if (lhs > row.rhs + tol) return false;
+        break;
+      case lp::Relation::kGe:
+        if (lhs < row.rhs - tol) return false;
+        break;
+      case lp::Relation::kEq:
+        if (std::abs(lhs - row.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+double Model::objective_value(const std::vector<double>& values) const {
+  double total = 0.0;
+  for (int v = 0; v < num_variables(); ++v) {
+    total += variables_[static_cast<std::size_t>(v)].objective *
+             values[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+std::string to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kFeasible:
+      return "feasible";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+}  // namespace ht::ilp

@@ -1,0 +1,80 @@
+// Mixed 0-1 / integer linear model and common solve-result types.
+//
+// ht_core's IlpFormulation lowers the paper's equations (3)-(17) into this
+// model; the solvers in this library (brute force for tests, LP-based
+// branch & bound for real use) consume it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+
+namespace ht::ilp {
+
+enum class VarKind { kContinuous, kBinary, kInteger };
+
+struct Variable {
+  VarKind kind = VarKind::kBinary;
+  double lower = 0.0;
+  double upper = 1.0;
+  double objective = 0.0;
+  std::string name;
+};
+
+/// A minimization MILP.
+class Model {
+ public:
+  int add_binary(std::string name = "", double objective = 0.0);
+  int add_integer(double lower, double upper, std::string name = "",
+                  double objective = 0.0);
+  int add_continuous(double lower, double upper, std::string name = "",
+                     double objective = 0.0);
+
+  void add_constraint(std::vector<std::pair<int, double>> terms,
+                      lp::Relation rel, double rhs);
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+  const Variable& variable(int index) const;
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<lp::Constraint>& rows() const { return rows_; }
+
+  /// LP relaxation (integrality dropped).
+  lp::LpProblem relaxation() const;
+
+  /// True if `values` (one per variable) satisfies every row and bound
+  /// within `tol`, with integer variables integral within `tol`.
+  bool is_feasible(const std::vector<double>& values, double tol = 1e-6) const;
+
+  /// Objective value of an assignment.
+  double objective_value(const std::vector<double>& values) const;
+
+ private:
+  std::vector<Variable> variables_;
+  std::vector<lp::Constraint> rows_;
+};
+
+enum class SolveStatus {
+  kOptimal,    ///< proved optimal
+  kFeasible,   ///< stopped with an incumbent but no proof
+  kInfeasible, ///< proved infeasible
+  kUnknown,    ///< stopped with nothing
+};
+
+struct SolveStats {
+  long nodes = 0;
+  long lp_iterations = 0;
+  double seconds = 0.0;
+};
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kUnknown;
+  double objective = 0.0;
+  std::vector<double> values;
+  SolveStats stats;
+};
+
+std::string to_string(SolveStatus status);
+
+}  // namespace ht::ilp

@@ -1,0 +1,42 @@
+#include "lp/lp_problem.hpp"
+
+namespace ht::lp {
+
+int LpProblem::add_variable(double lower, double upper, double objective,
+                            std::string name) {
+  util::check_spec(lower <= upper, "LpProblem: lower bound exceeds upper");
+  lower_.push_back(lower);
+  upper_.push_back(upper);
+  objective_.push_back(objective);
+  if (name.empty()) name = "x" + std::to_string(lower_.size() - 1);
+  names_.push_back(std::move(name));
+  return num_variables() - 1;
+}
+
+void LpProblem::add_constraint(std::vector<std::pair<int, double>> terms,
+                               Relation rel, double rhs) {
+  for (const auto& [var, coeff] : terms) {
+    (void)coeff;
+    check_var(var);
+  }
+  rows_.push_back(Constraint{std::move(terms), rel, rhs});
+}
+
+void LpProblem::set_objective(int var, double coefficient) {
+  objective_[check_var(var)] = coefficient;
+}
+
+void LpProblem::set_bounds(int var, double lower, double upper) {
+  util::check_spec(lower <= upper, "LpProblem: lower bound exceeds upper");
+  const std::size_t index = check_var(var);
+  lower_[index] = lower;
+  upper_[index] = upper;
+}
+
+std::size_t LpProblem::check_var(int var) const {
+  util::check_spec(var >= 0 && var < num_variables(),
+                   "LpProblem: variable index out of range");
+  return static_cast<std::size_t>(var);
+}
+
+}  // namespace ht::lp

@@ -1,0 +1,79 @@
+// Linear-program model: minimize c'x subject to linear rows and variable
+// bounds. This is the substrate under ht_ilp's branch & bound, standing in
+// for the commercial solver (Lingo) the paper used.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace ht::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+enum class Relation { kLe, kGe, kEq };
+
+/// One linear row: sum(coeff_j * x_{var_j}) REL rhs.
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;
+  Relation rel = Relation::kLe;
+  double rhs = 0.0;
+};
+
+/// A minimization LP with per-variable bounds.
+class LpProblem {
+ public:
+  /// Adds a variable with bounds [lower, upper] and objective coefficient
+  /// `objective`; returns its dense index.
+  int add_variable(double lower = 0.0, double upper = kInf,
+                   double objective = 0.0, std::string name = "");
+
+  /// Adds a row. Variable indices must already exist; duplicate indices in
+  /// `terms` are accumulated.
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs);
+
+  void set_objective(int var, double coefficient);
+
+  int num_variables() const { return static_cast<int>(lower_.size()); }
+  int num_constraints() const { return static_cast<int>(rows_.size()); }
+
+  double lower(int var) const { return lower_[check_var(var)]; }
+  double upper(int var) const { return upper_[check_var(var)]; }
+  double objective(int var) const { return objective_[check_var(var)]; }
+  const std::string& name(int var) const { return names_[check_var(var)]; }
+  const std::vector<Constraint>& rows() const { return rows_; }
+
+  /// Tightens a variable's bounds (used by branch & bound).
+  void set_bounds(int var, double lower, double upper);
+
+ private:
+  std::size_t check_var(int var) const;
+
+  std::vector<double> lower_, upper_, objective_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> rows_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> values;  ///< one per model variable
+  long iterations = 0;
+};
+
+struct SimplexOptions {
+  long max_iterations = 200000;
+  double feasibility_tol = 1e-7;
+  double pivot_tol = 1e-9;
+};
+
+/// Two-phase dense primal simplex. Handles general bounds by translating
+/// lower bounds to zero and materializing finite upper bounds as rows.
+LpResult solve(const LpProblem& problem, const SimplexOptions& options = {});
+
+}  // namespace ht::lp

@@ -1,0 +1,308 @@
+// Two-phase dense primal tableau simplex.
+//
+// Scope: correctness over raw speed. The ILP branch & bound only relaxes
+// models of a few thousand variables (the paper's formulation on small
+// benchmarks), where a dense tableau is entirely adequate. Degeneracy is
+// handled by switching from Dantzig to Bland's rule after a stall window,
+// which guarantees termination.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+
+namespace ht::lp {
+namespace {
+
+struct Tableau {
+  // rows x cols matrix; col `num_cols` is the rhs.
+  std::vector<std::vector<double>> a;
+  std::vector<double> cost;     // reduced-cost row (current phase)
+  double cost_rhs = 0.0;        // negative of current objective value
+  std::vector<int> basis;       // basic column per row
+  int num_cols = 0;
+  int first_artificial = 0;     // columns >= this are artificial
+
+  double& at(int row, int col) {
+    return a[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)];
+  }
+  double rhs(int row) const {
+    return a[static_cast<std::size_t>(row)][static_cast<std::size_t>(num_cols)];
+  }
+  int num_rows() const { return static_cast<int>(a.size()); }
+};
+
+void pivot(Tableau& t, int pivot_row, int pivot_col) {
+  const double pivot_value = t.at(pivot_row, pivot_col);
+  auto& prow = t.a[static_cast<std::size_t>(pivot_row)];
+  for (double& entry : prow) entry /= pivot_value;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    if (r == pivot_row) continue;
+    const double factor = t.at(r, pivot_col);
+    if (factor == 0.0) continue;
+    auto& row = t.a[static_cast<std::size_t>(r)];
+    for (int c = 0; c <= t.num_cols; ++c) {
+      row[static_cast<std::size_t>(c)] -=
+          factor * prow[static_cast<std::size_t>(c)];
+    }
+  }
+  const double cost_factor = t.cost[static_cast<std::size_t>(pivot_col)];
+  if (cost_factor != 0.0) {
+    for (int c = 0; c < t.num_cols; ++c) {
+      t.cost[static_cast<std::size_t>(c)] -=
+          cost_factor * prow[static_cast<std::size_t>(c)];
+    }
+    t.cost_rhs -= cost_factor * prow[static_cast<std::size_t>(t.num_cols)];
+  }
+  t.basis[static_cast<std::size_t>(pivot_row)] = pivot_col;
+}
+
+enum class IterateOutcome { kOptimal, kUnbounded, kIterationLimit };
+
+/// Runs simplex iterations on the current phase until optimal/unbounded.
+/// `allow_col(col)` gates entering columns (used to bar artificials).
+template <typename AllowCol>
+IterateOutcome iterate(Tableau& t, const SimplexOptions& options,
+                       long& iterations, AllowCol allow_col) {
+  const long bland_after = 2000;  // stall window before switching rules
+  long phase_iterations = 0;
+  while (true) {
+    if (iterations >= options.max_iterations) {
+      return IterateOutcome::kIterationLimit;
+    }
+    const bool use_bland = phase_iterations > bland_after;
+    // Entering column.
+    int entering = -1;
+    double best = -options.pivot_tol;
+    for (int c = 0; c < t.num_cols; ++c) {
+      if (!allow_col(c)) continue;
+      const double reduced = t.cost[static_cast<std::size_t>(c)];
+      if (reduced < best) {
+        entering = c;
+        if (use_bland) break;  // Bland: first eligible index
+        best = reduced;
+      }
+    }
+    if (entering < 0) return IterateOutcome::kOptimal;
+
+    // Ratio test.
+    int leaving = -1;
+    double best_ratio = 0.0;
+    for (int r = 0; r < t.num_rows(); ++r) {
+      const double coeff = t.at(r, entering);
+      if (coeff <= options.pivot_tol) continue;
+      const double ratio = t.rhs(r) / coeff;
+      if (leaving < 0 || ratio < best_ratio - options.pivot_tol ||
+          (std::abs(ratio - best_ratio) <= options.pivot_tol &&
+           t.basis[static_cast<std::size_t>(r)] <
+               t.basis[static_cast<std::size_t>(leaving)])) {
+        leaving = r;
+        best_ratio = ratio;
+      }
+    }
+    if (leaving < 0) return IterateOutcome::kUnbounded;
+
+    pivot(t, leaving, entering);
+    ++iterations;
+    ++phase_iterations;
+  }
+}
+
+}  // namespace
+
+LpResult solve(const LpProblem& problem, const SimplexOptions& options) {
+  LpResult result;
+  const int n = problem.num_variables();
+
+  // ---- translate to standard form ------------------------------------
+  // x_j = lower_j + x'_j with x'_j >= 0; finite upper bounds become rows.
+  struct Row {
+    std::vector<std::pair<int, double>> terms;
+    Relation rel;
+    double rhs;
+  };
+  std::vector<Row> rows;
+  rows.reserve(static_cast<std::size_t>(problem.num_constraints()) +
+               static_cast<std::size_t>(n));
+  for (const Constraint& c : problem.rows()) {
+    Row row{{}, c.rel, c.rhs};
+    std::vector<double> dense(static_cast<std::size_t>(n), 0.0);
+    for (const auto& [var, coeff] : c.terms) {
+      dense[static_cast<std::size_t>(var)] += coeff;
+    }
+    for (int v = 0; v < n; ++v) {
+      const double coeff = dense[static_cast<std::size_t>(v)];
+      if (coeff != 0.0) {
+        row.terms.emplace_back(v, coeff);
+        if (problem.lower(v) != 0.0) row.rhs -= coeff * problem.lower(v);
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+  for (int v = 0; v < n; ++v) {
+    const double span = problem.upper(v) - problem.lower(v);
+    if (std::isfinite(span)) {
+      rows.push_back(Row{{{v, 1.0}}, Relation::kLe, span});
+    }
+  }
+
+  const int m = static_cast<int>(rows.size());
+  // Column counts: structural + one slack/surplus per inequality.
+  int num_slacks = 0;
+  for (const Row& row : rows) {
+    if (row.rel != Relation::kEq) ++num_slacks;
+  }
+
+  Tableau t;
+  t.first_artificial = n + num_slacks;
+  t.num_cols = n + num_slacks + m;  // worst case: artificial in every row
+  t.a.assign(static_cast<std::size_t>(m),
+             std::vector<double>(static_cast<std::size_t>(t.num_cols) + 1,
+                                 0.0));
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+  t.cost.assign(static_cast<std::size_t>(t.num_cols), 0.0);
+
+  int next_slack = n;
+  int next_artificial = t.first_artificial;
+  for (int r = 0; r < m; ++r) {
+    Row row = rows[static_cast<std::size_t>(r)];
+    double sign = 1.0;
+    if (row.rhs < 0.0) {  // normalize to nonnegative rhs
+      sign = -1.0;
+      row.rhs = -row.rhs;
+      if (row.rel == Relation::kLe) {
+        row.rel = Relation::kGe;
+      } else if (row.rel == Relation::kGe) {
+        row.rel = Relation::kLe;
+      }
+    }
+    for (const auto& [var, coeff] : row.terms) {
+      t.at(r, var) = sign * coeff;
+    }
+    t.at(r, t.num_cols) = row.rhs;
+    if (row.rel == Relation::kLe) {
+      t.at(r, next_slack) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = next_slack;
+      ++next_slack;
+    } else if (row.rel == Relation::kGe) {
+      t.at(r, next_slack) = -1.0;
+      ++next_slack;
+      t.at(r, next_artificial) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = next_artificial;
+      ++next_artificial;
+    } else {
+      t.at(r, next_artificial) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = next_artificial;
+      ++next_artificial;
+    }
+  }
+
+  long iterations = 0;
+
+  // ---- phase 1: minimize artificial sum -------------------------------
+  bool has_artificial_basis = false;
+  for (int r = 0; r < m; ++r) {
+    if (t.basis[static_cast<std::size_t>(r)] >= t.first_artificial) {
+      has_artificial_basis = true;
+    }
+  }
+  if (has_artificial_basis) {
+    // cost = sum of artificials; make basic reduced costs zero by
+    // subtracting the rows whose basis is artificial.
+    std::fill(t.cost.begin(), t.cost.end(), 0.0);
+    for (int c = t.first_artificial; c < t.num_cols; ++c) {
+      t.cost[static_cast<std::size_t>(c)] = 1.0;
+    }
+    t.cost_rhs = 0.0;
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] < t.first_artificial) continue;
+      for (int c = 0; c < t.num_cols; ++c) {
+        t.cost[static_cast<std::size_t>(c)] -= t.at(r, c);
+      }
+      t.cost_rhs -= t.rhs(r);
+    }
+    const IterateOutcome outcome =
+        iterate(t, options, iterations, [](int) { return true; });
+    result.iterations = iterations;
+    if (outcome == IterateOutcome::kIterationLimit) {
+      result.status = LpStatus::kIterationLimit;
+      return result;
+    }
+    if (outcome == IterateOutcome::kUnbounded) {
+      // Phase-1 objective is bounded below by 0; cannot happen.
+      throw util::InternalError("simplex: phase-1 reported unbounded");
+    }
+    if (-t.cost_rhs > options.feasibility_tol) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+    // Pivot remaining artificials (at value ~0) out of the basis.
+    for (int r = 0; r < m; ++r) {
+      if (t.basis[static_cast<std::size_t>(r)] < t.first_artificial) continue;
+      int col = -1;
+      for (int c = 0; c < t.first_artificial; ++c) {
+        if (std::abs(t.at(r, c)) > options.pivot_tol) {
+          col = c;
+          break;
+        }
+      }
+      if (col >= 0) {
+        pivot(t, r, col);
+        ++iterations;
+      }
+      // If no structural pivot exists the row is redundant (all zeros with
+      // zero rhs); the artificial stays basic at zero and is barred from
+      // entering, which keeps it at zero for the rest of the solve.
+    }
+  }
+
+  // ---- phase 2: original objective -------------------------------------
+  std::fill(t.cost.begin(), t.cost.end(), 0.0);
+  t.cost_rhs = 0.0;
+  for (int v = 0; v < n; ++v) {
+    t.cost[static_cast<std::size_t>(v)] = problem.objective(v);
+  }
+  for (int r = 0; r < m; ++r) {
+    const int basic = t.basis[static_cast<std::size_t>(r)];
+    const double c_b =
+        basic < n ? problem.objective(basic) : 0.0;
+    if (c_b == 0.0) continue;
+    for (int c = 0; c < t.num_cols; ++c) {
+      t.cost[static_cast<std::size_t>(c)] -= c_b * t.at(r, c);
+    }
+    t.cost_rhs -= c_b * t.rhs(r);
+  }
+  const int first_artificial = t.first_artificial;
+  const IterateOutcome outcome =
+      iterate(t, options, iterations,
+              [first_artificial](int c) { return c < first_artificial; });
+  result.iterations = iterations;
+  if (outcome == IterateOutcome::kIterationLimit) {
+    result.status = LpStatus::kIterationLimit;
+    return result;
+  }
+  if (outcome == IterateOutcome::kUnbounded) {
+    result.status = LpStatus::kUnbounded;
+    return result;
+  }
+
+  // ---- extract ---------------------------------------------------------
+  result.status = LpStatus::kOptimal;
+  result.values.assign(static_cast<std::size_t>(n), 0.0);
+  for (int r = 0; r < m; ++r) {
+    const int basic = t.basis[static_cast<std::size_t>(r)];
+    if (basic < n) {
+      result.values[static_cast<std::size_t>(basic)] = t.rhs(r);
+    }
+  }
+  double objective = 0.0;
+  for (int v = 0; v < n; ++v) {
+    result.values[static_cast<std::size_t>(v)] += problem.lower(v);
+    objective +=
+        problem.objective(v) * result.values[static_cast<std::size_t>(v)];
+  }
+  result.objective = objective;
+  return result;
+}
+
+}  // namespace ht::lp

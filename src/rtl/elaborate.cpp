@@ -1,0 +1,369 @@
+#include "rtl/elaborate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/validate.hpp"
+
+namespace ht::rtl {
+
+using core::Binding;
+using core::CopyKind;
+using core::CoreKey;
+
+namespace {
+
+Cell make_cell(CellKind kind, std::string name, std::vector<WireId> inputs,
+               WireId output) {
+  Cell cell;
+  cell.kind = kind;
+  cell.name = std::move(name);
+  cell.inputs = std::move(inputs);
+  cell.output = output;
+  return cell;
+}
+
+Cell make_const(std::string name, WireId output, std::int64_t value) {
+  Cell cell = make_cell(CellKind::kConst, std::move(name), {}, output);
+  cell.value = value;
+  return cell;
+}
+
+}  // namespace
+
+ElaboratedDesign elaborate(const core::ProblemSpec& spec,
+                           const core::Solution& solution,
+                           const ElaborateOptions& options) {
+  core::require_valid(spec, solution);
+  util::check_spec(spec.unit_latency(),
+                   "rtl::elaborate models single-cycle functional units; "
+                   "multi-cycle cores are a scheduling-level feature only");
+  const dfg::Dfg& graph = spec.graph;
+  const bool with_recovery = solution.with_recovery();
+  const int lambda_det = spec.lambda_detection;
+  const int lambda_rec = with_recovery ? spec.lambda_recovery : 0;
+
+  ElaboratedDesign design;
+  Netlist& nl = design.netlist;
+  nl = Netlist(graph.name() + "_thls");
+  design.total_steps = lambda_det + lambda_rec + 1;  // +1: settle step
+
+  auto global_step = [&](CopyKind kind, dfg::OpId op) {
+    const Binding& binding = solution.at(kind, op);
+    return kind == CopyKind::kRecovery ? lambda_det + binding.cycle
+                                       : binding.cycle;
+  };
+
+  // ---- wires -------------------------------------------------------------
+  const WireId one1 = nl.add_wire("const_one", 1);
+  const WireId step = nl.add_wire("step", 16);
+
+  std::vector<WireId> in_wire;
+  for (int i = 0; i < graph.num_inputs(); ++i) {
+    const std::string name =
+        "in_" + graph.input_names()[static_cast<std::size_t>(i)];
+    const WireId w = nl.add_wire(name, 64);
+    nl.mark_input(w);
+    in_wire.push_back(w);
+    design.input_names.push_back(name);
+  }
+
+  std::map<std::int64_t, WireId> const_wire;  // 64-bit data constants
+  auto data_const = [&](std::int64_t value) {
+    auto [it, inserted] = const_wire.try_emplace(value, -1);
+    if (inserted) {
+      it->second = nl.add_wire("const_" + std::to_string(value), 64);
+      nl.add_cell(make_const("c_" + std::to_string(value), it->second,
+                             value));
+    }
+    return it->second;
+  };
+
+  std::vector<WireId> step_const(
+      static_cast<std::size_t>(design.total_steps) + 1, -1);
+  std::vector<WireId> en_step(
+      static_cast<std::size_t>(design.total_steps) + 1, -1);
+  for (int s = 1; s <= design.total_steps; ++s) {
+    step_const[static_cast<std::size_t>(s)] =
+        nl.add_wire("stepval_" + std::to_string(s), 16);
+    en_step[static_cast<std::size_t>(s)] =
+        nl.add_wire("step_is_" + std::to_string(s), 1);
+  }
+
+  // Result registers. Without sharing: one per operation copy. With
+  // sharing: left-edge allocation over value lifetimes — a value occupies
+  // its register from the end of its write step (birth) through its last
+  // consumer's step (death); two values may share a register when the
+  // intervals are disjoint. DFG outputs live to the end of the frame (the
+  // comparator and the output muxes read them last).
+  struct Lifetime {
+    core::CopyRef ref;
+    int birth;
+    int death;
+  };
+  std::vector<Lifetime> lifetimes;
+  for (core::CopyRef ref : solution.all_copies()) {
+    Lifetime life{ref, global_step(ref.kind, ref.op), 0};
+    const bool is_output =
+        std::find(graph.outputs().begin(), graph.outputs().end(), ref.op) !=
+        graph.outputs().end();
+    if (is_output) {
+      life.death = design.total_steps;
+    } else {
+      life.death = life.birth;
+      for (dfg::OpId child : graph.children(ref.op)) {
+        life.death = std::max(life.death, global_step(ref.kind, child));
+      }
+    }
+    lifetimes.push_back(life);
+  }
+  std::sort(lifetimes.begin(), lifetimes.end(),
+            [](const Lifetime& a, const Lifetime& b) {
+              if (a.birth != b.birth) return a.birth < b.birth;
+              return a.ref < b.ref;
+            });
+
+  struct RegSlot {
+    WireId wire = -1;
+    std::vector<Lifetime> tenants;
+    int last_birth = -1;
+    int last_death = -1;
+  };
+  std::vector<RegSlot> slots;
+  std::map<std::pair<CopyKind, dfg::OpId>, WireId> reg_wire;
+  for (const Lifetime& life : lifetimes) {
+    RegSlot* slot = nullptr;
+    if (options.share_registers) {
+      for (RegSlot& candidate : slots) {
+        if (candidate.last_death <= life.birth &&
+            candidate.last_birth < life.birth) {
+          slot = &candidate;
+          break;
+        }
+      }
+    }
+    if (slot == nullptr) {
+      slots.push_back(RegSlot{});
+      slot = &slots.back();
+      slot->wire = nl.add_wire(
+          "r_" + core::copy_kind_name(life.ref.kind) + "_" +
+              graph.op(life.ref.op).name +
+              (options.share_registers ? "_sh" : ""),
+          64);
+    }
+    slot->tenants.push_back(life);
+    slot->last_birth = life.birth;
+    slot->last_death = std::max(slot->last_death, life.death);
+    reg_wire[{life.ref.kind, life.ref.op}] = slot->wire;
+  }
+  design.num_data_registers = static_cast<int>(slots.size());
+
+  // Per-core FU plumbing.
+  struct FuPlumbing {
+    WireId mux_a, mux_b, active, out;
+    std::vector<core::CopyRef> assignments;  // sorted by global step
+  };
+  std::map<CoreKey, FuPlumbing> fu;
+  for (core::CopyRef ref : solution.all_copies()) {
+    const Binding& binding = solution.at(ref);
+    const CoreKey core{binding.vendor,
+                       dfg::resource_class_of(graph.op(ref.op).type),
+                       binding.instance};
+    fu[core].assignments.push_back(ref);
+  }
+  int fu_index = 0;
+  for (auto& [core, plumbing] : fu) {
+    const std::string base = "fu" + std::to_string(fu_index++) + "_v" +
+                             std::to_string(core.vendor + 1) + "_" +
+                             dfg::resource_class_name(core.rc) +
+                             std::to_string(core.instance);
+    plumbing.mux_a = nl.add_wire(base + "_a", 64);
+    plumbing.mux_b = nl.add_wire(base + "_b", 64);
+    plumbing.active = nl.add_wire(base + "_active", 1);
+    plumbing.out = nl.add_wire(base + "_out", 64);
+    std::sort(plumbing.assignments.begin(), plumbing.assignments.end(),
+              [&](core::CopyRef a, core::CopyRef b) {
+                return global_step(a.kind, a.op) < global_step(b.kind, b.op);
+              });
+  }
+
+  // Checker wires.
+  std::vector<WireId> eq_wires;
+  for (std::size_t i = 0; i < graph.outputs().size(); ++i) {
+    eq_wires.push_back(
+        nl.add_wire("eq_out" + std::to_string(i), 1));
+  }
+  const WireId match = nl.add_wire("nc_rc_match", 1);
+  const WireId mismatch = nl.add_wire("nc_rc_mismatch", 1);
+  const WireId in_recovery = nl.add_wire("in_recovery_window", 1);
+  const WireId detected_gate = nl.add_wire("detected_now", 1);
+  const WireId detected_flag = nl.add_wire("trojan_detected", 1);
+
+  // ---- cells --------------------------------------------------------------
+  nl.add_cell(make_const("c_one", one1, 1));
+  nl.add_cell(make_cell(CellKind::kCounter, "controller_step", {}, step));
+  for (int s = 1; s <= design.total_steps; ++s) {
+    nl.add_cell(make_const("c_step_" + std::to_string(s),
+                           step_const[static_cast<std::size_t>(s)], s));
+    nl.add_cell(make_cell(CellKind::kEq, "en_step_" + std::to_string(s),
+                          {step, step_const[static_cast<std::size_t>(s)]},
+                          en_step[static_cast<std::size_t>(s)]));
+  }
+
+  // Checker: NC/RC equality per DFG output, AND-reduced.
+  for (std::size_t i = 0; i < graph.outputs().size(); ++i) {
+    const dfg::OpId op = graph.outputs()[i];
+    nl.add_cell(make_cell(CellKind::kEq, "check_out" + std::to_string(i),
+                          {reg_wire.at({CopyKind::kNormal, op}),
+                           reg_wire.at({CopyKind::kRedundant, op})},
+                          eq_wires[i]));
+  }
+  nl.add_cell(make_cell(CellKind::kAnd, "check_reduce", eq_wires, match));
+  nl.add_cell(make_cell(CellKind::kNot, "check_invert", {match}, mismatch));
+
+  // Window in which the comparator result is meaningful (all detection
+  // registers written): steps lambda_det+1 .. total.
+  std::vector<WireId> window;
+  for (int s = lambda_det + 1; s <= design.total_steps; ++s) {
+    window.push_back(en_step[static_cast<std::size_t>(s)]);
+  }
+  nl.add_cell(make_cell(CellKind::kOr, "recovery_window", window,
+                        in_recovery));
+  nl.add_cell(make_cell(CellKind::kAnd, "detected_now_gate",
+                        {mismatch, in_recovery}, detected_gate));
+  // Sticky flag, sampled on the first post-detection step.
+  nl.add_cell(make_cell(
+      CellKind::kRegister, "detected_flag_reg",
+      {mismatch, en_step[static_cast<std::size_t>(lambda_det + 1)]},
+      detected_flag));
+
+  // Operand resolution for one copy.
+  auto operand_wire = [&](CopyKind kind, dfg::OpId op, int port) -> WireId {
+    const dfg::Operand& operand =
+        graph.op(op).inputs[static_cast<std::size_t>(port)];
+    switch (operand.kind) {
+      case dfg::Operand::Kind::kOp:
+        return reg_wire.at({kind, operand.index});
+      case dfg::Operand::Kind::kInput:
+        return in_wire[static_cast<std::size_t>(operand.index)];
+      case dfg::Operand::Kind::kConst:
+        return data_const(operand.value);
+    }
+    throw util::InternalError("elaborate: unknown operand kind");
+  };
+
+  // FUs: operand muxes, activity mux, the unit itself.
+  for (auto& [core, plumbing] : fu) {
+    Cell mux_a = make_cell(CellKind::kCaseMux,
+                           nl.wire(plumbing.mux_a).name + "_mux", {step},
+                           plumbing.mux_a);
+    Cell mux_b = make_cell(CellKind::kCaseMux,
+                           nl.wire(plumbing.mux_b).name + "_mux", {step},
+                           plumbing.mux_b);
+    Cell active = make_cell(CellKind::kCaseMux,
+                            nl.wire(plumbing.active).name + "_mux", {step},
+                            plumbing.active);
+    for (core::CopyRef ref : plumbing.assignments) {
+      const std::int64_t s = global_step(ref.kind, ref.op);
+      mux_a.inputs.push_back(operand_wire(ref.kind, ref.op, 0));
+      mux_a.select_values.push_back(s);
+      mux_b.inputs.push_back(operand_wire(ref.kind, ref.op, 1));
+      mux_b.select_values.push_back(s);
+      // Recovery executions only happen after a detection event.
+      active.inputs.push_back(
+          ref.kind == CopyKind::kRecovery ? detected_gate : one1);
+      active.select_values.push_back(s);
+    }
+    nl.add_cell(std::move(mux_a));
+    nl.add_cell(std::move(mux_b));
+    nl.add_cell(std::move(active));
+
+    Cell unit = make_cell(
+        CellKind::kFu, "u_" + nl.wire(plumbing.out).name,
+        {plumbing.mux_a, plumbing.mux_b, plumbing.active}, plumbing.out);
+    unit.core = core;
+    // Per-step operation kinds (an adder core performs add or sub
+    // depending on which operation is scheduled on it this step), plus the
+    // static collusion exposure: does this step's op consume a value from
+    // a same-vendor core within its own schedule?
+    for (core::CopyRef ref : plumbing.assignments) {
+      unit.select_values.push_back(global_step(ref.kind, ref.op));
+      unit.step_ops.push_back(graph.op(ref.op).type);
+      bool exposed = false;
+      for (const dfg::Operand& operand : graph.op(ref.op).inputs) {
+        if (operand.kind == dfg::Operand::Kind::kOp &&
+            solution.at(ref.kind, operand.index).vendor == core.vendor) {
+          exposed = true;
+        }
+      }
+      unit.step_collusion.push_back(exposed ? 1 : 0);
+    }
+    nl.add_cell(std::move(unit));
+  }
+
+  // Result registers: one cell per slot. Multi-tenant slots need a D-side
+  // case mux (which tenant's FU writes this step) and an OR of the tenant
+  // write enables.
+  auto fu_out_of = [&](core::CopyRef ref) {
+    const Binding& binding = solution.at(ref);
+    const CoreKey core{binding.vendor,
+                       dfg::resource_class_of(graph.op(ref.op).type),
+                       binding.instance};
+    return fu.at(core).out;
+  };
+  int slot_index = 0;
+  for (const RegSlot& slot : slots) {
+    WireId d_wire;
+    WireId enable_wire;
+    if (slot.tenants.size() == 1) {
+      d_wire = fu_out_of(slot.tenants[0].ref);
+      enable_wire = en_step[static_cast<std::size_t>(slot.tenants[0].birth)];
+    } else {
+      const std::string base = "slot" + std::to_string(slot_index);
+      d_wire = nl.add_wire(base + "_d", 64);
+      enable_wire = nl.add_wire(base + "_we", 1);
+      Cell d_mux = make_cell(CellKind::kCaseMux, base + "_d_mux", {step},
+                             d_wire);
+      std::vector<WireId> enables;
+      for (const Lifetime& tenant : slot.tenants) {
+        d_mux.inputs.push_back(fu_out_of(tenant.ref));
+        d_mux.select_values.push_back(tenant.birth);
+        enables.push_back(en_step[static_cast<std::size_t>(tenant.birth)]);
+      }
+      nl.add_cell(std::move(d_mux));
+      nl.add_cell(make_cell(CellKind::kOr, base + "_we_or", enables,
+                            enable_wire));
+    }
+    nl.add_cell(make_cell(CellKind::kRegister,
+                          nl.wire(slot.wire).name + "_q",
+                          {d_wire, enable_wire}, slot.wire));
+    ++slot_index;
+  }
+
+  // Primary outputs.
+  for (std::size_t i = 0; i < graph.outputs().size(); ++i) {
+    const dfg::OpId op = graph.outputs()[i];
+    const std::string out_name = "out_" + graph.op(op).name;
+    if (with_recovery) {
+      const WireId out = nl.add_wire(out_name, 64);
+      Cell sel = make_cell(CellKind::kCaseMux, out_name + "_sel",
+                           {detected_flag,
+                            reg_wire.at({CopyKind::kNormal, op}),
+                            reg_wire.at({CopyKind::kRecovery, op})},
+                           out);
+      sel.select_values = {0, 1};
+      nl.add_cell(std::move(sel));
+      nl.mark_output(out_name, out);
+    } else {
+      nl.mark_output(out_name, reg_wire.at({CopyKind::kNormal, op}));
+    }
+    design.output_names.push_back(out_name);
+  }
+  nl.mark_output("trojan_detected", detected_flag);
+  design.detected_name = "trojan_detected";
+
+  nl.validate();
+  return design;
+}
+
+}  // namespace ht::rtl

@@ -1,0 +1,55 @@
+// Controller + datapath elaboration: (ProblemSpec, Solution) -> Netlist.
+//
+// The generated architecture is the one the paper's flow implies:
+//
+//   * one functional-unit cell per bound core instance (CoreKey), shared by
+//     the detection and recovery phases;
+//   * a step counter as the controller state: detection-phase cycle c is
+//     step c, recovery-phase cycle r is step lambda_det + r;
+//   * per-operation-copy result registers, enabled at their scheduled step;
+//   * case muxes steering each FU's operand ports by step;
+//   * an `active` case mux per FU (1 when the FU executes this step) —
+//     recovery-step entries are gated on the comparator so the recovery
+//     phase only runs after a detection, exactly the paper's phase model;
+//   * the NC/RC output comparator tree, a sticky `trojan_detected` flag
+//     sampled on the first recovery step, and final output muxes that
+//     switch from the NC results to the recovery results on detection.
+#pragma once
+
+#include "core/solution.hpp"
+#include "rtl/netlist.hpp"
+
+namespace ht::rtl {
+
+struct ElaborateOptions {
+  /// Register binding: share data registers between operation copies whose
+  /// value lifetimes are disjoint (left-edge allocation over global
+  /// steps). DFG-output registers are never shared — the comparator and
+  /// the final output muxes read them at the end of the frame.
+  bool share_registers = false;
+};
+
+/// The netlist plus the handles a testbench needs.
+struct ElaboratedDesign {
+  Netlist netlist{"design"};
+  /// Steps to clock before outputs are valid (lambda_det + lambda_rec + 1;
+  /// the final settle step lets the last recovery registers propagate).
+  int total_steps = 0;
+  /// Wire names of the primary data inputs, in DFG input order.
+  std::vector<std::string> input_names;
+  /// Output wire names, in DFG output order.
+  std::vector<std::string> output_names;
+  /// Name of the 1-bit detection flag output.
+  std::string detected_name;
+  /// Data registers instantiated (== op copies without sharing; fewer with
+  /// ElaborateOptions::share_registers).
+  int num_data_registers = 0;
+};
+
+/// Lowers a validated solution. Works for detection-only solutions too
+/// (no recovery registers; outputs come straight from NC).
+ElaboratedDesign elaborate(const core::ProblemSpec& spec,
+                           const core::Solution& solution,
+                           const ElaborateOptions& options = {});
+
+}  // namespace ht::rtl

@@ -1,0 +1,185 @@
+#include "rtl/netlist.hpp"
+
+#include <algorithm>
+
+namespace ht::rtl {
+
+std::string cell_kind_name(CellKind kind) {
+  switch (kind) {
+    case CellKind::kConst:
+      return "const";
+    case CellKind::kCounter:
+      return "counter";
+    case CellKind::kFu:
+      return "fu";
+    case CellKind::kCaseMux:
+      return "case_mux";
+    case CellKind::kRegister:
+      return "register";
+    case CellKind::kEq:
+      return "eq";
+    case CellKind::kAnd:
+      return "and";
+    case CellKind::kOr:
+      return "or";
+    case CellKind::kNot:
+      return "not";
+  }
+  return "?";
+}
+
+WireId Netlist::add_wire(std::string name, int width) {
+  util::check_spec(width > 0 && width <= 64,
+                   "Netlist: wire width must be in [1, 64]");
+  wires_.push_back(Wire{std::move(name), width});
+  driver_.push_back(-1);
+  return num_wires() - 1;
+}
+
+const Wire& Netlist::wire(WireId id) const {
+  util::check_spec(id >= 0 && id < num_wires(),
+                   "Netlist: wire id out of range");
+  return wires_[static_cast<std::size_t>(id)];
+}
+
+void Netlist::add_cell(Cell cell) {
+  util::check_spec(cell.output >= 0 && cell.output < num_wires(),
+                   "Netlist: cell output wire out of range");
+  util::check_spec(driver_[static_cast<std::size_t>(cell.output)] == -1,
+                   "Netlist: wire '" + wire(cell.output).name +
+                       "' already driven");
+  util::check_spec(
+      std::find(inputs_.begin(), inputs_.end(), cell.output) ==
+          inputs_.end(),
+      "Netlist: cell drives a primary input wire");
+  for (WireId input : cell.inputs) {
+    util::check_spec(input >= 0 && input < num_wires(),
+                     "Netlist: cell input wire out of range");
+  }
+  driver_[static_cast<std::size_t>(cell.output)] =
+      static_cast<int>(cells_.size());
+  cells_.push_back(std::move(cell));
+}
+
+void Netlist::mark_input(WireId wire_id) {
+  util::check_spec(wire_id >= 0 && wire_id < num_wires(),
+                   "Netlist: input wire out of range");
+  util::check_spec(driver_[static_cast<std::size_t>(wire_id)] == -1,
+                   "Netlist: primary input wire has a driver");
+  if (std::find(inputs_.begin(), inputs_.end(), wire_id) == inputs_.end()) {
+    inputs_.push_back(wire_id);
+  }
+}
+
+void Netlist::mark_output(std::string name, WireId wire_id) {
+  util::check_spec(wire_id >= 0 && wire_id < num_wires(),
+                   "Netlist: output wire out of range");
+  outputs_.emplace_back(std::move(name), wire_id);
+}
+
+int Netlist::driver_of(WireId wire_id) const {
+  util::check_spec(wire_id >= 0 && wire_id < num_wires(),
+                   "Netlist: wire id out of range");
+  return driver_[static_cast<std::size_t>(wire_id)];
+}
+
+std::vector<int> Netlist::combinational_order() const {
+  const std::size_t count = cells_.size();
+  std::vector<int> state(count, 0);  // 0 unseen, 1 visiting, 2 done
+  std::vector<int> order;
+  order.reserve(count);
+
+  auto is_sequential = [&](const Cell& cell) {
+    return cell.kind == CellKind::kRegister ||
+           cell.kind == CellKind::kCounter;
+  };
+
+  // Iterative DFS over combinational fan-in.
+  for (std::size_t root = 0; root < count; ++root) {
+    if (state[root] != 0 || is_sequential(cells_[root])) continue;
+    std::vector<std::pair<int, std::size_t>> stack;  // (cell, next input)
+    stack.emplace_back(static_cast<int>(root), 0);
+    state[root] = 1;
+    while (!stack.empty()) {
+      auto& [cell_index, next_input] = stack.back();
+      const Cell& cell = cells_[static_cast<std::size_t>(cell_index)];
+      if (next_input >= cell.inputs.size()) {
+        state[static_cast<std::size_t>(cell_index)] = 2;
+        order.push_back(cell_index);
+        stack.pop_back();
+        continue;
+      }
+      const WireId input = cell.inputs[next_input++];
+      const int driver = driver_[static_cast<std::size_t>(input)];
+      if (driver < 0) continue;  // primary input
+      const Cell& upstream = cells_[static_cast<std::size_t>(driver)];
+      if (is_sequential(upstream)) continue;
+      if (state[static_cast<std::size_t>(driver)] == 1) {
+        throw util::SpecError("Netlist: combinational cycle through cell '" +
+                              upstream.name + "'");
+      }
+      if (state[static_cast<std::size_t>(driver)] == 0) {
+        state[static_cast<std::size_t>(driver)] = 1;
+        stack.emplace_back(driver, 0);
+      }
+    }
+  }
+  return order;
+}
+
+void Netlist::validate() const {
+  for (const Cell& cell : cells_) {
+    switch (cell.kind) {
+      case CellKind::kConst:
+      case CellKind::kCounter:
+        util::check_spec(cell.inputs.empty(),
+                         "Netlist: " + cell.name + " takes no inputs");
+        break;
+      case CellKind::kFu:
+        util::check_spec(cell.inputs.size() == 3,
+                         "Netlist: " + cell.name + " needs {a, b, active}");
+        util::check_spec(cell.step_ops.size() == cell.select_values.size() &&
+                             !cell.step_ops.empty(),
+                         "Netlist: " + cell.name +
+                             " needs one op per scheduled step");
+        util::check_spec(cell.step_collusion.size() == cell.step_ops.size(),
+                         "Netlist: " + cell.name +
+                             " needs one collusion flag per scheduled step");
+        break;
+      case CellKind::kEq:
+        util::check_spec(cell.inputs.size() == 2,
+                         "Netlist: " + cell.name + " needs 2 inputs");
+        break;
+      case CellKind::kCaseMux:
+        util::check_spec(
+            cell.inputs.size() == cell.select_values.size() + 1,
+            "Netlist: " + cell.name +
+                " needs 1 select + one input per select value");
+        break;
+      case CellKind::kRegister:
+        util::check_spec(cell.inputs.size() == 1 || cell.inputs.size() == 2,
+                         "Netlist: " + cell.name + " needs {d[, enable]}");
+        break;
+      case CellKind::kAnd:
+      case CellKind::kOr:
+        util::check_spec(!cell.inputs.empty(),
+                         "Netlist: " + cell.name + " needs >= 1 input");
+        break;
+      case CellKind::kNot:
+        util::check_spec(cell.inputs.size() == 1,
+                         "Netlist: " + cell.name + " needs 1 input");
+        break;
+    }
+  }
+  // Undriven non-input wires are dangling.
+  for (WireId w = 0; w < num_wires(); ++w) {
+    if (driver_[static_cast<std::size_t>(w)] >= 0) continue;
+    util::check_spec(
+        std::find(inputs_.begin(), inputs_.end(), w) != inputs_.end(),
+        "Netlist: wire '" + wire(w).name + "' has no driver and is not a "
+        "primary input");
+  }
+  (void)combinational_order();  // throws on combinational cycles
+}
+
+}  // namespace ht::rtl

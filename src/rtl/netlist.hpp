@@ -1,0 +1,125 @@
+// Structural RTL netlist intermediate representation.
+//
+// ht_core's optimizer produces a schedule and binding; a real HLS flow then
+// emits a controller + datapath. This IR models that output at the
+// register-transfer level with a small, simulatable cell library:
+//
+//   kConst     constant driver
+//   kCounter   free-running step counter (the controller's state)
+//   kFu        one bound IP-core instance (combinational 2-input op),
+//              tagged with its CoreKey so Trojans can be injected per core
+//   kCaseMux   case mux: output = input whose tag matches the select value
+//              (operand steering and output selection)
+//   kRegister  D register with enable (operation result storage, flags)
+//   kEq        64-bit equality comparator (the NC/RC checker)
+//   kAnd/kOr   bitwise reductions over N inputs (control logic)
+//   kNot       inversion
+//
+// One wire has exactly one driver; combinational cells must form a DAG
+// through wires (registers break cycles). Netlist::validate() checks both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/solution.hpp"
+#include "dfg/dfg.hpp"
+
+namespace ht::rtl {
+
+using WireId = int;
+
+struct Wire {
+  std::string name;
+  int width = 64;  ///< 64 for data, 1 for control, 16 for the counter
+};
+
+enum class CellKind {
+  kConst,
+  kCounter,
+  kFu,
+  kCaseMux,
+  kRegister,
+  kEq,
+  kAnd,
+  kOr,
+  kNot,
+};
+
+std::string cell_kind_name(CellKind kind);
+
+struct Cell {
+  CellKind kind = CellKind::kConst;
+  std::string name;
+  std::vector<WireId> inputs;
+  WireId output = -1;
+
+  // kConst
+  std::int64_t value = 0;
+  // kFu: inputs = {a, b, active}; tagged with the physical core it models.
+  // A core executes different op types of its class per step (an adder
+  // does add or sub): step_ops[i] is performed when the controller step
+  // equals select_values[i].
+  core::CoreKey core;
+  std::vector<dfg::OpType> step_ops;
+  /// Parallel to step_ops: whether the operation scheduled at this step
+  /// consumes a value produced by a core of this FU's own vendor — the
+  /// collusion channel (static under a fixed binding). Simulation-only
+  /// metadata; irrelevant to the emitted Verilog.
+  std::vector<char> step_collusion;
+  // kCaseMux: inputs[0] is the select; inputs[1 + i] is taken when the
+  // select equals select_values[i]; otherwise the output is 0.
+  // (kFu reuses select_values for its per-step op table.)
+  std::vector<std::int64_t> select_values;
+  // kRegister: inputs = {d} or {d, enable}; resets to 0.
+};
+
+/// Flat single-module netlist.
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  WireId add_wire(std::string name, int width = 64);
+  int num_wires() const { return static_cast<int>(wires_.size()); }
+  const Wire& wire(WireId id) const;
+
+  /// Appends a cell driving `cell.output`; a wire may have one driver.
+  void add_cell(Cell cell);
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  /// Declares a primary input (an undriven wire fed by the testbench).
+  void mark_input(WireId wire);
+  /// Declares a named primary output.
+  void mark_output(std::string name, WireId wire);
+
+  const std::vector<WireId>& inputs() const { return inputs_; }
+  const std::vector<std::pair<std::string, WireId>>& outputs() const {
+    return outputs_;
+  }
+
+  /// Index of the cell driving `wire`, or -1 for primary inputs.
+  int driver_of(WireId wire) const;
+
+  /// Combinational cells in evaluation order (registers and counters are
+  /// sequential and excluded). Throws util::SpecError on a combinational
+  /// cycle.
+  std::vector<int> combinational_order() const;
+
+  /// Structural checks: every wire driven exactly once or a primary input,
+  /// port arities per kind, select arity of case muxes, acyclic
+  /// combinational logic.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Wire> wires_;
+  std::vector<Cell> cells_;
+  std::vector<int> driver_;  // per wire, cell index or -1
+  std::vector<WireId> inputs_;
+  std::vector<std::pair<std::string, WireId>> outputs_;
+};
+
+}  // namespace ht::rtl

@@ -1,0 +1,171 @@
+#include "rtl/sim.hpp"
+
+#include "trojan/exec.hpp"
+
+namespace ht::rtl {
+namespace {
+
+std::uint64_t width_mask(int width) {
+  return width >= 64 ? ~0ull : (1ull << width) - 1;
+}
+
+}  // namespace
+
+RtlSimulator::RtlSimulator(const ElaboratedDesign& design)
+    : design_(design) {
+  design.netlist.validate();
+  eval_order_ = design.netlist.combinational_order();
+}
+
+RtlRunResult RtlSimulator::run(
+    const std::vector<trojan::Word>& inputs,
+    const trojan::InfectionMap& infections,
+    std::map<core::CoreKey, trojan::TriggerState>* persistent_states) const {
+  const Netlist& nl = design_.netlist;
+  util::check_spec(inputs.size() == nl.inputs().size(),
+                   "RtlSimulator: expected " +
+                       std::to_string(nl.inputs().size()) + " inputs");
+
+  std::vector<std::uint64_t> value(static_cast<std::size_t>(nl.num_wires()),
+                                   0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const WireId w = nl.inputs()[i];
+    value[static_cast<std::size_t>(w)] =
+        static_cast<std::uint64_t>(inputs[i]) &
+        width_mask(nl.wire(w).width);
+  }
+
+  std::map<core::CoreKey, trojan::TriggerState> local_states;
+  std::map<core::CoreKey, trojan::TriggerState>& states =
+      persistent_states != nullptr ? *persistent_states : local_states;
+
+  // step counter wire(s) and register next-values.
+  auto eval_combinational = [&](int step) {
+    // Counters present their current step value.
+    for (const Cell& cell : nl.cells()) {
+      if (cell.kind == CellKind::kCounter) {
+        value[static_cast<std::size_t>(cell.output)] =
+            static_cast<std::uint64_t>(step) &
+            width_mask(nl.wire(cell.output).width);
+      }
+    }
+    for (int index : eval_order_) {
+      const Cell& cell = nl.cells()[static_cast<std::size_t>(index)];
+      const std::uint64_t mask = width_mask(nl.wire(cell.output).width);
+      auto in = [&](std::size_t port) {
+        return value[static_cast<std::size_t>(cell.inputs[port])];
+      };
+      std::uint64_t out = 0;
+      switch (cell.kind) {
+        case CellKind::kConst:
+          out = static_cast<std::uint64_t>(cell.value);
+          break;
+        case CellKind::kCaseMux: {
+          const std::uint64_t select = in(0);
+          for (std::size_t i = 0; i < cell.select_values.size(); ++i) {
+            if (select == static_cast<std::uint64_t>(cell.select_values[i])) {
+              out = in(1 + i);
+              break;
+            }
+          }
+          break;
+        }
+        case CellKind::kFu: {
+          const auto a = static_cast<trojan::Word>(in(0));
+          const auto b = static_cast<trojan::Word>(in(1));
+          const bool active = in(2) != 0;
+          // Which op (if any) this core performs at the current step.
+          int scheduled = -1;
+          for (std::size_t i = 0; i < cell.select_values.size(); ++i) {
+            if (cell.select_values[i] == step) {
+              scheduled = static_cast<int>(i);
+              break;
+            }
+          }
+          trojan::Word result =
+              scheduled >= 0
+                  ? trojan::execute_op(
+                        cell.step_ops[static_cast<std::size_t>(scheduled)],
+                        a, b)
+                  : 0;
+          if (active) {
+            const bool exposed =
+                scheduled >= 0 &&
+                cell.step_collusion[static_cast<std::size_t>(scheduled)] !=
+                    0;
+            const auto infection = infections.find(
+                core::LicenseKey{cell.core.vendor, cell.core.rc});
+            if (infection != infections.end() &&
+                states[cell.core].step(infection->second, a, b, exposed)) {
+              result = static_cast<trojan::Word>(
+                  static_cast<std::uint64_t>(result) ^
+                  infection->second.payload.xor_mask);
+            }
+          }
+          out = static_cast<std::uint64_t>(result);
+          break;
+        }
+        case CellKind::kEq:
+          out = in(0) == in(1) ? 1 : 0;
+          break;
+        case CellKind::kAnd: {
+          out = ~0ull;
+          for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+            out &= in(i);
+          }
+          break;
+        }
+        case CellKind::kOr: {
+          out = 0;
+          for (std::size_t i = 0; i < cell.inputs.size(); ++i) {
+            out |= in(i);
+          }
+          break;
+        }
+        case CellKind::kNot:
+          out = ~in(0);
+          break;
+        case CellKind::kRegister:
+        case CellKind::kCounter:
+          continue;  // sequential; handled at the clock edge
+      }
+      value[static_cast<std::size_t>(cell.output)] = out & mask;
+    }
+  };
+
+  for (int step = 1; step <= design_.total_steps; ++step) {
+    eval_combinational(step);
+    // Clock edge: registers latch.
+    std::vector<std::pair<WireId, std::uint64_t>> latched;
+    for (const Cell& cell : nl.cells()) {
+      if (cell.kind != CellKind::kRegister) continue;
+      const bool enabled =
+          cell.inputs.size() < 2 ||
+          value[static_cast<std::size_t>(cell.inputs[1])] != 0;
+      if (enabled) {
+        latched.emplace_back(
+            cell.output,
+            value[static_cast<std::size_t>(cell.inputs[0])] &
+                width_mask(nl.wire(cell.output).width));
+      }
+    }
+    for (const auto& [wire, v] : latched) {
+      value[static_cast<std::size_t>(wire)] = v;
+    }
+  }
+  // Settle pass: propagate the final register values to the outputs.
+  eval_combinational(design_.total_steps + 1);
+
+  RtlRunResult result;
+  for (const auto& [name, wire] : nl.outputs()) {
+    if (name == design_.detected_name) {
+      result.detected = value[static_cast<std::size_t>(wire)] != 0;
+    } else {
+      result.outputs.push_back(
+          static_cast<trojan::Word>(value[static_cast<std::size_t>(wire)]));
+    }
+  }
+  return result;
+}
+
+}  // namespace ht::rtl

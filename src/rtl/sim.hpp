@@ -1,0 +1,43 @@
+// Cycle-accurate netlist interpreter with per-core Trojan injection.
+//
+// Simulates an elaborated design exactly as the behavioral RuntimeSimulator
+// simulates the schedule — same trigger/payload semantics, applied at the
+// FU cells (which carry their CoreKey) — so the two can be cross-validated
+// bit for bit: same inputs + same infections must give the same detection
+// flag and the same final outputs. tests/rtl_sim_test.cpp holds that
+// equivalence over benchmarks, attacks and seeds.
+#pragma once
+
+#include <map>
+
+#include "rtl/elaborate.hpp"
+#include "trojan/simulator.hpp"
+
+namespace ht::rtl {
+
+struct RtlRunResult {
+  /// Final values of the data outputs, in ElaboratedDesign::output_names
+  /// order (sampled after the settle step).
+  std::vector<trojan::Word> outputs;
+  /// Final value of the trojan_detected flag.
+  bool detected = false;
+};
+
+class RtlSimulator {
+ public:
+  explicit RtlSimulator(const ElaboratedDesign& design);
+
+  /// Clocks the design through one complete frame (total_steps cycles plus
+  /// a final combinational settle). `persistent_states` carries sequential
+  /// trigger counters across frames like the behavioral simulator's.
+  RtlRunResult run(const std::vector<trojan::Word>& inputs,
+                   const trojan::InfectionMap& infections = {},
+                   std::map<core::CoreKey, trojan::TriggerState>*
+                       persistent_states = nullptr) const;
+
+ private:
+  const ElaboratedDesign& design_;
+  std::vector<int> eval_order_;  // combinational cells, topologically
+};
+
+}  // namespace ht::rtl

@@ -1,0 +1,112 @@
+#include "rtl/testbench.hpp"
+
+#include "rtl/sim.hpp"
+
+namespace ht::rtl {
+namespace {
+
+std::string hex64(trojan::Word value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "64'h%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_';
+    out += ok ? ch : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_verilog_testbench(const core::ProblemSpec& spec,
+                                 const ElaboratedDesign& design,
+                                 const TestbenchOptions& options) {
+  util::check_spec(!options.frames.empty(),
+                   "to_verilog_testbench: need at least one input frame");
+  for (const auto& frame : options.frames) {
+    util::check_spec(frame.size() == design.input_names.size(),
+                     "to_verilog_testbench: frame arity mismatch");
+  }
+
+  // Golden expectations per frame from the behavioral evaluator.
+  std::vector<std::vector<trojan::Word>> expected;
+  for (const auto& frame : options.frames) {
+    const auto values = trojan::golden_eval(spec.graph, frame);
+    std::vector<trojan::Word> outs;
+    for (dfg::OpId op : spec.graph.outputs()) {
+      outs.push_back(values[static_cast<std::size_t>(op)]);
+    }
+    expected.push_back(std::move(outs));
+  }
+
+  const std::string dut = sanitize(design.netlist.name());
+  std::string out;
+  out += "// Self-checking testbench for " + dut + " (clean-run signoff).\n";
+  out += "`timescale 1ns/1ps\n";
+  out += "module " + sanitize(options.module_name) + ";\n";
+  out += "  reg clk = 0;\n  reg rst = 1;\n";
+  for (const std::string& input : design.input_names) {
+    out += "  reg [63:0] " + sanitize(input) + ";\n";
+  }
+  for (const std::string& output : design.output_names) {
+    out += "  wire [63:0] " + sanitize(output) + ";\n";
+  }
+  out += "  wire trojan_detected;\n";
+  out += "  integer errors = 0;\n\n";
+
+  out += "  " + dut + " dut (\n    .clk(clk), .rst(rst)";
+  for (const std::string& input : design.input_names) {
+    out += ",\n    ." + sanitize(input) + "(" + sanitize(input) + ")";
+  }
+  for (const std::string& output : design.output_names) {
+    out += ",\n    ." + sanitize(output) + "(" + sanitize(output) + ")";
+  }
+  out += ",\n    .trojan_detected(trojan_detected)\n  );\n\n";
+  out += "  always #5 clk = ~clk;\n\n";
+
+  out += "  task check64(input [63:0] got, input [63:0] want);\n";
+  out += "    begin\n";
+  out += "      if (got !== want) begin\n";
+  out += "        $display(\"FAIL: got %h want %h\", got, want);\n";
+  out += "        errors = errors + 1;\n";
+  out += "      end\n";
+  out += "    end\n";
+  out += "  endtask\n\n";
+
+  out += "  initial begin\n";
+  for (std::size_t f = 0; f < options.frames.size(); ++f) {
+    out += "    // frame " + std::to_string(f) + "\n";
+    out += "    rst = 1;\n";
+    for (std::size_t i = 0; i < design.input_names.size(); ++i) {
+      out += "    " + sanitize(design.input_names[i]) + " = " +
+             hex64(options.frames[f][i]) + ";\n";
+    }
+    out += "    @(posedge clk); #1 rst = 0;\n";
+    out += "    repeat (" + std::to_string(design.total_steps) +
+           ") @(posedge clk);\n";
+    out += "    #1;\n";
+    for (std::size_t o = 0; o < design.output_names.size(); ++o) {
+      out += "    check64(" + sanitize(design.output_names[o]) + ", " +
+             hex64(expected[f][o]) + ");\n";
+    }
+    out += "    if (trojan_detected !== 1'b0) begin\n";
+    out += "      $display(\"FAIL: spurious detection in frame " +
+           std::to_string(f) + "\");\n";
+    out += "      errors = errors + 1;\n";
+    out += "    end\n";
+  }
+  out += "    if (errors == 0) $display(\"PASS\");\n";
+  out += "    else $display(\"FAIL: %0d errors\", errors);\n";
+  out += "    $finish;\n";
+  out += "  end\n";
+  out += "endmodule\n";
+  return out;
+}
+
+}  // namespace ht::rtl

@@ -1,0 +1,36 @@
+// Self-checking Verilog testbench generation.
+//
+// Completes the RTL hand-off: alongside the design module (to_verilog),
+// emit a testbench that drives the design with concrete input frames,
+// clocks it through total_steps cycles per frame, and compares every data
+// output and the trojan_detected flag against golden values computed by
+// the behavioral model. The result runs under any Verilog simulator with
+// no further infrastructure ($display PASS/FAIL, $finish).
+//
+// Trojans cannot be injected into plain Verilog (they live inside the IP
+// vendors' cores), so generated testbenches check the *clean* behavior:
+// outputs equal the golden values and the detection flag stays low. The
+// attacked behavior is signed off by rtl::RtlSimulator, which shares the
+// cell semantics.
+#pragma once
+
+#include <vector>
+
+#include "rtl/elaborate.hpp"
+#include "trojan/exec.hpp"
+
+namespace ht::rtl {
+
+struct TestbenchOptions {
+  /// Input frames to drive; each must have one word per design input.
+  std::vector<std::vector<trojan::Word>> frames;
+  std::string module_name = "tb";
+};
+
+/// Renders the testbench (instantiates the design by its netlist name).
+/// Golden outputs are computed here via the behavioral evaluator.
+std::string to_verilog_testbench(const core::ProblemSpec& spec,
+                                 const ElaboratedDesign& design,
+                                 const TestbenchOptions& options);
+
+}  // namespace ht::rtl

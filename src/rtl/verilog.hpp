@@ -1,0 +1,20 @@
+// Verilog-2001 emission of an elaborated design.
+//
+// Produces a single self-contained synthesizable-style module: the step
+// counter as the controller, case-mux always blocks for operand steering,
+// one assign per functional unit, registers with enables, the NC/RC
+// comparator and the detection flag. Intended for inspection and for
+// feeding downstream tools; the in-repo signoff path is RtlSimulator.
+#pragma once
+
+#include <string>
+
+#include "rtl/elaborate.hpp"
+
+namespace ht::rtl {
+
+/// Renders the whole design as one Verilog module named after the netlist.
+/// Ports: clk, rst, every primary input, every primary output.
+std::string to_verilog(const ElaboratedDesign& design);
+
+}  // namespace ht::rtl

@@ -1,0 +1,72 @@
+#include "trojan/exec.hpp"
+
+#include <algorithm>
+
+namespace ht::trojan {
+
+Word execute_op(dfg::OpType type, Word a, Word b) {
+  const std::uint64_t ua = static_cast<std::uint64_t>(a);
+  const std::uint64_t ub = static_cast<std::uint64_t>(b);
+  switch (type) {
+    case dfg::OpType::kAdd:
+      return static_cast<Word>(ua + ub);
+    case dfg::OpType::kSub:
+      return static_cast<Word>(ua - ub);
+    case dfg::OpType::kMul:
+      return static_cast<Word>(ua * ub);
+    case dfg::OpType::kDiv:
+      return b == 0 ? 0 : a / b;
+    case dfg::OpType::kShl:
+      return static_cast<Word>(ua << (ub & 63));
+    case dfg::OpType::kShr:
+      return a >> (ub & 63);
+    case dfg::OpType::kAnd:
+      return static_cast<Word>(ua & ub);
+    case dfg::OpType::kOr:
+      return static_cast<Word>(ua | ub);
+    case dfg::OpType::kXor:
+      return static_cast<Word>(ua ^ ub);
+    case dfg::OpType::kLt:
+      return a < b ? 1 : 0;
+    case dfg::OpType::kMax:
+      return std::max(a, b);
+    case dfg::OpType::kMin:
+      return std::min(a, b);
+  }
+  throw util::InternalError("execute_op: unknown OpType");
+}
+
+Word operand_value(const dfg::Dfg& graph, const dfg::Operand& operand,
+                   const std::vector<Word>& op_values,
+                   const std::vector<Word>& inputs) {
+  switch (operand.kind) {
+    case dfg::Operand::Kind::kOp:
+      return op_values[static_cast<std::size_t>(operand.index)];
+    case dfg::Operand::Kind::kInput:
+      util::check_spec(
+          operand.index >= 0 &&
+              operand.index < static_cast<int>(inputs.size()),
+          "operand_value: input vector shorter than DFG inputs (" +
+              std::to_string(graph.num_inputs()) + " needed)");
+      return inputs[static_cast<std::size_t>(operand.index)];
+    case dfg::Operand::Kind::kConst:
+      return operand.value;
+  }
+  throw util::InternalError("operand_value: unknown operand kind");
+}
+
+std::vector<Word> golden_eval(const dfg::Dfg& graph,
+                              const std::vector<Word>& inputs) {
+  util::check_spec(static_cast<int>(inputs.size()) == graph.num_inputs(),
+                   "golden_eval: wrong input count");
+  std::vector<Word> values(static_cast<std::size_t>(graph.num_ops()), 0);
+  for (dfg::OpId op = 0; op < graph.num_ops(); ++op) {
+    const dfg::Operation& operation = graph.op(op);
+    const Word a = operand_value(graph, operation.inputs[0], values, inputs);
+    const Word b = operand_value(graph, operation.inputs[1], values, inputs);
+    values[static_cast<std::size_t>(op)] = execute_op(operation.type, a, b);
+  }
+  return values;
+}
+
+}  // namespace ht::trojan

@@ -1,0 +1,30 @@
+// Functional semantics of DFG operations on 64-bit words.
+//
+// All vendors' cores of a class are functionally equivalent (that is what
+// lets NC and RC be compared); only their Trojans differ. Arithmetic wraps
+// modulo 2^64, shifts mask their amount, division by zero yields zero —
+// total functions so any input vector is simulatable.
+#pragma once
+
+#include <vector>
+
+#include "dfg/dfg.hpp"
+#include "trojan/trojan.hpp"
+
+namespace ht::trojan {
+
+/// Executes one operation functionally (no Trojan involvement).
+Word execute_op(dfg::OpType type, Word a, Word b);
+
+/// Evaluates the whole DFG on `inputs` (one word per primary input) with
+/// trusted cores; returns every op's value. This is the golden reference
+/// the run-time experiments compare against.
+std::vector<Word> golden_eval(const dfg::Dfg& graph,
+                              const std::vector<Word>& inputs);
+
+/// Resolves one operand against computed op values and primary inputs.
+Word operand_value(const dfg::Dfg& graph, const dfg::Operand& operand,
+                   const std::vector<Word>& op_values,
+                   const std::vector<Word>& inputs);
+
+}  // namespace ht::trojan

@@ -1,0 +1,121 @@
+#include "trojan/monte_carlo.hpp"
+
+namespace ht::trojan {
+
+CampaignStats run_campaign(const core::ProblemSpec& spec,
+                           const core::Solution& solution,
+                           const CampaignConfig& config,
+                           RecoveryStrategy strategy) {
+  util::check_spec(config.trials > 0, "run_campaign: trials must be > 0");
+  util::Rng rng(config.seed);
+  const RuntimeSimulator simulator(spec, solution);
+  const dfg::Dfg& graph = spec.graph;
+
+  // Detection-phase copies to target, with their licenses.
+  std::vector<std::pair<core::CopyRef, core::LicenseKey>> targets;
+  std::vector<core::CopyKind> target_kinds = {core::CopyKind::kNormal};
+  if (config.target_both_computations) {
+    target_kinds.push_back(core::CopyKind::kRedundant);
+  }
+  for (core::CopyKind kind : target_kinds) {
+    for (dfg::OpId op = 0; op < graph.num_ops(); ++op) {
+      const core::Binding& binding = solution.at(kind, op);
+      targets.push_back(
+          {core::CopyRef{kind, op},
+           core::LicenseKey{binding.vendor,
+                            dfg::resource_class_of(graph.op(op).type)}});
+    }
+  }
+
+  CampaignStats stats;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    ++stats.trials;
+
+    // Input frame.
+    std::vector<Word> inputs;
+    for (int i = 0; i < graph.num_inputs(); ++i) {
+      inputs.push_back(rng.uniform_int(config.input_min, config.input_max));
+    }
+    const std::vector<Word> clean = golden_eval(graph, inputs);
+
+    // Adversarial Trojan: pick a real detection-phase (op, license) and use
+    // the operand values that op will actually see as the rare trigger.
+    const auto& [target, license] = rng.pick(targets);
+    const dfg::Operation& operation = graph.op(target.op);
+    const Word a = operand_value(graph, operation.inputs[0], clean, inputs);
+    const Word b = operand_value(graph, operation.inputs[1], clean, inputs);
+
+    TrojanSpec trojan;
+    trojan.trigger.mask = config.trigger_mask;
+    trojan.trigger.pattern_a = static_cast<std::uint64_t>(a);
+    trojan.trigger.pattern_b = static_cast<std::uint64_t>(b);
+    trojan.payload.xor_mask = 1ull << rng.uniform_int(0, 62);
+    const bool sequential = rng.chance(config.sequential_fraction);
+    int frames = 1;
+    if (sequential) {
+      trojan.trigger.kind = TriggerSpec::Kind::kSequential;
+      trojan.trigger.threshold = config.sequential_threshold;
+      frames = config.sequential_threshold;
+    }
+    InfectionMap infections;
+    infections.emplace(license, trojan);
+
+    // Stream identical frames so a sequential counter can arm; the last
+    // frame carries the observable attack.
+    std::map<core::CoreKey, TriggerState> silicon_state;
+    RunResult result;
+    for (int frame = 0; frame < frames; ++frame) {
+      result = simulator.run(inputs, infections, strategy, &silicon_state);
+    }
+
+    if (result.payload_fired_detection) ++stats.payload_activated;
+    if (result.mismatch_detected) ++stats.detected;
+    if (result.silent_corruption()) ++stats.silent_corruptions;
+    if (result.recovery_ran) {
+      ++stats.recovery_ran;
+      if (result.recovered_correctly) {
+        ++stats.recovered;
+      } else {
+        ++stats.recovery_failed;
+      }
+    }
+  }
+  return stats;
+}
+
+CollusionProbe run_collusion_probe(const core::ProblemSpec& spec,
+                                   const core::Solution& solution,
+                                   int frames, std::uint64_t seed) {
+  util::check_spec(frames > 0, "run_collusion_probe: frames must be > 0");
+  util::Rng rng(seed);
+  const RuntimeSimulator simulator(spec, solution);
+
+  // Arm every license the design uses with an always-on collusion Trojan.
+  InfectionMap infections;
+  for (const core::LicenseKey& license : solution.licenses_used(spec)) {
+    TrojanSpec trojan;
+    trojan.trigger.kind = TriggerSpec::Kind::kCollusion;
+    trojan.trigger.mask = 0;  // any operand value; provenance is the trigger
+    trojan.payload.xor_mask = 0x5555;
+    infections.emplace(license, trojan);
+  }
+
+  CollusionProbe probe;
+  for (int frame = 0; frame < frames; ++frame) {
+    ++probe.frames;
+    std::vector<Word> inputs;
+    for (int i = 0; i < spec.graph.num_inputs(); ++i) {
+      inputs.push_back(rng.uniform_int(0, 1 << 20));
+    }
+    const RunResult result =
+        simulator.run(inputs, infections,
+                      solution.with_recovery()
+                          ? RecoveryStrategy::kRebindPerRules
+                          : RecoveryStrategy::kReexecuteSame);
+    if (result.payload_fired_detection) ++probe.frames_with_activation;
+    if (result.mismatch_detected) ++probe.frames_detected;
+  }
+  return probe;
+}
+
+}  // namespace ht::trojan

@@ -1,0 +1,87 @@
+// Monte-Carlo Trojan-activation campaigns.
+//
+// The paper argues (Section 3) that its design rules make an activated
+// Trojan (a) visible as an NC/RC mismatch and (b) removable by the
+// recovery re-binding, while plain re-execution is not a remedy. This
+// driver measures exactly that, adversarially: each trial infects one
+// (vendor, class) license actually used by the design and gives the Trojan
+// the rare trigger that matches the operand values of one real operation
+// bound to that license — i.e. the strongest attacker consistent with the
+// paper's threat model ("activated by a certain input or input sequence in
+// one operation").
+//
+// Sequential triggers are exercised by streaming the same input frame for
+// `threshold` consecutive runs with persistent core state, modeling the
+// counter-based trigger of Figure 2(b).
+#pragma once
+
+#include "core/solution.hpp"
+#include "trojan/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace ht::trojan {
+
+struct CampaignConfig {
+  int trials = 500;
+  std::uint64_t seed = 2014;
+  /// Fraction of trials using a sequential (counter) trigger.
+  double sequential_fraction = 0.25;
+  /// Counter threshold for sequential triggers (frames to arm).
+  int sequential_threshold = 3;
+  /// Trigger operand mask; clearing low bits makes "closely related"
+  /// operand values hit the same trigger (recovery Rule 2's concern).
+  std::uint64_t trigger_mask = ~0ull;
+  /// Primary-input sampling range.
+  Word input_min = 0;
+  Word input_max = 1 << 20;
+  /// When false, only NC copies are targeted. Useful for isolating the
+  /// re-execution baseline's failure mode: if the Trojan sits in RC, plain
+  /// re-execution of NC is trivially "correct" (NC never was wrong), which
+  /// would dilute the comparison.
+  bool target_both_computations = true;
+};
+
+struct CampaignStats {
+  int trials = 0;
+  int payload_activated = 0;   ///< trigger fired during detection
+  int detected = 0;            ///< NC/RC mismatch observed
+  int silent_corruptions = 0;  ///< payload fired, outputs still agreed
+  int recovery_ran = 0;
+  int recovered = 0;           ///< recovery output matched golden
+  int recovery_failed = 0;
+
+  double detection_rate() const {
+    return payload_activated == 0
+               ? 1.0
+               : static_cast<double>(detected) / payload_activated;
+  }
+  double recovery_rate() const {
+    return recovery_ran == 0 ? 0.0
+                             : static_cast<double>(recovered) / recovery_ran;
+  }
+};
+
+/// Runs `config.trials` independent attack scenarios against the design.
+CampaignStats run_campaign(const core::ProblemSpec& spec,
+                           const core::Solution& solution,
+                           const CampaignConfig& config,
+                           RecoveryStrategy strategy =
+                               RecoveryStrategy::kRebindPerRules);
+
+/// Collusion exposure probe (detection Rule 2's threat): every license is
+/// infected with an always-armed collusion Trojan (mask 0: any value from
+/// a same-vendor upstream core triggers), and random frames are streamed.
+/// A rule-compliant design can never activate one — same-vendor
+/// parent-child bindings do not exist; designs synthesized without the
+/// anti-collusion rule typically do.
+struct CollusionProbe {
+  int frames = 0;
+  int frames_with_activation = 0;
+  int frames_detected = 0;  ///< activations surfaced as NC/RC mismatch
+};
+
+CollusionProbe run_collusion_probe(const core::ProblemSpec& spec,
+                                   const core::Solution& solution,
+                                   int frames, std::uint64_t seed);
+
+}  // namespace ht::trojan

@@ -1,0 +1,75 @@
+#include "trojan/profiling.hpp"
+
+#include <cstdlib>
+#include <limits>
+
+namespace ht::trojan {
+namespace {
+
+Word distance(Word a, Word b) {
+  const Word diff = static_cast<Word>(static_cast<std::uint64_t>(a) -
+                                      static_cast<std::uint64_t>(b));
+  if (diff == std::numeric_limits<Word>::min()) {
+    return std::numeric_limits<Word>::max();
+  }
+  return diff < 0 ? -diff : diff;
+}
+
+}  // namespace
+
+std::vector<std::pair<dfg::OpId, dfg::OpId>> profile_close_pairs(
+    const dfg::Dfg& graph, const ProfileConfig& config, util::Rng& rng) {
+  util::check_spec(config.num_vectors > 0,
+                   "profile_close_pairs: need at least one vector");
+  const int n = graph.num_ops();
+  // max over vectors of operand distance, per unordered pair (i < j).
+  std::vector<Word> worst(static_cast<std::size_t>(n) *
+                              static_cast<std::size_t>(n),
+                          0);
+
+  for (int sample = 0; sample < config.num_vectors; ++sample) {
+    std::vector<Word> inputs;
+    inputs.reserve(static_cast<std::size_t>(graph.num_inputs()));
+    for (int i = 0; i < graph.num_inputs(); ++i) {
+      inputs.push_back(rng.uniform_int(config.min_value, config.max_value));
+    }
+    const std::vector<Word> values = golden_eval(graph, inputs);
+    for (dfg::OpId i = 0; i < n; ++i) {
+      for (dfg::OpId j = i + 1; j < n; ++j) {
+        if (dfg::resource_class_of(graph.op(i).type) !=
+            dfg::resource_class_of(graph.op(j).type)) {
+          continue;
+        }
+        Word& slot = worst[static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(n) +
+                           static_cast<std::size_t>(j)];
+        for (int port = 0; port < 2; ++port) {
+          const Word vi = operand_value(
+              graph, graph.op(i).inputs[static_cast<std::size_t>(port)],
+              values, inputs);
+          const Word vj = operand_value(
+              graph, graph.op(j).inputs[static_cast<std::size_t>(port)],
+              values, inputs);
+          slot = std::max(slot, distance(vi, vj));
+        }
+      }
+    }
+  }
+
+  std::vector<std::pair<dfg::OpId, dfg::OpId>> pairs;
+  for (dfg::OpId i = 0; i < n; ++i) {
+    for (dfg::OpId j = i + 1; j < n; ++j) {
+      if (dfg::resource_class_of(graph.op(i).type) !=
+          dfg::resource_class_of(graph.op(j).type)) {
+        continue;
+      }
+      if (worst[static_cast<std::size_t>(i) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(j)] <= config.tolerance) {
+        pairs.emplace_back(i, j);
+      }
+    }
+  }
+  return pairs;
+}
+
+}  // namespace ht::trojan

@@ -1,0 +1,32 @@
+// Profiling-based discovery of closely-related operation pairs.
+//
+// Section 3.3: "operation pairs with closely-related inputs can be
+// identified by analyzing the algorithm or profiling input relations
+// through a large set of test vectors." This implements the profiling
+// route: sample input vectors, evaluate the DFG, and report same-class op
+// pairs whose operand values always stay within a tolerance of each other.
+// The result plugs directly into ProblemSpec::closely_related.
+#pragma once
+
+#include <vector>
+
+#include "trojan/exec.hpp"
+#include "util/rng.hpp"
+
+namespace ht::trojan {
+
+struct ProfileConfig {
+  int num_vectors = 256;
+  /// Pairs whose operand distance never exceeds this are "close".
+  Word tolerance = 15;
+  /// Sampled primary-input range [min_value, max_value].
+  Word min_value = 0;
+  Word max_value = 1 << 20;
+};
+
+/// Max over both operand positions of |operand(i) - operand(j)| for one
+/// input vector; the profile keeps the max over all vectors.
+std::vector<std::pair<dfg::OpId, dfg::OpId>> profile_close_pairs(
+    const dfg::Dfg& graph, const ProfileConfig& config, util::Rng& rng);
+
+}  // namespace ht::trojan

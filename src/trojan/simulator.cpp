@@ -1,0 +1,168 @@
+#include "trojan/simulator.hpp"
+
+#include <algorithm>
+
+#include "core/validate.hpp"
+
+namespace ht::trojan {
+
+RuntimeSimulator::RuntimeSimulator(const core::ProblemSpec& spec,
+                                   const core::Solution& solution)
+    : spec_(spec), solution_(solution) {
+  core::require_valid(spec, solution);
+
+  auto core_of = [&](core::CopyKind kind, dfg::OpId op) {
+    const core::Binding& binding = solution.at(kind, op);
+    return core::CoreKey{binding.vendor,
+                         dfg::resource_class_of(spec.graph.op(op).type),
+                         binding.instance};
+  };
+
+  for (core::CopyKind kind :
+       {core::CopyKind::kNormal, core::CopyKind::kRedundant}) {
+    for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+      detection_events_.push_back(ExecEvent{solution.at(kind, op).cycle, kind,
+                                            op, core_of(kind, op)});
+    }
+  }
+  if (solution.with_recovery()) {
+    for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+      recovery_events_.push_back(
+          ExecEvent{solution.at(core::CopyKind::kRecovery, op).cycle,
+                    core::CopyKind::kRecovery, op,
+                    core_of(core::CopyKind::kRecovery, op)});
+    }
+  }
+  // Baseline "just run it again": NC's schedule and cores, results kept in
+  // the recovery value space.
+  for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+    reexecute_events_.push_back(
+        ExecEvent{solution.at(core::CopyKind::kNormal, op).cycle,
+                  core::CopyKind::kRecovery, op,
+                  core_of(core::CopyKind::kNormal, op)});
+  }
+
+  auto order = [](const ExecEvent& a, const ExecEvent& b) {
+    if (a.cycle != b.cycle) return a.cycle < b.cycle;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.op < b.op;
+  };
+  std::sort(detection_events_.begin(), detection_events_.end(), order);
+  std::sort(recovery_events_.begin(), recovery_events_.end(), order);
+  std::sort(reexecute_events_.begin(), reexecute_events_.end(), order);
+}
+
+namespace {
+
+std::vector<Word> outputs_of(const dfg::Dfg& graph,
+                             const std::vector<Word>& op_values) {
+  std::vector<Word> out;
+  for (dfg::OpId op : graph.outputs()) {
+    out.push_back(op_values[static_cast<std::size_t>(op)]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult RuntimeSimulator::run(
+    const std::vector<Word>& inputs, const InfectionMap& infections,
+    RecoveryStrategy strategy,
+    std::map<core::CoreKey, TriggerState>* persistent_states) const {
+  RunResult result;
+  const dfg::Dfg& graph = spec_.graph;
+  result.golden_outputs = outputs_of(graph, golden_eval(graph, inputs));
+
+  // Per-kind value spaces; trigger state per physical core, shared across
+  // both phases (and across frames when the caller passes persistent
+  // state).
+  std::array<std::vector<Word>, core::kNumCopyKinds> values;
+  for (auto& space : values) {
+    space.assign(static_cast<std::size_t>(graph.num_ops()), 0);
+  }
+  std::map<core::CoreKey, TriggerState> local_states;
+  std::map<core::CoreKey, TriggerState>& states =
+      persistent_states != nullptr ? *persistent_states : local_states;
+
+  // Provenance per value space: which vendor's core produced each op's
+  // value (feeds the collusion trigger).
+  std::array<std::vector<vendor::VendorId>, core::kNumCopyKinds> producer;
+  for (auto& space : producer) {
+    space.assign(static_cast<std::size_t>(graph.num_ops()), -1);
+  }
+
+  auto execute = [&](const std::vector<ExecEvent>& events,
+                     bool& payload_fired) {
+    for (const ExecEvent& event : events) {
+      const dfg::Operation& operation = graph.op(event.op);
+      auto& space = values[static_cast<std::size_t>(event.kind)];
+      auto& origin = producer[static_cast<std::size_t>(event.kind)];
+      const Word a = operand_value(graph, operation.inputs[0], space, inputs);
+      const Word b = operand_value(graph, operation.inputs[1], space, inputs);
+      Word out = execute_op(operation.type, a, b);
+      const auto infection = infections.find(
+          core::LicenseKey{event.core.vendor, event.core.rc});
+      if (infection != infections.end()) {
+        bool same_vendor_upstream = false;
+        for (const dfg::Operand& operand : operation.inputs) {
+          if (operand.kind == dfg::Operand::Kind::kOp &&
+              origin[static_cast<std::size_t>(operand.index)] ==
+                  event.core.vendor) {
+            same_vendor_upstream = true;
+          }
+        }
+        TriggerState& state = states[event.core];
+        if (state.step(infection->second, a, b, same_vendor_upstream)) {
+          out = static_cast<Word>(static_cast<std::uint64_t>(out) ^
+                                  infection->second.payload.xor_mask);
+          payload_fired = true;
+        }
+      }
+      space[static_cast<std::size_t>(event.op)] = out;
+      origin[static_cast<std::size_t>(event.op)] = event.core.vendor;
+    }
+  };
+
+  execute(detection_events_, result.payload_fired_detection);
+  result.nc_outputs = outputs_of(
+      graph, values[static_cast<std::size_t>(core::CopyKind::kNormal)]);
+  result.rc_outputs = outputs_of(
+      graph, values[static_cast<std::size_t>(core::CopyKind::kRedundant)]);
+  result.mismatch_detected = result.nc_outputs != result.rc_outputs;
+
+  if (result.mismatch_detected) {
+    const std::vector<ExecEvent>* plan = nullptr;
+    switch (strategy) {
+      case RecoveryStrategy::kRebindPerRules:
+        util::check_spec(solution_.with_recovery(),
+                         "RuntimeSimulator: rules-based recovery requested "
+                         "on a detection-only solution");
+        plan = &recovery_events_;
+        break;
+      case RecoveryStrategy::kReexecuteSame:
+        plan = &reexecute_events_;
+        break;
+    }
+    result.recovery_ran = true;
+    execute(*plan, result.payload_fired_recovery);
+    result.recovery_outputs = outputs_of(
+        graph, values[static_cast<std::size_t>(core::CopyKind::kRecovery)]);
+    result.recovered_correctly =
+        result.recovery_outputs == result.golden_outputs;
+  }
+  return result;
+}
+
+CorruptedSide diagnose_corrupted_side(const RunResult& result) {
+  util::check_spec(result.recovery_ran && result.recovered_correctly,
+                   "diagnose_corrupted_side: needs a trusted (successful) "
+                   "recovery result to compare against");
+  const bool nc_wrong = result.nc_outputs != result.recovery_outputs;
+  const bool rc_wrong = result.rc_outputs != result.recovery_outputs;
+  if (nc_wrong && rc_wrong) return CorruptedSide::kBoth;
+  if (nc_wrong) return CorruptedSide::kNormal;
+  if (rc_wrong) return CorruptedSide::kRedundant;
+  return CorruptedSide::kNone;
+}
+
+}  // namespace ht::trojan

@@ -1,0 +1,92 @@
+// Cycle-accurate run-time simulation of a bound design under Trojan attack.
+//
+// Executes a Solution the way the deployed circuit would run: the detection
+// phase evaluates NC and RC cycle by cycle on their bound core instances,
+// the outputs are compared (a mismatch is the paper's run-time detection
+// event), and on detection the recovery phase re-executes the computation
+// under the recovery binding. Trigger state lives per physical core
+// instance and persists across phases — it is the same silicon.
+//
+// An InfectionMap assigns one TrojanSpec per (vendor, class) license,
+// reflecting the paper's assumption that every instantiation of an IP core
+// carries the same Trojan.
+#pragma once
+
+#include <map>
+
+#include "core/solution.hpp"
+#include "trojan/exec.hpp"
+
+namespace ht::trojan {
+
+/// All instances of an infected (vendor, class) IP core share the Trojan.
+using InfectionMap = std::map<core::LicenseKey, TrojanSpec>;
+
+/// How the circuit reacts to a detection event.
+enum class RecoveryStrategy {
+  /// The paper's scheme: run the recovery-phase binding (rules-compliant
+  /// re-binding away from the detection-phase vendors).
+  kRebindPerRules,
+  /// Soft-error-style baseline: re-execute NC on the same cores. The
+  /// paper's Section 3.2 argues this cannot clear a Trojan whose trigger
+  /// condition persists.
+  kReexecuteSame,
+};
+
+/// Everything observable from one activation scenario.
+struct RunResult {
+  std::vector<Word> golden_outputs;
+  std::vector<Word> nc_outputs;
+  std::vector<Word> rc_outputs;
+  std::vector<Word> recovery_outputs;  ///< empty if recovery never ran
+
+  bool payload_fired_detection = false;  ///< any altered op in NC or RC
+  bool mismatch_detected = false;        ///< NC vs RC disagreement
+  bool recovery_ran = false;
+  bool payload_fired_recovery = false;
+  bool recovered_correctly = false;  ///< recovery outputs match golden
+
+  /// Missed attack: a payload fired during detection yet NC == RC.
+  bool silent_corruption() const {
+    return payload_fired_detection && !mismatch_detected;
+  }
+};
+
+class RuntimeSimulator {
+ public:
+  /// `solution` must validate against `spec` (checked).
+  RuntimeSimulator(const core::ProblemSpec& spec,
+                   const core::Solution& solution);
+
+  /// Simulates one frame. When `persistent_states` is non-null, sequential
+  /// trigger counters carry over between calls (a streaming workload on the
+  /// same silicon); otherwise each call starts from power-on state.
+  RunResult run(const std::vector<Word>& inputs,
+                const InfectionMap& infections,
+                RecoveryStrategy strategy = RecoveryStrategy::kRebindPerRules,
+                std::map<core::CoreKey, TriggerState>* persistent_states =
+                    nullptr) const;
+
+ private:
+  struct ExecEvent {  // one op execution, ordered by (cycle, kind, op)
+    int cycle;
+    core::CopyKind kind;
+    dfg::OpId op;
+    core::CoreKey core;
+  };
+
+  const core::ProblemSpec& spec_;
+  const core::Solution& solution_;
+  std::vector<ExecEvent> detection_events_;
+  std::vector<ExecEvent> recovery_events_;   // rules-compliant binding
+  std::vector<ExecEvent> reexecute_events_;  // NC binding replayed
+};
+
+/// Which detection-phase computation was corrupted, judged against the
+/// trusted recovery result. Meaningful only when recovery ran and
+/// recovered correctly; feeds core::suspect_licenses for quarantine.
+enum class CorruptedSide { kNone, kNormal, kRedundant, kBoth };
+
+CorruptedSide diagnose_corrupted_side(const RunResult& result);
+
+}  // namespace ht::trojan

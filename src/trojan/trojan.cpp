@@ -1,0 +1,37 @@
+#include "trojan/trojan.hpp"
+
+namespace ht::trojan {
+
+bool TriggerState::step(const TrojanSpec& spec, Word a, Word b,
+                        bool same_vendor_upstream) {
+  const bool match = spec.trigger.matches(a, b);
+  bool active = false;
+  switch (spec.trigger.kind) {
+    case TriggerSpec::Kind::kCombinational:
+      active = match;
+      break;
+    case TriggerSpec::Kind::kCollusion:
+      active = match && same_vendor_upstream;
+      break;
+    case TriggerSpec::Kind::kSequential:
+      // The counter is internal state of the trigger logic (Figure 2(b));
+      // it arms on matching events. The trigger *signal* is only set while
+      // the condition currently holds — so it resets the moment the host
+      // unit sees other operands, which is what recovery exploits.
+      if (match && counter_ < spec.trigger.threshold) ++counter_;
+      active = match && counter_ >= spec.trigger.threshold;
+      break;
+  }
+  if (spec.payload.has_memory) {
+    latched_ = latched_ || active;
+    return latched_;
+  }
+  return active;
+}
+
+void TriggerState::reset() {
+  counter_ = 0;
+  latched_ = false;
+}
+
+}  // namespace ht::trojan

@@ -1,0 +1,91 @@
+// Hardware-Trojan behavioral models (the paper's Section 3.1 taxonomy).
+//
+// A Trojan is a trigger plus a payload. Triggers are combinational (fire
+// while the host unit's operand values match a rare pattern) or sequential
+// (a counter advances on matching events and fires once it passes a
+// threshold — Figure 2(b)). Payloads are memoryless XOR alterations of the
+// host unit's output (Figure 2's payload; Figure 3's payload-with-memory
+// variant is out of the paper's scope and modeled only to show test-time
+// detectability in tests).
+//
+// Matching the paper's fault model: the trigger signal is set exactly while
+// its condition holds and resets otherwise, and a memoryless payload stops
+// corrupting as soon as the trigger resets — which is what recovery by
+// re-binding exploits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ht::trojan {
+
+using Word = std::int64_t;
+
+/// Trigger condition over the host operation's two operand words.
+struct TriggerSpec {
+  enum class Kind {
+    kCombinational,
+    kSequential,
+    /// Collusion (the threat detection Rule 2 exists for): the trigger is
+    /// smuggled to the host by a *same-vendor* core directly upstream, so
+    /// it fires when an operand was produced by a core of the host's own
+    /// vendor (AND the operand pattern matches; set mask = 0 for
+    /// "any value from a colluding core").
+    kCollusion,
+  };
+
+  Kind kind = Kind::kCombinational;
+
+  /// Operand match: (a & mask) == pattern_a && (b & mask) == pattern_b.
+  /// A narrow mask (e.g. ~0xF) makes nearby operand values — the paper's
+  /// "closely related inputs" — hit the same trigger.
+  std::uint64_t mask = ~0ull;
+  std::uint64_t pattern_a = 0;
+  std::uint64_t pattern_b = 0;
+
+  /// Sequential only: the payload fires on the `threshold`-th consecutive
+  /// matching event and stays active while matches continue (a k-bit
+  /// counter reaching 2^k - 1 in Figure 2(b)).
+  int threshold = 1;
+
+  bool matches(Word a, Word b) const {
+    return (static_cast<std::uint64_t>(a) & mask) == (pattern_a & mask) &&
+           (static_cast<std::uint64_t>(b) & mask) == (pattern_b & mask);
+  }
+};
+
+/// Memoryless payload: XORs the host output while the trigger is active.
+struct PayloadSpec {
+  std::uint64_t xor_mask = 1;
+  /// Pedagogical only (Figure 3): once activated, stay active. The paper's
+  /// recovery targets memoryless payloads; tests use this flag to show why.
+  bool has_memory = false;
+};
+
+struct TrojanSpec {
+  TriggerSpec trigger;
+  PayloadSpec payload;
+  std::string description;
+};
+
+/// Per-core-instance run-time trigger state (the sequential counter and the
+/// Figure-3 latch). One exists per physical core instance and persists
+/// across the detection and recovery phases — same silicon.
+class TriggerState {
+ public:
+  /// Feeds one executed operation's operands; returns true if the payload
+  /// is active for this execution. `same_vendor_upstream` reports whether
+  /// any operand was produced by a core of the host unit's vendor (the
+  /// collusion channel; ignored by the other trigger kinds).
+  bool step(const TrojanSpec& spec, Word a, Word b,
+            bool same_vendor_upstream = false);
+
+  void reset();
+
+ private:
+  int counter_ = 0;
+  bool latched_ = false;
+};
+
+}  // namespace ht::trojan

@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace ht::util {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+void log_debug(const std::string& message) {
+  log(LogLevel::kDebug, message);
+}
+void log_info(const std::string& message) { log(LogLevel::kInfo, message); }
+void log_warning(const std::string& message) {
+  log(LogLevel::kWarning, message);
+}
+void log_error(const std::string& message) { log(LogLevel::kError, message); }
+
+}  // namespace ht::util

@@ -1,0 +1,26 @@
+// Minimal leveled logger.
+//
+// Solvers emit progress at Info level; tests run with the level raised to
+// Warning so ctest output stays readable. Not thread-safe by design: every
+// binary in this repository is single-threaded.
+#pragma once
+
+#include <string>
+
+namespace ht::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be printed.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Writes "[level] message" to stderr if `level` passes the global filter.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warning(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace ht::util

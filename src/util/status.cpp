@@ -1,0 +1,13 @@
+#include "util/status.hpp"
+
+namespace ht::util {
+
+void check_spec(bool condition, const std::string& message) {
+  if (!condition) throw SpecError(message);
+}
+
+void check_internal(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace ht::util

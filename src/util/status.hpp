@@ -1,0 +1,47 @@
+// Error handling primitives shared by every ht_* library.
+//
+// The libraries report contract violations and infeasible user input with
+// exceptions derived from ht::util::Error, so call sites can distinguish
+// "your problem specification is broken" (SpecError) from "the solver could
+// not find a feasible answer" (InfeasibleError) and from internal invariant
+// failures (InternalError).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ht::util {
+
+/// Base class of all exceptions thrown by the trojan-hls libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The caller handed us an ill-formed object (cyclic DFG, empty vendor
+/// catalog, negative latency bound, ...).
+class SpecError : public Error {
+ public:
+  explicit SpecError(const std::string& what) : Error(what) {}
+};
+
+/// A solver proved (or gave up trying to refute) that no solution satisfies
+/// the constraints.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant failed; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+/// Throws SpecError with `message` unless `condition` holds.
+void check_spec(bool condition, const std::string& message);
+
+/// Throws InternalError with `message` unless `condition` holds.
+void check_internal(bool condition, const std::string& message);
+
+}  // namespace ht::util

@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/status.hpp"
+
+namespace ht::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  check_spec(!header_.empty(), "TablePrinter requires a non-empty header");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  check_spec(row.size() == header_.size(),
+             "TablePrinter row width mismatches header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::to_string(const std::string& title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += ' ';
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string rule = "+";
+  for (std::size_t width : widths) {
+    rule.append(width + 2, '-');
+    rule += '+';
+  }
+  rule += '\n';
+
+  std::string out;
+  if (!title.empty()) out += title + "\n";
+  out += rule;
+  out += render_row(header_);
+  out += rule;
+  for (const auto& row : rows_) out += render_row(row);
+  out += rule;
+  return out;
+}
+
+std::string TablePrinter::to_csv() const {
+  auto quote = [](const std::string& cell) {
+    if (cell.find(',') == std::string::npos &&
+        cell.find('"') == std::string::npos) {
+      return cell;
+    }
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      out += quote(row[c]);
+    }
+    out += '\n';
+  };
+  append_row(header_);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::filesystem::path fs_path(path);
+  if (fs_path.has_parent_path()) {
+    std::filesystem::create_directories(fs_path.parent_path());
+  }
+  std::ofstream stream(fs_path, std::ios::binary);
+  check_spec(stream.good(), "cannot open for writing: " + path);
+  stream << content;
+}
+
+}  // namespace ht::util

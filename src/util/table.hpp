@@ -1,0 +1,37 @@
+// ASCII table rendering for the benchmark harnesses.
+//
+// The bench binaries reproduce the paper's Tables 1/3/4; TablePrinter keeps
+// their output aligned and also emits CSV so results can be post-processed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ht::util {
+
+/// Column-aligned ASCII table with an optional title, plus CSV export.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with padded columns, a header rule, and an optional title.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing ',' or '"').
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Convenience: writes `content` to `path`, creating parent dirs if needed.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace ht::util

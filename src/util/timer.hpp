@@ -1,0 +1,26 @@
+// Wall-clock stopwatch used for solver time limits and bench reporting.
+#pragma once
+
+#include <chrono>
+
+namespace ht::util {
+
+/// Starts running at construction; elapsed() reports wall-clock seconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ht::util

@@ -1,0 +1,80 @@
+#include "vendor/catalog.hpp"
+
+#include <algorithm>
+
+namespace ht::vendor {
+
+Catalog::Catalog(int num_vendors) : num_vendors_(num_vendors) {
+  util::check_spec(num_vendors > 0, "Catalog requires at least one vendor");
+  offers_.resize(static_cast<std::size_t>(num_vendors) *
+                 dfg::kNumResourceClasses);
+}
+
+std::optional<IpOffer>& Catalog::slot(VendorId v, dfg::ResourceClass rc) {
+  util::check_spec(v >= 0 && v < num_vendors_, "Catalog: vendor out of range");
+  return offers_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
+                 static_cast<std::size_t>(rc)];
+}
+
+const std::optional<IpOffer>& Catalog::slot(VendorId v,
+                                            dfg::ResourceClass rc) const {
+  util::check_spec(v >= 0 && v < num_vendors_, "Catalog: vendor out of range");
+  return offers_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
+                 static_cast<std::size_t>(rc)];
+}
+
+void Catalog::set_offer(VendorId v, dfg::ResourceClass rc, IpOffer offer) {
+  util::check_spec(offer.area > 0 && offer.cost > 0,
+                   "Catalog: offers need positive area and cost");
+  slot(v, rc) = offer;
+}
+
+bool Catalog::offers(VendorId v, dfg::ResourceClass rc) const {
+  return slot(v, rc).has_value();
+}
+
+const IpOffer& Catalog::offer(VendorId v, dfg::ResourceClass rc) const {
+  const std::optional<IpOffer>& entry = slot(v, rc);
+  util::check_spec(entry.has_value(),
+                   "Catalog: " + vendor_name(v) + " offers no " +
+                       dfg::resource_class_name(rc));
+  return *entry;
+}
+
+std::vector<VendorId> Catalog::vendors_by_cost(dfg::ResourceClass rc) const {
+  std::vector<VendorId> result;
+  for (VendorId v = 0; v < num_vendors_; ++v) {
+    if (offers(v, rc)) result.push_back(v);
+  }
+  std::sort(result.begin(), result.end(), [&](VendorId a, VendorId b) {
+    const IpOffer& oa = offer(a, rc);
+    const IpOffer& ob = offer(b, rc);
+    if (oa.cost != ob.cost) return oa.cost < ob.cost;
+    if (oa.area != ob.area) return oa.area < ob.area;
+    return a < b;
+  });
+  return result;
+}
+
+int Catalog::num_vendors_offering(dfg::ResourceClass rc) const {
+  int count = 0;
+  for (VendorId v = 0; v < num_vendors_; ++v) {
+    if (offers(v, rc)) ++count;
+  }
+  return count;
+}
+
+std::string Catalog::vendor_name(VendorId v) const {
+  return "Ven " + std::to_string(v + 1);
+}
+
+void Catalog::validate() const {
+  for (const auto& entry : offers_) {
+    if (entry) {
+      util::check_spec(entry->area > 0 && entry->cost > 0,
+                       "Catalog: offer with non-positive area/cost");
+    }
+  }
+}
+
+}  // namespace ht::vendor

@@ -1,0 +1,66 @@
+// Vendor / IP-core market model.
+//
+// A Catalog is the designer's view of the IP market: for each vendor and
+// each resource class (adder / multiplier / alu) it may hold an *offer*
+// giving the silicon area of one core instance and the one-time license
+// cost. Matching the paper's cost model, instantiating an IP core any number
+// of times incurs its license cost exactly once (Section 4: "using multiple
+// copies of a same IP core does not incur additional fee"), while every
+// instance contributes its area.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dfg/dfg.hpp"
+
+namespace ht::vendor {
+
+/// Dense 0-based vendor index. Printed 1-based ("Ven 1") to match the paper.
+using VendorId = int;
+
+/// One catalog entry: a purchasable IP core of some resource class.
+struct IpOffer {
+  int area = 0;  ///< unit cells per instance
+  int cost = 0;  ///< license fee in dollars (paid once per (vendor, class))
+};
+
+/// The market: |vendors| x |resource classes| optional offers.
+class Catalog {
+ public:
+  explicit Catalog(int num_vendors);
+
+  int num_vendors() const { return num_vendors_; }
+
+  /// Registers (or replaces) vendor `v`'s offer for class `rc`.
+  void set_offer(VendorId v, dfg::ResourceClass rc, IpOffer offer);
+
+  /// True if vendor `v` sells cores of class `rc`.
+  bool offers(VendorId v, dfg::ResourceClass rc) const;
+
+  /// The offer; throws util::SpecError if the vendor has none for `rc`.
+  const IpOffer& offer(VendorId v, dfg::ResourceClass rc) const;
+
+  /// Vendors offering class `rc`, cheapest license first (ties: lower area,
+  /// then lower id). This ordering drives greedy vendor selection.
+  std::vector<VendorId> vendors_by_cost(dfg::ResourceClass rc) const;
+
+  /// Number of vendors offering class `rc`.
+  int num_vendors_offering(dfg::ResourceClass rc) const;
+
+  /// "Ven 3" style display name (1-based like the paper).
+  std::string vendor_name(VendorId v) const;
+
+  /// Throws util::SpecError on non-positive areas/costs.
+  void validate() const;
+
+ private:
+  std::optional<IpOffer>& slot(VendorId v, dfg::ResourceClass rc);
+  const std::optional<IpOffer>& slot(VendorId v, dfg::ResourceClass rc) const;
+
+  int num_vendors_;
+  std::vector<std::optional<IpOffer>> offers_;  // vendor-major
+};
+
+}  // namespace ht::vendor

@@ -1,0 +1,45 @@
+#include "vendor/catalogs.hpp"
+
+namespace ht::vendor {
+
+using dfg::ResourceClass;
+
+Catalog table1() {
+  Catalog catalog(4);
+  // VENDOR | adder area/cost | multiplier area/cost   (paper Table 1)
+  catalog.set_offer(0, ResourceClass::kAdder, {532, 450});
+  catalog.set_offer(0, ResourceClass::kMultiplier, {6843, 950});
+  catalog.set_offer(1, ResourceClass::kAdder, {640, 630});
+  catalog.set_offer(1, ResourceClass::kMultiplier, {5731, 880});
+  catalog.set_offer(2, ResourceClass::kAdder, {763, 540});
+  catalog.set_offer(2, ResourceClass::kMultiplier, {6325, 760});
+  catalog.set_offer(3, ResourceClass::kAdder, {618, 580});
+  catalog.set_offer(3, ResourceClass::kMultiplier, {5937, 1000});
+  return catalog;
+}
+
+Catalog section5() {
+  Catalog catalog(8);
+  struct Row {
+    IpOffer adder, multiplier, alu;
+  };
+  // Vendors 1-4: Table 1 numbers plus an alu offer; vendors 5-8: same ranges.
+  const Row rows[8] = {
+      {{532, 450}, {6843, 950}, {1105, 520}},
+      {{640, 630}, {5731, 880}, {980, 610}},
+      {{763, 540}, {6325, 760}, {1240, 480}},
+      {{618, 580}, {5937, 1000}, {1022, 690}},
+      {{585, 495}, {6104, 905}, {1178, 555}},
+      {{701, 465}, {6590, 830}, {1063, 640}},
+      {{549, 610}, {5810, 945}, {1310, 505}},
+      {{672, 525}, {6477, 795}, {941, 585}},
+  };
+  for (VendorId v = 0; v < 8; ++v) {
+    catalog.set_offer(v, ResourceClass::kAdder, rows[v].adder);
+    catalog.set_offer(v, ResourceClass::kMultiplier, rows[v].multiplier);
+    catalog.set_offer(v, ResourceClass::kAlu, rows[v].alu);
+  }
+  return catalog;
+}
+
+}  // namespace ht::vendor

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/random_dfg.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/csp_solver.hpp"
+#include "core/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+using dfg::ResourceClass;
+using test::motivational_detection_only;
+using test::motivational_spec;
+
+Palettes full_palettes(const ProblemSpec& spec) {
+  Palettes palettes;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const auto rc = static_cast<ResourceClass>(cls);
+    if (spec.graph.ops_per_class()[cls] == 0) continue;
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      if (spec.catalog.offers(v, rc)) {
+        palettes[static_cast<std::size_t>(cls)].push_back(v);
+      }
+    }
+  }
+  return palettes;
+}
+
+TEST(CspTest, SolvesMotivationalDetectionOnly) {
+  const ProblemSpec spec = motivational_detection_only();
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok())
+      << validate_solution(spec, result.solution).to_string();
+}
+
+TEST(CspTest, SolvesMotivationalWithRecovery) {
+  const ProblemSpec spec = motivational_spec();
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+  EXPECT_LE(result.solution.total_area(spec), spec.area_limit);
+}
+
+TEST(CspTest, InfeasibleWithTooFewVendors) {
+  // Detection Rule 1 alone needs two vendors per used class.
+  const ProblemSpec spec = motivational_detection_only();
+  Palettes palettes;
+  palettes[static_cast<std::size_t>(ResourceClass::kAdder)] = {0};
+  palettes[static_cast<std::size_t>(ResourceClass::kMultiplier)] = {0};
+  const CspResult result = schedule_and_bind(spec, palettes);
+  EXPECT_EQ(result.status, CspResult::Status::kInfeasible);
+}
+
+TEST(CspTest, RecoveryInfeasibleWithTwoVendors) {
+  // NC/RC/REC of one op form a vendor triangle: two vendors cannot work.
+  const ProblemSpec spec = motivational_spec();
+  Palettes palettes;
+  palettes[static_cast<std::size_t>(ResourceClass::kAdder)] = {0, 1};
+  palettes[static_cast<std::size_t>(ResourceClass::kMultiplier)] = {0, 1};
+  const CspResult result = schedule_and_bind(spec, palettes);
+  EXPECT_EQ(result.status, CspResult::Status::kInfeasible);
+}
+
+TEST(CspTest, InfeasibleUnderImpossibleArea) {
+  ProblemSpec spec = motivational_detection_only();
+  spec.area_limit = 100;  // no multiplier fits
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  EXPECT_EQ(result.status, CspResult::Status::kInfeasible);
+}
+
+TEST(CspTest, HonorsInstanceCap) {
+  ProblemSpec spec = motivational_detection_only();
+  spec.max_instances_per_offer = 1;
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible);
+  const auto cores = result.solution.cores_used(spec);
+  for (const CoreKey& core : cores) {
+    EXPECT_EQ(core.instance, 0);
+  }
+}
+
+TEST(CspTest, NodeLimitReported) {
+  const ProblemSpec spec = motivational_spec();
+  CspOptions options;
+  options.max_nodes = 1;  // cannot finish in one node
+  const CspResult result =
+      schedule_and_bind(spec, full_palettes(spec), options);
+  EXPECT_EQ(result.status, CspResult::Status::kNodeLimit);
+}
+
+TEST(CspTest, RandomizedSeedStillValid) {
+  const ProblemSpec spec = motivational_spec();
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    CspOptions options;
+    options.seed = seed;
+    const CspResult result =
+        schedule_and_bind(spec, full_palettes(spec), options);
+    ASSERT_EQ(result.status, CspResult::Status::kFeasible);
+    EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+  }
+}
+
+TEST(CspTest, TightLatencyEqualsCriticalPath) {
+  ProblemSpec spec = test::easy_section5_spec(true);
+  spec.lambda_detection = 3;  // polynom critical path
+  spec.lambda_recovery = 3;
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible);
+  EXPECT_LE(result.solution.detection_makespan(), 3);
+  EXPECT_LE(result.solution.recovery_makespan(), 3);
+}
+
+// Property sweep: on random DFGs with the full Section 5 palette and roomy
+// bounds, the CSP must always find a valid solution (the instance is
+// under-constrained), and it must always validate.
+class CspRandomDfgTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspRandomDfgTest, ::testing::Range(1, 11));
+
+TEST_P(CspRandomDfgTest, RoomyBoundsAlwaysFeasibleAndValid) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  benchmarks::RandomDfgConfig config;
+  config.num_ops = static_cast<int>(rng.uniform_int(4, 16));
+  config.max_depth = 5;
+  ProblemSpec spec;
+  spec.graph = benchmarks::random_dfg(config, rng);
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 8;
+  spec.lambda_recovery = 8;
+  spec.with_recovery = true;
+  spec.area_limit = 500000;
+  const CspResult result = schedule_and_bind(spec, full_palettes(spec));
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible)
+      << "ops=" << spec.graph.num_ops();
+  const auto report = validate_solution(spec, result.solution);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+// All six paper benchmarks, detection-only, loosest Table 3 row: the CSP
+// must find a valid binding when given a trimmed palette (three cheapest
+// vendors per class — the shape the optimizer actually asks for; the full
+// 8-vendor palette needlessly explodes the branching factor).
+class CspPaperSuiteTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Rows, CspPaperSuiteTest, ::testing::Range(0, 6));
+
+TEST_P(CspPaperSuiteTest, DetectionOnlyFeasibleOnPaperRows) {
+  const auto& entry = benchmarks::paper_suite()[
+      static_cast<std::size_t>(GetParam())];
+  const auto row = entry.table3[0];
+  ProblemSpec spec = make_detection_only_spec(
+      entry.factory(), vendor::section5(), row.lambda, row.area);
+  // Three smallest-AREA vendors per class: feasibility probing must not be
+  // defeated by the cheap-license/large-area tradeoff (elliptic's tight
+  // area bound rules out the cheapest multipliers entirely).
+  Palettes palettes;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const auto rc = static_cast<ResourceClass>(cls);
+    if (spec.graph.ops_per_class()[cls] == 0) continue;
+    std::vector<vendor::VendorId> by_area =
+        spec.catalog.vendors_by_cost(rc);
+    std::sort(by_area.begin(), by_area.end(),
+              [&](vendor::VendorId a, vendor::VendorId b) {
+                return spec.catalog.offer(a, rc).area <
+                       spec.catalog.offer(b, rc).area;
+              });
+    palettes[static_cast<std::size_t>(cls)] = {by_area[0], by_area[1],
+                                               by_area[2]};
+  }
+  CspOptions options;
+  options.max_nodes = 2'000'000;
+  options.time_limit_seconds = 30;
+  const CspResult result = schedule_and_bind(spec, palettes, options);
+  ASSERT_EQ(result.status, CspResult::Status::kFeasible) << entry.name;
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+}
+
+}  // namespace
+}  // namespace ht::core

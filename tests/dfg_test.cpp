@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dfg/analysis.hpp"
+#include "dfg/dfg.hpp"
+#include "dfg/dot.hpp"
+
+namespace ht::dfg {
+namespace {
+
+/// a*b + c*d with the sum marked as output.
+Dfg small_graph() {
+  Dfg g("small");
+  Operand a = g.add_input("a");
+  Operand b = g.add_input("b");
+  Operand c = g.add_input("c");
+  Operand d = g.add_input("d");
+  OpId m1 = g.mul(a, b, "m1");
+  OpId m2 = g.mul(c, d, "m2");
+  OpId s = g.add(Operand::op(m1), Operand::op(m2), "s");
+  g.mark_output(s);
+  return g;
+}
+
+TEST(DfgTest, BuilderCountsOpsAndInputs) {
+  const Dfg g = small_graph();
+  EXPECT_EQ(g.num_ops(), 3);
+  EXPECT_EQ(g.num_inputs(), 4);
+  ASSERT_EQ(g.outputs().size(), 1u);
+  EXPECT_EQ(g.outputs()[0], 2);
+}
+
+TEST(DfgTest, ResourceClassMapping) {
+  EXPECT_EQ(resource_class_of(OpType::kAdd), ResourceClass::kAdder);
+  EXPECT_EQ(resource_class_of(OpType::kSub), ResourceClass::kAdder);
+  EXPECT_EQ(resource_class_of(OpType::kMul), ResourceClass::kMultiplier);
+  EXPECT_EQ(resource_class_of(OpType::kDiv), ResourceClass::kMultiplier);
+  EXPECT_EQ(resource_class_of(OpType::kShr), ResourceClass::kAlu);
+  EXPECT_EQ(resource_class_of(OpType::kLt), ResourceClass::kAlu);
+  EXPECT_EQ(resource_class_of(OpType::kMax), ResourceClass::kAlu);
+}
+
+TEST(DfgTest, ForwardReferencesRejected) {
+  Dfg g;
+  Operand a = g.add_input("a");
+  EXPECT_THROW(g.add_op(OpType::kAdd, a, Operand::op(5)), util::SpecError);
+}
+
+TEST(DfgTest, UnknownInputRejected) {
+  Dfg g;
+  EXPECT_THROW(g.add_op(OpType::kAdd, Operand::input(0), Operand::constant(1)),
+               util::SpecError);
+}
+
+TEST(DfgTest, EdgesDerivedFromOperands) {
+  const Dfg g = small_graph();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(0, 2));
+  EXPECT_EQ(edges[1], std::make_pair(1, 2));
+}
+
+TEST(DfgTest, DuplicateOperandYieldsSingleParent) {
+  Dfg g;
+  Operand a = g.add_input("a");
+  OpId m = g.mul(a, a, "sq");
+  OpId s = g.add(Operand::op(m), Operand::op(m), "dbl");
+  EXPECT_EQ(g.parents(s), std::vector<OpId>{m});
+  EXPECT_EQ(g.children(m), std::vector<OpId>{s});
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(DfgTest, OpsPerClass) {
+  const Dfg g = small_graph();
+  const auto counts = g.ops_per_class();
+  EXPECT_EQ(counts[static_cast<int>(ResourceClass::kAdder)], 1);
+  EXPECT_EQ(counts[static_cast<int>(ResourceClass::kMultiplier)], 2);
+  EXPECT_EQ(counts[static_cast<int>(ResourceClass::kAlu)], 0);
+}
+
+TEST(DfgTest, MarkOutputDeduplicates) {
+  Dfg g = small_graph();
+  g.mark_output(2);
+  EXPECT_EQ(g.outputs().size(), 1u);
+}
+
+TEST(DfgTest, ValidatePassesOnBuilderGraphs) {
+  EXPECT_NO_THROW(small_graph().validate());
+}
+
+// ---- analysis -------------------------------------------------------------
+
+TEST(AnalysisTest, AsapLevels) {
+  const Dfg g = small_graph();
+  const auto asap = asap_levels(g);
+  EXPECT_EQ(asap, (std::vector<int>{1, 1, 2}));
+}
+
+TEST(AnalysisTest, CriticalPath) {
+  EXPECT_EQ(critical_path_length(small_graph()), 2);
+}
+
+TEST(AnalysisTest, AlapAtCriticalPathHasZeroMobilityOnChain) {
+  const Dfg g = small_graph();
+  const auto alap = alap_levels(g, 2);
+  EXPECT_EQ(alap, (std::vector<int>{1, 1, 2}));
+}
+
+TEST(AnalysisTest, AlapWithSlack) {
+  const Dfg g = small_graph();
+  const auto alap = alap_levels(g, 4);
+  EXPECT_EQ(alap, (std::vector<int>{3, 3, 4}));
+}
+
+TEST(AnalysisTest, AlapBelowCriticalPathThrows) {
+  EXPECT_THROW(alap_levels(small_graph(), 1), util::InfeasibleError);
+}
+
+TEST(AnalysisTest, SiblingPairs) {
+  const Dfg g = small_graph();
+  const auto siblings = sibling_pairs(g);
+  ASSERT_EQ(siblings.size(), 1u);
+  EXPECT_EQ(siblings[0], std::make_pair(0, 1));
+}
+
+TEST(AnalysisTest, SiblingPairsIgnoreSelfPairs) {
+  Dfg g;
+  Operand a = g.add_input("a");
+  OpId m = g.mul(a, a);
+  OpId s = g.add(Operand::op(m), Operand::op(m));
+  (void)s;
+  EXPECT_TRUE(sibling_pairs(g).empty());
+}
+
+TEST(AnalysisTest, MinCoresLowerBoundTightChain) {
+  // Two independent muls must share one cycle when latency is 1... which is
+  // impossible with one core: bound is 2.
+  Dfg g;
+  Operand a = g.add_input("a");
+  Operand b = g.add_input("b");
+  g.mul(a, b);
+  g.mul(b, a);
+  EXPECT_EQ(min_cores_lower_bound(g, ResourceClass::kMultiplier, 1), 2);
+  EXPECT_EQ(min_cores_lower_bound(g, ResourceClass::kMultiplier, 2), 1);
+}
+
+TEST(AnalysisTest, MinCoresLowerBoundZeroForAbsentClass) {
+  EXPECT_EQ(min_cores_lower_bound(small_graph(), ResourceClass::kAlu, 3), 0);
+}
+
+TEST(AnalysisTest, SchedulabilityBundle) {
+  const Schedulability s = analyze_schedulability(small_graph(), 3);
+  EXPECT_EQ(s.critical_path_length, 2);
+  EXPECT_EQ(s.asap.size(), 3u);
+  EXPECT_EQ(s.alap.size(), 3u);
+  for (std::size_t i = 0; i < s.asap.size(); ++i) {
+    EXPECT_LE(s.asap[i], s.alap[i]);
+  }
+}
+
+// ---- dot -------------------------------------------------------------------
+
+TEST(DotTest, ContainsNodesAndEdges) {
+  const std::string dot = to_dot(small_graph());
+  EXPECT_NE(dot.find("digraph \"small\""), std::string::npos);
+  EXPECT_NE(dot.find("m1:mul"), std::string::npos);
+  EXPECT_NE(dot.find("op0 -> op2"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // output node
+  EXPECT_NE(dot.find("in0 -> op0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::dfg

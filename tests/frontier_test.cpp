@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "core/frontier.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+TEST(FrontierTest, AreaSweepCostIsNonincreasing) {
+  const ProblemSpec spec = test::motivational_detection_only();
+  const std::vector<long long> areas = {13000, 16000, 20000, 30000, 60000};
+  const auto frontier = area_frontier(spec, areas);
+  ASSERT_EQ(frontier.size(), areas.size());
+  long long previous = -1;
+  for (const FrontierPoint& point : frontier) {
+    EXPECT_EQ(point.constraint,
+              areas[static_cast<std::size_t>(&point - frontier.data())]);
+    if (point.result.status != OptStatus::kOptimal) continue;
+    if (previous >= 0) {
+      EXPECT_LE(point.result.cost, previous);
+    }
+    previous = point.result.cost;
+  }
+  // The loosest budget must be solvable.
+  EXPECT_TRUE(frontier.back().result.has_solution());
+}
+
+TEST(FrontierTest, AreaSweepGoesInfeasibleBelowMinimum) {
+  const ProblemSpec spec = test::motivational_detection_only();
+  // polynom needs at least ~2 concurrent multipliers; 8000 can't hold one
+  // pair of them plus adders.
+  const auto frontier = area_frontier(spec, {8000});
+  EXPECT_EQ(frontier[0].result.status, OptStatus::kInfeasible);
+}
+
+TEST(FrontierTest, LatencySweepFloorsAtTwiceCriticalPath) {
+  ProblemSpec base = test::motivational_spec();
+  base.catalog = vendor::section5();
+  base.area_limit = 60000;
+  // polynom critical path = 3: totals below 6 are infeasible by definition.
+  const auto frontier = latency_frontier(base, {4, 5, 6, 8, 10});
+  EXPECT_EQ(frontier[0].result.status, OptStatus::kInfeasible);
+  EXPECT_EQ(frontier[1].result.status, OptStatus::kInfeasible);
+  EXPECT_TRUE(frontier[2].result.has_solution());
+  EXPECT_TRUE(frontier[4].result.has_solution());
+  // Looser total never costs more (both proved optimal).
+  if (frontier[2].result.status == OptStatus::kOptimal &&
+      frontier[4].result.status == OptStatus::kOptimal) {
+    EXPECT_LE(frontier[4].result.cost, frontier[2].result.cost);
+  }
+}
+
+TEST(FrontierTest, LatencySweepRequiresRecoveryMode) {
+  const ProblemSpec spec = test::motivational_detection_only();
+  EXPECT_THROW(latency_frontier(spec, {8}), util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht::core

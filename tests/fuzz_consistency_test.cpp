@@ -1,0 +1,146 @@
+// Cross-engine consistency fuzzing.
+//
+// For random problem specs the independent solution paths must agree:
+//   * exact never costs more than heuristic, and both validate;
+//   * feasibility verdicts are consistent (one engine cannot prove
+//     infeasible what another solved);
+//   * the run-time pipeline accepts every produced design (behavioral and
+//     RTL cross-simulation, clean run equals golden);
+//   * rule monotonicity: disabling rules never raises the minimum cost,
+//     adding close pairs never lowers it.
+#include <gtest/gtest.h>
+
+#include "benchmarks/random_dfg.hpp"
+#include "core/optimizer.hpp"
+#include "dfg/analysis.hpp"
+#include "trojan/monte_carlo.hpp"
+#include "rtl/sim.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht {
+namespace {
+
+core::ProblemSpec random_spec(util::Rng& rng, bool with_recovery) {
+  benchmarks::RandomDfgConfig config;
+  config.num_ops = static_cast<int>(rng.uniform_int(4, 14));
+  config.max_depth = 4;
+  config.edge_probability = rng.uniform01() * 0.6 + 0.2;
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::random_dfg(config, rng);
+  spec.catalog = vendor::section5();
+  const int cp = dfg::critical_path_length(spec.graph);
+  spec.lambda_detection = cp + static_cast<int>(rng.uniform_int(0, 3));
+  spec.with_recovery = with_recovery;
+  spec.lambda_recovery =
+      with_recovery ? cp + static_cast<int>(rng.uniform_int(0, 3)) : 0;
+  // Areas from generous down to tight-but-usually-feasible.
+  spec.area_limit = 30000 + rng.uniform_int(0, 8) * 20000;
+  return spec;
+}
+
+class FuzzConsistencyTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzConsistencyTest, ::testing::Range(1, 13));
+
+TEST_P(FuzzConsistencyTest, ExactAndHeuristicAgree) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int round = 0; round < 3; ++round) {
+    const core::ProblemSpec spec = random_spec(rng, rng.chance(0.5));
+
+    core::OptimizerOptions exact_options;
+    exact_options.time_limit_seconds = 10;
+    const core::OptimizeResult exact =
+        core::minimize_cost(spec, exact_options);
+
+    core::OptimizerOptions heuristic_options;
+    heuristic_options.strategy = core::Strategy::kHeuristic;
+    heuristic_options.time_limit_seconds = 10;
+    heuristic_options.seed = rng.next_u64() | 1;
+    const core::OptimizeResult heuristic =
+        core::minimize_cost(spec, heuristic_options);
+
+    // Verdict consistency.
+    if (exact.status == core::OptStatus::kInfeasible) {
+      EXPECT_FALSE(heuristic.has_solution())
+          << "heuristic solved an instance exact proved infeasible";
+    }
+    if (heuristic.status == core::OptStatus::kInfeasible) {
+      EXPECT_FALSE(exact.has_solution())
+          << "exact solved an instance heuristic proved infeasible";
+    }
+    if (exact.has_solution()) {
+      EXPECT_TRUE(core::validate_solution(spec, exact.solution).ok());
+    }
+    if (heuristic.has_solution()) {
+      EXPECT_TRUE(core::validate_solution(spec, heuristic.solution).ok());
+    }
+    if (exact.status == core::OptStatus::kOptimal &&
+        heuristic.has_solution()) {
+      EXPECT_LE(exact.cost, heuristic.cost);
+    }
+    if (exact.status == core::OptStatus::kOptimal &&
+        heuristic.status == core::OptStatus::kOptimal) {
+      EXPECT_EQ(exact.cost, heuristic.cost);
+    }
+  }
+}
+
+TEST_P(FuzzConsistencyTest, ProducedDesignsSimulateCleanly) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7907 + 13);
+  const core::ProblemSpec spec = random_spec(rng, true);
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  options.time_limit_seconds = 10;
+  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  if (!design.has_solution()) return;  // tight random spec; nothing to check
+
+  std::vector<trojan::Word> inputs;
+  for (int i = 0; i < spec.graph.num_inputs(); ++i) {
+    inputs.push_back(rng.uniform_int(0, 1 << 18));
+  }
+  // Behavioral clean run == golden everywhere.
+  const trojan::RuntimeSimulator behavioral(spec, design.solution);
+  const trojan::RunResult run = behavioral.run(inputs, {});
+  EXPECT_FALSE(run.mismatch_detected);
+  EXPECT_EQ(run.nc_outputs, run.golden_outputs);
+  EXPECT_EQ(run.rc_outputs, run.golden_outputs);
+
+  // RTL clean run agrees.
+  const rtl::ElaboratedDesign elaborated =
+      rtl::elaborate(spec, design.solution);
+  const rtl::RtlSimulator rtl_sim(elaborated);
+  const rtl::RtlRunResult rtl_run = rtl_sim.run(inputs, {});
+  EXPECT_FALSE(rtl_run.detected);
+  EXPECT_EQ(rtl_run.outputs, run.golden_outputs);
+
+  // Collusion-free by construction.
+  const trojan::CollusionProbe probe = [&] {
+    return trojan::run_collusion_probe(spec, design.solution, 10,
+                                       rng.next_u64() | 1);
+  }();
+  EXPECT_EQ(probe.frames_with_activation, 0);
+}
+
+TEST_P(FuzzConsistencyTest, RuleMonotonicity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 33391 + 7);
+  const core::ProblemSpec full = random_spec(rng, true);
+  core::ProblemSpec relaxed = full;
+  relaxed.rules.detection_parent_child = false;
+  relaxed.rules.detection_sibling = false;
+  relaxed.rules.recovery_same_op = false;
+
+  core::OptimizerOptions options;
+  options.time_limit_seconds = 10;
+  const core::OptimizeResult strict = core::minimize_cost(full, options);
+  const core::OptimizeResult loose = core::minimize_cost(relaxed, options);
+  if (strict.status == core::OptStatus::kOptimal &&
+      loose.status == core::OptStatus::kOptimal) {
+    EXPECT_LE(loose.cost, strict.cost);
+  }
+  // A design valid under the full rules is valid under relaxed rules too.
+  if (strict.has_solution()) {
+    EXPECT_TRUE(core::validate_solution(relaxed, strict.solution).ok());
+  }
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "benchmarks/random_dfg.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/greedy.hpp"
+#include "core/validate.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+using dfg::ResourceClass;
+
+/// `per_class` vendors per class, smallest area first — the safest palette
+/// for feasibility probing (license cost is irrelevant to these tests, and
+/// cheap licenses often carry the largest cores).
+Palettes smallest_area_palettes(const ProblemSpec& spec, int per_class) {
+  Palettes palettes;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const auto rc = static_cast<ResourceClass>(cls);
+    if (spec.graph.ops_per_class()[cls] == 0) continue;
+    std::vector<vendor::VendorId> by_area =
+        spec.catalog.vendors_by_cost(rc);
+    std::sort(by_area.begin(), by_area.end(),
+              [&](vendor::VendorId a, vendor::VendorId b) {
+                return spec.catalog.offer(a, rc).area <
+                       spec.catalog.offer(b, rc).area;
+              });
+    for (int i = 0; i < per_class && i < static_cast<int>(by_area.size());
+         ++i) {
+      palettes[static_cast<std::size_t>(cls)].push_back(
+          by_area[static_cast<std::size_t>(i)]);
+    }
+  }
+  return palettes;
+}
+
+TEST(GreedyTest, ConstructsValidMotivationalSolution) {
+  const ProblemSpec spec = test::motivational_spec();
+  util::Rng rng(1);
+  bool succeeded = false;
+  for (int attempt = 0; attempt < 8 && !succeeded; ++attempt) {
+    const auto solution = greedy_construct(spec, smallest_area_palettes(spec, 3),
+                                           rng);
+    if (solution) {
+      succeeded = true;
+      EXPECT_TRUE(validate_solution(spec, *solution).ok());
+    }
+  }
+  EXPECT_TRUE(succeeded);
+}
+
+TEST(GreedyTest, FailsCleanlyWithTooFewVendors) {
+  const ProblemSpec spec = test::motivational_spec();
+  util::Rng rng(2);
+  // Two vendors per class cannot satisfy the NC/RC/recovery triangle.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    EXPECT_EQ(greedy_construct(spec, smallest_area_palettes(spec, 2), rng),
+              std::nullopt);
+  }
+}
+
+TEST(GreedyTest, FailsCleanlyOnTinyArea) {
+  ProblemSpec spec = test::motivational_spec();
+  spec.area_limit = 500;
+  util::Rng rng(3);
+  EXPECT_EQ(greedy_construct(spec, smallest_area_palettes(spec, 3), rng),
+            std::nullopt);
+}
+
+// Every paper benchmark, both Table 3 rows and the loosest Table 4 split:
+// the greedy constructor must find a valid design quickly.
+class GreedyPaperSuiteTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Rows, GreedyPaperSuiteTest, ::testing::Range(0, 6));
+
+TEST_P(GreedyPaperSuiteTest, Table3RowsConstruct) {
+  const auto& entry = benchmarks::paper_suite()[
+      static_cast<std::size_t>(GetParam())];
+  for (const benchmarks::TableRow& row : entry.table3) {
+    ProblemSpec spec = make_detection_only_spec(
+        entry.factory(), vendor::section5(), row.lambda, row.area);
+    util::Rng rng(11);
+    bool succeeded = false;
+    for (int attempt = 0; attempt < 16 && !succeeded; ++attempt) {
+      const auto solution =
+          greedy_construct(spec, smallest_area_palettes(spec, 3), rng);
+      if (solution) {
+        succeeded = true;
+        EXPECT_TRUE(validate_solution(spec, *solution).ok());
+      }
+    }
+    EXPECT_TRUE(succeeded) << entry.name << " lambda=" << row.lambda;
+  }
+}
+
+TEST_P(GreedyPaperSuiteTest, Table4SplitConstructs) {
+  const auto& entry = benchmarks::paper_suite()[
+      static_cast<std::size_t>(GetParam())];
+  const benchmarks::TableRow& row = entry.table4[0];
+  ProblemSpec spec;
+  spec.graph = entry.factory();
+  spec.catalog = vendor::section5();
+  spec.with_recovery = true;
+  spec.lambda_detection = row.lambda / 2;
+  spec.lambda_recovery = row.lambda - row.lambda / 2;
+  spec.area_limit = row.area;
+  util::Rng rng(12);
+  bool succeeded = false;
+  for (int attempt = 0; attempt < 16 && !succeeded; ++attempt) {
+    const auto solution =
+        greedy_construct(spec, smallest_area_palettes(spec, 4), rng);
+    if (solution) {
+      succeeded = true;
+      EXPECT_TRUE(validate_solution(spec, *solution).ok());
+    }
+  }
+  EXPECT_TRUE(succeeded) << entry.name;
+}
+
+// Random-DFG property sweep: whenever greedy returns a solution it is valid
+// (require_valid inside would throw otherwise), and under roomy bounds it
+// should almost always return one.
+class GreedyRandomTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyRandomTest, ::testing::Range(1, 9));
+
+TEST_P(GreedyRandomTest, RoomyBoundsConstruct) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 997);
+  benchmarks::RandomDfgConfig config;
+  config.num_ops = static_cast<int>(rng.uniform_int(6, 24));
+  config.max_depth = 6;
+  ProblemSpec spec;
+  spec.graph = benchmarks::random_dfg(config, rng);
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 9;
+  spec.lambda_recovery = 8;
+  spec.with_recovery = true;
+  spec.area_limit = 500000;
+  bool succeeded = false;
+  for (int attempt = 0; attempt < 8 && !succeeded; ++attempt) {
+    succeeded =
+        greedy_construct(spec, smallest_area_palettes(spec, 4), rng).has_value();
+  }
+  EXPECT_TRUE(succeeded) << "ops=" << spec.graph.num_ops();
+}
+
+}  // namespace
+}  // namespace ht::core

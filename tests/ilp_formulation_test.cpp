@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "core/ilp_formulation.hpp"
+#include "core/optimizer.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+/// Tiny spec the full formulation solves fast: 3-op graph, 3 vendors,
+/// single instance per offer.
+ProblemSpec tiny_spec(bool with_recovery) {
+  dfg::Dfg g("tiny");
+  dfg::Operand a = g.add_input("a");
+  dfg::Operand b = g.add_input("b");
+  dfg::OpId m = g.mul(a, b, "m");
+  dfg::OpId n = g.mul(b, a, "n");
+  dfg::OpId s = g.add(dfg::Operand::op(m), dfg::Operand::op(n), "s");
+  g.mark_output(s);
+
+  vendor::Catalog catalog(4);
+  for (vendor::VendorId v = 0; v < 4; ++v) {
+    catalog.set_offer(v, dfg::ResourceClass::kAdder,
+                      {500 + 10 * v, 400 + 50 * v});
+    catalog.set_offer(v, dfg::ResourceClass::kMultiplier,
+                      {6000 - 100 * v, 900 - 40 * v});
+  }
+
+  ProblemSpec spec;
+  spec.graph = std::move(g);
+  spec.catalog = std::move(catalog);
+  spec.lambda_detection = 3;
+  spec.lambda_recovery = with_recovery ? 2 : 0;
+  spec.with_recovery = with_recovery;
+  spec.area_limit = 40000;
+  spec.max_instances_per_offer = 2;
+  return spec;
+}
+
+TEST(IlpFormulationTest, ModelShapeDetectionOnly) {
+  const ProblemSpec spec = tiny_spec(false);
+  const IlpFormulation formulation(spec);
+  const ilp::Model& model = formulation.model();
+  EXPECT_GT(model.num_variables(), 0);
+  EXPECT_GT(model.num_constraints(), 0);
+  // delta variables exist for every (vendor, used class).
+  for (vendor::VendorId v = 0; v < 4; ++v) {
+    EXPECT_GE(formulation.delta_var(v, dfg::ResourceClass::kAdder), 0);
+    EXPECT_GE(formulation.delta_var(v, dfg::ResourceClass::kMultiplier), 0);
+    EXPECT_EQ(formulation.delta_var(v, dfg::ResourceClass::kAlu), -1);
+  }
+}
+
+TEST(IlpFormulationTest, ScheduleVarsRespectWindows) {
+  const ProblemSpec spec = tiny_spec(false);
+  const IlpFormulation formulation(spec);
+  // op 2 ('s', the add) has ASAP 2: no variable at cycle 1.
+  for (vendor::VendorId v = 0; v < 4; ++v) {
+    for (int m = 0; m < 2; ++m) {
+      EXPECT_EQ(formulation.schedule_var(CopyKind::kNormal, 2, 1, v, m), -1);
+    }
+  }
+  // ...but it exists somewhere in cycles 2..3.
+  bool found = false;
+  for (int cycle = 2; cycle <= 3; ++cycle) {
+    for (vendor::VendorId v = 0; v < 4; ++v) {
+      if (formulation.schedule_var(CopyKind::kNormal, 2, cycle, v, 0) >= 0) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IlpFormulationTest, SolvesTinyDetectionOnly) {
+  const ProblemSpec spec = tiny_spec(false);
+  ilp::BnbOptions options;
+  options.time_limit_seconds = 60;
+  const OptimizeResult result = minimize_cost_ilp(spec, options);
+  ASSERT_EQ(result.status, OptStatus::kOptimal) << to_string(result.status);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+}
+
+TEST(IlpFormulationTest, AgreesWithCspOptimizerDetectionOnly) {
+  const ProblemSpec spec = tiny_spec(false);
+  ilp::BnbOptions ilp_options;
+  ilp_options.time_limit_seconds = 60;
+  const OptimizeResult via_ilp = minimize_cost_ilp(spec, ilp_options);
+  const OptimizeResult via_csp = minimize_cost(spec);
+  ASSERT_EQ(via_ilp.status, OptStatus::kOptimal);
+  ASSERT_EQ(via_csp.status, OptStatus::kOptimal);
+  EXPECT_EQ(via_ilp.cost, via_csp.cost);
+}
+
+TEST(IlpFormulationTest, AgreesWithCspOptimizerWithRecovery) {
+  const ProblemSpec spec = tiny_spec(true);
+  ilp::BnbOptions ilp_options;
+  ilp_options.time_limit_seconds = 120;
+  const OptimizeResult via_ilp = minimize_cost_ilp(spec, ilp_options);
+  const OptimizeResult via_csp = minimize_cost(spec);
+  ASSERT_EQ(via_csp.status, OptStatus::kOptimal);
+  ASSERT_TRUE(via_ilp.has_solution()) << to_string(via_ilp.status);
+  if (via_ilp.status == OptStatus::kOptimal) {
+    EXPECT_EQ(via_ilp.cost, via_csp.cost);
+  } else {
+    EXPECT_GE(via_ilp.cost, via_csp.cost);
+  }
+}
+
+TEST(IlpFormulationTest, WarmStartProvesCspOptimum) {
+  const ProblemSpec spec = tiny_spec(false);
+  const OptimizeResult csp = minimize_cost(spec);
+  ASSERT_EQ(csp.status, OptStatus::kOptimal);
+  ilp::BnbOptions options;
+  options.time_limit_seconds = 120;
+  const OptimizeResult warm =
+      minimize_cost_ilp_warm(spec, csp.solution, options);
+  ASSERT_TRUE(warm.has_solution());
+  // The ILP must never find anything cheaper than the proven CSP optimum.
+  EXPECT_EQ(warm.cost, csp.cost);
+  if (warm.status == OptStatus::kOptimal) {
+    EXPECT_TRUE(validate_solution(spec, warm.solution).ok());
+  }
+}
+
+TEST(IlpFormulationTest, WarmStartCanImproveASuboptimalWarmSolution) {
+  const ProblemSpec spec = tiny_spec(false);
+  // Build a deliberately suboptimal warm solution: solve with the cheapest
+  // multiplier vendor banned, then hand that design to the full-market ILP.
+  ProblemSpec handicapped = spec;
+  vendor::Catalog thinned(spec.catalog.num_vendors());
+  const auto cheapest_mult =
+      spec.catalog.vendors_by_cost(dfg::ResourceClass::kMultiplier).front();
+  for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+    thinned.set_offer(v, dfg::ResourceClass::kAdder,
+                      spec.catalog.offer(v, dfg::ResourceClass::kAdder));
+    if (v != cheapest_mult) {
+      thinned.set_offer(
+          v, dfg::ResourceClass::kMultiplier,
+          spec.catalog.offer(v, dfg::ResourceClass::kMultiplier));
+    }
+  }
+  handicapped.catalog = thinned;
+  const OptimizeResult warm = minimize_cost(handicapped);
+  ASSERT_TRUE(warm.has_solution());
+  const OptimizeResult reference = minimize_cost(spec);
+  ASSERT_EQ(reference.status, OptStatus::kOptimal);
+  ASSERT_GT(warm.cost, reference.cost);  // the handicap must have cost us
+
+  ilp::BnbOptions options;
+  options.time_limit_seconds = 120;
+  const OptimizeResult improved =
+      minimize_cost_ilp_warm(spec, warm.solution, options);
+  ASSERT_TRUE(improved.has_solution());
+  EXPECT_LE(improved.cost, warm.cost);
+  EXPECT_TRUE(validate_solution(spec, improved.solution).ok());
+  if (improved.status == OptStatus::kOptimal) {
+    EXPECT_EQ(improved.cost, reference.cost);
+  }
+}
+
+TEST(IlpFormulationTest, WarmStartRejectsInvalidWarmSolution) {
+  const ProblemSpec spec = tiny_spec(false);
+  Solution bogus(spec.graph.num_ops(), false);  // nothing scheduled
+  EXPECT_THROW(minimize_cost_ilp_warm(spec, bogus), util::InternalError);
+}
+
+TEST(IlpFormulationTest, InfeasibleLatency) {
+  ProblemSpec spec = tiny_spec(false);
+  spec.lambda_detection = 1;  // critical path is 2
+  const OptimizeResult result = minimize_cost_ilp(spec);
+  EXPECT_EQ(result.status, OptStatus::kInfeasible);
+}
+
+TEST(IlpFormulationTest, DecodeRejectsWrongArity) {
+  const ProblemSpec spec = tiny_spec(false);
+  const IlpFormulation formulation(spec);
+  EXPECT_THROW(formulation.decode({1.0, 0.0}), util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht::core

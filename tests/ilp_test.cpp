@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "ilp/branch_and_bound.hpp"
+#include "ilp/brute_force.hpp"
+#include "ilp/model.hpp"
+#include "util/rng.hpp"
+
+namespace ht::ilp {
+namespace {
+
+TEST(ModelTest, RelaxationMirrorsModel) {
+  Model model;
+  const int x = model.add_binary("x", 2.0);
+  const int y = model.add_integer(0, 5, "y", 1.0);
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Relation::kGe, 2.0);
+  const lp::LpProblem relaxed = model.relaxation();
+  EXPECT_EQ(relaxed.num_variables(), 2);
+  EXPECT_EQ(relaxed.num_constraints(), 1);
+  EXPECT_EQ(relaxed.upper(x), 1.0);
+  EXPECT_EQ(relaxed.upper(y), 5.0);
+  EXPECT_EQ(relaxed.objective(x), 2.0);
+}
+
+TEST(ModelTest, FeasibilityChecker) {
+  Model model;
+  const int x = model.add_binary();
+  const int y = model.add_binary();
+  model.add_constraint({{x, 1.0}, {y, 1.0}}, lp::Relation::kLe, 1.0);
+  EXPECT_TRUE(model.is_feasible({1.0, 0.0}));
+  EXPECT_FALSE(model.is_feasible({1.0, 1.0}));    // violates row
+  EXPECT_FALSE(model.is_feasible({0.5, 0.0}));    // fractional binary
+  EXPECT_FALSE(model.is_feasible({1.0}));         // wrong arity
+}
+
+TEST(BruteForceTest, SimpleCover) {
+  // min x0 + 2 x1 st x0 + x1 >= 1 -> x0 = 1.
+  Model model;
+  model.add_binary("x0", 1.0);
+  model.add_binary("x1", 2.0);
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, lp::Relation::kGe, 1.0);
+  const SolveResult result = solve_brute_force(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(result.objective, 1.0);
+  EXPECT_DOUBLE_EQ(result.values[0], 1.0);
+}
+
+TEST(BruteForceTest, ProvesInfeasible) {
+  Model model;
+  model.add_binary();
+  model.add_constraint({{0, 1.0}}, lp::Relation::kGe, 2.0);
+  EXPECT_EQ(solve_brute_force(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(BruteForceTest, RefusesHugeSearchSpace) {
+  Model model;
+  for (int i = 0; i < 40; ++i) model.add_binary();
+  EXPECT_THROW(solve_brute_force(model), util::SpecError);
+}
+
+TEST(BnbTest, Knapsack) {
+  // max 10a + 6b + 4c st 5a + 4b + 3c <= 8 (binary) -> a + c = 14.
+  Model model;
+  model.add_binary("a", -10.0);
+  model.add_binary("b", -6.0);
+  model.add_binary("c", -4.0);
+  model.add_constraint({{0, 5.0}, {1, 4.0}, {2, 3.0}}, lp::Relation::kLe,
+                       8.0);
+  const SolveResult result = solve_branch_and_bound(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(result.objective, -14.0);
+  EXPECT_DOUBLE_EQ(result.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.values[1], 0.0);
+  EXPECT_DOUBLE_EQ(result.values[2], 1.0);
+}
+
+TEST(BnbTest, ProvesInfeasible) {
+  Model model;
+  model.add_binary();
+  model.add_binary();
+  model.add_constraint({{0, 1.0}, {1, 1.0}}, lp::Relation::kGe, 3.0);
+  EXPECT_EQ(solve_branch_and_bound(model).status, SolveStatus::kInfeasible);
+}
+
+TEST(BnbTest, IntegerVariables) {
+  // min 3x + 4y st 2x + y >= 7, x,y integer in [0,10]
+  // LP optimum x=3.5; integer optimum x=3,y=1 -> 13 or x=4 -> 12: check:
+  // x=4,y=0 feasible (8>=7), cost 12. So 12.
+  Model model;
+  model.add_integer(0, 10, "x", 3.0);
+  model.add_integer(0, 10, "y", 4.0);
+  model.add_constraint({{0, 2.0}, {1, 1.0}}, lp::Relation::kGe, 7.0);
+  const SolveResult result = solve_branch_and_bound(model);
+  ASSERT_EQ(result.status, SolveStatus::kOptimal);
+  EXPECT_DOUBLE_EQ(result.objective, 12.0);
+}
+
+TEST(BnbTest, FirstFeasibleStopsEarly) {
+  Model model;
+  for (int i = 0; i < 8; ++i) model.add_binary("", 1.0);
+  std::vector<std::pair<int, double>> all;
+  for (int i = 0; i < 8; ++i) all.emplace_back(i, 1.0);
+  model.add_constraint(all, lp::Relation::kGe, 3.0);
+  BnbOptions options;
+  options.first_feasible_only = true;
+  const SolveResult result = solve_branch_and_bound(model, options);
+  EXPECT_EQ(result.status, SolveStatus::kFeasible);
+  EXPECT_TRUE(model.is_feasible(result.values));
+}
+
+// Property check: B&B equals brute force on random small binary programs.
+class BnbVsBruteForceTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnbVsBruteForceTest,
+                         ::testing::Range(1, 13));
+
+TEST_P(BnbVsBruteForceTest, SameOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1000003);
+  Model model;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    model.add_binary("", static_cast<double>(rng.uniform_int(-20, 20)));
+  }
+  const int rows = static_cast<int>(rng.uniform_int(3, 8));
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::pair<int, double>> terms;
+    for (int i = 0; i < n; ++i) {
+      if (rng.chance(0.5)) {
+        terms.emplace_back(i, static_cast<double>(rng.uniform_int(-5, 5)));
+      }
+    }
+    if (terms.empty()) terms.emplace_back(0, 1.0);
+    const auto rel = static_cast<lp::Relation>(rng.uniform_int(0, 1));  // Le/Ge
+    model.add_constraint(terms, rel,
+                         static_cast<double>(rng.uniform_int(-6, 6)));
+  }
+
+  const SolveResult brute = solve_brute_force(model);
+  const SolveResult bnb = solve_branch_and_bound(model);
+  ASSERT_EQ(bnb.status, brute.status);
+  if (brute.status == SolveStatus::kOptimal) {
+    EXPECT_NEAR(bnb.objective, brute.objective, 1e-6);
+    EXPECT_TRUE(model.is_feasible(bnb.values));
+  }
+}
+
+TEST(SolveStatusTest, Names) {
+  EXPECT_EQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(SolveStatus::kInfeasible), "infeasible");
+}
+
+}  // namespace
+}  // namespace ht::ilp

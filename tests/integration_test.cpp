@@ -1,0 +1,246 @@
+// End-to-end checks tying the whole pipeline together: the paper's
+// motivational example reproduced to the dollar, full benchmark rows
+// optimized and validated, and the detect-then-recover run-time story
+// exercised on optimizer output.
+#include <gtest/gtest.h>
+
+#include "benchmarks/extra.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/optimizer.hpp"
+#include "trojan/monte_carlo.hpp"
+#include "trojan/profiling.hpp"
+#include "trojan/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace ht {
+namespace {
+
+// ---- Figure 5 ---------------------------------------------------------------
+
+TEST(MotivationalTest, ReproducesPaperCostOf4160) {
+  // 5-op polynom DFG, Table 1 market, lambda_det = 4, lambda_rec = 3,
+  // area 22000: the paper reports a minimum purchasing cost of $4160.
+  const core::ProblemSpec spec = test::motivational_spec();
+  const core::OptimizeResult result = core::minimize_cost(spec);
+  ASSERT_EQ(result.status, core::OptStatus::kOptimal)
+      << core::to_string(result.status);
+  EXPECT_EQ(result.cost, 4160);
+  EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
+}
+
+TEST(MotivationalTest, OptimumUsesThreeLicensesPerClass) {
+  const core::ProblemSpec spec = test::motivational_spec();
+  const core::OptimizeResult result = core::minimize_cost(spec);
+  ASSERT_TRUE(result.has_solution());
+  int adders = 0;
+  int multipliers = 0;
+  for (const core::LicenseKey& license :
+       result.solution.licenses_used(spec)) {
+    (license.rc == dfg::ResourceClass::kAdder ? adders : multipliers)++;
+  }
+  EXPECT_EQ(adders, 3);
+  EXPECT_EQ(multipliers, 3);
+}
+
+// ---- table rows end to end -------------------------------------------------
+
+class Table3RowTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Benchmarks, Table3RowTest, ::testing::Range(0, 6));
+
+TEST_P(Table3RowTest, DetectionOnlyRowsSolveAndValidate) {
+  const auto& entry =
+      benchmarks::paper_suite()[static_cast<std::size_t>(GetParam())];
+  for (const benchmarks::TableRow& row : entry.table3) {
+    core::ProblemSpec spec = core::make_detection_only_spec(
+        entry.factory(), vendor::section5(), row.lambda, row.area);
+    core::OptimizerOptions options;
+    options.strategy = core::Strategy::kHeuristic;
+    options.time_limit_seconds = 30;
+    const core::OptimizeResult result = core::minimize_cost(spec, options);
+    ASSERT_TRUE(result.has_solution())
+        << entry.name << " lambda=" << row.lambda;
+    EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
+    // Detection-only lower bound: two cheapest licenses per used class.
+    EXPECT_GE(result.cost, 2 * (450 + 760) / 2);
+  }
+}
+
+TEST(Table4Test, RecoveryRowCostsAtLeastDetectionRow) {
+  // Same benchmark, same catalog: adding the recovery phase can only hold
+  // or raise the minimum cost when latency is not the binding constraint.
+  const auto& entry = benchmarks::by_name("polynom");
+  core::ProblemSpec detection = core::make_detection_only_spec(
+      entry.factory(), vendor::section5(), 6, 60000);
+  const core::OptimizeResult det_result = core::minimize_cost(detection);
+
+  core::ProblemSpec recovery = detection;
+  recovery.with_recovery = true;
+  recovery.lambda_recovery = 6;
+  const core::OptimizeResult rec_result = core::minimize_cost(recovery);
+
+  ASSERT_TRUE(det_result.has_solution());
+  ASSERT_TRUE(rec_result.has_solution());
+  EXPECT_GT(rec_result.cost, det_result.cost);
+}
+
+// ---- optimizer output drives the run-time story ------------------------------
+
+TEST(EndToEndTest, OptimizeThenSimulateDiff2) {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::diff2();
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 6;
+  spec.lambda_recovery = 5;
+  spec.with_recovery = true;
+  spec.area_limit = 120000;
+
+  // Profile close pairs exactly as Section 3.3 prescribes, feed them to
+  // the optimizer, then attack the result.
+  util::Rng rng(404);
+  trojan::ProfileConfig profile;
+  profile.tolerance = 0;
+  spec.closely_related =
+      trojan::profile_close_pairs(spec.graph, profile, rng);
+  EXPECT_FALSE(spec.closely_related.empty());  // udx/udx2 are identical
+
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  ASSERT_TRUE(design.has_solution());
+
+  trojan::CampaignConfig campaign;
+  campaign.trials = 150;
+  campaign.seed = 17;
+  const trojan::CampaignStats stats =
+      trojan::run_campaign(spec, design.solution, campaign);
+  EXPECT_GE(stats.detection_rate(), 0.95);
+  EXPECT_EQ(stats.recovery_failed, 0);
+}
+
+TEST(EndToEndTest, ClosePairRuleProtectsAgainstTwinOperands) {
+  // diff2 computes u*dx twice. An attacker triggering on those operands
+  // can re-fire in recovery if the twin lands on the infected vendor; the
+  // close-pair rule forbids exactly that placement, so with it enabled the
+  // campaign must recover every detection.
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::diff2();
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 6;
+  spec.lambda_recovery = 5;
+  spec.with_recovery = true;
+  spec.area_limit = 120000;
+  util::Rng rng(405);
+  trojan::ProfileConfig profile;
+  profile.tolerance = 0;
+  spec.closely_related =
+      trojan::profile_close_pairs(spec.graph, profile, rng);
+
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  ASSERT_TRUE(design.has_solution());
+
+  trojan::CampaignConfig campaign;
+  campaign.trials = 200;
+  campaign.seed = 23;
+  const trojan::CampaignStats stats =
+      trojan::run_campaign(spec, design.solution, campaign);
+  EXPECT_EQ(stats.recovery_failed, 0);
+}
+
+TEST(EndToEndTest, Fft4TwinOperandsNeedTheClosePairRule) {
+  // fft4 computes t0 = x0+x2 and t1 = x0-x2: identical operand pairs. A
+  // Trojan triggered on t0's operands re-fires on recovery's t1 whenever
+  // t1 lands on the infected vendor — unless recovery Rule 2 knows the
+  // pair. Observed live via `thls simulate fft4`: 94% recovery without
+  // profiling, 100% with (at unchanged license cost).
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::fft4();
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 4;
+  spec.lambda_recovery = 4;
+  spec.with_recovery = true;
+  spec.area_limit = 100000;
+
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  options.time_limit_seconds = 15;
+
+  trojan::CampaignConfig campaign;
+  campaign.trials = 200;
+  campaign.seed = 41;
+
+  // Without the rule: some detected attacks must re-fire in recovery
+  // (this pins the observed hazard; if it ever stops failing, the
+  // scenario has silently changed).
+  const core::OptimizeResult unprotected = core::minimize_cost(spec, options);
+  ASSERT_TRUE(unprotected.has_solution());
+  const trojan::CampaignStats exposed =
+      trojan::run_campaign(spec, unprotected.solution, campaign);
+  EXPECT_GT(exposed.recovery_failed, 0);
+
+  // With profiled close pairs: every detection recovers.
+  util::Rng rng(42);
+  trojan::ProfileConfig profile;
+  profile.tolerance = 0;
+  spec.closely_related =
+      trojan::profile_close_pairs(spec.graph, profile, rng);
+  EXPECT_FALSE(spec.closely_related.empty());
+  const core::OptimizeResult protected_design =
+      core::minimize_cost(spec, options);
+  ASSERT_TRUE(protected_design.has_solution());
+  const trojan::CampaignStats safe =
+      trojan::run_campaign(spec, protected_design.solution, campaign);
+  EXPECT_EQ(safe.recovery_failed, 0);
+  EXPECT_GT(safe.recovery_ran, 0);
+}
+
+TEST(EndToEndTest, DetectionOnlyDesignStillDetects) {
+  // Rajendran-style design (no recovery phase): detection works, recovery
+  // by re-execution is the only option and is unreliable.
+  const core::ProblemSpec spec = test::motivational_detection_only();
+  const core::OptimizeResult design = core::minimize_cost(spec);
+  ASSERT_TRUE(design.has_solution());
+  trojan::CampaignConfig campaign;
+  campaign.trials = 100;
+  campaign.seed = 31;
+  campaign.target_both_computations = false;
+  const trojan::CampaignStats stats =
+      trojan::run_campaign(spec, design.solution, campaign,
+                           trojan::RecoveryStrategy::kReexecuteSame);
+  EXPECT_GE(stats.detection_rate(), 0.95);
+  EXPECT_EQ(stats.recovered, 0);
+}
+
+// ---- spec validation plumbing ------------------------------------------------
+
+TEST(SpecTest, ValidateCatchesBadSpecs) {
+  core::ProblemSpec spec = test::motivational_spec();
+  spec.lambda_detection = 0;
+  EXPECT_THROW(spec.validate(), util::SpecError);
+
+  spec = test::motivational_spec();
+  spec.area_limit = 0;
+  EXPECT_THROW(spec.validate(), util::SpecError);
+
+  spec = test::motivational_spec();
+  spec.closely_related = {{0, 2}};  // mul vs add: mismatched classes
+  EXPECT_THROW(spec.validate(), util::SpecError);
+
+  spec = test::motivational_spec();
+  spec.closely_related = {{0, 99}};
+  EXPECT_THROW(spec.validate(), util::SpecError);
+}
+
+TEST(SpecTest, AluOpsNeedAluVendors) {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::dtmf();       // uses alu ops
+  spec.catalog = vendor::table1();       // no alu offers
+  spec.lambda_detection = 5;
+  spec.with_recovery = false;
+  spec.area_limit = 100000;
+  EXPECT_THROW(spec.validate(), util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "lp/lp_problem.hpp"
+#include "util/rng.hpp"
+
+namespace ht::lp {
+namespace {
+
+TEST(LpTest, TrivialBoundedMinimum) {
+  // min x subject to x >= 3  ->  x = 3.
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, 1.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kGe, 3.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 3.0, 1e-7);
+  EXPECT_NEAR(result.values[0], 3.0, 1e-7);
+}
+
+TEST(LpTest, TwoVariableTextbook) {
+  // max 3x + 5y st x<=4, 2y<=12, 3x+2y<=18 (classic Dantzig example)
+  // -> min -3x -5y; optimum x=2, y=6, objective -36.
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, -3.0);
+  const int y = problem.add_variable(0, kInf, -5.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kLe, 4.0);
+  problem.add_constraint({{y, 2.0}}, Relation::kLe, 12.0);
+  problem.add_constraint({{x, 3.0}, {y, 2.0}}, Relation::kLe, 18.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, -36.0, 1e-7);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(x)], 2.0, 1e-7);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(y)], 6.0, 1e-7);
+}
+
+TEST(LpTest, EqualityConstraint) {
+  // min x + y st x + y = 5, x - y = 1 -> x=3, y=2.
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, 1.0);
+  const int y = problem.add_variable(0, kInf, 1.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 5.0);
+  problem.add_constraint({{x, 1.0}, {y, -1.0}}, Relation::kEq, 1.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(x)], 3.0, 1e-7);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(y)], 2.0, 1e-7);
+}
+
+TEST(LpTest, DetectsInfeasible) {
+  LpProblem problem;
+  const int x = problem.add_variable(0, 1.0, 1.0);
+  problem.add_constraint({{x, 1.0}}, Relation::kGe, 2.0);
+  EXPECT_EQ(solve(problem).status, LpStatus::kInfeasible);
+}
+
+TEST(LpTest, DetectsUnbounded) {
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, -1.0);  // min -x, x free up
+  problem.add_constraint({{x, 1.0}}, Relation::kGe, 0.0);
+  EXPECT_EQ(solve(problem).status, LpStatus::kUnbounded);
+}
+
+TEST(LpTest, RespectsVariableBounds) {
+  // min -x with x in [2, 7] -> x = 7.
+  LpProblem problem;
+  const int x = problem.add_variable(2.0, 7.0, -1.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(x)], 7.0, 1e-7);
+}
+
+TEST(LpTest, NonZeroLowerBoundsShift) {
+  // min x + y, x >= 1.5, y >= 2.5, x + y >= 5 -> 5 total.
+  LpProblem problem;
+  const int x = problem.add_variable(1.5, kInf, 1.0);
+  const int y = problem.add_variable(2.5, kInf, 1.0);
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 5.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 5.0, 1e-7);
+}
+
+TEST(LpTest, NegativeRhsNormalization) {
+  // min x st -x <= -4  (i.e. x >= 4).
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, 1.0);
+  problem.add_constraint({{x, -1.0}}, Relation::kLe, -4.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(x)], 4.0, 1e-7);
+}
+
+TEST(LpTest, DuplicateTermsAccumulate) {
+  // min x with (0.5x + 0.5x) >= 3.
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, 1.0);
+  problem.add_constraint({{x, 0.5}, {x, 0.5}}, Relation::kGe, 3.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.values[static_cast<std::size_t>(x)], 3.0, 1e-7);
+}
+
+TEST(LpTest, DegenerateRedundantConstraints) {
+  LpProblem problem;
+  const int x = problem.add_variable(0, kInf, 1.0);
+  const int y = problem.add_variable(0, kInf, 1.0);
+  for (int i = 0; i < 5; ++i) {
+    problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kGe, 4.0);
+  }
+  problem.add_constraint({{x, 1.0}, {y, 1.0}}, Relation::kEq, 4.0);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+  EXPECT_NEAR(result.objective, 4.0, 1e-7);
+}
+
+TEST(LpTest, BadBoundsThrow) {
+  LpProblem problem;
+  EXPECT_THROW(problem.add_variable(2.0, 1.0), util::SpecError);
+}
+
+TEST(LpTest, UnknownVariableInConstraintThrows) {
+  LpProblem problem;
+  problem.add_variable();
+  EXPECT_THROW(problem.add_constraint({{3, 1.0}}, Relation::kLe, 1.0),
+               util::SpecError);
+}
+
+// Property sweep: random feasible assignment-style LPs; simplex objective
+// must match a known construction. We build transportation-like problems
+// whose optimum we can compute by hand: min sum c_i x_i with sum x_i = K
+// and 0 <= x_i <= 1 -> pick the K cheapest.
+class LpGreedyPropertyTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpGreedyPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST_P(LpGreedyPropertyTest, FractionalKnapsackOptimum) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int n = 12;
+  const int k = 5;
+  LpProblem problem;
+  std::vector<double> costs;
+  std::vector<std::pair<int, double>> sum_terms;
+  for (int i = 0; i < n; ++i) {
+    const double cost = static_cast<double>(rng.uniform_int(1, 100));
+    costs.push_back(cost);
+    const int var = problem.add_variable(0.0, 1.0, cost);
+    sum_terms.emplace_back(var, 1.0);
+  }
+  problem.add_constraint(sum_terms, Relation::kEq, k);
+  const LpResult result = solve(problem);
+  ASSERT_EQ(result.status, LpStatus::kOptimal);
+
+  std::vector<double> sorted = costs;
+  std::sort(sorted.begin(), sorted.end());
+  double expected = 0;
+  for (int i = 0; i < k; ++i) expected += sorted[static_cast<std::size_t>(i)];
+  EXPECT_NEAR(result.objective, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace ht::lp

@@ -1,0 +1,224 @@
+// Multi-cycle functional units: per-class execution latencies through the
+// analysis / CSP / greedy / optimizer / validator stack (an extension
+// beyond the paper's single-cycle model).
+#include <gtest/gtest.h>
+
+#include "benchmarks/classic.hpp"
+#include "core/optimizer.hpp"
+#include "core/ilp_formulation.hpp"
+#include "dfg/analysis.hpp"
+#include "rtl/elaborate.hpp"
+#include "test_helpers.hpp"
+#include "trojan/simulator.hpp"
+
+namespace ht {
+namespace {
+
+using dfg::ResourceClass;
+
+/// Motivational spec with 2-cycle multipliers and room to schedule them.
+core::ProblemSpec multicycle_spec() {
+  core::ProblemSpec spec = test::motivational_spec();
+  spec.class_latency[static_cast<int>(ResourceClass::kMultiplier)] = 2;
+  // polynom's weighted critical path: mul(2) -> mul(2) -> add(1) = 5, and
+  // mul -> add -> add = 5 as well.
+  spec.lambda_detection = 7;
+  spec.lambda_recovery = 6;
+  spec.area_limit = 40000;
+  return spec;
+}
+
+// ---- weighted analysis ------------------------------------------------------
+
+TEST(WeightedAnalysisTest, AsapAccountsForParentLatency) {
+  const dfg::Dfg graph = benchmarks::polynom();
+  // ops: m1, m2 (mul), s1 (add), m3 (mul), s2 (add).
+  const std::vector<int> latencies = {2, 2, 1, 2, 1};
+  const auto asap = dfg::asap_levels(graph, latencies);
+  EXPECT_EQ(asap, (std::vector<int>{1, 1, 3, 3, 5}));
+  EXPECT_EQ(dfg::critical_path_length(graph, latencies), 5);
+}
+
+TEST(WeightedAnalysisTest, AlapAccountsForOwnAndChildLatency) {
+  const dfg::Dfg graph = benchmarks::polynom();
+  const std::vector<int> latencies = {2, 2, 1, 2, 1};
+  const auto alap = dfg::alap_levels(graph, 6, latencies);
+  // s2 (1 cycle) by 6 -> start 6; s1 by 5; m3 (2 cycles) by 5 -> start 4;
+  // m2 feeds s1 (start<=5 -> finish by 4 -> m2<=3) and m3 (m2<=2);
+  // m1 feeds s1: must finish before 5 -> start <= 3.
+  EXPECT_EQ(alap, (std::vector<int>{3, 2, 5, 4, 6}));
+}
+
+TEST(WeightedAnalysisTest, UnitLatencyMatchesLegacyOverload) {
+  const dfg::Dfg graph = benchmarks::diff2();
+  const std::vector<int> unit(static_cast<std::size_t>(graph.num_ops()), 1);
+  EXPECT_EQ(dfg::asap_levels(graph), dfg::asap_levels(graph, unit));
+  EXPECT_EQ(dfg::alap_levels(graph, 8), dfg::alap_levels(graph, 8, unit));
+  EXPECT_EQ(dfg::critical_path_length(graph),
+            dfg::critical_path_length(graph, unit));
+}
+
+TEST(WeightedAnalysisTest, BadLatencyVectorRejected) {
+  const dfg::Dfg graph = benchmarks::polynom();
+  EXPECT_THROW(dfg::asap_levels(graph, {1, 1}), util::SpecError);
+  EXPECT_THROW(dfg::asap_levels(graph, {1, 1, 0, 1, 1}), util::SpecError);
+}
+
+// ---- spec plumbing -----------------------------------------------------------
+
+TEST(MulticycleSpecTest, LatencyHelpers) {
+  const core::ProblemSpec spec = multicycle_spec();
+  EXPECT_FALSE(spec.unit_latency());
+  EXPECT_EQ(spec.op_latency(0), 2);  // m1 is a mul
+  EXPECT_EQ(spec.op_latency(2), 1);  // s1 is an add
+  EXPECT_EQ(spec.op_latencies(), (std::vector<int>{2, 2, 1, 2, 1}));
+  EXPECT_TRUE(test::motivational_spec().unit_latency());
+}
+
+TEST(MulticycleSpecTest, ZeroLatencyRejected) {
+  core::ProblemSpec spec = multicycle_spec();
+  spec.class_latency[0] = 0;
+  EXPECT_THROW(spec.validate(), util::SpecError);
+}
+
+// ---- optimization under multi-cycle units ------------------------------------
+
+TEST(MulticycleOptimizeTest, SolvesAndValidates) {
+  const core::ProblemSpec spec = multicycle_spec();
+  const core::OptimizeResult result = core::minimize_cost(spec);
+  ASSERT_TRUE(result.has_solution()) << core::to_string(result.status);
+  EXPECT_TRUE(core::validate_solution(spec, result.solution).ok())
+      << core::validate_solution(spec, result.solution).to_string();
+  // Every multiply occupies two cycles: its finish must respect the bound.
+  for (core::CopyRef ref : result.solution.all_copies()) {
+    const int lambda = ref.kind == core::CopyKind::kRecovery
+                           ? spec.lambda_recovery
+                           : spec.lambda_detection;
+    EXPECT_LE(result.solution.at(ref).cycle + spec.op_latency(ref.op) - 1,
+              lambda);
+  }
+}
+
+TEST(MulticycleOptimizeTest, TooTightLatencyIsInfeasible) {
+  core::ProblemSpec spec = multicycle_spec();
+  spec.lambda_detection = 4;  // weighted critical path is 5
+  EXPECT_EQ(core::minimize_cost(spec).status, core::OptStatus::kInfeasible);
+}
+
+TEST(MulticycleOptimizeTest, SlowerMultipliersNeverCheaper) {
+  // Same spec with unit vs 2-cycle multipliers at the same bounds: fewer
+  // scheduling options can only hold or raise the minimum cost.
+  core::ProblemSpec fast = multicycle_spec();
+  fast.class_latency = {1, 1, 1};
+  const core::OptimizeResult fast_result = core::minimize_cost(fast);
+  const core::OptimizeResult slow_result =
+      core::minimize_cost(multicycle_spec());
+  ASSERT_EQ(fast_result.status, core::OptStatus::kOptimal);
+  ASSERT_EQ(slow_result.status, core::OptStatus::kOptimal);
+  EXPECT_GE(slow_result.cost, fast_result.cost);
+}
+
+TEST(MulticycleOptimizeTest, HeuristicPathAgrees) {
+  const core::ProblemSpec spec = multicycle_spec();
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  const core::OptimizeResult heuristic = core::minimize_cost(spec, options);
+  ASSERT_TRUE(heuristic.has_solution());
+  EXPECT_TRUE(core::validate_solution(spec, heuristic.solution).ok());
+  const core::OptimizeResult exact = core::minimize_cost(spec);
+  ASSERT_TRUE(exact.has_solution());
+  EXPECT_LE(exact.cost, heuristic.cost);
+}
+
+TEST(MulticycleOptimizeTest, Diff2WithSlowMultipliers) {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::diff2();
+  spec.catalog = vendor::section5();
+  spec.class_latency[static_cast<int>(ResourceClass::kMultiplier)] = 2;
+  // diff2 weighted critical path: mul,mul chains -> 3x(1)->3xudx: 2+2+1+1=…
+  spec.lambda_detection =
+      dfg::critical_path_length(spec.graph, spec.op_latencies()) + 2;
+  spec.lambda_recovery = spec.lambda_detection;
+  spec.with_recovery = true;
+  spec.area_limit = 150000;
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  const core::OptimizeResult result = core::minimize_cost(spec, options);
+  ASSERT_TRUE(result.has_solution());
+  EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
+}
+
+// ---- validator catches multi-cycle violations ---------------------------------
+
+TEST(MulticycleValidateTest, DetectsOccupancyOverlap) {
+  const core::ProblemSpec spec = multicycle_spec();
+  core::Solution solution = core::minimize_cost(spec).solution;
+  // Find two multiplies in NC and force them onto the same core with
+  // overlapping intervals (starts 1 and 2; each occupies 2 cycles).
+  core::Binding& m1 = solution.at(core::CopyKind::kNormal, 0);
+  core::Binding& m2 = solution.at(core::CopyKind::kNormal, 1);
+  m2.vendor = m1.vendor;
+  m2.instance = m1.instance;
+  m1.cycle = 1;
+  m2.cycle = 2;
+  const auto report = core::validate_solution(spec, solution);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("core conflict"), std::string::npos);
+}
+
+TEST(MulticycleValidateTest, DetectsConsumerStartingTooEarly) {
+  const core::ProblemSpec spec = multicycle_spec();
+  core::Solution solution = core::minimize_cost(spec).solution;
+  // s1 consumes m1 (2-cycle mul): starting s1 one cycle after m1 starts is
+  // too early.
+  solution.at(core::CopyKind::kNormal, 0).cycle = 1;
+  solution.at(core::CopyKind::kNormal, 2).cycle = 2;
+  const auto report = core::validate_solution(spec, solution);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.to_string().find("dependence"), std::string::npos);
+}
+
+// ---- behavioral simulation is latency-agnostic --------------------------------
+
+TEST(MulticycleRuntimeTest, DetectAndRecoverStillWork) {
+  const core::ProblemSpec spec = multicycle_spec();
+  const core::OptimizeResult design = core::minimize_cost(spec);
+  ASSERT_TRUE(design.has_solution());
+  const trojan::RuntimeSimulator simulator(spec, design.solution);
+  const std::vector<trojan::Word> inputs = {3, 5, 7, 11, 13};
+  const dfg::OpId target = spec.graph.outputs()[0];
+  const auto golden = trojan::golden_eval(spec.graph, inputs);
+  trojan::TrojanSpec attack;
+  attack.trigger.pattern_a = static_cast<std::uint64_t>(
+      trojan::operand_value(spec.graph, spec.graph.op(target).inputs[0],
+                            golden, inputs));
+  attack.trigger.pattern_b = static_cast<std::uint64_t>(
+      trojan::operand_value(spec.graph, spec.graph.op(target).inputs[1],
+                            golden, inputs));
+  trojan::InfectionMap infections;
+  infections.emplace(
+      core::LicenseKey{
+          design.solution.at(core::CopyKind::kNormal, target).vendor,
+          ResourceClass::kAdder},
+      attack);
+  const trojan::RunResult run = simulator.run(inputs, infections);
+  EXPECT_TRUE(run.mismatch_detected);
+  EXPECT_TRUE(run.recovered_correctly);
+}
+
+// ---- unit-latency-only back ends refuse cleanly --------------------------------
+
+TEST(MulticycleScopeTest, IlpFormulationRequiresUnitLatency) {
+  const core::ProblemSpec spec = multicycle_spec();
+  EXPECT_THROW(core::IlpFormulation formulation(spec), util::SpecError);
+}
+
+TEST(MulticycleScopeTest, RtlElaborateRequiresUnitLatency) {
+  const core::ProblemSpec spec = multicycle_spec();
+  const core::OptimizeResult design = core::minimize_cost(spec);
+  ASSERT_TRUE(design.has_solution());
+  EXPECT_THROW(rtl::elaborate(spec, design.solution), util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht

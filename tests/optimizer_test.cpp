@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/suite.hpp"
+#include "core/optimizer.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+using test::easy_section5_spec;
+using test::motivational_detection_only;
+using test::motivational_spec;
+
+TEST(OptimizerTest, MotivationalDetectionOnlyOptimal) {
+  const ProblemSpec spec = motivational_detection_only();
+  const OptimizeResult result = minimize_cost(spec);
+  ASSERT_EQ(result.status, OptStatus::kOptimal) << to_string(result.status);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+  EXPECT_EQ(result.cost, result.solution.license_cost(spec));
+  // Detection alone needs >= 2 adder + 2 multiplier licenses; cheapest two
+  // of each in Table 1 cost 450+540 + 760+880 = 2630. The area limit and
+  // rules can only push the cost up.
+  EXPECT_GE(result.cost, 2630);
+}
+
+TEST(OptimizerTest, MotivationalRecoveryCostsMore) {
+  const OptimizeResult detection = minimize_cost(motivational_detection_only());
+  const OptimizeResult recovery = minimize_cost(motivational_spec());
+  ASSERT_TRUE(detection.has_solution());
+  ASSERT_TRUE(recovery.has_solution());
+  // The paper's core finding: recovery demands strictly more diversity.
+  EXPECT_GT(recovery.cost, detection.cost);
+}
+
+TEST(OptimizerTest, MotivationalRecoveryNeedsThreeVendorsPerClass) {
+  const ProblemSpec spec = motivational_spec();
+  const OptimizeResult result = minimize_cost(spec);
+  ASSERT_TRUE(result.has_solution());
+  // Count licenses per class.
+  int adders = 0;
+  int multipliers = 0;
+  for (const LicenseKey& license : result.solution.licenses_used(spec)) {
+    if (license.rc == dfg::ResourceClass::kAdder) ++adders;
+    if (license.rc == dfg::ResourceClass::kMultiplier) ++multipliers;
+  }
+  EXPECT_GE(adders, 3);
+  EXPECT_GE(multipliers, 3);
+}
+
+TEST(OptimizerTest, HeuristicFindsValidDesignQuickly) {
+  const ProblemSpec spec = motivational_spec();
+  OptimizerOptions options;
+  options.strategy = Strategy::kHeuristic;
+  const OptimizeResult result = minimize_cost(spec, options);
+  ASSERT_TRUE(result.has_solution()) << to_string(result.status);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+}
+
+TEST(OptimizerTest, HeuristicNeverBeatsExact) {
+  const ProblemSpec spec = motivational_spec();
+  const OptimizeResult exact = minimize_cost(spec);
+  OptimizerOptions options;
+  options.strategy = Strategy::kHeuristic;
+  const OptimizeResult heuristic = minimize_cost(spec, options);
+  ASSERT_TRUE(exact.has_solution());
+  ASSERT_TRUE(heuristic.has_solution());
+  EXPECT_LE(exact.cost, heuristic.cost);
+}
+
+TEST(OptimizerTest, InfeasibleLatencyDetected) {
+  ProblemSpec spec = motivational_detection_only();
+  spec.lambda_detection = 2;  // below polynom's critical path of 3
+  const OptimizeResult result = minimize_cost(spec);
+  EXPECT_EQ(result.status, OptStatus::kInfeasible);
+}
+
+TEST(OptimizerTest, MarketTooThinForRecoveryIsInfeasible) {
+  // Two vendors can never host NC, RC and recovery copies of one op.
+  ProblemSpec spec = motivational_spec();
+  vendor::Catalog two(2);
+  for (vendor::VendorId v = 0; v < 2; ++v) {
+    for (dfg::ResourceClass rc :
+         {dfg::ResourceClass::kAdder, dfg::ResourceClass::kMultiplier}) {
+      two.set_offer(v, rc, spec.catalog.offer(v, rc));
+    }
+  }
+  spec.catalog = two;
+  EXPECT_EQ(minimize_cost(spec).status, OptStatus::kInfeasible);
+}
+
+TEST(OptimizerTest, InfeasibleAreaDetected) {
+  ProblemSpec spec = motivational_detection_only();
+  spec.area_limit = 1000;  // not even one multiplier
+  const OptimizeResult result = minimize_cost(spec);
+  EXPECT_EQ(result.status, OptStatus::kInfeasible);
+}
+
+TEST(OptimizerTest, LooserAreaNeverIncreasesCost) {
+  ProblemSpec tight = motivational_detection_only();
+  ProblemSpec loose = tight;
+  loose.area_limit = 60000;
+  const OptimizeResult tight_result = minimize_cost(tight);
+  const OptimizeResult loose_result = minimize_cost(loose);
+  ASSERT_TRUE(tight_result.has_solution());
+  ASSERT_TRUE(loose_result.has_solution());
+  EXPECT_LE(loose_result.cost, tight_result.cost);
+}
+
+TEST(OptimizerTest, LooserLatencyNeverIncreasesCost) {
+  ProblemSpec tight = motivational_detection_only();
+  tight.lambda_detection = 3;  // zero mobility: 4 concurrent multipliers
+  tight.area_limit = 40000;    // ...which need more area than 22000
+  ProblemSpec loose = tight;
+  loose.lambda_detection = 8;
+  const OptimizeResult tight_result = minimize_cost(tight);
+  const OptimizeResult loose_result = minimize_cost(loose);
+  ASSERT_TRUE(tight_result.has_solution());
+  ASSERT_TRUE(loose_result.has_solution());
+  EXPECT_LE(loose_result.cost, tight_result.cost);
+}
+
+TEST(OptimizerTest, Section5EightVendorsOptimal) {
+  const ProblemSpec spec = easy_section5_spec(true);
+  const OptimizeResult result = minimize_cost(spec);
+  ASSERT_EQ(result.status, OptStatus::kOptimal);
+  EXPECT_TRUE(validate_solution(spec, result.solution).ok());
+  // Lower bound: 3 cheapest adders (450+465+495) + 3 cheapest multipliers
+  // (760+795+830) in the Section 5 catalog.
+  EXPECT_GE(result.cost, 450 + 465 + 495 + 760 + 795 + 830);
+}
+
+TEST(OptimizerTest, DisablingRecoveryRulesLowersCost) {
+  ProblemSpec with_rules = motivational_spec();
+  ProblemSpec without = with_rules;
+  without.rules.recovery_same_op = false;
+  const OptimizeResult strict = minimize_cost(with_rules);
+  const OptimizeResult relaxed = minimize_cost(without);
+  ASSERT_TRUE(strict.has_solution());
+  ASSERT_TRUE(relaxed.has_solution());
+  EXPECT_LE(relaxed.cost, strict.cost);
+}
+
+TEST(OptimizerTest, ClosePairsCanOnlyRaiseCost) {
+  ProblemSpec plain = motivational_spec();
+  // Close pairs force both recovery multiplies onto the one vendor outside
+  // their (shared) detection vendor set — two concurrent instances of it.
+  // That cannot fit in 22000 area, so compare at a looser bound.
+  plain.area_limit = 32000;
+  ProblemSpec close = plain;
+  close.closely_related = {{0, 1}};
+  const OptimizeResult base = minimize_cost(plain);
+  const OptimizeResult constrained = minimize_cost(close);
+  ASSERT_TRUE(base.has_solution());
+  ASSERT_TRUE(constrained.has_solution());
+  EXPECT_GE(constrained.cost, base.cost);
+}
+
+TEST(OptimizerTest, SplitSearchFindsAFeasibleSplit) {
+  ProblemSpec base = motivational_spec();
+  base.catalog = vendor::section5();
+  base.area_limit = 60000;
+  const SplitResult split = minimize_cost_total_latency(base, 7);
+  ASSERT_TRUE(split.result.has_solution());
+  EXPECT_GE(split.lambda_detection, 3);
+  EXPECT_GE(split.lambda_recovery, 3);
+  EXPECT_EQ(split.lambda_detection + split.lambda_recovery, 7);
+}
+
+TEST(OptimizerTest, SplitSearchRejectsTooTightTotal) {
+  const ProblemSpec base = motivational_spec();
+  EXPECT_THROW(minimize_cost_total_latency(base, 5), util::SpecError);
+}
+
+TEST(OptimizerTest, StatsArePopulated) {
+  const OptimizeResult result = minimize_cost(motivational_spec());
+  EXPECT_GT(result.stats.combos_tried, 0);
+  // csp_nodes may be zero when the greedy constructor solves every
+  // license set it visits; it must never be negative.
+  EXPECT_GE(result.stats.csp_nodes, 0);
+  EXPECT_GE(result.stats.seconds, 0.0);
+}
+
+TEST(OptStatusTest, Names) {
+  EXPECT_EQ(to_string(OptStatus::kOptimal), "optimal");
+  EXPECT_EQ(to_string(OptStatus::kFeasible), "feasible");
+  EXPECT_EQ(to_string(OptStatus::kInfeasible), "infeasible");
+  EXPECT_EQ(to_string(OptStatus::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace ht::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/palette.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+using dfg::ResourceClass;
+
+TEST(PaletteTest, UnusedClassGetsSingleEmptyOption) {
+  const ProblemSpec spec = test::motivational_spec();  // no alu ops
+  const auto options = enumerate_palettes(spec, {1, 1, 0});
+  const auto& alu = options[static_cast<int>(ResourceClass::kAlu)];
+  ASSERT_EQ(alu.size(), 1u);
+  EXPECT_EQ(alu[0].cost, 0);
+  EXPECT_TRUE(alu[0].vendors.empty());
+}
+
+TEST(PaletteTest, EnumeratesAllSubsetsAboveMinimum) {
+  const ProblemSpec spec = test::motivational_spec();  // 4-vendor market
+  const auto options = enumerate_palettes(spec, {2, 3, 0});
+  // Adders: C(4,2)+C(4,3)+C(4,4) = 6+4+1 = 11; multipliers: 4+1 = 5.
+  EXPECT_EQ(options[static_cast<int>(ResourceClass::kAdder)].size(), 11u);
+  EXPECT_EQ(options[static_cast<int>(ResourceClass::kMultiplier)].size(),
+            5u);
+}
+
+TEST(PaletteTest, OptionsSortedByCost) {
+  const ProblemSpec spec = test::motivational_spec();
+  const auto options = enumerate_palettes(spec, {2, 2, 0});
+  for (const auto& per_class : options) {
+    for (std::size_t i = 1; i < per_class.size(); ++i) {
+      EXPECT_LE(per_class[i - 1].cost, per_class[i].cost);
+    }
+  }
+}
+
+TEST(PaletteTest, CostsMatchCatalog) {
+  const ProblemSpec spec = test::motivational_spec();
+  const auto options = enumerate_palettes(spec, {2, 2, 0});
+  for (int cls = 0; cls < 2; ++cls) {
+    for (const PaletteOption& option :
+         options[static_cast<std::size_t>(cls)]) {
+      long long total = 0;
+      for (vendor::VendorId v : option.vendors) {
+        total +=
+            spec.catalog.offer(v, static_cast<ResourceClass>(cls)).cost;
+      }
+      EXPECT_EQ(option.cost, total);
+    }
+  }
+}
+
+TEST(ComboQueueTest, NondecreasingTotalCost) {
+  const ProblemSpec spec = test::motivational_spec();
+  ComboQueue queue(enumerate_palettes(spec, {2, 2, 0}));
+  Palettes palettes;
+  long long cost = 0;
+  long long previous = -1;
+  int combos = 0;
+  while (queue.next(palettes, cost)) {
+    EXPECT_GE(cost, previous);
+    previous = cost;
+    ++combos;
+  }
+  // 11 adder options x 11 multiplier options x 1 empty alu option.
+  EXPECT_EQ(combos, 121);
+}
+
+TEST(ComboQueueTest, FirstComboIsCheapestPair) {
+  const ProblemSpec spec = test::motivational_spec();
+  ComboQueue queue(enumerate_palettes(spec, {2, 2, 0}));
+  Palettes palettes;
+  long long cost = 0;
+  ASSERT_TRUE(queue.next(palettes, cost));
+  // Cheapest 2 adders: 450+540; cheapest 2 multipliers: 760+880.
+  EXPECT_EQ(cost, 450 + 540 + 760 + 880);
+}
+
+TEST(ComboQueueTest, EveryComboUnique) {
+  const ProblemSpec spec = test::motivational_spec();
+  ComboQueue queue(enumerate_palettes(spec, {2, 2, 0}));
+  Palettes palettes;
+  long long cost = 0;
+  std::set<std::pair<std::vector<vendor::VendorId>,
+                     std::vector<vendor::VendorId>>>
+      seen;
+  while (queue.next(palettes, cost)) {
+    EXPECT_TRUE(
+        seen.insert({palettes[0], palettes[1]}).second)
+        << "duplicate combo at cost " << cost;
+  }
+}
+
+TEST(PaletteTest, MinimumSizeFiltersSubsets) {
+  const ProblemSpec spec = test::motivational_spec();
+  const auto options = enumerate_palettes(spec, {4, 4, 0});
+  EXPECT_EQ(options[static_cast<int>(ResourceClass::kAdder)].size(), 1u);
+  EXPECT_EQ(options[static_cast<int>(ResourceClass::kAdder)][0]
+                .vendors.size(),
+            4u);
+}
+
+}  // namespace
+}  // namespace ht::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/classic.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/parse.hpp"
+#include "trojan/exec.hpp"
+
+namespace ht::dfg {
+namespace {
+
+constexpr const char* kPolynomText = R"(
+# the paper's 5-op motivational DFG
+dfg polynom
+input a b c d e
+m1 = mul a b
+m2 = mul c d
+s1 = add m1 m2
+m3 = mul m2 e
+s2 = add s1 m3
+output s2
+)";
+
+TEST(ParseTest, ParsesPolynom) {
+  const Dfg graph = parse_dfg(kPolynomText);
+  EXPECT_EQ(graph.name(), "polynom");
+  EXPECT_EQ(graph.num_ops(), 5);
+  EXPECT_EQ(graph.num_inputs(), 5);
+  ASSERT_EQ(graph.outputs().size(), 1u);
+  EXPECT_EQ(critical_path_length(graph), 3);
+}
+
+TEST(ParseTest, ParsedGraphComputesCorrectly) {
+  const Dfg graph = parse_dfg(kPolynomText);
+  const auto values = trojan::golden_eval(graph, {2, 3, 5, 7, 11});
+  EXPECT_EQ(values[static_cast<std::size_t>(graph.outputs()[0])],
+            2 * 3 + 5 * 7 + 5 * 7 * 11);
+}
+
+TEST(ParseTest, IntegerLiteralsBecomeConstants) {
+  const Dfg graph = parse_dfg(R"(
+dfg scaled
+input x
+t = mul x 3
+u = add t -7
+output u
+)");
+  const auto values = trojan::golden_eval(graph, {10});
+  EXPECT_EQ(values[static_cast<std::size_t>(graph.outputs()[0])], 23);
+}
+
+TEST(ParseTest, AllOperationsAccepted) {
+  const Dfg graph = parse_dfg(R"(
+dfg allops
+input x y
+a = add x y
+b = sub x y
+c = mul x y
+d = div x y
+e = shl x 1
+f = shr x 1
+g = and x y
+h = or x y
+i = xor x y
+j = lt x y
+k = max x y
+l = min x y
+output a b c d e f g h i j k l
+)");
+  EXPECT_EQ(graph.num_ops(), 12);
+  EXPECT_EQ(graph.outputs().size(), 12u);
+}
+
+TEST(ParseTest, MultipleOutputsAndForwardOutputDecls) {
+  // 'output' lines may appear before the op is defined... they are
+  // resolved at the end.
+  const Dfg graph = parse_dfg(R"(
+dfg multi
+input p q
+output second
+first = add p q
+second = mul first first
+output first
+)");
+  EXPECT_EQ(graph.outputs().size(), 2u);
+}
+
+TEST(ParseTest, ErrorsCarryLineNumbers) {
+  try {
+    parse_dfg("dfg x\ninput a\nbad = frobnicate a a\noutput bad\n");
+    FAIL() << "expected SpecError";
+  } catch (const util::SpecError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(ParseTest, RejectsUndefinedNames) {
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\nt = add a ghost\noutput t\n"),
+               util::SpecError);
+}
+
+TEST(ParseTest, RejectsRedefinition) {
+  EXPECT_THROW(
+      parse_dfg("dfg x\ninput a\na = add a a\noutput a\n"),
+      util::SpecError);
+}
+
+TEST(ParseTest, RejectsForwardOpReference) {
+  EXPECT_THROW(
+      parse_dfg("dfg x\ninput a\nt = add u a\nu = add a a\noutput u\n"),
+      util::SpecError);
+}
+
+TEST(ParseTest, RejectsOutputOfInput) {
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\nt = add a a\noutput a\n"),
+               util::SpecError);
+}
+
+TEST(ParseTest, RejectsEmptyGraph) {
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\n"), util::SpecError);
+}
+
+TEST(ParseTest, RejectsMissingOutputs) {
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\nt = add a a\n"),
+               util::SpecError);
+}
+
+TEST(ParseTest, RejectsMalformedStatement) {
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\nt = add a\noutput t\n"),
+               util::SpecError);
+  EXPECT_THROW(parse_dfg("dfg x\ninput a\nt == add a a\noutput t\n"),
+               util::SpecError);
+}
+
+// Round-trip: every classic benchmark must survive to_text -> parse_dfg
+// with identical structure and semantics.
+class RoundTripTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Benchmarks, RoundTripTest, ::testing::Range(0, 6));
+
+TEST_P(RoundTripTest, TextRoundTripPreservesStructure) {
+  const Dfg original = [&] {
+    switch (GetParam()) {
+      case 0: return benchmarks::polynom();
+      case 1: return benchmarks::diff2();
+      case 2: return benchmarks::dtmf();
+      case 3: return benchmarks::mof2();
+      case 4: return benchmarks::ellipticicass();
+      default: return benchmarks::fir16();
+    }
+  }();
+  const Dfg reparsed = parse_dfg(to_text(original));
+  ASSERT_EQ(reparsed.num_ops(), original.num_ops());
+  ASSERT_EQ(reparsed.num_inputs(), original.num_inputs());
+  EXPECT_EQ(reparsed.outputs(), original.outputs());
+  for (OpId id = 0; id < original.num_ops(); ++id) {
+    EXPECT_EQ(reparsed.op(id).type, original.op(id).type) << id;
+    EXPECT_EQ(reparsed.op(id).inputs, original.op(id).inputs) << id;
+  }
+  // Semantics: same values on a fixed input vector.
+  std::vector<trojan::Word> inputs;
+  for (int i = 0; i < original.num_inputs(); ++i) {
+    inputs.push_back(17 * i + 3);
+  }
+  EXPECT_EQ(trojan::golden_eval(reparsed, inputs),
+            trojan::golden_eval(original, inputs));
+}
+
+}  // namespace
+}  // namespace ht::dfg

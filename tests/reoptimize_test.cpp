@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "core/reoptimize.hpp"
+#include "test_helpers.hpp"
+#include "trojan/simulator.hpp"
+
+namespace ht::core {
+namespace {
+
+const ProblemSpec& spec() {
+  static const ProblemSpec instance = test::easy_section5_spec(true);
+  return instance;
+}
+
+const Solution& solution() {
+  static const Solution instance = minimize_cost(spec()).solution;
+  return instance;
+}
+
+TEST(ReoptimizeTest, SuspectsCoverBothComputationsByDefault) {
+  const auto suspects = suspect_licenses(spec(), solution(), std::nullopt);
+  // Every detection-phase license is suspect.
+  std::set<LicenseKey> expected;
+  for (CopyKind kind : {CopyKind::kNormal, CopyKind::kRedundant}) {
+    for (dfg::OpId op = 0; op < spec().graph.num_ops(); ++op) {
+      expected.insert(LicenseKey{
+          solution().at(kind, op).vendor,
+          dfg::resource_class_of(spec().graph.op(op).type)});
+    }
+  }
+  EXPECT_EQ(suspects, expected);
+}
+
+TEST(ReoptimizeTest, DiagnosisNarrowsSuspects) {
+  const auto all = suspect_licenses(spec(), solution(), std::nullopt);
+  const auto nc_only =
+      suspect_licenses(spec(), solution(), CopyKind::kNormal);
+  const auto rc_only =
+      suspect_licenses(spec(), solution(), CopyKind::kRedundant);
+  EXPECT_LT(nc_only.size(), all.size());
+  EXPECT_LT(rc_only.size(), all.size());
+  // NC and RC never share a license for the same op (det-R1), and their
+  // union is the undiagnosed suspect set.
+  std::set<LicenseKey> unioned = nc_only;
+  unioned.insert(rc_only.begin(), rc_only.end());
+  EXPECT_EQ(unioned, all);
+}
+
+TEST(ReoptimizeTest, RecoverySideRejected) {
+  EXPECT_THROW(
+      suspect_licenses(spec(), solution(), CopyKind::kRecovery),
+      util::SpecError);
+}
+
+TEST(ReoptimizeTest, WithoutLicensesRemovesOnlyThose) {
+  const vendor::Catalog catalog = vendor::section5();
+  const std::set<LicenseKey> banned = {
+      {0, dfg::ResourceClass::kMultiplier},
+      {3, dfg::ResourceClass::kAdder},
+  };
+  const vendor::Catalog thinned = without_licenses(catalog, banned);
+  EXPECT_FALSE(thinned.offers(0, dfg::ResourceClass::kMultiplier));
+  EXPECT_FALSE(thinned.offers(3, dfg::ResourceClass::kAdder));
+  EXPECT_TRUE(thinned.offers(0, dfg::ResourceClass::kAdder));
+  EXPECT_TRUE(thinned.offers(3, dfg::ResourceClass::kMultiplier));
+  EXPECT_EQ(thinned.num_vendors(), catalog.num_vendors());
+}
+
+TEST(ReoptimizeTest, ReoptimizedDesignAvoidsBannedLicenses) {
+  // Diagnose-and-quarantine the NC side, then re-synthesize.
+  const auto banned =
+      suspect_licenses(spec(), solution(), CopyKind::kNormal);
+  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  ASSERT_TRUE(replanned.has_solution())
+      << to_string(replanned.status);
+  for (const LicenseKey& license :
+       replanned.solution.licenses_used(spec())) {
+    EXPECT_EQ(banned.count(license), 0u)
+        << "banned license still used: vendor " << license.vendor;
+  }
+}
+
+TEST(ReoptimizeTest, QuarantineNeverLowersCost) {
+  const OptimizeResult original = minimize_cost(spec());
+  const auto banned =
+      suspect_licenses(spec(), solution(), CopyKind::kNormal);
+  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  ASSERT_TRUE(original.has_solution());
+  ASSERT_TRUE(replanned.has_solution());
+  EXPECT_GE(replanned.cost, original.cost);
+}
+
+TEST(ReoptimizeTest, FullQuarantineIsInfeasible) {
+  // Banning every multiplier offer leaves nothing to bind muls to.
+  std::set<LicenseKey> banned;
+  for (vendor::VendorId v = 0; v < spec().catalog.num_vendors(); ++v) {
+    banned.insert(LicenseKey{v, dfg::ResourceClass::kMultiplier});
+  }
+  const OptimizeResult result = reoptimize_without(spec(), banned);
+  EXPECT_EQ(result.status, OptStatus::kInfeasible);
+}
+
+TEST(ReoptimizeTest, EndToEndDiagnoseThenReplan) {
+  // Attack NC, recover, diagnose the corrupted side, quarantine, replan.
+  const trojan::RuntimeSimulator simulator(spec(), solution());
+  const std::vector<trojan::Word> inputs = {4, 9, 16, 25, 36};
+  const dfg::OpId target = spec().graph.outputs()[0];
+  const auto golden = trojan::golden_eval(spec().graph, inputs);
+  trojan::TrojanSpec attack;
+  attack.trigger.pattern_a = static_cast<std::uint64_t>(
+      trojan::operand_value(spec().graph, spec().graph.op(target).inputs[0],
+                            golden, inputs));
+  attack.trigger.pattern_b = static_cast<std::uint64_t>(
+      trojan::operand_value(spec().graph, spec().graph.op(target).inputs[1],
+                            golden, inputs));
+  trojan::InfectionMap infections;
+  const LicenseKey infected{
+      solution().at(CopyKind::kNormal, target).vendor,
+      dfg::resource_class_of(spec().graph.op(target).type)};
+  infections.emplace(infected, attack);
+
+  const trojan::RunResult run = simulator.run(inputs, infections);
+  ASSERT_TRUE(run.recovered_correctly);
+  EXPECT_EQ(trojan::diagnose_corrupted_side(run),
+            trojan::CorruptedSide::kNormal);
+
+  const auto banned =
+      suspect_licenses(spec(), solution(), CopyKind::kNormal);
+  EXPECT_EQ(banned.count(infected), 1u);  // the true culprit is quarantined
+  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  ASSERT_TRUE(replanned.has_solution());
+  EXPECT_EQ(replanned.solution.licenses_used(spec()).count(infected), 0u);
+}
+
+TEST(DiagnoseTest, RequiresTrustedRecovery) {
+  trojan::RunResult incomplete;
+  incomplete.recovery_ran = false;
+  EXPECT_THROW(trojan::diagnose_corrupted_side(incomplete),
+               util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht::core

@@ -1,0 +1,303 @@
+// RTL-vs-behavioral cross-validation: the elaborated netlist, clocked by
+// RtlSimulator, must agree bit for bit with the behavioral RuntimeSimulator
+// on the detection flag and the final outputs — clean runs, targeted
+// attacks, random attack campaigns, and multi-frame sequential triggers.
+#include <gtest/gtest.h>
+
+#include "benchmarks/classic.hpp"
+#include "core/optimizer.hpp"
+#include "rtl/sim.hpp"
+#include "test_helpers.hpp"
+#include "trojan/profiling.hpp"
+
+namespace ht::rtl {
+namespace {
+
+using trojan::Word;
+
+struct Design {
+  core::ProblemSpec spec;
+  core::Solution solution;
+  ElaboratedDesign rtl;
+};
+
+Design build(core::ProblemSpec spec) {
+  core::OptimizerOptions options;
+  options.strategy = core::Strategy::kHeuristic;
+  const core::OptimizeResult result = core::minimize_cost(spec, options);
+  if (!result.has_solution()) {
+    throw util::InternalError("rtl_sim_test: fixture spec unsolvable");
+  }
+  Design design{std::move(spec), result.solution, {}};
+  design.rtl = elaborate(design.spec, design.solution);
+  return design;
+}
+
+const Design& polynom_design() {
+  static const Design design = build(test::motivational_spec());
+  return design;
+}
+
+const Design& diff2_design() {
+  static const Design design = [] {
+    core::ProblemSpec spec;
+    spec.graph = benchmarks::diff2();
+    spec.catalog = vendor::section5();
+    spec.lambda_detection = 6;
+    spec.lambda_recovery = 5;
+    spec.with_recovery = true;
+    spec.area_limit = 120000;
+    return build(std::move(spec));
+  }();
+  return design;
+}
+
+/// Behavioral reference: what the final outputs should be.
+std::vector<Word> expected_outputs(const trojan::RunResult& behavioral) {
+  return behavioral.mismatch_detected ? behavioral.recovery_outputs
+                                      : behavioral.nc_outputs;
+}
+
+void expect_agreement(const Design& design, const std::vector<Word>& inputs,
+                      const trojan::InfectionMap& infections,
+                      const std::string& label) {
+  const trojan::RuntimeSimulator behavioral(design.spec, design.solution);
+  const trojan::RunResult reference = behavioral.run(inputs, infections);
+  const RtlSimulator rtl(design.rtl);
+  const RtlRunResult measured = rtl.run(inputs, infections);
+  EXPECT_EQ(measured.detected, reference.mismatch_detected) << label;
+  EXPECT_EQ(measured.outputs, expected_outputs(reference)) << label;
+}
+
+TEST(RtlSimTest, CleanRunMatchesGolden) {
+  const Design& design = polynom_design();
+  const std::vector<Word> inputs = {3, 5, 7, 11, 13};
+  const RtlSimulator rtl(design.rtl);
+  const RtlRunResult result = rtl.run(inputs, {});
+  EXPECT_FALSE(result.detected);
+  const auto golden = trojan::golden_eval(design.spec.graph, inputs);
+  ASSERT_EQ(result.outputs.size(), design.spec.graph.outputs().size());
+  for (std::size_t i = 0; i < result.outputs.size(); ++i) {
+    EXPECT_EQ(result.outputs[i],
+              golden[static_cast<std::size_t>(
+                  design.spec.graph.outputs()[i])]);
+  }
+}
+
+TEST(RtlSimTest, TargetedAttackAgreesWithBehavioral) {
+  const Design& design = polynom_design();
+  const std::vector<Word> inputs = {3, 5, 7, 11, 13};
+  // Infect the NC output op's license, triggered on its exact operands.
+  const dfg::OpId target = design.spec.graph.outputs()[0];
+  const auto values = trojan::golden_eval(design.spec.graph, inputs);
+  trojan::TrojanSpec trojan;
+  trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+      trojan::operand_value(design.spec.graph,
+                            design.spec.graph.op(target).inputs[0], values,
+                            inputs));
+  trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+      trojan::operand_value(design.spec.graph,
+                            design.spec.graph.op(target).inputs[1], values,
+                            inputs));
+  trojan.payload.xor_mask = 0xF0F0;
+  trojan::InfectionMap infections;
+  infections.emplace(
+      core::LicenseKey{
+          design.solution.at(core::CopyKind::kNormal, target).vendor,
+          dfg::resource_class_of(design.spec.graph.op(target).type)},
+      trojan);
+
+  const RtlSimulator rtl(design.rtl);
+  const RtlRunResult result = rtl.run(inputs, infections);
+  EXPECT_TRUE(result.detected);
+  expect_agreement(design, inputs, infections, "targeted polynom attack");
+}
+
+// Random attack sweep over both fixtures: every (vendor, class) license,
+// random operand-matching triggers, random payload bits.
+class RtlCrossValidationTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, RtlCrossValidationTest,
+                         ::testing::Range(1, 9));
+
+TEST_P(RtlCrossValidationTest, RandomAttacksAgree) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (const Design* design : {&polynom_design(), &diff2_design()}) {
+    const dfg::Dfg& graph = design->spec.graph;
+    for (int trial = 0; trial < 12; ++trial) {
+      std::vector<Word> inputs;
+      for (int i = 0; i < graph.num_inputs(); ++i) {
+        inputs.push_back(rng.uniform_int(0, 1 << 16));
+      }
+      // Random detection copy as the target.
+      const auto kind = rng.chance(0.5) ? core::CopyKind::kNormal
+                                        : core::CopyKind::kRedundant;
+      const auto op =
+          static_cast<dfg::OpId>(rng.index(
+              static_cast<std::size_t>(graph.num_ops())));
+      const auto values = trojan::golden_eval(graph, inputs);
+      trojan::TrojanSpec trojan;
+      trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+          trojan::operand_value(graph, graph.op(op).inputs[0], values,
+                                inputs));
+      trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+          trojan::operand_value(graph, graph.op(op).inputs[1], values,
+                                inputs));
+      trojan.payload.xor_mask = 1ull << rng.uniform_int(0, 62);
+      trojan::InfectionMap infections;
+      infections.emplace(
+          core::LicenseKey{design->solution.at(kind, op).vendor,
+                           dfg::resource_class_of(graph.op(op).type)},
+          trojan);
+      expect_agreement(*design, inputs, infections,
+                       graph.name() + " trial " + std::to_string(trial));
+    }
+  }
+}
+
+TEST(RtlSimTest, SequentialTriggerAcrossFramesAgrees) {
+  const Design& design = polynom_design();
+  const std::vector<Word> inputs = {2, 4, 6, 8, 10};
+  const dfg::OpId target = design.spec.graph.outputs()[0];
+  const auto values = trojan::golden_eval(design.spec.graph, inputs);
+  trojan::TrojanSpec trojan;
+  trojan.trigger.kind = trojan::TriggerSpec::Kind::kSequential;
+  trojan.trigger.threshold = 3;
+  trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+      trojan::operand_value(design.spec.graph,
+                            design.spec.graph.op(target).inputs[0], values,
+                            inputs));
+  trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+      trojan::operand_value(design.spec.graph,
+                            design.spec.graph.op(target).inputs[1], values,
+                            inputs));
+  trojan::InfectionMap infections;
+  infections.emplace(
+      core::LicenseKey{
+          design.solution.at(core::CopyKind::kNormal, target).vendor,
+          dfg::resource_class_of(design.spec.graph.op(target).type)},
+      trojan);
+
+  const trojan::RuntimeSimulator behavioral(design.spec, design.solution);
+  const RtlSimulator rtl(design.rtl);
+  std::map<core::CoreKey, trojan::TriggerState> behavioral_state;
+  std::map<core::CoreKey, trojan::TriggerState> rtl_state;
+  for (int frame = 0; frame < 4; ++frame) {
+    const trojan::RunResult reference =
+        behavioral.run(inputs, infections,
+                       trojan::RecoveryStrategy::kRebindPerRules,
+                       &behavioral_state);
+    const RtlRunResult measured =
+        rtl.run(inputs, infections, &rtl_state);
+    EXPECT_EQ(measured.detected, reference.mismatch_detected)
+        << "frame " << frame;
+    EXPECT_EQ(measured.outputs, expected_outputs(reference))
+        << "frame " << frame;
+  }
+}
+
+TEST(RtlSimTest, CollusionExposureAgreesWithBehavioral) {
+  // Arm every license of the compliant polynom design with an always-on
+  // collusion Trojan: neither simulator may see an activation (det-R2
+  // removed every same-vendor channel), and both must report clean runs.
+  const Design& design = polynom_design();
+  trojan::InfectionMap infections;
+  for (const core::LicenseKey& license :
+       design.solution.licenses_used(design.spec)) {
+    trojan::TrojanSpec trojan;
+    trojan.trigger.kind = trojan::TriggerSpec::Kind::kCollusion;
+    trojan.trigger.mask = 0;
+    infections.emplace(license, trojan);
+  }
+  const std::vector<Word> inputs = {9, 8, 7, 6, 5};
+  expect_agreement(design, inputs, infections, "collusion sweep");
+  const RtlSimulator rtl(design.rtl);
+  EXPECT_FALSE(rtl.run(inputs, infections).detected);
+}
+
+TEST(RtlSimTest, DetectionOnlyDesignSimulates) {
+  const core::ProblemSpec spec = test::motivational_detection_only();
+  const core::OptimizeResult result = core::minimize_cost(spec);
+  ASSERT_TRUE(result.has_solution());
+  const ElaboratedDesign design = elaborate(spec, result.solution);
+  const RtlSimulator rtl(design);
+  const std::vector<Word> inputs = {1, 2, 3, 4, 5};
+  const RtlRunResult clean = rtl.run(inputs, {});
+  EXPECT_FALSE(clean.detected);
+  const auto golden = trojan::golden_eval(spec.graph, inputs);
+  EXPECT_EQ(clean.outputs[0],
+            golden[static_cast<std::size_t>(spec.graph.outputs()[0])]);
+}
+
+TEST(RtlSimTest, RegisterSharingPreservesBehavior) {
+  // Re-elaborate both fixtures with left-edge register sharing: fewer
+  // registers, identical behavior under clean runs and attacks.
+  util::Rng rng(31415);
+  for (const Design* design : {&polynom_design(), &diff2_design()}) {
+    ElaborateOptions options;
+    options.share_registers = true;
+    const ElaboratedDesign shared =
+        elaborate(design->spec, design->solution, options);
+    EXPECT_LT(shared.num_data_registers,
+              design->rtl.num_data_registers)
+        << design->spec.graph.name();
+    const RtlSimulator baseline(design->rtl);
+    const RtlSimulator compact(shared);
+    for (int trial = 0; trial < 8; ++trial) {
+      std::vector<Word> inputs;
+      for (int i = 0; i < design->spec.graph.num_inputs(); ++i) {
+        inputs.push_back(rng.uniform_int(0, 1 << 16));
+      }
+      // Clean agreement.
+      const RtlRunResult a = baseline.run(inputs, {});
+      const RtlRunResult b = compact.run(inputs, {});
+      EXPECT_EQ(a.outputs, b.outputs);
+      EXPECT_EQ(a.detected, b.detected);
+      // Attacked agreement (random target, exact-operand trigger).
+      const dfg::Dfg& graph = design->spec.graph;
+      const auto op = static_cast<dfg::OpId>(
+          rng.index(static_cast<std::size_t>(graph.num_ops())));
+      const auto values = trojan::golden_eval(graph, inputs);
+      trojan::TrojanSpec trojan;
+      trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+          trojan::operand_value(graph, graph.op(op).inputs[0], values,
+                                inputs));
+      trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+          trojan::operand_value(graph, graph.op(op).inputs[1], values,
+                                inputs));
+      trojan::InfectionMap infections;
+      infections.emplace(
+          core::LicenseKey{
+              design->solution.at(core::CopyKind::kNormal, op).vendor,
+              dfg::resource_class_of(graph.op(op).type)},
+          trojan);
+      const RtlRunResult c = baseline.run(inputs, infections);
+      const RtlRunResult d = compact.run(inputs, infections);
+      EXPECT_EQ(c.outputs, d.outputs);
+      EXPECT_EQ(c.detected, d.detected);
+    }
+  }
+}
+
+TEST(RtlSimTest, SharedDesignAgreesWithBehavioral) {
+  const Design& design = diff2_design();
+  ElaborateOptions options;
+  options.share_registers = true;
+  const ElaboratedDesign shared =
+      elaborate(design.spec, design.solution, options);
+  const RtlSimulator rtl(shared);
+  const trojan::RuntimeSimulator behavioral(design.spec, design.solution);
+  const std::vector<Word> inputs = {12, 34, 56, 78, 90};
+  const trojan::RunResult reference = behavioral.run(inputs, {});
+  const RtlRunResult measured = rtl.run(inputs, {});
+  EXPECT_FALSE(measured.detected);
+  EXPECT_EQ(measured.outputs, reference.nc_outputs);
+}
+
+TEST(RtlSimTest, WrongInputArityThrows) {
+  const Design& design = polynom_design();
+  const RtlSimulator rtl(design.rtl);
+  EXPECT_THROW(rtl.run({1, 2}, {}), util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht::rtl

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "rtl/elaborate.hpp"
+#include "rtl/testbench.hpp"
+#include "rtl/verilog.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::rtl {
+namespace {
+
+// ---- netlist IR invariants --------------------------------------------------
+
+TEST(NetlistTest, SingleDriverEnforced) {
+  Netlist nl("t");
+  const WireId w = nl.add_wire("w", 1);
+  Cell a;
+  a.kind = CellKind::kConst;
+  a.name = "a";
+  a.output = w;
+  nl.add_cell(a);
+  Cell b = a;
+  b.name = "b";
+  EXPECT_THROW(nl.add_cell(b), util::SpecError);
+}
+
+TEST(NetlistTest, PrimaryInputsCannotBeDriven) {
+  Netlist nl("t");
+  const WireId w = nl.add_wire("in", 64);
+  nl.mark_input(w);
+  Cell c;
+  c.kind = CellKind::kConst;
+  c.name = "c";
+  c.output = w;
+  EXPECT_THROW(nl.add_cell(c), util::SpecError);
+}
+
+TEST(NetlistTest, DanglingWireFailsValidation) {
+  Netlist nl("t");
+  nl.add_wire("floating", 1);
+  EXPECT_THROW(nl.validate(), util::SpecError);
+}
+
+TEST(NetlistTest, CombinationalCycleDetected) {
+  Netlist nl("t");
+  const WireId a = nl.add_wire("a", 1);
+  const WireId b = nl.add_wire("b", 1);
+  Cell n1;
+  n1.kind = CellKind::kNot;
+  n1.name = "n1";
+  n1.inputs = {b};
+  n1.output = a;
+  nl.add_cell(n1);
+  Cell n2;
+  n2.kind = CellKind::kNot;
+  n2.name = "n2";
+  n2.inputs = {a};
+  n2.output = b;
+  nl.add_cell(n2);
+  EXPECT_THROW(nl.combinational_order(), util::SpecError);
+}
+
+TEST(NetlistTest, RegistersBreakCycles) {
+  Netlist nl("t");
+  const WireId a = nl.add_wire("a", 1);
+  const WireId b = nl.add_wire("b", 1);
+  Cell n;
+  n.kind = CellKind::kNot;
+  n.name = "n";
+  n.inputs = {b};
+  n.output = a;
+  nl.add_cell(n);
+  Cell r;
+  r.kind = CellKind::kRegister;
+  r.name = "r";
+  r.inputs = {a};
+  r.output = b;
+  nl.add_cell(r);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(NetlistTest, BadWireWidthRejected) {
+  Netlist nl("t");
+  EXPECT_THROW(nl.add_wire("w", 0), util::SpecError);
+  EXPECT_THROW(nl.add_wire("w", 65), util::SpecError);
+}
+
+TEST(NetlistTest, CaseMuxArityChecked) {
+  Netlist nl("t");
+  const WireId sel = nl.add_wire("s", 16);
+  nl.mark_input(sel);
+  const WireId out = nl.add_wire("o", 64);
+  Cell m;
+  m.kind = CellKind::kCaseMux;
+  m.name = "m";
+  m.inputs = {sel};         // no data inputs
+  m.output = out;
+  m.select_values = {1};    // ...but one select value
+  nl.add_cell(m);
+  EXPECT_THROW(nl.validate(), util::SpecError);
+}
+
+// ---- elaboration ---------------------------------------------------------
+
+class ElaborateTest : public ::testing::Test {
+ protected:
+  static const core::ProblemSpec& spec() {
+    static const core::ProblemSpec instance = test::motivational_spec();
+    return instance;
+  }
+  static const core::Solution& solution() {
+    static const core::Solution instance =
+        core::minimize_cost(spec()).solution;
+    return instance;
+  }
+};
+
+TEST_F(ElaborateTest, ProducesValidNetlist) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  EXPECT_NO_THROW(design.netlist.validate());
+  EXPECT_EQ(design.total_steps,
+            spec().lambda_detection + spec().lambda_recovery + 1);
+  EXPECT_EQ(design.input_names.size(),
+            static_cast<std::size_t>(spec().graph.num_inputs()));
+  EXPECT_EQ(design.output_names.size(), spec().graph.outputs().size());
+}
+
+TEST_F(ElaborateTest, OneFuPerCoreInstance) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  int fu_count = 0;
+  for (const Cell& cell : design.netlist.cells()) {
+    if (cell.kind == CellKind::kFu) ++fu_count;
+  }
+  EXPECT_EQ(fu_count,
+            static_cast<int>(solution().cores_used(spec()).size()));
+}
+
+TEST_F(ElaborateTest, OneResultRegisterPerCopy) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  int result_regs = 0;
+  for (const Cell& cell : design.netlist.cells()) {
+    if (cell.kind == CellKind::kRegister &&
+        cell.name.rfind("r_", 0) == 0) {
+      ++result_regs;
+    }
+  }
+  EXPECT_EQ(result_regs, 3 * spec().graph.num_ops());
+}
+
+TEST_F(ElaborateTest, ComparatorPerDfgOutput) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  int eqs = 0;
+  for (const Cell& cell : design.netlist.cells()) {
+    if (cell.kind == CellKind::kEq &&
+        cell.name.rfind("check_out", 0) == 0) {
+      ++eqs;
+    }
+  }
+  EXPECT_EQ(eqs, static_cast<int>(spec().graph.outputs().size()));
+}
+
+TEST_F(ElaborateTest, DetectionOnlyHasNoRecoveryRegisters) {
+  const core::ProblemSpec d_spec = test::motivational_detection_only();
+  const core::OptimizeResult result = core::minimize_cost(d_spec);
+  ASSERT_TRUE(result.has_solution());
+  const ElaboratedDesign design = elaborate(d_spec, result.solution);
+  for (const Cell& cell : design.netlist.cells()) {
+    EXPECT_EQ(cell.name.find("r_REC_"), std::string::npos) << cell.name;
+  }
+  EXPECT_EQ(design.total_steps, d_spec.lambda_detection + 1);
+}
+
+TEST_F(ElaborateTest, RejectsInvalidSolution) {
+  core::Solution broken = solution();
+  broken.at(core::CopyKind::kNormal, 0).cycle = 99;
+  EXPECT_THROW(elaborate(spec(), broken), util::InternalError);
+}
+
+// ---- Verilog emission ------------------------------------------------------
+
+TEST_F(ElaborateTest, VerilogHasModuleAndPorts) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  const std::string verilog = to_verilog(design);
+  EXPECT_NE(verilog.find("module polynom_thls"), std::string::npos);
+  EXPECT_NE(verilog.find("input  wire clk"), std::string::npos);
+  EXPECT_NE(verilog.find("trojan_detected"), std::string::npos);
+  for (const std::string& input : design.input_names) {
+    EXPECT_NE(verilog.find(input), std::string::npos) << input;
+  }
+  for (const std::string& output : design.output_names) {
+    EXPECT_NE(verilog.find(output), std::string::npos) << output;
+  }
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+TEST_F(ElaborateTest, VerilogStructurallyBalanced) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  const std::string verilog = to_verilog(design);
+  auto count = [&](const std::string& needle) {
+    std::size_t occurrences = 0;
+    std::size_t pos = 0;
+    while ((pos = verilog.find(needle, pos)) != std::string::npos) {
+      ++occurrences;
+      pos += needle.size();
+    }
+    return occurrences;
+  };
+  EXPECT_EQ(count("case ("), count("endcase"));
+  EXPECT_EQ(count("always @"), count("  end\n"));
+  EXPECT_EQ(count("module "), count("endmodule"));
+}
+
+TEST_F(ElaborateTest, VerilogMentionsEveryVendorInstance) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  const std::string verilog = to_verilog(design);
+  for (const core::CoreKey& core : solution().cores_used(spec())) {
+    const std::string tag = "vendor " + std::to_string(core.vendor + 1) +
+                            " " + dfg::resource_class_name(core.rc);
+    EXPECT_NE(verilog.find(tag), std::string::npos) << tag;
+  }
+}
+
+// ---- testbench generation ---------------------------------------------------
+
+TEST_F(ElaborateTest, TestbenchChecksEveryOutputPerFrame) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  TestbenchOptions options;
+  options.frames = {{1, 2, 3, 4, 5}, {9, 8, 7, 6, 5}};
+  const std::string tb = to_verilog_testbench(spec(), design, options);
+  EXPECT_NE(tb.find("module tb;"), std::string::npos);
+  EXPECT_NE(tb.find("polynom_thls dut"), std::string::npos);
+  // One check per (frame, data output) plus the detection-flag checks.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = tb.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("check64("),
+            options.frames.size() * design.output_names.size() + 1);
+  EXPECT_EQ(count("trojan_detected !== 1'b0"), options.frames.size());
+  EXPECT_NE(tb.find("$finish"), std::string::npos);
+}
+
+TEST_F(ElaborateTest, TestbenchEmbedsGoldenValues) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  TestbenchOptions options;
+  options.frames = {{2, 3, 5, 7, 11}};
+  const std::string tb = to_verilog_testbench(spec(), design, options);
+  // golden s2 = 2*3 + 5*7 + 5*7*11 = 426 = 0x1aa.
+  EXPECT_NE(tb.find("64'h00000000000001aa"), std::string::npos) << tb;
+}
+
+TEST_F(ElaborateTest, TestbenchRejectsBadFrames) {
+  const ElaboratedDesign design = elaborate(spec(), solution());
+  TestbenchOptions options;
+  EXPECT_THROW(to_verilog_testbench(spec(), design, options),
+               util::SpecError);
+  options.frames = {{1, 2}};  // wrong arity
+  EXPECT_THROW(to_verilog_testbench(spec(), design, options),
+               util::SpecError);
+}
+
+}  // namespace
+}  // namespace ht::rtl

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rules.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::core {
+namespace {
+
+using test::motivational_detection_only;
+using test::motivational_spec;
+
+bool has_conflict(const std::vector<VendorConflict>& conflicts, CopyRef a,
+                  CopyRef b) {
+  return std::any_of(conflicts.begin(), conflicts.end(),
+                     [&](const VendorConflict& c) {
+                       return (c.a == a && c.b == b) ||
+                              (c.a == b && c.b == a);
+                     });
+}
+
+TEST(RulesTest, DetectionRule1PresentForEveryOp) {
+  const ProblemSpec spec = motivational_detection_only();
+  const auto conflicts = vendor_conflicts(spec);
+  for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+    EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kNormal, op},
+                             {CopyKind::kRedundant, op}))
+        << "op " << op;
+  }
+}
+
+TEST(RulesTest, ParentChildConflictsInEverySchedule) {
+  const ProblemSpec spec = motivational_spec();
+  const auto conflicts = vendor_conflicts(spec);
+  for (const auto& [from, to] : spec.graph.edges()) {
+    for (CopyKind kind :
+         {CopyKind::kNormal, CopyKind::kRedundant, CopyKind::kRecovery}) {
+      EXPECT_TRUE(
+          has_conflict(conflicts, {kind, from}, {kind, to}))
+          << "edge " << from << "->" << to;
+    }
+  }
+}
+
+TEST(RulesTest, SiblingConflictsInNormalComputation) {
+  // polynom: m1 and m2 both feed s1; m3 and s1 both feed s2.
+  const ProblemSpec spec = motivational_detection_only();
+  const auto conflicts = vendor_conflicts(spec);
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kNormal, 0},
+                           {CopyKind::kNormal, 1}));
+}
+
+TEST(RulesTest, SiblingLiteralModeIsTheDefault) {
+  // The paper's equation (7) constrains siblings in NC only; that literal
+  // reading is the default (it is what makes Figure 5's $4160 reachable).
+  const ProblemSpec spec = motivational_detection_only();
+  EXPECT_FALSE(spec.rules.sibling_diversity_all_copies);
+  const auto conflicts = vendor_conflicts(spec);
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kNormal, 0},
+                           {CopyKind::kNormal, 1}));
+  EXPECT_FALSE(has_conflict(conflicts, {CopyKind::kRedundant, 0},
+                            {CopyKind::kRedundant, 1}));
+}
+
+TEST(RulesTest, SymmetricSiblingModeConstrainsAllCopies) {
+  ProblemSpec spec = motivational_spec();
+  spec.rules.sibling_diversity_all_copies = true;
+  const auto conflicts = vendor_conflicts(spec);
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRedundant, 0},
+                           {CopyKind::kRedundant, 1}));
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRecovery, 0},
+                           {CopyKind::kRecovery, 1}));
+}
+
+TEST(RulesTest, RecoveryRule1AvoidsBothDetectionVendors) {
+  const ProblemSpec spec = motivational_spec();
+  const auto conflicts = vendor_conflicts(spec);
+  for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+    EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRecovery, op},
+                             {CopyKind::kNormal, op}));
+    EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRecovery, op},
+                             {CopyKind::kRedundant, op}));
+  }
+}
+
+TEST(RulesTest, NoRecoveryConflictsInDetectionOnlyMode) {
+  const ProblemSpec spec = motivational_detection_only();
+  for (const VendorConflict& conflict : vendor_conflicts(spec)) {
+    EXPECT_NE(conflict.a.kind, CopyKind::kRecovery);
+    EXPECT_NE(conflict.b.kind, CopyKind::kRecovery);
+  }
+}
+
+TEST(RulesTest, ClosePairsAddRecoveryConflicts) {
+  ProblemSpec spec = motivational_spec();
+  // m1 (op 0) and m2 (op 1) are both multipliers: a legal close pair.
+  spec.closely_related.push_back({0, 1});
+  const auto conflicts = vendor_conflicts(spec);
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRecovery, 0},
+                           {CopyKind::kNormal, 1}));
+  EXPECT_TRUE(has_conflict(conflicts, {CopyKind::kRecovery, 1},
+                           {CopyKind::kRedundant, 0}));
+}
+
+TEST(RulesTest, RuleTogglesRemoveConflicts) {
+  ProblemSpec spec = motivational_spec();
+  spec.rules.detection_same_op = false;
+  spec.rules.detection_parent_child = false;
+  spec.rules.detection_sibling = false;
+  spec.rules.recovery_same_op = false;
+  spec.rules.recovery_close_pairs = false;
+  EXPECT_TRUE(vendor_conflicts(spec).empty());
+}
+
+TEST(RulesTest, ConflictsAreDeduplicated) {
+  const ProblemSpec spec = motivational_spec();
+  const auto conflicts = vendor_conflicts(spec);
+  std::set<std::pair<int, int>> seen;
+  const int n = spec.graph.num_ops();
+  for (const VendorConflict& conflict : conflicts) {
+    int a = copy_index(conflict.a, n);
+    int b = copy_index(conflict.b, n);
+    if (a > b) std::swap(a, b);
+    EXPECT_TRUE(seen.emplace(a, b).second) << "duplicate " << a << "," << b;
+  }
+}
+
+TEST(RulesTest, AdjacencySymmetric) {
+  const ProblemSpec spec = motivational_spec();
+  const auto conflicts = vendor_conflicts(spec);
+  const auto adjacency = conflict_adjacency(spec, conflicts);
+  for (std::size_t a = 0; a < adjacency.size(); ++a) {
+    for (int b : adjacency[a]) {
+      const auto& back = adjacency[static_cast<std::size_t>(b)];
+      EXPECT_NE(std::find(back.begin(), back.end(), static_cast<int>(a)),
+                back.end());
+    }
+  }
+}
+
+TEST(RulesTest, DetectionOnlyNeedsTwoVendorsPerUsedClass) {
+  const ProblemSpec spec = motivational_detection_only();
+  const auto bounds = min_vendors_per_class(spec);
+  EXPECT_GE(bounds[static_cast<int>(dfg::ResourceClass::kAdder)], 2);
+  EXPECT_GE(bounds[static_cast<int>(dfg::ResourceClass::kMultiplier)], 2);
+  EXPECT_EQ(bounds[static_cast<int>(dfg::ResourceClass::kAlu)], 0);
+}
+
+TEST(RulesTest, RecoveryRaisesTheDiversityBound) {
+  // The paper's headline: detection-only underestimates diversity. The
+  // NC/RC/recovery triangle forces at least 3 vendors per used class.
+  const auto detection = min_vendors_per_class(motivational_detection_only());
+  const auto recovery = min_vendors_per_class(motivational_spec());
+  for (int cls : {static_cast<int>(dfg::ResourceClass::kAdder),
+                  static_cast<int>(dfg::ResourceClass::kMultiplier)}) {
+    EXPECT_GE(recovery[cls], 3);
+    EXPECT_GT(recovery[cls], detection[cls] - 1);  // never lower
+  }
+}
+
+TEST(RulesTest, CopyIndexIsDense) {
+  const int n = 7;
+  std::set<int> seen;
+  for (CopyKind kind :
+       {CopyKind::kNormal, CopyKind::kRedundant, CopyKind::kRecovery}) {
+    for (dfg::OpId op = 0; op < n; ++op) {
+      const int index = copy_index({kind, op}, n);
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, 3 * n);
+      EXPECT_TRUE(seen.insert(index).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(3 * n));
+}
+
+}  // namespace
+}  // namespace ht::core

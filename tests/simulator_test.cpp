@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "core/optimizer.hpp"
+#include "trojan/monte_carlo.hpp"
+#include "trojan/simulator.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::trojan {
+namespace {
+
+using core::CopyKind;
+
+/// Solved motivational design (polynom, Table 1, recovery enabled) shared
+/// by all tests in this file.
+const core::ProblemSpec& spec() {
+  static const core::ProblemSpec instance = test::motivational_spec();
+  return instance;
+}
+
+const core::Solution& solution() {
+  static const core::Solution instance = [] {
+    const core::OptimizeResult result = core::minimize_cost(spec());
+    if (!result.has_solution()) {
+      throw util::InternalError("motivational spec must be solvable");
+    }
+    return result.solution;
+  }();
+  return instance;
+}
+
+/// Crafts the adversarial Trojan for one detection-phase copy: infects the
+/// license that copy is bound to, triggered by the operand values the copy
+/// sees on `inputs`.
+InfectionMap infect_copy(core::CopyKind kind, dfg::OpId op,
+                         const std::vector<Word>& inputs,
+                         std::uint64_t mask = ~0ull) {
+  const dfg::Dfg& graph = spec().graph;
+  const auto values = golden_eval(graph, inputs);
+  const dfg::Operation& operation = graph.op(op);
+  TrojanSpec trojan;
+  trojan.trigger.mask = mask;
+  trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+      operand_value(graph, operation.inputs[0], values, inputs));
+  trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+      operand_value(graph, operation.inputs[1], values, inputs));
+  trojan.payload.xor_mask = 0x1;
+  const core::Binding& binding = solution().at(kind, op);
+  InfectionMap infections;
+  infections.emplace(
+      core::LicenseKey{binding.vendor,
+                       dfg::resource_class_of(operation.type)},
+      trojan);
+  return infections;
+}
+
+const std::vector<Word> kInputs = {3, 5, 7, 11, 13};
+
+TEST(SimulatorTest, CleanRunMatchesGoldenAndDetectsNothing) {
+  const RuntimeSimulator sim(spec(), solution());
+  const RunResult result = sim.run(kInputs, {});
+  EXPECT_FALSE(result.payload_fired_detection);
+  EXPECT_FALSE(result.mismatch_detected);
+  EXPECT_FALSE(result.recovery_ran);
+  EXPECT_EQ(result.nc_outputs, result.golden_outputs);
+  EXPECT_EQ(result.rc_outputs, result.golden_outputs);
+}
+
+TEST(SimulatorTest, ActivatedTrojanIsDetected) {
+  const RuntimeSimulator sim(spec(), solution());
+  // Target the NC copy of the output op s2 (op 4): any corruption is
+  // directly visible at the outputs.
+  const RunResult result = sim.run(kInputs, infect_copy(CopyKind::kNormal, 4,
+                                                        kInputs));
+  EXPECT_TRUE(result.payload_fired_detection);
+  EXPECT_TRUE(result.mismatch_detected);
+  EXPECT_NE(result.nc_outputs, result.golden_outputs);
+  EXPECT_EQ(result.rc_outputs, result.golden_outputs);  // RC untouched
+}
+
+TEST(SimulatorTest, RulesRecoveryDeactivatesTrojan) {
+  const RuntimeSimulator sim(spec(), solution());
+  const RunResult result = sim.run(kInputs, infect_copy(CopyKind::kNormal, 4,
+                                                        kInputs));
+  ASSERT_TRUE(result.recovery_ran);
+  EXPECT_TRUE(result.recovered_correctly)
+      << "recovery rebinding must avoid the infected vendor for the "
+         "triggering operation";
+  EXPECT_EQ(result.recovery_outputs, result.golden_outputs);
+}
+
+TEST(SimulatorTest, RcSideInfectionAlsoDetectedAndRecovered) {
+  const RuntimeSimulator sim(spec(), solution());
+  const RunResult result =
+      sim.run(kInputs, infect_copy(CopyKind::kRedundant, 4, kInputs));
+  EXPECT_TRUE(result.mismatch_detected);
+  EXPECT_EQ(result.nc_outputs, result.golden_outputs);  // NC clean
+  ASSERT_TRUE(result.recovery_ran);
+  EXPECT_TRUE(result.recovered_correctly);
+}
+
+TEST(SimulatorTest, ReexecutionCannotRecoverPersistentTrigger) {
+  // The paper's Section 3.2 argument: the trigger condition reproduces on
+  // re-execution with the same cores, so the error persists.
+  const RuntimeSimulator sim(spec(), solution());
+  const RunResult result =
+      sim.run(kInputs, infect_copy(CopyKind::kNormal, 4, kInputs),
+              RecoveryStrategy::kReexecuteSame);
+  ASSERT_TRUE(result.recovery_ran);
+  EXPECT_TRUE(result.payload_fired_recovery);
+  EXPECT_FALSE(result.recovered_correctly);
+  EXPECT_EQ(result.recovery_outputs, result.nc_outputs);  // same wrong answer
+}
+
+TEST(SimulatorTest, EveryDetectionCopyIsCoveredAndRecoverable) {
+  // Sweep: infect each of the 10 detection-phase copies in turn.
+  const RuntimeSimulator sim(spec(), solution());
+  for (CopyKind kind : {CopyKind::kNormal, CopyKind::kRedundant}) {
+    for (dfg::OpId op = 0; op < spec().graph.num_ops(); ++op) {
+      const RunResult result =
+          sim.run(kInputs, infect_copy(kind, op, kInputs));
+      EXPECT_TRUE(result.payload_fired_detection)
+          << core::copy_kind_name(kind) << " op " << op;
+      if (result.mismatch_detected) {
+        EXPECT_TRUE(result.recovered_correctly)
+            << core::copy_kind_name(kind) << " op " << op;
+      } else {
+        // The XOR may cancel through downstream arithmetic; corruption
+        // without mismatch must then also leave the outputs correct.
+        EXPECT_EQ(result.nc_outputs, result.rc_outputs);
+      }
+    }
+  }
+}
+
+TEST(SimulatorTest, SequentialTriggerArmsAcrossFrames) {
+  const RuntimeSimulator sim(spec(), solution());
+  InfectionMap infections = infect_copy(CopyKind::kNormal, 4, kInputs);
+  TrojanSpec& trojan = infections.begin()->second;
+  trojan.trigger.kind = TriggerSpec::Kind::kSequential;
+  trojan.trigger.threshold = 3;
+
+  std::map<core::CoreKey, TriggerState> silicon;
+  const RunResult frame1 = sim.run(kInputs, infections,
+                                   RecoveryStrategy::kRebindPerRules,
+                                   &silicon);
+  EXPECT_FALSE(frame1.mismatch_detected);
+  const RunResult frame2 = sim.run(kInputs, infections,
+                                   RecoveryStrategy::kRebindPerRules,
+                                   &silicon);
+  EXPECT_FALSE(frame2.mismatch_detected);
+  const RunResult frame3 = sim.run(kInputs, infections,
+                                   RecoveryStrategy::kRebindPerRules,
+                                   &silicon);
+  EXPECT_TRUE(frame3.mismatch_detected);
+  EXPECT_TRUE(frame3.recovered_correctly);
+}
+
+TEST(SimulatorTest, RebindOnDetectionOnlySolutionThrows) {
+  const core::ProblemSpec detection_spec =
+      test::motivational_detection_only();
+  const core::OptimizeResult result = core::minimize_cost(detection_spec);
+  ASSERT_TRUE(result.has_solution());
+  const RuntimeSimulator sim(detection_spec, result.solution);
+  const auto infections = InfectionMap{};
+  EXPECT_NO_THROW(sim.run(kInputs, infections));  // clean run is fine
+  // Force a mismatch (infect NC s2's license with its exact operands) so
+  // recovery would be needed.
+  const dfg::Dfg& graph = detection_spec.graph;
+  const auto values = golden_eval(graph, kInputs);
+  const dfg::Operation& s2 = graph.op(4);
+  TrojanSpec trojan;
+  trojan.trigger.pattern_a = static_cast<std::uint64_t>(
+      operand_value(graph, s2.inputs[0], values, kInputs));
+  trojan.trigger.pattern_b = static_cast<std::uint64_t>(
+      operand_value(graph, s2.inputs[1], values, kInputs));
+  InfectionMap attack;
+  const core::Binding& binding = result.solution.at(CopyKind::kNormal, 4);
+  attack.emplace(
+      core::LicenseKey{binding.vendor, dfg::ResourceClass::kAdder}, trojan);
+  EXPECT_THROW(sim.run(kInputs, attack), util::SpecError);
+}
+
+// ---- Monte-Carlo campaign ---------------------------------------------------
+
+TEST(CampaignTest, RulesDesignDetectsAndRecovers) {
+  CampaignConfig config;
+  config.trials = 200;
+  config.seed = 7;
+  const CampaignStats stats = run_campaign(spec(), solution(), config);
+  EXPECT_EQ(stats.trials, 200);
+  EXPECT_GT(stats.payload_activated, 150);  // adversarial triggers mostly fire
+  // Everything detected must recover under the rules.
+  EXPECT_EQ(stats.recovery_failed, 0);
+  EXPECT_GE(stats.detection_rate(), 0.95);
+}
+
+TEST(CampaignTest, ReexecutionFailsToRecoverNcInfections) {
+  CampaignConfig config;
+  config.trials = 200;
+  config.seed = 7;
+  config.target_both_computations = false;  // Trojan always in NC
+  const CampaignStats stats = run_campaign(
+      spec(), solution(), config, RecoveryStrategy::kReexecuteSame);
+  EXPECT_GT(stats.recovery_ran, 0);
+  // Re-execution replays the same trigger condition on the same cores.
+  EXPECT_EQ(stats.recovered, 0);
+}
+
+TEST(CampaignTest, ReexecutionOnlyRescuesRcSideInfections) {
+  // With targets on both computations, re-execution succeeds exactly when
+  // the Trojan happened to sit in RC (NC was never wrong) — roughly half
+  // the trials, far below the rules-based recovery.
+  CampaignConfig config;
+  config.trials = 300;
+  config.seed = 11;
+  const CampaignStats reexec = run_campaign(
+      spec(), solution(), config, RecoveryStrategy::kReexecuteSame);
+  const CampaignStats rules = run_campaign(
+      spec(), solution(), config, RecoveryStrategy::kRebindPerRules);
+  EXPECT_GT(reexec.recovery_failed, 0);
+  EXPECT_LT(reexec.recovery_rate(), 0.7);
+  EXPECT_DOUBLE_EQ(rules.recovery_rate(), 1.0);
+}
+
+// ---- collusion (detection Rule 2's threat) ---------------------------------
+
+TEST(CollusionTest, CompliantDesignNeverActivatesCollusionTrojans) {
+  // det-R2 forbids same-vendor parent-child bindings, so an always-armed
+  // collusion Trojan in every license has no channel to fire through.
+  const CollusionProbe probe =
+      run_collusion_probe(spec(), solution(), 100, 77);
+  EXPECT_EQ(probe.frames, 100);
+  EXPECT_EQ(probe.frames_with_activation, 0);
+  EXPECT_EQ(probe.frames_detected, 0);
+}
+
+/// Rules-off spec + handmade binding with same-vendor chains in NC only:
+/// the collusion Trojan fires in NC, RC stays clean, the checker trips.
+struct CollusionFixture {
+  core::ProblemSpec spec;
+  core::Solution solution{5, false};
+};
+
+CollusionFixture colluding_design() {
+  CollusionFixture fixture;
+  fixture.spec = test::motivational_detection_only();
+  fixture.spec.area_limit = 30000;
+  fixture.spec.rules.detection_same_op = false;
+  fixture.spec.rules.detection_parent_child = false;
+  fixture.spec.rules.detection_sibling = false;
+  using K = core::CopyKind;
+  core::Solution& s = fixture.solution;
+  // NC entirely on Ven 1: every chain is a same-vendor channel.
+  s.at(K::kNormal, 0) = {1, 0, 0};  // m1
+  s.at(K::kNormal, 1) = {1, 0, 1};  // m2
+  s.at(K::kNormal, 2) = {2, 0, 0};  // s1
+  s.at(K::kNormal, 3) = {2, 0, 0};  // m3
+  s.at(K::kNormal, 4) = {3, 0, 0};  // s2
+  // RC with vendor-diverse chains: no collusion channel anywhere.
+  s.at(K::kRedundant, 0) = {1, 1, 0};  // m1' Ven2
+  s.at(K::kRedundant, 1) = {1, 2, 0};  // m2' Ven3
+  s.at(K::kRedundant, 2) = {3, 3, 0};  // s1' Ven4
+  s.at(K::kRedundant, 3) = {2, 1, 0};  // m3' Ven2
+  s.at(K::kRedundant, 4) = {4, 0, 0};  // s2' Ven1 (producers Ven4/Ven2)
+  core::require_valid(fixture.spec, fixture.solution);
+  return fixture;
+}
+
+TEST(CollusionTest, SameVendorChainsActivateAndGetCaught) {
+  const CollusionFixture fixture = colluding_design();
+  const CollusionProbe probe =
+      run_collusion_probe(fixture.spec, fixture.solution, 50, 78);
+  // Every frame drives the same-vendor chains: activation each time, and
+  // since only NC is corrupted the NC/RC comparison flags every frame.
+  EXPECT_EQ(probe.frames_with_activation, 50);
+  EXPECT_EQ(probe.frames_detected, 50);
+}
+
+TEST(CollusionTest, OptimizerOutputIsCollusionFreeEvenWithoutRecovery) {
+  const core::ProblemSpec d_spec = test::motivational_detection_only();
+  const core::OptimizeResult result = core::minimize_cost(d_spec);
+  ASSERT_TRUE(result.has_solution());
+  const CollusionProbe probe =
+      run_collusion_probe(d_spec, result.solution, 50, 79);
+  EXPECT_EQ(probe.frames_with_activation, 0);
+}
+
+TEST(CampaignTest, DeterministicUnderSeed) {
+  CampaignConfig config;
+  config.trials = 50;
+  config.seed = 99;
+  const CampaignStats a = run_campaign(spec(), solution(), config);
+  const CampaignStats b = run_campaign(spec(), solution(), config);
+  EXPECT_EQ(a.detected, b.detected);
+  EXPECT_EQ(a.recovered, b.recovered);
+}
+
+}  // namespace
+}  // namespace ht::trojan

@@ -1,0 +1,45 @@
+// Shared fixtures: the paper's motivational example (Figure 5 / Table 1)
+// and small specs used across the core/trojan test binaries.
+#pragma once
+
+#include "benchmarks/classic.hpp"
+#include "core/problem.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht::test {
+
+/// The paper's motivational setup: 5-op polynom DFG, Table 1 catalog,
+/// detection latency 4, recovery latency 3, area limit 22000.
+inline core::ProblemSpec motivational_spec() {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::polynom();
+  spec.catalog = vendor::table1();
+  spec.lambda_detection = 4;
+  spec.lambda_recovery = 3;
+  spec.with_recovery = true;
+  spec.area_limit = 22000;
+  return spec;
+}
+
+/// Detection-only variant of the motivational setup.
+inline core::ProblemSpec motivational_detection_only() {
+  core::ProblemSpec spec = motivational_spec();
+  spec.with_recovery = false;
+  spec.lambda_recovery = 0;
+  return spec;
+}
+
+/// polynom on the 8-vendor Section 5 catalog with roomy bounds — a spec
+/// that every solver path can handle quickly.
+inline core::ProblemSpec easy_section5_spec(bool with_recovery = true) {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::polynom();
+  spec.catalog = vendor::section5();
+  spec.lambda_detection = 5;
+  spec.lambda_recovery = with_recovery ? 4 : 0;
+  spec.with_recovery = with_recovery;
+  spec.area_limit = 100000;
+  return spec;
+}
+
+}  // namespace ht::test

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "benchmarks/classic.hpp"
+#include "trojan/exec.hpp"
+#include "trojan/profiling.hpp"
+#include "trojan/trojan.hpp"
+
+namespace ht::trojan {
+namespace {
+
+// ---- execute_op semantics --------------------------------------------------
+
+TEST(ExecTest, ArithmeticBasics) {
+  EXPECT_EQ(execute_op(dfg::OpType::kAdd, 2, 3), 5);
+  EXPECT_EQ(execute_op(dfg::OpType::kSub, 2, 3), -1);
+  EXPECT_EQ(execute_op(dfg::OpType::kMul, -4, 5), -20);
+  EXPECT_EQ(execute_op(dfg::OpType::kDiv, 17, 5), 3);
+}
+
+TEST(ExecTest, DivisionByZeroIsTotal) {
+  EXPECT_EQ(execute_op(dfg::OpType::kDiv, 17, 0), 0);
+}
+
+TEST(ExecTest, WrapAroundIsModular) {
+  const Word max = std::numeric_limits<Word>::max();
+  EXPECT_EQ(execute_op(dfg::OpType::kAdd, max, 1),
+            std::numeric_limits<Word>::min());
+}
+
+TEST(ExecTest, ShiftsMaskAmount) {
+  EXPECT_EQ(execute_op(dfg::OpType::kShl, 1, 3), 8);
+  EXPECT_EQ(execute_op(dfg::OpType::kShl, 1, 64), 1);  // 64 & 63 == 0
+  EXPECT_EQ(execute_op(dfg::OpType::kShr, -8, 1), -4); // arithmetic
+}
+
+TEST(ExecTest, LogicAndComparisons) {
+  EXPECT_EQ(execute_op(dfg::OpType::kAnd, 0b1100, 0b1010), 0b1000);
+  EXPECT_EQ(execute_op(dfg::OpType::kOr, 0b1100, 0b1010), 0b1110);
+  EXPECT_EQ(execute_op(dfg::OpType::kXor, 0b1100, 0b1010), 0b0110);
+  EXPECT_EQ(execute_op(dfg::OpType::kLt, -1, 0), 1);
+  EXPECT_EQ(execute_op(dfg::OpType::kLt, 0, 0), 0);
+  EXPECT_EQ(execute_op(dfg::OpType::kMax, -3, 7), 7);
+  EXPECT_EQ(execute_op(dfg::OpType::kMin, -3, 7), -3);
+}
+
+TEST(ExecTest, GoldenEvalWrongInputCountThrows) {
+  EXPECT_THROW(golden_eval(benchmarks::polynom(), {1, 2}), util::SpecError);
+}
+
+// ---- triggers ---------------------------------------------------------------
+
+TEST(TriggerTest, CombinationalFiresExactlyOnPattern) {
+  TrojanSpec spec;
+  spec.trigger.pattern_a = 0xdead;
+  spec.trigger.pattern_b = 0xbeef;
+  TriggerState state;
+  EXPECT_FALSE(state.step(spec, 0xdead, 0xbeee));
+  EXPECT_FALSE(state.step(spec, 0, 0));
+  EXPECT_TRUE(state.step(spec, 0xdead, 0xbeef));
+  // Memoryless: deactivates as soon as the condition is gone.
+  EXPECT_FALSE(state.step(spec, 1, 2));
+}
+
+TEST(TriggerTest, MaskWidensTheTriggerToNearbyValues) {
+  TrojanSpec spec;
+  spec.trigger.mask = ~0xFull;  // ignore low 4 bits: "closely related"
+  spec.trigger.pattern_a = 0x100;
+  spec.trigger.pattern_b = 0x200;
+  TriggerState state;
+  EXPECT_TRUE(state.step(spec, 0x10A, 0x203));
+  EXPECT_FALSE(state.step(spec, 0x110, 0x200));
+}
+
+TEST(TriggerTest, SequentialArmsOnThresholdThMatch) {
+  TrojanSpec spec;
+  spec.trigger.kind = TriggerSpec::Kind::kSequential;
+  spec.trigger.threshold = 3;
+  spec.trigger.pattern_a = 7;
+  spec.trigger.pattern_b = 9;
+  TriggerState state;
+  EXPECT_FALSE(state.step(spec, 7, 9));  // 1st match: arming
+  EXPECT_FALSE(state.step(spec, 7, 9));  // 2nd
+  EXPECT_TRUE(state.step(spec, 7, 9));   // 3rd: fires
+  EXPECT_TRUE(state.step(spec, 7, 9));   // stays armed while matching
+  // Other operands on the same core: trigger signal resets (payload is
+  // memoryless) but the counter stays armed.
+  EXPECT_FALSE(state.step(spec, 1, 1));
+  EXPECT_TRUE(state.step(spec, 7, 9));
+}
+
+TEST(TriggerTest, SequentialCounterSurvivesInterleavedOps) {
+  TrojanSpec spec;
+  spec.trigger.kind = TriggerSpec::Kind::kSequential;
+  spec.trigger.threshold = 2;
+  spec.trigger.pattern_a = 5;
+  spec.trigger.pattern_b = 5;
+  TriggerState state;
+  EXPECT_FALSE(state.step(spec, 5, 5));
+  EXPECT_FALSE(state.step(spec, 0, 0));  // unrelated op on the same core
+  EXPECT_TRUE(state.step(spec, 5, 5));   // second matching event fires
+}
+
+TEST(TriggerTest, CollusionNeedsSameVendorProvenance) {
+  TrojanSpec spec;
+  spec.trigger.kind = TriggerSpec::Kind::kCollusion;
+  spec.trigger.mask = 0;  // any operand value
+  TriggerState state;
+  // Values from other vendors never trigger, whatever they are.
+  EXPECT_FALSE(state.step(spec, 0xdead, 0xbeef, false));
+  // A value from a same-vendor upstream core does.
+  EXPECT_TRUE(state.step(spec, 1, 2, true));
+  // Memoryless: deactivates the moment the colluding link is gone.
+  EXPECT_FALSE(state.step(spec, 1, 2, false));
+}
+
+TEST(TriggerTest, CollusionCanAlsoRequireAPattern) {
+  TrojanSpec spec;
+  spec.trigger.kind = TriggerSpec::Kind::kCollusion;
+  spec.trigger.pattern_a = 42;
+  spec.trigger.pattern_b = 43;
+  TriggerState state;
+  EXPECT_FALSE(state.step(spec, 42, 43, false));  // pattern but no channel
+  EXPECT_FALSE(state.step(spec, 1, 2, true));     // channel but no pattern
+  EXPECT_TRUE(state.step(spec, 42, 43, true));
+}
+
+TEST(TriggerTest, PayloadWithMemoryLatches) {
+  TrojanSpec spec;
+  spec.trigger.pattern_a = 1;
+  spec.trigger.pattern_b = 1;
+  spec.payload.has_memory = true;  // Figure 3 variant
+  TriggerState state;
+  EXPECT_FALSE(state.step(spec, 0, 0));
+  EXPECT_TRUE(state.step(spec, 1, 1));
+  // Latched: stays active even though the condition is gone — exactly why
+  // the paper scopes recovery to memoryless payloads.
+  EXPECT_TRUE(state.step(spec, 0, 0));
+  state.reset();
+  EXPECT_FALSE(state.step(spec, 0, 0));
+}
+
+// ---- profiling ----------------------------------------------------------------
+
+TEST(ProfilingTest, IdenticalOpsAreClose) {
+  // diff2 materializes u*dx twice (ops 'udx' and 'udx2'): distance 0.
+  const dfg::Dfg graph = benchmarks::diff2();
+  util::Rng rng(123);
+  ProfileConfig config;
+  config.num_vectors = 64;
+  config.tolerance = 0;
+  const auto pairs = profile_close_pairs(graph, config, rng);
+  bool found = false;
+  for (const auto& [a, b] : pairs) {
+    if (graph.op(a).name == "udx" && graph.op(b).name == "udx2") found = true;
+    // Every reported pair must share a resource class.
+    EXPECT_EQ(dfg::resource_class_of(graph.op(a).type),
+              dfg::resource_class_of(graph.op(b).type));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ProfilingTest, ToleranceZeroExcludesDistinctOps) {
+  const dfg::Dfg graph = benchmarks::polynom();
+  util::Rng rng(9);
+  ProfileConfig config;
+  config.num_vectors = 32;
+  config.tolerance = 0;
+  // polynom's three multiplies see unrelated random products; with a large
+  // input range no pair should profile as close.
+  EXPECT_TRUE(profile_close_pairs(graph, config, rng).empty());
+}
+
+TEST(ProfilingTest, HugeToleranceMakesEverythingClose) {
+  const dfg::Dfg graph = benchmarks::polynom();
+  util::Rng rng(10);
+  ProfileConfig config;
+  config.num_vectors = 8;
+  config.tolerance = std::numeric_limits<Word>::max();
+  // 3 multiplier pairs: (m1,m2), (m1,m3), (m2,m3); 1 adder pair (s1,s2).
+  EXPECT_EQ(profile_close_pairs(graph, config, rng).size(), 4u);
+}
+
+TEST(ProfilingTest, DeterministicUnderSeed) {
+  const dfg::Dfg graph = benchmarks::dtmf();
+  ProfileConfig config;
+  config.num_vectors = 32;
+  config.tolerance = 100;
+  util::Rng rng_a(5);
+  util::Rng rng_b(5);
+  EXPECT_EQ(profile_close_pairs(graph, config, rng_a),
+            profile_close_pairs(graph, config, rng_b));
+}
+
+}  // namespace
+}  // namespace ht::trojan

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "vendor/catalogs.hpp"
+
+namespace ht::vendor {
+namespace {
+
+using dfg::ResourceClass;
+
+TEST(CatalogTest, Table1MatchesPaper) {
+  const Catalog catalog = table1();
+  EXPECT_EQ(catalog.num_vendors(), 4);
+  // Spot-check every row of the paper's Table 1.
+  EXPECT_EQ(catalog.offer(0, ResourceClass::kAdder).area, 532);
+  EXPECT_EQ(catalog.offer(0, ResourceClass::kAdder).cost, 450);
+  EXPECT_EQ(catalog.offer(0, ResourceClass::kMultiplier).area, 6843);
+  EXPECT_EQ(catalog.offer(0, ResourceClass::kMultiplier).cost, 950);
+  EXPECT_EQ(catalog.offer(1, ResourceClass::kAdder).cost, 630);
+  EXPECT_EQ(catalog.offer(1, ResourceClass::kMultiplier).area, 5731);
+  EXPECT_EQ(catalog.offer(2, ResourceClass::kMultiplier).cost, 760);
+  EXPECT_EQ(catalog.offer(3, ResourceClass::kAdder).area, 618);
+  EXPECT_EQ(catalog.offer(3, ResourceClass::kMultiplier).cost, 1000);
+}
+
+TEST(CatalogTest, Table1HasNoAluOffers) {
+  const Catalog catalog = table1();
+  for (VendorId v = 0; v < catalog.num_vendors(); ++v) {
+    EXPECT_FALSE(catalog.offers(v, ResourceClass::kAlu));
+  }
+  EXPECT_EQ(catalog.num_vendors_offering(ResourceClass::kAlu), 0);
+}
+
+TEST(CatalogTest, Section5IsComplete8x3) {
+  const Catalog catalog = section5();
+  EXPECT_EQ(catalog.num_vendors(), 8);
+  for (VendorId v = 0; v < 8; ++v) {
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      EXPECT_TRUE(catalog.offers(v, static_cast<ResourceClass>(cls)))
+          << "vendor " << v << " class " << cls;
+    }
+  }
+}
+
+TEST(CatalogTest, Section5ExtendsTable1Verbatim) {
+  const Catalog t1 = table1();
+  const Catalog s5 = section5();
+  for (VendorId v = 0; v < 4; ++v) {
+    for (ResourceClass rc :
+         {ResourceClass::kAdder, ResourceClass::kMultiplier}) {
+      EXPECT_EQ(t1.offer(v, rc).area, s5.offer(v, rc).area);
+      EXPECT_EQ(t1.offer(v, rc).cost, s5.offer(v, rc).cost);
+    }
+  }
+}
+
+TEST(CatalogTest, Section5ValuesInTable1Ranges) {
+  const Catalog catalog = section5();
+  for (VendorId v = 0; v < catalog.num_vendors(); ++v) {
+    const IpOffer& adder = catalog.offer(v, ResourceClass::kAdder);
+    EXPECT_GE(adder.area, 500);
+    EXPECT_LE(adder.area, 800);
+    EXPECT_GE(adder.cost, 400);
+    EXPECT_LE(adder.cost, 700);
+    const IpOffer& mult = catalog.offer(v, ResourceClass::kMultiplier);
+    EXPECT_GE(mult.area, 5500);
+    EXPECT_LE(mult.area, 7000);
+    EXPECT_GE(mult.cost, 700);
+    EXPECT_LE(mult.cost, 1000);
+  }
+}
+
+TEST(CatalogTest, VendorsByCostSortedAndComplete) {
+  const Catalog catalog = section5();
+  const auto order = catalog.vendors_by_cost(ResourceClass::kMultiplier);
+  ASSERT_EQ(order.size(), 8u);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(catalog.offer(order[i - 1], ResourceClass::kMultiplier).cost,
+              catalog.offer(order[i], ResourceClass::kMultiplier).cost);
+  }
+  // Cheapest multiplier in the Section 5 catalog is Ven 3 at $760.
+  EXPECT_EQ(order.front(), 2);
+}
+
+TEST(CatalogTest, MissingOfferThrows) {
+  const Catalog catalog = table1();
+  EXPECT_THROW(catalog.offer(0, ResourceClass::kAlu), util::SpecError);
+}
+
+TEST(CatalogTest, VendorOutOfRangeThrows) {
+  const Catalog catalog = table1();
+  EXPECT_THROW(catalog.offers(4, ResourceClass::kAdder), util::SpecError);
+  EXPECT_THROW(catalog.offers(-1, ResourceClass::kAdder), util::SpecError);
+}
+
+TEST(CatalogTest, RejectsNonPositiveOffers) {
+  Catalog catalog(2);
+  EXPECT_THROW(catalog.set_offer(0, ResourceClass::kAdder, {0, 100}),
+               util::SpecError);
+  EXPECT_THROW(catalog.set_offer(0, ResourceClass::kAdder, {100, -5}),
+               util::SpecError);
+}
+
+TEST(CatalogTest, VendorNamesAreOneBased) {
+  EXPECT_EQ(table1().vendor_name(0), "Ven 1");
+  EXPECT_EQ(table1().vendor_name(3), "Ven 4");
+}
+
+}  // namespace
+}  // namespace ht::vendor

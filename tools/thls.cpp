@@ -1,0 +1,324 @@
+// thls — command-line front end for the trojan-hls library.
+//
+//   thls optimize <dfg-file> [options]       cost-minimal schedule+binding
+//   thls simulate <dfg-file> [options]       optimize + Monte-Carlo attack
+//   thls export-verilog <dfg-file> [options] optimize + RTL emission
+//   thls export-dot <dfg-file> [options]     DFG structure as Graphviz
+//   thls benchmarks                          list the paper's suite
+//
+// <dfg-file> is either a path to a textual DFG (see src/dfg/parse.hpp) or
+// the name of a built-in benchmark (polynom, diff2, dtmf, mof2,
+// ellipticicass, fir16, ar_lattice, matmul2x2, fft4).
+//
+// Common options:
+//   --catalog table1|section5   IP market (default section5)
+//   --lambda-det N              detection-phase latency bound (default CP+1)
+//   --lambda-rec N              recovery-phase latency bound (default CP+1)
+//   --detection-only            Rajendran baseline: no recovery phase
+//   --area N                    total area bound (default 10x minimum core)
+//   --strategy exact|heuristic  optimizer strategy (default exact)
+//   --seed N                    RNG seed (default 1)
+//   --trials N                  simulate: campaign size (default 400)
+//   -o FILE                     export: write to FILE instead of stdout
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "benchmarks/extra.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/optimizer.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/dot.hpp"
+#include "dfg/parse.hpp"
+#include "rtl/verilog.hpp"
+#include "trojan/monte_carlo.hpp"
+#include "trojan/profiling.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "vendor/catalogs.hpp"
+
+using namespace ht;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string graph_arg;
+  std::string catalog = "section5";
+  int lambda_det = 0;
+  int lambda_rec = 0;
+  bool detection_only = false;
+  long long area = 0;
+  std::string strategy = "exact";
+  std::uint64_t seed = 1;
+  int trials = 400;
+  std::string out_file;
+  bool share_registers = false;
+  bool close_pairs = true;
+};
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "thls: %s\n\n", error.c_str());
+  std::fputs(
+      "usage: thls <optimize|simulate|export-verilog|export-dot> "
+      "<dfg-file|benchmark> [options]\n"
+      "       thls benchmarks\n"
+      "options: --catalog table1|section5  --lambda-det N  --lambda-rec N\n"
+      "         --detection-only  --area N  --strategy exact|heuristic\n"
+      "         --seed N  --trials N  -o FILE  --share-registers\n"
+      "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n",
+      stderr);
+  std::exit(2);
+}
+
+Options parse_args(int argc, char** argv) {
+  Options options;
+  if (argc < 2) usage();
+  options.command = argv[1];
+  int i = 2;
+  if (options.command != "benchmarks") {
+    if (argc < 3) usage("missing <dfg-file|benchmark>");
+    options.graph_arg = argv[2];
+    i = 3;
+  }
+  auto need_value = [&](const std::string& flag) -> std::string {
+    if (i >= argc) usage("flag " + flag + " needs a value");
+    return argv[i++];
+  };
+  while (i < argc) {
+    const std::string flag = argv[i++];
+    if (flag == "--catalog") {
+      options.catalog = need_value(flag);
+    } else if (flag == "--lambda-det") {
+      options.lambda_det = std::stoi(need_value(flag));
+    } else if (flag == "--lambda-rec") {
+      options.lambda_rec = std::stoi(need_value(flag));
+    } else if (flag == "--detection-only") {
+      options.detection_only = true;
+    } else if (flag == "--area") {
+      options.area = std::stoll(need_value(flag));
+    } else if (flag == "--strategy") {
+      options.strategy = need_value(flag);
+    } else if (flag == "--seed") {
+      options.seed = std::stoull(need_value(flag));
+    } else if (flag == "--trials") {
+      options.trials = std::stoi(need_value(flag));
+    } else if (flag == "-o") {
+      options.out_file = need_value(flag);
+    } else if (flag == "--share-registers") {
+      options.share_registers = true;
+    } else if (flag == "--no-close-pairs") {
+      options.close_pairs = false;
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  return options;
+}
+
+dfg::Dfg load_graph(const std::string& arg) {
+  for (const benchmarks::BenchmarkCase& entry : benchmarks::paper_suite()) {
+    if (entry.name == arg) return entry.factory();
+  }
+  if (arg == "ar_lattice") return benchmarks::ar_lattice();
+  if (arg == "matmul2x2") return benchmarks::matmul2x2();
+  if (arg == "fft4") return benchmarks::fft4();
+  std::ifstream stream(arg);
+  if (!stream.good()) {
+    throw util::SpecError("cannot open DFG file or unknown benchmark: " +
+                          arg);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return dfg::parse_dfg(buffer.str());
+}
+
+core::ProblemSpec build_spec(const Options& options) {
+  core::ProblemSpec spec;
+  spec.graph = load_graph(options.graph_arg);
+  if (options.catalog == "table1") {
+    spec.catalog = vendor::table1();
+  } else if (options.catalog == "section5") {
+    spec.catalog = vendor::section5();
+  } else {
+    usage("unknown catalog " + options.catalog);
+  }
+  const int cp = dfg::critical_path_length(spec.graph);
+  spec.lambda_detection =
+      options.lambda_det > 0 ? options.lambda_det : cp + 1;
+  spec.with_recovery = !options.detection_only;
+  spec.lambda_recovery =
+      spec.with_recovery
+          ? (options.lambda_rec > 0 ? options.lambda_rec : cp + 1)
+          : 0;
+  if (options.area > 0) {
+    spec.area_limit = options.area;
+  } else {
+    // Default: room for ~10 of the largest cores the graph could need.
+    long long biggest = 0;
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+        const auto rc = static_cast<dfg::ResourceClass>(cls);
+        if (spec.catalog.offers(v, rc)) {
+          biggest = std::max(
+              biggest, static_cast<long long>(spec.catalog.offer(v, rc).area));
+        }
+      }
+    }
+    spec.area_limit = 10 * biggest;
+  }
+  if (options.close_pairs && spec.with_recovery) {
+    // Section 3.3: identify closely-related operation pairs by profiling;
+    // recovery Rule 2 then keeps their recovery bindings away from each
+    // other's detection vendors (see fft4's t0 = x0+x2 / t1 = x0-x2, which
+    // share operand values exactly). Disable with --no-close-pairs.
+    util::Rng rng(options.seed);
+    trojan::ProfileConfig profile;
+    profile.tolerance = 0;
+    spec.closely_related =
+        trojan::profile_close_pairs(spec.graph, profile, rng);
+  }
+  spec.validate();
+  return spec;
+}
+
+core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
+                                   const Options& options) {
+  core::OptimizerOptions optimizer;
+  if (options.strategy == "heuristic") {
+    optimizer.strategy = core::Strategy::kHeuristic;
+  } else if (options.strategy != "exact") {
+    usage("unknown strategy " + options.strategy);
+  }
+  optimizer.seed = options.seed;
+  return core::minimize_cost(spec, optimizer);
+}
+
+void emit(const Options& options, const std::string& content) {
+  if (options.out_file.empty()) {
+    std::fputs(content.c_str(), stdout);
+  } else {
+    util::write_file(options.out_file, content);
+    std::printf("wrote %zu bytes to %s\n", content.size(),
+                options.out_file.c_str());
+  }
+}
+
+int cmd_optimize(const Options& options) {
+  const core::ProblemSpec spec = build_spec(options);
+  const core::OptimizeResult result = run_optimizer(spec, options);
+  std::printf("graph: %s  (%d ops, critical path %d)\n",
+              spec.graph.name().c_str(), spec.graph.num_ops(),
+              dfg::critical_path_length(spec.graph));
+  std::printf("constraints: lambda_det=%d lambda_rec=%d area<=%lld mode=%s\n",
+              spec.lambda_detection, spec.lambda_recovery, spec.area_limit,
+              spec.with_recovery ? "detect+recover" : "detection-only");
+  std::printf("status: %s\n", core::to_string(result.status).c_str());
+  if (!result.has_solution()) return 1;
+  std::printf("minimum purchasing cost: %s\n",
+              util::format_money(result.cost).c_str());
+  std::printf("u=%zu cores  t=%zu licenses  v=%zu vendors  area=%lld\n\n",
+              result.solution.cores_used(spec).size(),
+              result.solution.licenses_used(spec).size(),
+              result.solution.vendors_used(spec).size(),
+              result.solution.total_area(spec));
+  std::fputs(result.solution.to_string(spec).c_str(), stdout);
+  return 0;
+}
+
+int cmd_simulate(const Options& options) {
+  const core::ProblemSpec spec = build_spec(options);
+  const core::OptimizeResult result = run_optimizer(spec, options);
+  if (!result.has_solution()) {
+    std::printf("optimization failed: %s\n",
+                core::to_string(result.status).c_str());
+    return 1;
+  }
+  if (!spec.with_recovery) {
+    std::puts("note: detection-only design; simulating with re-execution "
+              "as the (ineffective) recovery strategy");
+  }
+  trojan::CampaignConfig config;
+  config.trials = options.trials;
+  config.seed = options.seed;
+  const trojan::CampaignStats stats = trojan::run_campaign(
+      spec, result.solution, config,
+      spec.with_recovery ? trojan::RecoveryStrategy::kRebindPerRules
+                         : trojan::RecoveryStrategy::kReexecuteSame);
+  std::printf("design cost %s; campaign of %d adversarial trials "
+              "(seed %llu):\n",
+              util::format_money(result.cost).c_str(), stats.trials,
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  payload activated : %d\n", stats.payload_activated);
+  std::printf("  detected          : %d  (rate %.3f)\n", stats.detected,
+              stats.detection_rate());
+  std::printf("  silent corruptions: %d\n", stats.silent_corruptions);
+  std::printf("  recoveries        : %d of %d  (rate %.3f)\n",
+              stats.recovered, stats.recovery_ran, stats.recovery_rate());
+  return 0;
+}
+
+int cmd_export_verilog(const Options& options) {
+  const core::ProblemSpec spec = build_spec(options);
+  const core::OptimizeResult result = run_optimizer(spec, options);
+  if (!result.has_solution()) {
+    std::printf("optimization failed: %s\n",
+                core::to_string(result.status).c_str());
+    return 1;
+  }
+  rtl::ElaborateOptions elaborate_options;
+  elaborate_options.share_registers = options.share_registers;
+  const rtl::ElaboratedDesign design =
+      rtl::elaborate(spec, result.solution, elaborate_options);
+  std::fprintf(stderr, "elaborated %d data registers%s\n",
+               design.num_data_registers,
+               options.share_registers ? " (shared)" : "");
+  emit(options, rtl::to_verilog(design));
+  return 0;
+}
+
+int cmd_export_dot(const Options& options) {
+  emit(options, dfg::to_dot(load_graph(options.graph_arg)));
+  return 0;
+}
+
+int cmd_benchmarks() {
+  util::TablePrinter table(
+      {"name", "ops", "critical path", "adders", "multipliers", "alus"});
+  auto add = [&](const std::string& name, const dfg::Dfg& graph) {
+    const auto counts = graph.ops_per_class();
+    table.add_row({name, std::to_string(graph.num_ops()),
+                   std::to_string(dfg::critical_path_length(graph)),
+                   std::to_string(counts[0]), std::to_string(counts[1]),
+                   std::to_string(counts[2])});
+  };
+  for (const benchmarks::BenchmarkCase& entry : benchmarks::paper_suite()) {
+    add(entry.name, entry.factory());
+  }
+  add("ar_lattice", benchmarks::ar_lattice());
+  add("matmul2x2", benchmarks::matmul2x2());
+  add("fft4", benchmarks::fft4());
+  std::fputs(
+      table.to_string("built-in benchmarks (paper suite + extras)").c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options options = parse_args(argc, argv);
+    if (options.command == "optimize") return cmd_optimize(options);
+    if (options.command == "simulate") return cmd_simulate(options);
+    if (options.command == "export-verilog") {
+      return cmd_export_verilog(options);
+    }
+    if (options.command == "export-dot") return cmd_export_dot(options);
+    if (options.command == "benchmarks") return cmd_benchmarks();
+    usage("unknown command " + options.command);
+  } catch (const util::Error& error) {
+    std::fprintf(stderr, "thls: %s\n", error.what());
+    return 1;
+  }
+}
