@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivational.dir/bench_motivational.cpp.o"
+  "CMakeFiles/bench_motivational.dir/bench_motivational.cpp.o.d"
+  "bench_motivational"
+  "bench_motivational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

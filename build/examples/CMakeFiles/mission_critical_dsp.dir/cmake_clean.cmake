@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_critical_dsp.dir/mission_critical_dsp.cpp.o"
+  "CMakeFiles/mission_critical_dsp.dir/mission_critical_dsp.cpp.o.d"
+  "mission_critical_dsp"
+  "mission_critical_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_critical_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

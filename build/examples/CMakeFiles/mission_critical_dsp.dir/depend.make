@@ -1,0 +1,2 @@
+# Empty dependencies file for mission_critical_dsp.
+# This may be replaced when dependencies are built.

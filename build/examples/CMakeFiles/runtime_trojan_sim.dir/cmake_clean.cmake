@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_trojan_sim.dir/runtime_trojan_sim.cpp.o"
+  "CMakeFiles/runtime_trojan_sim.dir/runtime_trojan_sim.cpp.o.d"
+  "runtime_trojan_sim"
+  "runtime_trojan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_trojan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vendor_market_sweep.dir/vendor_market_sweep.cpp.o"
+  "CMakeFiles/vendor_market_sweep.dir/vendor_market_sweep.cpp.o.d"
+  "vendor_market_sweep"
+  "vendor_market_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vendor_market_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchmarks/classic.cpp" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/classic.cpp.o" "gcc" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/classic.cpp.o.d"
+  "/root/repo/src/benchmarks/extra.cpp" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/extra.cpp.o" "gcc" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/extra.cpp.o.d"
+  "/root/repo/src/benchmarks/random_dfg.cpp" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/random_dfg.cpp.o" "gcc" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/random_dfg.cpp.o.d"
+  "/root/repo/src/benchmarks/suite.cpp" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/suite.cpp.o" "gcc" "src/benchmarks/CMakeFiles/ht_benchmarks.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ht_dfg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_benchmarks.dir/classic.cpp.o"
+  "CMakeFiles/ht_benchmarks.dir/classic.cpp.o.d"
+  "CMakeFiles/ht_benchmarks.dir/extra.cpp.o"
+  "CMakeFiles/ht_benchmarks.dir/extra.cpp.o.d"
+  "CMakeFiles/ht_benchmarks.dir/random_dfg.cpp.o"
+  "CMakeFiles/ht_benchmarks.dir/random_dfg.cpp.o.d"
+  "CMakeFiles/ht_benchmarks.dir/suite.cpp.o"
+  "CMakeFiles/ht_benchmarks.dir/suite.cpp.o.d"
+  "libht_benchmarks.a"
+  "libht_benchmarks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csp_solver.cpp" "src/core/CMakeFiles/ht_core.dir/csp_solver.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/csp_solver.cpp.o.d"
+  "/root/repo/src/core/frontier.cpp" "src/core/CMakeFiles/ht_core.dir/frontier.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/frontier.cpp.o.d"
+  "/root/repo/src/core/greedy.cpp" "src/core/CMakeFiles/ht_core.dir/greedy.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/greedy.cpp.o.d"
+  "/root/repo/src/core/ilp_formulation.cpp" "src/core/CMakeFiles/ht_core.dir/ilp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/ilp_formulation.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/ht_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/palette.cpp" "src/core/CMakeFiles/ht_core.dir/palette.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/palette.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/ht_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/reoptimize.cpp" "src/core/CMakeFiles/ht_core.dir/reoptimize.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/reoptimize.cpp.o.d"
+  "/root/repo/src/core/rules.cpp" "src/core/CMakeFiles/ht_core.dir/rules.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/rules.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/core/CMakeFiles/ht_core.dir/solution.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/solution.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/ht_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/ht_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ht_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/ht_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ht_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ht_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

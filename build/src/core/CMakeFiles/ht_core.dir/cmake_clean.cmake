@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_core.dir/csp_solver.cpp.o"
+  "CMakeFiles/ht_core.dir/csp_solver.cpp.o.d"
+  "CMakeFiles/ht_core.dir/frontier.cpp.o"
+  "CMakeFiles/ht_core.dir/frontier.cpp.o.d"
+  "CMakeFiles/ht_core.dir/greedy.cpp.o"
+  "CMakeFiles/ht_core.dir/greedy.cpp.o.d"
+  "CMakeFiles/ht_core.dir/ilp_formulation.cpp.o"
+  "CMakeFiles/ht_core.dir/ilp_formulation.cpp.o.d"
+  "CMakeFiles/ht_core.dir/optimizer.cpp.o"
+  "CMakeFiles/ht_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/ht_core.dir/palette.cpp.o"
+  "CMakeFiles/ht_core.dir/palette.cpp.o.d"
+  "CMakeFiles/ht_core.dir/problem.cpp.o"
+  "CMakeFiles/ht_core.dir/problem.cpp.o.d"
+  "CMakeFiles/ht_core.dir/reoptimize.cpp.o"
+  "CMakeFiles/ht_core.dir/reoptimize.cpp.o.d"
+  "CMakeFiles/ht_core.dir/rules.cpp.o"
+  "CMakeFiles/ht_core.dir/rules.cpp.o.d"
+  "CMakeFiles/ht_core.dir/solution.cpp.o"
+  "CMakeFiles/ht_core.dir/solution.cpp.o.d"
+  "CMakeFiles/ht_core.dir/validate.cpp.o"
+  "CMakeFiles/ht_core.dir/validate.cpp.o.d"
+  "libht_core.a"
+  "libht_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfg/analysis.cpp" "src/dfg/CMakeFiles/ht_dfg.dir/analysis.cpp.o" "gcc" "src/dfg/CMakeFiles/ht_dfg.dir/analysis.cpp.o.d"
+  "/root/repo/src/dfg/dfg.cpp" "src/dfg/CMakeFiles/ht_dfg.dir/dfg.cpp.o" "gcc" "src/dfg/CMakeFiles/ht_dfg.dir/dfg.cpp.o.d"
+  "/root/repo/src/dfg/dot.cpp" "src/dfg/CMakeFiles/ht_dfg.dir/dot.cpp.o" "gcc" "src/dfg/CMakeFiles/ht_dfg.dir/dot.cpp.o.d"
+  "/root/repo/src/dfg/parse.cpp" "src/dfg/CMakeFiles/ht_dfg.dir/parse.cpp.o" "gcc" "src/dfg/CMakeFiles/ht_dfg.dir/parse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_dfg.dir/analysis.cpp.o"
+  "CMakeFiles/ht_dfg.dir/analysis.cpp.o.d"
+  "CMakeFiles/ht_dfg.dir/dfg.cpp.o"
+  "CMakeFiles/ht_dfg.dir/dfg.cpp.o.d"
+  "CMakeFiles/ht_dfg.dir/dot.cpp.o"
+  "CMakeFiles/ht_dfg.dir/dot.cpp.o.d"
+  "CMakeFiles/ht_dfg.dir/parse.cpp.o"
+  "CMakeFiles/ht_dfg.dir/parse.cpp.o.d"
+  "libht_dfg.a"
+  "libht_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_ilp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/ht_ilp.dir/branch_and_bound.cpp.o.d"
+  "CMakeFiles/ht_ilp.dir/brute_force.cpp.o"
+  "CMakeFiles/ht_ilp.dir/brute_force.cpp.o.d"
+  "CMakeFiles/ht_ilp.dir/model.cpp.o"
+  "CMakeFiles/ht_ilp.dir/model.cpp.o.d"
+  "libht_ilp.a"
+  "libht_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_lp.dir/lp_problem.cpp.o"
+  "CMakeFiles/ht_lp.dir/lp_problem.cpp.o.d"
+  "CMakeFiles/ht_lp.dir/simplex.cpp.o"
+  "CMakeFiles/ht_lp.dir/simplex.cpp.o.d"
+  "libht_lp.a"
+  "libht_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

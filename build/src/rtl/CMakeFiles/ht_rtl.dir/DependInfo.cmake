@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/elaborate.cpp" "src/rtl/CMakeFiles/ht_rtl.dir/elaborate.cpp.o" "gcc" "src/rtl/CMakeFiles/ht_rtl.dir/elaborate.cpp.o.d"
+  "/root/repo/src/rtl/netlist.cpp" "src/rtl/CMakeFiles/ht_rtl.dir/netlist.cpp.o" "gcc" "src/rtl/CMakeFiles/ht_rtl.dir/netlist.cpp.o.d"
+  "/root/repo/src/rtl/sim.cpp" "src/rtl/CMakeFiles/ht_rtl.dir/sim.cpp.o" "gcc" "src/rtl/CMakeFiles/ht_rtl.dir/sim.cpp.o.d"
+  "/root/repo/src/rtl/testbench.cpp" "src/rtl/CMakeFiles/ht_rtl.dir/testbench.cpp.o" "gcc" "src/rtl/CMakeFiles/ht_rtl.dir/testbench.cpp.o.d"
+  "/root/repo/src/rtl/verilog.cpp" "src/rtl/CMakeFiles/ht_rtl.dir/verilog.cpp.o" "gcc" "src/rtl/CMakeFiles/ht_rtl.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ht_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ht_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ht_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trojan/CMakeFiles/ht_trojan.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendor/CMakeFiles/ht_vendor.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/ht_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/ht_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

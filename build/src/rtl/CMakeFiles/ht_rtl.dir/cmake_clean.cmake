@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_rtl.dir/elaborate.cpp.o"
+  "CMakeFiles/ht_rtl.dir/elaborate.cpp.o.d"
+  "CMakeFiles/ht_rtl.dir/netlist.cpp.o"
+  "CMakeFiles/ht_rtl.dir/netlist.cpp.o.d"
+  "CMakeFiles/ht_rtl.dir/sim.cpp.o"
+  "CMakeFiles/ht_rtl.dir/sim.cpp.o.d"
+  "CMakeFiles/ht_rtl.dir/testbench.cpp.o"
+  "CMakeFiles/ht_rtl.dir/testbench.cpp.o.d"
+  "CMakeFiles/ht_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/ht_rtl.dir/verilog.cpp.o.d"
+  "libht_rtl.a"
+  "libht_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

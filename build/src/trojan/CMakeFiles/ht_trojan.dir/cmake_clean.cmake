@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_trojan.dir/exec.cpp.o"
+  "CMakeFiles/ht_trojan.dir/exec.cpp.o.d"
+  "CMakeFiles/ht_trojan.dir/monte_carlo.cpp.o"
+  "CMakeFiles/ht_trojan.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/ht_trojan.dir/profiling.cpp.o"
+  "CMakeFiles/ht_trojan.dir/profiling.cpp.o.d"
+  "CMakeFiles/ht_trojan.dir/simulator.cpp.o"
+  "CMakeFiles/ht_trojan.dir/simulator.cpp.o.d"
+  "CMakeFiles/ht_trojan.dir/trojan.cpp.o"
+  "CMakeFiles/ht_trojan.dir/trojan.cpp.o.d"
+  "libht_trojan.a"
+  "libht_trojan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_trojan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

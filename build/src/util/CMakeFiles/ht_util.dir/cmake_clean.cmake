@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_util.dir/logging.cpp.o"
+  "CMakeFiles/ht_util.dir/logging.cpp.o.d"
+  "CMakeFiles/ht_util.dir/rng.cpp.o"
+  "CMakeFiles/ht_util.dir/rng.cpp.o.d"
+  "CMakeFiles/ht_util.dir/status.cpp.o"
+  "CMakeFiles/ht_util.dir/status.cpp.o.d"
+  "CMakeFiles/ht_util.dir/strings.cpp.o"
+  "CMakeFiles/ht_util.dir/strings.cpp.o.d"
+  "CMakeFiles/ht_util.dir/table.cpp.o"
+  "CMakeFiles/ht_util.dir/table.cpp.o.d"
+  "libht_util.a"
+  "libht_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_vendor.dir/catalog.cpp.o"
+  "CMakeFiles/ht_vendor.dir/catalog.cpp.o.d"
+  "CMakeFiles/ht_vendor.dir/catalogs.cpp.o"
+  "CMakeFiles/ht_vendor.dir/catalogs.cpp.o.d"
+  "libht_vendor.a"
+  "libht_vendor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_vendor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ilp_formulation_test.dir/ilp_formulation_test.cpp.o"
+  "CMakeFiles/ilp_formulation_test.dir/ilp_formulation_test.cpp.o.d"
+  "ilp_formulation_test"
+  "ilp_formulation_test.pdb"
+  "ilp_formulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ilp_formulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicycle_test.dir/multicycle_test.cpp.o"
+  "CMakeFiles/multicycle_test.dir/multicycle_test.cpp.o.d"
+  "multicycle_test"
+  "multicycle_test.pdb"
+  "multicycle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicycle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/palette_test.dir/palette_test.cpp.o"
+  "CMakeFiles/palette_test.dir/palette_test.cpp.o.d"
+  "palette_test"
+  "palette_test.pdb"
+  "palette_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/palette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

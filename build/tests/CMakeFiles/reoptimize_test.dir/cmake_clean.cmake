@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reoptimize_test.dir/reoptimize_test.cpp.o"
+  "CMakeFiles/reoptimize_test.dir/reoptimize_test.cpp.o.d"
+  "reoptimize_test"
+  "reoptimize_test.pdb"
+  "reoptimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reoptimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

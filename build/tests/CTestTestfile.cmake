@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/dfg_test[1]_include.cmake")
+include("/root/repo/build/tests/parse_test[1]_include.cmake")
+include("/root/repo/build/tests/vendor_test[1]_include.cmake")
+include("/root/repo/build/tests/benchmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/lp_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_test[1]_include.cmake")
+include("/root/repo/build/tests/solution_test[1]_include.cmake")
+include("/root/repo/build/tests/csp_test[1]_include.cmake")
+include("/root/repo/build/tests/greedy_test[1]_include.cmake")
+include("/root/repo/build/tests/optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/reoptimize_test[1]_include.cmake")
+include("/root/repo/build/tests/frontier_test[1]_include.cmake")
+include("/root/repo/build/tests/ilp_formulation_test[1]_include.cmake")
+include("/root/repo/build/tests/trojan_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/palette_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/multicycle_test[1]_include.cmake")

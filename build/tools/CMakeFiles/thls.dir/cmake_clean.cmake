@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thls.dir/thls.cpp.o"
+  "CMakeFiles/thls.dir/thls.cpp.o.d"
+  "thls"
+  "thls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
