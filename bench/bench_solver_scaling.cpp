@@ -8,11 +8,22 @@
 //   * heuristic  — same enumeration with budgeted, restarted CSP
 //
 // and sweep problem size with random DFGs.
+//
+// Pass `--threads N` (default: hardware concurrency, min 2) to also run the
+// parallel-scaling section: every row is solved once with 1 worker and once
+// with N, and must report identical status and cost — the engine's commit
+// rule makes the parallel search bit-deterministic.
 #include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
 
 #include "benchmarks/random_dfg.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/ilp_formulation.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "vendor/catalogs.hpp"
 
@@ -141,6 +152,93 @@ void print_reproduction() {
   std::puts("");
 }
 
+// Parallel license-set search: same spec, 1 worker vs `threads` workers.
+// The engine guarantees identical results for every worker count, so the
+// mc/status columns must match pairwise; speedup is wall-clock only.
+void print_parallel_scaling(int threads) {
+  std::printf("=== Parallel search scaling (1 thread vs %d threads) ===\n\n",
+              threads);
+
+  struct Row {
+    std::string name;
+    core::ProblemSpec spec;
+    core::OptimizerOptions options;
+  };
+  std::vector<Row> rows;
+
+  // Random-DFG rows under tight latency bounds: many cheap license sets
+  // have to be disproven before the winner, which is exactly the workload
+  // the worker pool spreads out.
+  for (int n : {20, 25, 30}) {
+    Row row;
+    row.name = "random n=" + std::to_string(n);
+    row.spec = random_spec(n, 1000 + n);
+    row.spec.lambda_detection = 6;
+    row.spec.lambda_recovery = 5;
+    row.options.strategy = core::Strategy::kHeuristic;
+    row.options.heuristic_restarts = 3;
+    row.options.heuristic_node_limit = 80'000;
+    row.options.max_combos = 2'000;
+    row.options.time_limit_seconds = 120;
+    rows.push_back(std::move(row));
+  }
+  // A paper benchmark under the Section 5 catalog.
+  {
+    Row row;
+    row.name = "dtmf (section5)";
+    row.spec.graph = benchmarks::by_name("dtmf").factory();
+    row.spec.catalog = vendor::section5();
+    row.spec.lambda_detection = 11;
+    row.spec.lambda_recovery = 9;
+    row.spec.with_recovery = true;
+    row.spec.area_limit = 400000;
+    row.options.strategy = core::Strategy::kHeuristic;
+    row.options.heuristic_restarts = 3;
+    row.options.heuristic_node_limit = 80'000;
+    row.options.max_combos = 1'000;
+    row.options.time_limit_seconds = 120;
+    rows.push_back(std::move(row));
+  }
+
+  util::TablePrinter table({"benchmark", "status", "mc", "1-thr s",
+                            std::to_string(threads) + "-thr s", "speedup",
+                            "match"});
+  for (Row& row : rows) {
+    row.options.threads = 1;
+    util::Timer timer;
+    const core::OptimizeResult serial = core::minimize_cost(row.spec,
+                                                            row.options);
+    const double serial_s = timer.elapsed_seconds();
+
+    row.options.threads = threads;
+    timer.reset();
+    const core::OptimizeResult parallel = core::minimize_cost(row.spec,
+                                                              row.options);
+    const double parallel_s = timer.elapsed_seconds();
+
+    const bool match = serial.status == parallel.status &&
+                       (!serial.has_solution() ||
+                        serial.cost == parallel.cost);
+    table.add_row(
+        {row.name, core::to_string(parallel.status),
+         parallel.has_solution() ? util::format_money(parallel.cost)
+                                 : std::string("-"),
+         util::format_double(serial_s, 2), util::format_double(parallel_s, 2),
+         util::format_double(serial_s / std::max(parallel_s, 1e-9), 2) + "x",
+         match ? "yes" : "NO"});
+    if (!match) {
+      std::printf("MISMATCH on %s: 1-thread %s/%lld vs %d-thread %s/%lld\n",
+                  row.name.c_str(), core::to_string(serial.status).c_str(),
+                  serial.cost, threads,
+                  core::to_string(parallel.status).c_str(), parallel.cost);
+    }
+  }
+  benchx::print_table(table, "deterministic parallel search");
+  std::puts("(mc/status must match: the engine commits the lowest "
+            "(cost, palette index)\nwinner, so worker count never changes "
+            "the answer — only the wall clock)\n");
+}
+
 void BM_ExactByOps(benchmark::State& state) {
   const core::ProblemSpec spec =
       random_spec(static_cast<int>(state.range(0)),
@@ -170,4 +268,29 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 
 }  // namespace
 
-HT_BENCH_MAIN(print_reproduction)
+// Custom main (instead of HT_BENCH_MAIN): strip `--threads N` before
+// google-benchmark sees the argv, then run the reproduction, the parallel
+// scaling section, and the registered timings.
+int main(int argc, char** argv) {
+  int threads =
+      std::max(2, static_cast<int>(ht::util::ThreadPool::hardware_concurrency()));
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[i + 1]);
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  print_reproduction();
+  if (threads > 1) print_parallel_scaling(threads);
+
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

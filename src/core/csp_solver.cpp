@@ -70,12 +70,15 @@ class Search {
       case Outcome::kTimeout:
         result.status = CspResult::Status::kTimeout;
         break;
+      case Outcome::kCancelled:
+        result.status = CspResult::Status::kCancelled;
+        break;
     }
     return result;
   }
 
  private:
-  enum class Outcome { kSolved, kExhausted, kNodeLimit, kTimeout };
+  enum class Outcome { kSolved, kExhausted, kNodeLimit, kTimeout, kCancelled };
 
   // ---- model construction ---------------------------------------------
   void build_copies() {
@@ -361,9 +364,13 @@ class Search {
 
   Outcome dfs() {
     if (++nodes_ > options_.max_nodes) return Outcome::kNodeLimit;
-    if ((nodes_ & 0x3ff) == 0 &&
-        timer_.elapsed_seconds() > options_.time_limit_seconds) {
-      return Outcome::kTimeout;
+    if ((nodes_ & 0x3ff) == 0) {
+      if (options_.cancel && options_.cancel->cancelled()) {
+        return Outcome::kCancelled;
+      }
+      if (timer_.elapsed_seconds() > options_.time_limit_seconds) {
+        return Outcome::kTimeout;
+      }
     }
     const int copy = select_variable();
     if (copy < 0) return Outcome::kSolved;  // everything assigned

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/solution.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ht::core {
 
@@ -32,6 +33,10 @@ struct CspOptions {
   double time_limit_seconds = 10.0;
   /// Non-zero: shuffle tied value choices for randomized restarts.
   std::uint64_t seed = 0;
+  /// Optional cooperative stop signal, polled inside the node loop (same
+  /// cadence as the time check). A cancelled run reports kCancelled and
+  /// proves nothing.
+  const util::CancelToken* cancel = nullptr;
 };
 
 struct CspResult {
@@ -40,6 +45,7 @@ struct CspResult {
     kInfeasible,  ///< proof: no solution exists under this palette
     kNodeLimit,   ///< gave up; nothing proved
     kTimeout,     ///< gave up; nothing proved
+    kCancelled,   ///< stopped by the cancel token; nothing proved
   };
   Status status = Status::kNodeLimit;
   Solution solution;

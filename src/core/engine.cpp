@@ -1,0 +1,524 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "core/greedy.hpp"
+#include "core/palette.hpp"
+#include "core/reoptimize.hpp"
+#include "core/rules.hpp"
+#include "dfg/analysis.hpp"
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace ht::core {
+namespace {
+
+/// Complete (proof-preserving) area precheck for one license set: every
+/// class needs enough core instances for its densest phase, and each
+/// instance costs at least the smallest area in the class palette.
+bool area_lower_bound_exceeds(const ProblemSpec& spec,
+                              const Palettes& palettes) {
+  const auto op_counts = spec.graph.ops_per_class();
+  long long area_lb = 0;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (op_counts[cls] == 0) continue;
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    // Instance-cycle demand: each op occupies its instance for the class
+    // latency.
+    const int lat = spec.class_latency[static_cast<std::size_t>(cls)];
+    int needed = (2 * op_counts[cls] * lat + spec.lambda_detection - 1) /
+                 spec.lambda_detection;
+    if (spec.with_recovery) {
+      needed = std::max(needed,
+                        (op_counts[cls] * lat + spec.lambda_recovery - 1) /
+                            spec.lambda_recovery);
+    }
+    long long min_area = 0;
+    for (vendor::VendorId v : palettes[static_cast<std::size_t>(cls)]) {
+      const long long area = spec.catalog.offer(v, rc).area;
+      if (min_area == 0 || area < min_area) min_area = area;
+    }
+    area_lb += static_cast<long long>(needed) * min_area;
+  }
+  return area_lb > spec.area_limit;
+}
+
+/// Result of evaluating one license set. Everything here is a pure
+/// function of (spec, palettes, index, request budgets and seed) — the
+/// bedrock of the N-thread == 1-thread determinism guarantee — except when
+/// a wall-clock or cancellation stop truncates an evaluation.
+struct ComboOutcome {
+  bool feasible = false;
+  /// Budget/time/cancel truncation: the set is neither proven feasible nor
+  /// proven infeasible, so optimality claims must account for it.
+  bool inconclusive = false;
+  Solution solution;
+  long csp_nodes = 0;
+};
+
+ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
+                            long index, const SynthesisRequest& request,
+                            double remaining_seconds) {
+  ComboOutcome out;
+  // Cheap primal attempts first: a greedy success avoids any search for
+  // this license set (feasibility is feasibility). Seeded by the set's
+  // palette index so results do not depend on evaluation order.
+  const std::uint64_t salt = request.strategy == Strategy::kExact
+                                 ? request.seed
+                                 : request.seed * 0x9e3779b9ull;
+  util::Rng greedy_rng(salt + static_cast<std::uint64_t>(index) + 1);
+  for (int attempt = 0; attempt < 4 * request.limits.heuristic_restarts;
+       ++attempt) {
+    if (request.cancel && request.cancel->cancelled()) {
+      out.inconclusive = true;
+      return out;
+    }
+    const std::optional<Solution> constructed =
+        greedy_construct(spec, palettes, greedy_rng);
+    if (constructed) {
+      out.feasible = true;
+      out.solution = *constructed;
+      return out;
+    }
+  }
+
+  if (request.strategy == Strategy::kExact) {
+    CspOptions csp_options;
+    csp_options.max_nodes = request.limits.csp_node_limit;
+    csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
+    csp_options.seed = 0;
+    csp_options.cancel = request.cancel;
+    const CspResult csp = schedule_and_bind(spec, palettes, csp_options);
+    out.csp_nodes += csp.nodes;
+    if (csp.status == CspResult::Status::kFeasible) {
+      out.feasible = true;
+      out.solution = csp.solution;
+    } else {
+      out.inconclusive = csp.status != CspResult::Status::kInfeasible;
+    }
+    return out;
+  }
+
+  // Heuristic: budgeted CSP restarts; an infeasibility proof from any
+  // restart is still a proof (the search is complete, just capped).
+  for (int restart = 0; restart < request.limits.heuristic_restarts;
+       ++restart) {
+    if (request.cancel && request.cancel->cancelled()) {
+      out.inconclusive = true;
+      return out;
+    }
+    CspOptions csp_options;
+    csp_options.max_nodes = request.limits.heuristic_node_limit;
+    csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
+    csp_options.seed = request.seed + static_cast<std::uint64_t>(restart);
+    csp_options.cancel = request.cancel;
+    const CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
+    out.csp_nodes += attempt.nodes;
+    if (attempt.status == CspResult::Status::kFeasible) {
+      out.feasible = true;
+      out.solution = attempt.solution;
+      out.inconclusive = false;
+      return out;
+    }
+    if (attempt.status == CspResult::Status::kInfeasible) {
+      out.inconclusive = false;
+      return out;
+    }
+    out.inconclusive = true;
+  }
+  return out;
+}
+
+/// Everything the workers share, guarded by one mutex (license-set
+/// evaluation dominates; the critical sections are microseconds).
+struct SharedSearch {
+  explicit SharedSearch(ComboQueue combo_queue)
+      : queue(std::move(combo_queue)) {}
+
+  std::mutex mutex;
+  ComboQueue queue;
+  long evaluated_dispatched = 0;
+  bool stop = false;
+  bool cancelled = false;
+  bool timed_out = false;
+
+  bool have_incumbent = false;
+  long long best_cost = 0;
+  long best_index = -1;
+  Solution best_solution;
+  /// Cheapest license-set cost whose evaluation was truncated; the
+  /// optimality proof must clear it.
+  long long cheapest_inconclusive = -1;
+  OptimizeStats stats;
+  std::exception_ptr failure;
+};
+
+/// One search lane. Pulls license sets off the shared cheapest-first queue
+/// (assigning each evaluated set its palette index), evaluates them
+/// outside the lock, and commits under the lock with the deterministic
+/// rule: winner = lowest (license cost, palette index).
+void search_worker(SharedSearch& shared, const SynthesisRequest& request,
+                   const ProblemSpec& spec, const util::Timer& timer,
+                   std::mutex& progress_mutex) {
+  try {
+    Palettes palettes;
+    for (;;) {
+      long index = -1;
+      long long combo_cost = 0;
+      double remaining = 0.0;
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        for (;;) {
+          if (shared.stop) return;
+          if (request.cancel && request.cancel->cancelled()) {
+            shared.stop = true;
+            shared.cancelled = true;
+            return;
+          }
+          remaining =
+              request.limits.time_limit_seconds - timer.elapsed_seconds();
+          if (remaining <= 0.0) {
+            shared.stop = true;
+            shared.timed_out = true;
+            return;
+          }
+          if (shared.evaluated_dispatched >= request.limits.max_combos) {
+            shared.stop = true;
+            return;
+          }
+          long long next_cost = 0;
+          if (!shared.queue.peek(next_cost)) {
+            shared.stop = true;
+            return;
+          }
+          if (shared.have_incumbent && next_cost >= shared.best_cost) {
+            // Every remaining set costs at least as much as the incumbent.
+            shared.stop = true;
+            return;
+          }
+          shared.queue.next(palettes, combo_cost);
+          if (area_lower_bound_exceeds(spec, palettes)) {
+            ++shared.stats.combos_skipped_by_bound;
+            continue;  // complete proof, not an unknown
+          }
+          index = shared.evaluated_dispatched++;
+          ++shared.stats.combos_tried;
+          break;
+        }
+      }
+
+      const ComboOutcome outcome =
+          evaluate_combo(spec, palettes, index, request, remaining);
+
+      {
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.stats.csp_nodes += outcome.csp_nodes;
+        if (outcome.feasible) {
+          require_valid(spec, outcome.solution);
+          const long long cost = outcome.solution.license_cost(spec);
+          if (!shared.have_incumbent || cost < shared.best_cost ||
+              (cost == shared.best_cost && index < shared.best_index)) {
+            shared.have_incumbent = true;
+            shared.best_cost = cost;
+            shared.best_index = index;
+            shared.best_solution = outcome.solution;
+            util::log_debug("engine: incumbent $" + std::to_string(cost) +
+                            " (license set #" + std::to_string(index) +
+                            ") after " +
+                            std::to_string(shared.stats.combos_tried) +
+                            " license sets");
+          }
+        } else if (outcome.inconclusive) {
+          ++shared.stats.unknown_combos;
+          if (shared.cheapest_inconclusive < 0 ||
+              combo_cost < shared.cheapest_inconclusive) {
+            shared.cheapest_inconclusive = combo_cost;
+          }
+        }
+        if (request.progress) {
+          SynthesisProgress progress;
+          progress.combos_tried = shared.stats.combos_tried;
+          progress.csp_nodes = shared.stats.csp_nodes;
+          progress.have_incumbent = shared.have_incumbent;
+          progress.incumbent_cost = shared.best_cost;
+          progress.seconds = timer.elapsed_seconds();
+          std::lock_guard<std::mutex> progress_lock(progress_mutex);
+          request.progress(progress);
+        }
+      }
+    }
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(shared.mutex);
+    if (!shared.failure) shared.failure = std::current_exception();
+    shared.stop = true;
+  }
+}
+
+/// Runs fn(i, inner_threads) for i in [0, n) across `threads` compute
+/// lanes: min(threads, n) outer lanes, the rest of the budget handed down
+/// to each call. Exceptions from any lane are rethrown (first one wins).
+void run_indexed(std::size_t n, int threads,
+                 const std::function<void(std::size_t, int)>& fn) {
+  const int outer =
+      std::max(1, std::min(threads, static_cast<int>(n == 0 ? 1 : n)));
+  const int inner = std::max(1, threads / outer);
+  if (outer == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, inner);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  auto lane = [&] {
+    try {
+      for (std::size_t i;
+           (i = next.fetch_add(1, std::memory_order_relaxed)) < n;) {
+        fn(i, inner);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(failure_mutex);
+      if (!failure) failure = std::current_exception();
+    }
+  };
+  {
+    util::ThreadPool pool(outer - 1);
+    util::TaskGroup group(pool);
+    for (int t = 0; t < outer - 1; ++t) group.run(lane);
+    lane();  // the calling thread is a lane too
+    group.wait();
+  }
+  if (failure) std::rethrow_exception(failure);
+}
+
+}  // namespace
+
+SynthesisEngine::SynthesisEngine(SynthesisRequest request)
+    : request_(std::move(request)) {}
+
+OptimizeResult SynthesisEngine::minimize() {
+  return minimize_spec(request_.spec, request_.parallelism.resolved_threads());
+}
+
+OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
+                                              int threads) {
+  spec.validate();
+  util::Timer timer;
+  OptimizeResult result;
+
+  // Latency bounds below the (weighted) critical path are a proof of
+  // infeasibility.
+  try {
+    const std::vector<int> latencies = spec.op_latencies();
+    (void)dfg::alap_levels(spec.graph, spec.lambda_detection, latencies);
+    if (spec.with_recovery) {
+      (void)dfg::alap_levels(spec.graph, spec.lambda_recovery, latencies);
+    }
+  } catch (const util::InfeasibleError&) {
+    result.status = OptStatus::kInfeasible;
+    result.stats.seconds = timer.elapsed_seconds();
+    return result;
+  }
+
+  const auto min_sizes = min_vendors_per_class(spec);
+  // A class whose conflict clique needs more vendors than the market
+  // offers is a proof of infeasibility (e.g. recovery on a 2-vendor
+  // market: the NC/RC/recovery triangle needs 3).
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    if (spec.graph.ops_per_class()[cls] == 0) continue;
+    if (spec.catalog.num_vendors_offering(rc) < min_sizes[cls]) {
+      result.status = OptStatus::kInfeasible;
+      result.stats.seconds = timer.elapsed_seconds();
+      return result;
+    }
+  }
+
+  SharedSearch shared(ComboQueue(enumerate_palettes(spec, min_sizes)));
+  const int lanes = std::max(1, threads);
+  if (lanes == 1) {
+    search_worker(shared, request_, spec, timer, progress_mutex_);
+  } else {
+    util::ThreadPool pool(lanes - 1);
+    util::TaskGroup group(pool);
+    for (int t = 0; t < lanes - 1; ++t) {
+      group.run([&] {
+        search_worker(shared, request_, spec, timer, progress_mutex_);
+      });
+    }
+    search_worker(shared, request_, spec, timer, progress_mutex_);
+    group.wait();
+  }
+  if (shared.failure) std::rethrow_exception(shared.failure);
+
+  result.stats = shared.stats;
+  result.stats.seconds = timer.elapsed_seconds();
+  long long next_cost = 0;
+  const bool queue_drained = !shared.queue.peek(next_cost);
+  if (shared.have_incumbent) {
+    result.solution = shared.best_solution;
+    result.cost = shared.best_cost;
+    // Optimal iff every cheaper license set is disproven: nothing cheaper
+    // is left undispatched and no truncated evaluation was cheaper.
+    const bool no_cheaper_left =
+        queue_drained || next_cost >= shared.best_cost;
+    const bool proven = no_cheaper_left &&
+                        (shared.cheapest_inconclusive < 0 ||
+                         shared.cheapest_inconclusive >= shared.best_cost);
+    result.status = proven ? OptStatus::kOptimal : OptStatus::kFeasible;
+  } else if (queue_drained && shared.stats.unknown_combos == 0) {
+    result.status = OptStatus::kInfeasible;
+  } else {
+    result.status = OptStatus::kUnknown;
+  }
+  util::log_debug("engine: " + to_string(result.status) + " on '" +
+                  spec.graph.name() + "' after " +
+                  std::to_string(result.stats.combos_tried) +
+                  " license sets, " +
+                  std::to_string(result.stats.csp_nodes) + " CSP nodes, " +
+                  util::format_double(result.stats.seconds, 3) + "s (" +
+                  std::to_string(lanes) + " thread" +
+                  (lanes == 1 ? "" : "s") + ")");
+  return result;
+}
+
+SplitResult SynthesisEngine::minimize_total_latency(int lambda_total) {
+  return split_minimize(request_.spec, lambda_total,
+                        request_.parallelism.resolved_threads());
+}
+
+SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
+                                            int lambda_total, int threads) {
+  util::check_spec(base.with_recovery,
+                   "minimize_total_latency requires recovery mode");
+  const int critical_path =
+      dfg::critical_path_length(base.graph, base.op_latencies());
+  util::check_spec(lambda_total >= 2 * critical_path,
+                   "lambda_total below twice the critical path (" +
+                       std::to_string(critical_path) +
+                       "): no split can schedule both phases");
+
+  std::vector<int> splits;
+  for (int lambda_det = critical_path;
+       lambda_det <= lambda_total - critical_path; ++lambda_det) {
+    splits.push_back(lambda_det);
+  }
+  std::vector<OptimizeResult> attempts(splits.size());
+  run_indexed(splits.size(), threads,
+              [&](std::size_t i, int inner_threads) {
+                ProblemSpec spec = base;
+                spec.lambda_detection = splits[i];
+                spec.lambda_recovery = lambda_total - splits[i];
+                attempts[i] = minimize_spec(spec, inner_threads);
+              });
+
+  // Fold in ascending lambda_det order — the same deterministic pick the
+  // sequential sweep makes, regardless of which lane finished first.
+  SplitResult best;
+  bool any_inconclusive = false;
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const OptimizeResult& attempt = attempts[i];
+    if (attempt.status == OptStatus::kUnknown ||
+        attempt.status == OptStatus::kFeasible) {
+      // A '*' result or no result at all leaves room for a cheaper design
+      // under this split.
+      any_inconclusive = true;
+    }
+    const bool better =
+        attempt.has_solution() &&
+        (!best.result.has_solution() || attempt.cost < best.result.cost ||
+         (attempt.cost == best.result.cost &&
+          attempt.status == OptStatus::kOptimal &&
+          best.result.status != OptStatus::kOptimal));
+    if (better) {
+      best.result = attempt;
+      best.lambda_detection = splits[i];
+      best.lambda_recovery = lambda_total - splits[i];
+    }
+  }
+  if (!best.result.has_solution()) {
+    best.result.status =
+        any_inconclusive ? OptStatus::kUnknown : OptStatus::kInfeasible;
+  } else if (any_inconclusive &&
+             best.result.status == OptStatus::kOptimal) {
+    // Optimal for its own split, but some other split was inconclusive, so
+    // the row-level minimum is not proved.
+    best.result.status = OptStatus::kFeasible;
+  }
+  return best;
+}
+
+std::vector<FrontierPoint> SynthesisEngine::sweep_frontier(
+    const FrontierSweep& sweep) {
+  const ProblemSpec& base = request_.spec;
+  const int threads = request_.parallelism.resolved_threads();
+  std::vector<FrontierPoint> frontier(sweep.values.size());
+  if (sweep.axis == FrontierSweep::Axis::kArea) {
+    run_indexed(sweep.values.size(), threads,
+                [&](std::size_t i, int inner_threads) {
+                  ProblemSpec spec = base;
+                  spec.area_limit = sweep.values[i];
+                  frontier[i].constraint = sweep.values[i];
+                  frontier[i].result = minimize_spec(spec, inner_threads);
+                });
+    return frontier;
+  }
+  util::check_spec(base.with_recovery,
+                   "latency frontier sweeps the combined schedule; the spec "
+                   "must have recovery enabled");
+  const int critical_path =
+      dfg::critical_path_length(base.graph, base.op_latencies());
+  run_indexed(sweep.values.size(), threads,
+              [&](std::size_t i, int inner_threads) {
+                const int lambda_total = static_cast<int>(sweep.values[i]);
+                frontier[i].constraint = lambda_total;
+                if (lambda_total < 2 * critical_path) {
+                  frontier[i].result.status = OptStatus::kInfeasible;
+                } else {
+                  frontier[i].result =
+                      split_minimize(base, lambda_total, inner_threads)
+                          .result;
+                }
+              });
+  return frontier;
+}
+
+OptimizeResult SynthesisEngine::reoptimize(
+    const std::set<LicenseKey>& banned) {
+  ProblemSpec thinned = request_.spec;
+  thinned.catalog = without_licenses(request_.spec.catalog, banned);
+  // A class whose every offer is banned makes the problem unsolvable;
+  // report that as infeasibility rather than a spec error.
+  const auto counts = thinned.graph.ops_per_class();
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (counts[cls] == 0) continue;
+    if (thinned.catalog.num_vendors_offering(
+            static_cast<dfg::ResourceClass>(cls)) == 0) {
+      OptimizeResult result;
+      result.status = OptStatus::kInfeasible;
+      return result;
+    }
+  }
+  return minimize_spec(thinned, request_.parallelism.resolved_threads());
+}
+
+SynthesisRequest make_request(const ProblemSpec& spec,
+                              const OptimizerOptions& options) {
+  SynthesisRequest request;
+  request.spec = spec;
+  request.strategy = options.strategy;
+  request.limits.time_limit_seconds = options.time_limit_seconds;
+  request.limits.csp_node_limit = options.csp_node_limit;
+  request.limits.heuristic_restarts = options.heuristic_restarts;
+  request.limits.heuristic_node_limit = options.heuristic_node_limit;
+  request.limits.max_combos = options.max_combos;
+  request.parallelism.threads = options.threads;
+  request.seed = options.seed;
+  return request;
+}
+
+}  // namespace ht::core

@@ -1,0 +1,143 @@
+// Unified synthesis entry point: one request object, one engine, four
+// operations.
+//
+// Historically minimize_cost / minimize_cost_total_latency / area_frontier /
+// reoptimize_without each re-implemented the same outer loop around the
+// license-set search with their own copy of the budget semantics. The
+// engine collapses them behind a single SynthesisRequest that carries the
+// spec, the search budgets, the degree of parallelism, an optional progress
+// callback, and an optional cancel token — and runs the license-set search
+// on a work-stealing thread pool.
+//
+// Parallel search, deterministic commit. Workers pull license sets from the
+// shared cheapest-first queue (each popped set gets a sequential
+// palette index), evaluate them concurrently with the greedy/CSP stack, and
+// commit results under one lock with the rule: the winner is the feasible
+// solution of lowest (license cost, palette index). Because per-set
+// evaluation is a pure function of (spec, palettes, index, seed) and the
+// dispatched sets always form a prefix of the deterministic queue order
+// that covers every set cheaper than the final winner, N-thread results are
+// bit-identical to 1-thread — same status, cost, and binding. The only
+// caveat is shared with the sequential engine: a binding wall-clock or
+// cancellation stop truncates the search at a time-dependent point, so
+// determinism is guaranteed whenever node/combo budgets (not the clock or
+// the token) terminate the search. OptimizeStats are aggregated at commit
+// time and may legitimately differ across thread counts (speculative
+// evaluations); statuses and solutions never do.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/optimizer.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::core {
+
+/// Shared budget semantics for one synthesis call. Time and combo limits
+/// span the whole search across all workers; node limits are per license
+/// set.
+struct SearchLimits {
+  double time_limit_seconds = 120.0;
+  /// Per-license-set CSP node budget (exact strategy).
+  long csp_node_limit = 4'000'000;
+  /// Heuristic strategy: restarts per license set and per-restart budget.
+  int heuristic_restarts = 3;
+  long heuristic_node_limit = 80'000;
+  /// Stop after this many license sets regardless of proof state.
+  long max_combos = 200'000;
+};
+
+struct Parallelism {
+  /// Total compute lanes (calling thread included); 1 = sequential,
+  /// 0 = one lane per hardware thread.
+  int threads = 1;
+
+  int resolved_threads() const {
+    return threads <= 0 ? util::ThreadPool::hardware_concurrency() : threads;
+  }
+};
+
+/// Snapshot passed to the progress callback after each evaluated license
+/// set. Callbacks are serialized under the engine's commit lock — they may
+/// be called from any worker thread but never concurrently; keep them fast.
+struct SynthesisProgress {
+  long combos_tried = 0;
+  long csp_nodes = 0;
+  bool have_incumbent = false;
+  long long incumbent_cost = 0;
+  double seconds = 0.0;
+};
+
+using ProgressFn = std::function<void(const SynthesisProgress&)>;
+
+/// Everything one synthesis call needs. The spec is owned by value so a
+/// request outlives the data it was built from.
+struct SynthesisRequest {
+  ProblemSpec spec;
+  Strategy strategy = Strategy::kExact;
+  SearchLimits limits;
+  Parallelism parallelism;
+  std::uint64_t seed = 1;
+  ProgressFn progress;                      ///< optional
+  const util::CancelToken* cancel = nullptr;  ///< optional; not owned
+};
+
+/// Constraint axis swept by SynthesisEngine::sweep_frontier.
+struct FrontierSweep {
+  enum class Axis {
+    kArea,          ///< values are area limits
+    kTotalLatency,  ///< values are total (detection + recovery) latencies
+  };
+  Axis axis = Axis::kArea;
+  std::vector<long long> values;
+};
+
+/// Façade over the parallel license-set search. All four operations share
+/// the request's budgets, thread count, progress callback, and cancel
+/// token. The engine is reusable but not reentrant: run one operation at a
+/// time per engine.
+class SynthesisEngine {
+ public:
+  explicit SynthesisEngine(SynthesisRequest request);
+
+  const SynthesisRequest& request() const { return request_; }
+
+  /// Minimizes license cost for the request's fully specified spec.
+  OptimizeResult minimize();
+
+  /// Table-4 semantics: `lambda_total` bounds the combined schedule and
+  /// the split between detection and recovery is free; splits are searched
+  /// in parallel. Requires spec.with_recovery.
+  SplitResult minimize_total_latency(int lambda_total);
+
+  /// Optimizes every point of a constraint sweep (points in parallel).
+  std::vector<FrontierPoint> sweep_frontier(const FrontierSweep& sweep);
+
+  /// Re-synthesizes with the banned licenses removed from the market
+  /// (post-detection quarantine). kInfeasible when a needed class has no
+  /// offers left.
+  OptimizeResult reoptimize(const std::set<LicenseKey>& banned);
+
+ private:
+  /// minimize() against an explicit spec (splits/frontier points override
+  /// fields of the request's spec), with an explicit thread budget.
+  OptimizeResult minimize_spec(const ProblemSpec& spec, int threads);
+  SplitResult split_minimize(const ProblemSpec& base, int lambda_total,
+                             int threads);
+
+  SynthesisRequest request_;
+  /// Serializes the user progress callback across concurrent sub-searches
+  /// (split sweeps and frontier points share one engine).
+  std::mutex progress_mutex_;
+};
+
+/// Adapter for the legacy OptimizerOptions entry points
+/// (minimize_cost & friends forward through this).
+SynthesisRequest make_request(const ProblemSpec& spec,
+                              const OptimizerOptions& options);
+
+}  // namespace ht::core

@@ -1,44 +1,30 @@
+// Thin wrappers over SynthesisEngine::sweep_frontier; kept so existing
+// callers keep their signatures. Points are optimized in parallel when the
+// options ask for threads.
 #include "core/frontier.hpp"
 
-#include "dfg/analysis.hpp"
+#include "core/engine.hpp"
 
 namespace ht::core {
 
 std::vector<FrontierPoint> area_frontier(const ProblemSpec& spec,
                                          const std::vector<long long>& areas,
                                          const OptimizerOptions& options) {
-  std::vector<FrontierPoint> frontier;
-  for (long long area : areas) {
-    ProblemSpec point_spec = spec;
-    point_spec.area_limit = area;
-    FrontierPoint point;
-    point.constraint = area;
-    point.result = minimize_cost(point_spec, options);
-    frontier.push_back(std::move(point));
-  }
-  return frontier;
+  SynthesisEngine engine(make_request(spec, options));
+  FrontierSweep sweep;
+  sweep.axis = FrontierSweep::Axis::kArea;
+  sweep.values = areas;
+  return engine.sweep_frontier(sweep);
 }
 
 std::vector<FrontierPoint> latency_frontier(
     const ProblemSpec& base, const std::vector<int>& lambda_totals,
     const OptimizerOptions& options) {
-  util::check_spec(base.with_recovery,
-                   "latency_frontier sweeps the combined schedule; the spec "
-                   "must have recovery enabled");
-  const int critical_path = dfg::critical_path_length(base.graph);
-  std::vector<FrontierPoint> frontier;
-  for (int lambda_total : lambda_totals) {
-    FrontierPoint point;
-    point.constraint = lambda_total;
-    if (lambda_total < 2 * critical_path) {
-      point.result.status = OptStatus::kInfeasible;
-    } else {
-      point.result =
-          minimize_cost_total_latency(base, lambda_total, options).result;
-    }
-    frontier.push_back(std::move(point));
-  }
-  return frontier;
+  SynthesisEngine engine(make_request(base, options));
+  FrontierSweep sweep;
+  sweep.axis = FrontierSweep::Axis::kTotalLatency;
+  sweep.values.assign(lambda_totals.begin(), lambda_totals.end());
+  return engine.sweep_frontier(sweep);
 }
 
 }  // namespace ht::core

@@ -1,49 +1,12 @@
+// Legacy entry points, kept as thin wrappers over the SynthesisEngine so
+// existing callers (tests, benches, examples) compile and behave the same.
+// The search itself — including the parallel license-set driver — lives in
+// core/engine.cpp.
 #include "core/optimizer.hpp"
 
-#include <algorithm>
-
-#include "core/greedy.hpp"
-#include "core/palette.hpp"
-#include "core/rules.hpp"
-#include "dfg/analysis.hpp"
-#include "util/logging.hpp"
-#include "util/strings.hpp"
-#include "util/timer.hpp"
+#include "core/engine.hpp"
 
 namespace ht::core {
-namespace {
-
-/// Complete (proof-preserving) area precheck for one license set: every
-/// class needs enough core instances for its densest phase, and each
-/// instance costs at least the smallest area in the class palette.
-bool area_lower_bound_exceeds(const ProblemSpec& spec,
-                              const Palettes& palettes) {
-  const auto op_counts = spec.graph.ops_per_class();
-  long long area_lb = 0;
-  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-    if (op_counts[cls] == 0) continue;
-    const auto rc = static_cast<dfg::ResourceClass>(cls);
-    // Instance-cycle demand: each op occupies its instance for the class
-    // latency.
-    const int lat = spec.class_latency[static_cast<std::size_t>(cls)];
-    int needed = (2 * op_counts[cls] * lat + spec.lambda_detection - 1) /
-                 spec.lambda_detection;
-    if (spec.with_recovery) {
-      needed = std::max(needed,
-                        (op_counts[cls] * lat + spec.lambda_recovery - 1) /
-                            spec.lambda_recovery);
-    }
-    long long min_area = 0;
-    for (vendor::VendorId v : palettes[static_cast<std::size_t>(cls)]) {
-      const long long area = spec.catalog.offer(v, rc).area;
-      if (min_area == 0 || area < min_area) min_area = area;
-    }
-    area_lb += static_cast<long long>(needed) * min_area;
-  }
-  return area_lb > spec.area_limit;
-}
-
-}  // namespace
 
 std::string to_string(OptStatus status) {
   switch (status) {
@@ -61,229 +24,15 @@ std::string to_string(OptStatus status) {
 
 OptimizeResult minimize_cost(const ProblemSpec& spec,
                              const OptimizerOptions& options) {
-  spec.validate();
-  util::Timer timer;
-  OptimizeResult result;
-
-  // Latency bounds below the (weighted) critical path are a proof of
-  // infeasibility.
-  try {
-    const std::vector<int> latencies = spec.op_latencies();
-    (void)dfg::alap_levels(spec.graph, spec.lambda_detection, latencies);
-    if (spec.with_recovery) {
-      (void)dfg::alap_levels(spec.graph, spec.lambda_recovery, latencies);
-    }
-  } catch (const util::InfeasibleError&) {
-    result.status = OptStatus::kInfeasible;
-    result.stats.seconds = timer.elapsed_seconds();
-    return result;
-  }
-
-  const auto min_sizes = min_vendors_per_class(spec);
-  // A class whose conflict clique needs more vendors than the market
-  // offers is a proof of infeasibility (e.g. recovery on a 2-vendor
-  // market: the NC/RC/recovery triangle needs 3).
-  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-    const auto rc = static_cast<dfg::ResourceClass>(cls);
-    if (spec.graph.ops_per_class()[cls] == 0) continue;
-    if (spec.catalog.num_vendors_offering(rc) < min_sizes[cls]) {
-      result.status = OptStatus::kInfeasible;
-      result.stats.seconds = timer.elapsed_seconds();
-      return result;
-    }
-  }
-  ComboQueue queue(enumerate_palettes(spec, min_sizes));
-
-  bool have_incumbent = false;
-  long long cheapest_unknown = -1;  // -1: none
-  bool combos_exhausted = false;
-
-  Palettes palettes;
-  long long combo_cost = 0;
-  while (true) {
-    if (!queue.next(palettes, combo_cost)) {
-      combos_exhausted = true;
-      break;
-    }
-    if (have_incumbent && combo_cost >= result.cost) {
-      // Every remaining set costs at least as much as the incumbent.
-      combos_exhausted = true;
-      break;
-    }
-    if (timer.elapsed_seconds() > options.time_limit_seconds ||
-        result.stats.combos_tried >= options.max_combos) {
-      break;
-    }
-
-    if (area_lower_bound_exceeds(spec, palettes)) {
-      ++result.stats.combos_skipped_by_bound;
-      continue;  // complete proof, not an unknown
-    }
-    ++result.stats.combos_tried;
-
-    const double remaining =
-        options.time_limit_seconds - timer.elapsed_seconds();
-    bool combo_unknown = false;
-    CspResult csp;
-    if (options.strategy == Strategy::kExact) {
-      // Cheap primal attempt first: a greedy success avoids the full CSP
-      // for this license set (feasibility is feasibility).
-      csp.status = CspResult::Status::kNodeLimit;
-      util::Rng greedy_rng(options.seed +
-                           static_cast<std::uint64_t>(
-                               result.stats.combos_tried));
-      for (int attempt = 0; attempt < 4 * options.heuristic_restarts;
-           ++attempt) {
-        const std::optional<Solution> constructed =
-            greedy_construct(spec, palettes, greedy_rng);
-        if (constructed) {
-          csp.status = CspResult::Status::kFeasible;
-          csp.solution = *constructed;
-          break;
-        }
-      }
-      if (csp.status != CspResult::Status::kFeasible) {
-        CspOptions csp_options;
-        csp_options.max_nodes = options.csp_node_limit;
-        csp_options.time_limit_seconds = std::max(0.1, remaining);
-        csp_options.seed = 0;
-        csp = schedule_and_bind(spec, palettes, csp_options);
-        result.stats.csp_nodes += csp.nodes;
-      }
-      combo_unknown = csp.status == CspResult::Status::kNodeLimit ||
-                      csp.status == CspResult::Status::kTimeout;
-    } else {
-      // Greedy constructor first: coloring + list scheduling is near-free
-      // and succeeds on most feasible license sets.
-      csp.status = CspResult::Status::kNodeLimit;
-      util::Rng greedy_rng(options.seed * 0x9e3779b9ull +
-                           static_cast<std::uint64_t>(
-                               result.stats.combos_tried));
-      for (int attempt = 0; attempt < 4 * options.heuristic_restarts;
-           ++attempt) {
-        const std::optional<Solution> constructed =
-            greedy_construct(spec, palettes, greedy_rng);
-        if (constructed) {
-          csp.status = CspResult::Status::kFeasible;
-          csp.solution = *constructed;
-          break;
-        }
-      }
-      // Fall back to budgeted CSP restarts; an infeasibility proof from
-      // any restart is still a proof (the search is complete, just capped).
-      if (csp.status != CspResult::Status::kFeasible) {
-        for (int restart = 0; restart < options.heuristic_restarts;
-             ++restart) {
-          CspOptions csp_options;
-          csp_options.max_nodes = options.heuristic_node_limit;
-          csp_options.time_limit_seconds = std::max(0.1, remaining);
-          csp_options.seed =
-              options.seed + static_cast<std::uint64_t>(restart);
-          const CspResult attempt =
-              schedule_and_bind(spec, palettes, csp_options);
-          result.stats.csp_nodes += attempt.nodes;
-          if (attempt.status == CspResult::Status::kFeasible ||
-              attempt.status == CspResult::Status::kInfeasible) {
-            csp = attempt;
-            break;
-          }
-          csp = attempt;
-        }
-      }
-      combo_unknown = csp.status == CspResult::Status::kNodeLimit ||
-                      csp.status == CspResult::Status::kTimeout;
-    }
-
-    if (csp.status == CspResult::Status::kFeasible) {
-      require_valid(spec, csp.solution);
-      const long long actual_cost = csp.solution.license_cost(spec);
-      if (!have_incumbent || actual_cost < result.cost) {
-        have_incumbent = true;
-        result.solution = csp.solution;
-        result.cost = actual_cost;
-        util::log_debug("optimizer: incumbent $" +
-                        std::to_string(actual_cost) + " after " +
-                        std::to_string(result.stats.combos_tried) +
-                        " license sets");
-      }
-      // Loop continues; the cost test at the top terminates as soon as the
-      // queue's next set cannot beat the incumbent.
-    } else if (combo_unknown) {
-      ++result.stats.unknown_combos;
-      if (cheapest_unknown < 0 || combo_cost < cheapest_unknown) {
-        cheapest_unknown = combo_cost;
-      }
-    }
-  }
-
-  result.stats.seconds = timer.elapsed_seconds();
-  if (have_incumbent) {
-    const bool proven = combos_exhausted &&
-                        (cheapest_unknown < 0 ||
-                         cheapest_unknown >= result.cost);
-    result.status = proven ? OptStatus::kOptimal : OptStatus::kFeasible;
-  } else if (combos_exhausted && result.stats.unknown_combos == 0) {
-    result.status = OptStatus::kInfeasible;
-  } else {
-    result.status = OptStatus::kUnknown;
-  }
-  util::log_debug("optimizer: " + to_string(result.status) + " on '" +
-                  spec.graph.name() + "' after " +
-                  std::to_string(result.stats.combos_tried) +
-                  " license sets, " +
-                  std::to_string(result.stats.csp_nodes) + " CSP nodes, " +
-                  util::format_double(result.stats.seconds, 3) + "s");
-  return result;
+  SynthesisEngine engine(make_request(spec, options));
+  return engine.minimize();
 }
 
 SplitResult minimize_cost_total_latency(const ProblemSpec& base,
                                         int lambda_total,
                                         const OptimizerOptions& options) {
-  util::check_spec(base.with_recovery,
-                   "minimize_cost_total_latency requires recovery mode");
-  const int critical_path =
-      dfg::critical_path_length(base.graph, base.op_latencies());
-  util::check_spec(lambda_total >= 2 * critical_path,
-                   "lambda_total below twice the critical path (" +
-                       std::to_string(critical_path) +
-                       "): no split can schedule both phases");
-
-  SplitResult best;
-  bool any_inconclusive = false;
-  for (int lambda_det = critical_path;
-       lambda_det <= lambda_total - critical_path; ++lambda_det) {
-    ProblemSpec spec = base;
-    spec.lambda_detection = lambda_det;
-    spec.lambda_recovery = lambda_total - lambda_det;
-    const OptimizeResult attempt = minimize_cost(spec, options);
-    if (attempt.status == OptStatus::kUnknown ||
-        (attempt.status == OptStatus::kFeasible)) {
-      // A '*' result or no result at all leaves room for a cheaper design
-      // under this split.
-      any_inconclusive = true;
-    }
-    const bool better =
-        attempt.has_solution() &&
-        (!best.result.has_solution() || attempt.cost < best.result.cost ||
-         (attempt.cost == best.result.cost &&
-          attempt.status == OptStatus::kOptimal &&
-          best.result.status != OptStatus::kOptimal));
-    if (better) {
-      best.result = attempt;
-      best.lambda_detection = lambda_det;
-      best.lambda_recovery = lambda_total - lambda_det;
-    }
-  }
-  if (!best.result.has_solution()) {
-    best.result.status =
-        any_inconclusive ? OptStatus::kUnknown : OptStatus::kInfeasible;
-  } else if (any_inconclusive &&
-             best.result.status == OptStatus::kOptimal) {
-    // Optimal for its own split, but some other split was inconclusive, so
-    // the row-level minimum is not proved.
-    best.result.status = OptStatus::kFeasible;
-  }
-  return best;
+  SynthesisEngine engine(make_request(base, options));
+  return engine.minimize_total_latency(lambda_total);
 }
 
 }  // namespace ht::core

@@ -11,6 +11,11 @@
 // kExact uses large CSP budgets per license set; kHeuristic uses small
 // budgets with randomized restarts and is the fast path for the bigger
 // benchmarks.
+//
+// These entry points are thin wrappers over core::SynthesisEngine (see
+// engine.hpp), which is the full API: multi-threaded search, progress
+// callbacks, cooperative cancellation, and the frontier/reoptimize
+// operations behind the same request object.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +39,11 @@ struct OptimizerOptions {
   /// Stop after this many license sets regardless of proof state.
   long max_combos = 200'000;
   std::uint64_t seed = 1;
+  /// Compute lanes for the license-set search (1 = sequential, 0 = one per
+  /// hardware thread). Results are identical for every value; see
+  /// core/engine.hpp for the full request-level API (progress callbacks,
+  /// cancellation).
+  int threads = 1;
 };
 
 enum class OptStatus {

@@ -82,6 +82,12 @@ void ComboQueue::push(const std::array<int, dfg::kNumResourceClasses>& index) {
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
 }
 
+bool ComboQueue::peek(long long& cost) const {
+  if (heap_.empty()) return false;
+  cost = heap_.front().cost;  // min-heap via std::greater: front is cheapest
+  return true;
+}
+
 bool ComboQueue::next(Palettes& palettes, long long& cost) {
   if (heap_.empty()) return false;
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());

@@ -42,6 +42,11 @@ class ComboQueue {
   /// costs are nondecreasing.
   bool next(Palettes& palettes, long long& cost);
 
+  /// Cost of the combination next() would return, without popping it;
+  /// false when exhausted. The engine's dispatch loop uses this for the
+  /// incumbent-bound stop and the end-of-search optimality proof.
+  bool peek(long long& cost) const;
+
  private:
   struct Node {
     long long cost;

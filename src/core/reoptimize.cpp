@@ -1,5 +1,7 @@
 #include "core/reoptimize.hpp"
 
+#include "core/engine.hpp"
+
 namespace ht::core {
 
 std::set<LicenseKey> suspect_licenses(const ProblemSpec& spec,
@@ -37,21 +39,8 @@ vendor::Catalog without_licenses(const vendor::Catalog& catalog,
 OptimizeResult reoptimize_without(const ProblemSpec& spec,
                                   const std::set<LicenseKey>& banned,
                                   const OptimizerOptions& options) {
-  ProblemSpec thinned = spec;
-  thinned.catalog = without_licenses(spec.catalog, banned);
-  // A class whose every offer is banned makes the problem unsolvable;
-  // report that as infeasibility rather than a spec error.
-  const auto counts = thinned.graph.ops_per_class();
-  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-    if (counts[cls] == 0) continue;
-    if (thinned.catalog.num_vendors_offering(
-            static_cast<dfg::ResourceClass>(cls)) == 0) {
-      OptimizeResult result;
-      result.status = OptStatus::kInfeasible;
-      return result;
-    }
-  }
-  return minimize_cost(thinned, options);
+  SynthesisEngine engine(make_request(spec, options));
+  return engine.reoptimize(banned);
 }
 
 }  // namespace ht::core

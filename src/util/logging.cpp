@@ -1,11 +1,12 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace ht::util {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,12 +24,14 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

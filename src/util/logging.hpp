@@ -1,8 +1,9 @@
 // Minimal leveled logger.
 //
 // Solvers emit progress at Info level; tests run with the level raised to
-// Warning so ctest output stays readable. Not thread-safe by design: every
-// binary in this repository is single-threaded.
+// Warning so ctest output stays readable. The level is atomic and writes go
+// through one fprintf call each, so the parallel engine's workers may log
+// concurrently (lines never tear, interleaving order is unspecified).
 #pragma once
 
 #include <string>

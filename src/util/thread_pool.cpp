@@ -1,0 +1,125 @@
+#include "util/thread_pool.hpp"
+
+#include <utility>
+
+namespace ht::util {
+
+ThreadPool::ThreadPool(int num_workers) {
+  const int n = num_workers < 0 ? 0 : num_workers;
+  deques_.reserve(static_cast<std::size_t>(n) + 1);
+  // Deque n (the last one) takes submissions when the submitting thread is
+  // not a worker; workers steal from it like any other.
+  for (int i = 0; i <= n; ++i) {
+    deques_.push_back(std::make_unique<WorkDeque>());
+  }
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_concurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::submit(Task task) {
+  const std::size_t slot =
+      next_deque_.fetch_add(1, std::memory_order_relaxed) % deques_.size();
+  {
+    std::lock_guard<std::mutex> lock(deques_[slot]->mutex);
+    deques_[slot]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  {
+    // Pairing the notify with the sleep mutex closes the wakeup race
+    // against workers re-checking `queued_` before sleeping.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  work_cv_.notify_one();
+}
+
+bool ThreadPool::run_one(std::size_t home) {
+  Task task;
+  bool found = false;
+  const std::size_t n = deques_.size();
+  // Own deque from the back (LIFO), then steal fronts round-robin.
+  {
+    WorkDeque& own = *deques_[home % n];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      found = true;
+    }
+  }
+  for (std::size_t step = 1; !found && step < n; ++step) {
+    WorkDeque& victim = *deques_[(home + step) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      found = true;
+    }
+  }
+  if (!found) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  task.fn();
+  task.group->finish_one();
+  return true;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  for (;;) {
+    if (run_one(id)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    work_cv_.wait(lock, [this] {
+      return stop_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_) return;
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++pending_;
+  }
+  pool_.submit(ThreadPool::Task{std::move(fn), this});
+}
+
+void TaskGroup::wait() {
+  // The waiting thread helps: drain queued tasks (any group's — finishing
+  // them can only get this group done sooner), then sleep until the last
+  // in-flight task of this group completes.
+  const std::size_t home = pool_.deques_.size() - 1;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_ == 0) return;
+    }
+    if (pool_.run_one(home)) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return pending_ == 0; });
+    return;
+  }
+}
+
+void TaskGroup::finish_one() {
+  // Notify while holding the lock: a waiter that sees pending_ == 0 may
+  // destroy the group the moment it can re-acquire the mutex, so the
+  // broadcast must complete before the lock is released.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+}  // namespace ht::util

@@ -1,0 +1,119 @@
+// Work-stealing thread pool and cooperative cancellation.
+//
+// The pool exists for the parallel synthesis engine (core/engine.hpp): N
+// workers each own a deque; submissions are distributed round-robin, owners
+// pop LIFO (cache-warm), idle workers steal FIFO from the others. A
+// TaskGroup tracks a batch of tasks, and TaskGroup::wait() has the waiting
+// thread *help* — it executes queued tasks instead of blocking — so a pool
+// of W workers plus the calling thread delivers W+1 lanes of compute and
+// nested waits cannot deadlock on an empty worker set.
+//
+// CancelToken is the cooperative stop signal shared by every layer of a
+// synthesis request: the engine checks it between license sets, the CSP
+// solver inside its node loop. Setting it never tears state — workers
+// finish or abandon their current combo and the engine commits only
+// completed results.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ht::util {
+
+/// Cooperative cancellation flag, safe to set from any thread (including a
+/// signal-free watchdog or a progress callback).
+class CancelToken {
+ public:
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+class TaskGroup;
+
+/// Fixed-size pool of worker threads with per-worker deques and stealing.
+/// Tasks are submitted through a TaskGroup; the pool itself only moves
+/// closures to threads. Destruction requires every group to have completed
+/// (the engine owns both and tears them down in order).
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (clamped to >= 0; 0 is a valid pool that
+  /// only ever executes work inside TaskGroup::wait()).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Best guess at the machine's parallelism (>= 1).
+  static int hardware_concurrency();
+
+ private:
+  friend class TaskGroup;
+
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct WorkDeque {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void submit(Task task);
+  /// Pops one task (own deque back first, then steals fronts round-robin)
+  /// and runs it. Returns false when every deque is empty.
+  bool run_one(std::size_t home);
+  void worker_loop(std::size_t id);
+
+  std::vector<std::unique_ptr<WorkDeque>> deques_;
+  std::vector<std::thread> workers_;
+  std::atomic<unsigned> next_deque_{0};
+  std::atomic<long> queued_{0};
+
+  std::mutex sleep_mutex_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;  // guarded by sleep_mutex_
+};
+
+/// A batch of tasks on one pool. run() schedules, wait() helps execute
+/// until every task of this group has *finished* (not merely started).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void run(std::function<void()> fn);
+  void wait();
+
+ private:
+  friend class ThreadPool;
+
+  void finish_one();
+
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  long pending_ = 0;  // guarded by mutex_
+};
+
+}  // namespace ht::util

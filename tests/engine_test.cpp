@@ -1,0 +1,237 @@
+// Tests for the SynthesisRequest/SynthesisEngine façade and its parallel
+// license-set search.
+//
+// The load-bearing property is bit-determinism: the engine commits the
+// feasible solution of lowest (license cost, palette index), so the result
+// of a node/combo-budgeted search must be identical for every worker count.
+// We check that on all six paper benchmarks, and separately that
+// cooperative cancellation returns promptly and never a torn solution.
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "benchmarks/suite.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "test_helpers.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht::core {
+namespace {
+
+/// A recovery-mode spec for one paper benchmark: Section 5 catalog, latency
+/// bounds a little above the critical path so the search has real work but
+/// feasible space.
+ProblemSpec suite_spec(const benchmarks::BenchmarkCase& bench) {
+  ProblemSpec spec;
+  spec.graph = bench.factory();
+  spec.catalog = vendor::section5();
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path + 1;
+  spec.lambda_recovery = critical_path;
+  spec.with_recovery = true;
+  spec.area_limit = 400000;
+  // One instance per license forces the schedule across vendors, so cheap
+  // license sets get disproven before the winner — a real multi-set search
+  // rather than a first-set hit.
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+/// Small budgets that still finish every benchmark: determinism must hold
+/// whenever node/combo budgets (not the clock) terminate the search.
+SynthesisRequest budgeted_request(ProblemSpec spec) {
+  SynthesisRequest request;
+  request.spec = std::move(spec);
+  request.strategy = Strategy::kHeuristic;
+  request.limits.heuristic_restarts = 1;
+  request.limits.heuristic_node_limit = 2'000;
+  request.limits.max_combos = 25;
+  request.limits.time_limit_seconds = 600;  // never the binding limit
+  return request;
+}
+
+void expect_identical(const OptimizeResult& a, const OptimizeResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.status, b.status) << label;
+  if (!a.has_solution()) return;
+  EXPECT_EQ(a.cost, b.cost) << label;
+  ASSERT_EQ(a.solution.num_ops(), b.solution.num_ops()) << label;
+  for (CopyKind kind : a.solution.active_kinds()) {
+    for (dfg::OpId op = 0; op < a.solution.num_ops(); ++op) {
+      EXPECT_EQ(a.solution.at(kind, op), b.solution.at(kind, op))
+          << label << " " << copy_kind_name(kind) << " op " << op;
+    }
+  }
+}
+
+TEST(EngineDeterminismTest, OneThreadAndFourThreadsAgreeOnPaperSuite) {
+  long total_combos = 0;
+  for (const benchmarks::BenchmarkCase& bench : benchmarks::paper_suite()) {
+    SynthesisRequest request = budgeted_request(suite_spec(bench));
+
+    request.parallelism.threads = 1;
+    SynthesisEngine serial(request);
+    const OptimizeResult one = serial.minimize();
+    total_combos += one.stats.combos_tried;
+
+    request.parallelism.threads = 4;
+    SynthesisEngine parallel(std::move(request));
+    const OptimizeResult four = parallel.minimize();
+
+    expect_identical(one, four, bench.name);
+    if (one.has_solution()) {
+      require_valid(serial.request().spec, one.solution);
+    }
+  }
+  // The specs are built so the suite disproves cheaper license sets before
+  // committing — otherwise this test would only cover first-set hits.
+  EXPECT_GT(total_combos, 12);
+}
+
+TEST(EngineDeterminismTest, ThreadsFieldOfOptimizerOptionsIsTransparent) {
+  // The legacy wrappers route through the engine; the new `threads` knob
+  // must not change what they return.
+  const ProblemSpec spec = test::motivational_spec();
+  OptimizerOptions options;
+  const OptimizeResult serial = minimize_cost(spec, options);
+  options.threads = 4;
+  const OptimizeResult parallel = minimize_cost(spec, options);
+  expect_identical(serial, parallel, "motivational");
+  EXPECT_EQ(serial.status, OptStatus::kOptimal);
+}
+
+TEST(EngineDeterminismTest, TotalLatencySplitSweepAgrees) {
+  ProblemSpec base = test::motivational_spec();
+  base.lambda_detection = 0;
+  base.lambda_recovery = 0;
+  OptimizerOptions options;
+  const SplitResult serial = minimize_cost_total_latency(base, 7, options);
+  options.threads = 4;
+  const SplitResult parallel = minimize_cost_total_latency(base, 7, options);
+  EXPECT_EQ(serial.lambda_detection, parallel.lambda_detection);
+  EXPECT_EQ(serial.lambda_recovery, parallel.lambda_recovery);
+  expect_identical(serial.result, parallel.result, "split sweep");
+}
+
+TEST(EngineCancelTest, PreCancelledTokenReturnsUnknownImmediately) {
+  util::CancelToken cancel;
+  cancel.request_cancel();
+  SynthesisRequest request = budgeted_request(test::easy_section5_spec());
+  request.cancel = &cancel;
+  SynthesisEngine engine(std::move(request));
+  const OptimizeResult result = engine.minimize();
+  EXPECT_EQ(result.status, OptStatus::kUnknown);
+  EXPECT_EQ(result.stats.combos_tried, 0);
+}
+
+TEST(EngineCancelTest, MidSearchCancelReturnsPromptlyWithoutTornSolution) {
+  // An expensive exact search on the biggest benchmark, cancelled from
+  // another thread shortly after it starts. The engine must come back well
+  // before its budgets and either report kUnknown or a fully valid
+  // incumbent — never a half-committed solution.
+  SynthesisRequest request;
+  request.spec = suite_spec(benchmarks::by_name("ellipticicass"));
+  request.strategy = Strategy::kExact;
+  request.limits.csp_node_limit = 100'000'000;
+  request.limits.max_combos = 200'000;
+  request.limits.time_limit_seconds = 600;
+  request.parallelism.threads = 2;
+  util::CancelToken cancel;
+  request.cancel = &cancel;
+
+  SynthesisEngine engine(std::move(request));
+  std::thread canceller([&cancel] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    cancel.request_cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const OptimizeResult result = engine.minimize();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+
+  // Generous bound: polls are every 1024 CSP nodes, so the search must
+  // unwind within a few seconds even on a loaded machine.
+  EXPECT_LT(seconds, 30.0);
+  EXPECT_TRUE(result.status == OptStatus::kUnknown ||
+              result.status == OptStatus::kFeasible)
+      << to_string(result.status);
+  if (result.has_solution()) {
+    require_valid(engine.request().spec, result.solution);
+  }
+}
+
+TEST(EngineProgressTest, CallbackSeesMonotoneCombosAndFinalIncumbent) {
+  std::atomic<int> calls{0};
+  long last_combos = 0;
+  long long last_incumbent = -1;
+  SynthesisRequest request = budgeted_request(test::easy_section5_spec());
+  request.parallelism.threads = 4;
+  // Serialized under the engine's progress lock, so plain writes are safe.
+  request.progress = [&](const SynthesisProgress& progress) {
+    calls.fetch_add(1);
+    EXPECT_GE(progress.combos_tried, last_combos);
+    last_combos = progress.combos_tried;
+    if (progress.have_incumbent) last_incumbent = progress.incumbent_cost;
+  };
+  SynthesisEngine engine(std::move(request));
+  const OptimizeResult result = engine.minimize();
+  EXPECT_GT(calls.load(), 0);
+  ASSERT_TRUE(result.has_solution());
+  EXPECT_EQ(last_incumbent, result.cost);
+}
+
+TEST(EngineFacadeTest, SweepFrontierMatchesLegacyAreaFrontier) {
+  const ProblemSpec spec = test::motivational_spec();
+  const std::vector<long long> areas = {15000, 22000, 68430};
+
+  OptimizerOptions options;
+  const std::vector<FrontierPoint> legacy = area_frontier(spec, areas, options);
+
+  SynthesisRequest request = make_request(spec, options);
+  request.parallelism.threads = 4;
+  SynthesisEngine engine(std::move(request));
+  FrontierSweep sweep;
+  sweep.axis = FrontierSweep::Axis::kArea;
+  sweep.values = areas;
+  const std::vector<FrontierPoint> parallel = engine.sweep_frontier(sweep);
+
+  ASSERT_EQ(legacy.size(), parallel.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_EQ(legacy[i].constraint, parallel[i].constraint) << i;
+    EXPECT_EQ(legacy[i].result.status, parallel[i].result.status) << i;
+    EXPECT_EQ(legacy[i].result.cost, parallel[i].result.cost) << i;
+  }
+}
+
+TEST(EngineFacadeTest, MakeRequestCarriesEveryOption) {
+  OptimizerOptions options;
+  options.strategy = Strategy::kHeuristic;
+  options.time_limit_seconds = 7;
+  options.csp_node_limit = 123;
+  options.heuristic_restarts = 9;
+  options.heuristic_node_limit = 456;
+  options.max_combos = 77;
+  options.seed = 42;
+  options.threads = 3;
+  const SynthesisRequest request =
+      make_request(test::motivational_spec(), options);
+  EXPECT_EQ(request.strategy, Strategy::kHeuristic);
+  EXPECT_EQ(request.limits.time_limit_seconds, 7);
+  EXPECT_EQ(request.limits.csp_node_limit, 123);
+  EXPECT_EQ(request.limits.heuristic_restarts, 9);
+  EXPECT_EQ(request.limits.heuristic_node_limit, 456);
+  EXPECT_EQ(request.limits.max_combos, 77);
+  EXPECT_EQ(request.seed, 42u);
+  EXPECT_EQ(request.parallelism.threads, 3);
+}
+
+}  // namespace
+}  // namespace ht::core

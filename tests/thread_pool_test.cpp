@@ -1,0 +1,90 @@
+// Tests for the work-stealing pool behind the parallel synthesis engine:
+// tasks all run exactly once, the waiting caller helps instead of
+// deadlocking, groups are reusable, and the cancel token is a plain latch.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ht::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_workers(), 3);
+
+  constexpr int kTasks = 500;
+  std::vector<std::atomic<int>> hits(kTasks);
+  TaskGroup group(pool);
+  for (int i = 0; i < kTasks; ++i) {
+    group.run([&hits, i] { hits[i].fetch_add(1); });
+  }
+  group.wait();
+  for (int i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolStillCompletesViaHelpingCaller) {
+  // With no worker threads the caller must drain the queue inside wait().
+  ThreadPool pool(0);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 64; ++i) {
+    group.run([&done] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, GroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      group.run([&done] { done.fetch_add(1); });
+    }
+    group.wait();
+    EXPECT_EQ(done.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, UnevenTaskSizesAllComplete) {
+  // Mixed durations exercise stealing: short tasks queued behind a long one
+  // must still finish (either stolen or run by the helping caller).
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  group.run([&done] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    done.fetch_add(1);
+  });
+  for (int i = 0; i < 100; ++i) {
+    group.run([&done] { done.fetch_add(1); });
+  }
+  group.wait();
+  EXPECT_EQ(done.load(), 101);
+}
+
+TEST(CancelTokenTest, LatchesAndResets) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.request_cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_concurrency(), 1);
+}
+
+}  // namespace
+}  // namespace ht::util

@@ -17,6 +17,12 @@
 //   --detection-only            Rajendran baseline: no recovery phase
 //   --area N                    total area bound (default 10x minimum core)
 //   --strategy exact|heuristic  optimizer strategy (default exact)
+//   --threads N                 parallel search lanes (default 1; 0 = all
+//                               hardware threads; results are identical
+//                               for every value)
+//   --time-limit S              search wall-clock budget in seconds
+//   --progress                  print combos-tried / incumbent-cost lines
+//                               as the search advances
 //   --seed N                    RNG seed (default 1)
 //   --trials N                  simulate: campaign size (default 400)
 //   -o FILE                     export: write to FILE instead of stdout
@@ -26,7 +32,7 @@
 
 #include "benchmarks/extra.hpp"
 #include "benchmarks/suite.hpp"
-#include "core/optimizer.hpp"
+#include "core/engine.hpp"
 #include "dfg/analysis.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/parse.hpp"
@@ -50,6 +56,9 @@ struct Options {
   bool detection_only = false;
   long long area = 0;
   std::string strategy = "exact";
+  int threads = 1;
+  double time_limit = 0;  // 0: engine default
+  bool progress = false;
   std::uint64_t seed = 1;
   int trials = 400;
   std::string out_file;
@@ -65,6 +74,7 @@ struct Options {
       "       thls benchmarks\n"
       "options: --catalog table1|section5  --lambda-det N  --lambda-rec N\n"
       "         --detection-only  --area N  --strategy exact|heuristic\n"
+      "         --threads N (0 = all cores)  --time-limit SECONDS  --progress\n"
       "         --seed N  --trials N  -o FILE  --share-registers\n"
       "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n",
       stderr);
@@ -99,6 +109,12 @@ Options parse_args(int argc, char** argv) {
       options.area = std::stoll(need_value(flag));
     } else if (flag == "--strategy") {
       options.strategy = need_value(flag);
+    } else if (flag == "--threads") {
+      options.threads = std::stoi(need_value(flag));
+    } else if (flag == "--time-limit") {
+      options.time_limit = std::stod(need_value(flag));
+    } else if (flag == "--progress") {
+      options.progress = true;
     } else if (flag == "--seed") {
       options.seed = std::stoull(need_value(flag));
     } else if (flag == "--trials") {
@@ -184,14 +200,36 @@ core::ProblemSpec build_spec(const Options& options) {
 
 core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
                                    const Options& options) {
-  core::OptimizerOptions optimizer;
+  core::SynthesisRequest request;
+  request.spec = spec;
   if (options.strategy == "heuristic") {
-    optimizer.strategy = core::Strategy::kHeuristic;
+    request.strategy = core::Strategy::kHeuristic;
   } else if (options.strategy != "exact") {
     usage("unknown strategy " + options.strategy);
   }
-  optimizer.seed = options.seed;
-  return core::minimize_cost(spec, optimizer);
+  request.seed = options.seed;
+  request.parallelism.threads = options.threads;
+  if (options.time_limit > 0) {
+    request.limits.time_limit_seconds = options.time_limit;
+  }
+  if (options.progress) {
+    request.progress = [](const core::SynthesisProgress& progress) {
+      if (progress.have_incumbent) {
+        std::fprintf(stderr,
+                     "progress: combos=%ld nodes=%ld incumbent=$%lld "
+                     "t=%.2fs\n",
+                     progress.combos_tried, progress.csp_nodes,
+                     progress.incumbent_cost, progress.seconds);
+      } else {
+        std::fprintf(stderr,
+                     "progress: combos=%ld nodes=%ld incumbent=- t=%.2fs\n",
+                     progress.combos_tried, progress.csp_nodes,
+                     progress.seconds);
+      }
+    };
+  }
+  core::SynthesisEngine engine(std::move(request));
+  return engine.minimize();
 }
 
 void emit(const Options& options, const std::string& content) {
