@@ -22,7 +22,10 @@
 
 #include "benchmarks/random_dfg.hpp"
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "core/ilp_formulation.hpp"
+#include "core/reoptimize.hpp"
+#include "dfg/analysis.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "vendor/catalogs.hpp"
@@ -30,6 +33,9 @@
 namespace {
 
 using namespace ht;
+
+/// Per-row records for `--json <path>` (see bench_util.hpp).
+benchx::JsonReport g_json;
 
 core::ProblemSpec random_spec(int num_ops, std::uint64_t seed) {
   util::Rng rng(seed);
@@ -39,10 +45,36 @@ core::ProblemSpec random_spec(int num_ops, std::uint64_t seed) {
   core::ProblemSpec spec;
   spec.graph = benchmarks::random_dfg(config, rng);
   spec.catalog = vendor::section5();
-  spec.lambda_detection = 7;
-  spec.lambda_recovery = 6;
+  // One cycle of slack over the critical path plus a single instance per
+  // license keeps cheap license sets genuinely scarce, so the sweep
+  // measures real multi-set searches (and gives the static screens
+  // something to refute) instead of accepting the first palette at every
+  // size.
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path + 1;
+  spec.lambda_recovery = critical_path;
   spec.with_recovery = true;
   spec.area_limit = 400000;
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+/// A paper benchmark on the Section 5 catalog with `slack` extra cycles on
+/// the detection phase and a per-license instance cap — the Table 3/4
+/// "heavy row" shape used by the pruning study.
+core::ProblemSpec suite_like_spec(const std::string& name, int slack,
+                                  int max_instances) {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::by_name(name).factory();
+  spec.catalog = vendor::section5();
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path + slack;
+  spec.lambda_recovery = critical_path + std::max(0, slack - 1);
+  spec.with_recovery = true;
+  spec.area_limit = 400000;
+  spec.max_instances_per_offer = max_instances;
   return spec;
 }
 
@@ -120,6 +152,8 @@ void print_reproduction() {
       e.time_limit_seconds = 15;
       const core::OptimizeResult exact = core::minimize_cost(spec, e);
       const double exact_s = timer.elapsed_seconds();
+      g_json.add(benchx::record_of("size_sweep/exact", spec, 1, exact,
+                                   exact_s));
 
       timer.reset();
       core::OptimizerOptions h;
@@ -127,6 +161,8 @@ void print_reproduction() {
       h.time_limit_seconds = 15;
       const core::OptimizeResult heur = core::minimize_cost(spec, h);
       const double heur_s = timer.elapsed_seconds();
+      g_json.add(benchx::record_of("size_sweep/heuristic", spec, 1, heur,
+                                   heur_s));
 
       std::string gap = "-";
       if (exact.has_solution() && heur.has_solution()) {
@@ -209,12 +245,16 @@ void print_parallel_scaling(int threads) {
     const core::OptimizeResult serial = core::minimize_cost(row.spec,
                                                             row.options);
     const double serial_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("parallel/" + row.name, row.spec, 1,
+                                 serial, serial_s));
 
     row.options.threads = threads;
     timer.reset();
     const core::OptimizeResult parallel = core::minimize_cost(row.spec,
                                                               row.options);
     const double parallel_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("parallel/" + row.name, row.spec, threads,
+                                 parallel, parallel_s));
 
     const bool match = serial.status == parallel.status &&
                        (!serial.has_solution() ||
@@ -237,6 +277,124 @@ void print_parallel_scaling(int threads) {
   std::puts("(mc/status must match: the engine commits the lowest "
             "(cost, palette index)\nwinner, so worker count never changes "
             "the answer — only the wall clock)\n");
+}
+
+// Prune-before-solve study: identical budgets, pruning off (the historical
+// engine behavior) vs on (dominance cache + static screens, the default).
+// Pruned runs resolve the exact same cheapest-first budget window — every
+// skip consumes a dispatch slot — so statuses and license costs must match
+// row by row; the saved CSP work is pure wall-clock.
+void print_pruning_study() {
+  std::puts("=== Prune-before-solve (static screens + dominance cache) ===\n");
+
+  struct Row {
+    std::string name;
+    core::ProblemSpec spec;
+    long max_combos;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"polynom tight", suite_like_spec("polynom", 0, 1), 5'000});
+  rows.push_back({"dtmf tight", suite_like_spec("dtmf", 0, 1), 2'000});
+  rows.push_back(
+      {"ellipticicass", suite_like_spec("ellipticicass", 2, 1), 1'000});
+  rows.push_back(
+      {"ellipticicass mi=2", suite_like_spec("ellipticicass", 2, 2), 1'000});
+  rows.push_back({"fir16", suite_like_spec("fir16", 2, 1), 1'000});
+
+  util::TablePrinter table({"benchmark", "status", "mc", "off s", "on s",
+                            "speedup", "screened", "match"});
+  for (const Row& row : rows) {
+    core::SynthesisRequest request;
+    request.spec = row.spec;
+    request.strategy = core::Strategy::kHeuristic;
+    request.limits.heuristic_restarts = 3;
+    request.limits.heuristic_node_limit = 80'000;
+    request.limits.max_combos = row.max_combos;
+    request.limits.time_limit_seconds = 300;
+
+    core::SynthesisRequest off_request = request;
+    off_request.pruning.dominance_cache = false;
+    off_request.pruning.static_screens = false;
+    core::SynthesisEngine off_engine(std::move(off_request));
+    util::Timer timer;
+    const core::OptimizeResult off = off_engine.minimize();
+    const double off_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("pruning_off/" + row.name, row.spec, 1,
+                                 off, off_s));
+
+    core::SynthesisEngine on_engine(std::move(request));
+    timer.reset();
+    const core::OptimizeResult on = on_engine.minimize();
+    const double on_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("pruning_on/" + row.name, row.spec, 1, on,
+                                 on_s));
+
+    const bool match =
+        off.status == on.status &&
+        (!off.has_solution() || off.cost == on.cost);
+    table.add_row(
+        {row.name, core::to_string(on.status),
+         on.has_solution() ? util::format_money(on.cost) : std::string("-"),
+         util::format_double(off_s, 2), util::format_double(on_s, 2),
+         util::format_double(off_s / std::max(on_s, 1e-3), 1) + "x",
+         std::to_string(on.stats.combos_skipped_screen),
+         match ? "yes" : "NO"});
+  }
+  benchx::print_table(table, "pruning A/B (heuristic, 1 thread)");
+  std::puts("(screens refute license sets before any CSP dispatch; both "
+            "modes resolve the\nsame budget window, so mc/status must "
+            "match while the wall clock drops)\n");
+}
+
+// Cross-operation dominance-cache study. Screens are held off so every
+// refutation is a CSP proof and the cache's contribution is unmistakable:
+// a warm repeat and a post-detection reoptimize() skip almost the whole
+// refuted prefix via sealed dominance proofs.
+void print_cache_study() {
+  std::puts("=== Dominance cache across operations (screens off) ===\n");
+
+  const core::ProblemSpec spec = suite_like_spec("polynom", 0, 1);
+  core::SynthesisRequest request;
+  request.spec = spec;
+  request.pruning.static_screens = false;
+  core::SynthesisEngine engine(request);
+
+  util::TablePrinter table({"operation", "status", "mc", "tried",
+                            "cache skips", "time (s)"});
+  const auto add_row = [&](const std::string& name,
+                           const core::OptimizeResult& result,
+                           double seconds) {
+    table.add_row(
+        {name, core::to_string(result.status),
+         result.has_solution() ? util::format_money(result.cost)
+                               : std::string("-"),
+         std::to_string(result.stats.combos_tried),
+         std::to_string(result.stats.combos_skipped_cache),
+         util::format_double(seconds, 3)});
+    g_json.add(benchx::record_of("cache_study/" + name, spec, 1, result,
+                                 seconds));
+  };
+
+  util::Timer timer;
+  const core::OptimizeResult cold = engine.minimize();
+  add_row("minimize (cold)", cold, timer.elapsed_seconds());
+
+  timer.reset();
+  const core::OptimizeResult warm = engine.minimize();
+  add_row("minimize (warm)", warm, timer.elapsed_seconds());
+
+  if (cold.has_solution()) {
+    const std::set<core::LicenseKey> used =
+        cold.solution.licenses_used(spec);
+    const std::set<core::LicenseKey> banned = {*used.begin()};
+    timer.reset();
+    const core::OptimizeResult respun = engine.reoptimize(banned);
+    add_row("reoptimize (1 banned)", respun, timer.elapsed_seconds());
+  }
+  benchx::print_table(table, "sealed infeasibility proofs carry over");
+  std::puts("(every complete CSP refutation from the cold run dominates "
+            "the same set —\nand its subsets — in later operations on the "
+            "engine)\n");
 }
 
 void BM_ExactByOps(benchmark::State& state) {
@@ -268,10 +426,12 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 
 }  // namespace
 
-// Custom main (instead of HT_BENCH_MAIN): strip `--threads N` before
-// google-benchmark sees the argv, then run the reproduction, the parallel
-// scaling section, and the registered timings.
+// Custom main (instead of HT_BENCH_MAIN): strip `--threads N` and
+// `--json <path>` before google-benchmark sees the argv, then run the
+// reproduction, the parallel-scaling / pruning / cache sections, and the
+// registered timings.
 int main(int argc, char** argv) {
+  const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
   int threads =
       std::max(2, static_cast<int>(ht::util::ThreadPool::hardware_concurrency()));
   int out = 1;
@@ -287,6 +447,18 @@ int main(int argc, char** argv) {
 
   print_reproduction();
   if (threads > 1) print_parallel_scaling(threads);
+  print_pruning_study();
+  print_cache_study();
+
+  if (!json_path.empty()) {
+    if (g_json.write_to(json_path)) {
+      std::printf("wrote %zu records to %s\n", g_json.size(),
+                  json_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
 
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -8,7 +8,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/optimizer.hpp"
 #include "util/strings.hpp"
@@ -45,6 +49,104 @@ inline void print_table(const util::TablePrinter& table,
                         const std::string& title) {
   std::fputs(table.to_string(title).c_str(), stdout);
   std::fputs("\n", stdout);
+}
+
+/// One per-row record of the machine-readable bench log (`--json <path>`).
+/// Mirrors the printed tables so perf trajectories can be diffed run over
+/// run without scraping stdout.
+struct JsonRecord {
+  std::string benchmark;
+  int n = 0;       ///< DFG operation count
+  int lambda = 0;  ///< detection-phase latency bound
+  long long area = 0;
+  int threads = 1;
+  std::string status;
+  long long cost = 0;
+  long nodes = 0;
+  long combos_tried = 0;
+  long combos_skipped_cache = 0;
+  long combos_skipped_screen = 0;
+  double wall_s = 0.0;
+};
+
+inline JsonRecord record_of(std::string benchmark,
+                            const core::ProblemSpec& spec, int threads,
+                            const core::OptimizeResult& result,
+                            double wall_s) {
+  JsonRecord record;
+  record.benchmark = std::move(benchmark);
+  record.n = spec.graph.num_ops();
+  record.lambda = spec.lambda_detection;
+  record.area = spec.area_limit;
+  record.threads = threads;
+  record.status = core::to_string(result.status);
+  record.cost = result.cost;
+  record.nodes = result.stats.csp_nodes;
+  record.combos_tried = result.stats.combos_tried;
+  record.combos_skipped_cache = result.stats.combos_skipped_cache;
+  record.combos_skipped_screen = result.stats.combos_skipped_screen;
+  record.wall_s = wall_s;
+  return record;
+}
+
+/// Accumulates JsonRecords and writes them as one JSON array.
+class JsonReport {
+ public:
+  void add(JsonRecord record) { records_.push_back(std::move(record)); }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+
+  /// Returns false on I/O failure.
+  bool write_to(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      out << "  {\"benchmark\": \"" << escaped(r.benchmark) << "\""
+          << ", \"n\": " << r.n << ", \"lambda\": " << r.lambda
+          << ", \"area\": " << r.area << ", \"threads\": " << r.threads
+          << ", \"status\": \"" << escaped(r.status) << "\""
+          << ", \"cost\": " << r.cost << ", \"nodes\": " << r.nodes
+          << ", \"combos_tried\": " << r.combos_tried
+          << ", \"combos_skipped_cache\": " << r.combos_skipped_cache
+          << ", \"combos_skipped_screen\": " << r.combos_skipped_screen
+          << ", \"wall_s\": " << util::format_double(r.wall_s, 4) << "}"
+          << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+ private:
+  static std::string escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<JsonRecord> records_;
+};
+
+/// Strips `--json <path>` from argv (google-benchmark rejects flags it
+/// does not know) and returns the path, or "" when the flag is absent.
+inline std::string consume_json_flag(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      path = argv[i + 1];
+      ++i;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
 }
 
 /// Standard main body: print the reproduction, then run registered

@@ -5,13 +5,10 @@
 
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
-#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace ht::core {
 namespace {
-
-constexpr int kMaxVendors = 64;  // vendor sets as bitmasks
 
 struct CopyMeta {
   CopyKind kind;
@@ -25,9 +22,10 @@ class Search {
  public:
   Search(const ProblemSpec& spec, const Palettes& palettes,
          const CspOptions& options)
-      : spec_(spec), options_(options), rng_(options.seed) {
-    util::check_spec(spec.catalog.num_vendors() <= kMaxVendors,
-                     "csp: too many vendors for bitmask representation");
+      : spec_(spec), options_(options) {
+    util::check_spec(
+        spec.catalog.num_vendors() <= kMaxVendors,
+        "csp: catalog exceeds kMaxVendors (see core/problem.hpp)");
     build_copies();
     build_windows();
     build_conflicts();
@@ -36,6 +34,14 @@ class Search {
     forbid_count_.assign(copies_.size() * static_cast<std::size_t>(v), 0);
     assigned_cycle_.assign(copies_.size(), -1);
     assigned_vendor_.assign(copies_.size(), -1);
+    allowed_mask_.resize(copies_.size());
+    unassigned_pos_.resize(copies_.size());
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      allowed_mask_[c] =
+          palette_mask_[static_cast<std::size_t>(copies_[c].cls)];
+      unassigned_pos_[c] = static_cast<int>(c);
+      unassigned_.push_back(static_cast<int>(c));
+    }
     const std::size_t usage_size =
         2ull * static_cast<std::size_t>(v) * dfg::kNumResourceClasses *
         static_cast<std::size_t>(max_lambda_);
@@ -54,7 +60,7 @@ class Search {
         return result;
       }
     }
-    const Outcome outcome = dfs();
+    const Outcome outcome = dfs(0);
     result.nodes = nodes_;
     switch (outcome) {
       case Outcome::kSolved:
@@ -189,30 +195,21 @@ class Search {
                          static_cast<std::size_t>(v)];
   }
 
-  std::uint64_t allowed_vendors(int copy) const {
-    const int nv = spec_.catalog.num_vendors();
-    std::uint64_t mask =
-        palette_mask_[static_cast<std::size_t>(
-            copies_[static_cast<std::size_t>(copy)].cls)];
-    for (int v = 0; v < nv; ++v) {
-      if (forbid_count_[static_cast<std::size_t>(copy) *
-                            static_cast<std::size_t>(nv) +
-                        static_cast<std::size_t>(v)] > 0) {
-        mask &= ~(1ull << v);
-      }
-    }
-    return mask;
-  }
-
   // ---- trail / undo -----------------------------------------------------
   void record(int* slot) { trail_.emplace_back(slot, *slot); }
   void record_ll(long long* slot) { trail_ll_.emplace_back(slot, *slot); }
+  void record_u64(std::uint64_t* slot) {
+    trail_u64_.emplace_back(slot, *slot);
+  }
 
   struct Mark {
     std::size_t trail;
     std::size_t trail_ll;
+    std::size_t trail_u64;
   };
-  Mark mark() const { return {trail_.size(), trail_ll_.size()}; }
+  Mark mark() const {
+    return {trail_.size(), trail_ll_.size(), trail_u64_.size()};
+  }
   void rewind(Mark m) {
     while (trail_.size() > m.trail) {
       auto [slot, old] = trail_.back();
@@ -222,6 +219,11 @@ class Search {
     while (trail_ll_.size() > m.trail_ll) {
       auto [slot, old] = trail_ll_.back();
       trail_ll_.pop_back();
+      *slot = old;
+    }
+    while (trail_u64_.size() > m.trail_u64) {
+      auto [slot, old] = trail_u64_.back();
+      trail_u64_.pop_back();
       *slot = old;
     }
   }
@@ -257,14 +259,22 @@ class Search {
       }
     }
 
-    // Vendor-diversity propagation.
+    // Vendor-diversity propagation. The per-copy allowed mask is maintained
+    // incrementally: it loses bit v exactly when the forbid count for
+    // (copy, v) transitions 0 -> 1, and the trail restores it on rewind —
+    // no O(vendors) rescan per propagation or per select/enumerate.
     for (int nb : neighbors_[static_cast<std::size_t>(copy)]) {
       if (assigned_vendor_[static_cast<std::size_t>(nb)] == v) return false;
       if (assigned_vendor_[static_cast<std::size_t>(nb)] >= 0) continue;
       int& count = forbid_count(nb, v);
       record(&count);
       ++count;
-      if (count == 1 && allowed_vendors(nb) == 0) return false;
+      if (count == 1) {
+        std::uint64_t& mask = allowed_mask_[static_cast<std::size_t>(nb)];
+        record_u64(&mask);
+        mask &= ~(1ull << v);
+        if (mask == 0) return false;
+      }
     }
 
     // Dependence window propagation within the same schedule: children may
@@ -296,42 +306,86 @@ class Search {
   }
 
   // ---- search -----------------------------------------------------------
+  // Only unassigned copies live in unassigned_ (swap-remove on descent,
+  // exact inverse on backtrack), so variable selection never rescans
+  // assigned copies. The comparator is order-independent — (score asc,
+  // degree desc, copy id asc) — and reproduces the historical first-seen
+  // tie-breaking of the ascending full scan exactly.
   int select_variable() const {
     int best = -1;
     long best_score = 0;
-    for (std::size_t c = 0; c < copies_.size(); ++c) {
-      if (assigned_cycle_[c] >= 0) continue;
-      const long window = lst_[c] - est_[c] + 1;
+    for (int c : unassigned_) {
+      const std::size_t cs = static_cast<std::size_t>(c);
+      const long window = lst_[cs] - est_[cs] + 1;
       const long vendors =
-          static_cast<long>(__builtin_popcountll(allowed_vendors(
-              static_cast<int>(c))));
+          static_cast<long>(__builtin_popcountll(allowed_mask_[cs]));
       const long score = window * vendors;
       if (best < 0 || score < best_score ||
           (score == best_score &&
-           degree_[c] > degree_[static_cast<std::size_t>(best)])) {
-        best = static_cast<int>(c);
+           (degree_[cs] > degree_[static_cast<std::size_t>(best)] ||
+            (degree_[cs] == degree_[static_cast<std::size_t>(best)] &&
+             c < best)))) {
+        best = c;
         best_score = score;
       }
     }
     return best;
   }
 
+  void remove_unassigned(int copy) {
+    const std::size_t pos =
+        static_cast<std::size_t>(unassigned_pos_[static_cast<std::size_t>(
+            copy)]);
+    const int moved = unassigned_.back();
+    unassigned_[pos] = moved;
+    unassigned_pos_[static_cast<std::size_t>(moved)] = static_cast<int>(pos);
+    unassigned_.pop_back();
+  }
+
+  // Exact inverse of remove_unassigned under the search's LIFO discipline:
+  // unassigned_pos_[copy] still names the slot it vacated.
+  void restore_unassigned(int copy) {
+    const std::size_t pos =
+        static_cast<std::size_t>(unassigned_pos_[static_cast<std::size_t>(
+            copy)]);
+    if (pos == unassigned_.size()) {
+      unassigned_.push_back(copy);
+      return;
+    }
+    const int moved = unassigned_[pos];
+    unassigned_.push_back(moved);
+    unassigned_pos_[static_cast<std::size_t>(moved)] =
+        static_cast<int>(unassigned_.size()) - 1;
+    unassigned_[pos] = copy;
+  }
+
   struct Value {
-    long long key;
+    long long area_delta;
     int cycle;
     int vendor;
   };
 
-  std::vector<Value> enumerate_values(int copy) {
+  // Values ordered by (area_delta, cycle, vendor): no added area first, then
+  // earlier cycles, then lower vendor ids. The historical packed key
+  // `area_delta * 1000 + cycle * 8 + v` aliased vendor into the cycle field
+  // once v >= 8, and its randomized tiebreak only ever acted on those
+  // aliased collisions — on every catalog in this repo (<= 8 vendors) the
+  // packed keys were unique, so this tuple order is behavior-identical and
+  // the per-node RNG draw was dead weight. Scratch vectors are pooled per
+  // depth to avoid a heap allocation per search node.
+  const std::vector<Value>& enumerate_values(int copy, std::size_t depth) {
+    if (depth >= value_pool_.size()) value_pool_.resize(depth + 1);
+    std::vector<Value>& values = value_pool_[depth];
+    values.clear();
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
-    const std::uint64_t allowed = allowed_vendors(copy);
-    std::vector<Value> values;
+    const std::uint64_t allowed =
+        allowed_mask_[static_cast<std::size_t>(copy)];
     const int cap =
         spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls));
     for (int cycle = est_[static_cast<std::size_t>(copy)];
          cycle <= lst_[static_cast<std::size_t>(copy)]; ++cycle) {
-      for (int v = 0; v < spec_.catalog.num_vendors(); ++v) {
-        if (!(allowed & (1ull << v))) continue;
+      for (std::uint64_t bits = allowed; bits != 0; bits &= bits - 1) {
+        const int v = __builtin_ctzll(bits);
         int needed = 0;  // instances required over the occupancy interval
         for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
           needed = std::max(needed, usage(meta.phase, v, meta.cls, busy) + 1);
@@ -347,22 +401,21 @@ class Search {
                                   [static_cast<std::size_t>(v)];
           if (area_committed_ + area_delta > spec_.area_limit) continue;
         }
-        // Prefer values that add no area, then earlier cycles; a small
-        // random tiebreak decorrelates restarts.
-        long long key = area_delta * 1000 + cycle * 8 + v;
-        if (options_.seed != 0) {
-          key = key * 64 +
-                static_cast<long long>(rng_.uniform_int(0, 63));
-        }
-        values.push_back(Value{key, cycle, v});
+        values.push_back(Value{area_delta, cycle, v});
       }
     }
     std::sort(values.begin(), values.end(),
-              [](const Value& a, const Value& b) { return a.key < b.key; });
+              [](const Value& a, const Value& b) {
+                if (a.area_delta != b.area_delta) {
+                  return a.area_delta < b.area_delta;
+                }
+                if (a.cycle != b.cycle) return a.cycle < b.cycle;
+                return a.vendor < b.vendor;
+              });
     return values;
   }
 
-  Outcome dfs() {
+  Outcome dfs(std::size_t depth) {
     if (++nodes_ > options_.max_nodes) return Outcome::kNodeLimit;
     if ((nodes_ & 0x3ff) == 0) {
       if (options_.cancel && options_.cancel->cancelled()) {
@@ -374,15 +427,17 @@ class Search {
     }
     const int copy = select_variable();
     if (copy < 0) return Outcome::kSolved;  // everything assigned
+    remove_unassigned(copy);
 
-    for (const Value& value : enumerate_values(copy)) {
+    for (const Value& value : enumerate_values(copy, depth)) {
       const Mark m = mark();
       if (assign(copy, value.cycle, value.vendor)) {
-        const Outcome outcome = dfs();
+        const Outcome outcome = dfs(depth + 1);
         if (outcome != Outcome::kExhausted) return outcome;
       }
       rewind(m);
     }
+    restore_unassigned(copy);
     return Outcome::kExhausted;
   }
 
@@ -431,7 +486,6 @@ class Search {
 
   const ProblemSpec& spec_;
   const CspOptions& options_;
-  util::Rng rng_;
   util::Timer timer_;
 
   std::vector<CopyMeta> copies_;
@@ -447,13 +501,18 @@ class Search {
       offer_area_{};
 
   std::vector<int> forbid_count_;
+  std::vector<std::uint64_t> allowed_mask_;  // palette minus forbidden, live
   std::vector<int> assigned_cycle_, assigned_vendor_;
+  std::vector<int> unassigned_;      // swap-remove list for select_variable
+  std::vector<int> unassigned_pos_;  // copy -> slot in unassigned_
   std::vector<int> usage_;
   std::vector<int> peak_;
   long long area_committed_ = 0;
 
   std::vector<std::pair<int*, int>> trail_;
   std::vector<std::pair<long long*, long long>> trail_ll_;
+  std::vector<std::pair<std::uint64_t*, std::uint64_t>> trail_u64_;
+  std::vector<std::vector<Value>> value_pool_;  // per-depth scratch
   long nodes_ = 0;
 };
 

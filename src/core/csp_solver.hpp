@@ -31,7 +31,12 @@ namespace ht::core {
 struct CspOptions {
   long max_nodes = 500'000;
   double time_limit_seconds = 10.0;
-  /// Non-zero: shuffle tied value choices for randomized restarts.
+  /// Retained for API compatibility; ignored. The old randomized value
+  /// tiebreak only acted on collisions of a packed ordering key that
+  /// aliased vendor into cycle (v >= 8) — on every catalog this repo ships
+  /// the keys were unique, so seeded runs already explored the identical
+  /// tree. Value ordering is now fully deterministic:
+  /// (area_delta, cycle, vendor).
   std::uint64_t seed = 0;
   /// Optional cooperative stop signal, polled inside the node loop (same
   /// cadence as the time check). A cancelled run reports kCancelled and

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -17,36 +18,6 @@
 
 namespace ht::core {
 namespace {
-
-/// Complete (proof-preserving) area precheck for one license set: every
-/// class needs enough core instances for its densest phase, and each
-/// instance costs at least the smallest area in the class palette.
-bool area_lower_bound_exceeds(const ProblemSpec& spec,
-                              const Palettes& palettes) {
-  const auto op_counts = spec.graph.ops_per_class();
-  long long area_lb = 0;
-  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-    if (op_counts[cls] == 0) continue;
-    const auto rc = static_cast<dfg::ResourceClass>(cls);
-    // Instance-cycle demand: each op occupies its instance for the class
-    // latency.
-    const int lat = spec.class_latency[static_cast<std::size_t>(cls)];
-    int needed = (2 * op_counts[cls] * lat + spec.lambda_detection - 1) /
-                 spec.lambda_detection;
-    if (spec.with_recovery) {
-      needed = std::max(needed,
-                        (op_counts[cls] * lat + spec.lambda_recovery - 1) /
-                            spec.lambda_recovery);
-    }
-    long long min_area = 0;
-    for (vendor::VendorId v : palettes[static_cast<std::size_t>(cls)]) {
-      const long long area = spec.catalog.offer(v, rc).area;
-      if (min_area == 0 || area < min_area) min_area = area;
-    }
-    area_lb += static_cast<long long>(needed) * min_area;
-  }
-  return area_lb > spec.area_limit;
-}
 
 /// Result of evaluating one license set. Everything here is a pure
 /// function of (spec, palettes, index, request budgets and seed) — the
@@ -104,38 +75,32 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     return out;
   }
 
-  // Heuristic: budgeted CSP restarts; an infeasibility proof from any
-  // restart is still a proof (the search is complete, just capped).
-  for (int restart = 0; restart < request.limits.heuristic_restarts;
-       ++restart) {
-    if (request.cancel && request.cancel->cancelled()) {
-      out.inconclusive = true;
-      return out;
-    }
-    CspOptions csp_options;
-    csp_options.max_nodes = request.limits.heuristic_node_limit;
-    csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
-    csp_options.seed = request.seed + static_cast<std::uint64_t>(restart);
-    csp_options.cancel = request.cancel;
-    const CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
-    out.csp_nodes += attempt.nodes;
-    if (attempt.status == CspResult::Status::kFeasible) {
-      out.feasible = true;
-      out.solution = attempt.solution;
-      out.inconclusive = false;
-      return out;
-    }
-    if (attempt.status == CspResult::Status::kInfeasible) {
-      out.inconclusive = false;
-      return out;
-    }
-    out.inconclusive = true;
+  // Heuristic: one budgeted CSP run; an infeasibility proof within the cap
+  // is still a proof (the search is complete, just capped). This used to
+  // loop over `heuristic_restarts` seeded runs, but the seed never changed
+  // the explored tree (see CspOptions::seed), so the extra restarts re-ran
+  // an identical search — up to a 3x waste on every non-feasible set. The
+  // greedy attempts above keep their restart-scaled budget.
+  CspOptions csp_options;
+  csp_options.max_nodes = request.limits.heuristic_node_limit;
+  csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
+  csp_options.seed = 0;
+  csp_options.cancel = request.cancel;
+  const CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
+  out.csp_nodes += attempt.nodes;
+  if (attempt.status == CspResult::Status::kFeasible) {
+    out.feasible = true;
+    out.solution = attempt.solution;
+  } else {
+    out.inconclusive = attempt.status != CspResult::Status::kInfeasible;
   }
   return out;
 }
 
 /// Everything the workers share, guarded by one mutex (license-set
-/// evaluation dominates; the critical sections are microseconds).
+/// evaluation dominates; the critical sections are microseconds). The
+/// cache itself has its own sharded locks; it is touched under the search
+/// mutex only for quick record/lookup calls.
 struct SharedSearch {
   explicit SharedSearch(ComboQueue combo_queue)
       : queue(std::move(combo_queue)) {}
@@ -147,13 +112,20 @@ struct SharedSearch {
   bool cancelled = false;
   bool timed_out = false;
 
+  const StaticScreens* screens = nullptr;  ///< never null during search
+  SearchCache* cache = nullptr;            ///< null = dominance cache off
+  std::uint64_t epoch = 0;
+  std::uint64_t ctx = 0;
+
   bool have_incumbent = false;
   long long best_cost = 0;
   long best_index = -1;
   Solution best_solution;
-  /// Cheapest license-set cost whose evaluation was truncated; the
-  /// optimality proof must clear it.
-  long long cheapest_inconclusive = -1;
+  /// Truncated evaluations, deferred: (combo cost, signature). Classified
+  /// after the workers join — a completed dominance proof may retroactively
+  /// cover a truncated set, and doing the accounting post-join keeps it
+  /// identical across thread counts.
+  std::vector<std::pair<long long, PaletteSignature>> inconclusives;
   OptimizeStats stats;
   std::exception_ptr failure;
 };
@@ -171,6 +143,7 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
       long index = -1;
       long long combo_cost = 0;
       double remaining = 0.0;
+      PaletteSignature sig;
       {
         std::lock_guard<std::mutex> lock(shared.mutex);
         for (;;) {
@@ -202,9 +175,36 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             return;
           }
           shared.queue.next(palettes, combo_cost);
-          if (area_lower_bound_exceeds(spec, palettes)) {
-            ++shared.stats.combos_skipped_by_bound;
-            continue;  // complete proof, not an unknown
+          sig = signature_of(spec, palettes);
+          if (shared.screens->refutes(palettes)) {
+            // Complete static proof, not an unknown. Under the enhanced
+            // screens the skip consumes the set's palette index (the same
+            // rule the cache uses below): a pruned run then resolves the
+            // exact budget window an unpruned run would, just without the
+            // CSP work — strictly faster, identical statuses and costs.
+            // The legacy bound keeps the historical no-consume semantics
+            // so `pruning.static_screens = false` reproduces the old
+            // engine bit for bit.
+            ++shared.stats.combos_skipped_screen;
+            if (shared.cache) {
+              shared.cache->record(sig, shared.epoch, shared.ctx,
+                                   combo_cost);
+            }
+            if (request.pruning.static_screens) {
+              ++shared.evaluated_dispatched;
+            }
+            continue;
+          }
+          if (shared.cache &&
+              shared.cache->dominated_frozen(sig, shared.epoch)) {
+            // A sealed proof from an earlier operation dominates this set:
+            // infeasible by monotonicity, exactly what the CSP would have
+            // returned. The skip consumes the set's palette index so the
+            // dispatch budget and index assignment line up with a
+            // cache-off run.
+            ++shared.stats.combos_skipped_cache;
+            ++shared.evaluated_dispatched;
+            continue;
           }
           index = shared.evaluated_dispatched++;
           ++shared.stats.combos_tried;
@@ -234,11 +234,12 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
                             " license sets");
           }
         } else if (outcome.inconclusive) {
-          ++shared.stats.unknown_combos;
-          if (shared.cheapest_inconclusive < 0 ||
-              combo_cost < shared.cheapest_inconclusive) {
-            shared.cheapest_inconclusive = combo_cost;
-          }
+          shared.inconclusives.emplace_back(combo_cost, sig);
+        } else if (shared.cache) {
+          // Complete CSP refutation: cacheable proof. Truncated outcomes
+          // (node limit / timeout / cancel) prove nothing and are never
+          // recorded.
+          shared.cache->record(sig, shared.epoch, shared.ctx, combo_cost);
         }
         if (request.progress) {
           SynthesisProgress progress;
@@ -301,11 +302,14 @@ SynthesisEngine::SynthesisEngine(SynthesisRequest request)
     : request_(std::move(request)) {}
 
 OptimizeResult SynthesisEngine::minimize() {
-  return minimize_spec(request_.spec, request_.parallelism.resolved_threads());
+  op_epoch_ = cache_.begin_op(request_.spec);
+  return minimize_spec(request_.spec, request_.parallelism.resolved_threads(),
+                       /*ctx=*/0);
 }
 
 OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
-                                              int threads) {
+                                              int threads,
+                                              std::uint64_t ctx) {
   spec.validate();
   util::Timer timer;
   OptimizeResult result;
@@ -338,7 +342,30 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     }
   }
 
+  const StaticScreens screens(spec, request_.pruning.static_screens);
+  // Monotonicity short-circuit: screens refuting even the *full market*
+  // palette proves every combo (a per-class subset of it) infeasible, so
+  // don't enumerate the combo space just to screen each entry — on wide
+  // markets that space runs into the millions.
+  {
+    Palettes full_market;
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      const auto rc = static_cast<dfg::ResourceClass>(cls);
+      if (spec.graph.ops_per_class()[cls] == 0) continue;
+      full_market[cls] = spec.catalog.vendors_by_cost(rc);
+    }
+    if (screens.refutes(full_market)) {
+      result.status = OptStatus::kInfeasible;
+      result.stats.combos_skipped_screen = 1;
+      result.stats.seconds = timer.elapsed_seconds();
+      return result;
+    }
+  }
   SharedSearch shared(ComboQueue(enumerate_palettes(spec, min_sizes)));
+  shared.screens = &screens;
+  shared.cache = request_.pruning.dominance_cache ? &cache_ : nullptr;
+  shared.epoch = op_epoch_;
+  shared.ctx = ctx;
   const int lanes = std::max(1, threads);
   if (lanes == 1) {
     search_worker(shared, request_, spec, timer, progress_mutex_);
@@ -357,6 +384,31 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
 
   result.stats = shared.stats;
   result.stats.seconds = timer.elapsed_seconds();
+
+  // Seal this sub-search's cache contribution down to its deterministic
+  // prefix: only refutations of sets cheaper than the final incumbent are
+  // dispatched in *every* run (the cheapest-first queue cannot stop while
+  // cheaper sets remain), so only those may become skip-visible to later
+  // operations. Then classify the deferred truncated evaluations — a
+  // completed dominance proof retroactively covers a truncated set, which
+  // can turn a '*' result into a proven one without any extra search.
+  const long long keep_below =
+      shared.have_incumbent ? shared.best_cost
+                            : std::numeric_limits<long long>::max();
+  if (shared.cache) {
+    shared.cache->finalize_context(shared.epoch, ctx, keep_below);
+  }
+  long long cheapest_inconclusive = -1;
+  for (const auto& [combo_cost, sig] : shared.inconclusives) {
+    if (shared.cache && shared.cache->dominated(sig, shared.epoch, ctx)) {
+      continue;  // proven infeasible after all; not an unknown
+    }
+    ++result.stats.unknown_combos;
+    if (cheapest_inconclusive < 0 || combo_cost < cheapest_inconclusive) {
+      cheapest_inconclusive = combo_cost;
+    }
+  }
+
   long long next_cost = 0;
   const bool queue_drained = !shared.queue.peek(next_cost);
   if (shared.have_incumbent) {
@@ -367,10 +419,10 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     const bool no_cheaper_left =
         queue_drained || next_cost >= shared.best_cost;
     const bool proven = no_cheaper_left &&
-                        (shared.cheapest_inconclusive < 0 ||
-                         shared.cheapest_inconclusive >= shared.best_cost);
+                        (cheapest_inconclusive < 0 ||
+                         cheapest_inconclusive >= shared.best_cost);
     result.status = proven ? OptStatus::kOptimal : OptStatus::kFeasible;
-  } else if (queue_drained && shared.stats.unknown_combos == 0) {
+  } else if (queue_drained && result.stats.unknown_combos == 0) {
     result.status = OptStatus::kInfeasible;
   } else {
     result.status = OptStatus::kUnknown;
@@ -387,12 +439,15 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
 }
 
 SplitResult SynthesisEngine::minimize_total_latency(int lambda_total) {
+  op_epoch_ = cache_.begin_op(request_.spec);
   return split_minimize(request_.spec, lambda_total,
-                        request_.parallelism.resolved_threads());
+                        request_.parallelism.resolved_threads(),
+                        /*ctx_base=*/0);
 }
 
 SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
-                                            int lambda_total, int threads) {
+                                            int lambda_total, int threads,
+                                            std::uint64_t ctx_base) {
   util::check_spec(base.with_recovery,
                    "minimize_total_latency requires recovery mode");
   const int critical_path =
@@ -413,7 +468,8 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
                 ProblemSpec spec = base;
                 spec.lambda_detection = splits[i];
                 spec.lambda_recovery = lambda_total - splits[i];
-                attempts[i] = minimize_spec(spec, inner_threads);
+                attempts[i] =
+                    minimize_spec(spec, inner_threads, ctx_base + i + 1);
               });
 
   // Fold in ascending lambda_det order — the same deterministic pick the
@@ -456,6 +512,7 @@ std::vector<FrontierPoint> SynthesisEngine::sweep_frontier(
     const FrontierSweep& sweep) {
   const ProblemSpec& base = request_.spec;
   const int threads = request_.parallelism.resolved_threads();
+  op_epoch_ = cache_.begin_op(base);
   std::vector<FrontierPoint> frontier(sweep.values.size());
   if (sweep.axis == FrontierSweep::Axis::kArea) {
     run_indexed(sweep.values.size(), threads,
@@ -463,7 +520,8 @@ std::vector<FrontierPoint> SynthesisEngine::sweep_frontier(
                   ProblemSpec spec = base;
                   spec.area_limit = sweep.values[i];
                   frontier[i].constraint = sweep.values[i];
-                  frontier[i].result = minimize_spec(spec, inner_threads);
+                  frontier[i].result =
+                      minimize_spec(spec, inner_threads, i + 1);
                 });
     return frontier;
   }
@@ -479,8 +537,11 @@ std::vector<FrontierPoint> SynthesisEngine::sweep_frontier(
                 if (lambda_total < 2 * critical_path) {
                   frontier[i].result.status = OptStatus::kInfeasible;
                 } else {
+                  // ctx_base keeps the nested splits of different sweep
+                  // points in disjoint cache contexts.
                   frontier[i].result =
-                      split_minimize(base, lambda_total, inner_threads)
+                      split_minimize(base, lambda_total, inner_threads,
+                                     (i + 1) << 20)
                           .result;
                 }
               });
@@ -503,7 +564,12 @@ OptimizeResult SynthesisEngine::reoptimize(
       return result;
     }
   }
-  return minimize_spec(thinned, request_.parallelism.resolved_threads());
+  // The thinned catalog keeps vendor ids and offer areas, so every sealed
+  // refutation transfers: quarantine re-searches skip straight past the
+  // license sets the original search already disproved.
+  op_epoch_ = cache_.begin_op(thinned);
+  return minimize_spec(thinned, request_.parallelism.resolved_threads(),
+                       /*ctx=*/0);
 }
 
 SynthesisRequest make_request(const ProblemSpec& spec,

@@ -33,6 +33,7 @@
 
 #include "core/frontier.hpp"
 #include "core/optimizer.hpp"
+#include "core/search_cache.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ht::core {
@@ -61,6 +62,22 @@ struct Parallelism {
   }
 };
 
+/// Prune-before-solve toggles (see core/search_cache.hpp). Both default on;
+/// disabling them reproduces the pre-pruning engine exactly (A/B baselines,
+/// determinism cross-checks). Neither changes statuses, costs or bindings —
+/// skips carry complete infeasibility proofs.
+struct PruningOptions {
+  /// Skip license sets dominated by a sealed infeasibility proof from an
+  /// earlier operation on the same engine (reoptimize, repeated minimize,
+  /// successive sweeps), and reclassify truncated evaluations a completed
+  /// proof covers.
+  bool dominance_cache = true;
+  /// Refute license sets by static occupancy/area/capacity/clique bounds
+  /// before any CSP dispatch. When off, only the legacy phase-density area
+  /// precheck runs.
+  bool static_screens = true;
+};
+
 /// Snapshot passed to the progress callback after each evaluated license
 /// set. Callbacks are serialized under the engine's commit lock — they may
 /// be called from any worker thread but never concurrently; keep them fast.
@@ -81,6 +98,7 @@ struct SynthesisRequest {
   Strategy strategy = Strategy::kExact;
   SearchLimits limits;
   Parallelism parallelism;
+  PruningOptions pruning;
   std::uint64_t seed = 1;
   ProgressFn progress;                      ///< optional
   const util::CancelToken* cancel = nullptr;  ///< optional; not owned
@@ -122,14 +140,27 @@ class SynthesisEngine {
   /// offers left.
   OptimizeResult reoptimize(const std::set<LicenseKey>& banned);
 
+  /// Complete infeasibility proofs accumulated across this engine's
+  /// operations (see core/search_cache.hpp). Exposed for tests and stats;
+  /// cleared automatically when an operation runs a structurally
+  /// incompatible spec.
+  const SearchCache& cache() const { return cache_; }
+
  private:
   /// minimize() against an explicit spec (splits/frontier points override
-  /// fields of the request's spec), with an explicit thread budget.
-  OptimizeResult minimize_spec(const ProblemSpec& spec, int threads);
+  /// fields of the request's spec), with an explicit thread budget. `ctx`
+  /// identifies this sub-search among the operation's concurrent siblings
+  /// for cache-entry scoping.
+  OptimizeResult minimize_spec(const ProblemSpec& spec, int threads,
+                               std::uint64_t ctx);
   SplitResult split_minimize(const ProblemSpec& base, int lambda_total,
-                             int threads);
+                             int threads, std::uint64_t ctx_base);
 
   SynthesisRequest request_;
+  SearchCache cache_;
+  /// Epoch of the current public operation (set by SearchCache::begin_op
+  /// before sub-searches fan out; read-only while they run).
+  std::uint64_t op_epoch_ = 0;
   /// Serializes the user progress callback across concurrent sub-searches
   /// (split sweeps and frontier points share one engine).
   std::mutex progress_mutex_;

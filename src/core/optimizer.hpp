@@ -57,7 +57,12 @@ std::string to_string(OptStatus status);
 
 struct OptimizeStats {
   long combos_tried = 0;
-  long combos_skipped_by_bound = 0;
+  /// License sets refuted by the static feasibility screens (area /
+  /// capacity / clique bounds) before any CSP dispatch.
+  long combos_skipped_screen = 0;
+  /// License sets skipped because a sealed dominance-cache entry (see
+  /// core/search_cache.hpp) already proves them infeasible.
+  long combos_skipped_cache = 0;
   long unknown_combos = 0;
   long csp_nodes = 0;
   double seconds = 0.0;

@@ -1,6 +1,7 @@
 #include "core/palette.hpp"
 
 #include <algorithm>
+#include <string>
 
 namespace ht::core {
 
@@ -22,8 +23,13 @@ enumerate_palettes(
       if (spec.catalog.offers(v, rc)) offering.push_back(v);
     }
     const int count = static_cast<int>(offering.size());
-    util::check_spec(count <= 24,
-                     "enumerate_palettes: too many vendors to enumerate");
+    util::check_spec(count <= kMaxVendors,
+                     "enumerate_palettes: catalog offers class " +
+                         dfg::resource_class_name(rc) + " from " +
+                         std::to_string(count) +
+                         " vendors, above the kMaxVendors cap of " +
+                         std::to_string(kMaxVendors) +
+                         " (see core/problem.hpp)");
     const int min_size = std::max(1, min_sizes[cls]);
     for (unsigned mask = 1; mask < (1u << count); ++mask) {
       if (__builtin_popcount(mask) < min_size) continue;

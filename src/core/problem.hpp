@@ -16,6 +16,14 @@
 
 namespace ht::core {
 
+/// Hard cap on catalog vendors, shared by every solver layer. The CSP
+/// solver and the infeasibility dominance cache encode vendor sets as
+/// 64-bit masks, and palette enumeration materializes per-class vendor
+/// subsets — tractable only well below the mask width. One constant so the
+/// layers cannot drift apart: a catalog accepted by the enumerator is
+/// always representable by the bitmask engines, and vice versa.
+inline constexpr int kMaxVendors = 24;
+
 /// Which of the paper's design rules are active. All default on; benches
 /// toggle them for ablations, and `sibling_diversity_all_copies` selects
 /// between the paper's literal equation (7) (NC only) and the symmetric

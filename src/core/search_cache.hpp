@@ -1,0 +1,152 @@
+// Prune-before-solve machinery for the license-set search.
+//
+// Two layers, both producing *complete* infeasibility proofs so the
+// cheapest-first optimality argument is untouched:
+//
+//  - SearchCache: a cross-palette infeasibility dominance cache. When the
+//    complete CSP (or a static screen) refutes a palette tuple, the tuple's
+//    per-class vendor bitmasks plus the latency/area bounds it was refuted
+//    under are recorded. A later tuple is skipped when some recorded
+//    refutation dominates it: per class the query's mask is a subset of the
+//    entry's, and the query's bounds are no looser. This is the CSP
+//    monotonicity lemma — removing vendors (or tightening λ/area) only
+//    removes values from the search, so infeasibility is inherited.
+//    Entries survive across engine operations, which is where the hits
+//    come from: within a single cheapest-first sweep a strict subset of a
+//    refuted tuple is always *cheaper* and therefore already visited, but
+//    reoptimize() (thinned market), repeated minimize() calls, tighter
+//    frontier points and λ re-splits re-pose dominated tuples constantly.
+//
+//  - StaticScreens: pure spec+palette feasibility tests run before any CSP
+//    dispatch — an occupancy-pressure area lower bound, a per-class
+//    instance-capacity check, and a Hall-style vendor-diversity bound over
+//    greedy conflict cliques.
+//
+// Determinism contract (see DESIGN.md "Pruned license-set search"): skips
+// consult only entries *sealed* by a previous engine operation; an
+// operation's own entries become skip-visible only after finalize_context()
+// prunes them to the deterministically-dispatched prefix (combo cost below
+// the final incumbent). Screens are pure functions and need no scoping.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/csp_solver.hpp"
+
+namespace ht::core {
+
+/// Everything CSP feasibility of a palette tuple depends on, besides the
+/// spec family (graph/rules/latencies/catalog areas) the cache is keyed to.
+struct PaletteSignature {
+  std::array<std::uint64_t, dfg::kNumResourceClasses> masks{};
+  int lambda_detection = 0;
+  int lambda_recovery = 0;  ///< 0 when the spec has no recovery phase
+  long long area_limit = 0;
+};
+
+PaletteSignature signature_of(const ProblemSpec& spec,
+                              const Palettes& palettes);
+
+/// Thread-safe store of complete infeasibility proofs, sharded over
+/// reader/writer mutexes (queries take shared locks only).
+class SearchCache {
+ public:
+  SearchCache() = default;
+
+  /// Marks the start of a public engine operation: seals every entry
+  /// recorded so far (making it visible to dominance skips) and drops the
+  /// whole store when `spec` is structurally incompatible with the spec
+  /// family the entries were proved under (different graph, rules, class
+  /// latencies, recovery mode, instance caps, vendor count, or a changed
+  /// area for an offer both catalogs carry — a *thinned* catalog with
+  /// unchanged areas keeps every entry, which is what makes reoptimize()
+  /// fast). Not thread-safe: public engine operations are serialized.
+  /// Returns the epoch the new operation runs under.
+  std::uint64_t begin_op(const ProblemSpec& spec);
+
+  /// Records a complete infeasibility proof for `sig`, tagged with the
+  /// producing operation's epoch, sub-search context, and the license cost
+  /// of the refuted tuple. Never call for node-limit / timeout / cancelled
+  /// outcomes — those prove nothing.
+  void record(const PaletteSignature& sig, std::uint64_t epoch,
+              std::uint64_t ctx, long long combo_cost);
+
+  /// True when an entry sealed before `epoch` dominates `sig`. This is the
+  /// only query the dispatch loop may use: the frozen tier is identical
+  /// for every thread count.
+  bool dominated_frozen(const PaletteSignature& sig,
+                        std::uint64_t epoch) const;
+
+  /// Post-search query for reclassifying truncated (inconclusive)
+  /// evaluations: frozen entries plus the operation's own context. Call
+  /// only after finalize_context() has pruned the context to its
+  /// deterministic prefix.
+  bool dominated(const PaletteSignature& sig, std::uint64_t epoch,
+                 std::uint64_t ctx) const;
+
+  /// Drops this context's entries with combo cost >= keep_below. Every
+  /// surviving entry came from a queue position that is dispatched in
+  /// every run (the cheapest-first queue cannot stop while sets cheaper
+  /// than the final incumbent remain), so the sealed tier stays
+  /// deterministic across thread counts.
+  void finalize_context(std::uint64_t epoch, std::uint64_t ctx,
+                        long long keep_below);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    PaletteSignature sig;
+    long long combo_cost = 0;
+    std::uint64_t epoch = 0;
+    std::uint64_t ctx = 0;
+  };
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::vector<Entry> entries;
+  };
+  static constexpr int kShards = 16;
+
+  static bool entry_dominates(const Entry& entry, const PaletteSignature& q);
+  int shard_of(const PaletteSignature& sig) const;
+  bool query(const PaletteSignature& sig, std::uint64_t epoch,
+             std::uint64_t ctx, bool frozen_only) const;
+
+  std::array<Shard, kShards> shards_;
+  std::uint64_t epoch_ = 0;
+  /// Structural fingerprint of the spec family; 0 = no family adopted yet.
+  std::uint64_t fingerprint_ = 0;
+  /// Offer areas seen so far, (vendor * kNumResourceClasses + cls) -> area,
+  /// -1 where no offer has been seen. Grown unioning across operations;
+  /// any area mismatch on an offer both specs carry invalidates the store.
+  std::vector<long long> offer_areas_;
+};
+
+/// Static feasibility screens: complete refutations from spec + palette
+/// structure alone, no search. `enhanced == false` keeps only the legacy
+/// phase-density area bound (the engine's historical precheck), which gives
+/// A/B benchmarks a faithful baseline mode.
+class StaticScreens {
+ public:
+  StaticScreens(const ProblemSpec& spec, bool enhanced);
+
+  /// True = proof that no schedule/binding exists under this palette.
+  bool refutes(const Palettes& palettes) const;
+
+ private:
+  const ProblemSpec& spec_;
+  bool enhanced_ = false;
+  std::array<int, dfg::kNumResourceClasses> op_counts_{};
+  /// Lower bound on concurrent instances of each class (max over phases of
+  /// occupancy pressure and phase-density ceilings).
+  std::array<int, dfg::kNumResourceClasses> min_instances_{};
+  /// Per deduplicated greedy conflict clique: member count per class.
+  std::vector<std::array<int, dfg::kNumResourceClasses>> clique_counts_;
+};
+
+}  // namespace ht::core

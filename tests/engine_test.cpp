@@ -74,6 +74,10 @@ TEST(EngineDeterminismTest, OneThreadAndFourThreadsAgreeOnPaperSuite) {
   long total_combos = 0;
   for (const benchmarks::BenchmarkCase& bench : benchmarks::paper_suite()) {
     SynthesisRequest request = budgeted_request(suite_spec(bench));
+    // Screens off: this test covers the parallel CSP commit machinery, so
+    // the cheaper-set disproofs must come from actual worker evaluations
+    // (EnginePruningTest covers the screens-on determinism).
+    request.pruning.static_screens = false;
 
     request.parallelism.threads = 1;
     SynthesisEngine serial(request);
@@ -231,6 +235,46 @@ TEST(EngineFacadeTest, MakeRequestCarriesEveryOption) {
   EXPECT_EQ(request.limits.max_combos, 77);
   EXPECT_EQ(request.seed, 42u);
   EXPECT_EQ(request.parallelism.threads, 3);
+}
+
+TEST(EnginePruningTest, CacheOnMatchesCacheOffAcrossThreadCounts) {
+  // The dominance cache must be invisible to results: cache-on runs at any
+  // thread count return bit-identical statuses/costs/bindings to a
+  // cache-off single-thread run on every paper benchmark.
+  for (const benchmarks::BenchmarkCase& bench : benchmarks::paper_suite()) {
+    SynthesisRequest reference_request = budgeted_request(suite_spec(bench));
+    reference_request.pruning.dominance_cache = false;
+    reference_request.parallelism.threads = 1;
+    SynthesisEngine reference_engine(reference_request);
+    const OptimizeResult reference = reference_engine.minimize();
+    EXPECT_EQ(reference.stats.combos_skipped_cache, 0);
+
+    for (const int threads : {1, 4, 8}) {
+      SynthesisRequest request = budgeted_request(suite_spec(bench));
+      request.parallelism.threads = threads;  // pruning defaults on
+      SynthesisEngine engine(std::move(request));
+      expect_identical(reference, engine.minimize(),
+                       bench.name + " cached @" + std::to_string(threads) +
+                           " threads");
+    }
+  }
+}
+
+TEST(EnginePruningTest, StaticScreensAreInvisibleToConclusiveSearches) {
+  // With the exact strategy and ample budgets every dispatched set gets a
+  // complete verdict, so the screens only change *where* a refutation is
+  // proved, never the outcome.
+  for (const char* name : {"polynom", "mof2", "diff2"}) {
+    SynthesisRequest on_request = budgeted_request(
+        suite_spec(benchmarks::by_name(name)));
+    on_request.strategy = Strategy::kExact;
+    SynthesisRequest off_request = on_request;
+    off_request.pruning.static_screens = false;
+    SynthesisEngine on_engine(std::move(on_request));
+    SynthesisEngine off_engine(std::move(off_request));
+    expect_identical(off_engine.minimize(), on_engine.minimize(),
+                     std::string(name) + " screens A/B");
+  }
 }
 
 }  // namespace

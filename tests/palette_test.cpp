@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <numeric>
 #include <set>
 
 #include "core/palette.hpp"
 #include "test_helpers.hpp"
+#include "util/status.hpp"
 
 namespace ht::core {
 namespace {
@@ -102,6 +104,62 @@ TEST(PaletteTest, MinimumSizeFiltersSubsets) {
   EXPECT_EQ(options[static_cast<int>(ResourceClass::kAdder)][0]
                 .vendors.size(),
             4u);
+}
+
+/// Adder-only one-op spec on a market of `num_vendors` vendors, all
+/// offering only adders — the minimal shape for probing the vendor cap.
+ProblemSpec wide_market_spec(int num_vendors) {
+  dfg::Dfg graph("wide");
+  const dfg::Operand a = graph.add_input("a");
+  const dfg::Operand b = graph.add_input("b");
+  graph.mark_output(graph.add(a, b));
+
+  vendor::Catalog catalog(num_vendors);
+  for (vendor::VendorId v = 0; v < num_vendors; ++v) {
+    catalog.set_offer(v, ResourceClass::kAdder, {100 + v, 100 + v});
+  }
+
+  ProblemSpec spec;
+  spec.graph = graph;
+  spec.catalog = catalog;
+  spec.lambda_detection = 2;
+  spec.with_recovery = false;
+  spec.area_limit = 1'000'000;
+  return spec;
+}
+
+TEST(PaletteLimitsTest, MarketOfExactlyKMaxVendorsIsAccepted) {
+  const ProblemSpec spec = wide_market_spec(kMaxVendors);
+  const auto options = enumerate_palettes(spec, {kMaxVendors, 0, 0});
+  const auto& adders = options[static_cast<int>(ResourceClass::kAdder)];
+  ASSERT_EQ(adders.size(), 1u);
+  EXPECT_EQ(adders[0].vendors.size(), static_cast<std::size_t>(kMaxVendors));
+
+  // The CSP's vendor bitmasks must hold the full-width palette too.
+  Palettes palettes;
+  palettes[static_cast<int>(ResourceClass::kAdder)] = adders[0].vendors;
+  const CspResult result = schedule_and_bind(spec, palettes, {});
+  EXPECT_EQ(result.status, CspResult::Status::kFeasible);
+}
+
+TEST(PaletteLimitsTest, MarketAboveKMaxVendorsIsRejectedEverywhere) {
+  const ProblemSpec spec = wide_market_spec(kMaxVendors + 1);
+  EXPECT_THROW(enumerate_palettes(spec, {1, 0, 0}), util::SpecError);
+
+  Palettes palettes;
+  auto& adders = palettes[static_cast<int>(ResourceClass::kAdder)];
+  adders.resize(static_cast<std::size_t>(kMaxVendors + 1));
+  std::iota(adders.begin(), adders.end(), 0);
+  EXPECT_THROW(schedule_and_bind(spec, palettes, {}), util::SpecError);
+
+  // Both rejections should point the user at the shared constant.
+  try {
+    enumerate_palettes(spec, {1, 0, 0});
+    FAIL() << "expected SpecError";
+  } catch (const util::SpecError& error) {
+    EXPECT_NE(std::string(error.what()).find("kMaxVendors"),
+              std::string::npos);
+  }
 }
 
 }  // namespace

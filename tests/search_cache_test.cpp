@@ -1,0 +1,328 @@
+// Tests for the prune-before-solve layer (core/search_cache.hpp).
+//
+// Three concerns, in order of load-bearing-ness:
+//  1. The monotonicity lemma the dominance cache rests on: whenever the
+//     complete CSP refutes a palette, every per-class vendor subset of it
+//     is also refuted by a direct CSP run. Checked property-style on
+//     random DFGs and random catalogs. The static screens are checked for
+//     soundness on the same trials (they must never refute a palette the
+//     CSP can solve).
+//  2. SearchCache scoping semantics: entries are invisible to dominance
+//     skips until sealed by the next begin_op, dominance requires
+//     subset masks and no-looser bounds, finalize_context prunes an
+//     operation's entries to the deterministic prefix, and begin_op keeps
+//     the store across thinned-market respins but drops it on structural
+//     spec changes.
+//  3. Engine-level payoff: repeated minimize() and reoptimize() on one
+//     engine skip sealed refutations (combos_skipped_cache > 0) while
+//     returning exactly what a cache-disabled fresh engine returns.
+#include "core/search_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "benchmarks/random_dfg.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
+#include "core/reoptimize.hpp"
+#include "dfg/analysis.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht::core {
+namespace {
+
+using dfg::ResourceClass;
+
+PaletteSignature make_sig(std::uint64_t adders, std::uint64_t multipliers,
+                          int lambda_detection, int lambda_recovery,
+                          long long area_limit) {
+  PaletteSignature sig;
+  sig.masks[static_cast<int>(ResourceClass::kAdder)] = adders;
+  sig.masks[static_cast<int>(ResourceClass::kMultiplier)] = multipliers;
+  sig.lambda_detection = lambda_detection;
+  sig.lambda_recovery = lambda_recovery;
+  sig.area_limit = area_limit;
+  return sig;
+}
+
+TEST(SearchCacheTest, EntriesAreScopedUntilSealed) {
+  SearchCache cache;
+  const ProblemSpec spec = test::motivational_spec();
+  const std::uint64_t e1 = cache.begin_op(spec);
+  const PaletteSignature sig = make_sig(0b0111, 0b0011, 4, 3, 22000);
+  cache.record(sig, e1, /*ctx=*/7, /*combo_cost=*/500);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // The dispatch-loop query must not see the producing operation's own
+  // entries; the post-search query sees them only under the producing ctx.
+  EXPECT_FALSE(cache.dominated_frozen(sig, e1));
+  EXPECT_TRUE(cache.dominated(sig, e1, 7));
+  EXPECT_FALSE(cache.dominated(sig, e1, 3));
+
+  const std::uint64_t e2 = cache.begin_op(spec);
+  EXPECT_TRUE(cache.dominated_frozen(sig, e2));
+  EXPECT_TRUE(cache.dominated(sig, e2, 0));
+}
+
+TEST(SearchCacheTest, DominanceNeedsSubsetMasksAndNoLooserBounds) {
+  SearchCache cache;
+  const ProblemSpec spec = test::motivational_spec();
+  const std::uint64_t e1 = cache.begin_op(spec);
+  cache.record(make_sig(0b0111, 0b0011, 4, 3, 22000), e1, 0, 500);
+  const std::uint64_t e2 = cache.begin_op(spec);
+
+  // Subset masks and equal-or-tighter bounds inherit the refutation.
+  EXPECT_TRUE(cache.dominated_frozen(make_sig(0b0111, 0b0011, 4, 3, 22000), e2));
+  EXPECT_TRUE(cache.dominated_frozen(make_sig(0b0101, 0b0001, 4, 3, 22000), e2));
+  EXPECT_TRUE(cache.dominated_frozen(make_sig(0b0111, 0b0011, 3, 2, 20000), e2));
+
+  // Any extra vendor or any loosened bound voids the proof.
+  EXPECT_FALSE(
+      cache.dominated_frozen(make_sig(0b1111, 0b0011, 4, 3, 22000), e2));
+  EXPECT_FALSE(
+      cache.dominated_frozen(make_sig(0b0111, 0b0111, 4, 3, 22000), e2));
+  EXPECT_FALSE(
+      cache.dominated_frozen(make_sig(0b0111, 0b0011, 5, 3, 22000), e2));
+  EXPECT_FALSE(
+      cache.dominated_frozen(make_sig(0b0111, 0b0011, 4, 4, 22000), e2));
+  EXPECT_FALSE(
+      cache.dominated_frozen(make_sig(0b0111, 0b0011, 4, 3, 30000), e2));
+}
+
+TEST(SearchCacheTest, FinalizeContextKeepsOnlyTheDeterministicPrefix) {
+  SearchCache cache;
+  const ProblemSpec spec = test::motivational_spec();
+  const std::uint64_t e1 = cache.begin_op(spec);
+  // Disjoint masks so neither entry compacts the other away.
+  cache.record(make_sig(0b0001, 0, 4, 3, 22000), e1, 0, /*combo_cost=*/100);
+  cache.record(make_sig(0b0010, 0, 4, 3, 22000), e1, 0, /*combo_cost=*/900);
+  ASSERT_EQ(cache.size(), 2u);
+
+  // Entries at or above the final incumbent cost may have been dispatched
+  // speculatively (thread-count dependent) — finalize drops them.
+  cache.finalize_context(e1, 0, /*keep_below=*/500);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const std::uint64_t e2 = cache.begin_op(spec);
+  EXPECT_TRUE(cache.dominated_frozen(make_sig(0b0001, 0, 4, 3, 22000), e2));
+  EXPECT_FALSE(cache.dominated_frozen(make_sig(0b0010, 0, 4, 3, 22000), e2));
+}
+
+TEST(SearchCacheTest, BeginOpKeepsEntriesForThinnedMarketsOnly) {
+  SearchCache cache;
+  ProblemSpec spec = test::motivational_spec();
+  const std::uint64_t e1 = cache.begin_op(spec);
+  cache.record(make_sig(0b0011, 0b0001, 4, 3, 22000), e1, 0, 500);
+  ASSERT_EQ(cache.size(), 1u);
+
+  // Different bounds are carried inside signatures, not the spec family.
+  ProblemSpec tighter = spec;
+  tighter.area_limit = 20000;
+  cache.begin_op(tighter);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A thinned catalog (offers removed, areas unchanged) keeps the store —
+  // this is what makes reoptimize() benefit from earlier proofs.
+  ProblemSpec thinned = spec;
+  thinned.catalog = without_licenses(
+      spec.catalog, {LicenseKey{0, ResourceClass::kAdder}});
+  cache.begin_op(thinned);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Changing the area of an offer both catalogs carry invalidates every
+  // proof (the CSP's area math changed under the entries).
+  ProblemSpec rearea = spec;
+  vendor::IpOffer offer = spec.catalog.offer(1, ResourceClass::kAdder);
+  offer.area += 1000;
+  rearea.catalog.set_offer(1, ResourceClass::kAdder, offer);
+  cache.begin_op(rearea);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Rebuild, then change the graph: structural mismatch also clears.
+  const std::uint64_t e5 = cache.begin_op(spec);
+  cache.record(make_sig(0b0011, 0b0001, 4, 3, 22000), e5, 0, 500);
+  ASSERT_EQ(cache.size(), 1u);
+  ProblemSpec regraph = spec;
+  regraph.graph = benchmarks::by_name("mof2").factory();
+  cache.begin_op(regraph);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The monotonicity lemma, property-style.
+
+vendor::Catalog random_catalog(int num_vendors, util::Rng& rng) {
+  vendor::Catalog catalog(num_vendors);
+  for (int v = 0; v < num_vendors; ++v) {
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      vendor::IpOffer offer;
+      offer.area = static_cast<int>(80 + 40 * rng.uniform_int(1, 6));
+      offer.cost =
+          static_cast<int>(100 * (v + 1) + 10 * cls + rng.uniform_int(1, 50));
+      catalog.set_offer(v, static_cast<ResourceClass>(cls), offer);
+    }
+  }
+  return catalog;
+}
+
+TEST(MonotonicityLemmaTest, SubsetsOfRefutedPalettesAreRefuted) {
+  util::Rng rng(20260806);
+  CspOptions options;
+  options.max_nodes = 2'000'000;
+
+  int refuted_palettes = 0;
+  int checked_subsets = 0;
+  for (int trial = 0; trial < 60 && refuted_palettes < 6; ++trial) {
+    benchmarks::RandomDfgConfig config;
+    config.num_ops = static_cast<int>(7 + rng.uniform_int(0, 4));
+    config.edge_probability = 0.5;
+
+    ProblemSpec spec;
+    spec.graph = benchmarks::random_dfg(config, rng);
+    spec.catalog =
+        random_catalog(static_cast<int>(3 + rng.uniform_int(0, 2)), rng);
+    const int critical_path =
+        dfg::critical_path_length(spec.graph, spec.op_latencies());
+    spec.lambda_detection =
+        critical_path + static_cast<int>(rng.uniform_int(0, 1));
+    spec.lambda_recovery = critical_path;
+    spec.with_recovery = true;
+    spec.area_limit = 1500 + 400 * rng.uniform_int(0, 4);
+    // One instance per license keeps small palettes genuinely scarce.
+    spec.max_instances_per_offer = 1;
+
+    const auto ops_per_class = spec.graph.ops_per_class();
+    const int num_vendors = spec.catalog.num_vendors();
+    Palettes palettes;
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      if (ops_per_class[cls] == 0) continue;
+      const int size = std::min<int>(
+          num_vendors, static_cast<int>(2 + rng.uniform_int(0, 1)));
+      while (static_cast<int>(palettes[cls].size()) < size) {
+        const auto v =
+            static_cast<vendor::VendorId>(rng.uniform_int(0, num_vendors - 1));
+        if (std::find(palettes[cls].begin(), palettes[cls].end(), v) ==
+            palettes[cls].end()) {
+          palettes[cls].push_back(v);
+        }
+      }
+      std::sort(palettes[cls].begin(), palettes[cls].end());
+    }
+
+    const StaticScreens screens(spec, /*enhanced=*/true);
+    const bool screened = screens.refutes(palettes);
+    const CspResult result = schedule_and_bind(spec, palettes, options);
+
+    if (result.status == CspResult::Status::kFeasible) {
+      // Screens are complete proofs: refuting a solvable palette would be
+      // unsound and would silently corrupt optimizer results.
+      EXPECT_FALSE(screened) << "static screen refuted a solvable palette";
+      continue;
+    }
+    if (result.status != CspResult::Status::kInfeasible) continue;
+
+    ++refuted_palettes;
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      if (palettes[cls].size() < 2) continue;
+      for (std::size_t drop = 0; drop < palettes[cls].size(); ++drop) {
+        Palettes subset = palettes;
+        subset[cls].erase(subset[cls].begin() +
+                          static_cast<std::ptrdiff_t>(drop));
+        const CspResult sub = schedule_and_bind(spec, subset, options);
+        EXPECT_EQ(sub.status, CspResult::Status::kInfeasible)
+            << "dropping vendor " << palettes[cls][drop] << " of class "
+            << cls << " broke the monotonicity lemma (trial " << trial << ")";
+        ++checked_subsets;
+      }
+    }
+  }
+  // The trial mix must actually exercise the lemma, not vacuously pass.
+  EXPECT_GE(refuted_palettes, 3);
+  EXPECT_GT(checked_subsets, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level payoff: sealed proofs prune later operations.
+
+/// polynom on the Section 5 catalog, tight enough that the cheapest-first
+/// search refutes several license sets before the winner.
+ProblemSpec contested_spec() {
+  ProblemSpec spec;
+  spec.graph = benchmarks::by_name("polynom").factory();
+  spec.catalog = vendor::section5();
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path;
+  spec.lambda_recovery = critical_path;
+  spec.with_recovery = true;
+  spec.area_limit = 400000;
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+/// Request with the static screens off, so every refutation is a CSP proof
+/// and the dominance cache (the thing under test) gets all the credit.
+SynthesisRequest cache_only_request() {
+  SynthesisRequest request;
+  request.spec = contested_spec();
+  request.pruning.static_screens = false;
+  return request;
+}
+
+void expect_same_outcome(const OptimizeResult& a, const OptimizeResult& b,
+                         const ProblemSpec& spec) {
+  ASSERT_EQ(a.status, b.status);
+  EXPECT_EQ(a.cost, b.cost);
+  if (a.has_solution() && b.has_solution()) {
+    EXPECT_EQ(a.solution.licenses_used(spec), b.solution.licenses_used(spec));
+  }
+}
+
+TEST(SearchCacheEngineTest, RepeatedMinimizeSkipsSealedRefutations) {
+  const SynthesisRequest request = cache_only_request();
+  SynthesisEngine engine(request);
+
+  const OptimizeResult first = engine.minimize();
+  ASSERT_TRUE(first.has_solution());
+  // A fresh engine has nothing sealed, so nothing can be skipped.
+  EXPECT_EQ(first.stats.combos_skipped_cache, 0);
+  ASSERT_GT(first.stats.combos_tried, 1)
+      << "spec too easy to exercise the cache";
+
+  const OptimizeResult second = engine.minimize();
+  expect_same_outcome(first, second, request.spec);
+  EXPECT_GT(second.stats.combos_skipped_cache, 0);
+  EXPECT_LT(second.stats.combos_tried, first.stats.combos_tried);
+}
+
+TEST(SearchCacheEngineTest, ReoptimizeReusesSealedProofs) {
+  const SynthesisRequest request = cache_only_request();
+  SynthesisEngine engine(request);
+
+  const OptimizeResult first = engine.minimize();
+  ASSERT_TRUE(first.has_solution());
+  const std::set<LicenseKey> used = first.solution.licenses_used(request.spec);
+  ASSERT_FALSE(used.empty());
+  const std::set<LicenseKey> banned = {*used.begin()};
+
+  const OptimizeResult respin = engine.reoptimize(banned);
+
+  // Ground truth: a fresh cache-disabled engine on the thinned market.
+  SynthesisRequest fresh = request;
+  fresh.spec.catalog = without_licenses(request.spec.catalog, banned);
+  fresh.pruning.dominance_cache = false;
+  SynthesisEngine baseline(fresh);
+  const OptimizeResult expected = baseline.minimize();
+
+  expect_same_outcome(expected, respin, fresh.spec);
+  // The sealed refutations from minimize() carry over to the thinned
+  // market (identical signatures re-posed by the cheaper queue prefix).
+  EXPECT_GT(respin.stats.combos_skipped_cache, 0);
+}
+
+}  // namespace
+}  // namespace ht::core
