@@ -279,13 +279,21 @@ void print_parallel_scaling(int threads) {
             "the answer — only the wall clock)\n");
 }
 
-// Prune-before-solve study: identical budgets, pruning off (the historical
-// engine behavior) vs on (dominance cache + static screens, the default).
-// Pruned runs resolve the exact same cheapest-first budget window — every
+// Prune-before-solve study: identical budgets, three engine modes.
+//
+//   off    — no pruning at all (the historical engine behavior)
+//   on     — static screens + dominance cache, chronological CSP
+//   learn  — everything on, plus the conflict-directed CSP (backjumping,
+//            nogood learning, Luby restarts re-armed by the restart budget)
+//
+// Off vs on resolve the exact same cheapest-first budget window — every
 // skip consumes a dispatch slot — so statuses and license costs must match
-// row by row; the saved CSP work is pure wall-clock.
+// row by row. Learning keeps every answer or *upgrades* it (a '*' row may
+// become proven): nogoods are sound deductions, so nothing feasible is
+// lost, and the restart schedule re-arms the per-set budget the
+// no-learning engine stopped spending after its single canonical descent.
 void print_pruning_study() {
-  std::puts("=== Prune-before-solve (static screens + dominance cache) ===\n");
+  std::puts("=== Prune-before-solve (screens + cache + nogood learning) ===\n");
 
   struct Row {
     std::string name;
@@ -301,8 +309,19 @@ void print_pruning_study() {
       {"ellipticicass mi=2", suite_like_spec("ellipticicass", 2, 2), 1'000});
   rows.push_back({"fir16", suite_like_spec("fir16", 2, 1), 1'000});
 
+  const auto rank = [](core::OptStatus status) {
+    // Proof strength for the upgrade check: unknown < starred feasible <
+    // proven (optimal / infeasible are both terminal proofs).
+    switch (status) {
+      case core::OptStatus::kUnknown: return 0;
+      case core::OptStatus::kFeasible: return 1;
+      default: return 2;
+    }
+  };
+
   util::TablePrinter table({"benchmark", "status", "mc", "off s", "on s",
-                            "speedup", "screened", "match"});
+                            "learn s", "speedup", "nodes off/learn",
+                            "match"});
   for (const Row& row : rows) {
     core::SynthesisRequest request;
     request.spec = row.spec;
@@ -315,6 +334,7 @@ void print_pruning_study() {
     core::SynthesisRequest off_request = request;
     off_request.pruning.dominance_cache = false;
     off_request.pruning.static_screens = false;
+    off_request.pruning.nogood_learning = false;
     core::SynthesisEngine off_engine(std::move(off_request));
     util::Timer timer;
     const core::OptimizeResult off = off_engine.minimize();
@@ -322,28 +342,46 @@ void print_pruning_study() {
     g_json.add(benchx::record_of("pruning_off/" + row.name, row.spec, 1,
                                  off, off_s));
 
-    core::SynthesisEngine on_engine(std::move(request));
+    core::SynthesisRequest on_request = request;
+    on_request.pruning.nogood_learning = false;
+    core::SynthesisEngine on_engine(std::move(on_request));
     timer.reset();
     const core::OptimizeResult on = on_engine.minimize();
     const double on_s = timer.elapsed_seconds();
     g_json.add(benchx::record_of("pruning_on/" + row.name, row.spec, 1, on,
                                  on_s));
 
+    core::SynthesisEngine learn_engine(std::move(request));
+    timer.reset();
+    const core::OptimizeResult learn = learn_engine.minimize();
+    const double learn_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("pruning_learn/" + row.name, row.spec, 1,
+                                 learn, learn_s));
+
+    // Off vs on: strict equality. Learning: equal or upgraded — same cost
+    // whenever both hold a solution, proof strength never weaker.
     const bool match =
         off.status == on.status &&
-        (!off.has_solution() || off.cost == on.cost);
+        (!off.has_solution() || off.cost == on.cost) &&
+        rank(learn.status) >= rank(on.status) &&
+        (!on.has_solution() || !learn.has_solution() ||
+         on.cost == learn.cost);
     table.add_row(
-        {row.name, core::to_string(on.status),
-         on.has_solution() ? util::format_money(on.cost) : std::string("-"),
+        {row.name, core::to_string(learn.status),
+         learn.has_solution() ? util::format_money(learn.cost)
+                              : std::string("-"),
          util::format_double(off_s, 2), util::format_double(on_s, 2),
-         util::format_double(off_s / std::max(on_s, 1e-3), 1) + "x",
-         std::to_string(on.stats.combos_skipped_screen),
+         util::format_double(learn_s, 2),
+         util::format_double(off_s / std::max(learn_s, 1e-3), 1) + "x",
+         std::to_string(off.stats.nodes_total) + "/" +
+             std::to_string(learn.stats.nodes_total),
          match ? "yes" : "NO"});
   }
   benchx::print_table(table, "pruning A/B (heuristic, 1 thread)");
-  std::puts("(screens refute license sets before any CSP dispatch; both "
-            "modes resolve the\nsame budget window, so mc/status must "
-            "match while the wall clock drops)\n");
+  std::puts("(off vs on resolve the same budget window, so mc/status must "
+            "match; learning\nmay only upgrade an answer — '*' rows become "
+            "proven when conflict-directed\nsearch finishes the refutations "
+            "the canonical descent left truncated)\n");
 }
 
 // Cross-operation dominance-cache study. Screens are held off so every
@@ -426,27 +464,34 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 
 }  // namespace
 
-// Custom main (instead of HT_BENCH_MAIN): strip `--threads N` and
-// `--json <path>` before google-benchmark sees the argv, then run the
-// reproduction, the parallel-scaling / pruning / cache sections, and the
-// registered timings.
+// Custom main (instead of HT_BENCH_MAIN): strip `--threads N`,
+// `--json <path>` and `--fast` before google-benchmark sees the argv, then
+// run the reproduction, the parallel-scaling / pruning / cache sections,
+// and the registered timings. `--fast` runs only the node-budgeted pruning
+// and cache studies — the subset whose statuses and costs are reproducible
+// under any load, which is what the CI bench-smoke diff checks.
 int main(int argc, char** argv) {
   const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
   int threads =
       std::max(2, static_cast<int>(ht::util::ThreadPool::hardware_concurrency()));
+  bool fast = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[i + 1]);
       ++i;
+    } else if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
 
-  print_reproduction();
-  if (threads > 1) print_parallel_scaling(threads);
+  if (!fast) {
+    print_reproduction();
+    if (threads > 1) print_parallel_scaling(threads);
+  }
   print_pruning_study();
   print_cache_study();
 
@@ -459,6 +504,7 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  if (fast) return 0;
 
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

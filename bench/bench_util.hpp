@@ -63,6 +63,12 @@ struct JsonRecord {
   std::string status;
   long long cost = 0;
   long nodes = 0;
+  /// CSP nodes summed across every sub-search, non-winning split/frontier
+  /// attempts included (`nodes` keeps the winner-only historical meaning).
+  long nodes_total = 0;
+  long nogoods = 0;
+  long backjumps = 0;
+  long restarts = 0;
   long combos_tried = 0;
   long combos_skipped_cache = 0;
   long combos_skipped_screen = 0;
@@ -82,6 +88,10 @@ inline JsonRecord record_of(std::string benchmark,
   record.status = core::to_string(result.status);
   record.cost = result.cost;
   record.nodes = result.stats.csp_nodes;
+  record.nodes_total = result.stats.nodes_total;
+  record.nogoods = result.stats.nogoods_learned;
+  record.backjumps = result.stats.backjumps;
+  record.restarts = result.stats.restarts;
   record.combos_tried = result.stats.combos_tried;
   record.combos_skipped_cache = result.stats.combos_skipped_cache;
   record.combos_skipped_screen = result.stats.combos_skipped_screen;
@@ -108,6 +118,10 @@ class JsonReport {
           << ", \"area\": " << r.area << ", \"threads\": " << r.threads
           << ", \"status\": \"" << escaped(r.status) << "\""
           << ", \"cost\": " << r.cost << ", \"nodes\": " << r.nodes
+          << ", \"nodes_total\": " << r.nodes_total
+          << ", \"nogoods\": " << r.nogoods
+          << ", \"backjumps\": " << r.backjumps
+          << ", \"restarts\": " << r.restarts
           << ", \"combos_tried\": " << r.combos_tried
           << ", \"combos_skipped_cache\": " << r.combos_skipped_cache
           << ", \"combos_skipped_screen\": " << r.combos_skipped_screen

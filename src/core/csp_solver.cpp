@@ -1,14 +1,56 @@
 #include "core/csp_solver.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <map>
+#include <mutex>
+#include <unordered_set>
 
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
-#include "util/timer.hpp"
 
 namespace ht::core {
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-solve ceiling on learned nogoods. CBJ keeps working past the cap;
+/// only recording stops, so the cap bounds memory without hurting
+/// completeness.
+constexpr int kLearnCap = 512;
+
+/// Luby restart sequence 1,1,2,1,1,2,4,1,... (1-indexed), iteratively.
+long luby(long i) {
+  for (;;) {
+    long k = 1;
+    while (((1l << k) - 1) < i) ++k;
+    if (((1l << k) - 1) == i) return 1l << (k - 1);
+    i -= (1l << (k - 1)) - 1;
+  }
+}
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t hash_nogood(const CspNogood& nogood) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (const NogoodLit& lit : nogood.lits) {
+    mix(static_cast<std::uint64_t>(lit.copy));
+    mix(static_cast<std::uint64_t>(lit.vendor));
+    mix(static_cast<std::uint64_t>(lit.cycle_lo));
+    mix(static_cast<std::uint64_t>(lit.cycle_hi));
+  }
+  return h;
+}
 
 struct CopyMeta {
   CopyKind kind;
@@ -18,11 +60,21 @@ struct CopyMeta {
   int latency;  // cycles the op occupies its instance
 };
 
+/// The root decision level of a solve, precomputed for subtree splitting:
+/// which copy the canonical heuristic branches on first and its full
+/// (cycle, vendor) value list under the empty assignment. A pure function
+/// of spec + palette, so every lane count sees the same decomposition.
+struct RootPlan {
+  int copy = -1;
+  std::vector<std::pair<int, int>> values;  // (cycle, vendor), canonical
+  bool infeasible = false;
+};
+
 class Search {
  public:
   Search(const ProblemSpec& spec, const Palettes& palettes,
          const CspOptions& options)
-      : spec_(spec), options_(options) {
+      : spec_(spec), options_(options), learning_(options.learning) {
     util::check_spec(
         spec.catalog.num_vendors() <= kMaxVendors,
         "csp: catalog exceeds kMaxVendors (see core/problem.hpp)");
@@ -47,11 +99,72 @@ class Search {
         static_cast<std::size_t>(max_lambda_);
     usage_.assign(usage_size, 0);
     peak_.assign(static_cast<std::size_t>(v) * dfg::kNumResourceClasses, 0);
+    // Pools are sized for the deepest possible search up front: dfs holds
+    // references into them across recursive calls, so they must never
+    // reallocate mid-search.
+    value_pool_.resize(copies_.size() + 1);
+    for (int i = 0; i < kMaxVendors; ++i) vendor_rank_[i] = i;
+    if (learning_) {
+      words_ = (copies_.size() + 63) / 64;
+      conf_pool_.assign(copies_.size() + 1,
+                        std::vector<std::uint64_t>(words_, 0));
+      jump_conf_.assign(words_, 0);
+      assigned_bits_.assign(words_, 0);
+      occ_.assign(usage_size * words_, 0);
+      forbid_setter_.assign(forbid_count_.size(), -1);
+      est_setter_.assign(copies_.size(), -1);
+      lst_setter_.assign(copies_.size(), -1);
+      by_copy_.resize(copies_.size());
+      if (options.imported != nullptr) {
+        for (const CspNogood& nogood : *options.imported) {
+          if (!nogood_in_range(nogood)) continue;
+          nogood_hashes_.insert(hash_nogood(nogood));
+          add_nogood(nogood);
+        }
+        imported_count_ = static_cast<int>(nogoods_.size());
+      }
+    }
+  }
+
+  void set_internal_cancel(const util::CancelToken* token) {
+    internal_cancel_ = token;
+  }
+
+  /// Restricts the root decision level to the given value block (subtree
+  /// splitting). The solve then proves or refutes "a solution exists with
+  /// the root copy taking one of these values" — never a full nogood on the
+  /// root copy, so learning is suppressed at depth 0 when a restriction is
+  /// active.
+  void restrict_root(int copy, std::vector<std::pair<int, int>> values) {
+    root_copy_ = copy;
+    root_values_ = std::move(values);
+    std::sort(root_values_.begin(), root_values_.end());
+  }
+
+  RootPlan plan_root() {
+    RootPlan plan;
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      if (est_[c] > lst_[c] ||
+          palette_mask_[static_cast<std::size_t>(copies_[c].cls)] == 0) {
+        plan.infeasible = true;
+        return plan;
+      }
+    }
+    const int copy = select_variable();
+    if (copy < 0) return plan;  // no variables: trivially solvable
+    plan.copy = copy;
+    for (const Value& value : enumerate_values(copy, 0, nullptr)) {
+      plan.values.emplace_back(value.cycle, value.vendor);
+    }
+    return plan;
   }
 
   CspResult run() {
     CspResult result;
-    timer_.reset();
+    deadline_ = Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(
+                        options_.time_limit_seconds));
     // Static infeasibility: a copy with an empty window or empty palette.
     for (std::size_t c = 0; c < copies_.size(); ++c) {
       if (est_[c] > lst_[c] ||
@@ -60,8 +173,23 @@ class Search {
         return result;
       }
     }
-    const Outcome outcome = dfs(0);
+    Outcome outcome;
+    for (;;) {
+      segment_limit_ =
+          options_.restart_base > 0
+              ? nodes_ + options_.restart_base * luby(segment_index_ + 1)
+              : 0;
+      outcome = dfs(0);
+      if (outcome != Outcome::kRestart) break;
+      // A restart keeps every learned nogood; only the descent order
+      // changes (seed-dependent vendor preference for the next segment).
+      ++restarts_;
+      ++segment_index_;
+      apply_rotation();
+    }
     result.nodes = nodes_;
+    result.backjumps = backjumps_;
+    result.restarts = restarts_;
     switch (outcome) {
       case Outcome::kSolved:
         result.status = CspResult::Status::kFeasible;
@@ -79,12 +207,32 @@ class Search {
       case Outcome::kCancelled:
         result.status = CspResult::Status::kCancelled;
         break;
+      case Outcome::kRestart:
+        util::check_internal(false, "csp: restart escaped the run loop");
+        break;
+    }
+    // Export what this solve learned — but only for outcomes whose
+    // truncation point is deterministic. A timeout or cancellation stops at
+    // a wall-clock-dependent node, so its nogood set must never leak into
+    // state that is replayed deterministically.
+    if (result.status == CspResult::Status::kFeasible ||
+        result.status == CspResult::Status::kInfeasible ||
+        result.status == CspResult::Status::kNodeLimit) {
+      result.learned.assign(
+          nogoods_.begin() + imported_count_, nogoods_.end());
     }
     return result;
   }
 
  private:
-  enum class Outcome { kSolved, kExhausted, kNodeLimit, kTimeout, kCancelled };
+  enum class Outcome {
+    kSolved,
+    kExhausted,
+    kNodeLimit,
+    kTimeout,
+    kCancelled,
+    kRestart,
+  };
 
   // ---- model construction ---------------------------------------------
   void build_copies() {
@@ -175,14 +323,17 @@ class Search {
   }
 
   // ---- state access -----------------------------------------------------
+  std::size_t usage_index(int phase, int v, int cls, int cycle) const {
+    return ((static_cast<std::size_t>(phase) *
+                 static_cast<std::size_t>(spec_.catalog.num_vendors()) +
+             static_cast<std::size_t>(v)) *
+                dfg::kNumResourceClasses +
+            static_cast<std::size_t>(cls)) *
+               static_cast<std::size_t>(max_lambda_) +
+           static_cast<std::size_t>(cycle - 1);
+  }
   int& usage(int phase, int v, int cls, int cycle) {
-    return usage_[((static_cast<std::size_t>(phase) *
-                        static_cast<std::size_t>(spec_.catalog.num_vendors()) +
-                    static_cast<std::size_t>(v)) *
-                       dfg::kNumResourceClasses +
-                   static_cast<std::size_t>(cls)) *
-                      static_cast<std::size_t>(max_lambda_) +
-                  static_cast<std::size_t>(cycle - 1)];
+    return usage_[usage_index(phase, v, cls, cycle)];
   }
   int& peak(int v, int cls) {
     return peak_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
@@ -193,6 +344,153 @@ class Search {
                              static_cast<std::size_t>(
                                  spec_.catalog.num_vendors()) +
                          static_cast<std::size_t>(v)];
+  }
+  int& forbid_setter(int copy, int v) {
+    return forbid_setter_[static_cast<std::size_t>(copy) *
+                              static_cast<std::size_t>(
+                                  spec_.catalog.num_vendors()) +
+                          static_cast<std::size_t>(v)];
+  }
+
+  // ---- conflict-set bitsets --------------------------------------------
+  using Conf = std::vector<std::uint64_t>;
+
+  static void conf_clear(Conf& conf) {
+    std::fill(conf.begin(), conf.end(), 0);
+  }
+  static void conf_set(Conf& conf, int copy) {
+    conf[static_cast<std::size_t>(copy) >> 6] |= 1ull << (copy & 63);
+  }
+  static void conf_clear_bit(Conf& conf, int copy) {
+    conf[static_cast<std::size_t>(copy) >> 6] &= ~(1ull << (copy & 63));
+  }
+  static bool conf_test(const Conf& conf, int copy) {
+    return (conf[static_cast<std::size_t>(copy) >> 6] >> (copy & 63)) & 1u;
+  }
+  static void conf_or(Conf& dst, const Conf& src) {
+    for (std::size_t w = 0; w < dst.size(); ++w) dst[w] |= src[w];
+  }
+  static int conf_popcount(const Conf& conf) {
+    int n = 0;
+    for (std::uint64_t word : conf) n += __builtin_popcountll(word);
+    return n;
+  }
+
+  /// ORs the occupier set of one usage cell into the conflict set: the
+  /// copies currently occupying (phase, vendor, class, cycle). Exact
+  /// culprits for a per-instance-cap overflow at that cell.
+  void conf_add_cell(Conf& conf, int phase, int v, int cls, int cycle) {
+    const std::size_t base = usage_index(phase, v, cls, cycle) * words_;
+    for (std::size_t w = 0; w < words_; ++w) conf[w] |= occ_[base + w];
+  }
+
+  /// ORs every currently assigned copy into the conflict set, minus `self`.
+  /// Conservative culprits for an area-bound overflow: peaks are a running
+  /// aggregate whose contributors alone do not reproduce the failure (a
+  /// non-contributor can occupy the cell a later contributor raised), so
+  /// only the full assignment is a sound explanation.
+  void conf_add_all_assigned(Conf& conf, int self) {
+    for (std::size_t w = 0; w < words_; ++w) conf[w] |= assigned_bits_[w];
+    conf_clear_bit(conf, self);
+  }
+
+  /// Seeds the conflict set with the assigned copies responsible for the
+  /// *current domain* of `copy` being smaller than its static domain:
+  /// whoever tightened its window and whoever forbade each palette vendor
+  /// missing from its live mask. Values outside the static domain need no
+  /// culprit — their exclusion is unconditional.
+  void seed_domain_culprits(int copy, Conf& conf) {
+    const std::size_t cs = static_cast<std::size_t>(copy);
+    if (est_setter_[cs] >= 0) conf_set(conf, est_setter_[cs]);
+    if (lst_setter_[cs] >= 0) conf_set(conf, lst_setter_[cs]);
+    const std::uint64_t missing =
+        palette_mask_[static_cast<std::size_t>(copies_[cs].cls)] &
+        ~allowed_mask_[cs];
+    for (std::uint64_t bits = missing; bits != 0; bits &= bits - 1) {
+      const int v = __builtin_ctzll(bits);
+      const int setter = forbid_setter(copy, v);
+      if (setter >= 0) conf_set(conf, setter);
+    }
+  }
+
+  // ---- nogoods ----------------------------------------------------------
+  bool nogood_in_range(const CspNogood& nogood) const {
+    for (const NogoodLit& lit : nogood.lits) {
+      if (lit.copy < 0 || lit.copy >= static_cast<int>(copies_.size())) {
+        return false;
+      }
+    }
+    return !nogood.lits.empty();
+  }
+
+  void add_nogood(const CspNogood& nogood) {
+    const int id = static_cast<int>(nogoods_.size());
+    nogoods_.push_back(nogood);
+    for (const NogoodLit& lit : nogoods_.back().lits) {
+      by_copy_[static_cast<std::size_t>(lit.copy)].push_back(id);
+    }
+  }
+
+  /// Records the current wipeout explanation as a nogood if it is small
+  /// enough to be worth checking: the conjunction of the culprits' current
+  /// assignments admits no solution. Sound because the wipeout of the
+  /// current variable was derived from exactly those assignments.
+  void maybe_learn(const Conf& conf) {
+    if (learned_count_ >= kLearnCap) return;
+    const int size = conf_popcount(conf);
+    if (size < 1 || size > 4) return;
+    CspNogood nogood;
+    nogood.lits.reserve(static_cast<std::size_t>(size));
+    for (std::size_t w = 0; w < conf.size(); ++w) {
+      for (std::uint64_t bits = conf[w]; bits != 0; bits &= bits - 1) {
+        const int c = static_cast<int>(w * 64) + __builtin_ctzll(bits);
+        const std::size_t cs = static_cast<std::size_t>(c);
+        if (assigned_cycle_[cs] < 0) return;  // culprit must be assigned
+        nogood.lits.push_back(NogoodLit{c, assigned_vendor_[cs],
+                                        assigned_cycle_[cs],
+                                        assigned_cycle_[cs]});
+      }
+    }
+    if (!nogood_hashes_.insert(hash_nogood(nogood)).second) return;
+    add_nogood(nogood);
+    ++learned_count_;
+  }
+
+  /// True iff assigning copy := (cycle, v) would complete some stored
+  /// nogood (every other literal already holds). Adds the other literals'
+  /// copies to the conflict set: their assignments are what rules this
+  /// value out.
+  bool nogood_blocks(int copy, int cycle, int v, Conf* conf) const {
+    for (const int id : by_copy_[static_cast<std::size_t>(copy)]) {
+      const CspNogood& nogood = nogoods_[static_cast<std::size_t>(id)];
+      bool fired = true;
+      for (const NogoodLit& lit : nogood.lits) {
+        if (lit.copy == copy) {
+          if (lit.vendor != v || cycle < lit.cycle_lo ||
+              cycle > lit.cycle_hi) {
+            fired = false;
+            break;
+          }
+        } else {
+          const std::size_t ls = static_cast<std::size_t>(lit.copy);
+          const int ac = assigned_cycle_[ls];
+          if (ac < 0 || assigned_vendor_[ls] != lit.vendor ||
+              ac < lit.cycle_lo || ac > lit.cycle_hi) {
+            fired = false;
+            break;
+          }
+        }
+      }
+      if (fired) {
+        if (conf != nullptr) {
+          for (const NogoodLit& lit : nogood.lits) {
+            if (lit.copy != copy) conf_set(*conf, lit.copy);
+          }
+        }
+        return true;
+      }
+    }
+    return false;
   }
 
   // ---- trail / undo -----------------------------------------------------
@@ -229,14 +527,25 @@ class Search {
   }
 
   // ---- assignment -------------------------------------------------------
-  /// Applies copy := (cycle, vendor). Returns false on an immediate
-  /// dead end (caller must rewind to its mark).
-  bool assign(int copy, int cycle, int v) {
+  /// Applies copy := (cycle, vendor). Returns false on an immediate dead
+  /// end (caller must rewind to its mark). With learning on, `conf`
+  /// collects the assigned copies responsible for the failure — a set
+  /// whose assignments alone already rule this value out.
+  bool assign(int copy, int cycle, int v, Conf* conf) {
+    // Stored nogoods are checked before any trail writes, so a blocked
+    // value costs no rewind.
+    if (learning_ && nogood_blocks(copy, cycle, v, conf)) return false;
+
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
     record(&assigned_cycle_[static_cast<std::size_t>(copy)]);
     record(&assigned_vendor_[static_cast<std::size_t>(copy)]);
     assigned_cycle_[static_cast<std::size_t>(copy)] = cycle;
     assigned_vendor_[static_cast<std::size_t>(copy)] = v;
+    if (learning_) {
+      std::uint64_t& word = assigned_bits_[static_cast<std::size_t>(copy) >> 6];
+      record_u64(&word);
+      word |= 1ull << (copy & 63);
+    }
 
     // Resource usage / peak / area, over the whole occupancy interval.
     for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
@@ -247,6 +556,11 @@ class Search {
       if (use > pk) {
         if (use >
             spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls))) {
+          // The previous occupiers of this cell alone overflow the cap
+          // with us; our own occ bit for this cell is not yet set.
+          if (conf != nullptr) {
+            conf_add_cell(*conf, meta.phase, v, meta.cls, busy);
+          }
           return false;
         }
         record(&pk);
@@ -255,7 +569,17 @@ class Search {
         area_committed_ +=
             offer_area_[static_cast<std::size_t>(meta.cls)]
                        [static_cast<std::size_t>(v)];
-        if (area_committed_ > spec_.area_limit) return false;
+        if (area_committed_ > spec_.area_limit) {
+          if (conf != nullptr) conf_add_all_assigned(*conf, copy);
+          return false;
+        }
+      }
+      if (learning_) {
+        std::uint64_t& word =
+            occ_[usage_index(meta.phase, v, meta.cls, busy) * words_ +
+                 (static_cast<std::size_t>(copy) >> 6)];
+        record_u64(&word);
+        word |= 1ull << (copy & 63);
       }
     }
 
@@ -264,16 +588,38 @@ class Search {
     // (copy, v) transitions 0 -> 1, and the trail restores it on rewind —
     // no O(vendors) rescan per propagation or per select/enumerate.
     for (int nb : neighbors_[static_cast<std::size_t>(copy)]) {
-      if (assigned_vendor_[static_cast<std::size_t>(nb)] == v) return false;
+      if (assigned_vendor_[static_cast<std::size_t>(nb)] == v) {
+        if (conf != nullptr) conf_set(*conf, nb);
+        return false;
+      }
       if (assigned_vendor_[static_cast<std::size_t>(nb)] >= 0) continue;
       int& count = forbid_count(nb, v);
       record(&count);
       ++count;
       if (count == 1) {
+        if (learning_) {
+          int& setter = forbid_setter(nb, v);
+          record(&setter);
+          setter = copy;
+        }
         std::uint64_t& mask = allowed_mask_[static_cast<std::size_t>(nb)];
         record_u64(&mask);
         mask &= ~(1ull << v);
-        if (mask == 0) return false;
+        if (mask == 0) {
+          // Every palette vendor of nb is forbidden; the first forbidder
+          // of each vendor (excluding us) plus us make the wipeout.
+          if (conf != nullptr) {
+            const std::uint64_t palette =
+                palette_mask_[static_cast<std::size_t>(
+                    copies_[static_cast<std::size_t>(nb)].cls)];
+            for (std::uint64_t bits = palette; bits != 0; bits &= bits - 1) {
+              const int v2 = __builtin_ctzll(bits);
+              const int setter = forbid_setter(nb, v2);
+              if (setter >= 0 && setter != copy) conf_set(*conf, setter);
+            }
+          }
+          return false;
+        }
       }
     }
 
@@ -281,23 +627,40 @@ class Search {
     // start once this op finishes; parents must have finished before this
     // op starts.
     for (int child : children_[static_cast<std::size_t>(copy)]) {
-      if (est_[static_cast<std::size_t>(child)] < cycle + meta.latency) {
-        record(&est_[static_cast<std::size_t>(child)]);
-        est_[static_cast<std::size_t>(child)] = cycle + meta.latency;
-        if (est_[static_cast<std::size_t>(child)] >
-            lst_[static_cast<std::size_t>(child)]) {
+      const std::size_t ch = static_cast<std::size_t>(child);
+      if (est_[ch] < cycle + meta.latency) {
+        record(&est_[ch]);
+        est_[ch] = cycle + meta.latency;
+        if (learning_) {
+          record(&est_setter_[ch]);
+          est_setter_[ch] = copy;
+        }
+        if (est_[ch] > lst_[ch]) {
+          // Window wipeout: we raised est; whoever lowered lst (if anyone)
+          // shares the blame.
+          if (conf != nullptr && learning_ && lst_setter_[ch] >= 0 &&
+              lst_setter_[ch] != copy) {
+            conf_set(*conf, lst_setter_[ch]);
+          }
           return false;
         }
       }
     }
     for (int parent : parents_[static_cast<std::size_t>(copy)]) {
-      const int parent_latency =
-          copies_[static_cast<std::size_t>(parent)].latency;
-      if (lst_[static_cast<std::size_t>(parent)] > cycle - parent_latency) {
-        record(&lst_[static_cast<std::size_t>(parent)]);
-        lst_[static_cast<std::size_t>(parent)] = cycle - parent_latency;
-        if (est_[static_cast<std::size_t>(parent)] >
-            lst_[static_cast<std::size_t>(parent)]) {
+      const std::size_t pa = static_cast<std::size_t>(parent);
+      const int parent_latency = copies_[pa].latency;
+      if (lst_[pa] > cycle - parent_latency) {
+        record(&lst_[pa]);
+        lst_[pa] = cycle - parent_latency;
+        if (learning_) {
+          record(&lst_setter_[pa]);
+          lst_setter_[pa] = copy;
+        }
+        if (est_[pa] > lst_[pa]) {
+          if (conf != nullptr && learning_ && est_setter_[pa] >= 0 &&
+              est_setter_[pa] != copy) {
+            conf_set(*conf, est_setter_[pa]);
+          }
           return false;
         }
       }
@@ -365,16 +728,14 @@ class Search {
     int vendor;
   };
 
-  // Values ordered by (area_delta, cycle, vendor): no added area first, then
-  // earlier cycles, then lower vendor ids. The historical packed key
-  // `area_delta * 1000 + cycle * 8 + v` aliased vendor into the cycle field
-  // once v >= 8, and its randomized tiebreak only ever acted on those
-  // aliased collisions — on every catalog in this repo (<= 8 vendors) the
-  // packed keys were unique, so this tuple order is behavior-identical and
-  // the per-node RNG draw was dead weight. Scratch vectors are pooled per
-  // depth to avoid a heap allocation per search node.
-  const std::vector<Value>& enumerate_values(int copy, std::size_t depth) {
-    if (depth >= value_pool_.size()) value_pool_.resize(depth + 1);
+  // Values ordered by (area_delta, cycle, vendor preference): no added area
+  // first, then earlier cycles, then lower vendor rank. vendor_rank_ is the
+  // identity on the first descent of every solve (and always, with seed 0),
+  // which is the historical canonical order; restarts with a nonzero seed
+  // permute it deterministically per segment. Culprits for values pruned
+  // here go to `conf` (nullable) just like assign-time failures.
+  std::vector<Value>& enumerate_values(int copy, std::size_t depth,
+                                       Conf* conf) {
     std::vector<Value>& values = value_pool_[depth];
     values.clear();
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
@@ -395,49 +756,130 @@ class Search {
                              static_cast<std::size_t>(meta.cls)];
         long long area_delta = 0;
         if (needed > pk) {
-          if (needed > cap) continue;
+          if (needed > cap) {
+            if (conf != nullptr) {
+              // The occupiers of the fullest busy cycle alone exclude
+              // this value.
+              for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
+                if (usage(meta.phase, v, meta.cls, busy) == needed - 1) {
+                  conf_add_cell(*conf, meta.phase, v, meta.cls, busy);
+                  break;
+                }
+              }
+            }
+            continue;
+          }
           area_delta = static_cast<long long>(needed - pk) *
                        offer_area_[static_cast<std::size_t>(meta.cls)]
                                   [static_cast<std::size_t>(v)];
-          if (area_committed_ + area_delta > spec_.area_limit) continue;
+          if (area_committed_ + area_delta > spec_.area_limit) {
+            if (conf != nullptr) conf_add_all_assigned(*conf, copy);
+            continue;
+          }
         }
         values.push_back(Value{area_delta, cycle, v});
       }
     }
     std::sort(values.begin(), values.end(),
-              [](const Value& a, const Value& b) {
+              [this](const Value& a, const Value& b) {
                 if (a.area_delta != b.area_delta) {
                   return a.area_delta < b.area_delta;
                 }
                 if (a.cycle != b.cycle) return a.cycle < b.cycle;
-                return a.vendor < b.vendor;
+                return vendor_rank_[static_cast<std::size_t>(a.vendor)] <
+                       vendor_rank_[static_cast<std::size_t>(b.vendor)];
               });
     return values;
   }
 
+  void filter_root_values(std::vector<Value>& values) const {
+    values.erase(
+        std::remove_if(values.begin(), values.end(),
+                       [this](const Value& value) {
+                         return !std::binary_search(
+                             root_values_.begin(), root_values_.end(),
+                             std::make_pair(value.cycle, value.vendor));
+                       }),
+        values.end());
+  }
+
+  /// Seed-dependent vendor preference for restart segment segment_index_.
+  /// Seed 0 (and segment 0, by construction of the run loop) keeps the
+  /// canonical identity ranking.
+  void apply_rotation() {
+    for (int i = 0; i < kMaxVendors; ++i) vendor_rank_[i] = i;
+    if (options_.seed == 0) return;
+    std::uint64_t state =
+        options_.seed ^
+        (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(segment_index_));
+    for (int i = kMaxVendors - 1; i > 0; --i) {
+      const int j = static_cast<int>(
+          splitmix64(state) % static_cast<std::uint64_t>(i + 1));
+      std::swap(vendor_rank_[static_cast<std::size_t>(i)],
+                vendor_rank_[static_cast<std::size_t>(j)]);
+    }
+  }
+
   Outcome dfs(std::size_t depth) {
     if (++nodes_ > options_.max_nodes) return Outcome::kNodeLimit;
+    if (segment_limit_ > 0 && nodes_ > segment_limit_ && depth > 0) {
+      return Outcome::kRestart;
+    }
     if ((nodes_ & 0x3ff) == 0) {
-      if (options_.cancel && options_.cancel->cancelled()) {
+      if ((options_.cancel != nullptr && options_.cancel->cancelled()) ||
+          (internal_cancel_ != nullptr && internal_cancel_->cancelled())) {
         return Outcome::kCancelled;
       }
-      if (timer_.elapsed_seconds() > options_.time_limit_seconds) {
-        return Outcome::kTimeout;
-      }
+      if (Clock::now() >= deadline_) return Outcome::kTimeout;
     }
-    const int copy = select_variable();
+    const bool at_restricted_root = depth == 0 && root_copy_ >= 0;
+    const int copy = at_restricted_root ? root_copy_ : select_variable();
     if (copy < 0) return Outcome::kSolved;  // everything assigned
     remove_unassigned(copy);
 
-    for (const Value& value : enumerate_values(copy, depth)) {
+    Conf* conf = nullptr;
+    if (learning_) {
+      conf = &conf_pool_[depth];
+      conf_clear(*conf);
+      seed_domain_culprits(copy, *conf);
+    }
+    std::vector<Value>& values = enumerate_values(copy, depth, conf);
+    if (at_restricted_root) filter_root_values(values);
+
+    for (const Value& value : values) {
       const Mark m = mark();
-      if (assign(copy, value.cycle, value.vendor)) {
+      if (assign(copy, value.cycle, value.vendor, conf)) {
         const Outcome outcome = dfs(depth + 1);
-        if (outcome != Outcome::kExhausted) return outcome;
+        if (outcome == Outcome::kExhausted && learning_) {
+          if (!conf_test(jump_conf_, copy)) {
+            // The subtree's wipeout does not mention our decision: no
+            // sibling value of ours can repair it. Jump straight past
+            // this level, handing the same explanation upward.
+            rewind(m);
+            restore_unassigned(copy);
+            ++backjumps_;
+            return Outcome::kExhausted;
+          }
+          conf_clear_bit(jump_conf_, copy);
+          conf_or(*conf, jump_conf_);
+        } else if (outcome == Outcome::kRestart) {
+          rewind(m);
+          restore_unassigned(copy);
+          return Outcome::kRestart;
+        } else if (outcome != Outcome::kExhausted) {
+          return outcome;  // solved, or a limit: state is kept / discarded
+        }
       }
       rewind(m);
     }
     restore_unassigned(copy);
+    if (learning_) {
+      conf_clear_bit(*conf, copy);  // never our own decision
+      // A restricted root only exhausted its block of values, which proves
+      // nothing about the full domain — no nogood, and no parent anyway.
+      if (!at_restricted_root) maybe_learn(*conf);
+      std::copy(conf->begin(), conf->end(), jump_conf_.begin());
+    }
     return Outcome::kExhausted;
   }
 
@@ -486,7 +928,7 @@ class Search {
 
   const ProblemSpec& spec_;
   const CspOptions& options_;
-  util::Timer timer_;
+  const bool learning_;
 
   std::vector<CopyMeta> copies_;
   std::map<CopyRef, int> copy_of_;
@@ -513,14 +955,190 @@ class Search {
   std::vector<std::pair<long long*, long long>> trail_ll_;
   std::vector<std::pair<std::uint64_t*, std::uint64_t>> trail_u64_;
   std::vector<std::vector<Value>> value_pool_;  // per-depth scratch
+
+  // Conflict-directed state (allocated only with learning on).
+  std::size_t words_ = 0;            // bitset words per conflict set
+  std::vector<Conf> conf_pool_;      // per-depth conflict sets
+  Conf jump_conf_;                   // wipeout explanation in flight upward
+  Conf assigned_bits_;               // bitset of assigned copies
+  std::vector<std::uint64_t> occ_;   // per usage cell: occupier bitset
+  std::vector<int> forbid_setter_;   // (copy, vendor) -> first forbidder
+  std::vector<int> est_setter_, lst_setter_;  // copy -> window tightener
+  std::vector<CspNogood> nogoods_;   // imported prefix + learned
+  std::vector<std::vector<int>> by_copy_;  // copy -> nogood ids touching it
+  std::unordered_set<std::uint64_t> nogood_hashes_;
+  int imported_count_ = 0;
+  int learned_count_ = 0;
+
+  std::array<int, kMaxVendors> vendor_rank_{};
+  long segment_index_ = 0;
+  long segment_limit_ = 0;  // nodes_ bound of the current Luby segment
   long nodes_ = 0;
+  long backjumps_ = 0;
+  long restarts_ = 0;
+  Clock::time_point deadline_{};
+  const util::CancelToken* internal_cancel_ = nullptr;
+  int root_copy_ = -1;
+  std::vector<std::pair<int, int>> root_values_;  // sorted (cycle, vendor)
 };
+
+/// Deterministic subtree splitting: partition the canonical root value list
+/// into contiguous blocks, solve each independently (optionally on a thread
+/// pool), and commit the lowest-index solved block. Blocks at or below the
+/// winner always run to completion, so the committed solution — and the
+/// exported nogood set — is identical for every lane count.
+CspResult split_solve(const ProblemSpec& spec, const Palettes& palettes,
+                      const CspOptions& options) {
+  RootPlan plan;
+  {
+    Search probe(spec, palettes, options);
+    plan = probe.plan_root();
+  }
+  if (plan.infeasible || (plan.copy >= 0 && plan.values.empty())) {
+    CspResult result;
+    result.status = CspResult::Status::kInfeasible;
+    return result;
+  }
+  const int blocks =
+      plan.copy < 0 ? 1
+                    : static_cast<int>(std::min<std::size_t>(
+                          static_cast<std::size_t>(options.subtree_split),
+                          plan.values.size()));
+  if (blocks <= 1) {
+    Search search(spec, palettes, options);
+    return search.run();
+  }
+
+  // Contiguous partition of the canonical value order: a function of spec
+  // and palette only.
+  std::vector<std::vector<std::pair<int, int>>> parts(
+      static_cast<std::size_t>(blocks));
+  const std::size_t total_values = plan.values.size();
+  const std::size_t base = total_values / static_cast<std::size_t>(blocks);
+  const std::size_t extra = total_values % static_cast<std::size_t>(blocks);
+  std::size_t pos = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const std::size_t len = base + (static_cast<std::size_t>(b) < extra);
+    parts[static_cast<std::size_t>(b)].assign(
+        plan.values.begin() + static_cast<std::ptrdiff_t>(pos),
+        plan.values.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+
+  CspOptions block_options = options;
+  block_options.subtree_split = 1;
+  block_options.max_nodes =
+      std::max<long>(1000, options.max_nodes / blocks);
+
+  std::vector<util::CancelToken> tokens(static_cast<std::size_t>(blocks));
+  std::vector<CspResult> results(static_cast<std::size_t>(blocks));
+  std::vector<char> ran(static_cast<std::size_t>(blocks), 0);
+  std::mutex mutex;
+  int min_solved = blocks;  // lowest block index with a solution so far
+  std::atomic<int> next{0};
+
+  const auto lane = [&] {
+    for (;;) {
+      const int b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= blocks) return;
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        // A lower block already solved: this block can never win, and
+        // skipping it is deterministic (min_solved only decreases, so a
+        // skipped block is always above the final winner).
+        if (b > min_solved) continue;
+      }
+      Search search(spec, palettes, block_options);
+      search.set_internal_cancel(&tokens[static_cast<std::size_t>(b)]);
+      search.restrict_root(plan.copy, parts[static_cast<std::size_t>(b)]);
+      CspResult result = search.run();
+      std::lock_guard<std::mutex> lock(mutex);
+      if (result.status == CspResult::Status::kFeasible && b < min_solved) {
+        min_solved = b;
+        // Higher blocks can no longer win; lower ones keep running so the
+        // final winner never depends on timing.
+        for (int j = b + 1; j < blocks; ++j) {
+          tokens[static_cast<std::size_t>(j)].request_cancel();
+        }
+      }
+      results[static_cast<std::size_t>(b)] = std::move(result);
+      ran[static_cast<std::size_t>(b)] = 1;
+    }
+  };
+
+  const int lanes = std::clamp(options.split_threads, 1, blocks);
+  if (lanes <= 1) {
+    lane();
+  } else {
+    util::ThreadPool pool(lanes - 1);
+    util::TaskGroup group(pool);
+    for (int i = 0; i < lanes - 1; ++i) group.run(lane);
+    lane();
+    group.wait();
+  }
+
+  CspResult out;
+  const bool solved = min_solved < blocks;
+  // Stats cover exactly the blocks whose completion is deterministic: the
+  // winner and everything below it, or all blocks when nothing solved
+  // (then nothing was skipped or internally cancelled).
+  const int stat_hi = solved ? min_solved : blocks - 1;
+  for (int b = 0; b <= stat_hi; ++b) {
+    if (!ran[static_cast<std::size_t>(b)]) continue;
+    out.nodes += results[static_cast<std::size_t>(b)].nodes;
+    out.backjumps += results[static_cast<std::size_t>(b)].backjumps;
+    out.restarts += results[static_cast<std::size_t>(b)].restarts;
+  }
+  bool truncated = false;  // a contributing block hit the clock or a cancel
+  for (int b = 0; b <= stat_hi; ++b) {
+    const CspResult::Status s = results[static_cast<std::size_t>(b)].status;
+    if (s == CspResult::Status::kTimeout ||
+        s == CspResult::Status::kCancelled) {
+      truncated = true;
+    }
+  }
+  if (solved) {
+    out.status = CspResult::Status::kFeasible;
+    out.solution = results[static_cast<std::size_t>(min_solved)].solution;
+  } else {
+    bool any_cancel = false, any_timeout = false, any_nodelimit = false;
+    for (int b = 0; b < blocks; ++b) {
+      switch (results[static_cast<std::size_t>(b)].status) {
+        case CspResult::Status::kCancelled: any_cancel = true; break;
+        case CspResult::Status::kTimeout: any_timeout = true; break;
+        case CspResult::Status::kNodeLimit: any_nodelimit = true; break;
+        default: break;
+      }
+    }
+    if (any_cancel) {
+      out.status = CspResult::Status::kCancelled;
+    } else if (any_timeout) {
+      out.status = CspResult::Status::kTimeout;
+    } else if (any_nodelimit) {
+      out.status = CspResult::Status::kNodeLimit;
+    } else {
+      // Every block exhausted its slice of the root domain, and the
+      // slices partition it: a complete infeasibility proof.
+      out.status = CspResult::Status::kInfeasible;
+    }
+  }
+  if (!truncated && out.status != CspResult::Status::kCancelled &&
+      out.status != CspResult::Status::kTimeout) {
+    for (int b = 0; b <= stat_hi; ++b) {
+      const std::vector<CspNogood>& learned =
+          results[static_cast<std::size_t>(b)].learned;
+      out.learned.insert(out.learned.end(), learned.begin(), learned.end());
+    }
+  }
+  return out;
+}
 
 }  // namespace
 
 CspResult schedule_and_bind(const ProblemSpec& spec, const Palettes& palettes,
                             const CspOptions& options) {
   spec.validate();
+  if (options.subtree_split > 1) return split_solve(spec, palettes, options);
   Search search(spec, palettes, options);
   return search.run();
 }

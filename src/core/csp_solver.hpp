@@ -1,4 +1,5 @@
-// Complete backtracking scheduler/binder over a fixed vendor palette.
+// Complete scheduler/binder over a fixed vendor palette, with
+// conflict-directed search.
 //
 // Given a ProblemSpec and, per resource class, the set ("palette") of
 // vendors whose licenses the design may use, this solver decides whether a
@@ -14,9 +15,31 @@
 // per-copy cycle windows (ASAP/ALAP tightened by assigned same-schedule
 // neighbors) and per-copy forbidden-vendor counts from the conflict graph.
 //
+// On top of the chronological core the search is conflict-directed (see
+// DESIGN.md "Conflict-directed CSP search"):
+//
+//  * conflict-directed backjumping — every domain wipeout carries the set
+//    of assigned copies actually responsible, and backtracking unwinds
+//    straight past decisions that set is independent of;
+//  * nogood learning — small conflict sets are recorded as (copy, cycle,
+//    vendor) nogoods, re-checked during the same solve and exportable via
+//    CspResult::learned for reuse against sibling palettes (core/nogood.hpp
+//    guards them with the palette signature they were proved under);
+//  * Luby restarts — with restart_base > 0 the search restarts on a Luby
+//    schedule, re-descending with a seed-dependent vendor preference while
+//    keeping everything it has learned (first descent always canonical);
+//  * deterministic subtree splitting — with subtree_split > 1 the root
+//    decision level is partitioned into disjoint value blocks solved
+//    independently (optionally on a thread pool); the committed result is
+//    the lowest-index solved block, so any lane count is bit-identical to
+//    sequential execution.
+//
 // Within its node budget the search is complete: kInfeasible is a proof.
-// The exact optimizer exploits this for cheapest-first license enumeration;
-// the heuristic optimizer runs it with small budgets and random restarts.
+// Backjumps skip only regions a recorded conflict set proves solution-free
+// and learned nogoods are sound deductions from the spec, so completeness
+// (and the identity of the first solution found) is preserved. The exact
+// optimizer exploits this for cheapest-first license enumeration; the
+// heuristic optimizer runs it with small budgets and restarts.
 #pragma once
 
 #include <array>
@@ -28,20 +51,58 @@
 
 namespace ht::core {
 
+/// One literal of a nogood: "copy is assigned vendor `vendor` at a cycle
+/// in [cycle_lo, cycle_hi]". Copies index the solver's variable order
+/// (kind-major, op-minor — a pure function of the spec, never of the
+/// palette), so literals are meaningful across palettes of one spec family.
+struct NogoodLit {
+  int copy = 0;
+  int vendor = 0;
+  int cycle_lo = 0;
+  int cycle_hi = 0;
+
+  bool operator==(const NogoodLit&) const = default;
+};
+
+/// A conjunction of literals that no solution satisfies. Learned under some
+/// palette/bounds; core/nogood.hpp attaches the guard signature that scopes
+/// where it may be reused.
+struct CspNogood {
+  std::vector<NogoodLit> lits;
+
+  bool operator==(const CspNogood&) const = default;
+};
+
 struct CspOptions {
   long max_nodes = 500'000;
   double time_limit_seconds = 10.0;
-  /// Retained for API compatibility; ignored. The old randomized value
-  /// tiebreak only acted on collisions of a packed ordering key that
-  /// aliased vendor into cycle (v >= 8) — on every catalog this repo ships
-  /// the keys were unique, so seeded runs already explored the identical
-  /// tree. Value ordering is now fully deterministic:
-  /// (area_delta, cycle, vendor).
+  /// Restart phase selection: descents after the first reorder value
+  /// enumeration with a seed-dependent vendor preference (seed 0 keeps the
+  /// canonical (area_delta, cycle, vendor) order on every descent). Has no
+  /// effect unless restart_base > 0 — in particular the first descent, and
+  /// therefore any run without restarts, is canonical for every seed.
   std::uint64_t seed = 0;
   /// Optional cooperative stop signal, polled inside the node loop (same
   /// cadence as the time check). A cancelled run reports kCancelled and
   /// proves nothing.
   const util::CancelToken* cancel = nullptr;
+
+  /// Conflict-directed mode: backjumping + nogood recording. Off reproduces
+  /// the chronological search node for node (A/B baselines).
+  bool learning = true;
+  /// Luby restart unit in nodes; 0 disables restarts. Segment i of a solve
+  /// gets restart_base * luby(i) nodes before the search re-descends.
+  long restart_base = 0;
+  /// Split the root decision level into (up to) this many disjoint value
+  /// blocks solved independently; <= 1 solves in one piece. The block
+  /// decomposition depends only on the spec and palette, never on lanes.
+  int subtree_split = 1;
+  /// Execution lanes for subtree blocks (1 = sequential). Any value yields
+  /// bit-identical results: the winner is the lowest-index solved block.
+  int split_threads = 1;
+  /// Nogoods proved applicable to this palette by the caller (frozen tier
+  /// of a NogoodStore); checked during search exactly like learned ones.
+  const std::vector<CspNogood>* imported = nullptr;
 };
 
 struct CspResult {
@@ -55,6 +116,13 @@ struct CspResult {
   Status status = Status::kNodeLimit;
   Solution solution;
   long nodes = 0;
+  long backjumps = 0;  ///< frames skipped past by conflict-directed jumps
+  long restarts = 0;   ///< Luby re-descents taken
+  /// Nogoods learned this solve (empty with learning off). Deterministic
+  /// for kFeasible / kInfeasible / kNodeLimit outcomes; cleared for
+  /// timeout / cancellation, whose truncation point is wall-clock-dependent
+  /// and must never leak into deterministic state.
+  std::vector<CspNogood> learned;
 };
 
 /// One vendor palette per resource class (indexed by ResourceClass value).

@@ -30,11 +30,18 @@ struct ComboOutcome {
   bool inconclusive = false;
   Solution solution;
   long csp_nodes = 0;
+  long backjumps = 0;
+  long restarts = 0;
+  /// Nogoods the CSP learned on this set (empty when learning is off or
+  /// the outcome was wall-clock truncated); recorded into the engine's
+  /// NogoodStore by the committing worker.
+  std::vector<CspNogood> learned;
 };
 
 ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
                             long index, const SynthesisRequest& request,
-                            double remaining_seconds) {
+                            double remaining_seconds,
+                            const std::vector<CspNogood>* imported) {
   ComboOutcome out;
   // Cheap primal attempts first: a greedy success avoids any search for
   // this license set (feasibility is feasibility). Seeded by the set's
@@ -58,14 +65,38 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     }
   }
 
+  const bool learning = request.pruning.nogood_learning;
   if (request.strategy == Strategy::kExact) {
     CspOptions csp_options;
     csp_options.max_nodes = request.limits.csp_node_limit;
     csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
     csp_options.seed = 0;
     csp_options.cancel = request.cancel;
-    const CspResult csp = schedule_and_bind(spec, palettes, csp_options);
+    csp_options.learning = learning;
+    csp_options.imported = learning ? imported : nullptr;
+    // Deterministic intra-palette parallelism: on big exact solves a single
+    // palette's CSP dwarfs the combo loop, so split its root level across
+    // the request's thread budget. Gated to budgets/sizes where the split
+    // can pay (the per-block floor would distort small node-budgeted A/B
+    // runs) and to learning mode so that `nogood_learning = false` stays a
+    // node-for-node reproduction of the chronological engine.
+    int split = request.limits.intra_palette_split;
+    if (split == 0) {
+      const int copies =
+          spec.graph.num_ops() * (spec.with_recovery ? 3 : 2);
+      split = (learning && copies >= 64 &&
+               request.limits.csp_node_limit >= 1'000'000)
+                  ? 8
+                  : 1;
+    }
+    csp_options.subtree_split = split;
+    csp_options.split_threads =
+        split > 1 ? request.parallelism.resolved_threads() : 1;
+    CspResult csp = schedule_and_bind(spec, palettes, csp_options);
     out.csp_nodes += csp.nodes;
+    out.backjumps += csp.backjumps;
+    out.restarts += csp.restarts;
+    out.learned = std::move(csp.learned);
     if (csp.status == CspResult::Status::kFeasible) {
       out.feasible = true;
       out.solution = csp.solution;
@@ -75,19 +106,34 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     return out;
   }
 
-  // Heuristic: one budgeted CSP run; an infeasibility proof within the cap
-  // is still a proof (the search is complete, just capped). This used to
-  // loop over `heuristic_restarts` seeded runs, but the seed never changed
-  // the explored tree (see CspOptions::seed), so the extra restarts re-ran
-  // an identical search — up to a 3x waste on every non-feasible set. The
-  // greedy attempts above keep their restart-scaled budget.
+  // Heuristic: budgeted CSP run; an infeasibility proof within the cap is
+  // still a proof (the search is complete, just capped). With learning on,
+  // `heuristic_restarts` is a live knob again: the solve gets a Luby
+  // restart schedule (unit = per-restart budget, phases rotated by the
+  // request seed) under the restart-scaled total budget — and because the
+  // first Luby segment is the canonical descent with the single-attempt
+  // budget, outcomes can only upgrade relative to the no-restart engine.
+  // With learning off it stays one canonical descent (the historical
+  // engine, bit for bit) — restarting an identical search was pure waste.
   CspOptions csp_options;
-  csp_options.max_nodes = request.limits.heuristic_node_limit;
   csp_options.time_limit_seconds = std::max(0.1, remaining_seconds);
   csp_options.seed = 0;
   csp_options.cancel = request.cancel;
-  const CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
+  csp_options.learning = learning;
+  if (learning) {
+    csp_options.max_nodes = request.limits.heuristic_node_limit *
+                            std::max(1, request.limits.heuristic_restarts);
+    csp_options.restart_base = request.limits.heuristic_node_limit;
+    csp_options.seed = request.seed;
+    csp_options.imported = imported;
+  } else {
+    csp_options.max_nodes = request.limits.heuristic_node_limit;
+  }
+  CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
   out.csp_nodes += attempt.nodes;
+  out.backjumps += attempt.backjumps;
+  out.restarts += attempt.restarts;
+  out.learned = std::move(attempt.learned);
   if (attempt.status == CspResult::Status::kFeasible) {
     out.feasible = true;
     out.solution = attempt.solution;
@@ -114,7 +160,9 @@ struct SharedSearch {
 
   const StaticScreens* screens = nullptr;  ///< never null during search
   SearchCache* cache = nullptr;            ///< null = dominance cache off
+  NogoodStore* nogoods = nullptr;          ///< null = nogood learning off
   std::uint64_t epoch = 0;
+  std::uint64_t nogood_epoch = 0;
   std::uint64_t ctx = 0;
 
   bool have_incumbent = false;
@@ -212,12 +260,31 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
         }
       }
 
-      const ComboOutcome outcome =
-          evaluate_combo(spec, palettes, index, request, remaining);
+      // Frozen-tier import: entries sealed before this operation whose
+      // guard dominates this palette. The store is internally locked and
+      // the frozen tier is immutable during the search, so this runs
+      // outside the dispatch lock and every interleaving reads the same
+      // set.
+      std::vector<CspNogood> imported;
+      if (shared.nogoods) {
+        shared.nogoods->collect_frozen(sig, shared.nogood_epoch, &imported);
+      }
+      ComboOutcome outcome =
+          evaluate_combo(spec, palettes, index, request, remaining,
+                         imported.empty() ? nullptr : &imported);
+      const long learned_here = static_cast<long>(outcome.learned.size());
+      if (shared.nogoods && !outcome.learned.empty()) {
+        shared.nogoods->record(std::move(outcome.learned), sig,
+                               shared.nogood_epoch, shared.ctx, combo_cost);
+      }
 
       {
         std::lock_guard<std::mutex> lock(shared.mutex);
         shared.stats.csp_nodes += outcome.csp_nodes;
+        shared.stats.nodes_total += outcome.csp_nodes;
+        shared.stats.backjumps += outcome.backjumps;
+        shared.stats.restarts += outcome.restarts;
+        shared.stats.nogoods_learned += learned_here;
         if (outcome.feasible) {
           require_valid(spec, outcome.solution);
           const long long cost = outcome.solution.license_cost(spec);
@@ -303,6 +370,7 @@ SynthesisEngine::SynthesisEngine(SynthesisRequest request)
 
 OptimizeResult SynthesisEngine::minimize() {
   op_epoch_ = cache_.begin_op(request_.spec);
+  nogood_epoch_ = nogoods_.begin_op(request_.spec);
   return minimize_spec(request_.spec, request_.parallelism.resolved_threads(),
                        /*ctx=*/0);
 }
@@ -347,24 +415,51 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   // palette proves every combo (a per-class subset of it) infeasible, so
   // don't enumerate the combo space just to screen each entry — on wide
   // markets that space runs into the millions.
-  {
-    Palettes full_market;
-    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-      const auto rc = static_cast<dfg::ResourceClass>(cls);
-      if (spec.graph.ops_per_class()[cls] == 0) continue;
-      full_market[cls] = spec.catalog.vendors_by_cost(rc);
-    }
-    if (screens.refutes(full_market)) {
-      result.status = OptStatus::kInfeasible;
-      result.stats.combos_skipped_screen = 1;
-      result.stats.seconds = timer.elapsed_seconds();
-      return result;
-    }
+  Palettes full_market;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    if (spec.graph.ops_per_class()[cls] == 0) continue;
+    full_market[cls] = spec.catalog.vendors_by_cost(rc);
+  }
+  if (screens.refutes(full_market)) {
+    result.status = OptStatus::kInfeasible;
+    result.stats.combos_skipped_screen = 1;
+    result.stats.seconds = timer.elapsed_seconds();
+    return result;
+  }
+
+  // Full-market incumbent probe: one budgeted solve of the *least*
+  // constrained palette before the cheapest-first grind. On hard specs the
+  // cheap sets are contested and burn their whole node budget inconclusive
+  // while the full market solves in a handful of nodes — the probe turns
+  // the budget-exhausted kUnknown those rows used to report into a
+  // kFeasible with a real binding, priced at the licenses the solution
+  // actually uses. It can never change any other answer: a winner cheaper
+  // than the probe's set is committed exactly as before (every set cheaper
+  // than a committed winner is dispatched or skipped-with-proof first), so
+  // the probe only fills in answers the search failed to produce. Runs
+  // before the search so a node-bounded probe is a pure function of (spec,
+  // budgets) — the same determinism carve-out as every other evaluation.
+  // Gated on nogood_learning: off must reproduce the historical engine.
+  std::optional<Solution> probe_solution;
+  long probe_nodes = 0, probe_backjumps = 0, probe_restarts = 0;
+  if (request_.pruning.nogood_learning &&
+      (!request_.cancel || !request_.cancel->cancelled())) {
+    ComboOutcome probe = evaluate_combo(
+        spec, full_market, /*index=*/-1, request_,
+        request_.limits.time_limit_seconds - timer.elapsed_seconds(),
+        /*imported=*/nullptr);
+    probe_nodes = probe.csp_nodes;
+    probe_backjumps = probe.backjumps;
+    probe_restarts = probe.restarts;
+    if (probe.feasible) probe_solution = std::move(probe.solution);
   }
   SharedSearch shared(ComboQueue(enumerate_palettes(spec, min_sizes)));
   shared.screens = &screens;
   shared.cache = request_.pruning.dominance_cache ? &cache_ : nullptr;
+  shared.nogoods = request_.pruning.nogood_learning ? &nogoods_ : nullptr;
   shared.epoch = op_epoch_;
+  shared.nogood_epoch = nogood_epoch_;
   shared.ctx = ctx;
   const int lanes = std::max(1, threads);
   if (lanes == 1) {
@@ -383,6 +478,9 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   if (shared.failure) std::rethrow_exception(shared.failure);
 
   result.stats = shared.stats;
+  result.stats.nodes_total += probe_nodes;
+  result.stats.backjumps += probe_backjumps;
+  result.stats.restarts += probe_restarts;
   result.stats.seconds = timer.elapsed_seconds();
 
   // Seal this sub-search's cache contribution down to its deterministic
@@ -397,6 +495,11 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
                             : std::numeric_limits<long long>::max();
   if (shared.cache) {
     shared.cache->finalize_context(shared.epoch, ctx, keep_below);
+  }
+  if (shared.nogoods) {
+    // Same deterministic-prefix rule as the cache: only nogoods learned on
+    // sets cheaper than the final incumbent are dispatched in every run.
+    shared.nogoods->finalize_context(shared.nogood_epoch, ctx, keep_below);
   }
   long long cheapest_inconclusive = -1;
   for (const auto& [combo_cost, sig] : shared.inconclusives) {
@@ -424,6 +527,14 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     result.status = proven ? OptStatus::kOptimal : OptStatus::kFeasible;
   } else if (queue_drained && result.stats.unknown_combos == 0) {
     result.status = OptStatus::kInfeasible;
+  } else if (probe_solution) {
+    // Budget exhausted with no incumbent, but the probe holds a feasible
+    // full-market binding: report it instead of kUnknown. Never a downgrade
+    // of a proof (the kInfeasible branch above requires a drained queue, in
+    // which case the probe could not have found a solution).
+    result.solution = std::move(*probe_solution);
+    result.cost = result.solution.license_cost(spec);
+    result.status = OptStatus::kFeasible;
   } else {
     result.status = OptStatus::kUnknown;
   }
@@ -440,6 +551,7 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
 
 SplitResult SynthesisEngine::minimize_total_latency(int lambda_total) {
   op_epoch_ = cache_.begin_op(request_.spec);
+  nogood_epoch_ = nogoods_.begin_op(request_.spec);
   return split_minimize(request_.spec, lambda_total,
                         request_.parallelism.resolved_threads(),
                         /*ctx_base=*/0);
@@ -505,6 +617,19 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
     // the row-level minimum is not proved.
     best.result.status = OptStatus::kFeasible;
   }
+  // The winner's stats describe only its own sub-search; the row-total
+  // counters sum every split's attempt so the work the non-winning splits
+  // burned is visible (historically it was silently dropped).
+  best.result.stats.nodes_total = 0;
+  best.result.stats.nogoods_learned = 0;
+  best.result.stats.backjumps = 0;
+  best.result.stats.restarts = 0;
+  for (const OptimizeResult& attempt : attempts) {
+    best.result.stats.nodes_total += attempt.stats.nodes_total;
+    best.result.stats.nogoods_learned += attempt.stats.nogoods_learned;
+    best.result.stats.backjumps += attempt.stats.backjumps;
+    best.result.stats.restarts += attempt.stats.restarts;
+  }
   return best;
 }
 
@@ -513,6 +638,7 @@ std::vector<FrontierPoint> SynthesisEngine::sweep_frontier(
   const ProblemSpec& base = request_.spec;
   const int threads = request_.parallelism.resolved_threads();
   op_epoch_ = cache_.begin_op(base);
+  nogood_epoch_ = nogoods_.begin_op(base);
   std::vector<FrontierPoint> frontier(sweep.values.size());
   if (sweep.axis == FrontierSweep::Axis::kArea) {
     run_indexed(sweep.values.size(), threads,
@@ -568,6 +694,7 @@ OptimizeResult SynthesisEngine::reoptimize(
   // refutation transfers: quarantine re-searches skip straight past the
   // license sets the original search already disproved.
   op_epoch_ = cache_.begin_op(thinned);
+  nogood_epoch_ = nogoods_.begin_op(thinned);
   return minimize_spec(thinned, request_.parallelism.resolved_threads(),
                        /*ctx=*/0);
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "core/frontier.hpp"
+#include "core/nogood.hpp"
 #include "core/optimizer.hpp"
 #include "core/search_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +51,13 @@ struct SearchLimits {
   long heuristic_node_limit = 80'000;
   /// Stop after this many license sets regardless of proof state.
   long max_combos = 200'000;
+  /// Deterministic intra-palette parallelism (exact strategy): split the
+  /// CSP's root decision level into this many disjoint subtrees solved on
+  /// the request's thread budget. 0 = auto (split large budgeted solves on
+  /// big specs, where a single palette dwarfs the combo loop); 1 = never.
+  /// Any value is bit-identical to sequential — the committed block is the
+  /// lowest-index solved one.
+  int intra_palette_split = 0;
 };
 
 struct Parallelism {
@@ -76,6 +84,18 @@ struct PruningOptions {
   /// before any CSP dispatch. When off, only the legacy phase-density area
   /// precheck runs.
   bool static_screens = true;
+  /// Conflict-directed CSP search (core/csp_solver.hpp): backjumping +
+  /// nogood learning, with learned nogoods reused across sibling palettes
+  /// of later engine operations (core/nogood.hpp), Luby restarts on the
+  /// heuristic path, and a full-market incumbent probe that backfills a
+  /// budget-exhausted kUnknown with a feasible full-market binding. Off
+  /// reproduces the chronological search node for node (A/B baselines).
+  /// The whole package is upgrade-only: nogoods are sound deductions and
+  /// the probe only answers where the search produced nothing, so a
+  /// committed solution's cost and bindings never change and a verdict can
+  /// only get *stronger* within equal budgets (a truncated evaluation may
+  /// finish its proof or gain a feasible fallback).
+  bool nogood_learning = true;
 };
 
 /// Snapshot passed to the progress callback after each evaluated license
@@ -146,6 +166,10 @@ class SynthesisEngine {
   /// incompatible spec.
   const SearchCache& cache() const { return cache_; }
 
+  /// Palette-guarded nogoods accumulated across this engine's operations
+  /// (see core/nogood.hpp); same lifetime discipline as cache().
+  const NogoodStore& nogoods() const { return nogoods_; }
+
  private:
   /// minimize() against an explicit spec (splits/frontier points override
   /// fields of the request's spec), with an explicit thread budget. `ctx`
@@ -158,9 +182,12 @@ class SynthesisEngine {
 
   SynthesisRequest request_;
   SearchCache cache_;
+  NogoodStore nogoods_;
   /// Epoch of the current public operation (set by SearchCache::begin_op
   /// before sub-searches fan out; read-only while they run).
   std::uint64_t op_epoch_ = 0;
+  /// NogoodStore epoch of the current operation (its own counter).
+  std::uint64_t nogood_epoch_ = 0;
   /// Serializes the user progress callback across concurrent sub-searches
   /// (split sweeps and frontier points share one engine).
   std::mutex progress_mutex_;

@@ -1,0 +1,151 @@
+#include "core/nogood.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace ht::core {
+namespace {
+
+std::tuple<int, int, int, int> lit_key(const NogoodLit& lit) {
+  return {lit.copy, lit.vendor, lit.cycle_lo, lit.cycle_hi};
+}
+
+bool nogood_less(const CspNogood& a, const CspNogood& b) {
+  return std::lexicographical_compare(
+      a.lits.begin(), a.lits.end(), b.lits.begin(), b.lits.end(),
+      [](const NogoodLit& x, const NogoodLit& y) {
+        return lit_key(x) < lit_key(y);
+      });
+}
+
+std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, int, int, long long>
+guard_key(const PaletteSignature& sig) {
+  return {sig.masks[0], sig.masks[1], sig.masks[2], sig.lambda_detection,
+          sig.lambda_recovery, sig.area_limit};
+}
+
+}  // namespace
+
+std::uint64_t NogoodStore::begin_op(const ProblemSpec& spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Same family-compatibility discipline as SearchCache::begin_op: the
+  // structural fingerprint must match, and no offer both catalogs carry may
+  // have changed area (nogoods deduced from area overflows depend on offer
+  // areas; a *thinned* catalog with unchanged areas keeps every entry).
+  const std::uint64_t fingerprint = spec_family_fingerprint(spec);
+  bool compatible = fingerprint == fingerprint_;
+  const std::size_t slots =
+      static_cast<std::size_t>(spec.catalog.num_vendors()) *
+      dfg::kNumResourceClasses;
+  if (compatible) {
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+        const auto rc = static_cast<dfg::ResourceClass>(cls);
+        if (!spec.catalog.offers(v, rc)) continue;
+        long long& seen =
+            offer_areas_[static_cast<std::size_t>(v) *
+                             dfg::kNumResourceClasses +
+                         static_cast<std::size_t>(cls)];
+        const long long area = spec.catalog.offer(v, rc).area;
+        if (seen < 0) {
+          seen = area;
+        } else if (seen != area) {
+          compatible = false;
+        }
+      }
+    }
+  }
+  if (!compatible) {
+    clear_locked();
+    fingerprint_ = fingerprint;
+    offer_areas_.assign(slots, -1);
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+        const auto rc = static_cast<dfg::ResourceClass>(cls);
+        if (spec.catalog.offers(v, rc)) {
+          offer_areas_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
+                       static_cast<std::size_t>(cls)] =
+              spec.catalog.offer(v, rc).area;
+        }
+      }
+    }
+  }
+  // Seal: canonical order by content, not by recording interleaving —
+  // (combo cost, epoch, ctx, literals, guard) is a pure function of the
+  // deterministic set of finalized recordings, so every run (and every
+  // thread count) imports the identical frozen tier.
+  frozen_.reserve(frozen_.size() + pending_.size());
+  std::move(pending_.begin(), pending_.end(), std::back_inserter(frozen_));
+  pending_.clear();
+  pending_.shrink_to_fit();
+  std::sort(frozen_.begin(), frozen_.end(),
+            [](const Stored& a, const Stored& b) {
+              if (a.combo_cost != b.combo_cost) {
+                return a.combo_cost < b.combo_cost;
+              }
+              if (a.epoch != b.epoch) return a.epoch < b.epoch;
+              if (a.ctx != b.ctx) return a.ctx < b.ctx;
+              if (a.nogood != b.nogood) return nogood_less(a.nogood, b.nogood);
+              return guard_key(a.guard) < guard_key(b.guard);
+            });
+  frozen_.erase(std::unique(frozen_.begin(), frozen_.end(),
+                            [](const Stored& a, const Stored& b) {
+                              return a.nogood == b.nogood &&
+                                     guard_key(a.guard) == guard_key(b.guard);
+                            }),
+                frozen_.end());
+  if (frozen_.size() > kSealCap) frozen_.resize(kSealCap);
+  return ++epoch_;
+}
+
+void NogoodStore::record(std::vector<CspNogood> learned,
+                         const PaletteSignature& sig, std::uint64_t epoch,
+                         std::uint64_t ctx, long long combo_cost) {
+  if (learned.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (epoch != epoch_) return;  // late recording from a superseded op
+  // Plain push_back (geometric growth): an exact-fit reserve here would
+  // reallocate the whole pending tier on every record call — quadratic on
+  // operations that refute thousands of palettes.
+  for (CspNogood& nogood : learned) {
+    pending_.push_back(Stored{std::move(nogood), sig, epoch, ctx, combo_cost});
+  }
+}
+
+void NogoodStore::collect_frozen(const PaletteSignature& sig,
+                                 std::uint64_t epoch,
+                                 std::vector<CspNogood>* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Stored& stored : frozen_) {
+    if (stored.epoch >= epoch) continue;  // not sealed: invisible
+    if (signature_dominates(stored.guard, sig)) {
+      out->push_back(stored.nogood);
+    }
+  }
+}
+
+void NogoodStore::finalize_context(std::uint64_t epoch, std::uint64_t ctx,
+                                   long long keep_below) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::erase_if(pending_, [&](const Stored& stored) {
+    return stored.epoch == epoch && stored.ctx == ctx &&
+           stored.combo_cost >= keep_below;
+  });
+}
+
+std::size_t NogoodStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_.size() + pending_.size();
+}
+
+void NogoodStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clear_locked();
+}
+
+void NogoodStore::clear_locked() {
+  frozen_.clear();
+  pending_.clear();
+}
+
+}  // namespace ht::core

@@ -1,0 +1,97 @@
+// Cross-palette nogood store for the conflict-directed CSP search.
+//
+// The CSP learns nogoods — small conjunctions of (copy, cycle, vendor)
+// assignments no solution satisfies — while solving one palette. A nogood
+// is a deduction from the *spec plus the bounds and palette it was proved
+// under*, not from the palette alone: removing vendors or tightening
+// λ/area only removes candidate solutions (the same monotonicity lemma the
+// SearchCache rests on), so a nogood proved under signature G holds for
+// every query signature G dominates. The store keeps each nogood with its
+// guard signature and hands a palette solve exactly the nogoods whose
+// guards dominate it.
+//
+// Determinism contract, mirroring SearchCache: solvers only ever *import*
+// the frozen tier — entries sealed by a previous engine operation
+// (begin_op) — in a canonical sealed order, so every thread count and
+// every dispatch interleaving sees the same imported set. Entries recorded
+// during an operation become importable only after the next begin_op, and
+// finalize_context() first prunes them to the deterministically-dispatched
+// prefix (combo cost below the operation's final incumbent), exactly like
+// the dominance cache. Record only from deterministic solve outcomes
+// (feasible / infeasible / node-limit); timeout or cancellation truncates
+// learning at a wall-clock-dependent point and must be dropped.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/search_cache.hpp"
+
+namespace ht::core {
+
+/// Thread-safe store of palette-guarded nogoods, scoped to one spec family
+/// (same fingerprint discipline as SearchCache::begin_op).
+class NogoodStore {
+ public:
+  NogoodStore() = default;
+
+  /// Marks the start of a public engine operation: seals everything
+  /// recorded so far into the frozen tier (canonically ordered, deduped,
+  /// capped) and drops the store when `spec` is structurally incompatible
+  /// with the family the nogoods were proved under. Not thread-safe:
+  /// public engine operations are serialized. Returns the new epoch.
+  std::uint64_t begin_op(const ProblemSpec& spec);
+
+  /// Records nogoods learned while solving a palette with signature `sig`,
+  /// tagged with the producing operation's epoch, sub-search context, and
+  /// the license cost of the palette tuple (for finalize pruning).
+  void record(std::vector<CspNogood> learned, const PaletteSignature& sig,
+              std::uint64_t epoch, std::uint64_t ctx, long long combo_cost);
+
+  /// Appends to `out` every frozen nogood (sealed before `epoch`) whose
+  /// guard dominates `sig`, in sealed order. This is the only read the
+  /// dispatch path may use.
+  void collect_frozen(const PaletteSignature& sig, std::uint64_t epoch,
+                      std::vector<CspNogood>* out) const;
+
+  /// Drops this context's entries with combo cost >= keep_below — the part
+  /// of the operation's learning whose dispatch is not guaranteed in every
+  /// run. Call once per sub-search, after its workers have joined.
+  void finalize_context(std::uint64_t epoch, std::uint64_t ctx,
+                        long long keep_below);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Stored {
+    CspNogood nogood;
+    PaletteSignature guard;
+    std::uint64_t epoch = 0;
+    std::uint64_t ctx = 0;
+    long long combo_cost = 0;
+  };
+
+  /// Frozen-tier size cap: sealing keeps the canonically-first entries so
+  /// the imported set stays bounded and identical across runs.
+  static constexpr std::size_t kSealCap = 4096;
+
+  void clear_locked();
+
+  mutable std::mutex mutex_;
+  /// Sealed tier (≤ kSealCap, immutable between begin_op calls): the only
+  /// tier collect_frozen scans, so dispatch-path reads stay O(kSealCap)
+  /// no matter how much the current operation records.
+  std::vector<Stored> frozen_;
+  /// Recordings of the current operation; merged into frozen_ (sorted,
+  /// deduped, capped) by the next begin_op.
+  std::vector<Stored> pending_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t fingerprint_ = 0;  ///< 0 = no family adopted yet
+  /// Offer areas seen so far (vendor * kNumResourceClasses + cls -> area,
+  /// -1 = unseen), unioned across operations like SearchCache's.
+  std::vector<long long> offer_areas_;
+};
+
+}  // namespace ht::core

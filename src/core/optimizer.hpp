@@ -64,7 +64,17 @@ struct OptimizeStats {
   /// core/search_cache.hpp) already proves them infeasible.
   long combos_skipped_cache = 0;
   long unknown_combos = 0;
+  /// CSP nodes of the *winning* sub-search (historical meaning: the search
+  /// whose result was committed).
   long csp_nodes = 0;
+  /// CSP nodes summed across *every* sub-search of the operation — split
+  /// sweeps and frontier points include their non-winning attempts, which
+  /// csp_nodes drops. For a plain minimize the two coincide.
+  long nodes_total = 0;
+  /// Conflict-directed search counters, aggregated like nodes_total.
+  long nogoods_learned = 0;
+  long backjumps = 0;
+  long restarts = 0;
   double seconds = 0.0;
 };
 

@@ -20,12 +20,13 @@ struct Fnv {
   }
 };
 
-/// Hashes everything palette-tuple feasibility depends on *except* the
-/// latency bounds, the area limit, license costs and which offers exist:
-/// those either live in the PaletteSignature (bounds) or are handled by the
-/// per-offer area compatibility check (existence — thinning a catalog does
-/// not invalidate proofs; see header).
-std::uint64_t structural_fingerprint(const ProblemSpec& spec) {
+}  // namespace
+
+// Everything palette-tuple feasibility depends on *except* the bounds in
+// the PaletteSignature and which offers exist (existence is handled by the
+// per-offer area compatibility check — thinning a catalog does not
+// invalidate proofs; see header).
+std::uint64_t spec_family_fingerprint(const ProblemSpec& spec) {
   Fnv h;
   const int n = spec.graph.num_ops();
   h.mix(n);
@@ -53,8 +54,6 @@ std::uint64_t structural_fingerprint(const ProblemSpec& spec) {
   return h.state;
 }
 
-}  // namespace
-
 PaletteSignature signature_of(const ProblemSpec& spec,
                               const Palettes& palettes) {
   PaletteSignature sig;
@@ -71,8 +70,21 @@ PaletteSignature signature_of(const ProblemSpec& spec,
   return sig;
 }
 
+bool signature_dominates(const PaletteSignature& entry,
+                         const PaletteSignature& query) {
+  // The entry was proved under *more* resources (superset palettes, looser
+  // bounds); the query has no more, so it inherits the proof.
+  if (entry.lambda_detection < query.lambda_detection) return false;
+  if (entry.lambda_recovery < query.lambda_recovery) return false;
+  if (entry.area_limit < query.area_limit) return false;
+  for (std::size_t cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if ((query.masks[cls] & ~entry.masks[cls]) != 0) return false;
+  }
+  return true;
+}
+
 std::uint64_t SearchCache::begin_op(const ProblemSpec& spec) {
-  const std::uint64_t fingerprint = structural_fingerprint(spec);
+  const std::uint64_t fingerprint = spec_family_fingerprint(spec);
   bool compatible = fingerprint == fingerprint_;
   const std::size_t slots =
       static_cast<std::size_t>(spec.catalog.num_vendors()) *
@@ -116,16 +128,7 @@ std::uint64_t SearchCache::begin_op(const ProblemSpec& spec) {
 
 bool SearchCache::entry_dominates(const Entry& entry,
                                   const PaletteSignature& q) {
-  // The entry proves infeasibility under *more* resources (superset
-  // palettes, looser bounds); the query has no more, so it inherits the
-  // proof.
-  if (entry.sig.lambda_detection < q.lambda_detection) return false;
-  if (entry.sig.lambda_recovery < q.lambda_recovery) return false;
-  if (entry.sig.area_limit < q.area_limit) return false;
-  for (std::size_t cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-    if ((q.masks[cls] & ~entry.sig.masks[cls]) != 0) return false;
-  }
-  return true;
+  return signature_dominates(entry.sig, q);
 }
 
 int SearchCache::shard_of(const PaletteSignature& sig) const {

@@ -51,6 +51,20 @@ struct PaletteSignature {
 PaletteSignature signature_of(const ProblemSpec& spec,
                               const Palettes& palettes);
 
+/// True when `entry` (a signature something was proved under) dominates
+/// `query`: the entry had at-least-as-loose bounds and per-class superset
+/// palettes, so by CSP monotonicity anything infeasible (or any nogood
+/// deduced) under the entry carries over to the query.
+bool signature_dominates(const PaletteSignature& entry,
+                         const PaletteSignature& query);
+
+/// Hashes everything palette-tuple feasibility depends on *except* the
+/// latency bounds, the area limit, license costs and which offers exist:
+/// those either live in the PaletteSignature (bounds) or are handled by the
+/// SearchCache's per-offer area compatibility check. Shared key of the
+/// dominance cache and the NogoodStore (core/nogood.hpp).
+std::uint64_t spec_family_fingerprint(const ProblemSpec& spec);
+
 /// Thread-safe store of complete infeasibility proofs, sharded over
 /// reader/writer mutexes (queries take shared locks only).
 class SearchCache {

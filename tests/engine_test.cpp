@@ -260,6 +260,86 @@ TEST(EnginePruningTest, CacheOnMatchesCacheOffAcrossThreadCounts) {
   }
 }
 
+TEST(EnginePruningTest, FrozenNogoodsAreDeterministicAcrossThreadCounts) {
+  // Second operation on a warm engine: the first minimize seals its learned
+  // nogoods, the repeat imports that frozen tier on every worker. Reuse may
+  // only *upgrade* a verdict relative to a learning-off engine (nogoods are
+  // sound deductions), and the warm result must be bit-identical across
+  // thread counts — the frozen tier every interleaving imports is the same.
+  const auto rank = [](OptStatus status) {
+    switch (status) {
+      case OptStatus::kUnknown: return 0;
+      case OptStatus::kFeasible: return 1;
+      default: return 2;  // kOptimal / kInfeasible: terminal proofs
+    }
+  };
+  for (const char* name : {"polynom", "dtmf"}) {
+    SynthesisRequest baseline_request = budgeted_request(
+        suite_spec(benchmarks::by_name(name)));
+    baseline_request.pruning.nogood_learning = false;
+    SynthesisEngine baseline_engine(std::move(baseline_request));
+    (void)baseline_engine.minimize();
+    const OptimizeResult baseline = baseline_engine.minimize();
+
+    SynthesisRequest reference_request = budgeted_request(
+        suite_spec(benchmarks::by_name(name)));
+    SynthesisEngine reference_engine(std::move(reference_request));
+    (void)reference_engine.minimize();
+    const OptimizeResult reference = reference_engine.minimize();
+    EXPECT_GE(rank(reference.status), rank(baseline.status)) << name;
+    if (baseline.has_solution() && reference.has_solution()) {
+      EXPECT_EQ(reference.cost, baseline.cost) << name;
+    }
+
+    for (const int threads : {4, 8}) {
+      SynthesisRequest request = budgeted_request(
+          suite_spec(benchmarks::by_name(name)));
+      request.parallelism.threads = threads;  // learning defaults on
+      SynthesisEngine engine(std::move(request));
+      (void)engine.minimize();
+      expect_identical(reference, engine.minimize(),
+                       std::string(name) + " warm nogoods @" +
+                           std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST(EnginePruningTest, FullMarketProbeBackfillsBudgetExhaustedUnknowns) {
+  // Starve the search so hard it cannot commit any incumbent: one combo,
+  // and too few nodes to solve the contested cheapest set. The historical
+  // engine (learning off) reports kUnknown; with the conflict-directed
+  // package on, the full-market probe supplies a feasible binding instead.
+  ProblemSpec tight = suite_spec(benchmarks::by_name("polynom"));
+  tight.lambda_detection -= 1;  // λ = critical path: greedy can't luck out
+  SynthesisRequest starved = budgeted_request(std::move(tight));
+  starved.limits.max_combos = 1;
+  starved.limits.heuristic_node_limit = 50;
+  starved.limits.heuristic_restarts = 1;
+
+  SynthesisRequest off_request = starved;
+  off_request.pruning.nogood_learning = false;
+  SynthesisEngine off_engine(std::move(off_request));
+  const OptimizeResult off = off_engine.minimize();
+  ASSERT_EQ(off.status, OptStatus::kUnknown) << "fixture not starved enough";
+
+  SynthesisEngine on_engine(std::move(starved));
+  const OptimizeResult on = on_engine.minimize();
+  EXPECT_EQ(on.status, OptStatus::kFeasible);
+  ASSERT_TRUE(on.has_solution());
+  EXPECT_EQ(on.cost, on.solution.license_cost(on_engine.request().spec));
+  // The probe is a fallback, never a downgrade: with budgets restored the
+  // search commits its own (cheaper or equal) winner, probe or not.
+  ProblemSpec tight_again = suite_spec(benchmarks::by_name("polynom"));
+  tight_again.lambda_detection -= 1;
+  SynthesisRequest ample = budgeted_request(std::move(tight_again));
+  ample.limits.max_combos = 20'000;
+  ample.limits.heuristic_node_limit = 80'000;
+  SynthesisEngine ample_engine(std::move(ample));
+  const OptimizeResult full = ample_engine.minimize();
+  ASSERT_TRUE(full.has_solution());
+  EXPECT_LE(full.cost, on.cost);
+}
+
 TEST(EnginePruningTest, StaticScreensAreInvisibleToConclusiveSearches) {
   // With the exact strategy and ample budgets every dispatched set gets a
   // complete verdict, so the screens only change *where* a refutation is

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Diff two bench --json logs on statuses and costs (never timings).
+
+Usage: diff_bench_json.py BASELINE.json CANDIDATE.json
+
+Rows are keyed by (benchmark, n, lambda, area, threads). Only keys present
+in both files are compared — the candidate may be a subset (e.g. a
+`--fast` run against the full committed log). A status or cost difference
+on any shared key is a failure; wall clocks, node counts and skip counters
+are reported nowhere because they are load- and machine-dependent.
+
+Exit status: 0 = all shared rows match, 1 = mismatch or unusable input.
+"""
+
+import json
+import sys
+
+
+def load_rows(path):
+    with open(path) as handle:
+        rows = json.load(handle)
+    indexed = {}
+    for row in rows:
+        key = (row["benchmark"], row["n"], row["lambda"], row["area"],
+               row["threads"])
+        if key in indexed:
+            raise SystemExit(f"{path}: duplicate row key {key}")
+        indexed[key] = row
+    return indexed
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    baseline = load_rows(sys.argv[1])
+    candidate = load_rows(sys.argv[2])
+    shared = sorted(set(baseline) & set(candidate))
+    if not shared:
+        print("diff_bench_json: no shared row keys — nothing was compared")
+        return 1
+
+    mismatches = []
+    for key in shared:
+        base, cand = baseline[key], candidate[key]
+        for field in ("status", "cost"):
+            if base[field] != cand[field]:
+                mismatches.append(
+                    f"  {key}: {field} {base[field]!r} -> {cand[field]!r}")
+    if mismatches:
+        print(f"diff_bench_json: {len(mismatches)} mismatch(es) over "
+              f"{len(shared)} shared rows:")
+        print("\n".join(mismatches))
+        return 1
+    print(f"diff_bench_json: {len(shared)} shared rows match "
+          f"(statuses and costs identical)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
