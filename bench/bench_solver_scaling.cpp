@@ -37,6 +37,10 @@ using namespace ht;
 /// Per-row records for `--json <path>` (see bench_util.hpp).
 benchx::JsonReport g_json;
 
+/// `--no-bounds`: run every engine call with the branch-and-bound lower
+/// bounds disabled (A/B baseline; see PruningOptions::cost_bounds).
+bool g_no_bounds = false;
+
 core::ProblemSpec random_spec(int num_ops, std::uint64_t seed) {
   util::Rng rng(seed);
   benchmarks::RandomDfgConfig config;
@@ -150,6 +154,7 @@ void print_reproduction() {
       util::Timer timer;
       core::OptimizerOptions e;
       e.time_limit_seconds = 15;
+      e.cost_bounds = !g_no_bounds;
       const core::OptimizeResult exact = core::minimize_cost(spec, e);
       const double exact_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/exact", spec, 1, exact,
@@ -159,6 +164,7 @@ void print_reproduction() {
       core::OptimizerOptions h;
       h.strategy = core::Strategy::kHeuristic;
       h.time_limit_seconds = 15;
+      h.cost_bounds = !g_no_bounds;
       const core::OptimizeResult heur = core::minimize_cost(spec, h);
       const double heur_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/heuristic", spec, 1, heur,
@@ -216,6 +222,7 @@ void print_parallel_scaling(int threads) {
     row.options.heuristic_node_limit = 80'000;
     row.options.max_combos = 2'000;
     row.options.time_limit_seconds = 120;
+    row.options.cost_bounds = !g_no_bounds;
     rows.push_back(std::move(row));
   }
   // A paper benchmark under the Section 5 catalog.
@@ -233,6 +240,7 @@ void print_parallel_scaling(int threads) {
     row.options.heuristic_node_limit = 80'000;
     row.options.max_combos = 1'000;
     row.options.time_limit_seconds = 120;
+    row.options.cost_bounds = !g_no_bounds;
     rows.push_back(std::move(row));
   }
 
@@ -330,11 +338,15 @@ void print_pruning_study() {
     request.limits.heuristic_node_limit = 80'000;
     request.limits.max_combos = row.max_combos;
     request.limits.time_limit_seconds = 300;
+    request.pruning.cost_bounds = !g_no_bounds;
 
     core::SynthesisRequest off_request = request;
     off_request.pruning.dominance_cache = false;
     off_request.pruning.static_screens = false;
     off_request.pruning.nogood_learning = false;
+    // Bounds stay off on both strict-equality rows so this study isolates
+    // screens + cache; the bounds study below has its own A/B.
+    off_request.pruning.cost_bounds = false;
     core::SynthesisEngine off_engine(std::move(off_request));
     util::Timer timer;
     const core::OptimizeResult off = off_engine.minimize();
@@ -344,6 +356,7 @@ void print_pruning_study() {
 
     core::SynthesisRequest on_request = request;
     on_request.pruning.nogood_learning = false;
+    on_request.pruning.cost_bounds = false;
     core::SynthesisEngine on_engine(std::move(on_request));
     timer.reset();
     const core::OptimizeResult on = on_engine.minimize();
@@ -395,6 +408,9 @@ void print_cache_study() {
   core::SynthesisRequest request;
   request.spec = spec;
   request.pruning.static_screens = false;
+  // Lower bounds would refute the same prefix the cache seals; keep them
+  // off so the cache is the only thing skipping work here.
+  request.pruning.cost_bounds = false;
   core::SynthesisEngine engine(request);
 
   util::TablePrinter table({"operation", "status", "mc", "tried",
@@ -435,6 +451,68 @@ void print_cache_study() {
             "engine)\n");
 }
 
+// Lower-bound A/B: the same size-sweep heavy row solved with the
+// branch-and-bound lower bounds off and on. Bound prunes consume dispatch
+// slots exactly like cache/screen skips, so the bounded run resolves the
+// same cheapest-first budget window: license costs must be identical and
+// proof strength can only go up (a time-limited 'unknown'/'feasible' row
+// may finish inside the limit once the bounds skip the hopeless prefix).
+void print_bounds_study() {
+  std::puts("=== Lower-bound pruning A/B (cost bounds off vs on) ===\n");
+
+  const core::ProblemSpec spec = random_spec(25, 1025);
+  const auto rank = [](core::OptStatus status) {
+    switch (status) {
+      case core::OptStatus::kUnknown: return 0;
+      case core::OptStatus::kFeasible: return 1;
+      default: return 2;
+    }
+  };
+
+  util::TablePrinter table({"engine", "status", "mc", "off s", "on s",
+                            "speedup", "lb prunes", "match"});
+  for (const bool heuristic : {false, true}) {
+    const std::string name = heuristic ? "heuristic n=25" : "exact n=25";
+    core::OptimizerOptions base;
+    if (heuristic) base.strategy = core::Strategy::kHeuristic;
+    base.time_limit_seconds = 15;
+
+    core::OptimizerOptions off_options = base;
+    off_options.cost_bounds = false;
+    util::Timer timer;
+    const core::OptimizeResult off = core::minimize_cost(spec, off_options);
+    const double off_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("bounds_off/" + name, spec, 1, off, off_s));
+
+    core::OptimizerOptions on_options = base;
+    on_options.cost_bounds = true;
+    timer.reset();
+    const core::OptimizeResult on = core::minimize_cost(spec, on_options);
+    const double on_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("bounds_on/" + name, spec, 1, on, on_s));
+
+    const bool match = rank(on.status) >= rank(off.status) &&
+                       (!off.has_solution() || !on.has_solution() ||
+                        off.cost == on.cost);
+    table.add_row(
+        {name, core::to_string(on.status),
+         on.has_solution() ? util::format_money(on.cost) : std::string("-"),
+         util::format_double(off_s, 2), util::format_double(on_s, 2),
+         util::format_double(off_s / std::max(on_s, 1e-3), 1) + "x",
+         std::to_string(on.stats.lb_prunes), match ? "yes" : "NO"});
+    if (!match) {
+      std::printf("MISMATCH on %s: off %s/%lld vs on %s/%lld\n",
+                  name.c_str(), core::to_string(off.status).c_str(), off.cost,
+                  core::to_string(on.status).c_str(), on.cost);
+    }
+  }
+  benchx::print_table(table, "bound pruning A/B (1 thread)");
+  std::puts("(bound prunes consume the same dispatch window as every other "
+            "skip, so the\nlicense cost never moves — the bounds only stop "
+            "the engine from re-proving\nhopeless sets the floors already "
+            "refute)\n");
+}
+
 void BM_ExactByOps(benchmark::State& state) {
   const core::ProblemSpec spec =
       random_spec(static_cast<int>(state.range(0)),
@@ -465,11 +543,13 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 }  // namespace
 
 // Custom main (instead of HT_BENCH_MAIN): strip `--threads N`,
-// `--json <path>` and `--fast` before google-benchmark sees the argv, then
-// run the reproduction, the parallel-scaling / pruning / cache sections,
-// and the registered timings. `--fast` runs only the node-budgeted pruning
-// and cache studies — the subset whose statuses and costs are reproducible
-// under any load, which is what the CI bench-smoke diff checks.
+// `--json <path>`, `--fast` and `--no-bounds` before google-benchmark sees
+// the argv, then run the reproduction, the parallel-scaling / pruning /
+// bounds / cache sections, and the registered timings. `--fast` runs only
+// the node-budgeted pruning and cache studies — the subset whose statuses
+// and costs are reproducible under any load, which is what the CI
+// bench-smoke diff checks. `--no-bounds` disables the lower bounds
+// everywhere (the bounds study still runs its own explicit A/B).
 int main(int argc, char** argv) {
   const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
   int threads =
@@ -482,6 +562,8 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(argv[i], "--fast") == 0) {
       fast = true;
+    } else if (std::strcmp(argv[i], "--no-bounds") == 0) {
+      g_no_bounds = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -494,6 +576,7 @@ int main(int argc, char** argv) {
   }
   print_pruning_study();
   print_cache_study();
+  if (!fast) print_bounds_study();
 
   if (!json_path.empty()) {
     if (g_json.write_to(json_path)) {

@@ -62,9 +62,15 @@ struct JsonRecord {
   int threads = 1;
   std::string status;
   long long cost = 0;
+  /// CSP nodes of the *winning* sub-search only — the attempt whose result
+  /// the row reports (the full-market probe included when its backfilled
+  /// answer is the one committed). 0 when no attempt won (unknown /
+  /// infeasible rows), even if sub-searches burned nodes getting there.
   long nodes = 0;
-  /// CSP nodes summed across every sub-search, non-winning split/frontier
-  /// attempts included (`nodes` keeps the winner-only historical meaning).
+  /// CSP nodes summed across *every* sub-search of the row: non-winning
+  /// split/frontier attempts and unsuccessful probe runs included. Always
+  /// >= `nodes`; compare run over run with `nodes_total`, read the
+  /// winner's effort from `nodes`.
   long nodes_total = 0;
   long nogoods = 0;
   long backjumps = 0;
@@ -72,6 +78,14 @@ struct JsonRecord {
   long combos_tried = 0;
   long combos_skipped_cache = 0;
   long combos_skipped_screen = 0;
+  /// License sets refuted by the branch-and-bound lower bounds before any
+  /// CSP dispatch.
+  long lb_prunes = 0;
+  /// LP relaxations priced for the opt-in LP bound (cache misses only).
+  long lb_lp_solves = 0;
+  /// Watched-literal entries examined by the nogood propagator
+  /// (nodes_total-style aggregation).
+  long nogood_watch_visits = 0;
   double wall_s = 0.0;
 };
 
@@ -95,6 +109,9 @@ inline JsonRecord record_of(std::string benchmark,
   record.combos_tried = result.stats.combos_tried;
   record.combos_skipped_cache = result.stats.combos_skipped_cache;
   record.combos_skipped_screen = result.stats.combos_skipped_screen;
+  record.lb_prunes = result.stats.lb_prunes;
+  record.lb_lp_solves = result.stats.lb_lp_solves;
+  record.nogood_watch_visits = result.stats.nogood_watch_visits;
   record.wall_s = wall_s;
   return record;
 }
@@ -125,6 +142,9 @@ class JsonReport {
           << ", \"combos_tried\": " << r.combos_tried
           << ", \"combos_skipped_cache\": " << r.combos_skipped_cache
           << ", \"combos_skipped_screen\": " << r.combos_skipped_screen
+          << ", \"lb_prunes\": " << r.lb_prunes
+          << ", \"lb_lp_solves\": " << r.lb_lp_solves
+          << ", \"nogood_watch_visits\": " << r.nogood_watch_visits
           << ", \"wall_s\": " << util::format_double(r.wall_s, 4) << "}"
           << (i + 1 < records_.size() ? ",\n" : "\n");
     }

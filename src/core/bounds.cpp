@@ -1,0 +1,135 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "dfg/analysis.hpp"
+
+namespace ht::core {
+namespace {
+
+/// Sentinel cost floor for a market that cannot supply the vendor floors at
+/// all: above every finite combo cost, so the engine refutes every palette
+/// and the drained queue proves kInfeasible.
+constexpr long long kUnsuppliableMarket = LLONG_MAX / 4;
+
+}  // namespace
+
+LowerBounds::LowerBounds(const ProblemSpec& spec) : spec_(spec) {
+  const std::vector<int> latencies = spec.op_latencies();
+  const auto op_counts = spec.graph.ops_per_class();
+
+  // 1. Energetic interval floors, per phase. An op whose whole feasible
+  // occupancy [ASAP start, ALAP start + latency - 1] fits inside [a, b]
+  // executes entirely inside that window in every schedule, so the window
+  // absorbs its full latency; detection counts NC + RC (weight 2) against
+  // the shared phase-0 instance pool, recovery counts once.
+  const auto add_phase = [&](int lambda, int weight) {
+    const std::vector<int> asap = dfg::asap_levels(spec.graph, latencies);
+    const std::vector<int> alap =
+        dfg::alap_levels(spec.graph, lambda, latencies);
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      // items[hi] = total weighted latency of ops with occupancy ending at
+      // hi, bucketed by their earliest start for the window sweep below.
+      std::vector<std::pair<int, long long>> items;  // (lo, weighted latency)
+      std::vector<int> his;
+      for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
+        if (static_cast<int>(dfg::resource_class_of(spec.graph.op(op).type)) !=
+            cls) {
+          continue;
+        }
+        const int lat = latencies[static_cast<std::size_t>(op)];
+        const int lo = asap[static_cast<std::size_t>(op)];
+        const int hi = alap[static_cast<std::size_t>(op)] + lat - 1;
+        items.emplace_back(lo, static_cast<long long>(lat) * weight);
+        his.push_back(hi);
+      }
+      int& floor = instance_floor_[static_cast<std::size_t>(cls)];
+      for (int a = 1; a <= lambda; ++a) {
+        // Sweep b upward, accumulating the demand of ops fully inside
+        // [a, b]; each (a, b) pair yields a ceil(demand / width) floor.
+        std::vector<long long> ending(static_cast<std::size_t>(lambda) + 1, 0);
+        for (std::size_t i = 0; i < items.size(); ++i) {
+          if (items[i].first >= a && his[i] <= lambda) {
+            ending[static_cast<std::size_t>(his[i])] += items[i].second;
+          }
+        }
+        long long demand = 0;
+        for (int b = a; b <= lambda; ++b) {
+          demand += ending[static_cast<std::size_t>(b)];
+          const long long width = b - a + 1;
+          const long long need = (demand + width - 1) / width;
+          floor = std::max(floor, static_cast<int>(need));
+        }
+      }
+    }
+  };
+  add_phase(spec.lambda_detection, 2);
+  if (spec.with_recovery) add_phase(spec.lambda_recovery, 1);
+
+  // 2. Vendor-count floors: instances / per-offer cap, tightened by the
+  // conflict-clique diversity floors the palette enumeration already uses.
+  const std::array<int, dfg::kNumResourceClasses> clique_floors =
+      min_vendors_per_class(spec);
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (op_counts[cls] == 0) continue;
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    const int cap = spec.instance_cap(rc);
+    const int from_instances =
+        (instance_floor_[static_cast<std::size_t>(cls)] + cap - 1) / cap;
+    vendor_floor_[static_cast<std::size_t>(cls)] =
+        std::max({1, from_instances, clique_floors[cls]});
+  }
+
+  // 3. Cost floor: the vendor floors priced with the cheapest licenses of
+  // each class. Any feasible solution is billed for at least this much.
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    const int need = vendor_floor_[static_cast<std::size_t>(cls)];
+    if (need == 0) continue;
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    std::vector<long long> costs;
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      if (spec.catalog.offers(v, rc)) costs.push_back(spec.catalog.offer(v, rc).cost);
+    }
+    if (static_cast<int>(costs.size()) < need) {
+      global_cost_lb_ = kUnsuppliableMarket;
+      return;
+    }
+    std::sort(costs.begin(), costs.end());
+    for (int i = 0; i < need; ++i) global_cost_lb_ += costs[static_cast<std::size_t>(i)];
+  }
+}
+
+bool LowerBounds::refutes(const Palettes& palettes) const {
+  const auto op_counts = spec_.graph.ops_per_class();
+  long long area_floor = 0;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (op_counts[cls] == 0) continue;
+    const auto rc = static_cast<dfg::ResourceClass>(cls);
+    const auto& palette = palettes[static_cast<std::size_t>(cls)];
+    const int floor = instance_floor_[static_cast<std::size_t>(cls)];
+    const long long supply =
+        static_cast<long long>(palette.size()) * spec_.instance_cap(rc);
+    if (supply < floor) return true;
+    // Diversity: fewer vendors on offer than distinct licenses any
+    // feasible design must hold.
+    if (static_cast<int>(palette.size()) <
+        vendor_floor_[static_cast<std::size_t>(cls)]) {
+      return true;
+    }
+    // Additive area floor: the mandatory instances cost at least the
+    // palette's smallest per-instance area each.
+    int min_area = INT_MAX;
+    for (const vendor::VendorId v : palette) {
+      min_area = std::min(min_area, spec_.catalog.offer(v, rc).area);
+    }
+    if (floor > 0 && min_area != INT_MAX) {
+      area_floor += static_cast<long long>(floor) * min_area;
+    }
+  }
+  return area_floor > spec_.area_limit;
+}
+
+}  // namespace ht::core

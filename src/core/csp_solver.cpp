@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <unordered_set>
@@ -115,6 +116,11 @@ class Search {
       est_setter_.assign(copies_.size(), -1);
       lst_setter_.assign(copies_.size(), -1);
       by_copy_.resize(copies_.size());
+      watch_mode_ = options.nogood_watch;
+      if (watch_mode_) {
+        watch_buckets_.resize(copies_.size() * kMaxVendors);
+        assign_stamp_.assign(copies_.size(), 0);
+      }
       if (options.imported != nullptr) {
         for (const CspNogood& nogood : *options.imported) {
           if (!nogood_in_range(nogood)) continue;
@@ -190,6 +196,7 @@ class Search {
     result.nodes = nodes_;
     result.backjumps = backjumps_;
     result.restarts = restarts_;
+    result.watch_visits = watch_visits_;
     switch (outcome) {
       case Outcome::kSolved:
         result.status = CspResult::Status::kFeasible;
@@ -429,6 +436,143 @@ class Search {
     for (const NogoodLit& lit : nogoods_.back().lits) {
       by_copy_[static_cast<std::size_t>(lit.copy)].push_back(id);
     }
+    if (watch_mode_) watch_nogood(id);
+  }
+
+  // ---- two-watched-literal nogood index ---------------------------------
+  // Each nogood watches two of its literals; a bucket per (copy, vendor)
+  // holds the watches whose literal a candidate assignment on that pair
+  // could make TRUE. Invariant: while a nogood has >= 2 non-TRUE literals,
+  // both watches point at non-TRUE literals; with exactly one non-TRUE
+  // literal, that literal is watched (and the other watch, if TRUE, became
+  // TRUE after every non-watched literal, so the LIFO trail un-TRUEs it
+  // first on backtracking). The invariant guarantees every completion —
+  // "all literals except the candidate's already hold" — is caught at a
+  // watch, where the solver falls back to the reference scan so the
+  // reported conflict set (and hence the whole search tree) is
+  // bit-identical to scan mode.
+
+  std::size_t bucket_index(int copy, int v) const {
+    return static_cast<std::size_t>(copy) * kMaxVendors +
+           static_cast<std::size_t>(v);
+  }
+
+  /// True under the current assignment.
+  bool lit_true(const NogoodLit& lit) const {
+    const std::size_t ls = static_cast<std::size_t>(lit.copy);
+    const int ac = assigned_cycle_[ls];
+    return ac >= 0 && assigned_vendor_[ls] == lit.vendor &&
+           ac >= lit.cycle_lo && ac <= lit.cycle_hi;
+  }
+
+  /// True under the current assignment extended by the candidate
+  /// copy := (cycle, v). The candidate's copy is unassigned at check time,
+  /// so its literals are decided by the candidate alone.
+  bool lit_true_under(const NogoodLit& lit, int copy, int cycle,
+                      int v) const {
+    if (lit.copy == copy) {
+      return lit.vendor == v && cycle >= lit.cycle_lo &&
+             cycle <= lit.cycle_hi;
+    }
+    return lit_true(lit);
+  }
+
+  void enqueue_watch(int id, int slot, int li) {
+    const NogoodLit& lit =
+        nogoods_[static_cast<std::size_t>(id)].lits[static_cast<std::size_t>(li)];
+    watch_buckets_[bucket_index(lit.copy, lit.vendor)].push_back(
+        WatchRef{id, slot, li});
+  }
+
+  /// Picks initial watches for a freshly stored nogood. Priority: non-TRUE
+  /// literals first (they keep the nogood quiescent), then TRUE literals by
+  /// deepest assignment stamp. Imported nogoods arrive before any
+  /// assignment and watch their first two literals; learned nogoods are
+  /// born with every literal TRUE (they record the conflicting assignments
+  /// in force) and watch the two deepest — the LIFO trail un-assigns those
+  /// first, so by the time the nogood can fire again its non-TRUE literals
+  /// are exactly its watches.
+  void watch_nogood(int id) {
+    const CspNogood& ng = nogoods_[static_cast<std::size_t>(id)];
+    const int n = static_cast<int>(ng.lits.size());
+    const auto key = [&](int li) {
+      const NogoodLit& lit = ng.lits[static_cast<std::size_t>(li)];
+      return lit_true(lit)
+                 ? assign_stamp_[static_cast<std::size_t>(lit.copy)]
+                 : std::numeric_limits<long>::max();
+    };
+    int w0 = 0;
+    for (int li = 1; li < n; ++li) {
+      if (key(li) > key(w0)) w0 = li;
+    }
+    int w1 = -1;
+    for (int li = 0; li < n; ++li) {
+      if (li == w0) continue;
+      if (w1 < 0 || key(li) > key(w1)) w1 = li;
+    }
+    watch_lit_.resize(static_cast<std::size_t>(id) + 1,
+                      std::array<int, 2>{-1, -1});
+    watch_lit_[static_cast<std::size_t>(id)] = {w0, w1};
+    enqueue_watch(id, 0, w0);
+    if (w1 >= 0) enqueue_watch(id, 1, w1);
+  }
+
+  /// Watched-literal counterpart of nogood_blocks(): visits only the
+  /// watches bucketed under (copy, v). Watch moves are never undone on
+  /// backtracking — the invariant above survives rewinds because literals
+  /// un-TRUE in reverse assignment order.
+  bool watched_blocks(int copy, int cycle, int v, Conf* conf) {
+    std::vector<WatchRef>& bucket = watch_buckets_[bucket_index(copy, v)];
+    for (std::size_t i = 0; i < bucket.size();) {
+      const WatchRef ref = bucket[i];
+      const std::size_t id = static_cast<std::size_t>(ref.id);
+      if (watch_lit_[id][static_cast<std::size_t>(ref.slot)] != ref.li) {
+        // The watch moved on; its old bucket entry is deleted lazily.
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        continue;
+      }
+      ++watch_visits_;
+      const CspNogood& ng = nogoods_[id];
+      const NogoodLit& self = ng.lits[static_cast<std::size_t>(ref.li)];
+      if (cycle < self.cycle_lo || cycle > self.cycle_hi) {
+        ++i;
+        continue;
+      }
+      // The candidate makes this watch TRUE: move it to a literal the
+      // candidate leaves non-TRUE, if any.
+      const int other = watch_lit_[id][static_cast<std::size_t>(1 - ref.slot)];
+      int replacement = -1;
+      for (int li = 0; li < static_cast<int>(ng.lits.size()); ++li) {
+        if (li == ref.li || li == other) continue;
+        if (!lit_true_under(ng.lits[static_cast<std::size_t>(li)], copy,
+                            cycle, v)) {
+          replacement = li;
+          break;
+        }
+      }
+      if (replacement >= 0) {
+        watch_lit_[id][static_cast<std::size_t>(ref.slot)] = replacement;
+        enqueue_watch(ref.id, ref.slot, replacement);
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        continue;
+      }
+      if (other < 0 ||
+          lit_true_under(ng.lits[static_cast<std::size_t>(other)], copy,
+                         cycle, v)) {
+        // Every other literal holds under the candidate: some stored
+        // nogood fires. Re-derive the verdict with the reference scan so
+        // the conflict set is bit-identical to scan mode (first fired
+        // nogood in id order).
+        return nogood_blocks(copy, cycle, v, conf);
+      }
+      // Unit: the other watch is the lone literal the candidate leaves
+      // non-TRUE and stays watched, so the completion is caught when its
+      // own copy is tried.
+      ++i;
+    }
+    return false;
   }
 
   /// Records the current wipeout explanation as a nogood if it is small
@@ -534,13 +678,22 @@ class Search {
   bool assign(int copy, int cycle, int v, Conf* conf) {
     // Stored nogoods are checked before any trail writes, so a blocked
     // value costs no rewind.
-    if (learning_ && nogood_blocks(copy, cycle, v, conf)) return false;
+    if (learning_ &&
+        (watch_mode_ ? watched_blocks(copy, cycle, v, conf)
+                     : nogood_blocks(copy, cycle, v, conf))) {
+      return false;
+    }
 
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
     record(&assigned_cycle_[static_cast<std::size_t>(copy)]);
     record(&assigned_vendor_[static_cast<std::size_t>(copy)]);
     assigned_cycle_[static_cast<std::size_t>(copy)] = cycle;
     assigned_vendor_[static_cast<std::size_t>(copy)] = v;
+    // Stamps are not trailed: they are only read for assigned copies, and
+    // the counter stays monotone across rewinds.
+    if (watch_mode_) {
+      assign_stamp_[static_cast<std::size_t>(copy)] = ++stamp_counter_;
+    }
     if (learning_) {
       std::uint64_t& word = assigned_bits_[static_cast<std::size_t>(copy) >> 6];
       record_u64(&word);
@@ -970,6 +1123,20 @@ class Search {
   int imported_count_ = 0;
   int learned_count_ = 0;
 
+  // Two-watched-literal index (watch mode only; see watched_blocks).
+  struct WatchRef {
+    int id = 0;    // nogood id
+    int slot = 0;  // which of the nogood's two watches (0/1)
+    int li = 0;    // literal index the watch pointed at when enqueued;
+                   // a mismatch with watch_lit_ marks the entry stale
+  };
+  bool watch_mode_ = false;
+  std::vector<std::vector<WatchRef>> watch_buckets_;  // copy*kMaxVendors+v
+  std::vector<std::array<int, 2>> watch_lit_;  // id -> watched literal idxs
+  std::vector<long> assign_stamp_;  // copy -> counter at last commit
+  long stamp_counter_ = 0;
+  long watch_visits_ = 0;
+
   std::array<int, kMaxVendors> vendor_rank_{};
   long segment_index_ = 0;
   long segment_limit_ = 0;  // nodes_ bound of the current Luby segment
@@ -1088,6 +1255,7 @@ CspResult split_solve(const ProblemSpec& spec, const Palettes& palettes,
     out.nodes += results[static_cast<std::size_t>(b)].nodes;
     out.backjumps += results[static_cast<std::size_t>(b)].backjumps;
     out.restarts += results[static_cast<std::size_t>(b)].restarts;
+    out.watch_visits += results[static_cast<std::size_t>(b)].watch_visits;
   }
   bool truncated = false;  // a contributing block hit the clock or a cancel
   for (int b = 0; b <= stat_hi; ++b) {

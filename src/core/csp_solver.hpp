@@ -103,6 +103,15 @@ struct CspOptions {
   /// Nogoods proved applicable to this palette by the caller (frozen tier
   /// of a NogoodStore); checked during search exactly like learned ones.
   const std::vector<CspNogood>* imported = nullptr;
+  /// Two-watched-literal nogood propagation (learning mode only). Each
+  /// stored nogood watches two of its literals, indexed by (copy, vendor)
+  /// buckets, so a candidate assignment visits only the nogoods whose
+  /// watches it could complete instead of scanning every nogood containing
+  /// the copy. When a visit detects a completion the solver re-derives the
+  /// conflict set with the reference scan, so search trees — nodes,
+  /// backjumps, learned nogoods, first solution — are bit-identical to
+  /// scan mode. Off falls back to the scan-all check (A/B baselines).
+  bool nogood_watch = true;
 };
 
 struct CspResult {
@@ -118,6 +127,10 @@ struct CspResult {
   long nodes = 0;
   long backjumps = 0;  ///< frames skipped past by conflict-directed jumps
   long restarts = 0;   ///< Luby re-descents taken
+  /// Watched-literal bucket entries examined by the nogood propagator
+  /// (0 with learning off or nogood_watch off). The scan this replaces
+  /// examined every nogood containing the candidate's copy.
+  long watch_visits = 0;
   /// Nogoods learned this solve (empty with learning off). Deterministic
   /// for kFeasible / kInfeasible / kNodeLimit outcomes; cleared for
   /// timeout / cancellation, whose truncation point is wall-clock-dependent

@@ -7,7 +7,9 @@
 #include <optional>
 #include <utility>
 
+#include "core/bounds.hpp"
 #include "core/greedy.hpp"
+#include "core/ilp_formulation.hpp"
 #include "core/palette.hpp"
 #include "core/reoptimize.hpp"
 #include "core/rules.hpp"
@@ -32,6 +34,7 @@ struct ComboOutcome {
   long csp_nodes = 0;
   long backjumps = 0;
   long restarts = 0;
+  long watch_visits = 0;
   /// Nogoods the CSP learned on this set (empty when learning is off or
   /// the outcome was wall-clock truncated); recorded into the engine's
   /// NogoodStore by the committing worker.
@@ -96,6 +99,7 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     out.csp_nodes += csp.nodes;
     out.backjumps += csp.backjumps;
     out.restarts += csp.restarts;
+    out.watch_visits += csp.watch_visits;
     out.learned = std::move(csp.learned);
     if (csp.status == CspResult::Status::kFeasible) {
       out.feasible = true;
@@ -133,6 +137,7 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
   out.csp_nodes += attempt.nodes;
   out.backjumps += attempt.backjumps;
   out.restarts += attempt.restarts;
+  out.watch_visits += attempt.watch_visits;
   out.learned = std::move(attempt.learned);
   if (attempt.status == CspResult::Status::kFeasible) {
     out.feasible = true;
@@ -161,6 +166,12 @@ struct SharedSearch {
   const StaticScreens* screens = nullptr;  ///< never null during search
   SearchCache* cache = nullptr;            ///< null = dominance cache off
   NogoodStore* nogoods = nullptr;          ///< null = nogood learning off
+  const LowerBounds* bounds = nullptr;     ///< null = cost bounds off
+  /// Lower bound on the license cost of ANY feasible solution (the
+  /// combinatorial floor, optionally tightened by the LP relaxation).
+  /// Computed once before the search, so every thread count prunes the
+  /// same sets.
+  long long cost_floor = 0;
   std::uint64_t epoch = 0;
   std::uint64_t nogood_epoch = 0;
   std::uint64_t ctx = 0;
@@ -222,7 +233,35 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             shared.stop = true;
             return;
           }
+          if (shared.have_incumbent && shared.bounds &&
+              shared.cost_floor >= shared.best_cost) {
+            // The cost floor meets the incumbent: every feasible solution
+            // costs at least the floor, so the incumbent is already the
+            // optimum — no need to grind the remaining (provably
+            // infeasible) cheaper sets through the window.
+            shared.stop = true;
+            return;
+          }
           shared.queue.next(palettes, combo_cost);
+          if (shared.bounds && request.pruning.static_screens &&
+              combo_cost < shared.cost_floor) {
+            // O(1) global-floor refutation on the hot path, before the
+            // signature/screen/cache work: any solution under this set
+            // would be billed at most the set's own license cost, below
+            // the proven floor on every feasible solution — impossible.
+            // Gated on the enhanced screens because those consume the
+            // window exactly like this prune does, so the index
+            // assignment stays bit-identical to a bounds-off run; under
+            // the legacy screens the same check runs after them (below)
+            // to preserve their historical no-consume semantics. Skipping
+            // the cache record is sound for this operation: a dominance
+            // entry covers only per-class *subset* palettes, whose combo
+            // cost is never higher — such sets are themselves below the
+            // floor and so are pruned here, never dispatched.
+            ++shared.stats.lb_prunes;
+            ++shared.evaluated_dispatched;
+            continue;
+          }
           sig = signature_of(spec, palettes);
           if (shared.screens->refutes(palettes)) {
             // Complete static proof, not an unknown. Under the enhanced
@@ -241,6 +280,34 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             if (request.pruning.static_screens) {
               ++shared.evaluated_dispatched;
             }
+            continue;
+          }
+          // Branch-and-bound prunes. Both run *after* the screens so a
+          // legacy-screen skip keeps its historical no-consume semantics in
+          // every flag combination; any set reaching this point would be
+          // dispatched (and so consume the window) by the bounds-off
+          // engine, which is why consuming here keeps the index assignment
+          // — and therefore every status and cost — bit-identical to a
+          // bounds-off run. The only visible delta is wall clock plus
+          // upgrade-only status strengthening at the end of the search.
+          if (shared.bounds && combo_cost < shared.cost_floor) {
+            // O(1) global-floor refutation: any solution under this set
+            // would be billed at most the set's own license cost, below
+            // the proven floor on every feasible solution — impossible.
+            ++shared.stats.lb_prunes;
+            ++shared.evaluated_dispatched;
+            continue;
+          }
+          if (shared.bounds && shared.bounds->refutes(palettes)) {
+            // Energetic instance/area floors: a complete proof that no
+            // schedule fits under this palette, cacheable like a screen
+            // refutation.
+            ++shared.stats.lb_prunes;
+            if (shared.cache) {
+              shared.cache->record(sig, shared.epoch, shared.ctx,
+                                   combo_cost);
+            }
+            ++shared.evaluated_dispatched;
             continue;
           }
           if (shared.cache &&
@@ -284,6 +351,7 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
         shared.stats.nodes_total += outcome.csp_nodes;
         shared.stats.backjumps += outcome.backjumps;
         shared.stats.restarts += outcome.restarts;
+        shared.stats.nogood_watch_visits += outcome.watch_visits;
         shared.stats.nogoods_learned += learned_here;
         if (outcome.feasible) {
           require_valid(spec, outcome.solution);
@@ -428,6 +496,35 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     return result;
   }
 
+  // Branch-and-bound lower bounds (core/bounds.hpp), computed once so
+  // every lane prunes the same sets. The same monotonicity short-circuit
+  // as the screens applies: floors the full market cannot supply refute
+  // every palette.
+  std::optional<LowerBounds> bounds;
+  long long cost_floor = 0;
+  long lb_lp_solves = 0;
+  if (request_.pruning.cost_bounds) {
+    bounds.emplace(spec);
+    cost_floor = bounds->global_cost_lb();
+    if (bounds->refutes(full_market)) {
+      result.status = OptStatus::kInfeasible;
+      result.stats.lb_prunes = 1;
+      result.stats.seconds = timer.elapsed_seconds();
+      return result;
+    }
+    if (request_.pruning.lp_bound) {
+      const PaletteSignature market_sig = signature_of(spec, full_market);
+      long long lp = 0;
+      if (!cache_.lp_bound(spec, market_sig, &lp)) {
+        lp = license_lp_lower_bound(spec, bounds->instance_floors(),
+                                    bounds->vendor_floors());
+        ++lb_lp_solves;
+        if (lp >= 0) cache_.store_lp_bound(spec, market_sig, lp);
+      }
+      cost_floor = std::max(cost_floor, lp);
+    }
+  }
+
   // Full-market incumbent probe: one budgeted solve of the *least*
   // constrained palette before the cheapest-first grind. On hard specs the
   // cheap sets are contested and burn their whole node budget inconclusive
@@ -443,6 +540,7 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   // Gated on nogood_learning: off must reproduce the historical engine.
   std::optional<Solution> probe_solution;
   long probe_nodes = 0, probe_backjumps = 0, probe_restarts = 0;
+  long probe_watch_visits = 0;
   if (request_.pruning.nogood_learning &&
       (!request_.cancel || !request_.cancel->cancelled())) {
     ComboOutcome probe = evaluate_combo(
@@ -452,12 +550,15 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     probe_nodes = probe.csp_nodes;
     probe_backjumps = probe.backjumps;
     probe_restarts = probe.restarts;
+    probe_watch_visits = probe.watch_visits;
     if (probe.feasible) probe_solution = std::move(probe.solution);
   }
   SharedSearch shared(ComboQueue(enumerate_palettes(spec, min_sizes)));
   shared.screens = &screens;
   shared.cache = request_.pruning.dominance_cache ? &cache_ : nullptr;
   shared.nogoods = request_.pruning.nogood_learning ? &nogoods_ : nullptr;
+  shared.bounds = bounds ? &*bounds : nullptr;
+  shared.cost_floor = cost_floor;
   shared.epoch = op_epoch_;
   shared.nogood_epoch = nogood_epoch_;
   shared.ctx = ctx;
@@ -481,6 +582,8 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   result.stats.nodes_total += probe_nodes;
   result.stats.backjumps += probe_backjumps;
   result.stats.restarts += probe_restarts;
+  result.stats.nogood_watch_visits += probe_watch_visits;
+  result.stats.lb_lp_solves = lb_lp_solves;
   result.stats.seconds = timer.elapsed_seconds();
 
   // Seal this sub-search's cache contribution down to its deterministic
@@ -518,9 +621,13 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     result.solution = shared.best_solution;
     result.cost = shared.best_cost;
     // Optimal iff every cheaper license set is disproven: nothing cheaper
-    // is left undispatched and no truncated evaluation was cheaper.
+    // is left undispatched and no truncated evaluation was cheaper. A cost
+    // floor meeting the incumbent is an equivalent proof — every feasible
+    // solution costs at least the floor, so whatever cheaper sets remain
+    // in the queue are infeasible.
     const bool no_cheaper_left =
-        queue_drained || next_cost >= shared.best_cost;
+        queue_drained || next_cost >= shared.best_cost ||
+        (bounds && cost_floor >= shared.best_cost);
     const bool proven = no_cheaper_left &&
                         (cheapest_inconclusive < 0 ||
                          cheapest_inconclusive >= shared.best_cost);
@@ -534,7 +641,16 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     // which case the probe could not have found a solution).
     result.solution = std::move(*probe_solution);
     result.cost = result.solution.license_cost(spec);
-    result.status = OptStatus::kFeasible;
+    // `nodes` reports the winning attempt (see bench/bench_util.hpp): when
+    // the probe supplies the committed solution, its nodes are the winning
+    // sub-search (they are already in nodes_total either way).
+    result.stats.csp_nodes += probe_nodes;
+    // The probe's set is the full market, but its solution is billed at
+    // the licenses it uses; a cost floor meeting that bill proves no
+    // feasible design anywhere is cheaper, i.e. the backfill is optimal.
+    result.status = (bounds && cost_floor >= result.cost)
+                        ? OptStatus::kOptimal
+                        : OptStatus::kFeasible;
   } else {
     result.status = OptStatus::kUnknown;
   }
@@ -624,11 +740,13 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
   best.result.stats.nogoods_learned = 0;
   best.result.stats.backjumps = 0;
   best.result.stats.restarts = 0;
+  best.result.stats.nogood_watch_visits = 0;
   for (const OptimizeResult& attempt : attempts) {
     best.result.stats.nodes_total += attempt.stats.nodes_total;
     best.result.stats.nogoods_learned += attempt.stats.nogoods_learned;
     best.result.stats.backjumps += attempt.stats.backjumps;
     best.result.stats.restarts += attempt.stats.restarts;
+    best.result.stats.nogood_watch_visits += attempt.stats.nogood_watch_visits;
   }
   return best;
 }
@@ -710,6 +828,7 @@ SynthesisRequest make_request(const ProblemSpec& spec,
   request.limits.heuristic_node_limit = options.heuristic_node_limit;
   request.limits.max_combos = options.max_combos;
   request.parallelism.threads = options.threads;
+  request.pruning.cost_bounds = options.cost_bounds;
   request.seed = options.seed;
   return request;
 }

@@ -96,6 +96,24 @@ struct PruningOptions {
   /// only get *stronger* within equal budgets (a truncated evaluation may
   /// finish its proof or gain a feasible fallback).
   bool nogood_learning = true;
+  /// Branch-and-bound lower bounds (core/bounds.hpp): a global license-cost
+  /// floor refutes every cheaper license set in O(1) at pop time, and
+  /// per-palette energetic instance/area floors refute sets no schedule can
+  /// fit — all before any CSP dispatch. Bound prunes consume the
+  /// max_combos window exactly like screen skips, so statuses and costs
+  /// match the bounds-off engine row for row; the only visible differences
+  /// are the wall clock and *upgrades* (the engine reports kOptimal the
+  /// moment the cost floor meets the incumbent instead of enumerating on).
+  bool cost_bounds = true;
+  /// Opt-in LP tightening of the global cost floor: prices a reduced
+  /// relaxation of the paper's ILP (license indicators + aggregated
+  /// capacity/area rows, see core/ilp_formulation.hpp) with the dense
+  /// simplex and takes the max with the combinatorial floor. Memoized in
+  /// the SearchCache per (spec family, market signature, license costs), so
+  /// repeated operations on a warm engine skip the solve. Off by default:
+  /// the combinatorial floor is free and usually as tight on the paper's
+  /// markets.
+  bool lp_bound = false;
 };
 
 /// Snapshot passed to the progress callback after each evaluated license

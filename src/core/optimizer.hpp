@@ -44,6 +44,10 @@ struct OptimizerOptions {
   /// core/engine.hpp for the full request-level API (progress callbacks,
   /// cancellation).
   int threads = 1;
+  /// Branch-and-bound lower bounds on the license-set search (see
+  /// PruningOptions::cost_bounds in core/engine.hpp). Off gives A/B
+  /// baselines the pre-bound engine.
+  bool cost_bounds = true;
 };
 
 enum class OptStatus {
@@ -75,6 +79,17 @@ struct OptimizeStats {
   long nogoods_learned = 0;
   long backjumps = 0;
   long restarts = 0;
+  /// License sets refuted by the branch-and-bound lower bounds
+  /// (core/bounds.hpp) before any CSP dispatch — the global cost floor and
+  /// the per-palette instance/area floors.
+  long lb_prunes = 0;
+  /// LP relaxations actually priced (cache misses) for the opt-in LP
+  /// bound; a warm engine reuses the memoized bound and reports 0.
+  long lb_lp_solves = 0;
+  /// Watched-literal bucket entries examined by the nogood propagator,
+  /// aggregated like nodes_total. The scan-all check this replaces visited
+  /// every nogood containing the copy on every candidate value.
+  long nogood_watch_visits = 0;
   double seconds = 0.0;
 };
 

@@ -110,6 +110,21 @@ class SearchCache {
   void finalize_context(std::uint64_t epoch, std::uint64_t ctx,
                         long long keep_below);
 
+  /// Cached LP cost lower bounds (core/ilp_formulation.hpp:
+  /// license_lp_lower_bound), keyed by the exact signature of the market
+  /// they were priced for. Family scoping rides on begin_op(): an
+  /// incompatible spec drops these together with the dominance entries, so
+  /// a hit is always a bound proved for this spec family — which is what
+  /// lets repeated minimize/reoptimize/frontier calls skip the simplex.
+  /// Because the LP prices licenses — and license costs are deliberately
+  /// *not* part of the family fingerprint (feasibility proofs don't depend
+  /// on them) — each memo entry also carries a digest of the catalog's
+  /// costs, computed from `spec` on both store and lookup.
+  bool lp_bound(const ProblemSpec& spec, const PaletteSignature& sig,
+                long long* bound) const;
+  void store_lp_bound(const ProblemSpec& spec, const PaletteSignature& sig,
+                      long long bound);
+
   std::size_t size() const;
   void clear();
 
@@ -132,6 +147,15 @@ class SearchCache {
              std::uint64_t ctx, bool frozen_only) const;
 
   std::array<Shard, kShards> shards_;
+  /// LP bound memo: small (one entry per distinct market priced), so a
+  /// single mutex suffices.
+  struct LpEntry {
+    PaletteSignature sig;
+    std::uint64_t cost_digest = 0;
+    long long bound = 0;
+  };
+  mutable std::shared_mutex lp_mutex_;
+  std::vector<LpEntry> lp_bounds_;
   std::uint64_t epoch_ = 0;
   /// Structural fingerprint of the spec family; 0 = no family adopted yet.
   std::uint64_t fingerprint_ = 0;

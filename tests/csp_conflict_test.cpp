@@ -295,6 +295,75 @@ TEST(CspConflictTest, ImportedNogoodsPruneWithoutChangingAnswers) {
   EXPECT_LE(student.nodes, teacher.nodes);
 }
 
+TEST(CspConflictTest, WatchedPropagationMatchesScanExactly) {
+  // Two-watched-literal indexing must be invisible to the search: the
+  // blocked-value verdicts (and, on a block, the scan-derived conflict
+  // set) are identical, so status, node count, backjumps, learned nogoods
+  // and the first solution all match the scan-all check bit for bit — only
+  // the number of nogood entries examined per candidate changes.
+  const ProblemSpec contested = mixed_contention_spec();
+  const ProblemSpec feasible = chain_spec(24, 4, 2);
+  const ProblemSpec star = star_spec(5, 2, 4);
+  for (const ProblemSpec* spec : {&contested, &feasible, &star}) {
+    CspOptions scan;
+    scan.max_nodes = 50'000'000;
+    scan.nogood_watch = false;
+    const CspResult reference = solve(*spec, scan);
+    EXPECT_EQ(reference.watch_visits, 0);
+
+    CspOptions watch = scan;
+    watch.nogood_watch = true;
+    const CspResult watched = solve(*spec, watch);
+
+    ASSERT_EQ(watched.status, reference.status);
+    EXPECT_EQ(watched.nodes, reference.nodes);
+    EXPECT_EQ(watched.backjumps, reference.backjumps);
+    EXPECT_EQ(watched.restarts, reference.restarts);
+    ASSERT_EQ(watched.learned.size(), reference.learned.size());
+    for (std::size_t k = 0; k < reference.learned.size(); ++k) {
+      EXPECT_EQ(watched.learned[k], reference.learned[k]);
+    }
+    if (reference.status == CspResult::Status::kFeasible) {
+      expect_same_solution(reference.solution, watched.solution);
+    }
+    if (spec == &contested) {
+      EXPECT_GT(watched.watch_visits, 0);
+      std::printf("contested mixed: %ld nodes, %ld watch visits\n",
+                  watched.nodes, watched.watch_visits);
+    }
+  }
+}
+
+TEST(CspConflictTest, WatchedImportedNogoodsMatchScan) {
+  // The imported-nogood path registers watches before any assignment
+  // exists (first two literals); it must block the same candidates the
+  // scan does.
+  const ProblemSpec spec = star_spec(5, 2, 4);
+  CspOptions teacher_options;
+  teacher_options.max_nodes = 20'000'000;
+  const CspResult teacher = solve(spec, teacher_options);
+  ASSERT_EQ(teacher.status, CspResult::Status::kInfeasible);
+  ASSERT_FALSE(teacher.learned.empty());
+
+  CspOptions scan = teacher_options;
+  scan.imported = &teacher.learned;
+  scan.nogood_watch = false;
+  const CspResult scan_student = solve(spec, scan);
+
+  CspOptions watch = scan;
+  watch.nogood_watch = true;
+  const CspResult watch_student = solve(spec, watch);
+
+  ASSERT_EQ(watch_student.status, scan_student.status);
+  EXPECT_EQ(watch_student.nodes, scan_student.nodes);
+  EXPECT_EQ(watch_student.backjumps, scan_student.backjumps);
+  ASSERT_EQ(watch_student.learned.size(), scan_student.learned.size());
+  for (std::size_t k = 0; k < scan_student.learned.size(); ++k) {
+    EXPECT_EQ(watch_student.learned[k], scan_student.learned[k]);
+  }
+  EXPECT_GT(watch_student.watch_visits, 0);
+}
+
 TEST(CspConflictTest, LearnedNogoodsDroppedOnCancel) {
   const ProblemSpec spec = star_spec(5, 2, 4);
   util::CancelToken cancel;

@@ -74,10 +74,12 @@ TEST(EngineDeterminismTest, OneThreadAndFourThreadsAgreeOnPaperSuite) {
   long total_combos = 0;
   for (const benchmarks::BenchmarkCase& bench : benchmarks::paper_suite()) {
     SynthesisRequest request = budgeted_request(suite_spec(bench));
-    // Screens off: this test covers the parallel CSP commit machinery, so
-    // the cheaper-set disproofs must come from actual worker evaluations
-    // (EnginePruningTest covers the screens-on determinism).
+    // Screens and cost bounds off: this test covers the parallel CSP
+    // commit machinery, so the cheaper-set disproofs must come from actual
+    // worker evaluations (EnginePruningTest covers the screens-on
+    // determinism, EngineBoundsTest the bounds-on determinism).
     request.pruning.static_screens = false;
+    request.pruning.cost_bounds = false;
 
     request.parallelism.threads = 1;
     SynthesisEngine serial(request);
@@ -256,6 +258,56 @@ TEST(EnginePruningTest, CacheOnMatchesCacheOffAcrossThreadCounts) {
       expect_identical(reference, engine.minimize(),
                        bench.name + " cached @" + std::to_string(threads) +
                            " threads");
+    }
+  }
+}
+
+TEST(EngineBoundsTest, BoundsOnIsDeterministicAndNeverWeakens) {
+  // Branch-and-bound lower bounds must be invisible to solutions: bounds-on
+  // runs are bit-identical across thread counts, and against a bounds-off
+  // single-thread reference the verdict can only *strengthen* (a floor may
+  // close a proof the reference left open) while the cost and bindings of
+  // any committed solution never move.
+  const auto rank = [](OptStatus status) {
+    switch (status) {
+      case OptStatus::kUnknown: return 0;
+      case OptStatus::kFeasible: return 1;
+      default: return 2;  // kOptimal / kInfeasible: terminal proofs
+    }
+  };
+  for (const benchmarks::BenchmarkCase& bench : benchmarks::paper_suite()) {
+    SynthesisRequest reference_request = budgeted_request(suite_spec(bench));
+    reference_request.pruning.cost_bounds = false;
+    reference_request.parallelism.threads = 1;
+    SynthesisEngine reference_engine(reference_request);
+    const OptimizeResult reference = reference_engine.minimize();
+    EXPECT_EQ(reference.stats.lb_prunes, 0);
+
+    OptimizeResult first_bounded;
+    for (const int threads : {1, 4, 8}) {
+      SynthesisRequest request = budgeted_request(suite_spec(bench));
+      request.parallelism.threads = threads;  // pruning defaults on
+      SynthesisEngine engine(std::move(request));
+      const OptimizeResult bounded = engine.minimize();
+      if (threads == 1) {
+        first_bounded = bounded;
+        EXPECT_GE(rank(bounded.status), rank(reference.status)) << bench.name;
+        // Bounds prune with proofs, never add evaluations: a solution
+        // exists on one side iff it exists on the other, with identical
+        // cost and bindings.
+        ASSERT_EQ(bounded.has_solution(), reference.has_solution())
+            << bench.name;
+        if (reference.has_solution()) {
+          EXPECT_EQ(bounded.cost, reference.cost) << bench.name;
+          EXPECT_EQ(bounded.solution.licenses_used(engine.request().spec),
+                    reference.solution.licenses_used(engine.request().spec))
+              << bench.name;
+        }
+      } else {
+        expect_identical(first_bounded, bounded,
+                         bench.name + " bounded @" + std::to_string(threads) +
+                             " threads");
+      }
     }
   }
 }

@@ -264,12 +264,14 @@ ProblemSpec contested_spec() {
   return spec;
 }
 
-/// Request with the static screens off, so every refutation is a CSP proof
-/// and the dominance cache (the thing under test) gets all the credit.
+/// Request with the static screens and cost bounds off, so every refutation
+/// is a CSP proof and the dominance cache (the thing under test) gets all
+/// the credit.
 SynthesisRequest cache_only_request() {
   SynthesisRequest request;
   request.spec = contested_spec();
   request.pruning.static_screens = false;
+  request.pruning.cost_bounds = false;
   return request;
 }
 

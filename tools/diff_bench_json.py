@@ -3,17 +3,36 @@
 
 Usage: diff_bench_json.py BASELINE.json CANDIDATE.json
 
-Rows are keyed by (benchmark, n, lambda, area, threads). Only keys present
-in both files are compared — the candidate may be a subset (e.g. a
-`--fast` run against the full committed log). A status or cost difference
-on any shared key is a failure; wall clocks, node counts and skip counters
-are reported nowhere because they are load- and machine-dependent.
+Rows are keyed by (benchmark, n, lambda, area, threads). Added and removed
+keys are reported informationally — bench sections come and go as the
+suite grows, and a `--fast` candidate is a legitimate subset of the full
+committed log. Shared keys are judged on proof strength and cost:
 
-Exit status: 0 = all shared rows match, 1 = mismatch or unusable input.
+  * statuses are ranked unknown < feasible < {optimal, infeasible}; a
+    candidate may hold or *upgrade* a row (sound pruning finishes proofs
+    the baseline left truncated) but never downgrade it, and never flip
+    between the two terminal proofs (optimal <-> infeasible is a
+    contradiction, not an upgrade);
+  * costs are compared only when both sides hold a solution — a row that
+    timed out before its first incumbent has no cost to compare.
+
+Wall clocks, node counts and skip counters are compared nowhere because
+they are load- and machine-dependent.
+
+Exit status: 0 = no regression on any shared row, 1 = regression
+(status downgrade, terminal-proof contradiction, or cost change) or
+unusable input.
 """
 
 import json
 import sys
+
+# Proof strength; optimal and infeasible are both terminal proofs.
+RANK = {"unknown": 0, "feasible": 1, "optimal": 2, "infeasible": 2}
+
+
+def has_solution(row):
+    return row["status"] in ("feasible", "optimal")
 
 
 def load_rows(path):
@@ -25,6 +44,9 @@ def load_rows(path):
                row["threads"])
         if key in indexed:
             raise SystemExit(f"{path}: duplicate row key {key}")
+        if row["status"] not in RANK:
+            raise SystemExit(f"{path}: row {key} has unknown status "
+                             f"{row['status']!r}")
         indexed[key] = row
     return indexed
 
@@ -35,24 +57,50 @@ def main():
     baseline = load_rows(sys.argv[1])
     candidate = load_rows(sys.argv[2])
     shared = sorted(set(baseline) & set(candidate))
+    added = sorted(set(candidate) - set(baseline))
+    removed = sorted(set(baseline) - set(candidate))
+
+    for key in added:
+        print(f"diff_bench_json: note: added row {key}")
+    for key in removed:
+        print(f"diff_bench_json: note: removed row {key}")
     if not shared:
         print("diff_bench_json: no shared row keys — nothing was compared")
         return 1
 
-    mismatches = []
+    regressions = []
+    upgrades = 0
     for key in shared:
         base, cand = baseline[key], candidate[key]
-        for field in ("status", "cost"):
-            if base[field] != cand[field]:
-                mismatches.append(
-                    f"  {key}: {field} {base[field]!r} -> {cand[field]!r}")
-    if mismatches:
-        print(f"diff_bench_json: {len(mismatches)} mismatch(es) over "
+        base_rank, cand_rank = RANK[base["status"]], RANK[cand["status"]]
+        if cand_rank < base_rank:
+            regressions.append(f"  {key}: status downgraded "
+                               f"{base['status']!r} -> {cand['status']!r}")
+            continue
+        if (base_rank == 2 and base["status"] != cand["status"]):
+            regressions.append(f"  {key}: terminal proofs contradict: "
+                               f"{base['status']!r} -> {cand['status']!r}")
+            continue
+        if cand_rank > base_rank:
+            upgrades += 1
+            print(f"diff_bench_json: note: upgraded row {key}: "
+                  f"{base['status']!r} -> {cand['status']!r}")
+        if (has_solution(base) and has_solution(cand)
+                and base["cost"] != cand["cost"]):
+            regressions.append(f"  {key}: cost {base['cost']!r} -> "
+                               f"{cand['cost']!r}")
+
+    if regressions:
+        print(f"diff_bench_json: {len(regressions)} regression(s) over "
               f"{len(shared)} shared rows:")
-        print("\n".join(mismatches))
+        print("\n".join(regressions))
         return 1
-    print(f"diff_bench_json: {len(shared)} shared rows match "
-          f"(statuses and costs identical)")
+    summary = f"diff_bench_json: {len(shared)} shared rows hold"
+    if upgrades:
+        summary += f" ({upgrades} upgraded)"
+    if added or removed:
+        summary += f"; {len(added)} added, {len(removed)} removed"
+    print(summary)
     return 0
 
 

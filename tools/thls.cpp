@@ -21,6 +21,8 @@
 //                               hardware threads; results are identical
 //                               for every value)
 //   --time-limit S              search wall-clock budget in seconds
+//   --no-bounds                 disable the branch-and-bound lower bounds
+//                               (A/B baseline; same answers, slower)
 //   --progress                  print combos-tried / incumbent-cost lines
 //                               as the search advances
 //   --seed N                    RNG seed (default 1)
@@ -58,6 +60,7 @@ struct Options {
   std::string strategy = "exact";
   int threads = 1;
   double time_limit = 0;  // 0: engine default
+  bool cost_bounds = true;
   bool progress = false;
   std::uint64_t seed = 1;
   int trials = 400;
@@ -75,6 +78,7 @@ struct Options {
       "options: --catalog table1|section5  --lambda-det N  --lambda-rec N\n"
       "         --detection-only  --area N  --strategy exact|heuristic\n"
       "         --threads N (0 = all cores)  --time-limit SECONDS  --progress\n"
+      "         --no-bounds (disable branch-and-bound lower bounds)\n"
       "         --seed N  --trials N  -o FILE  --share-registers\n"
       "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n",
       stderr);
@@ -113,6 +117,8 @@ Options parse_args(int argc, char** argv) {
       options.threads = std::stoi(need_value(flag));
     } else if (flag == "--time-limit") {
       options.time_limit = std::stod(need_value(flag));
+    } else if (flag == "--no-bounds") {
+      options.cost_bounds = false;
     } else if (flag == "--progress") {
       options.progress = true;
     } else if (flag == "--seed") {
@@ -209,6 +215,7 @@ core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
   }
   request.seed = options.seed;
   request.parallelism.threads = options.threads;
+  request.pruning.cost_bounds = options.cost_bounds;
   if (options.time_limit > 0) {
     request.limits.time_limit_seconds = options.time_limit;
   }
