@@ -155,6 +155,7 @@ void print_reproduction() {
       core::OptimizerOptions e;
       e.time_limit_seconds = 15;
       e.cost_bounds = !g_no_bounds;
+      e.collect_metrics = true;
       const core::OptimizeResult exact = core::minimize_cost(spec, e);
       const double exact_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/exact", spec, 1, exact,
@@ -165,6 +166,7 @@ void print_reproduction() {
       h.strategy = core::Strategy::kHeuristic;
       h.time_limit_seconds = 15;
       h.cost_bounds = !g_no_bounds;
+      h.collect_metrics = true;
       const core::OptimizeResult heur = core::minimize_cost(spec, h);
       const double heur_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/heuristic", spec, 1, heur,
@@ -223,6 +225,7 @@ void print_parallel_scaling(int threads) {
     row.options.max_combos = 2'000;
     row.options.time_limit_seconds = 120;
     row.options.cost_bounds = !g_no_bounds;
+    row.options.collect_metrics = true;
     rows.push_back(std::move(row));
   }
   // A paper benchmark under the Section 5 catalog.
@@ -241,6 +244,7 @@ void print_parallel_scaling(int threads) {
     row.options.max_combos = 1'000;
     row.options.time_limit_seconds = 120;
     row.options.cost_bounds = !g_no_bounds;
+    row.options.collect_metrics = true;
     rows.push_back(std::move(row));
   }
 
@@ -339,6 +343,9 @@ void print_pruning_study() {
     request.limits.max_combos = row.max_combos;
     request.limits.time_limit_seconds = 300;
     request.pruning.cost_bounds = !g_no_bounds;
+    // Embed per-stage metrics in the JSON rows (observation only: statuses
+    // and costs are bit-identical with collection off).
+    request.observability.metrics = true;
 
     core::SynthesisRequest off_request = request;
     off_request.pruning.dominance_cache = false;
@@ -411,6 +418,7 @@ void print_cache_study() {
   // Lower bounds would refute the same prefix the cache seals; keep them
   // off so the cache is the only thing skipping work here.
   request.pruning.cost_bounds = false;
+  request.observability.metrics = true;
   core::SynthesisEngine engine(request);
 
   util::TablePrinter table({"operation", "status", "mc", "tried",
@@ -476,6 +484,7 @@ void print_bounds_study() {
     core::OptimizerOptions base;
     if (heuristic) base.strategy = core::Strategy::kHeuristic;
     base.time_limit_seconds = 15;
+    base.collect_metrics = true;
 
     core::OptimizerOptions off_options = base;
     off_options.cost_bounds = false;

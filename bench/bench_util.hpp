@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/optimizer.hpp"
+#include "obs/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -87,6 +88,10 @@ struct JsonRecord {
   /// (nodes_total-style aggregation).
   long nogood_watch_visits = 0;
   double wall_s = 0.0;
+  /// Per-stage counters and duration histograms (obs/metrics.hpp); all
+  /// zeros — and omitted from the JSON — unless the bench enabled
+  /// OptimizerOptions::collect_metrics for this row.
+  obs::SolveMetrics metrics;
 };
 
 inline JsonRecord record_of(std::string benchmark,
@@ -113,6 +118,7 @@ inline JsonRecord record_of(std::string benchmark,
   record.lb_lp_solves = result.stats.lb_lp_solves;
   record.nogood_watch_visits = result.stats.nogood_watch_visits;
   record.wall_s = wall_s;
+  record.metrics = result.metrics;
   return record;
 }
 
@@ -145,8 +151,13 @@ class JsonReport {
           << ", \"lb_prunes\": " << r.lb_prunes
           << ", \"lb_lp_solves\": " << r.lb_lp_solves
           << ", \"nogood_watch_visits\": " << r.nogood_watch_visits
-          << ", \"wall_s\": " << util::format_double(r.wall_s, 4) << "}"
-          << (i + 1 < records_.size() ? ",\n" : "\n");
+          << ", \"wall_s\": " << util::format_double(r.wall_s, 4);
+      // Per-stage metrics ride along only when the row collected them, so
+      // rows from metrics-off benches serialize exactly as before.
+      if (!r.metrics.empty()) {
+        out << ", \"metrics\": " << obs::to_json(r.metrics);
+      }
+      out << "}" << (i + 1 < records_.size() ? ",\n" : "\n");
     }
     out << "]\n";
     return static_cast<bool>(out);

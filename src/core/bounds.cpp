@@ -6,6 +6,7 @@
 
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace ht::core {
 namespace {
@@ -18,6 +19,7 @@ constexpr long long kUnsuppliableMarket = LLONG_MAX / 4;
 }  // namespace
 
 LowerBounds::LowerBounds(const ProblemSpec& spec) : spec_(spec) {
+  HT_TRACE_SPAN("bounds/build");
   const std::vector<int> latencies = spec.op_latencies();
   const auto op_counts = spec.graph.ops_per_class();
 

@@ -10,6 +10,8 @@
 
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ht::core {
 namespace {
@@ -227,6 +229,12 @@ class Search {
         result.status == CspResult::Status::kNodeLimit) {
       result.learned.assign(
           nogoods_.begin() + imported_count_, nogoods_.end());
+    }
+    // One aggregated sample per solve: count covers every blocking check,
+    // duration extrapolates the 1-in-64 clocked subset (see assign()).
+    if (record_obs_ && ng_checks_ > 0) {
+      obs::record_stage(obs::Stage::kNogoodPropagation, ng_sampled_ns_ * 64,
+                        ng_checks_);
     }
     return result;
   }
@@ -678,10 +686,22 @@ class Search {
   bool assign(int copy, int cycle, int v, Conf* conf) {
     // Stored nogoods are checked before any trail writes, so a blocked
     // value costs no rewind.
-    if (learning_ &&
-        (watch_mode_ ? watched_blocks(copy, cycle, v, conf)
-                     : nogood_blocks(copy, cycle, v, conf))) {
-      return false;
+    if (learning_) {
+      // Nogood-propagation metrics: this check is far too hot for a clock
+      // read per call, so count every check and time one in 64 (the
+      // counter, not the clock, picks the samples — deterministic). The
+      // per-solve total is extrapolated in run().
+      bool blocked;
+      if (record_obs_ && (ng_checks_++ & 63) == 0) {
+        const std::int64_t t0 = obs::metrics_now_ns();
+        blocked = watch_mode_ ? watched_blocks(copy, cycle, v, conf)
+                              : nogood_blocks(copy, cycle, v, conf);
+        ng_sampled_ns_ += obs::metrics_now_ns() - t0;
+      } else {
+        blocked = watch_mode_ ? watched_blocks(copy, cycle, v, conf)
+                              : nogood_blocks(copy, cycle, v, conf);
+      }
+      if (blocked) return false;
     }
 
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
@@ -1137,6 +1157,13 @@ class Search {
   long stamp_counter_ = 0;
   long watch_visits_ = 0;
 
+  // Nogood-propagation metrics (see assign()). The binding is sampled at
+  // construction: a split-solve pool lane has no bound sink, so its blocks
+  // record nothing — the documented caveat of the sampled aggregate.
+  const bool record_obs_ = obs::bound_metrics() != nullptr;
+  long long ng_checks_ = 0;
+  long long ng_sampled_ns_ = 0;
+
   std::array<int, kMaxVendors> vendor_rank_{};
   long segment_index_ = 0;
   long segment_limit_ = 0;  // nodes_ bound of the current Luby segment
@@ -1306,6 +1333,7 @@ CspResult split_solve(const ProblemSpec& spec, const Palettes& palettes,
 CspResult schedule_and_bind(const ProblemSpec& spec, const Palettes& palettes,
                             const CspOptions& options) {
   spec.validate();
+  HT_TRACE_SPAN("csp/solve", "max_nodes", options.max_nodes);
   if (options.subtree_split > 1) return split_solve(spec, palettes, options);
   Search search(spec, palettes, options);
   return search.run();

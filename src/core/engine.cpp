@@ -14,12 +14,29 @@
 #include "core/reoptimize.hpp"
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
 namespace ht::core {
 namespace {
+
+const char* csp_status_name(CspResult::Status status) {
+  switch (status) {
+    case CspResult::Status::kFeasible:
+      return "feasible";
+    case CspResult::Status::kInfeasible:
+      return "infeasible";
+    case CspResult::Status::kNodeLimit:
+      return "node_limit";
+    case CspResult::Status::kTimeout:
+      return "timeout";
+    case CspResult::Status::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
 
 /// Result of evaluating one license set. Everything here is a pure
 /// function of (spec, palettes, index, request budgets and seed) — the
@@ -45,6 +62,8 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
                             long index, const SynthesisRequest& request,
                             double remaining_seconds,
                             const std::vector<CspNogood>* imported) {
+  HT_TRACE_SPAN("stage/csp", "combo", index);
+  obs::StageTimer dispatch_timer(obs::Stage::kCspDispatch);
   ComboOutcome out;
   // Cheap primal attempts first: a greedy success avoids any search for
   // this license set (feasibility is feasibility). Seeded by the set's
@@ -64,6 +83,7 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     if (constructed) {
       out.feasible = true;
       out.solution = *constructed;
+      obs::trace_instant("csp/status", "status", "greedy", "combo", index);
       return out;
     }
   }
@@ -96,6 +116,8 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     csp_options.split_threads =
         split > 1 ? request.parallelism.resolved_threads() : 1;
     CspResult csp = schedule_and_bind(spec, palettes, csp_options);
+    obs::trace_instant("csp/status", "status", csp_status_name(csp.status),
+                       "combo", index);
     out.csp_nodes += csp.nodes;
     out.backjumps += csp.backjumps;
     out.restarts += csp.restarts;
@@ -134,6 +156,8 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     csp_options.max_nodes = request.limits.heuristic_node_limit;
   }
   CspResult attempt = schedule_and_bind(spec, palettes, csp_options);
+  obs::trace_instant("csp/status", "status", csp_status_name(attempt.status),
+                     "combo", index);
   out.csp_nodes += attempt.nodes;
   out.backjumps += attempt.backjumps;
   out.restarts += attempt.restarts;
@@ -172,6 +196,10 @@ struct SharedSearch {
   /// Computed once before the search, so every thread count prunes the
   /// same sets.
   long long cost_floor = 0;
+  /// The combinatorial portion of cost_floor alone (no LP tightening).
+  /// Floor prunes of sets at or above this line are attributable to the LP
+  /// bound — the prune-reason split the metrics report.
+  long long comb_floor = 0;
   std::uint64_t epoch = 0;
   std::uint64_t nogood_epoch = 0;
   std::uint64_t ctx = 0;
@@ -186,8 +214,34 @@ struct SharedSearch {
   /// identical across thread counts.
   std::vector<std::pair<long long, PaletteSignature>> inconclusives;
   OptimizeStats stats;
+  /// Per-operation metrics (request.observability.metrics); workers merge
+  /// their thread-local sinks in under the mutex at each commit.
+  obs::SolveMetrics metrics;
+  /// Consecutive skips since the last progress publication (see
+  /// kPruneProgressInterval).
+  long prunes_since_progress = 0;
   std::exception_ptr failure;
 };
+
+/// Fills a progress snapshot from the shared state (caller holds
+/// shared.mutex) and invokes the callback under the progress mutex.
+void publish_progress(SharedSearch& shared, const SynthesisRequest& request,
+                      const util::Timer& timer,
+                      std::mutex& progress_mutex) {
+  SynthesisProgress progress;
+  progress.combos_tried = shared.stats.combos_tried;
+  progress.combos_skipped_screen = shared.stats.combos_skipped_screen;
+  progress.combos_skipped_cache = shared.stats.combos_skipped_cache;
+  progress.lb_prunes = shared.stats.lb_prunes;
+  progress.csp_nodes = shared.stats.csp_nodes;
+  progress.nodes_total = shared.stats.nodes_total;
+  progress.have_incumbent = shared.have_incumbent;
+  progress.incumbent_cost = shared.best_cost;
+  progress.seconds = timer.elapsed_seconds();
+  if (request.observability.metrics) progress.metrics = shared.metrics;
+  std::lock_guard<std::mutex> progress_lock(progress_mutex);
+  request.progress(progress);
+}
 
 /// One search lane. Pulls license sets off the shared cheapest-first queue
 /// (assigning each evaluated set its palette index), evaluates them
@@ -197,6 +251,45 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
                    const ProblemSpec& spec, const util::Timer& timer,
                    std::mutex& progress_mutex) {
   try {
+    // Per-worker metrics sink: every instrumentation site below this frame
+    // (dispatch checks, CSP, cache, validator) records here lock-free;
+    // commits merge it into shared.metrics under the search mutex. The
+    // Flush guard catches the exit paths (stop/timeout/cancel returns) —
+    // it is declared at function scope, so its destructor runs after every
+    // inner lock_guard has released the mutex.
+    obs::SolveMetrics local_metrics;
+    const bool collect = request.observability.metrics;
+    obs::MetricsBinding metrics_binding(collect ? &local_metrics : nullptr);
+    struct Flush {
+      SharedSearch& shared;
+      obs::SolveMetrics& local;
+      bool enabled;
+      ~Flush() {
+        if (!enabled || local.empty()) return;
+        std::lock_guard<std::mutex> lock(shared.mutex);
+        shared.metrics.merge(local);
+      }
+    } flush{shared, local_metrics, collect};
+
+    // Accounts one pruned license set (caller holds shared.mutex): metric +
+    // trace event, and a forced progress publication every
+    // kPruneProgressInterval consecutive skips so callbacks never stall
+    // through a long prune-only streak.
+    const auto note_prune = [&](obs::PruneReason reason, long long cost) {
+      obs::record_prune(reason);
+      obs::trace_instant("prune", "reason",
+                         obs::prune_reason_name(reason), "cost", cost);
+      if (request.progress &&
+          ++shared.prunes_since_progress >= kPruneProgressInterval) {
+        shared.prunes_since_progress = 0;
+        if (collect && !local_metrics.empty()) {
+          shared.metrics.merge(local_metrics);
+          local_metrics.reset();
+        }
+        publish_progress(shared, request, timer, progress_mutex);
+      }
+    };
+
     Palettes palettes;
     for (;;) {
       long index = -1;
@@ -260,10 +353,20 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             // floor and so are pruned here, never dispatched.
             ++shared.stats.lb_prunes;
             ++shared.evaluated_dispatched;
+            note_prune(combo_cost >= shared.comb_floor
+                           ? obs::PruneReason::kLp
+                           : obs::PruneReason::kBound,
+                       combo_cost);
             continue;
           }
           sig = signature_of(spec, palettes);
-          if (shared.screens->refutes(palettes)) {
+          bool screen_refuted = false;
+          {
+            HT_TRACE_SPAN("stage/screen");
+            obs::StageTimer screen_timer(obs::Stage::kScreen);
+            screen_refuted = shared.screens->refutes(palettes);
+          }
+          if (screen_refuted) {
             // Complete static proof, not an unknown. Under the enhanced
             // screens the skip consumes the set's palette index (the same
             // rule the cache uses below): a pruned run then resolves the
@@ -280,6 +383,7 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             if (request.pruning.static_screens) {
               ++shared.evaluated_dispatched;
             }
+            note_prune(obs::PruneReason::kScreen, combo_cost);
             continue;
           }
           // Branch-and-bound prunes. Both run *after* the screens so a
@@ -296,9 +400,19 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             // the proven floor on every feasible solution — impossible.
             ++shared.stats.lb_prunes;
             ++shared.evaluated_dispatched;
+            note_prune(combo_cost >= shared.comb_floor
+                           ? obs::PruneReason::kLp
+                           : obs::PruneReason::kBound,
+                       combo_cost);
             continue;
           }
-          if (shared.bounds && shared.bounds->refutes(palettes)) {
+          bool bound_refuted = false;
+          if (shared.bounds) {
+            HT_TRACE_SPAN("stage/bounds");
+            obs::StageTimer bounds_timer(obs::Stage::kBoundsRefute);
+            bound_refuted = shared.bounds->refutes(palettes);
+          }
+          if (bound_refuted) {
             // Energetic instance/area floors: a complete proof that no
             // schedule fits under this palette, cacheable like a screen
             // refutation.
@@ -308,10 +422,17 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
                                    combo_cost);
             }
             ++shared.evaluated_dispatched;
+            note_prune(obs::PruneReason::kBound, combo_cost);
             continue;
           }
-          if (shared.cache &&
-              shared.cache->dominated_frozen(sig, shared.epoch)) {
+          bool cache_dominated = false;
+          if (shared.cache) {
+            HT_TRACE_SPAN("stage/cache");
+            obs::StageTimer cache_timer(obs::Stage::kCacheProbe);
+            cache_dominated =
+                shared.cache->dominated_frozen(sig, shared.epoch);
+          }
+          if (cache_dominated) {
             // A sealed proof from an earlier operation dominates this set:
             // infeasible by monotonicity, exactly what the CSP would have
             // returned. The skip consumes the set's palette index so the
@@ -319,10 +440,12 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             // cache-off run.
             ++shared.stats.combos_skipped_cache;
             ++shared.evaluated_dispatched;
+            note_prune(obs::PruneReason::kCache, combo_cost);
             continue;
           }
           index = shared.evaluated_dispatched++;
           ++shared.stats.combos_tried;
+          shared.prunes_since_progress = 0;
           break;
         }
       }
@@ -353,6 +476,10 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
         shared.stats.restarts += outcome.restarts;
         shared.stats.nogood_watch_visits += outcome.watch_visits;
         shared.stats.nogoods_learned += learned_here;
+        if (collect && !local_metrics.empty()) {
+          shared.metrics.merge(local_metrics);
+          local_metrics.reset();
+        }
         if (outcome.feasible) {
           require_valid(spec, outcome.solution);
           const long long cost = outcome.solution.license_cost(spec);
@@ -362,11 +489,12 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
             shared.best_cost = cost;
             shared.best_index = index;
             shared.best_solution = outcome.solution;
-            util::log_debug("engine: incumbent $" + std::to_string(cost) +
-                            " (license set #" + std::to_string(index) +
-                            ") after " +
-                            std::to_string(shared.stats.combos_tried) +
-                            " license sets");
+            obs::trace_instant("engine/incumbent", "cost", cost, "combo",
+                               index);
+            util::log_fields(util::LogLevel::kDebug, "engine.incumbent",
+                             {{"cost", cost},
+                              {"combo", index},
+                              {"combos_tried", shared.stats.combos_tried}});
           }
         } else if (outcome.inconclusive) {
           shared.inconclusives.emplace_back(combo_cost, sig);
@@ -377,14 +505,8 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
           shared.cache->record(sig, shared.epoch, shared.ctx, combo_cost);
         }
         if (request.progress) {
-          SynthesisProgress progress;
-          progress.combos_tried = shared.stats.combos_tried;
-          progress.csp_nodes = shared.stats.csp_nodes;
-          progress.have_incumbent = shared.have_incumbent;
-          progress.incumbent_cost = shared.best_cost;
-          progress.seconds = timer.elapsed_seconds();
-          std::lock_guard<std::mutex> progress_lock(progress_mutex);
-          request.progress(progress);
+          shared.prunes_since_progress = 0;
+          publish_progress(shared, request, timer, progress_mutex);
         }
       }
     }
@@ -449,6 +571,13 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   spec.validate();
   util::Timer timer;
   OptimizeResult result;
+  HT_TRACE_SPAN("engine/minimize");
+  // The calling thread's sink covers the pre-search stages (enumeration,
+  // LP pricing, the probe, full-market screens); workers bind their own
+  // sinks and merge into shared.metrics, folded in after the join.
+  obs::SolveMetrics op_metrics;
+  obs::MetricsBinding op_binding(
+      request_.observability.metrics ? &op_metrics : nullptr);
 
   // Latency bounds below the (weighted) critical path are a proof of
   // infeasibility.
@@ -489,10 +618,18 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     if (spec.graph.ops_per_class()[cls] == 0) continue;
     full_market[cls] = spec.catalog.vendors_by_cost(rc);
   }
-  if (screens.refutes(full_market)) {
+  bool market_screened = false;
+  {
+    HT_TRACE_SPAN("stage/screen");
+    obs::StageTimer screen_timer(obs::Stage::kScreen);
+    market_screened = screens.refutes(full_market);
+  }
+  if (market_screened) {
     result.status = OptStatus::kInfeasible;
     result.stats.combos_skipped_screen = 1;
     result.stats.seconds = timer.elapsed_seconds();
+    obs::record_prune(obs::PruneReason::kScreen);
+    result.metrics = op_metrics;
     return result;
   }
 
@@ -502,17 +639,28 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   // every palette.
   std::optional<LowerBounds> bounds;
   long long cost_floor = 0;
+  long long comb_floor = 0;
   long lb_lp_solves = 0;
   if (request_.pruning.cost_bounds) {
     bounds.emplace(spec);
     cost_floor = bounds->global_cost_lb();
-    if (bounds->refutes(full_market)) {
+    comb_floor = cost_floor;
+    bool market_refuted = false;
+    {
+      HT_TRACE_SPAN("stage/bounds");
+      obs::StageTimer bounds_timer(obs::Stage::kBoundsRefute);
+      market_refuted = bounds->refutes(full_market);
+    }
+    if (market_refuted) {
       result.status = OptStatus::kInfeasible;
       result.stats.lb_prunes = 1;
       result.stats.seconds = timer.elapsed_seconds();
+      obs::record_prune(obs::PruneReason::kBound);
+      result.metrics = op_metrics;
       return result;
     }
     if (request_.pruning.lp_bound) {
+      HT_TRACE_SPAN("stage/lp");
       const PaletteSignature market_sig = signature_of(spec, full_market);
       long long lp = 0;
       if (!cache_.lp_bound(spec, market_sig, &lp)) {
@@ -543,6 +691,7 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   long probe_watch_visits = 0;
   if (request_.pruning.nogood_learning &&
       (!request_.cancel || !request_.cancel->cancelled())) {
+    HT_TRACE_SPAN("engine/probe");
     ComboOutcome probe = evaluate_combo(
         spec, full_market, /*index=*/-1, request_,
         request_.limits.time_limit_seconds - timer.elapsed_seconds(),
@@ -553,12 +702,17 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     probe_watch_visits = probe.watch_visits;
     if (probe.feasible) probe_solution = std::move(probe.solution);
   }
-  SharedSearch shared(ComboQueue(enumerate_palettes(spec, min_sizes)));
+  SharedSearch shared([&] {
+    HT_TRACE_SPAN("stage/enumerate");
+    obs::StageTimer enumerate_timer(obs::Stage::kEnumeration);
+    return ComboQueue(enumerate_palettes(spec, min_sizes));
+  }());
   shared.screens = &screens;
   shared.cache = request_.pruning.dominance_cache ? &cache_ : nullptr;
   shared.nogoods = request_.pruning.nogood_learning ? &nogoods_ : nullptr;
   shared.bounds = bounds ? &*bounds : nullptr;
   shared.cost_floor = cost_floor;
+  shared.comb_floor = comb_floor;
   shared.epoch = op_epoch_;
   shared.nogood_epoch = nogood_epoch_;
   shared.ctx = ctx;
@@ -585,6 +739,10 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   result.stats.nogood_watch_visits += probe_watch_visits;
   result.stats.lb_lp_solves = lb_lp_solves;
   result.stats.seconds = timer.elapsed_seconds();
+  if (request_.observability.metrics) {
+    op_metrics.merge(shared.metrics);
+    result.metrics = op_metrics;
+  }
 
   // Seal this sub-search's cache contribution down to its deterministic
   // prefix: only refutations of sets cheaper than the final incumbent are
@@ -654,14 +812,13 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   } else {
     result.status = OptStatus::kUnknown;
   }
-  util::log_debug("engine: " + to_string(result.status) + " on '" +
-                  spec.graph.name() + "' after " +
-                  std::to_string(result.stats.combos_tried) +
-                  " license sets, " +
-                  std::to_string(result.stats.csp_nodes) + " CSP nodes, " +
-                  util::format_double(result.stats.seconds, 3) + "s (" +
-                  std::to_string(lanes) + " thread" +
-                  (lanes == 1 ? "" : "s") + ")");
+  util::log_fields(util::LogLevel::kDebug, "engine.done",
+                   {{"status", to_string(result.status)},
+                    {"graph", spec.graph.name()},
+                    {"combos", result.stats.combos_tried},
+                    {"nodes", result.stats.csp_nodes},
+                    {"seconds", result.stats.seconds},
+                    {"threads", lanes}});
   return result;
 }
 
@@ -741,12 +898,14 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
   best.result.stats.backjumps = 0;
   best.result.stats.restarts = 0;
   best.result.stats.nogood_watch_visits = 0;
+  best.result.metrics.reset();
   for (const OptimizeResult& attempt : attempts) {
     best.result.stats.nodes_total += attempt.stats.nodes_total;
     best.result.stats.nogoods_learned += attempt.stats.nogoods_learned;
     best.result.stats.backjumps += attempt.stats.backjumps;
     best.result.stats.restarts += attempt.stats.restarts;
     best.result.stats.nogood_watch_visits += attempt.stats.nogood_watch_visits;
+    best.result.metrics.merge(attempt.metrics);
   }
   return best;
 }
@@ -829,6 +988,7 @@ SynthesisRequest make_request(const ProblemSpec& spec,
   request.limits.max_combos = options.max_combos;
   request.parallelism.threads = options.threads;
   request.pruning.cost_bounds = options.cost_bounds;
+  request.observability.metrics = options.collect_metrics;
   request.seed = options.seed;
   return request;
 }

@@ -35,6 +35,7 @@
 #include "core/nogood.hpp"
 #include "core/optimizer.hpp"
 #include "core/search_cache.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace ht::core {
@@ -116,16 +117,44 @@ struct PruningOptions {
   bool lp_bound = false;
 };
 
+/// Observability toggles for one synthesis call. Tracing is process-wide
+/// (obs::start_tracing / trace.hpp) because spans fire from every layer;
+/// metrics collection is per request because the per-stage timers live on
+/// the dispatch hot path and SolveMetrics rides on each result.
+struct ObservabilityOptions {
+  /// Collect per-stage counters and duration histograms into
+  /// OptimizeResult::metrics (see obs/metrics.hpp). Never changes
+  /// statuses, costs, or bindings — only observes. Off: every
+  /// instrumentation site is a thread-local load + branch.
+  bool metrics = false;
+};
+
 /// Snapshot passed to the progress callback after each evaluated license
-/// set. Callbacks are serialized under the engine's commit lock — they may
-/// be called from any worker thread but never concurrently; keep them fast.
+/// set — and, so callbacks never stall silently on prune-heavy searches,
+/// after every kPruneProgressInterval consecutive skips. Callbacks are
+/// serialized under the engine's commit lock — they may be called from any
+/// worker thread but never concurrently; keep them fast.
 struct SynthesisProgress {
   long combos_tried = 0;
+  /// Skip counters, mirroring OptimizeStats: license sets refuted by the
+  /// static screens, the dominance cache, and the branch-and-bound floors.
+  long combos_skipped_screen = 0;
+  long combos_skipped_cache = 0;
+  long lb_prunes = 0;
   long csp_nodes = 0;
+  /// CSP nodes including non-winning sibling sub-searches (see
+  /// OptimizeStats::nodes_total).
+  long nodes_total = 0;
   bool have_incumbent = false;
   long long incumbent_cost = 0;
   double seconds = 0.0;
+  /// Live per-stage breakdown ("where the solver is"); zeros unless the
+  /// request enabled ObservabilityOptions::metrics.
+  obs::SolveMetrics metrics;
 };
+
+/// Consecutive skips between forced progress publications.
+inline constexpr long kPruneProgressInterval = 2048;
 
 using ProgressFn = std::function<void(const SynthesisProgress&)>;
 
@@ -137,6 +166,7 @@ struct SynthesisRequest {
   SearchLimits limits;
   Parallelism parallelism;
   PruningOptions pruning;
+  ObservabilityOptions observability;
   std::uint64_t seed = 1;
   ProgressFn progress;                      ///< optional
   const util::CancelToken* cancel = nullptr;  ///< optional; not owned

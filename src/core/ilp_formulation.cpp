@@ -7,6 +7,8 @@
 #include "core/rules.hpp"
 #include "lp/lp_problem.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace ht::core {
@@ -401,6 +403,8 @@ long long license_lp_lower_bound(
     const ProblemSpec& spec,
     const std::array<int, dfg::kNumResourceClasses>& instance_floors,
     const std::array<int, dfg::kNumResourceClasses>& vendor_floors) {
+  HT_TRACE_SPAN("lp/simplex");
+  obs::StageTimer lp_timer(obs::Stage::kLpBound);
   lp::LpProblem relax;
   const auto op_counts = spec.graph.ops_per_class();
   std::vector<std::pair<int, double>> area_row;

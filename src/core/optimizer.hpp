@@ -23,6 +23,7 @@
 
 #include "core/csp_solver.hpp"
 #include "core/validate.hpp"
+#include "obs/metrics.hpp"
 
 namespace ht::core {
 
@@ -48,6 +49,9 @@ struct OptimizerOptions {
   /// PruningOptions::cost_bounds in core/engine.hpp). Off gives A/B
   /// baselines the pre-bound engine.
   bool cost_bounds = true;
+  /// Collect per-stage timing metrics into OptimizeResult::metrics (see
+  /// ObservabilityOptions in core/engine.hpp). Purely observational.
+  bool collect_metrics = false;
 };
 
 enum class OptStatus {
@@ -98,6 +102,11 @@ struct OptimizeResult {
   Solution solution;       ///< valid iff status is kOptimal/kFeasible
   long long cost = 0;      ///< license cost of `solution`
   OptimizeStats stats;
+  /// Per-stage counters and duration histograms; all zeros unless the
+  /// request enabled metrics collection (ObservabilityOptions::metrics /
+  /// OptimizerOptions::collect_metrics). Aggregated across every
+  /// sub-search of the operation, like OptimizeStats::nodes_total.
+  obs::SolveMetrics metrics;
 
   bool has_solution() const {
     return status == OptStatus::kOptimal || status == OptStatus::kFeasible;

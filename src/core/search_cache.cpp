@@ -5,6 +5,7 @@
 
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/trace.hpp"
 
 namespace ht::core {
 namespace {
@@ -84,6 +85,7 @@ bool signature_dominates(const PaletteSignature& entry,
 }
 
 std::uint64_t SearchCache::begin_op(const ProblemSpec& spec) {
+  HT_TRACE_SPAN("cache/begin_op");
   const std::uint64_t fingerprint = spec_family_fingerprint(spec);
   bool compatible = fingerprint == fingerprint_;
   const std::size_t slots =
@@ -141,6 +143,7 @@ int SearchCache::shard_of(const PaletteSignature& sig) const {
 
 void SearchCache::record(const PaletteSignature& sig, std::uint64_t epoch,
                          std::uint64_t ctx, long long combo_cost) {
+  obs::trace_instant("cache/record", "cost", combo_cost);
   Shard& shard = shards_[static_cast<std::size_t>(shard_of(sig))];
   Entry entry{sig, combo_cost, epoch, ctx};
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
@@ -189,6 +192,7 @@ bool SearchCache::dominated(const PaletteSignature& sig, std::uint64_t epoch,
 
 void SearchCache::finalize_context(std::uint64_t epoch, std::uint64_t ctx,
                                    long long keep_below) {
+  HT_TRACE_SPAN("cache/finalize");
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     std::erase_if(shard.entries, [&](const Entry& entry) {

@@ -2,6 +2,9 @@
 
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ht::core {
 
 std::string ValidationReport::to_string() const {
@@ -120,6 +123,8 @@ ValidationReport validate_solution(const ProblemSpec& spec,
 }
 
 void require_valid(const ProblemSpec& spec, const Solution& solution) {
+  HT_TRACE_SPAN("stage/validate");
+  obs::StageTimer validate_timer(obs::Stage::kValidation);
   const ValidationReport report = validate_solution(spec, solution);
   if (!report.ok()) {
     throw util::InternalError("solver produced an invalid solution:\n" +

@@ -1,0 +1,292 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+
+namespace ht::obs {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Hard per-thread event cap: a runaway capture degrades to counting drops
+/// instead of exhausting memory. Spans that already recorded their begin
+/// still record their end past the cap, so traces stay balanced.
+constexpr std::size_t kMaxEvents = 1u << 20;
+
+std::int64_t now_ns_since_epoch() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's append-only event buffer. Only its owning thread appends;
+/// the mutex exists so the collector (stop_tracing) and stale-session
+/// resets synchronize with appends without data races.
+struct Buffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::uint64_t seq = 0;
+  std::uint64_t session = 0;
+  std::uint64_t dropped = 0;
+  /// Depth of spans whose begin was dropped at the cap; their ends are
+  /// dropped too, keeping recorded begin/end pairs balanced.
+  int open_dropped = 0;
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  std::atomic<std::uint64_t> session{0};
+  std::atomic<std::int64_t> base_ns{0};
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  // Leaked on purpose: thread_local buffer holders may be destroyed during
+  // process shutdown after function-local statics, so the registry must
+  // never be torn down.
+  static Registry* instance = new Registry;
+  return *instance;
+}
+
+Buffer& local_buffer() {
+  thread_local std::shared_ptr<Buffer> tls;
+  if (!tls) {
+    tls = std::make_shared<Buffer>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    tls->tid = reg.next_tid++;
+    tls->session = reg.session.load(std::memory_order_relaxed);
+    reg.buffers.push_back(tls);
+  }
+  return *tls;
+}
+
+void append(TraceEvent event) {
+  Registry& reg = registry();
+  Buffer& buffer = local_buffer();
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  const std::uint64_t session = reg.session.load(std::memory_order_acquire);
+  if (buffer.session != session) {
+    // First event of a new capture on this thread: discard leftovers from
+    // an earlier session.
+    buffer.events.clear();
+    buffer.seq = 0;
+    buffer.dropped = 0;
+    buffer.open_dropped = 0;
+    buffer.session = session;
+  }
+  if (buffer.events.size() >= kMaxEvents) {
+    if (event.phase == 'E' && buffer.open_dropped == 0) {
+      // End of a span whose begin *was* recorded: keep it so the trace
+      // stays balanced (depth is bounded by span nesting, so the overshoot
+      // past the cap is tiny).
+    } else {
+      if (event.phase == 'B') ++buffer.open_dropped;
+      if (event.phase == 'E') --buffer.open_dropped;
+      ++buffer.dropped;
+      return;
+    }
+  }
+  event.tid = buffer.tid;
+  event.seq = buffer.seq++;
+  const std::int64_t base = reg.base_ns.load(std::memory_order_relaxed);
+  const std::int64_t now = now_ns_since_epoch();
+  event.ts_ns = now > base ? static_cast<std::uint64_t>(now - base) : 0;
+  buffer.events.push_back(std::move(event));
+}
+
+void json_escape(const std::string& text, std::ostream& out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void start_tracing() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.session.fetch_add(1, std::memory_order_acq_rel);
+  reg.base_ns.store(now_ns_since_epoch(), std::memory_order_relaxed);
+  internal::g_tracing.store(true, std::memory_order_release);
+}
+
+TraceLog stop_tracing() {
+  TraceLog log;
+  Registry& reg = registry();
+  internal::g_tracing.store(false, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  const std::uint64_t session = reg.session.load(std::memory_order_relaxed);
+  for (const std::shared_ptr<Buffer>& buffer : reg.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    if (buffer->session != session) continue;  // never wrote this capture
+    log.dropped += buffer->dropped;
+    log.events.insert(log.events.end(),
+                      std::make_move_iterator(buffer->events.begin()),
+                      std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+    buffer->seq = 0;
+    buffer->dropped = 0;
+    buffer->open_dropped = 0;
+  }
+  // Buffers whose owning thread has exited (registry holds the only
+  // reference) have been drained and can go.
+  reg.buffers.erase(
+      std::remove_if(reg.buffers.begin(), reg.buffers.end(),
+                     [](const std::shared_ptr<Buffer>& b) {
+                       return b.use_count() == 1;
+                     }),
+      reg.buffers.end());
+  // Deterministic merge: given the same per-thread event streams, the
+  // output order is a pure function of the recorded data.
+  std::sort(log.events.begin(), log.events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.seq < b.seq;
+            });
+  return log;
+}
+
+void trace_begin(const char* name) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'B';
+  append(std::move(event));
+}
+
+void trace_begin(const char* name, const char* k1, long long v1) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'B';
+  event.num_args = 1;
+  event.args[0].key = k1;
+  event.args[0].num = v1;
+  append(std::move(event));
+}
+
+void trace_end(const char* name) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.phase = 'E';
+  append(std::move(event));
+}
+
+void trace_instant(const char* name) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  append(std::move(event));
+}
+
+void trace_instant(const char* name, const char* k1, long long v1) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.num_args = 1;
+  event.args[0].key = k1;
+  event.args[0].num = v1;
+  append(std::move(event));
+}
+
+void trace_instant(const char* name, const char* k1, std::string v1) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.num_args = 1;
+  event.args[0].key = k1;
+  event.args[0].str = std::move(v1);
+  append(std::move(event));
+}
+
+void trace_instant(const char* name, const char* k1, long long v1,
+                   const char* k2, long long v2) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.num_args = 2;
+  event.args[0].key = k1;
+  event.args[0].num = v1;
+  event.args[1].key = k2;
+  event.args[1].num = v2;
+  append(std::move(event));
+}
+
+void trace_instant(const char* name, const char* k1, std::string v1,
+                   const char* k2, long long v2) {
+  if (!tracing_enabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.num_args = 2;
+  event.args[0].key = k1;
+  event.args[0].str = std::move(v1);
+  event.args[1].key = k2;
+  event.args[1].num = v2;
+  append(std::move(event));
+}
+
+void write_chrome_trace(const TraceLog& log, std::ostream& out) {
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < log.events.size(); ++i) {
+    const TraceEvent& event = log.events[i];
+    out << "  {\"name\": \"";
+    json_escape(event.name, out);
+    out << "\", \"ph\": \"" << event.phase << "\", \"ts\": ";
+    // Microseconds with nanosecond precision, no float rounding drama.
+    out << event.ts_ns / 1000 << '.';
+    const auto frac = static_cast<int>(event.ts_ns % 1000);
+    out << static_cast<char>('0' + frac / 100)
+        << static_cast<char>('0' + (frac / 10) % 10)
+        << static_cast<char>('0' + frac % 10);
+    out << ", \"pid\": 1, \"tid\": " << event.tid;
+    if (event.num_args > 0) {
+      out << ", \"args\": {";
+      for (int a = 0; a < event.num_args; ++a) {
+        if (a > 0) out << ", ";
+        out << '"';
+        json_escape(event.args[a].key, out);
+        out << "\": ";
+        if (!event.args[a].str.empty()) {
+          out << '"';
+          json_escape(event.args[a].str, out);
+          out << '"';
+        } else {
+          out << event.args[a].num;
+        }
+      }
+      out << '}';
+    }
+    out << '}' << (i + 1 < log.events.size() ? ",\n" : "\n");
+  }
+  out << "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped\": "
+      << log.dropped << "}}\n";
+}
+
+}  // namespace ht::obs

@@ -1,0 +1,129 @@
+// Solver-wide tracing: spans and instant events with small key/value
+// payloads, recorded into thread-local append-only buffers and exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Overhead contract. Recording is gated on one process-wide relaxed atomic
+// flag: when tracing is off, every HT_TRACE_SPAN / trace_instant call is a
+// single load + branch — no locks, no allocation, no clock read — so
+// instrumentation can live on solver hot paths permanently. When tracing is
+// on, events go into a per-thread buffer (its own mutex, uncontended in
+// steady state) stamped with a steady-clock timestamp relative to the
+// capture start.
+//
+// Sessions. start_tracing() opens a capture (bumps the session id, so
+// buffers left over from earlier captures are lazily discarded) and
+// stop_tracing() closes it and returns every surviving event, merged
+// deterministically by (timestamp, thread id, per-thread sequence). Start
+// and stop must be called while no instrumented solver is running — the
+// engine joins its worker pools before returning, so bracketing an engine
+// operation is always safe. Each thread's buffer is capped (kMaxEvents
+// per thread); past the cap new spans and instants are counted as dropped
+// while close events of already-recorded spans still land, so exported
+// traces stay balanced.
+//
+// Event names and payload keys must be string literals (or otherwise
+// outlive the capture); payload *values* may be dynamic strings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ht::obs {
+
+namespace internal {
+extern std::atomic<bool> g_tracing;
+}  // namespace internal
+
+/// True while a capture is open. The relaxed load is the entire cost of a
+/// disabled trace point.
+inline bool tracing_enabled() {
+  return internal::g_tracing.load(std::memory_order_relaxed);
+}
+
+/// One key/value payload entry. `str` non-empty means a string value;
+/// otherwise `num` is the value.
+struct TraceArg {
+  const char* key = nullptr;
+  long long num = 0;
+  std::string str;
+};
+
+struct TraceEvent {
+  const char* name = nullptr;
+  char phase = 'i';  ///< 'B' span begin, 'E' span end, 'i' instant
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;  ///< relative to the capture start
+  std::uint64_t seq = 0;    ///< per-thread recording order
+  int num_args = 0;
+  TraceArg args[2];
+};
+
+/// Everything one capture produced, merged across threads.
+struct TraceLog {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;  ///< events lost to per-thread buffer caps
+};
+
+/// Opens a capture: clears stale buffers, rebases the clock, enables
+/// recording. Calling with a capture already open restarts it.
+void start_tracing();
+
+/// Closes the capture and returns the merged log (empty when no capture
+/// was open). Idempotent.
+TraceLog stop_tracing();
+
+void trace_begin(const char* name);
+void trace_begin(const char* name, const char* k1, long long v1);
+void trace_end(const char* name);
+void trace_instant(const char* name);
+void trace_instant(const char* name, const char* k1, long long v1);
+void trace_instant(const char* name, const char* k1, std::string v1);
+void trace_instant(const char* name, const char* k1, long long v1,
+                   const char* k2, long long v2);
+void trace_instant(const char* name, const char* k1, std::string v1,
+                   const char* k2, long long v2);
+
+/// Serializes a log in Chrome trace-event format:
+/// {"traceEvents": [...], "displayTimeUnit": "ms", ...}. Timestamps are
+/// exported in microseconds (fractional, nanosecond precision).
+void write_chrome_trace(const TraceLog& log, std::ostream& out);
+
+/// RAII span: begin at construction, end at destruction. The enabled flag
+/// is sampled once at construction so a span that started recording always
+/// records its end (flag flips mid-span never unbalance the trace).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      trace_begin(name);
+    }
+  }
+  TraceSpan(const char* name, const char* key, long long value) {
+    if (tracing_enabled()) {
+      name_ = name;
+      trace_begin(name, key, value);
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) trace_end(name_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< non-null iff the begin was recorded
+};
+
+#define HT_OBS_CONCAT_(a, b) a##b
+#define HT_OBS_CONCAT(a, b) HT_OBS_CONCAT_(a, b)
+/// Scoped span over the rest of the enclosing block:
+///   HT_TRACE_SPAN("stage/csp");
+///   HT_TRACE_SPAN("stage/csp", "combo", index);
+#define HT_TRACE_SPAN(...) \
+  ::ht::obs::TraceSpan HT_OBS_CONCAT(ht_trace_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace ht::obs

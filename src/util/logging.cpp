@@ -44,4 +44,40 @@ void log_warning(const std::string& message) {
 }
 void log_error(const std::string& message) { log(LogLevel::kError, message); }
 
+LogField::LogField(const char* k, double v) : key(k) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  value = buffer;
+}
+
+std::string format_fields(const std::string& event,
+                          std::initializer_list<LogField> fields) {
+  std::string line = event;
+  for (const LogField& field : fields) {
+    line += ' ';
+    line += field.key;
+    line += '=';
+    const bool quote =
+        field.value.empty() ||
+        field.value.find_first_of(" =\"") != std::string::npos;
+    if (quote) {
+      line += '"';
+      for (const char c : field.value) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += field.value;
+    }
+  }
+  return line;
+}
+
+void log_fields(LogLevel level, const std::string& event,
+                std::initializer_list<LogField> fields) {
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+  log(level, format_fields(event, fields));
+}
+
 }  // namespace ht::util

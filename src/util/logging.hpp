@@ -6,6 +6,7 @@
 // concurrently (lines never tear, interleaving order is unspecified).
 #pragma once
 
+#include <initializer_list>
 #include <string>
 
 namespace ht::util {
@@ -23,5 +24,31 @@ void log_debug(const std::string& message);
 void log_info(const std::string& message);
 void log_warning(const std::string& message);
 void log_error(const std::string& message);
+
+/// One key/value pair of a structured log line. The converting
+/// constructors cover the values solver code logs (counts, costs, names);
+/// values containing spaces or '=' are quoted so lines stay grep- and
+/// split-safe.
+struct LogField {
+  LogField(const char* k, const std::string& v) : key(k), value(v) {}
+  LogField(const char* k, const char* v) : key(k), value(v) {}
+  LogField(const char* k, long long v) : key(k), value(std::to_string(v)) {}
+  LogField(const char* k, long v) : key(k), value(std::to_string(v)) {}
+  LogField(const char* k, int v) : key(k), value(std::to_string(v)) {}
+  LogField(const char* k, std::size_t v) : key(k), value(std::to_string(v)) {}
+  LogField(const char* k, double v);
+
+  const char* key;
+  std::string value;
+};
+
+/// Renders "event key1=value1 key2=value2 ..." — the structured form every
+/// engine progress line uses, consistent with the obs metric names.
+std::string format_fields(const std::string& event,
+                          std::initializer_list<LogField> fields);
+
+/// log(level, format_fields(event, fields)) in one call.
+void log_fields(LogLevel level, const std::string& event,
+                std::initializer_list<LogField> fields);
 
 }  // namespace ht::util

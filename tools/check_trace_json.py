@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `thls --trace`.
+
+Checks, in order:
+  1. schema  — the file is either {"traceEvents": [...]} or a bare event
+     list; every event has a string `name`, `ph` in {B, E, i, M}, numeric
+     `ts` >= 0, and integer `pid`/`tid`.
+  2. balance — per (pid, tid), B/E events form properly nested spans with
+     matching names, and nothing is left open at the end.
+  3. order   — per (pid, tid), timestamps never decrease in file order
+     (the exporter merges deterministically by timestamp then sequence).
+
+Optionally, --require-span NAME (repeatable) asserts that at least one
+complete span with that exact name exists anywhere in the trace — CI uses
+this to prove every instrumented solver layer actually emitted events.
+
+Exit status: 0 when the trace passes every check, 1 otherwise.
+
+Usage:
+  python3 tools/check_trace_json.py trace.json \
+      --require-span stage/screen --require-span stage/csp
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"B", "E", "i", "M"}
+
+
+def fail(message):
+    print(f"check_trace_json: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        events = data.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError("top-level object has no 'traceEvents' list")
+        return events
+    if isinstance(data, list):
+        return data
+    raise ValueError("top level must be an object or a list")
+
+
+def check_schema(events):
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return f"event #{i} is not an object"
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            return f"event #{i} has no string 'name'"
+        phase = event.get("ph")
+        if phase not in VALID_PHASES:
+            return f"event #{i} ({name}) has invalid ph {phase!r}"
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            return f"event #{i} ({name}) has invalid ts {ts!r}"
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                return f"event #{i} ({name}) has invalid {key} {value!r}"
+    return None
+
+
+def check_balance(events):
+    stacks = {}  # (pid, tid) -> [names of open spans]
+    for i, event in enumerate(events):
+        if event["ph"] not in ("B", "E"):
+            continue
+        key = (event["pid"], event["tid"])
+        stack = stacks.setdefault(key, [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        else:
+            if not stack:
+                return f"event #{i}: E '{event['name']}' with no open span on tid {key[1]}"
+            top = stack.pop()
+            if top != event["name"]:
+                return (
+                    f"event #{i}: E '{event['name']}' does not match open "
+                    f"span '{top}' on tid {key[1]}"
+                )
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            return f"tid {tid}: spans left open at end of trace: {stack}"
+    return None
+
+
+def check_order(events):
+    last = {}  # (pid, tid) -> last ts
+    for i, event in enumerate(events):
+        key = (event["pid"], event["tid"])
+        ts = event["ts"]
+        if key in last and ts < last[key]:
+            return (
+                f"event #{i} ({event['name']}): ts {ts} decreases from "
+                f"{last[key]} on tid {key[1]}"
+            )
+        last[key] = ts
+    return None
+
+
+def check_required(events, required):
+    complete = set()
+    stacks = {}
+    for event in events:
+        if event["ph"] == "B":
+            stacks.setdefault((event["pid"], event["tid"]), []).append(
+                event["name"]
+            )
+        elif event["ph"] == "E":
+            stack = stacks.get((event["pid"], event["tid"]), [])
+            if stack and stack[-1] == event["name"]:
+                stack.pop()
+                complete.add(event["name"])
+    missing = [name for name in required if name not in complete]
+    if missing:
+        return f"required spans missing from trace: {missing}"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument(
+        "--require-span",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="assert at least one complete span with this name (repeatable)",
+    )
+    args = parser.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        return fail(f"{args.trace}: {error}")
+
+    for check in (check_schema, check_balance, check_order):
+        error = check(events)
+        if error:
+            return fail(error)
+    if args.require_span:
+        error = check_required(events, args.require_span)
+        if error:
+            return fail(error)
+
+    spans = sum(1 for e in events if e["ph"] == "B")
+    instants = sum(1 for e in events if e["ph"] == "i")
+    print(
+        f"check_trace_json: OK: {len(events)} events "
+        f"({spans} spans, {instants} instants)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,11 @@ committed log. Shared keys are judged on proof strength and cost:
 Wall clocks, node counts and skip counters are compared nowhere because
 they are load- and machine-dependent.
 
+Rows carrying an embedded per-stage "metrics" object (see
+obs/metrics.hpp) are reported informationally only: drift in a stage
+count, a prune-reason split, or a field appearing/disappearing is noted,
+never failed — stage timings and histograms vary with load by design.
+
 Exit status: 0 = no regression on any shared row, 1 = regression
 (status downgrade, terminal-proof contradiction, or cost change) or
 unusable input.
@@ -49,6 +54,38 @@ def load_rows(path):
                              f"{row['status']!r}")
         indexed[key] = row
     return indexed
+
+
+def note_metric_drift(key, base, cand):
+    """Informational-only comparison of embedded per-stage metrics.
+
+    Prints notes about structural drift (fields present on one side only,
+    stage-count or prune-count changes); returns nothing and never fails
+    the diff — per-stage observations are not part of the contract the
+    diff enforces.
+    """
+    base_m, cand_m = base.get("metrics"), cand.get("metrics")
+    if base_m is None and cand_m is None:
+        return
+    if base_m is None or cand_m is None:
+        side = "candidate" if base_m is None else "baseline"
+        print(f"diff_bench_json: note: {key}: per-stage metrics only in "
+              f"{side} row")
+        return
+    base_stages = base_m.get("stages", {})
+    cand_stages = cand_m.get("stages", {})
+    for name in sorted(set(base_stages) | set(cand_stages)):
+        base_count = base_stages.get(name, {}).get("count", 0)
+        cand_count = cand_stages.get(name, {}).get("count", 0)
+        if base_count != cand_count:
+            print(f"diff_bench_json: note: {key}: stage {name!r} count "
+                  f"{base_count} -> {cand_count}")
+    base_prunes = base_m.get("prunes", {})
+    cand_prunes = cand_m.get("prunes", {})
+    for name in sorted(set(base_prunes) | set(cand_prunes)):
+        if base_prunes.get(name, 0) != cand_prunes.get(name, 0):
+            print(f"diff_bench_json: note: {key}: prunes[{name!r}] "
+                  f"{base_prunes.get(name, 0)} -> {cand_prunes.get(name, 0)}")
 
 
 def main():
@@ -89,6 +126,7 @@ def main():
                 and base["cost"] != cand["cost"]):
             regressions.append(f"  {key}: cost {base['cost']!r} -> "
                                f"{cand['cost']!r}")
+        note_metric_drift(key, base, cand)
 
     if regressions:
         print(f"diff_bench_json: {len(regressions)} regression(s) over "

@@ -28,6 +28,14 @@
 //   --seed N                    RNG seed (default 1)
 //   --trials N                  simulate: campaign size (default 400)
 //   -o FILE                     export: write to FILE instead of stdout
+//
+// Observability (optimize/simulate/export-verilog):
+//   --trace FILE                capture a Chrome trace-event JSON of the
+//                               solve (load in Perfetto / chrome://tracing)
+//   --metrics-json FILE         write per-stage counters and duration
+//                               histograms as JSON
+//   --explain                   print a prune-reason breakdown and per-stage
+//                               time share after the solve
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -35,6 +43,8 @@
 #include "benchmarks/extra.hpp"
 #include "benchmarks/suite.hpp"
 #include "core/engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "dfg/analysis.hpp"
 #include "dfg/dot.hpp"
 #include "dfg/parse.hpp"
@@ -67,6 +77,11 @@ struct Options {
   std::string out_file;
   bool share_registers = false;
   bool close_pairs = true;
+  std::string trace_file;
+  std::string metrics_file;
+  bool explain = false;
+
+  bool wants_metrics() const { return explain || !metrics_file.empty(); }
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -80,7 +95,10 @@ struct Options {
       "         --threads N (0 = all cores)  --time-limit SECONDS  --progress\n"
       "         --no-bounds (disable branch-and-bound lower bounds)\n"
       "         --seed N  --trials N  -o FILE  --share-registers\n"
-      "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n",
+      "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n"
+      "         --trace FILE (Chrome trace-event JSON of the solve)\n"
+      "         --metrics-json FILE (per-stage counters/histograms as JSON)\n"
+      "         --explain (prune-reason breakdown + per-stage time share)\n",
       stderr);
   std::exit(2);
 }
@@ -131,6 +149,12 @@ Options parse_args(int argc, char** argv) {
       options.share_registers = true;
     } else if (flag == "--no-close-pairs") {
       options.close_pairs = false;
+    } else if (flag == "--trace") {
+      options.trace_file = need_value(flag);
+    } else if (flag == "--metrics-json") {
+      options.metrics_file = need_value(flag);
+    } else if (flag == "--explain") {
+      options.explain = true;
     } else {
       usage("unknown flag " + flag);
     }
@@ -204,6 +228,46 @@ core::ProblemSpec build_spec(const Options& options) {
   return spec;
 }
 
+/// --explain: per-stage time share plus the prune-reason breakdown.
+/// Stage spans nest (stage/csp contains validation, nogood propagation is
+/// inside the CSP), so shares are per stage, not a partition of the wall.
+void print_explain(const core::OptimizeResult& result) {
+  const double wall_ns = result.stats.seconds * 1e9;
+  util::TablePrinter stages({"stage", "calls", "total ms", "share"});
+  for (int s = 0; s < obs::kNumStages; ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const obs::StageStats& stats = result.metrics.stage(stage);
+    if (stats.count == 0) continue;
+    const double share =
+        wall_ns > 0 ? 100.0 * static_cast<double>(stats.total_ns) / wall_ns
+                    : 0.0;
+    stages.add_row({obs::stage_name(stage), std::to_string(stats.count),
+                    util::format_double(
+                        static_cast<double>(stats.total_ns) / 1e6, 3),
+                    util::format_double(share, 1) + "%"});
+  }
+  std::fputs(
+      stages.to_string("per-stage time (stages nest; shares overlap)")
+          .c_str(),
+      stdout);
+  util::TablePrinter prunes({"prune reason", "license sets"});
+  long long total_pruned = 0;
+  for (int r = 0; r < obs::kNumPruneReasons; ++r) {
+    const auto reason = static_cast<obs::PruneReason>(r);
+    prunes.add_row({obs::prune_reason_name(reason),
+                    std::to_string(result.metrics.prune(reason))});
+    total_pruned += result.metrics.prune(reason);
+  }
+  prunes.add_row({"(dispatched)",
+                  std::to_string(result.stats.combos_tried)});
+  std::fputs(prunes
+                 .to_string("prune-reason breakdown (" +
+                            std::to_string(total_pruned) +
+                            " license sets skipped without CSP dispatch)")
+                 .c_str(),
+             stdout);
+}
+
 core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
                                    const Options& options) {
   core::SynthesisRequest request;
@@ -216,27 +280,50 @@ core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
   request.seed = options.seed;
   request.parallelism.threads = options.threads;
   request.pruning.cost_bounds = options.cost_bounds;
+  request.observability.metrics = options.wants_metrics();
   if (options.time_limit > 0) {
     request.limits.time_limit_seconds = options.time_limit;
   }
   if (options.progress) {
     request.progress = [](const core::SynthesisProgress& progress) {
+      const long skipped = progress.combos_skipped_screen +
+                           progress.combos_skipped_cache +
+                           progress.lb_prunes;
       if (progress.have_incumbent) {
         std::fprintf(stderr,
-                     "progress: combos=%ld nodes=%ld incumbent=$%lld "
-                     "t=%.2fs\n",
-                     progress.combos_tried, progress.csp_nodes,
+                     "progress: combos=%ld skipped=%ld nodes=%ld "
+                     "incumbent=$%lld t=%.2fs\n",
+                     progress.combos_tried, skipped, progress.csp_nodes,
                      progress.incumbent_cost, progress.seconds);
       } else {
         std::fprintf(stderr,
-                     "progress: combos=%ld nodes=%ld incumbent=- t=%.2fs\n",
-                     progress.combos_tried, progress.csp_nodes,
+                     "progress: combos=%ld skipped=%ld nodes=%ld "
+                     "incumbent=- t=%.2fs\n",
+                     progress.combos_tried, skipped, progress.csp_nodes,
                      progress.seconds);
       }
     };
   }
   core::SynthesisEngine engine(std::move(request));
-  return engine.minimize();
+  if (!options.trace_file.empty()) obs::start_tracing();
+  const core::OptimizeResult result = engine.minimize();
+  if (!options.trace_file.empty()) {
+    const obs::TraceLog log = obs::stop_tracing();
+    std::ostringstream buffer;
+    obs::write_chrome_trace(log, buffer);
+    util::write_file(options.trace_file, buffer.str());
+    std::fprintf(stderr, "trace: %zu events (%llu dropped) -> %s\n",
+                 log.events.size(),
+                 static_cast<unsigned long long>(log.dropped),
+                 options.trace_file.c_str());
+  }
+  if (!options.metrics_file.empty()) {
+    util::write_file(options.metrics_file,
+                     obs::to_json(result.metrics) + "\n");
+    std::fprintf(stderr, "metrics: %s\n", options.metrics_file.c_str());
+  }
+  if (options.explain) print_explain(result);
+  return result;
 }
 
 void emit(const Options& options, const std::string& content) {
