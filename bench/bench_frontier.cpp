@@ -10,6 +10,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/frontier.hpp"
 #include "vendor/catalogs.hpp"
 
@@ -35,9 +36,12 @@ void print_reproduction() {
     options.time_limit_seconds = 8;
     const std::vector<long long> areas = {16000, 20000, 24000, 28000,
                                           32000, 40000, 60000, 100000};
+    core::SynthesisRequest request = core::make_request(spec, options);
+    request.kind = core::RequestKind::kAreaFrontier;
+    request.sweep_values = areas;
     util::TablePrinter table({"area budget", "min cost", "u", "t", "v"});
     for (const core::FrontierPoint& point :
-         core::area_frontier(spec, areas, options)) {
+         core::synthesize(request).frontier) {
       if (point.result.has_solution()) {
         core::ProblemSpec point_spec = spec;
         point_spec.area_limit = point.constraint;
@@ -70,10 +74,12 @@ void print_reproduction() {
     core::OptimizerOptions options;
     options.strategy = core::Strategy::kHeuristic;
     options.time_limit_seconds = 4;
-    const std::vector<int> lambdas = {6, 7, 8, 9, 10, 12, 14, 18};
+    core::SynthesisRequest request = core::make_request(base, options);
+    request.kind = core::RequestKind::kLatencyFrontier;
+    request.sweep_values = {6, 7, 8, 9, 10, 12, 14, 18};
     util::TablePrinter table({"lambda total", "min cost"});
     for (const core::FrontierPoint& point :
-         core::latency_frontier(base, lambdas, options)) {
+         core::synthesize(request).frontier) {
       table.add_row({std::to_string(point.constraint), cell(point.result)});
     }
     benchx::print_table(
@@ -92,7 +98,7 @@ void BM_AreaFrontierPoint(benchmark::State& state) {
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 8;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec, options));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec, options)).result);
   }
 }
 BENCHMARK(BM_AreaFrontierPoint)->Arg(24000)->Arg(60000)

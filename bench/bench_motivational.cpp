@@ -5,6 +5,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "dfg/dot.hpp"
 #include "vendor/catalogs.hpp"
@@ -43,7 +44,7 @@ void print_reproduction() {
   std::puts("=== Figure 5: motivational example ===");
   std::puts("DFG: polynom (5 ops), lambda_det=4, lambda_rec=3, area<=22000");
   const core::ProblemSpec spec = motivational_spec();
-  const core::OptimizeResult result = core::minimize_cost(spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec)).result;
   if (!result.has_solution()) {
     std::printf("optimizer failed: %s\n",
                 core::to_string(result.status).c_str());
@@ -64,7 +65,7 @@ void print_reproduction() {
   core::ProblemSpec detection = spec;
   detection.with_recovery = false;
   detection.lambda_recovery = 0;
-  const core::OptimizeResult det = core::minimize_cost(detection);
+  const core::OptimizeResult det = core::synthesize(core::make_request(detection)).result;
   if (det.has_solution()) {
     std::printf("detection-only minimum cost: %s  -> recovery premium: %s\n",
                 util::format_money(det.cost).c_str(),
@@ -76,7 +77,7 @@ void print_reproduction() {
 void BM_MotivationalExact(benchmark::State& state) {
   const core::ProblemSpec spec = motivational_spec();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec)).result);
   }
 }
 BENCHMARK(BM_MotivationalExact)->Unit(benchmark::kMillisecond)->Iterations(3);
@@ -86,7 +87,7 @@ void BM_MotivationalDetectionOnly(benchmark::State& state) {
   spec.with_recovery = false;
   spec.lambda_recovery = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec)).result);
   }
 }
 BENCHMARK(BM_MotivationalDetectionOnly)->Unit(benchmark::kMillisecond)->Iterations(3);

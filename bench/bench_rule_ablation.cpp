@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "dfg/analysis.hpp"
 #include "trojan/profiling.hpp"
 #include "vendor/catalogs.hpp"
@@ -67,7 +68,7 @@ void report(const std::string& title, const core::ProblemSpec& base) {
       options.strategy = core::Strategy::kHeuristic;
     }
     const core::OptimizeResult result =
-        core::minimize_cost(variant.spec, options);
+        core::synthesize(core::make_request(variant.spec, options)).result;
     if (!result.has_solution()) {
       table.add_row({variant.name, core::to_string(result.status), "-", "-",
                      "-", "-", "-"});
@@ -133,7 +134,7 @@ void print_reproduction() {
     if (spec.graph.num_ops() > 12) {
       options.strategy = core::Strategy::kHeuristic;
     }
-    const core::OptimizeResult result = core::minimize_cost(spec, options);
+    const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
     mc.add_row({name, std::to_string(mult_latency),
                 std::to_string(spec.lambda_detection) + "+" +
                     std::to_string(spec.lambda_recovery),
@@ -169,7 +170,7 @@ void BM_AblationVariant(benchmark::State& state) {
   core::OptimizerOptions options;
   options.time_limit_seconds = 20;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(variant.spec, options));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(variant.spec, options)).result);
   }
   state.SetLabel(variant.name);
 }

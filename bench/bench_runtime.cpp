@@ -14,6 +14,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "trojan/monte_carlo.hpp"
 #include "trojan/profiling.hpp"
 #include "vendor/catalogs.hpp"
@@ -47,7 +48,7 @@ Design make_design(const std::string& name, dfg::Dfg graph, int lambda_det,
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 20;
-  const core::OptimizeResult result = core::minimize_cost(spec, options);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
   if (!result.has_solution()) {
     throw util::InternalError("bench_runtime: could not build design " +
                               name);
@@ -146,7 +147,7 @@ void print_reproduction() {
     spec.rules.detection_sibling = anti_collusion;
     core::OptimizerOptions options;
     options.time_limit_seconds = 15;
-    const core::OptimizeResult result = core::minimize_cost(spec, options);
+    const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
     if (!result.has_solution()) return;
     const trojan::CollusionProbe probe =
         trojan::run_collusion_probe(spec, result.solution, 200, 2014);

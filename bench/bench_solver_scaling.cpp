@@ -100,7 +100,7 @@ void print_reproduction() {
         {"engine", "status", "mc", "time (s)", "nodes"});
 
     util::Timer timer;
-    const core::OptimizeResult exact = core::minimize_cost(spec);
+    const core::OptimizeResult exact = core::synthesize(core::make_request(spec)).result;
     table.add_row({"exact (license enum + CSP)",
                    core::to_string(exact.status),
                    util::format_money(exact.cost),
@@ -110,7 +110,7 @@ void print_reproduction() {
     timer.reset();
     core::OptimizerOptions h;
     h.strategy = core::Strategy::kHeuristic;
-    const core::OptimizeResult heur = core::minimize_cost(spec, h);
+    const core::OptimizeResult heur = core::synthesize(core::make_request(spec, h)).result;
     table.add_row({"heuristic", core::to_string(heur.status),
                    util::format_money(heur.cost),
                    util::format_double(timer.elapsed_seconds(), 3),
@@ -156,7 +156,7 @@ void print_reproduction() {
       e.time_limit_seconds = 15;
       e.cost_bounds = !g_no_bounds;
       e.collect_metrics = true;
-      const core::OptimizeResult exact = core::minimize_cost(spec, e);
+      const core::OptimizeResult exact = core::synthesize(core::make_request(spec, e)).result;
       const double exact_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/exact", spec, 1, exact,
                                    exact_s));
@@ -167,7 +167,7 @@ void print_reproduction() {
       h.time_limit_seconds = 15;
       h.cost_bounds = !g_no_bounds;
       h.collect_metrics = true;
-      const core::OptimizeResult heur = core::minimize_cost(spec, h);
+      const core::OptimizeResult heur = core::synthesize(core::make_request(spec, h)).result;
       const double heur_s = timer.elapsed_seconds();
       g_json.add(benchx::record_of("size_sweep/heuristic", spec, 1, heur,
                                    heur_s));
@@ -254,16 +254,16 @@ void print_parallel_scaling(int threads) {
   for (Row& row : rows) {
     row.options.threads = 1;
     util::Timer timer;
-    const core::OptimizeResult serial = core::minimize_cost(row.spec,
-                                                            row.options);
+    const core::OptimizeResult serial = core::synthesize(core::make_request(row.spec,
+                                                            row.options)).result;
     const double serial_s = timer.elapsed_seconds();
     g_json.add(benchx::record_of("parallel/" + row.name, row.spec, 1,
                                  serial, serial_s));
 
     row.options.threads = threads;
     timer.reset();
-    const core::OptimizeResult parallel = core::minimize_cost(row.spec,
-                                                              row.options);
+    const core::OptimizeResult parallel = core::synthesize(core::make_request(row.spec,
+                                                              row.options)).result;
     const double parallel_s = timer.elapsed_seconds();
     g_json.add(benchx::record_of("parallel/" + row.name, row.spec, threads,
                                  parallel, parallel_s));
@@ -489,14 +489,14 @@ void print_bounds_study() {
     core::OptimizerOptions off_options = base;
     off_options.cost_bounds = false;
     util::Timer timer;
-    const core::OptimizeResult off = core::minimize_cost(spec, off_options);
+    const core::OptimizeResult off = core::synthesize(core::make_request(spec, off_options)).result;
     const double off_s = timer.elapsed_seconds();
     g_json.add(benchx::record_of("bounds_off/" + name, spec, 1, off, off_s));
 
     core::OptimizerOptions on_options = base;
     on_options.cost_bounds = true;
     timer.reset();
-    const core::OptimizeResult on = core::minimize_cost(spec, on_options);
+    const core::OptimizeResult on = core::synthesize(core::make_request(spec, on_options)).result;
     const double on_s = timer.elapsed_seconds();
     g_json.add(benchx::record_of("bounds_on/" + name, spec, 1, on, on_s));
 
@@ -529,7 +529,7 @@ void BM_ExactByOps(benchmark::State& state) {
   core::OptimizerOptions options;
   options.time_limit_seconds = 15;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec, options));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec, options)).result);
   }
 }
 BENCHMARK(BM_ExactByOps)->Arg(5)->Arg(10)->Arg(15)
@@ -543,7 +543,7 @@ void BM_HeuristicByOps(benchmark::State& state) {
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 15;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec, options));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec, options)).result);
   }
 }
 BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)

@@ -9,6 +9,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "vendor/catalogs.hpp"
 
 namespace {
@@ -25,7 +26,7 @@ core::OptimizeResult solve_row(const benchmarks::BenchmarkCase& entry,
   exact.strategy = core::Strategy::kExact;
   exact.time_limit_seconds = spec.graph.num_ops() <= 12 ? 20.0 : 8.0;
   exact.csp_node_limit = 1'500'000;
-  core::OptimizeResult result = core::minimize_cost(spec, exact);
+  core::OptimizeResult result = core::synthesize(core::make_request(spec, exact)).result;
   if (result.status == core::OptStatus::kOptimal ||
       result.status == core::OptStatus::kInfeasible) {
     return result;
@@ -33,7 +34,7 @@ core::OptimizeResult solve_row(const benchmarks::BenchmarkCase& entry,
   core::OptimizerOptions heuristic;
   heuristic.strategy = core::Strategy::kHeuristic;
   heuristic.time_limit_seconds = 20.0;
-  core::OptimizeResult fallback = core::minimize_cost(spec, heuristic);
+  core::OptimizeResult fallback = core::synthesize(core::make_request(spec, heuristic)).result;
   if (result.has_solution() &&
       (!fallback.has_solution() || result.cost <= fallback.cost)) {
     return result;
@@ -85,7 +86,7 @@ void BM_Table3Row(benchmark::State& state) {
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 20;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::minimize_cost(spec, options));
+    benchmark::DoNotOptimize(core::synthesize(core::make_request(spec, options)).result);
   }
   state.SetLabel(entry.name);
 }

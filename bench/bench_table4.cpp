@@ -8,6 +8,7 @@
 #include "bench_util.hpp"
 
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "dfg/analysis.hpp"
 #include "vendor/catalogs.hpp"
 
@@ -38,7 +39,12 @@ core::SplitResult solve_row(const benchmarks::BenchmarkCase& entry,
                                  : core::Strategy::kHeuristic;
   options.time_limit_seconds = std::max(2.0, 24.0 / splits);
   options.csp_node_limit = 600'000;
-  return core::minimize_cost_total_latency(spec, row.lambda, options);
+  core::SynthesisRequest request = core::make_request(spec, options);
+  request.kind = core::RequestKind::kMinimizeTotalLatency;
+  request.lambda_total = row.lambda;
+  const core::SynthesisResponse response = core::synthesize(request);
+  return core::SplitResult{response.result, response.lambda_detection,
+                           response.lambda_recovery};
 }
 
 void print_reproduction() {
@@ -94,7 +100,7 @@ void print_reproduction() {
     d_options.strategy = core::Strategy::kHeuristic;
     d_options.time_limit_seconds = 10;
     const core::OptimizeResult d_result =
-        core::minimize_cost(d_spec, d_options);
+        core::synthesize(core::make_request(d_spec, d_options)).result;
 
     const auto& r_row = entry.table4[0];
     const core::SplitResult r_result = solve_row(entry, r_row);

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "rtl/sim.hpp"
 #include "rtl/testbench.hpp"
@@ -24,7 +25,7 @@ int main() {
   spec.with_recovery = true;
   spec.area_limit = 22000;
 
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   if (!design.has_solution()) {
     std::puts("optimization failed");
     return 1;

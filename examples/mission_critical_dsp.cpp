@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "util/strings.hpp"
 #include "trojan/profiling.hpp"
@@ -52,7 +53,7 @@ int main() {
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 30;
-  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec, options)).result;
   if (!design.has_solution()) {
     std::printf("synthesis failed: %s\n",
                 core::to_string(design.status).c_str());

@@ -11,6 +11,7 @@
 //               ./build/examples/quickstart
 #include <cstdio>
 
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "util/strings.hpp"
 #include "trojan/simulator.hpp"
@@ -45,7 +46,7 @@ int main() {
   spec.with_recovery = true;
   spec.area_limit = 30000;    // unit cells
 
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   if (!design.has_solution()) {
     std::printf("no design meets the constraints (%s)\n",
                 core::to_string(design.status).c_str());

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "util/strings.hpp"
 #include "trojan/profiling.hpp"
@@ -46,7 +47,7 @@ int main() {
                 spec.graph.op(j).name.c_str());
   }
 
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   if (!design.has_solution()) {
     std::printf("optimize failed: %s\n",
                 core::to_string(design.status).c_str());

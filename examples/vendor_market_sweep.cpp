@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -49,7 +50,7 @@ int main() {
       spec.area_limit = area;
       core::OptimizerOptions options;
       options.time_limit_seconds = 10;
-      const core::OptimizeResult result = core::minimize_cost(spec, options);
+      const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
       if (result.has_solution()) {
         row.push_back(util::format_money(result.cost) +
                       (result.status == core::OptStatus::kOptimal ? ""

@@ -555,8 +555,79 @@ void run_indexed(std::size_t n, int threads,
 
 }  // namespace
 
+const char* request_kind_name(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kMinimize:
+      return "minimize";
+    case RequestKind::kMinimizeTotalLatency:
+      return "minimize_total_latency";
+    case RequestKind::kAreaFrontier:
+      return "area_frontier";
+    case RequestKind::kLatencyFrontier:
+      return "latency_frontier";
+    case RequestKind::kReoptimize:
+      return "reoptimize";
+  }
+  return "?";
+}
+
+bool parse_request_kind(const std::string& name, RequestKind* out) {
+  for (int k = 0; k < kNumRequestKinds; ++k) {
+    const auto kind = static_cast<RequestKind>(k);
+    if (name == request_kind_name(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
 SynthesisEngine::SynthesisEngine(SynthesisRequest request)
     : request_(std::move(request)) {}
+
+SynthesisResponse SynthesisEngine::run(const SynthesisRequest& request) {
+  request_ = request;
+  return run();
+}
+
+SynthesisResponse SynthesisEngine::run() {
+  SynthesisResponse response;
+  response.kind = request_.kind;
+  switch (request_.kind) {
+    case RequestKind::kMinimize:
+      response.result = minimize();
+      break;
+    case RequestKind::kMinimizeTotalLatency: {
+      const SplitResult split = minimize_total_latency(request_.lambda_total);
+      response.result = split.result;
+      response.lambda_detection = split.lambda_detection;
+      response.lambda_recovery = split.lambda_recovery;
+      break;
+    }
+    case RequestKind::kAreaFrontier:
+    case RequestKind::kLatencyFrontier: {
+      FrontierSweep sweep;
+      sweep.axis = request_.kind == RequestKind::kAreaFrontier
+                       ? FrontierSweep::Axis::kArea
+                       : FrontierSweep::Axis::kTotalLatency;
+      sweep.values = request_.sweep_values;
+      response.frontier = sweep_frontier(sweep);
+      if (!response.frontier.empty()) {
+        response.result = response.frontier.front().result;
+      }
+      break;
+    }
+    case RequestKind::kReoptimize:
+      response.result = reoptimize(request_.banned);
+      break;
+  }
+  return response;
+}
+
+SynthesisResponse synthesize(const SynthesisRequest& request) {
+  SynthesisEngine engine;
+  return engine.run(request);
+}
 
 OptimizeResult SynthesisEngine::minimize() {
   op_epoch_ = cache_.begin_op(request_.spec);

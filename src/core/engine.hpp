@@ -1,13 +1,18 @@
-// Unified synthesis entry point: one request object, one engine, four
-// operations.
+// Unified synthesis entry point: one request object, one engine, one
+// response.
 //
 // Historically minimize_cost / minimize_cost_total_latency / area_frontier /
 // reoptimize_without each re-implemented the same outer loop around the
 // license-set search with their own copy of the budget semantics. The
 // engine collapses them behind a single SynthesisRequest that carries the
-// spec, the search budgets, the degree of parallelism, an optional progress
-// callback, and an optional cancel token — and runs the license-set search
-// on a work-stealing thread pool.
+// operation (RequestKind), the spec, the search budgets, the degree of
+// parallelism, an optional progress callback, and an optional cancel token
+// — and runs the license-set search on a work-stealing thread pool.
+// SynthesisEngine::run() dispatches on the request kind and returns the one
+// canonical SynthesisResponse; the kind-specific methods remain for callers
+// that statically know their operation. The same request/response pair has
+// a stable JSON serialization in src/service/wire.hpp shared by the thls
+// CLI, the thlsd daemon, thls-client and the bench harness.
 //
 // Parallel search, deterministic commit. Workers pull license sets from the
 // shared cheapest-first queue (each popped set gets a sequential
@@ -158,9 +163,29 @@ inline constexpr long kPruneProgressInterval = 2048;
 
 using ProgressFn = std::function<void(const SynthesisProgress&)>;
 
+/// The engine's operations, selected per request. One enum instead of the
+/// historical four free-function families.
+enum class RequestKind {
+  kMinimize = 0,          ///< cost-minimal design for the fixed spec
+  kMinimizeTotalLatency,  ///< Table-4: free split of `lambda_total`
+  kAreaFrontier,          ///< cost vs. area bound over `sweep_values`
+  kLatencyFrontier,       ///< cost vs. total latency over `sweep_values`
+  kReoptimize,            ///< quarantine re-synthesis with `banned` removed
+};
+inline constexpr int kNumRequestKinds = 5;
+
+/// Stable wire name ("minimize", "minimize_total_latency", ...).
+const char* request_kind_name(RequestKind kind);
+
+/// Inverse of request_kind_name; returns false on an unknown name.
+bool parse_request_kind(const std::string& name, RequestKind* out);
+
 /// Everything one synthesis call needs. The spec is owned by value so a
-/// request outlives the data it was built from.
+/// request outlives the data it was built from. Which of the kind-specific
+/// fields (lambda_total, sweep_values, banned) is read depends on `kind`;
+/// the others are ignored.
 struct SynthesisRequest {
+  RequestKind kind = RequestKind::kMinimize;
   ProblemSpec spec;
   Strategy strategy = Strategy::kExact;
   SearchLimits limits;
@@ -168,6 +193,13 @@ struct SynthesisRequest {
   PruningOptions pruning;
   ObservabilityOptions observability;
   std::uint64_t seed = 1;
+  /// kMinimizeTotalLatency: bound on the combined detection + recovery
+  /// schedule; the split is chosen by the engine.
+  int lambda_total = 0;
+  /// kAreaFrontier: area limits; kLatencyFrontier: total latencies.
+  std::vector<long long> sweep_values;
+  /// kReoptimize: licenses removed from the market before re-synthesis.
+  std::set<LicenseKey> banned;
   ProgressFn progress;                      ///< optional
   const util::CancelToken* cancel = nullptr;  ///< optional; not owned
 };
@@ -182,15 +214,47 @@ struct FrontierSweep {
   std::vector<long long> values;
 };
 
-/// Façade over the parallel license-set search. All four operations share
-/// the request's budgets, thread count, progress callback, and cancel
-/// token. The engine is reusable but not reentrant: run one operation at a
-/// time per engine.
+/// The one response shape every operation produces. `result` always holds
+/// the primary verdict: the optimum for kMinimize/kReoptimize, the best
+/// split's result for kMinimizeTotalLatency (with the winning split in the
+/// lambda fields), and the *first* point's result for the frontier kinds
+/// (the full curve is in `frontier`).
+struct SynthesisResponse {
+  RequestKind kind = RequestKind::kMinimize;
+  OptimizeResult result;
+  /// kMinimizeTotalLatency: the committed split.
+  int lambda_detection = 0;
+  int lambda_recovery = 0;
+  /// Frontier kinds: one labeled point per sweep value, in request order.
+  std::vector<FrontierPoint> frontier;
+};
+
+/// Façade over the parallel license-set search. All operations share the
+/// request's budgets, thread count, progress callback, and cancel token.
+/// The engine is reusable but not reentrant: run one operation at a time
+/// per engine. Reuse is where the warm state lives — the dominance cache,
+/// the nogood store, and the LP-bound memos persist across run() calls
+/// (self-invalidating when a structurally incompatible spec arrives), which
+/// is what the thlsd daemon exploits by routing same-market requests
+/// through one engine.
 class SynthesisEngine {
  public:
+  /// An engine with no request yet: feed it via run(request). This is the
+  /// long-lived service shape.
+  SynthesisEngine() = default;
   explicit SynthesisEngine(SynthesisRequest request);
 
   const SynthesisRequest& request() const { return request_; }
+
+  /// Replaces the engine's request and dispatches on its kind. Warm state
+  /// (cache/nogoods/LP memos) carries over from previous runs and may only
+  /// change *speed* — never statuses, costs, or bindings — within equal
+  /// budgets (see DESIGN.md §5 for the argument and its budget-truncation
+  /// caveat).
+  SynthesisResponse run(const SynthesisRequest& request);
+
+  /// Dispatches the engine's current request on its kind.
+  SynthesisResponse run();
 
   /// Minimizes license cost for the request's fully specified spec.
   OptimizeResult minimize();
@@ -241,9 +305,15 @@ class SynthesisEngine {
   std::mutex progress_mutex_;
 };
 
-/// Adapter for the legacy OptimizerOptions entry points
-/// (minimize_cost & friends forward through this).
+/// Builds a kMinimize request from a spec plus the flat OptimizerOptions
+/// knob struct (the CLI/bench-facing option surface). Adjust `kind` and the
+/// kind-specific fields afterwards for the other operations.
 SynthesisRequest make_request(const ProblemSpec& spec,
-                              const OptimizerOptions& options);
+                              const OptimizerOptions& options = {});
+
+/// One-shot convenience: constructs a fresh (cold) engine and runs the
+/// request. The canonical entry point for callers without an engine to
+/// keep warm.
+SynthesisResponse synthesize(const SynthesisRequest& request);
 
 }  // namespace ht::core

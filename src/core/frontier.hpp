@@ -20,6 +20,9 @@ struct FrontierPoint {
 };
 
 /// Cost as a function of the area bound; everything else fixed by `spec`.
+[[deprecated(
+    "build a SynthesisRequest (RequestKind::kAreaFrontier, sweep_values) "
+    "and call core::synthesize() / SynthesisEngine::run()")]]
 std::vector<FrontierPoint> area_frontier(const ProblemSpec& spec,
                                          const std::vector<long long>& areas,
                                          const OptimizerOptions& options = {});
@@ -27,6 +30,9 @@ std::vector<FrontierPoint> area_frontier(const ProblemSpec& spec,
 /// Cost as a function of the *total* schedule length (detection +
 /// recovery, split chosen by the optimizer). `base.with_recovery` must be
 /// true. Values below twice the critical path are reported infeasible.
+[[deprecated(
+    "build a SynthesisRequest (RequestKind::kLatencyFrontier, sweep_values) "
+    "and call core::synthesize() / SynthesisEngine::run()")]]
 std::vector<FrontierPoint> latency_frontier(
     const ProblemSpec& base, const std::vector<int>& lambda_totals,
     const OptimizerOptions& options = {});

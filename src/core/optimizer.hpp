@@ -116,6 +116,9 @@ struct OptimizeResult {
 /// Minimizes license cost for a fully specified problem (fixed detection
 /// and recovery latency bounds). The returned solution is always validated
 /// against the spec before being returned.
+[[deprecated(
+    "build a SynthesisRequest (RequestKind::kMinimize) and call "
+    "core::synthesize() / SynthesisEngine::run(); see core/engine.hpp")]]
 OptimizeResult minimize_cost(const ProblemSpec& spec,
                              const OptimizerOptions& options = {});
 
@@ -128,6 +131,9 @@ struct SplitResult {
   int lambda_detection = 0;
   int lambda_recovery = 0;
 };
+[[deprecated(
+    "build a SynthesisRequest (RequestKind::kMinimizeTotalLatency, "
+    "lambda_total) and call core::synthesize() / SynthesisEngine::run()")]]
 SplitResult minimize_cost_total_latency(const ProblemSpec& base,
                                         int lambda_total,
                                         const OptimizerOptions& options = {});

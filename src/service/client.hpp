@@ -1,0 +1,78 @@
+// Client side of the thlsd JSON-lines protocol (see server.hpp) — the
+// library under the thls-client tool and the service tests.
+//
+// A Client owns one blocking connection. The high-level calls implement
+// the simple request/reply discipline (send one envelope, read envelopes
+// until the matching reply); the low-level send_envelope/read_envelope
+// pair is exposed for callers that pipeline (submit, then cancel from the
+// same or another connection, then collect the response).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "service/queue.hpp"
+#include "service/wire.hpp"
+
+namespace ht::service {
+
+class Client {
+ public:
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static std::unique_ptr<Client> connect_unix(const std::string& path,
+                                              std::string* error);
+  static std::unique_ptr<Client> connect_tcp(const std::string& host,
+                                             int port, std::string* error);
+
+  /// "unix:/path" or "tcp:host:port".
+  static std::unique_ptr<Client> connect(const std::string& endpoint,
+                                         std::string* error);
+
+  // ---- low level --------------------------------------------------------
+  bool send_line(const std::string& line, std::string* error);
+  /// One '\n'-terminated line (stripped). False on EOF or socket error.
+  bool read_line(std::string* line, std::string* error);
+  bool send_envelope(const Json& envelope, std::string* error);
+  bool read_envelope(Json* envelope, std::string* error);
+
+  // ---- high level -------------------------------------------------------
+  struct Reply {
+    bool ok = false;
+    /// Error code/message from a structured error envelope, or a local
+    /// transport failure (code "transport").
+    std::string error_code;
+    std::string error_message;
+    /// The raw reply envelope (for "service" info: warm, queue_ms, ...).
+    Json envelope;
+    /// Decoded wire response; meaningful when ok.
+    core::SynthesisResponse response;
+  };
+
+  /// Submits one synthesize op and blocks for its tagged reply. `info.id`
+  /// is used as the envelope id (one is generated if empty, so replies
+  /// can always be matched).
+  Reply synthesize(const core::SynthesisRequest& request,
+                   const JobInfo& info = {});
+
+  /// True when the server acknowledged AND a live job was cancelled.
+  bool cancel(const std::string& id);
+
+  std::optional<Json> stats(std::string* error = nullptr);
+  bool ping();
+  bool shutdown_server();
+
+ private:
+  explicit Client(int fd);
+
+  Reply transport_error(const std::string& message) const;
+
+  int fd_;
+  std::string buffer_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ht::service

@@ -1,0 +1,427 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/status.hpp"
+
+namespace ht::service {
+namespace {
+
+const Json kNullJson{};
+const std::string kEmptyString;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+  int depth = 0;
+
+  static constexpr int kMaxDepth = 96;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos < text.size() && text[pos] == expected) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + expected + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("invalid literal");
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return false;
+    std::string result;
+    while (true) {
+      if (pos >= text.size()) return fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        result.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return fail("dangling escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': result.push_back('"'); break;
+        case '\\': result.push_back('\\'); break;
+        case '/': result.push_back('/'); break;
+        case 'b': result.push_back('\b'); break;
+        case 'f': result.push_back('\f'); break;
+        case 'n': result.push_back('\n'); break;
+        case 'r': result.push_back('\r'); break;
+        case 't': result.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are rare in
+          // this protocol (names and DFG text are ASCII) but handled.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (text.substr(pos, 2) != "\\u" || pos + 6 > text.size()) {
+              return fail("unpaired surrogate");
+            }
+            pos += 2;
+            unsigned low = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              low <<= 4;
+              if (h >= '0' && h <= '9') {
+                low |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                low |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                low |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return fail("bad hex digit in \\u escape");
+              }
+            }
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return fail("unpaired surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          if (code < 0x80) {
+            result.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            result.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            result.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else if (code < 0x10000) {
+            result.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            result.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            result.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            result.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            result.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+            result.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            result.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    *out = std::move(result);
+    return true;
+  }
+
+  bool parse_number(Json* out) {
+    const std::size_t start = pos;
+    if (pos < text.size() && text[pos] == '-') ++pos;
+    while (pos < text.size() && std::isdigit(
+               static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+    bool integral = true;
+    if (pos < text.size() && text[pos] == '.') {
+      integral = false;
+      ++pos;
+      while (pos < text.size() && std::isdigit(
+                 static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      integral = false;
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      while (pos < text.size() && std::isdigit(
+                 static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    const std::string_view token = text.substr(start, pos - start);
+    if (token.empty() || token == "-") return fail("malformed number");
+    if (integral) {
+      long long value = 0;
+      const auto [ptr, ec] = std::from_chars(
+          token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        *out = Json(value);
+        return true;
+      }
+      // Out-of-range integer: fall through to double.
+    }
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return fail("malformed number");
+    }
+    *out = Json(value);
+    return true;
+  }
+
+  bool parse_value(Json* out) {
+    if (++depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    bool ok = false;
+    switch (text[pos]) {
+      case '{': {
+        ++pos;
+        Json object = Json::object();
+        skip_ws();
+        if (pos < text.size() && text[pos] == '}') {
+          ++pos;
+          *out = std::move(object);
+          ok = true;
+          break;
+        }
+        while (true) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(&key)) return false;
+          skip_ws();
+          if (!consume(':')) return false;
+          Json value;
+          if (!parse_value(&value)) return false;
+          object.set(key, std::move(value));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume('}')) return false;
+          break;
+        }
+        *out = std::move(object);
+        ok = true;
+        break;
+      }
+      case '[': {
+        ++pos;
+        Json array = Json::array();
+        skip_ws();
+        if (pos < text.size() && text[pos] == ']') {
+          ++pos;
+          *out = std::move(array);
+          ok = true;
+          break;
+        }
+        while (true) {
+          Json value;
+          if (!parse_value(&value)) return false;
+          array.push_back(std::move(value));
+          skip_ws();
+          if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+          }
+          if (!consume(']')) return false;
+          break;
+        }
+        *out = std::move(array);
+        ok = true;
+        break;
+      }
+      case '"': {
+        std::string value;
+        if (!parse_string(&value)) return false;
+        *out = Json(std::move(value));
+        ok = true;
+        break;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        *out = Json(true);
+        ok = true;
+        break;
+      case 'f':
+        if (!literal("false")) return false;
+        *out = Json(false);
+        ok = true;
+        break;
+      case 'n':
+        if (!literal("null")) return false;
+        *out = Json(nullptr);
+        ok = true;
+        break;
+      default:
+        ok = parse_number(out);
+        break;
+    }
+    --depth;
+    return ok;
+  }
+};
+
+}  // namespace
+
+const std::string& Json::as_string() const {
+  return is_string() ? string_ : kEmptyString;
+}
+
+void Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) {
+    throw util::InternalError("Json::push_back on a non-array value");
+  }
+  array_.push_back(std::move(value));
+}
+
+const Json& Json::at(std::size_t index) const {
+  if (!is_array() || index >= array_.size()) return kNullJson;
+  return array_[index];
+}
+
+const Json& Json::get(const std::string& key) const {
+  if (!is_object()) return kNullJson;
+  const auto it = object_.find(key);
+  return it == object_.end() ? kNullJson : it->second;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) {
+    throw util::InternalError("Json::set on a non-object value");
+  }
+  return object_[key] = std::move(value);
+}
+
+std::string json_quote(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+void Json::dump_to(std::string* out) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      break;
+    case Type::kDouble: {
+      if (std::isfinite(double_)) {
+        char buffer[64];
+        std::snprintf(buffer, sizeof buffer, "%.17g", double_);
+        *out += buffer;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN; null is the honest spelling
+      }
+      break;
+    }
+    case Type::kString:
+      *out += json_quote(string_);
+      break;
+    case Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        item.dump_to(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        *out += json_quote(key);
+        out->push_back(':');
+        value.dump_to(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(&out);
+  return out;
+}
+
+bool Json::parse(std::string_view text, Json* out, std::string* error) {
+  Parser parser;
+  parser.text = text;
+  Json value;
+  if (!parser.parse_value(&value)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at byte " + std::to_string(parser.pos);
+    }
+    return false;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace ht::service

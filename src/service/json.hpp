@@ -1,0 +1,126 @@
+// Minimal JSON document model for the service wire format.
+//
+// The wire layer (service/wire.hpp) needs a full two-way JSON DOM —
+// tolerant reads of unknown fields, deterministic writes — which the
+// purpose-built serializers elsewhere in the tree (obs::to_json, the
+// Chrome trace writer) do not provide. This is a deliberately small
+// implementation: UTF-8 pass-through strings with \uXXXX escapes decoded
+// to UTF-8 on parse, numbers kept as long long when they are integral
+// (license costs and node counters must round-trip exactly), objects
+// stored key-sorted so dump() is byte-stable for identical documents.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ht::service {
+
+/// One JSON value. Cheap to copy for the document sizes the wire carries
+/// (requests are a few kilobytes; responses top out at a frontier sweep).
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Json(bool value) : type_(Type::kBool), bool_(value) {}  // NOLINT
+  Json(int value) : type_(Type::kInt), int_(value) {}     // NOLINT
+  Json(long value) : type_(Type::kInt), int_(value) {}    // NOLINT
+  Json(long long value) : type_(Type::kInt), int_(value) {}          // NOLINT
+  Json(unsigned long long value)                                     // NOLINT
+      : type_(Type::kInt), int_(static_cast<long long>(value)) {}
+  Json(double value) : type_(Type::kDouble), double_(value) {}  // NOLINT
+  Json(std::string value)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  static Json array() {
+    Json json;
+    json.type_ = Type::kArray;
+    return json;
+  }
+  static Json object() {
+    Json json;
+    json.type_ = Type::kObject;
+    return json;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed reads with a fallback — the unknown-field-tolerant idiom is
+  /// `json.get("key").as_int(default)`.
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  long long as_int(long long fallback = 0) const {
+    if (type_ == Type::kInt) return int_;
+    if (type_ == Type::kDouble) return static_cast<long long>(double_);
+    return fallback;
+  }
+  double as_double(double fallback = 0.0) const {
+    if (type_ == Type::kDouble) return double_;
+    if (type_ == Type::kInt) return static_cast<double>(int_);
+    return fallback;
+  }
+  const std::string& as_string() const;
+  std::string as_string(const std::string& fallback) const {
+    return is_string() ? string_ : fallback;
+  }
+
+  // ---- arrays ----------------------------------------------------------
+  const std::vector<Json>& items() const { return array_; }
+  std::size_t size() const {
+    return is_array() ? array_.size() : is_object() ? object_.size() : 0;
+  }
+  void push_back(Json value);
+  const Json& at(std::size_t index) const;
+
+  // ---- objects ---------------------------------------------------------
+  const std::map<std::string, Json>& fields() const { return object_; }
+  bool has(const std::string& key) const {
+    return is_object() && object_.count(key) > 0;
+  }
+  /// Null reference when absent (or when this is not an object) — chains
+  /// safely: `doc.get("a").get("b").as_int(0)`.
+  const Json& get(const std::string& key) const;
+  /// Converts a null value to an object on first insertion.
+  Json& set(const std::string& key, Json value);
+
+  /// Compact deterministic serialization (sorted keys, no whitespace).
+  std::string dump() const;
+
+  /// Strict parse of one complete JSON document. Returns false and fills
+  /// `error` (with a byte offset) on malformed input; `out` is untouched
+  /// on failure. Trailing whitespace is allowed, trailing garbage is not.
+  static bool parse(std::string_view text, Json* out, std::string* error);
+
+  bool operator==(const Json&) const = default;
+
+ private:
+  void dump_to(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  long long int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::map<std::string, Json> object_;
+};
+
+/// JSON string escaping of `text` including the surrounding quotes.
+std::string json_quote(std::string_view text);
+
+}  // namespace ht::service

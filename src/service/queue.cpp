@@ -1,0 +1,80 @@
+#include "service/queue.hpp"
+
+#include <algorithm>
+
+namespace ht::service {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool AdmissionQueue::before(const PendingJob& a, const PendingJob& b) {
+  if (a.info.priority != b.info.priority) {
+    return a.info.priority > b.info.priority;
+  }
+  if (a.has_deadline() != b.has_deadline()) return a.has_deadline();
+  if (a.has_deadline() && a.deadline != b.deadline) {
+    return a.deadline < b.deadline;
+  }
+  return a.ticket < b.ticket;
+}
+
+bool AdmissionQueue::push(PendingJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || jobs_.size() >= capacity_) return false;
+    const auto at = std::upper_bound(
+        jobs_.begin(), jobs_.end(), job,
+        [](const PendingJob& a, const PendingJob& b) { return before(a, b); });
+    jobs_.insert(at, std::move(job));
+  }
+  ready_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::pop(PendingJob* out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (closed_) return false;
+  *out = std::move(jobs_.front());
+  jobs_.erase(jobs_.begin());
+  return true;
+}
+
+bool AdmissionQueue::remove(std::uint64_t ticket, PendingJob* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+    if (it->ticket == ticket) {
+      if (out != nullptr) *out = std::move(*it);
+      jobs_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<PendingJob> AdmissionQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingJob> leftover = std::move(jobs_);
+  jobs_.clear();
+  return leftover;
+}
+
+std::size_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace ht::service

@@ -1,0 +1,91 @@
+// Admission-controlled priority queue for the synthesis service.
+//
+// Bounded by construction: push() refuses (returns false) when the queue
+// is at capacity instead of growing — that refusal IS the backpressure
+// signal thlsd turns into a structured `queue_full` error, so a burst of
+// clients degrades into fast rejections rather than unbounded memory and
+// silently-missed deadlines. Jobs are ordered by (higher priority,
+// earlier deadline, admission order); a job with no deadline sorts after
+// every deadlined job of its priority. pop() blocks until a job or
+// close(); after close() it refuses immediately and the still-queued jobs
+// are returned by drain() so the service can answer their clients instead
+// of dropping them on the floor.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ht::service {
+
+/// Service-level envelope of one request: everything about a job that is
+/// not the SynthesisRequest itself.
+struct JobInfo {
+  /// Client-chosen identifier; target of cancel(). May be empty.
+  std::string id;
+  /// Higher runs first. Ties broken by deadline, then admission order.
+  int priority = 0;
+  /// Wall-clock budget measured from admission; expired jobs complete as
+  /// kUnknown without solving. <= 0 means no deadline.
+  double deadline_seconds = 0.0;
+  /// False forces a cold engine (fresh caches) for this job — the A/B
+  /// lever the determinism-under-reuse tests use.
+  bool warm = true;
+};
+
+/// One admitted job.
+struct PendingJob {
+  std::uint64_t ticket = 0;  ///< admission sequence number (unique)
+  JobInfo info;
+  core::SynthesisRequest request;
+  std::chrono::steady_clock::time_point admitted{};
+  /// Meaningful iff info.deadline_seconds > 0.
+  std::chrono::steady_clock::time_point deadline{};
+  /// The job's cooperative stop signal; shared with the cancel registry.
+  std::shared_ptr<util::CancelToken> cancel;
+
+  bool has_deadline() const { return info.deadline_seconds > 0.0; }
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  /// Admits the job unless the queue is full or closed.
+  bool push(PendingJob job);
+
+  /// Blocks for the highest-priority job. False once close() was called
+  /// (immediately — remaining jobs are left for drain()).
+  bool pop(PendingJob* out);
+
+  /// Removes a still-queued job by ticket (cancellation before dispatch).
+  bool remove(std::uint64_t ticket, PendingJob* out);
+
+  void close();
+  bool closed() const;
+
+  /// Everything still queued, in pop order. Call after close().
+  std::vector<PendingJob> drain();
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// True when `a` should run before `b`.
+  static bool before(const PendingJob& a, const PendingJob& b);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<PendingJob> jobs_;  // kept sorted in pop order; small by design
+  bool closed_ = false;
+};
+
+}  // namespace ht::service

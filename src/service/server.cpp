@@ -1,0 +1,372 @@
+#include "service/server.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ht::service {
+namespace {
+
+/// EINTR-safe full write with SIGPIPE suppressed (a peer that hung up
+/// must not kill the daemon).
+bool write_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One client socket plus the lock serializing writers to it: the
+/// connection's reader thread (errors, acks) and any worker thread
+/// delivering a finished job's response.
+struct Server::Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void write_line(const std::string& line) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!open) return;
+    if (!write_all(fd, line + "\n")) open = false;
+  }
+
+  /// Unblocks the reader and makes further writes no-ops; the fd itself
+  /// is closed by the destructor, once the last in-flight job reply
+  /// holding a reference has been delivered (or dropped).
+  void shut() {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    open = false;
+    ::shutdown(fd, SHUT_RDWR);
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+  bool open = true;
+};
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), service_(config_.service) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message + ": " + std::strerror(errno);
+    for (const int fd : listen_fds_) ::close(fd);
+    listen_fds_.clear();
+    return false;
+  };
+
+  if (!config_.unix_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(AF_UNIX)");
+    sockaddr_un address{};
+    address.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof(address.sun_path)) {
+      ::close(fd);
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    std::strncpy(address.sun_path, config_.unix_path.c_str(),
+                 sizeof(address.sun_path) - 1);
+    ::unlink(config_.unix_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) < 0 ||
+        ::listen(fd, 64) < 0) {
+      ::close(fd);
+      return fail("bind/listen(" + config_.unix_path + ")");
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (config_.tcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return fail("socket(AF_INET)");
+    const int reuse = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    address.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&address),
+               sizeof(address)) < 0 ||
+        ::listen(fd, 64) < 0) {
+      ::close(fd);
+      return fail("bind/listen(tcp)");
+    }
+    sockaddr_in bound{};
+    socklen_t length = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &length) ==
+        0) {
+      tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  if (listen_fds_.empty()) {
+    if (error != nullptr) *error = "no listener configured";
+    return false;
+  }
+  for (const int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { accept_loop(fd); });
+  }
+  return true;
+}
+
+void Server::accept_loop(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    auto connection = std::make_shared<Connection>(fd);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_requested_) return;  // raced with stop(); dtor closes fd
+    connections_.push_back(connection);
+    connection_threads_.emplace_back(
+        [this, connection] { handle_connection(connection); });
+  }
+}
+
+void Server::handle_connection(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  bool discarding = false;  // inside an oversized line, until its newline
+  char chunk[65536];
+  const auto reject_oversized = [&] {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "error");
+    reply.set("ok", false);
+    Json detail = Json::object();
+    detail.set("code", "oversized_line");
+    detail.set("message",
+               "line exceeds " +
+                   std::to_string(config_.max_line_bytes) + " bytes");
+    reply.set("error", std::move(detail));
+    connection->write_line(reply.dump());
+    buffer.clear();
+  };
+  while (true) {
+    const ssize_t n = ::read(connection->fd, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    std::size_t start = 0;
+    const std::string_view data(chunk, static_cast<std::size_t>(n));
+    while (start < data.size()) {
+      const std::size_t newline = data.find('\n', start);
+      if (newline == std::string_view::npos) {
+        if (!discarding) buffer.append(data.substr(start));
+        break;
+      }
+      if (!discarding) {
+        buffer.append(data.substr(start, newline - start));
+        if (!buffer.empty() && buffer.back() == '\r') buffer.pop_back();
+        if (buffer.size() > config_.max_line_bytes) {
+          reject_oversized();
+        } else if (!buffer.empty()) {
+          handle_line(connection, buffer);
+        }
+        buffer.clear();
+      }
+      discarding = false;
+      start = newline + 1;
+    }
+    // A partial line already past the limit: reject now and swallow input
+    // until its terminating newline instead of buffering without bound.
+    if (!discarding && buffer.size() > config_.max_line_bytes) {
+      reject_oversized();
+      discarding = true;
+    }
+  }
+  connection->shut();
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection,
+                         const std::string& line) {
+  auto error_reply = [&](const std::string& id, const std::string& code,
+                         const std::string& message) {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "error");
+    reply.set("ok", false);
+    if (!id.empty()) reply.set("id", id);
+    Json detail = Json::object();
+    detail.set("code", code);
+    detail.set("message", message);
+    reply.set("error", std::move(detail));
+    connection->write_line(reply.dump());
+  };
+
+  Json envelope;
+  std::string parse_error;
+  if (!Json::parse(line, &envelope, &parse_error) ||
+      !envelope.is_object()) {
+    error_reply("", "malformed_json",
+                parse_error.empty() ? "document is not an object"
+                                    : parse_error);
+    return;
+  }
+  const std::string id = envelope.get("id").as_string("");
+  const Json& version = envelope.get("schema_version");
+  if (!version.is_int() || version.as_int() < 1 ||
+      version.as_int() > kSchemaVersion) {
+    error_reply(id, "unsupported_version",
+                "envelope schema_version must be 1.." +
+                    std::to_string(kSchemaVersion));
+    return;
+  }
+  const std::string op = envelope.get("op").as_string("");
+
+  if (op == "synthesize") {
+    core::SynthesisRequest request;
+    std::string wire_error;
+    if (!request_from_json(envelope.get("request"), &request,
+                           &wire_error)) {
+      error_reply(id, "bad_request", wire_error);
+      return;
+    }
+    JobInfo info;
+    info.id = id;
+    info.priority = static_cast<int>(envelope.get("priority").as_int(0));
+    info.deadline_seconds =
+        static_cast<double>(envelope.get("deadline_ms").as_int(0)) / 1000.0;
+    info.warm = envelope.get("warm").as_bool(true);
+    std::string admit_error;
+    const bool admitted = service_.submit(
+        info, std::move(request),
+        [connection, id](const ServiceReply& reply) {
+          Json out = Json::object();
+          out.set("schema_version", kSchemaVersion);
+          out.set("op", "response");
+          if (!id.empty()) out.set("id", id);
+          if (reply.ok()) {
+            out.set("ok", true);
+            out.set("response", response_to_json(reply.response));
+            Json info_json = Json::object();
+            info_json.set("warm", reply.warm);
+            info_json.set("expired", reply.expired);
+            info_json.set("cancelled", reply.cancelled);
+            info_json.set("market", [&] {
+              char buffer[32];
+              std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                            static_cast<unsigned long long>(reply.market));
+              return std::string(buffer);
+            }());
+            info_json.set("queue_ms", reply.queue_seconds * 1000.0);
+            info_json.set("solve_ms", reply.solve_seconds * 1000.0);
+            out.set("service", std::move(info_json));
+          } else {
+            out.set("op", "error");
+            out.set("ok", false);
+            Json detail = Json::object();
+            detail.set("code", reply.error);
+            detail.set("message", "request dropped: " + reply.error);
+            out.set("error", std::move(detail));
+          }
+          connection->write_line(out.dump());
+        },
+        &admit_error);
+    if (!admitted) {
+      error_reply(id, admit_error,
+                  admit_error == "queue_full"
+                      ? "admission queue is at capacity; retry later"
+                      : "service is shutting down");
+    }
+    return;
+  }
+  if (op == "cancel") {
+    const bool cancelled = service_.cancel(id);
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "cancel_ack");
+    reply.set("ok", true);
+    if (!id.empty()) reply.set("id", id);
+    reply.set("cancelled", cancelled);
+    connection->write_line(reply.dump());
+    return;
+  }
+  if (op == "stats") {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "stats");
+    reply.set("ok", true);
+    reply.set("stats", service_.stats());
+    connection->write_line(reply.dump());
+    return;
+  }
+  if (op == "ping") {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "pong");
+    reply.set("ok", true);
+    connection->write_line(reply.dump());
+    return;
+  }
+  if (op == "shutdown") {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "shutdown_ack");
+    reply.set("ok", true);
+    connection->write_line(reply.dump());
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    return;
+  }
+  error_reply(id, "unknown_op", "unknown op '" + op + "'");
+}
+
+void Server::request_stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stop_requested_ = true;
+  stop_cv_.notify_all();
+}
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_cv_.wait(lock, [&] { return stop_requested_ || stopped_; });
+}
+
+void Server::stop() {
+  std::vector<int> listeners;
+  std::vector<std::weak_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+    stop_cv_.notify_all();
+    listeners.swap(listen_fds_);
+    connections.swap(connections_);
+  }
+  for (const int fd : listeners) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  for (std::thread& thread : accept_threads_) thread.join();
+  for (const std::weak_ptr<Connection>& weak : connections) {
+    if (const std::shared_ptr<Connection> connection = weak.lock()) {
+      connection->shut();
+    }
+  }
+  for (std::thread& thread : connection_threads_) thread.join();
+  service_.shutdown();
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+}
+
+}  // namespace ht::service

@@ -1,0 +1,100 @@
+// JSON-lines socket front end for SynthesisService — the thlsd protocol.
+//
+// Transport: a Unix-domain socket and/or a loopback TCP socket (port 0 =
+// kernel-assigned, reported by tcp_port() — the test harness shape). One
+// thread per connection; one JSON document per '\n'-terminated line in
+// both directions. Requests on one connection may pipeline: each
+// synthesize reply is written when its job finishes (tagged with the
+// client's id), so a slow solve does not block a cancel or /stats sent on
+// the same connection.
+//
+// Envelopes. Client → server: {"schema_version":1,"op":<string>,...} with
+//   op "synthesize": "request" = wire.hpp request document; optional "id",
+//     "priority", "deadline_ms", "warm".
+//   op "cancel": "id" names the job to cancel.
+//   op "stats" | "ping" | "shutdown".
+// Server → client: {"schema_version":1,"op":"response"|"stats"|"pong"|
+// "cancel_ack"|"shutdown_ack"|"error","ok":bool,...}; failures carry
+// {"error":{"code","message"}} with codes "malformed_json",
+// "oversized_line", "unsupported_version", "bad_request", "unknown_op",
+// "queue_full", "shutdown". A malformed or oversized line is answered
+// with a structured error and the connection stays up.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.hpp"
+
+namespace ht::service {
+
+struct ServerConfig {
+  /// Path for the Unix-domain listener; empty disables it. A stale socket
+  /// file at the path is removed on start.
+  std::string unix_path;
+  /// Enable the 127.0.0.1 TCP listener; port 0 binds an ephemeral port.
+  bool tcp = false;
+  int tcp_port = 0;
+  /// Lines beyond this limit are rejected with "oversized_line" and the
+  /// rest of the offending line is discarded.
+  std::size_t max_line_bytes = 4u << 20;
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and starts the accept loops. False (with `error`) when no
+  /// listener could be created.
+  bool start(std::string* error);
+
+  /// Blocks until stop() is called or a client sends op "shutdown".
+  void wait();
+
+  /// Wakes wait() without tearing anything down (signal-watcher shape:
+  /// the waiter then calls stop() from a normal thread context).
+  void request_stop();
+
+  /// Closes listeners and connections, then drains the service. Safe to
+  /// call from any thread (including a connection handler) and twice.
+  void stop();
+
+  /// The TCP port actually bound (after start), or -1.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return config_.unix_path; }
+
+  SynthesisService& service() { return service_; }
+
+ private:
+  struct Connection;
+
+  void accept_loop(int listen_fd);
+  void handle_connection(std::shared_ptr<Connection> connection);
+  void handle_line(const std::shared_ptr<Connection>& connection,
+                   const std::string& line);
+
+  ServerConfig config_;
+  SynthesisService service_;
+
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::vector<int> listen_fds_;
+  std::vector<std::thread> accept_threads_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::weak_ptr<Connection>> connections_;
+  int tcp_port_ = -1;
+};
+
+}  // namespace ht::service

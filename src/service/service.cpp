@@ -1,0 +1,272 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <future>
+
+#include "core/search_cache.hpp"
+
+namespace ht::service {
+namespace {
+
+double seconds_between(std::chrono::steady_clock::time_point from,
+                       std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+std::string fingerprint_hex(std::uint64_t fingerprint) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+}  // namespace
+
+SynthesisService::SynthesisService(const ServiceConfig& config)
+    : config_(config),
+      queue_(config.queue_capacity) {
+  const int workers = std::max(1, config.workers);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+SynthesisService::~SynthesisService() { shutdown(); }
+
+bool SynthesisService::submit(const JobInfo& info,
+                              core::SynthesisRequest request, ReplyFn done,
+                              std::string* error) {
+  PendingJob job;
+  job.info = info;
+  job.request = std::move(request);
+  job.admitted = std::chrono::steady_clock::now();
+  if (job.has_deadline()) {
+    job.deadline = job.admitted +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double>(
+                           info.deadline_seconds));
+  }
+  job.cancel = std::make_shared<util::CancelToken>();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      ++rejected_;
+      if (error != nullptr) *error = "shutdown";
+      return false;
+    }
+    job.ticket = next_ticket_++;
+    ++submitted_;
+    callbacks_[job.ticket] = std::move(done);
+    if (!job.info.id.empty()) live_[job.info.id] = job.cancel;
+  }
+  const std::uint64_t ticket = job.ticket;
+  const std::string id = job.info.id;
+  const std::shared_ptr<util::CancelToken> token = job.cancel;
+  if (!queue_.push(std::move(job))) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    callbacks_.erase(ticket);
+    ++rejected_;
+    --submitted_;
+    const auto it = live_.find(id);
+    if (it != live_.end() && it->second == token) live_.erase(it);
+    if (error != nullptr) *error = "queue_full";
+    return false;
+  }
+  return true;
+}
+
+ServiceReply SynthesisService::execute(const JobInfo& info,
+                                       core::SynthesisRequest request) {
+  auto state = std::make_shared<std::promise<ServiceReply>>();
+  std::future<ServiceReply> future = state->get_future();
+  std::string error;
+  const bool admitted = submit(
+      info, std::move(request),
+      [state](const ServiceReply& reply) { state->set_value(reply); },
+      &error);
+  if (!admitted) {
+    ServiceReply reply;
+    reply.error = error;
+    return reply;
+  }
+  return future.get();
+}
+
+bool SynthesisService::cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = live_.find(id);
+  if (it == live_.end()) return false;
+  it->second->request_cancel();
+  return true;
+}
+
+void SynthesisService::worker_loop() {
+  PendingJob job;
+  while (queue_.pop(&job)) run_job(std::move(job));
+}
+
+SynthesisService::MarketGroup* SynthesisService::group_for(
+    std::uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_ptr<MarketGroup>& slot = groups_[fingerprint];
+  if (slot == nullptr) slot = std::make_unique<MarketGroup>();
+  return slot.get();
+}
+
+void SynthesisService::run_job(PendingJob job) {
+  ServiceReply reply;
+  reply.warm = job.info.warm;
+  reply.market = core::spec_family_fingerprint(job.request.spec);
+  reply.response.kind = job.request.kind;
+
+  const auto dispatched = std::chrono::steady_clock::now();
+  reply.queue_seconds = seconds_between(job.admitted, dispatched);
+
+  if (job.cancel->cancelled()) {
+    reply.cancelled = true;
+    finish(job, reply);
+    return;
+  }
+  if (job.has_deadline() && dispatched >= job.deadline) {
+    // Expired in the queue: report kUnknown with the wait it did pay for
+    // (the "partial stats" contract) and never touch an engine.
+    reply.expired = true;
+    reply.response.result.status = core::OptStatus::kUnknown;
+    reply.response.result.stats.seconds = 0.0;
+    finish(job, reply);
+    return;
+  }
+  if (job.has_deadline()) {
+    const double remaining =
+        seconds_between(dispatched, job.deadline);
+    job.request.limits.time_limit_seconds =
+        std::min(job.request.limits.time_limit_seconds, remaining);
+  }
+  job.request.cancel = job.cancel.get();
+
+  if (job.info.warm) {
+    MarketGroup* group = group_for(reply.market);
+    {
+      // Same-market requests serialize here; that serialization is what
+      // makes the frozen cache tiers / nogood import of the previous
+      // request visible to this one.
+      std::lock_guard<std::mutex> engine_lock(group->mutex);
+      reply.response = group->engine.run(job.request);
+    }
+    const core::OptimizeStats& stats = reply.response.result.stats;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++group->requests;
+    group->nodes_total += stats.nodes_total;
+    group->combos_tried += stats.combos_tried;
+    group->combos_skipped_cache += stats.combos_skipped_cache;
+    group->lb_prunes += stats.lb_prunes;
+    group->nogoods_learned += stats.nogoods_learned;
+    group->last_nodes_total = stats.nodes_total;
+    group->last_combos_tried = stats.combos_tried;
+    group->last_combos_skipped_cache = stats.combos_skipped_cache;
+    group->last_lb_prunes = stats.lb_prunes;
+  } else {
+    core::SynthesisEngine cold;
+    reply.response = cold.run(job.request);
+  }
+  reply.solve_seconds = seconds_between(
+      dispatched, std::chrono::steady_clock::now());
+  reply.cancelled = job.cancel->cancelled();
+  finish(job, reply);
+}
+
+void SynthesisService::finish(const PendingJob& job,
+                              const ServiceReply& reply) {
+  ReplyFn done;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = callbacks_.find(job.ticket);
+    if (it != callbacks_.end()) {
+      done = std::move(it->second);
+      callbacks_.erase(it);
+    }
+    if (!job.info.id.empty()) {
+      const auto live = live_.find(job.info.id);
+      if (live != live_.end() && live->second == job.cancel) {
+        live_.erase(live);
+      }
+    }
+    if (reply.ok()) {
+      ++completed_;
+      if (reply.cancelled) ++cancelled_;
+      if (reply.expired) ++expired_;
+      if (!reply.response.result.metrics.empty()) {
+        metrics_.merge(reply.response.result.metrics);
+      }
+    }
+  }
+  if (done) done(reply);
+}
+
+Json SynthesisService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json json = Json::object();
+  json.set("schema_version", kSchemaVersion);
+
+  Json service = Json::object();
+  service.set("workers", static_cast<int>(workers_.size()));
+  service.set("queue_capacity",
+              static_cast<long long>(queue_.capacity()));
+  service.set("queue_depth", static_cast<long long>(queue_.size()));
+  service.set("submitted", submitted_);
+  service.set("rejected", rejected_);
+  service.set("completed", completed_);
+  service.set("cancelled", cancelled_);
+  service.set("expired", expired_);
+  json.set("service", std::move(service));
+
+  Json markets = Json::array();
+  for (const auto& [fingerprint, group] : groups_) {
+    Json entry = Json::object();
+    entry.set("fingerprint", fingerprint_hex(fingerprint));
+    entry.set("requests", static_cast<long long>(group->requests));
+    entry.set("nodes_total", group->nodes_total);
+    entry.set("combos_tried", group->combos_tried);
+    entry.set("combos_skipped_cache", group->combos_skipped_cache);
+    entry.set("lb_prunes", group->lb_prunes);
+    entry.set("nogoods_learned", group->nogoods_learned);
+    entry.set("last_nodes_total", group->last_nodes_total);
+    entry.set("last_combos_tried", group->last_combos_tried);
+    entry.set("last_combos_skipped_cache",
+              group->last_combos_skipped_cache);
+    entry.set("last_lb_prunes", group->last_lb_prunes);
+    markets.push_back(std::move(entry));
+  }
+  json.set("markets", std::move(markets));
+
+  Json metrics;
+  std::string metrics_error;
+  if (Json::parse(obs::to_json(metrics_), &metrics, &metrics_error)) {
+    json.set("metrics", std::move(metrics));
+  }
+  return json;
+}
+
+void SynthesisService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    // Trip every live token so in-flight solves wind down promptly; their
+    // replies still flow through finish() as cancelled-but-served.
+    for (auto& [id, token] : live_) token->request_cancel();
+  }
+  queue_.close();
+  for (std::thread& worker : workers_) worker.join();
+  for (PendingJob& job : queue_.drain()) {
+    ServiceReply reply;
+    reply.error = "shutdown";
+    reply.response.kind = job.request.kind;
+    finish(job, reply);
+  }
+}
+
+}  // namespace ht::service

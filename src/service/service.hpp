@@ -1,0 +1,137 @@
+// SynthesisService — the daemon's heart, protocol-free and fully testable
+// in-process.
+//
+// A fixed pool of worker threads pops jobs off the bounded AdmissionQueue
+// and runs each on a long-lived SynthesisEngine selected by the request's
+// *vendor market*: spec_family_fingerprint(spec) keys a map of market
+// groups, each owning one engine plus a mutex. Same-market requests
+// serialize on the group mutex — which is exactly what lets the second
+// request reuse the first one's frozen SearchCache tiers, nogood store and
+// LP-bound memos — while requests for different markets run concurrently
+// on separate engines. Warm reuse may only change *speed*: statuses, costs
+// and bindings are bit-identical to a cold engine within equal budgets
+// (DESIGN.md §5 has the argument and the budget-truncation caveat);
+// `JobInfo::warm = false` forces a throwaway engine for A/B runs.
+//
+// Deadlines clamp the request's wall-clock budget to the time remaining at
+// dispatch; a job that is already past its deadline when a worker reaches
+// it completes as kUnknown with its queue-wait recorded and no solve.
+// Cancellation is cooperative: cancel(id) trips the job's CancelToken,
+// which the engine polls between license sets and inside the CSP node
+// loop. stats() exports the service counters, the per-market warm-state
+// ledger, and the merged obs::SolveMetrics of every metrics-enabled
+// request — the /stats endpoint serves it verbatim.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/queue.hpp"
+#include "service/wire.hpp"
+
+namespace ht::service {
+
+struct ServiceConfig {
+  /// Concurrent solves; also the number of worker threads.
+  int workers = 2;
+  /// Bounded admission queue depth (excluding the jobs being solved).
+  std::size_t queue_capacity = 32;
+};
+
+/// Outcome of one job, delivered to the submitter's callback.
+struct ServiceReply {
+  /// Non-empty on service-level failure ("queue_full", "shutdown").
+  std::string error;
+  core::SynthesisResponse response;
+  bool expired = false;    ///< deadline passed; result.status is kUnknown
+  bool cancelled = false;  ///< token was tripped (solve may be partial)
+  bool warm = true;        ///< served by the market group's warm engine
+  std::uint64_t market = 0;  ///< spec_family_fingerprint of the request
+  double queue_seconds = 0.0;
+  double solve_seconds = 0.0;
+
+  bool ok() const { return error.empty(); }
+};
+
+using ReplyFn = std::function<void(const ServiceReply&)>;
+
+class SynthesisService {
+ public:
+  explicit SynthesisService(const ServiceConfig& config);
+  ~SynthesisService();
+
+  SynthesisService(const SynthesisService&) = delete;
+  SynthesisService& operator=(const SynthesisService&) = delete;
+
+  /// Admission. Returns false with `error` = "queue_full" (bounded queue at
+  /// capacity — the backpressure signal) or "shutdown". On success `done`
+  /// fires exactly once, from a worker thread.
+  bool submit(const JobInfo& info, core::SynthesisRequest request,
+              ReplyFn done, std::string* error);
+
+  /// Synchronous convenience: submit + wait. Admission failures come back
+  /// as a reply with `error` set.
+  ServiceReply execute(const JobInfo& info, core::SynthesisRequest request);
+
+  /// Trips the CancelToken of the named job (queued or mid-solve). False
+  /// when no live job has this id.
+  bool cancel(const std::string& id);
+
+  /// Counters + per-market warm-state ledger + merged SolveMetrics.
+  Json stats() const;
+
+  /// Stops admission, joins workers, and answers still-queued jobs with a
+  /// "shutdown" reply. Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  /// Per-vendor-market warm state: one engine, serialized by `mutex`.
+  struct MarketGroup {
+    std::mutex mutex;
+    core::SynthesisEngine engine;
+    // Ledger (guarded by the service mutex, not the group mutex):
+    long requests = 0;
+    long long nodes_total = 0;
+    long long combos_tried = 0;
+    long long combos_skipped_cache = 0;
+    long long lb_prunes = 0;
+    long long nogoods_learned = 0;
+    // Same counters for the most recent request — the warm-state win is
+    // directly visible as last_* improving on the first request.
+    long long last_nodes_total = 0;
+    long long last_combos_tried = 0;
+    long long last_combos_skipped_cache = 0;
+    long long last_lb_prunes = 0;
+  };
+
+  void worker_loop();
+  void run_job(PendingJob job);
+  void finish(const PendingJob& job, const ServiceReply& reply);
+  MarketGroup* group_for(std::uint64_t fingerprint);
+
+  const ServiceConfig config_;
+  AdmissionQueue queue_;
+
+  mutable std::mutex mutex_;  // guards everything below
+  std::map<std::uint64_t, std::unique_ptr<MarketGroup>> groups_;
+  std::map<std::string, std::shared_ptr<util::CancelToken>> live_;
+  std::map<std::uint64_t, ReplyFn> callbacks_;  // by ticket
+  std::uint64_t next_ticket_ = 1;
+  bool stopped_ = false;
+  // Counters:
+  long long submitted_ = 0;
+  long long rejected_ = 0;
+  long long completed_ = 0;
+  long long cancelled_ = 0;
+  long long expired_ = 0;
+  obs::SolveMetrics metrics_;  // merged across metrics-enabled requests
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ht::service

@@ -1,0 +1,66 @@
+// Versioned JSON serialization of the canonical SynthesisRequest /
+// SynthesisResponse pair (core/engine.hpp) — the one wire format shared by
+// the thls CLI, the thlsd daemon, thls-client, and the bench harness.
+//
+// Versioning contract. Every serialized document carries
+// `"schema_version": N`. A reader accepts any document whose version is
+// <= kSchemaVersion and *tolerates unknown fields* (they are ignored), so
+// version N+1 writers that only add fields interoperate with version N
+// readers in both directions; a reader rejects documents from a *newer*
+// major schema with a structured error rather than misreading them.
+// Missing optional fields take the C++ default of the target struct, so a
+// minimal request is just {"schema_version":1,"spec":{...}}.
+//
+// Non-wire fields. ProgressFn and the CancelToken pointer are process-local
+// and do not serialize; the daemon attaches its own token per request.
+// OptimizeResult::metrics embeds the obs::to_json document verbatim.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/engine.hpp"
+#include "service/json.hpp"
+
+namespace ht::service {
+
+/// Current wire schema. Bump only for changes a tolerant reader cannot
+/// absorb (renames, semantic changes); pure field additions do not bump.
+inline constexpr int kSchemaVersion = 1;
+
+// ---- request ------------------------------------------------------------
+
+/// Full document including "schema_version".
+Json request_to_json(const core::SynthesisRequest& request);
+std::string serialize_request(const core::SynthesisRequest& request);
+
+/// Tolerant read: unknown fields ignored, absent fields defaulted. Returns
+/// false with a human-readable reason on malformed structure, an
+/// unsupported schema_version, or a spec that fails its own validation.
+/// `out` is untouched on failure.
+bool request_from_json(const Json& json, core::SynthesisRequest* out,
+                       std::string* error);
+bool parse_request(std::string_view text, core::SynthesisRequest* out,
+                   std::string* error);
+
+// ---- response -----------------------------------------------------------
+
+Json response_to_json(const core::SynthesisResponse& response);
+std::string serialize_response(const core::SynthesisResponse& response);
+
+bool response_from_json(const Json& json, core::SynthesisResponse* out,
+                        std::string* error);
+bool parse_response(std::string_view text, core::SynthesisResponse* out,
+                    std::string* error);
+
+// ---- shared pieces (used by tests and the /stats endpoint) --------------
+
+Json spec_to_json(const core::ProblemSpec& spec);
+bool spec_from_json(const Json& json, core::ProblemSpec* out,
+                    std::string* error);
+
+Json result_to_json(const core::OptimizeResult& result);
+bool result_from_json(const Json& json, core::OptimizeResult* out,
+                      std::string* error);
+
+}  // namespace ht::service

@@ -4,6 +4,7 @@
 #include "benchmarks/extra.hpp"
 #include "benchmarks/random_dfg.hpp"
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "dfg/analysis.hpp"
 #include "core/optimizer.hpp"
 #include "trojan/exec.hpp"
@@ -266,7 +267,7 @@ TEST(ExtraBenchmarksTest, ExtrasSolveOnSection5Market) {
     core::OptimizerOptions options;
     options.strategy = core::Strategy::kHeuristic;
     options.time_limit_seconds = 10;
-    const core::OptimizeResult result = core::minimize_cost(spec, options);
+    const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
     ASSERT_TRUE(result.has_solution()) << graph.name();
     EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
   }

@@ -14,6 +14,7 @@
 #include <climits>
 
 #include "benchmarks/random_dfg.hpp"
+#include "core/engine.hpp"
 #include "core/ilp_formulation.hpp"
 #include "core/optimizer.hpp"
 #include "dfg/analysis.hpp"
@@ -90,7 +91,7 @@ TEST_P(BoundsPropertyTest, EveryLowerBoundIsAtOrBelowTheTrueOptimum) {
     OptimizerOptions truth_options;
     truth_options.cost_bounds = false;
     truth_options.time_limit_seconds = 30;
-    const OptimizeResult truth = minimize_cost(spec, truth_options);
+    const OptimizeResult truth = synthesize(make_request(spec, truth_options)).result;
     // No oracle when the reference search exhausts its clock (rare at
     // these sizes): skip the round rather than assert against nothing.
     if (truth.status == OptStatus::kUnknown) continue;
@@ -154,7 +155,7 @@ TEST(BoundsTest, UnsuppliableDiversityFloorRefutesTheFullMarket) {
 
   OptimizerOptions options;
   options.cost_bounds = false;
-  EXPECT_EQ(minimize_cost(spec, options).status, OptStatus::kInfeasible);
+  EXPECT_EQ(synthesize(make_request(spec, options)).result.status, OptStatus::kInfeasible);
 }
 
 TEST(BoundsTest, EnergeticFloorSeesWindowPressure) {

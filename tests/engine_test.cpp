@@ -105,9 +105,9 @@ TEST(EngineDeterminismTest, ThreadsFieldOfOptimizerOptionsIsTransparent) {
   // must not change what they return.
   const ProblemSpec spec = test::motivational_spec();
   OptimizerOptions options;
-  const OptimizeResult serial = minimize_cost(spec, options);
+  const OptimizeResult serial = synthesize(make_request(spec, options)).result;
   options.threads = 4;
-  const OptimizeResult parallel = minimize_cost(spec, options);
+  const OptimizeResult parallel = synthesize(make_request(spec, options)).result;
   expect_identical(serial, parallel, "motivational");
   EXPECT_EQ(serial.status, OptStatus::kOptimal);
 }
@@ -117,9 +117,12 @@ TEST(EngineDeterminismTest, TotalLatencySplitSweepAgrees) {
   base.lambda_detection = 0;
   base.lambda_recovery = 0;
   OptimizerOptions options;
-  const SplitResult serial = minimize_cost_total_latency(base, 7, options);
-  options.threads = 4;
-  const SplitResult parallel = minimize_cost_total_latency(base, 7, options);
+  SynthesisRequest request = make_request(base, options);
+  request.kind = RequestKind::kMinimizeTotalLatency;
+  request.lambda_total = 7;
+  const SynthesisResponse serial = synthesize(request);
+  request.parallelism.threads = 4;
+  const SynthesisResponse parallel = synthesize(request);
   EXPECT_EQ(serial.lambda_detection, parallel.lambda_detection);
   EXPECT_EQ(serial.lambda_recovery, parallel.lambda_recovery);
   expect_identical(serial.result, parallel.result, "split sweep");
@@ -194,14 +197,16 @@ TEST(EngineProgressTest, CallbackSeesMonotoneCombosAndFinalIncumbent) {
   EXPECT_EQ(last_incumbent, result.cost);
 }
 
-TEST(EngineFacadeTest, SweepFrontierMatchesLegacyAreaFrontier) {
+TEST(EngineFacadeTest, RunAreaFrontierMatchesSweepMethod) {
   const ProblemSpec spec = test::motivational_spec();
   const std::vector<long long> areas = {15000, 22000, 68430};
 
   OptimizerOptions options;
-  const std::vector<FrontierPoint> legacy = area_frontier(spec, areas, options);
-
   SynthesisRequest request = make_request(spec, options);
+  request.kind = RequestKind::kAreaFrontier;
+  request.sweep_values = areas;
+  const std::vector<FrontierPoint> legacy = synthesize(request).frontier;
+
   request.parallelism.threads = 4;
   SynthesisEngine engine(std::move(request));
   FrontierSweep sweep;

@@ -1,15 +1,25 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/frontier.hpp"
 #include "test_helpers.hpp"
 
 namespace ht::core {
 namespace {
 
+/// Frontier sweeps through the canonical request API.
+std::vector<FrontierPoint> sweep(const ProblemSpec& base, RequestKind kind,
+                                 std::vector<long long> values) {
+  SynthesisRequest request = make_request(base);
+  request.kind = kind;
+  request.sweep_values = std::move(values);
+  return synthesize(request).frontier;
+}
+
 TEST(FrontierTest, AreaSweepCostIsNonincreasing) {
   const ProblemSpec spec = test::motivational_detection_only();
   const std::vector<long long> areas = {13000, 16000, 20000, 30000, 60000};
-  const auto frontier = area_frontier(spec, areas);
+  const auto frontier = sweep(spec, RequestKind::kAreaFrontier, areas);
   ASSERT_EQ(frontier.size(), areas.size());
   long long previous = -1;
   for (const FrontierPoint& point : frontier) {
@@ -29,7 +39,7 @@ TEST(FrontierTest, AreaSweepGoesInfeasibleBelowMinimum) {
   const ProblemSpec spec = test::motivational_detection_only();
   // polynom needs at least ~2 concurrent multipliers; 8000 can't hold one
   // pair of them plus adders.
-  const auto frontier = area_frontier(spec, {8000});
+  const auto frontier = sweep(spec, RequestKind::kAreaFrontier, {8000});
   EXPECT_EQ(frontier[0].result.status, OptStatus::kInfeasible);
 }
 
@@ -38,7 +48,7 @@ TEST(FrontierTest, LatencySweepFloorsAtTwiceCriticalPath) {
   base.catalog = vendor::section5();
   base.area_limit = 60000;
   // polynom critical path = 3: totals below 6 are infeasible by definition.
-  const auto frontier = latency_frontier(base, {4, 5, 6, 8, 10});
+  const auto frontier = sweep(base, RequestKind::kLatencyFrontier, {4, 5, 6, 8, 10});
   EXPECT_EQ(frontier[0].result.status, OptStatus::kInfeasible);
   EXPECT_EQ(frontier[1].result.status, OptStatus::kInfeasible);
   EXPECT_TRUE(frontier[2].result.has_solution());
@@ -52,7 +62,7 @@ TEST(FrontierTest, LatencySweepFloorsAtTwiceCriticalPath) {
 
 TEST(FrontierTest, LatencySweepRequiresRecoveryMode) {
   const ProblemSpec spec = test::motivational_detection_only();
-  EXPECT_THROW(latency_frontier(spec, {8}), util::SpecError);
+  EXPECT_THROW(sweep(spec, RequestKind::kLatencyFrontier, {8}), util::SpecError);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/random_dfg.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "dfg/analysis.hpp"
 #include "trojan/monte_carlo.hpp"
@@ -49,14 +50,14 @@ TEST_P(FuzzConsistencyTest, ExactAndHeuristicAgree) {
     core::OptimizerOptions exact_options;
     exact_options.time_limit_seconds = 10;
     const core::OptimizeResult exact =
-        core::minimize_cost(spec, exact_options);
+        core::synthesize(core::make_request(spec, exact_options)).result;
 
     core::OptimizerOptions heuristic_options;
     heuristic_options.strategy = core::Strategy::kHeuristic;
     heuristic_options.time_limit_seconds = 10;
     heuristic_options.seed = rng.next_u64() | 1;
     const core::OptimizeResult heuristic =
-        core::minimize_cost(spec, heuristic_options);
+        core::synthesize(core::make_request(spec, heuristic_options)).result;
 
     // Verdict consistency.
     if (exact.status == core::OptStatus::kInfeasible) {
@@ -90,7 +91,7 @@ TEST_P(FuzzConsistencyTest, ProducedDesignsSimulateCleanly) {
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
   options.time_limit_seconds = 10;
-  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec, options)).result;
   if (!design.has_solution()) return;  // tight random spec; nothing to check
 
   std::vector<trojan::Word> inputs;
@@ -130,8 +131,8 @@ TEST_P(FuzzConsistencyTest, RuleMonotonicity) {
 
   core::OptimizerOptions options;
   options.time_limit_seconds = 10;
-  const core::OptimizeResult strict = core::minimize_cost(full, options);
-  const core::OptimizeResult loose = core::minimize_cost(relaxed, options);
+  const core::OptimizeResult strict = core::synthesize(core::make_request(full, options)).result;
+  const core::OptimizeResult loose = core::synthesize(core::make_request(relaxed, options)).result;
   if (strict.status == core::OptStatus::kOptimal &&
       loose.status == core::OptStatus::kOptimal) {
     EXPECT_LE(loose.cost, strict.cost);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/ilp_formulation.hpp"
 #include "core/optimizer.hpp"
 #include "test_helpers.hpp"
@@ -86,7 +87,7 @@ TEST(IlpFormulationTest, AgreesWithCspOptimizerDetectionOnly) {
   ilp::BnbOptions ilp_options;
   ilp_options.time_limit_seconds = 60;
   const OptimizeResult via_ilp = minimize_cost_ilp(spec, ilp_options);
-  const OptimizeResult via_csp = minimize_cost(spec);
+  const OptimizeResult via_csp = synthesize(make_request(spec)).result;
   ASSERT_EQ(via_ilp.status, OptStatus::kOptimal);
   ASSERT_EQ(via_csp.status, OptStatus::kOptimal);
   EXPECT_EQ(via_ilp.cost, via_csp.cost);
@@ -97,7 +98,7 @@ TEST(IlpFormulationTest, AgreesWithCspOptimizerWithRecovery) {
   ilp::BnbOptions ilp_options;
   ilp_options.time_limit_seconds = 120;
   const OptimizeResult via_ilp = minimize_cost_ilp(spec, ilp_options);
-  const OptimizeResult via_csp = minimize_cost(spec);
+  const OptimizeResult via_csp = synthesize(make_request(spec)).result;
   ASSERT_EQ(via_csp.status, OptStatus::kOptimal);
   ASSERT_TRUE(via_ilp.has_solution()) << to_string(via_ilp.status);
   if (via_ilp.status == OptStatus::kOptimal) {
@@ -109,7 +110,7 @@ TEST(IlpFormulationTest, AgreesWithCspOptimizerWithRecovery) {
 
 TEST(IlpFormulationTest, WarmStartProvesCspOptimum) {
   const ProblemSpec spec = tiny_spec(false);
-  const OptimizeResult csp = minimize_cost(spec);
+  const OptimizeResult csp = synthesize(make_request(spec)).result;
   ASSERT_EQ(csp.status, OptStatus::kOptimal);
   ilp::BnbOptions options;
   options.time_limit_seconds = 120;
@@ -141,9 +142,9 @@ TEST(IlpFormulationTest, WarmStartCanImproveASuboptimalWarmSolution) {
     }
   }
   handicapped.catalog = thinned;
-  const OptimizeResult warm = minimize_cost(handicapped);
+  const OptimizeResult warm = synthesize(make_request(handicapped)).result;
   ASSERT_TRUE(warm.has_solution());
-  const OptimizeResult reference = minimize_cost(spec);
+  const OptimizeResult reference = synthesize(make_request(spec)).result;
   ASSERT_EQ(reference.status, OptStatus::kOptimal);
   ASSERT_GT(warm.cost, reference.cost);  // the handicap must have cost us
 

@@ -6,6 +6,7 @@
 
 #include "benchmarks/extra.hpp"
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "trojan/monte_carlo.hpp"
 #include "trojan/profiling.hpp"
@@ -21,7 +22,7 @@ TEST(MotivationalTest, ReproducesPaperCostOf4160) {
   // 5-op polynom DFG, Table 1 market, lambda_det = 4, lambda_rec = 3,
   // area 22000: the paper reports a minimum purchasing cost of $4160.
   const core::ProblemSpec spec = test::motivational_spec();
-  const core::OptimizeResult result = core::minimize_cost(spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec)).result;
   ASSERT_EQ(result.status, core::OptStatus::kOptimal)
       << core::to_string(result.status);
   EXPECT_EQ(result.cost, 4160);
@@ -30,7 +31,7 @@ TEST(MotivationalTest, ReproducesPaperCostOf4160) {
 
 TEST(MotivationalTest, OptimumUsesThreeLicensesPerClass) {
   const core::ProblemSpec spec = test::motivational_spec();
-  const core::OptimizeResult result = core::minimize_cost(spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(result.has_solution());
   int adders = 0;
   int multipliers = 0;
@@ -56,7 +57,7 @@ TEST_P(Table3RowTest, DetectionOnlyRowsSolveAndValidate) {
     core::OptimizerOptions options;
     options.strategy = core::Strategy::kHeuristic;
     options.time_limit_seconds = 30;
-    const core::OptimizeResult result = core::minimize_cost(spec, options);
+    const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
     ASSERT_TRUE(result.has_solution())
         << entry.name << " lambda=" << row.lambda;
     EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
@@ -71,12 +72,12 @@ TEST(Table4Test, RecoveryRowCostsAtLeastDetectionRow) {
   const auto& entry = benchmarks::by_name("polynom");
   core::ProblemSpec detection = core::make_detection_only_spec(
       entry.factory(), vendor::section5(), 6, 60000);
-  const core::OptimizeResult det_result = core::minimize_cost(detection);
+  const core::OptimizeResult det_result = core::synthesize(core::make_request(detection)).result;
 
   core::ProblemSpec recovery = detection;
   recovery.with_recovery = true;
   recovery.lambda_recovery = 6;
-  const core::OptimizeResult rec_result = core::minimize_cost(recovery);
+  const core::OptimizeResult rec_result = core::synthesize(core::make_request(recovery)).result;
 
   ASSERT_TRUE(det_result.has_solution());
   ASSERT_TRUE(rec_result.has_solution());
@@ -105,7 +106,7 @@ TEST(EndToEndTest, OptimizeThenSimulateDiff2) {
 
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
-  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(design.has_solution());
 
   trojan::CampaignConfig campaign;
@@ -137,7 +138,7 @@ TEST(EndToEndTest, ClosePairRuleProtectsAgainstTwinOperands) {
 
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
-  const core::OptimizeResult design = core::minimize_cost(spec, options);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(design.has_solution());
 
   trojan::CampaignConfig campaign;
@@ -173,7 +174,7 @@ TEST(EndToEndTest, Fft4TwinOperandsNeedTheClosePairRule) {
   // Without the rule: some detected attacks must re-fire in recovery
   // (this pins the observed hazard; if it ever stops failing, the
   // scenario has silently changed).
-  const core::OptimizeResult unprotected = core::minimize_cost(spec, options);
+  const core::OptimizeResult unprotected = core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(unprotected.has_solution());
   const trojan::CampaignStats exposed =
       trojan::run_campaign(spec, unprotected.solution, campaign);
@@ -187,7 +188,7 @@ TEST(EndToEndTest, Fft4TwinOperandsNeedTheClosePairRule) {
       trojan::profile_close_pairs(spec.graph, profile, rng);
   EXPECT_FALSE(spec.closely_related.empty());
   const core::OptimizeResult protected_design =
-      core::minimize_cost(spec, options);
+      core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(protected_design.has_solution());
   const trojan::CampaignStats safe =
       trojan::run_campaign(spec, protected_design.solution, campaign);
@@ -199,7 +200,7 @@ TEST(EndToEndTest, DetectionOnlyDesignStillDetects) {
   // Rajendran-style design (no recovery phase): detection works, recovery
   // by re-execution is the only option and is unreliable.
   const core::ProblemSpec spec = test::motivational_detection_only();
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(design.has_solution());
   trojan::CampaignConfig campaign;
   campaign.trials = 100;

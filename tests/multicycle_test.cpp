@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "core/ilp_formulation.hpp"
 #include "dfg/analysis.hpp"
@@ -85,7 +86,7 @@ TEST(MulticycleSpecTest, ZeroLatencyRejected) {
 
 TEST(MulticycleOptimizeTest, SolvesAndValidates) {
   const core::ProblemSpec spec = multicycle_spec();
-  const core::OptimizeResult result = core::minimize_cost(spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(result.has_solution()) << core::to_string(result.status);
   EXPECT_TRUE(core::validate_solution(spec, result.solution).ok())
       << core::validate_solution(spec, result.solution).to_string();
@@ -102,7 +103,7 @@ TEST(MulticycleOptimizeTest, SolvesAndValidates) {
 TEST(MulticycleOptimizeTest, TooTightLatencyIsInfeasible) {
   core::ProblemSpec spec = multicycle_spec();
   spec.lambda_detection = 4;  // weighted critical path is 5
-  EXPECT_EQ(core::minimize_cost(spec).status, core::OptStatus::kInfeasible);
+  EXPECT_EQ(core::synthesize(core::make_request(spec)).result.status, core::OptStatus::kInfeasible);
 }
 
 TEST(MulticycleOptimizeTest, SlowerMultipliersNeverCheaper) {
@@ -110,9 +111,9 @@ TEST(MulticycleOptimizeTest, SlowerMultipliersNeverCheaper) {
   // scheduling options can only hold or raise the minimum cost.
   core::ProblemSpec fast = multicycle_spec();
   fast.class_latency = {1, 1, 1};
-  const core::OptimizeResult fast_result = core::minimize_cost(fast);
+  const core::OptimizeResult fast_result = core::synthesize(core::make_request(fast)).result;
   const core::OptimizeResult slow_result =
-      core::minimize_cost(multicycle_spec());
+      core::synthesize(core::make_request(multicycle_spec())).result;
   ASSERT_EQ(fast_result.status, core::OptStatus::kOptimal);
   ASSERT_EQ(slow_result.status, core::OptStatus::kOptimal);
   EXPECT_GE(slow_result.cost, fast_result.cost);
@@ -122,10 +123,10 @@ TEST(MulticycleOptimizeTest, HeuristicPathAgrees) {
   const core::ProblemSpec spec = multicycle_spec();
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
-  const core::OptimizeResult heuristic = core::minimize_cost(spec, options);
+  const core::OptimizeResult heuristic = core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(heuristic.has_solution());
   EXPECT_TRUE(core::validate_solution(spec, heuristic.solution).ok());
-  const core::OptimizeResult exact = core::minimize_cost(spec);
+  const core::OptimizeResult exact = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(exact.has_solution());
   EXPECT_LE(exact.cost, heuristic.cost);
 }
@@ -143,7 +144,7 @@ TEST(MulticycleOptimizeTest, Diff2WithSlowMultipliers) {
   spec.area_limit = 150000;
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
-  const core::OptimizeResult result = core::minimize_cost(spec, options);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
   ASSERT_TRUE(result.has_solution());
   EXPECT_TRUE(core::validate_solution(spec, result.solution).ok());
 }
@@ -152,7 +153,7 @@ TEST(MulticycleOptimizeTest, Diff2WithSlowMultipliers) {
 
 TEST(MulticycleValidateTest, DetectsOccupancyOverlap) {
   const core::ProblemSpec spec = multicycle_spec();
-  core::Solution solution = core::minimize_cost(spec).solution;
+  core::Solution solution = core::synthesize(core::make_request(spec)).result.solution;
   // Find two multiplies in NC and force them onto the same core with
   // overlapping intervals (starts 1 and 2; each occupies 2 cycles).
   core::Binding& m1 = solution.at(core::CopyKind::kNormal, 0);
@@ -168,7 +169,7 @@ TEST(MulticycleValidateTest, DetectsOccupancyOverlap) {
 
 TEST(MulticycleValidateTest, DetectsConsumerStartingTooEarly) {
   const core::ProblemSpec spec = multicycle_spec();
-  core::Solution solution = core::minimize_cost(spec).solution;
+  core::Solution solution = core::synthesize(core::make_request(spec)).result.solution;
   // s1 consumes m1 (2-cycle mul): starting s1 one cycle after m1 starts is
   // too early.
   solution.at(core::CopyKind::kNormal, 0).cycle = 1;
@@ -182,7 +183,7 @@ TEST(MulticycleValidateTest, DetectsConsumerStartingTooEarly) {
 
 TEST(MulticycleRuntimeTest, DetectAndRecoverStillWork) {
   const core::ProblemSpec spec = multicycle_spec();
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(design.has_solution());
   const trojan::RuntimeSimulator simulator(spec, design.solution);
   const std::vector<trojan::Word> inputs = {3, 5, 7, 11, 13};
@@ -215,7 +216,7 @@ TEST(MulticycleScopeTest, IlpFormulationRequiresUnitLatency) {
 
 TEST(MulticycleScopeTest, RtlElaborateRequiresUnitLatency) {
   const core::ProblemSpec spec = multicycle_spec();
-  const core::OptimizeResult design = core::minimize_cost(spec);
+  const core::OptimizeResult design = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(design.has_solution());
   EXPECT_THROW(rtl::elaborate(spec, design.solution), util::SpecError);
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "test_helpers.hpp"
 
@@ -13,7 +14,7 @@ using test::motivational_spec;
 
 TEST(OptimizerTest, MotivationalDetectionOnlyOptimal) {
   const ProblemSpec spec = motivational_detection_only();
-  const OptimizeResult result = minimize_cost(spec);
+  const OptimizeResult result = synthesize(make_request(spec)).result;
   ASSERT_EQ(result.status, OptStatus::kOptimal) << to_string(result.status);
   EXPECT_TRUE(validate_solution(spec, result.solution).ok());
   EXPECT_EQ(result.cost, result.solution.license_cost(spec));
@@ -24,8 +25,8 @@ TEST(OptimizerTest, MotivationalDetectionOnlyOptimal) {
 }
 
 TEST(OptimizerTest, MotivationalRecoveryCostsMore) {
-  const OptimizeResult detection = minimize_cost(motivational_detection_only());
-  const OptimizeResult recovery = minimize_cost(motivational_spec());
+  const OptimizeResult detection = synthesize(make_request(motivational_detection_only())).result;
+  const OptimizeResult recovery = synthesize(make_request(motivational_spec())).result;
   ASSERT_TRUE(detection.has_solution());
   ASSERT_TRUE(recovery.has_solution());
   // The paper's core finding: recovery demands strictly more diversity.
@@ -34,7 +35,7 @@ TEST(OptimizerTest, MotivationalRecoveryCostsMore) {
 
 TEST(OptimizerTest, MotivationalRecoveryNeedsThreeVendorsPerClass) {
   const ProblemSpec spec = motivational_spec();
-  const OptimizeResult result = minimize_cost(spec);
+  const OptimizeResult result = synthesize(make_request(spec)).result;
   ASSERT_TRUE(result.has_solution());
   // Count licenses per class.
   int adders = 0;
@@ -51,17 +52,17 @@ TEST(OptimizerTest, HeuristicFindsValidDesignQuickly) {
   const ProblemSpec spec = motivational_spec();
   OptimizerOptions options;
   options.strategy = Strategy::kHeuristic;
-  const OptimizeResult result = minimize_cost(spec, options);
+  const OptimizeResult result = synthesize(make_request(spec, options)).result;
   ASSERT_TRUE(result.has_solution()) << to_string(result.status);
   EXPECT_TRUE(validate_solution(spec, result.solution).ok());
 }
 
 TEST(OptimizerTest, HeuristicNeverBeatsExact) {
   const ProblemSpec spec = motivational_spec();
-  const OptimizeResult exact = minimize_cost(spec);
+  const OptimizeResult exact = synthesize(make_request(spec)).result;
   OptimizerOptions options;
   options.strategy = Strategy::kHeuristic;
-  const OptimizeResult heuristic = minimize_cost(spec, options);
+  const OptimizeResult heuristic = synthesize(make_request(spec, options)).result;
   ASSERT_TRUE(exact.has_solution());
   ASSERT_TRUE(heuristic.has_solution());
   EXPECT_LE(exact.cost, heuristic.cost);
@@ -70,7 +71,7 @@ TEST(OptimizerTest, HeuristicNeverBeatsExact) {
 TEST(OptimizerTest, InfeasibleLatencyDetected) {
   ProblemSpec spec = motivational_detection_only();
   spec.lambda_detection = 2;  // below polynom's critical path of 3
-  const OptimizeResult result = minimize_cost(spec);
+  const OptimizeResult result = synthesize(make_request(spec)).result;
   EXPECT_EQ(result.status, OptStatus::kInfeasible);
 }
 
@@ -85,13 +86,13 @@ TEST(OptimizerTest, MarketTooThinForRecoveryIsInfeasible) {
     }
   }
   spec.catalog = two;
-  EXPECT_EQ(minimize_cost(spec).status, OptStatus::kInfeasible);
+  EXPECT_EQ(synthesize(make_request(spec)).result.status, OptStatus::kInfeasible);
 }
 
 TEST(OptimizerTest, InfeasibleAreaDetected) {
   ProblemSpec spec = motivational_detection_only();
   spec.area_limit = 1000;  // not even one multiplier
-  const OptimizeResult result = minimize_cost(spec);
+  const OptimizeResult result = synthesize(make_request(spec)).result;
   EXPECT_EQ(result.status, OptStatus::kInfeasible);
 }
 
@@ -99,8 +100,8 @@ TEST(OptimizerTest, LooserAreaNeverIncreasesCost) {
   ProblemSpec tight = motivational_detection_only();
   ProblemSpec loose = tight;
   loose.area_limit = 60000;
-  const OptimizeResult tight_result = minimize_cost(tight);
-  const OptimizeResult loose_result = minimize_cost(loose);
+  const OptimizeResult tight_result = synthesize(make_request(tight)).result;
+  const OptimizeResult loose_result = synthesize(make_request(loose)).result;
   ASSERT_TRUE(tight_result.has_solution());
   ASSERT_TRUE(loose_result.has_solution());
   EXPECT_LE(loose_result.cost, tight_result.cost);
@@ -112,8 +113,8 @@ TEST(OptimizerTest, LooserLatencyNeverIncreasesCost) {
   tight.area_limit = 40000;    // ...which need more area than 22000
   ProblemSpec loose = tight;
   loose.lambda_detection = 8;
-  const OptimizeResult tight_result = minimize_cost(tight);
-  const OptimizeResult loose_result = minimize_cost(loose);
+  const OptimizeResult tight_result = synthesize(make_request(tight)).result;
+  const OptimizeResult loose_result = synthesize(make_request(loose)).result;
   ASSERT_TRUE(tight_result.has_solution());
   ASSERT_TRUE(loose_result.has_solution());
   EXPECT_LE(loose_result.cost, tight_result.cost);
@@ -121,7 +122,7 @@ TEST(OptimizerTest, LooserLatencyNeverIncreasesCost) {
 
 TEST(OptimizerTest, Section5EightVendorsOptimal) {
   const ProblemSpec spec = easy_section5_spec(true);
-  const OptimizeResult result = minimize_cost(spec);
+  const OptimizeResult result = synthesize(make_request(spec)).result;
   ASSERT_EQ(result.status, OptStatus::kOptimal);
   EXPECT_TRUE(validate_solution(spec, result.solution).ok());
   // Lower bound: 3 cheapest adders (450+465+495) + 3 cheapest multipliers
@@ -133,8 +134,8 @@ TEST(OptimizerTest, DisablingRecoveryRulesLowersCost) {
   ProblemSpec with_rules = motivational_spec();
   ProblemSpec without = with_rules;
   without.rules.recovery_same_op = false;
-  const OptimizeResult strict = minimize_cost(with_rules);
-  const OptimizeResult relaxed = minimize_cost(without);
+  const OptimizeResult strict = synthesize(make_request(with_rules)).result;
+  const OptimizeResult relaxed = synthesize(make_request(without)).result;
   ASSERT_TRUE(strict.has_solution());
   ASSERT_TRUE(relaxed.has_solution());
   EXPECT_LE(relaxed.cost, strict.cost);
@@ -148,8 +149,8 @@ TEST(OptimizerTest, ClosePairsCanOnlyRaiseCost) {
   plain.area_limit = 32000;
   ProblemSpec close = plain;
   close.closely_related = {{0, 1}};
-  const OptimizeResult base = minimize_cost(plain);
-  const OptimizeResult constrained = minimize_cost(close);
+  const OptimizeResult base = synthesize(make_request(plain)).result;
+  const OptimizeResult constrained = synthesize(make_request(close)).result;
   ASSERT_TRUE(base.has_solution());
   ASSERT_TRUE(constrained.has_solution());
   EXPECT_GE(constrained.cost, base.cost);
@@ -159,7 +160,10 @@ TEST(OptimizerTest, SplitSearchFindsAFeasibleSplit) {
   ProblemSpec base = motivational_spec();
   base.catalog = vendor::section5();
   base.area_limit = 60000;
-  const SplitResult split = minimize_cost_total_latency(base, 7);
+  SynthesisRequest request = make_request(base);
+  request.kind = RequestKind::kMinimizeTotalLatency;
+  request.lambda_total = 7;
+  const SynthesisResponse split = synthesize(request);
   ASSERT_TRUE(split.result.has_solution());
   EXPECT_GE(split.lambda_detection, 3);
   EXPECT_GE(split.lambda_recovery, 3);
@@ -167,12 +171,14 @@ TEST(OptimizerTest, SplitSearchFindsAFeasibleSplit) {
 }
 
 TEST(OptimizerTest, SplitSearchRejectsTooTightTotal) {
-  const ProblemSpec base = motivational_spec();
-  EXPECT_THROW(minimize_cost_total_latency(base, 5), util::SpecError);
+  SynthesisRequest request = make_request(motivational_spec());
+  request.kind = RequestKind::kMinimizeTotalLatency;
+  request.lambda_total = 5;
+  EXPECT_THROW(synthesize(request), util::SpecError);
 }
 
 TEST(OptimizerTest, StatsArePopulated) {
-  const OptimizeResult result = minimize_cost(motivational_spec());
+  const OptimizeResult result = synthesize(make_request(motivational_spec())).result;
   EXPECT_GT(result.stats.combos_tried, 0);
   // csp_nodes may be zero when the greedy constructor solves every
   // license set it visits; it must never be negative.

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/reoptimize.hpp"
 #include "test_helpers.hpp"
 #include "trojan/simulator.hpp"
@@ -7,13 +8,22 @@
 namespace ht::core {
 namespace {
 
+/// Quarantine re-synthesis through the canonical request API.
+OptimizeResult reoptimize(const ProblemSpec& base,
+                          const std::set<LicenseKey>& banned) {
+  SynthesisRequest request = make_request(base);
+  request.kind = RequestKind::kReoptimize;
+  request.banned = banned;
+  return synthesize(request).result;
+}
+
 const ProblemSpec& spec() {
   static const ProblemSpec instance = test::easy_section5_spec(true);
   return instance;
 }
 
 const Solution& solution() {
-  static const Solution instance = minimize_cost(spec()).solution;
+  static const Solution instance = synthesize(make_request(spec())).result.solution;
   return instance;
 }
 
@@ -70,7 +80,7 @@ TEST(ReoptimizeTest, ReoptimizedDesignAvoidsBannedLicenses) {
   // Diagnose-and-quarantine the NC side, then re-synthesize.
   const auto banned =
       suspect_licenses(spec(), solution(), CopyKind::kNormal);
-  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  const OptimizeResult replanned = reoptimize(spec(), banned);
   ASSERT_TRUE(replanned.has_solution())
       << to_string(replanned.status);
   for (const LicenseKey& license :
@@ -81,10 +91,10 @@ TEST(ReoptimizeTest, ReoptimizedDesignAvoidsBannedLicenses) {
 }
 
 TEST(ReoptimizeTest, QuarantineNeverLowersCost) {
-  const OptimizeResult original = minimize_cost(spec());
+  const OptimizeResult original = synthesize(make_request(spec())).result;
   const auto banned =
       suspect_licenses(spec(), solution(), CopyKind::kNormal);
-  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  const OptimizeResult replanned = reoptimize(spec(), banned);
   ASSERT_TRUE(original.has_solution());
   ASSERT_TRUE(replanned.has_solution());
   EXPECT_GE(replanned.cost, original.cost);
@@ -96,7 +106,7 @@ TEST(ReoptimizeTest, FullQuarantineIsInfeasible) {
   for (vendor::VendorId v = 0; v < spec().catalog.num_vendors(); ++v) {
     banned.insert(LicenseKey{v, dfg::ResourceClass::kMultiplier});
   }
-  const OptimizeResult result = reoptimize_without(spec(), banned);
+  const OptimizeResult result = reoptimize(spec(), banned);
   EXPECT_EQ(result.status, OptStatus::kInfeasible);
 }
 
@@ -127,7 +137,7 @@ TEST(ReoptimizeTest, EndToEndDiagnoseThenReplan) {
   const auto banned =
       suspect_licenses(spec(), solution(), CopyKind::kNormal);
   EXPECT_EQ(banned.count(infected), 1u);  // the true culprit is quarantined
-  const OptimizeResult replanned = reoptimize_without(spec(), banned);
+  const OptimizeResult replanned = reoptimize(spec(), banned);
   ASSERT_TRUE(replanned.has_solution());
   EXPECT_EQ(replanned.solution.licenses_used(spec()).count(infected), 0u);
 }

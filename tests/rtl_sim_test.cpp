@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "benchmarks/classic.hpp"
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "rtl/sim.hpp"
 #include "test_helpers.hpp"
@@ -24,7 +25,7 @@ struct Design {
 Design build(core::ProblemSpec spec) {
   core::OptimizerOptions options;
   options.strategy = core::Strategy::kHeuristic;
-  const core::OptimizeResult result = core::minimize_cost(spec, options);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec, options)).result;
   if (!result.has_solution()) {
     throw util::InternalError("rtl_sim_test: fixture spec unsolvable");
   }
@@ -216,7 +217,7 @@ TEST(RtlSimTest, CollusionExposureAgreesWithBehavioral) {
 
 TEST(RtlSimTest, DetectionOnlyDesignSimulates) {
   const core::ProblemSpec spec = test::motivational_detection_only();
-  const core::OptimizeResult result = core::minimize_cost(spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(spec)).result;
   ASSERT_TRUE(result.has_solution());
   const ElaboratedDesign design = elaborate(spec, result.solution);
   const RtlSimulator rtl(design);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "rtl/elaborate.hpp"
 #include "rtl/testbench.hpp"
@@ -110,7 +111,7 @@ class ElaborateTest : public ::testing::Test {
   }
   static const core::Solution& solution() {
     static const core::Solution instance =
-        core::minimize_cost(spec()).solution;
+        core::synthesize(core::make_request(spec())).result.solution;
     return instance;
   }
 };
@@ -161,7 +162,7 @@ TEST_F(ElaborateTest, ComparatorPerDfgOutput) {
 
 TEST_F(ElaborateTest, DetectionOnlyHasNoRecoveryRegisters) {
   const core::ProblemSpec d_spec = test::motivational_detection_only();
-  const core::OptimizeResult result = core::minimize_cost(d_spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(d_spec)).result;
   ASSERT_TRUE(result.has_solution());
   const ElaboratedDesign design = elaborate(d_spec, result.solution);
   for (const Cell& cell : design.netlist.cells()) {

@@ -1,0 +1,654 @@
+// Tests for the synthesis service stack: the admission queue
+// (service/queue.hpp), the protocol-free SynthesisService
+// (service/service.hpp), and the JSON-lines Server/Client pair
+// (service/server.hpp, client.hpp) over a loopback TCP socket.
+//
+// The load-bearing contracts, in order:
+//  1. Determinism under reuse: a warm daemon engine answers with
+//     bit-identical statuses, costs and bindings to a cold
+//     core::synthesize of the same request — checked in-process and
+//     through the socket with concurrent mixed-market clients.
+//  2. The warm-state win is measurable: a second same-market request
+//     skips sealed refutations (combos_skipped_cache > 0, fewer
+//     combos_tried) and the /stats ledger shows it.
+//  3. Lifecycle edges: cooperative cancellation mid-solve and while
+//     queued, deadline expiry completing as kUnknown with queue wait
+//     recorded and no solve, and queue-full backpressure.
+//  4. Protocol edges: malformed and oversized lines get structured
+//     errors without killing the connection; unsupported versions and
+//     unknown ops are rejected.
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/search_cache.hpp"
+#include "dfg/analysis.hpp"
+#include "service/client.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "test_helpers.hpp"
+
+namespace ht::service {
+namespace {
+
+using core::OptStatus;
+using core::RequestKind;
+
+// ---- fixtures -------------------------------------------------------------
+
+/// polynom on the Section 5 catalog, tight enough that the cheapest-first
+/// search refutes several license sets before the winner — the same
+/// contested shape search_cache_test uses, so the warm-state win is real.
+core::ProblemSpec contested_spec() {
+  core::ProblemSpec spec;
+  spec.graph = benchmarks::polynom();
+  spec.catalog = vendor::section5();
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path;
+  spec.lambda_recovery = critical_path;
+  spec.with_recovery = true;
+  spec.area_limit = 400000;
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+/// Screens and bounds off so every refutation is a CSP proof and the
+/// dominance cache gets all the warm-reuse credit.
+core::SynthesisRequest contested_request() {
+  core::SynthesisRequest request;
+  request.spec = contested_spec();
+  request.pruning.static_screens = false;
+  request.pruning.cost_bounds = false;
+  return request;
+}
+
+void expect_same_outcome(const core::SynthesisResponse& a,
+                         const core::SynthesisResponse& b,
+                         const core::ProblemSpec& spec) {
+  ASSERT_EQ(a.result.status, b.result.status);
+  EXPECT_EQ(a.result.cost, b.result.cost);
+  if (a.result.has_solution() && b.result.has_solution()) {
+    EXPECT_EQ(a.result.solution.licenses_used(spec),
+              b.result.solution.licenses_used(spec));
+  }
+  EXPECT_EQ(a.lambda_detection, b.lambda_detection);
+  EXPECT_EQ(a.lambda_recovery, b.lambda_recovery);
+  ASSERT_EQ(a.frontier.size(), b.frontier.size());
+  for (std::size_t i = 0; i < a.frontier.size(); ++i) {
+    EXPECT_EQ(a.frontier[i].constraint, b.frontier[i].constraint);
+    EXPECT_EQ(a.frontier[i].result.status, b.frontier[i].result.status);
+    EXPECT_EQ(a.frontier[i].result.cost, b.frontier[i].result.cost);
+  }
+}
+
+/// A latch a progress callback parks on: the solve blocks at its first
+/// progress event until the test releases it — the deterministic way to
+/// hold a worker busy while queueing, cancelling, or expiring other jobs.
+class Gate {
+ public:
+  /// First call parks until release(); later calls return immediately.
+  void enter() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (entered_) return;
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void wait_entered() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return entered_; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    open_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool open_ = false;
+};
+
+core::SynthesisRequest gated_request(Gate* gate) {
+  core::SynthesisRequest request =
+      core::make_request(test::easy_section5_spec());
+  request.progress = [gate](const core::SynthesisProgress&) {
+    gate->enter();
+  };
+  return request;
+}
+
+// ---- admission queue ------------------------------------------------------
+
+PendingJob make_job(std::uint64_t ticket, int priority,
+                    double deadline_seconds) {
+  PendingJob job;
+  job.ticket = ticket;
+  job.info.priority = priority;
+  job.info.deadline_seconds = deadline_seconds;
+  job.admitted = std::chrono::steady_clock::now();
+  if (deadline_seconds > 0) {
+    job.deadline = job.admitted + std::chrono::duration_cast<
+                                      std::chrono::steady_clock::duration>(
+                                      std::chrono::duration<double>(
+                                          deadline_seconds));
+  }
+  return job;
+}
+
+TEST(AdmissionQueueTest, OrdersByPriorityThenDeadlineThenTicket) {
+  AdmissionQueue queue(16);
+  ASSERT_TRUE(queue.push(make_job(1, 0, 0)));      // plain
+  ASSERT_TRUE(queue.push(make_job(2, 0, 60.0)));   // deadlined
+  ASSERT_TRUE(queue.push(make_job(3, 5, 0)));      // high priority
+  ASSERT_TRUE(queue.push(make_job(4, 0, 1.0)));    // tighter deadline
+  ASSERT_TRUE(queue.push(make_job(5, 5, 0)));      // high priority, later
+
+  std::vector<std::uint64_t> order;
+  PendingJob job;
+  while (queue.size() > 0 && queue.pop(&job)) order.push_back(job.ticket);
+  // Priority 5 first in admission order; then deadlined jobs by deadline;
+  // then the plain job.
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{3, 5, 4, 2, 1}));
+}
+
+TEST(AdmissionQueueTest, RefusesWhenFullAndDrainsAfterClose) {
+  AdmissionQueue queue(2);
+  EXPECT_TRUE(queue.push(make_job(1, 0, 0)));
+  EXPECT_TRUE(queue.push(make_job(2, 0, 0)));
+  EXPECT_FALSE(queue.push(make_job(3, 0, 0)));  // backpressure
+  EXPECT_EQ(queue.size(), 2u);
+
+  queue.close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.push(make_job(4, 0, 0)));
+  PendingJob job;
+  EXPECT_FALSE(queue.pop(&job));  // closed: pop refuses immediately
+  const std::vector<PendingJob> leftovers = queue.drain();
+  ASSERT_EQ(leftovers.size(), 2u);
+  EXPECT_EQ(leftovers[0].ticket, 1u);
+}
+
+TEST(AdmissionQueueTest, RemoveTakesOutAQueuedJob) {
+  AdmissionQueue queue(4);
+  ASSERT_TRUE(queue.push(make_job(1, 0, 0)));
+  ASSERT_TRUE(queue.push(make_job(2, 0, 0)));
+  PendingJob removed;
+  EXPECT_TRUE(queue.remove(2, &removed));
+  EXPECT_EQ(removed.ticket, 2u);
+  EXPECT_FALSE(queue.remove(2, &removed));
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+// ---- SynthesisService -----------------------------------------------------
+
+TEST(SynthesisServiceTest, ExecuteMatchesDirectColdEngine) {
+  SynthesisService service(ServiceConfig{});
+  const core::SynthesisRequest request =
+      core::make_request(test::easy_section5_spec());
+  const ServiceReply reply = service.execute({}, request);
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_TRUE(reply.warm);
+  expect_same_outcome(reply.response, core::synthesize(request),
+                      request.spec);
+}
+
+// The tentpole guarantee: routing repeated same-market requests through
+// the daemon's warm engine changes speed, never outcomes. The replay runs
+// the same contested request three times warm and once forced-cold and
+// demands bit-identical statuses, costs and bindings against a cold
+// core::synthesize — while the warm stats must show the reuse.
+TEST(SynthesisServiceTest, WarmReuseIsBitIdenticalToColdAndMeasurablyFaster) {
+  SynthesisService service(ServiceConfig{});
+  const core::SynthesisRequest request = contested_request();
+  const core::SynthesisResponse cold_direct = core::synthesize(request);
+  ASSERT_TRUE(cold_direct.result.has_solution());
+  ASSERT_GT(cold_direct.result.stats.combos_tried, 1)
+      << "spec too easy to exercise warm reuse";
+
+  const ServiceReply first = service.execute({}, request);
+  const ServiceReply second = service.execute({}, request);
+  JobInfo cold_info;
+  cold_info.warm = false;
+  const ServiceReply forced_cold = service.execute(cold_info, request);
+
+  for (const ServiceReply* reply : {&first, &second, &forced_cold}) {
+    ASSERT_TRUE(reply->ok()) << reply->error;
+    expect_same_outcome(reply->response, cold_direct, request.spec);
+  }
+  EXPECT_TRUE(first.warm);
+  EXPECT_TRUE(second.warm);
+  EXPECT_FALSE(forced_cold.warm);
+  EXPECT_EQ(first.market, second.market);
+
+  // First warm request on a fresh engine: nothing sealed yet. Second:
+  // sealed refutations skip license sets. Forced-cold: fresh again.
+  EXPECT_EQ(first.response.result.stats.combos_skipped_cache, 0);
+  EXPECT_GT(second.response.result.stats.combos_skipped_cache, 0);
+  EXPECT_LT(second.response.result.stats.combos_tried,
+            first.response.result.stats.combos_tried);
+  EXPECT_EQ(forced_cold.response.result.stats.combos_skipped_cache, 0);
+
+  // The /stats ledger shows the same win per market.
+  const Json stats = service.stats();
+  ASSERT_EQ(stats.get("markets").size(), 1u);
+  const Json& market = stats.get("markets").at(0);
+  // Only warm runs touch the market engine; the forced-cold one did not.
+  EXPECT_EQ(market.get("requests").as_int(), 2);
+  EXPECT_GT(market.get("combos_skipped_cache").as_int(), 0);
+  EXPECT_LT(market.get("last_combos_tried").as_int(),
+            first.response.result.stats.combos_tried);
+  EXPECT_EQ(stats.get("service").get("completed").as_int(), 3);
+}
+
+TEST(SynthesisServiceTest, MarketsGetSeparateWarmEngines) {
+  SynthesisService service(ServiceConfig{});
+  const core::SynthesisRequest table1 =
+      core::make_request(test::motivational_spec());
+  const core::SynthesisRequest section5 =
+      core::make_request(test::easy_section5_spec());
+  ASSERT_NE(core::spec_family_fingerprint(table1.spec),
+            core::spec_family_fingerprint(section5.spec));
+
+  const ServiceReply a = service.execute({}, table1);
+  const ServiceReply b = service.execute({}, section5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.market, b.market);
+  EXPECT_EQ(service.stats().get("markets").size(), 2u);
+}
+
+TEST(SynthesisServiceTest, CancelMidSolveTripsTheTokenCooperatively) {
+  SynthesisService service(ServiceConfig{});
+  Gate gate;
+  core::SynthesisRequest request = contested_request();
+  request.progress = [&gate](const core::SynthesisProgress&) {
+    gate.enter();
+  };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ServiceReply reply;
+  JobInfo info;
+  info.id = "cancel-me";
+  std::string error;
+  ASSERT_TRUE(service.submit(info, request,
+                             [&](const ServiceReply& r) {
+                               std::lock_guard<std::mutex> lock(mutex);
+                               reply = r;
+                               done = true;
+                               cv.notify_all();
+                             },
+                             &error))
+      << error;
+
+  gate.wait_entered();  // the solve is live, parked at its first progress
+  EXPECT_TRUE(service.cancel("cancel-me"));
+  gate.release();
+
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_TRUE(reply.ok()) << reply.error;
+  EXPECT_TRUE(reply.cancelled);
+  // Dead job: nothing left to cancel.
+  EXPECT_FALSE(service.cancel("cancel-me"));
+  EXPECT_EQ(service.stats().get("service").get("cancelled").as_int(), 1);
+}
+
+TEST(SynthesisServiceTest, CancelWhileQueuedSkipsTheSolveEntirely) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  Gate gate;
+
+  // Occupy the only worker...
+  service.submit({}, gated_request(&gate), [](const ServiceReply&) {},
+                 nullptr);
+  gate.wait_entered();
+
+  // ...queue a second job and cancel it before any worker reaches it.
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ServiceReply reply;
+  JobInfo info;
+  info.id = "queued";
+  ASSERT_TRUE(service.submit(info, contested_request(),
+                             [&](const ServiceReply& r) {
+                               std::lock_guard<std::mutex> lock(mutex);
+                               reply = r;
+                               done = true;
+                               cv.notify_all();
+                             },
+                             nullptr));
+  EXPECT_TRUE(service.cancel("queued"));
+  gate.release();
+
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.cancelled);
+  // Never dispatched: no nodes were searched on its behalf.
+  EXPECT_EQ(reply.response.result.stats.nodes_total, 0);
+  EXPECT_EQ(reply.response.result.status, OptStatus::kUnknown);
+}
+
+TEST(SynthesisServiceTest, ExpiredDeadlineCompletesAsUnknownWithoutSolving) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  Gate gate;
+  service.submit({}, gated_request(&gate), [](const ServiceReply&) {},
+                 nullptr);
+  gate.wait_entered();
+
+  JobInfo info;
+  info.deadline_seconds = 0.02;  // will expire while the worker is held
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  ServiceReply reply;
+  ASSERT_TRUE(service.submit(info, contested_request(),
+                             [&](const ServiceReply& r) {
+                               std::lock_guard<std::mutex> lock(mutex);
+                               reply = r;
+                               done = true;
+                               cv.notify_all();
+                             },
+                             nullptr));
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  gate.release();
+
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done; });
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.expired);
+  EXPECT_EQ(reply.response.result.status, OptStatus::kUnknown);
+  // Partial stats: the queue wait is recorded, but nothing was solved.
+  EXPECT_GT(reply.queue_seconds, 0.0);
+  EXPECT_EQ(reply.response.result.stats.nodes_total, 0);
+  EXPECT_EQ(service.stats().get("service").get("expired").as_int(), 1);
+}
+
+TEST(SynthesisServiceTest, FullQueuePushesBackWithStructuredError) {
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  SynthesisService service(config);
+  Gate gate;
+  service.submit({}, gated_request(&gate), [](const ServiceReply&) {},
+                 nullptr);
+  gate.wait_entered();  // worker busy; capacity-1 queue is empty
+
+  ASSERT_TRUE(service.submit({}, contested_request(),
+                             [](const ServiceReply&) {}, nullptr));
+
+  std::string error;
+  EXPECT_FALSE(service.submit({}, contested_request(),
+                              [](const ServiceReply&) {}, &error));
+  EXPECT_EQ(error, "queue_full");
+  EXPECT_EQ(service.stats().get("service").get("rejected").as_int(), 1);
+  gate.release();
+}
+
+TEST(SynthesisServiceTest, ShutdownAnswersQueuedJobsWithShutdownError) {
+  ServiceConfig config;
+  config.workers = 1;
+  SynthesisService service(config);
+  Gate gate;
+  service.submit({}, gated_request(&gate), [](const ServiceReply&) {},
+                 nullptr);
+  gate.wait_entered();
+
+  std::atomic<int> shutdown_replies{0};
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.submit({}, contested_request(),
+                               [&](const ServiceReply& r) {
+                                 if (r.error == "shutdown") {
+                                   ++shutdown_replies;
+                                 }
+                               },
+                               nullptr));
+  }
+
+  // Shut down while the only worker is still parked inside the blocker:
+  // admission stops and the queue closes before any queued job can run.
+  std::thread closer([&] { service.shutdown(); });
+  std::string error;
+  while (service.submit({}, contested_request(),
+                        [](const ServiceReply&) {}, &error)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(error, "shutdown");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate.release();
+  closer.join();
+  // All three queued jobs were answered, not dropped.
+  EXPECT_EQ(shutdown_replies.load(), 3);
+}
+
+// ---- Server + Client over loopback TCP ------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  /// Starts a server on an ephemeral loopback port.
+  std::unique_ptr<Server> start_server(ServerConfig config = {}) {
+    config.unix_path.clear();
+    config.tcp = true;
+    config.tcp_port = 0;
+    auto server = std::make_unique<Server>(std::move(config));
+    std::string error;
+    if (!server->start(&error)) {
+      ADD_FAILURE() << "server start: " << error;
+      return nullptr;
+    }
+    return server;
+  }
+
+  std::unique_ptr<Client> connect(const Server& server) {
+    std::string error;
+    std::unique_ptr<Client> client =
+        Client::connect_tcp("127.0.0.1", server.tcp_port(), &error);
+    if (client == nullptr) ADD_FAILURE() << "connect: " << error;
+    return client;
+  }
+};
+
+TEST_F(ServerTest, SynthesizeOverSocketMatchesDirectEngine) {
+  const std::unique_ptr<Server> server = start_server();
+  ASSERT_NE(server, nullptr);
+  const std::unique_ptr<Client> client = connect(*server);
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->ping());
+
+  const core::SynthesisRequest request =
+      core::make_request(test::easy_section5_spec());
+  const Client::Reply reply = client->synthesize(request);
+  ASSERT_TRUE(reply.ok) << reply.error_code << ": " << reply.error_message;
+  expect_same_outcome(reply.response, core::synthesize(request),
+                      request.spec);
+  EXPECT_TRUE(reply.envelope.get("service").get("warm").as_bool(false));
+
+  std::string error;
+  const std::optional<Json> stats = client->stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->get("service").get("completed").as_int(), 1);
+}
+
+TEST_F(ServerTest, MalformedAndOversizedLinesGetStructuredErrors) {
+  ServerConfig config;
+  config.max_line_bytes = 512;
+  const std::unique_ptr<Server> server = start_server(std::move(config));
+  ASSERT_NE(server, nullptr);
+  const std::unique_ptr<Client> client = connect(*server);
+  ASSERT_NE(client, nullptr);
+  std::string error;
+
+  // Malformed JSON: structured error, connection survives.
+  ASSERT_TRUE(client->send_line("{this is not json", &error)) << error;
+  Json reply;
+  ASSERT_TRUE(client->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("op").as_string(), "error");
+  EXPECT_EQ(reply.get("error").get("code").as_string(), "malformed_json");
+
+  // A line over the limit: rejected without buffering it.
+  const std::string oversized(2048, 'x');
+  ASSERT_TRUE(client->send_line(oversized, &error)) << error;
+  ASSERT_TRUE(client->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("error").get("code").as_string(), "oversized_line");
+
+  // The same connection still answers a well-formed op.
+  EXPECT_TRUE(client->ping());
+}
+
+TEST_F(ServerTest, RejectsUnsupportedVersionsAndUnknownOps) {
+  const std::unique_ptr<Server> server = start_server();
+  ASSERT_NE(server, nullptr);
+  const std::unique_ptr<Client> client = connect(*server);
+  ASSERT_NE(client, nullptr);
+  std::string error;
+
+  Json envelope = Json::object();
+  envelope.set("schema_version", kSchemaVersion + 7);
+  envelope.set("op", "ping");
+  ASSERT_TRUE(client->send_envelope(envelope, &error)) << error;
+  Json reply;
+  ASSERT_TRUE(client->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("error").get("code").as_string(),
+            "unsupported_version");
+
+  envelope.set("schema_version", kSchemaVersion);
+  envelope.set("op", "transmogrify");
+  ASSERT_TRUE(client->send_envelope(envelope, &error)) << error;
+  ASSERT_TRUE(client->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("error").get("code").as_string(), "unknown_op");
+
+  // op synthesize with an unparseable request document.
+  envelope = Json::object();
+  envelope.set("schema_version", kSchemaVersion);
+  envelope.set("op", "synthesize");
+  envelope.set("request", "not an object");
+  ASSERT_TRUE(client->send_envelope(envelope, &error)) << error;
+  ASSERT_TRUE(client->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("error").get("code").as_string(), "bad_request");
+}
+
+// The CI smoke job's shape, in-process: >= 8 concurrent clients across
+// three market families and three request kinds; every daemon answer
+// must equal a cold direct-engine run of the same request.
+TEST_F(ServerTest, ConcurrentMixedMarketClientsMatchDirectEngine) {
+  ServerConfig config;
+  config.service.workers = 4;
+  const std::unique_ptr<Server> server = start_server(std::move(config));
+  ASSERT_NE(server, nullptr);
+
+  std::vector<core::SynthesisRequest> requests;
+  for (int i = 0; i < 4; ++i) {
+    requests.push_back(core::make_request(test::easy_section5_spec()));
+    requests.push_back(core::make_request(test::motivational_spec()));
+  }
+  requests.push_back(core::make_request(test::easy_section5_spec(false)));
+  core::SynthesisRequest frontier =
+      core::make_request(test::easy_section5_spec());
+  frontier.kind = RequestKind::kLatencyFrontier;
+  frontier.sweep_values = {8, 9, 10};
+  requests.push_back(frontier);
+  ASSERT_GE(requests.size(), 8u);
+
+  std::vector<core::SynthesisResponse> direct(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    direct[i] = core::synthesize(requests[i]);
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    clients.emplace_back([&, i] {
+      std::string error;
+      const std::unique_ptr<Client> client =
+          Client::connect_tcp("127.0.0.1", server->tcp_port(), &error);
+      if (client == nullptr) {
+        ++failures;
+        return;
+      }
+      const Client::Reply reply = client->synthesize(requests[i]);
+      if (!reply.ok) {
+        ++failures;
+        return;
+      }
+      expect_same_outcome(reply.response, direct[i], requests[i].spec);
+    });
+  }
+  for (std::thread& thread : clients) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const std::unique_ptr<Client> client = connect(*server);
+  ASSERT_NE(client, nullptr);
+  std::string error;
+  const std::optional<Json> stats = client->stats(&error);
+  ASSERT_TRUE(stats.has_value()) << error;
+  EXPECT_EQ(stats->get("service").get("completed").as_int(),
+            static_cast<long long>(requests.size()));
+  // table1+recovery, section5+recovery, section5 detection-only: the
+  // family fingerprint includes the recovery mode.
+  EXPECT_EQ(stats->get("markets").size(), 3u);
+}
+
+TEST_F(ServerTest, CancelOverTheProtocolReachesALiveJob) {
+  ServerConfig config;
+  config.service.workers = 1;
+  const std::unique_ptr<Server> server = start_server(std::move(config));
+  ASSERT_NE(server, nullptr);
+
+  // Hold the single worker from inside the server's own service so the
+  // protocol cancel provably lands while the job is queued.
+  Gate gate;
+  server->service().submit({}, gated_request(&gate),
+                           [](const ServiceReply&) {}, nullptr);
+  gate.wait_entered();
+
+  const std::unique_ptr<Client> submitter = connect(*server);
+  ASSERT_NE(submitter, nullptr);
+  std::string error;
+  Json envelope = Json::object();
+  envelope.set("schema_version", kSchemaVersion);
+  envelope.set("op", "synthesize");
+  envelope.set("id", "protocol-cancel");
+  envelope.set("request",
+               request_to_json(contested_request()));
+  ASSERT_TRUE(submitter->send_envelope(envelope, &error)) << error;
+
+  const std::unique_ptr<Client> canceller = connect(*server);
+  ASSERT_NE(canceller, nullptr);
+  // The submit raced over the network; retry until the job is live.
+  bool cancelled = false;
+  for (int attempt = 0; attempt < 200 && !cancelled; ++attempt) {
+    cancelled = canceller->cancel("protocol-cancel");
+    if (!cancelled) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(cancelled);
+  gate.release();
+
+  Json reply;
+  ASSERT_TRUE(submitter->read_envelope(&reply, &error)) << error;
+  EXPECT_EQ(reply.get("id").as_string(), "protocol-cancel");
+  EXPECT_TRUE(reply.get("ok").as_bool(false));
+  EXPECT_TRUE(reply.get("service").get("cancelled").as_bool(false));
+}
+
+}  // namespace
+}  // namespace ht::service

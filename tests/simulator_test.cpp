@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/engine.hpp"
 #include "core/optimizer.hpp"
 #include "trojan/monte_carlo.hpp"
 #include "trojan/simulator.hpp"
@@ -19,7 +20,7 @@ const core::ProblemSpec& spec() {
 
 const core::Solution& solution() {
   static const core::Solution instance = [] {
-    const core::OptimizeResult result = core::minimize_cost(spec());
+    const core::OptimizeResult result = core::synthesize(core::make_request(spec())).result;
     if (!result.has_solution()) {
       throw util::InternalError("motivational spec must be solvable");
     }
@@ -158,7 +159,7 @@ TEST(SimulatorTest, SequentialTriggerArmsAcrossFrames) {
 TEST(SimulatorTest, RebindOnDetectionOnlySolutionThrows) {
   const core::ProblemSpec detection_spec =
       test::motivational_detection_only();
-  const core::OptimizeResult result = core::minimize_cost(detection_spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(detection_spec)).result;
   ASSERT_TRUE(result.has_solution());
   const RuntimeSimulator sim(detection_spec, result.solution);
   const auto infections = InfectionMap{};
@@ -278,7 +279,7 @@ TEST(CollusionTest, SameVendorChainsActivateAndGetCaught) {
 
 TEST(CollusionTest, OptimizerOutputIsCollusionFreeEvenWithoutRecovery) {
   const core::ProblemSpec d_spec = test::motivational_detection_only();
-  const core::OptimizeResult result = core::minimize_cost(d_spec);
+  const core::OptimizeResult result = core::synthesize(core::make_request(d_spec)).result;
   ASSERT_TRUE(result.has_solution());
   const CollusionProbe probe =
       run_collusion_probe(d_spec, result.solution, 50, 79);

@@ -1,0 +1,137 @@
+// Shared spec/request construction for the thls and thls-client tools:
+// one flag vocabulary, one loader, one SynthesisRequest builder, so the
+// CLI and the daemon client cannot drift apart on what "--area 22000
+// --strategy heuristic" means.
+#pragma once
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "benchmarks/extra.hpp"
+#include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
+#include "dfg/analysis.hpp"
+#include "dfg/parse.hpp"
+#include "trojan/profiling.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht::tools {
+
+/// The spec-shaping flags both tools accept.
+struct SpecOptions {
+  std::string graph_arg;
+  std::string catalog = "section5";
+  int lambda_det = 0;
+  int lambda_rec = 0;
+  bool detection_only = false;
+  long long area = 0;
+  bool close_pairs = true;
+  std::uint64_t seed = 1;
+};
+
+/// The engine-shaping flags both tools accept.
+struct EngineOptions {
+  std::string strategy = "exact";
+  int threads = 1;
+  double time_limit = 0;  // 0: engine default
+  bool cost_bounds = true;
+  bool metrics = false;
+  std::uint64_t seed = 1;
+};
+
+/// Built-in benchmark name or a textual-DFG file path.
+inline dfg::Dfg load_graph(const std::string& arg) {
+  for (const benchmarks::BenchmarkCase& entry : benchmarks::paper_suite()) {
+    if (entry.name == arg) return entry.factory();
+  }
+  if (arg == "ar_lattice") return benchmarks::ar_lattice();
+  if (arg == "matmul2x2") return benchmarks::matmul2x2();
+  if (arg == "fft4") return benchmarks::fft4();
+  std::ifstream stream(arg);
+  if (!stream.good()) {
+    throw util::SpecError("cannot open DFG file or unknown benchmark: " +
+                          arg);
+  }
+  std::ostringstream buffer;
+  buffer << stream.rdbuf();
+  return dfg::parse_dfg(buffer.str());
+}
+
+/// Flags -> validated ProblemSpec (defaults: lambda = critical path + 1,
+/// area = room for ~10 of the market's largest cores, close pairs
+/// profiled per Section 3.3). Throws util::SpecError on bad flag values.
+inline core::ProblemSpec build_spec(const SpecOptions& options) {
+  core::ProblemSpec spec;
+  spec.graph = load_graph(options.graph_arg);
+  if (options.catalog == "table1") {
+    spec.catalog = vendor::table1();
+  } else if (options.catalog == "section5") {
+    spec.catalog = vendor::section5();
+  } else {
+    throw util::SpecError("unknown catalog " + options.catalog +
+                          " (expected table1 or section5)");
+  }
+  const int cp = dfg::critical_path_length(spec.graph);
+  spec.lambda_detection =
+      options.lambda_det > 0 ? options.lambda_det : cp + 1;
+  spec.with_recovery = !options.detection_only;
+  spec.lambda_recovery =
+      spec.with_recovery
+          ? (options.lambda_rec > 0 ? options.lambda_rec : cp + 1)
+          : 0;
+  if (options.area > 0) {
+    spec.area_limit = options.area;
+  } else {
+    long long biggest = 0;
+    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
+      for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+        const auto rc = static_cast<dfg::ResourceClass>(cls);
+        if (spec.catalog.offers(v, rc)) {
+          biggest = std::max(
+              biggest,
+              static_cast<long long>(spec.catalog.offer(v, rc).area));
+        }
+      }
+    }
+    spec.area_limit = 10 * biggest;
+  }
+  if (options.close_pairs && spec.with_recovery) {
+    // Section 3.3: profile closely-related op pairs; recovery Rule 2 then
+    // keeps their recovery bindings apart. Disable with --no-close-pairs.
+    util::Rng rng(options.seed);
+    trojan::ProfileConfig profile;
+    profile.tolerance = 0;
+    spec.closely_related =
+        trojan::profile_close_pairs(spec.graph, profile, rng);
+  }
+  spec.validate();
+  return spec;
+}
+
+/// Flags -> kMinimize SynthesisRequest; adjust kind/kind-specific fields
+/// afterwards. Throws util::SpecError on an unknown strategy name.
+inline core::SynthesisRequest build_request(const core::ProblemSpec& spec,
+                                            const EngineOptions& options) {
+  core::SynthesisRequest request;
+  request.spec = spec;
+  if (options.strategy == "heuristic") {
+    request.strategy = core::Strategy::kHeuristic;
+  } else if (options.strategy != "exact") {
+    throw util::SpecError("unknown strategy " + options.strategy +
+                          " (expected exact or heuristic)");
+  }
+  request.seed = options.seed;
+  request.parallelism.threads = options.threads;
+  request.pruning.cost_bounds = options.cost_bounds;
+  request.observability.metrics = options.metrics;
+  if (options.time_limit > 0) {
+    request.limits.time_limit_seconds = options.time_limit;
+  }
+  return request;
+}
+
+}  // namespace ht::tools

@@ -37,23 +37,19 @@
 //   --explain                   print a prune-reason breakdown and per-stage
 //                               time share after the solve
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
-#include "benchmarks/extra.hpp"
+#include "common.hpp"
+
 #include "benchmarks/suite.hpp"
 #include "core/engine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "dfg/analysis.hpp"
 #include "dfg/dot.hpp"
-#include "dfg/parse.hpp"
 #include "rtl/verilog.hpp"
 #include "trojan/monte_carlo.hpp"
-#include "trojan/profiling.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
-#include "vendor/catalogs.hpp"
 
 using namespace ht;
 
@@ -82,6 +78,30 @@ struct Options {
   bool explain = false;
 
   bool wants_metrics() const { return explain || !metrics_file.empty(); }
+
+  tools::SpecOptions spec_options() const {
+    tools::SpecOptions spec;
+    spec.graph_arg = graph_arg;
+    spec.catalog = catalog;
+    spec.lambda_det = lambda_det;
+    spec.lambda_rec = lambda_rec;
+    spec.detection_only = detection_only;
+    spec.area = area;
+    spec.close_pairs = close_pairs;
+    spec.seed = seed;
+    return spec;
+  }
+
+  tools::EngineOptions engine_options() const {
+    tools::EngineOptions engine;
+    engine.strategy = strategy;
+    engine.threads = threads;
+    engine.time_limit = time_limit;
+    engine.cost_bounds = cost_bounds;
+    engine.metrics = wants_metrics();
+    engine.seed = seed;
+    return engine;
+  }
 };
 
 [[noreturn]] void usage(const std::string& error = "") {
@@ -163,69 +183,11 @@ Options parse_args(int argc, char** argv) {
 }
 
 dfg::Dfg load_graph(const std::string& arg) {
-  for (const benchmarks::BenchmarkCase& entry : benchmarks::paper_suite()) {
-    if (entry.name == arg) return entry.factory();
-  }
-  if (arg == "ar_lattice") return benchmarks::ar_lattice();
-  if (arg == "matmul2x2") return benchmarks::matmul2x2();
-  if (arg == "fft4") return benchmarks::fft4();
-  std::ifstream stream(arg);
-  if (!stream.good()) {
-    throw util::SpecError("cannot open DFG file or unknown benchmark: " +
-                          arg);
-  }
-  std::ostringstream buffer;
-  buffer << stream.rdbuf();
-  return dfg::parse_dfg(buffer.str());
+  return tools::load_graph(arg);
 }
 
 core::ProblemSpec build_spec(const Options& options) {
-  core::ProblemSpec spec;
-  spec.graph = load_graph(options.graph_arg);
-  if (options.catalog == "table1") {
-    spec.catalog = vendor::table1();
-  } else if (options.catalog == "section5") {
-    spec.catalog = vendor::section5();
-  } else {
-    usage("unknown catalog " + options.catalog);
-  }
-  const int cp = dfg::critical_path_length(spec.graph);
-  spec.lambda_detection =
-      options.lambda_det > 0 ? options.lambda_det : cp + 1;
-  spec.with_recovery = !options.detection_only;
-  spec.lambda_recovery =
-      spec.with_recovery
-          ? (options.lambda_rec > 0 ? options.lambda_rec : cp + 1)
-          : 0;
-  if (options.area > 0) {
-    spec.area_limit = options.area;
-  } else {
-    // Default: room for ~10 of the largest cores the graph could need.
-    long long biggest = 0;
-    for (vendor::VendorId v = 0; v < spec.catalog.num_vendors(); ++v) {
-      for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-        const auto rc = static_cast<dfg::ResourceClass>(cls);
-        if (spec.catalog.offers(v, rc)) {
-          biggest = std::max(
-              biggest, static_cast<long long>(spec.catalog.offer(v, rc).area));
-        }
-      }
-    }
-    spec.area_limit = 10 * biggest;
-  }
-  if (options.close_pairs && spec.with_recovery) {
-    // Section 3.3: identify closely-related operation pairs by profiling;
-    // recovery Rule 2 then keeps their recovery bindings away from each
-    // other's detection vendors (see fft4's t0 = x0+x2 / t1 = x0-x2, which
-    // share operand values exactly). Disable with --no-close-pairs.
-    util::Rng rng(options.seed);
-    trojan::ProfileConfig profile;
-    profile.tolerance = 0;
-    spec.closely_related =
-        trojan::profile_close_pairs(spec.graph, profile, rng);
-  }
-  spec.validate();
-  return spec;
+  return tools::build_spec(options.spec_options());
 }
 
 /// --explain: per-stage time share plus the prune-reason breakdown.
@@ -270,20 +232,9 @@ void print_explain(const core::OptimizeResult& result) {
 
 core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
                                    const Options& options) {
-  core::SynthesisRequest request;
-  request.spec = spec;
-  if (options.strategy == "heuristic") {
-    request.strategy = core::Strategy::kHeuristic;
-  } else if (options.strategy != "exact") {
-    usage("unknown strategy " + options.strategy);
-  }
-  request.seed = options.seed;
-  request.parallelism.threads = options.threads;
-  request.pruning.cost_bounds = options.cost_bounds;
-  request.observability.metrics = options.wants_metrics();
-  if (options.time_limit > 0) {
-    request.limits.time_limit_seconds = options.time_limit;
-  }
+  core::SynthesisRequest request =
+      tools::build_request(spec, options.engine_options());
+  request.kind = core::RequestKind::kMinimize;
   if (options.progress) {
     request.progress = [](const core::SynthesisProgress& progress) {
       const long skipped = progress.combos_skipped_screen +
@@ -306,7 +257,7 @@ core::OptimizeResult run_optimizer(const core::ProblemSpec& spec,
   }
   core::SynthesisEngine engine(std::move(request));
   if (!options.trace_file.empty()) obs::start_tracing();
-  const core::OptimizeResult result = engine.minimize();
+  const core::OptimizeResult result = engine.run().result;
   if (!options.trace_file.empty()) {
     const obs::TraceLog log = obs::stop_tracing();
     std::ostringstream buffer;

@@ -1,0 +1,393 @@
+// thls-client — command-line client for the thlsd daemon.
+//
+//   thls-client [--connect ENDPOINT] optimize <dfg|benchmark> [options]
+//   thls-client [--connect ENDPOINT] batch FILE [--verify] [--cold]
+//   thls-client print-request <dfg|benchmark> [options]
+//   thls-client [--connect ENDPOINT] stats | ping | shutdown
+//   thls-client [--connect ENDPOINT] cancel ID
+//
+// ENDPOINT is unix:/path or tcp:host:port (default unix:/tmp/thlsd.sock).
+//
+// optimize shares thls's spec flags (--catalog --lambda-det --lambda-rec
+// --detection-only --area --strategy --threads --time-limit --seed
+// --no-bounds --no-close-pairs --metrics) and adds:
+//   --kind K          minimize (default) | minimize_total_latency |
+//                     area_frontier | latency_frontier
+//   --lambda-total N  for minimize_total_latency
+//   --sweep A,B,C     constraint values for the frontier kinds
+//   --priority N --deadline-ms N --id S --cold
+//   --verify          also solve locally on a cold engine and fail unless
+//                     status, cost and bindings match the daemon's reply
+//
+// print-request writes the request's wire JSON (one line) to stdout —
+// compose batch files with it. batch submits every line of FILE
+// concurrently on its own connection (the CI smoke job's shape).
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+
+#include "service/client.hpp"
+#include "util/strings.hpp"
+
+using namespace ht;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) {
+    std::fprintf(stderr, "thls-client: %s\n\n", error.c_str());
+  }
+  std::fputs(
+      "usage: thls-client [--connect unix:PATH|tcp:HOST:PORT] <command>\n"
+      "commands: optimize <dfg|benchmark> [options]\n"
+      "          batch FILE [--verify] [--cold]\n"
+      "          print-request <dfg|benchmark> [options]\n"
+      "          stats | ping | shutdown | cancel ID\n"
+      "optimize options: thls spec flags plus --kind K --lambda-total N\n"
+      "          --sweep A,B,C --priority N --deadline-ms N --id S --cold\n"
+      "          --verify\n",
+      stderr);
+  std::exit(2);
+}
+
+struct ClientOptions {
+  std::string endpoint = "unix:/tmp/thlsd.sock";
+  std::string command;
+  std::string operand;  // graph, batch file, or cancel id
+  tools::SpecOptions spec;
+  tools::EngineOptions engine;
+  std::string kind = "minimize";
+  int lambda_total = 0;
+  std::vector<long long> sweep;
+  service::JobInfo job;
+  bool verify = false;
+};
+
+ClientOptions parse_args(int argc, char** argv) {
+  ClientOptions options;
+  int i = 1;
+  if (i < argc && std::string(argv[i]) == "--connect") {
+    if (i + 1 >= argc) usage("--connect needs a value");
+    options.endpoint = argv[i + 1];
+    i += 2;
+  }
+  if (i >= argc) usage();
+  options.command = argv[i++];
+  if (options.command == "optimize" || options.command == "print-request" ||
+      options.command == "batch" || options.command == "cancel") {
+    if (i >= argc) usage(options.command + " needs an operand");
+    options.operand = argv[i++];
+    options.spec.graph_arg = options.operand;
+  }
+  auto need_value = [&](const std::string& flag) -> std::string {
+    if (i >= argc) usage("flag " + flag + " needs a value");
+    return argv[i++];
+  };
+  while (i < argc) {
+    const std::string flag = argv[i++];
+    if (flag == "--catalog") {
+      options.spec.catalog = need_value(flag);
+    } else if (flag == "--lambda-det") {
+      options.spec.lambda_det = std::stoi(need_value(flag));
+    } else if (flag == "--lambda-rec") {
+      options.spec.lambda_rec = std::stoi(need_value(flag));
+    } else if (flag == "--detection-only") {
+      options.spec.detection_only = true;
+    } else if (flag == "--area") {
+      options.spec.area = std::stoll(need_value(flag));
+    } else if (flag == "--no-close-pairs") {
+      options.spec.close_pairs = false;
+    } else if (flag == "--strategy") {
+      options.engine.strategy = need_value(flag);
+    } else if (flag == "--threads") {
+      options.engine.threads = std::stoi(need_value(flag));
+    } else if (flag == "--time-limit") {
+      options.engine.time_limit = std::stod(need_value(flag));
+    } else if (flag == "--no-bounds") {
+      options.engine.cost_bounds = false;
+    } else if (flag == "--metrics") {
+      options.engine.metrics = true;
+    } else if (flag == "--seed") {
+      options.spec.seed = options.engine.seed =
+          std::stoull(need_value(flag));
+    } else if (flag == "--kind") {
+      options.kind = need_value(flag);
+    } else if (flag == "--lambda-total") {
+      options.lambda_total = std::stoi(need_value(flag));
+    } else if (flag == "--sweep") {
+      for (const std::string& token :
+           util::split(need_value(flag), ',')) {
+        options.sweep.push_back(std::stoll(token));
+      }
+    } else if (flag == "--priority") {
+      options.job.priority = std::stoi(need_value(flag));
+    } else if (flag == "--deadline-ms") {
+      options.job.deadline_seconds =
+          std::stod(need_value(flag)) / 1000.0;
+    } else if (flag == "--id") {
+      options.job.id = need_value(flag);
+    } else if (flag == "--cold") {
+      options.job.warm = false;
+    } else if (flag == "--verify") {
+      options.verify = true;
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  return options;
+}
+
+core::SynthesisRequest build_request(const ClientOptions& options) {
+  core::SynthesisRequest request =
+      tools::build_request(tools::build_spec(options.spec), options.engine);
+  if (!core::parse_request_kind(options.kind, &request.kind)) {
+    usage("unknown --kind " + options.kind);
+  }
+  request.lambda_total = options.lambda_total;
+  request.sweep_values = options.sweep;
+  return request;
+}
+
+/// The deterministic part of a response: statuses, costs, splits and
+/// bindings — everything warm-state reuse must NOT change. Stats and
+/// metrics (speed) are deliberately excluded.
+service::Json outcome_json(const core::SynthesisResponse& response) {
+  auto trim = [](const core::OptimizeResult& result) {
+    const service::Json full = service::result_to_json(result);
+    service::Json trimmed = service::Json::object();
+    for (const auto& [key, value] : full.fields()) {
+      if (key != "stats" && key != "metrics") trimmed.set(key, value);
+    }
+    return trimmed;
+  };
+  service::Json json = service::Json::object();
+  json.set("kind", core::request_kind_name(response.kind));
+  json.set("result", trim(response.result));
+  json.set("lambda_detection", response.lambda_detection);
+  json.set("lambda_recovery", response.lambda_recovery);
+  service::Json frontier = service::Json::array();
+  for (const core::FrontierPoint& point : response.frontier) {
+    service::Json entry = service::Json::object();
+    entry.set("constraint", point.constraint);
+    entry.set("result", trim(point.result));
+    frontier.push_back(std::move(entry));
+  }
+  json.set("frontier", std::move(frontier));
+  return json;
+}
+
+/// Daemon reply vs. a local cold-engine run of the same request. Returns
+/// true when the outcomes are bit-identical.
+bool verify_against_local(const core::SynthesisRequest& request,
+                          const core::SynthesisResponse& remote,
+                          const std::string& label) {
+  const core::SynthesisResponse local = core::synthesize(request);
+  const std::string remote_outcome = outcome_json(remote).dump();
+  const std::string local_outcome = outcome_json(local).dump();
+  if (remote_outcome == local_outcome) {
+    std::printf("%s: verify: daemon matches local cold engine\n",
+                label.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "%s: verify FAILED\n  daemon: %s\n  local : %s\n",
+               label.c_str(), remote_outcome.c_str(),
+               local_outcome.c_str());
+  return false;
+}
+
+void print_reply(const std::string& label,
+                 const service::Client::Reply& reply) {
+  const core::OptimizeResult& result = reply.response.result;
+  const service::Json& info = reply.envelope.get("service");
+  std::printf("%s: status=%s cost=%lld combos=%ld nodes=%ld %s "
+              "queue=%.1fms solve=%.1fms\n",
+              label.c_str(), core::to_string(result.status).c_str(),
+              result.cost, result.stats.combos_tried,
+              result.stats.nodes_total,
+              info.get("warm").as_bool(true) ? "warm" : "cold",
+              info.get("queue_ms").as_double(0.0),
+              info.get("solve_ms").as_double(0.0));
+  for (const core::FrontierPoint& point : reply.response.frontier) {
+    std::printf("  %s<=%lld: %s cost=%lld\n",
+                reply.response.kind == core::RequestKind::kAreaFrontier
+                    ? "area"
+                    : "latency",
+                point.constraint,
+                core::to_string(point.result.status).c_str(),
+                point.result.cost);
+  }
+}
+
+int cmd_optimize(const ClientOptions& options) {
+  const core::SynthesisRequest request = build_request(options);
+  std::string error;
+  const std::unique_ptr<service::Client> client =
+      service::Client::connect(options.endpoint, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "thls-client: %s\n", error.c_str());
+    return 1;
+  }
+  const service::Client::Reply reply =
+      client->synthesize(request, options.job);
+  if (!reply.ok) {
+    std::fprintf(stderr, "thls-client: %s: %s\n", reply.error_code.c_str(),
+                 reply.error_message.c_str());
+    return 1;
+  }
+  print_reply(options.operand, reply);
+  if (options.verify &&
+      !verify_against_local(request, reply.response, options.operand)) {
+    return 1;
+  }
+  return reply.response.result.has_solution() ||
+                 !reply.response.frontier.empty()
+             ? 0
+             : 1;
+}
+
+int cmd_print_request(const ClientOptions& options) {
+  std::puts(service::serialize_request(build_request(options)).c_str());
+  return 0;
+}
+
+int cmd_batch(const ClientOptions& options) {
+  std::ifstream stream(options.operand);
+  if (!stream.good()) {
+    std::fprintf(stderr, "thls-client: cannot open %s\n",
+                 options.operand.c_str());
+    return 1;
+  }
+  std::vector<core::SynthesisRequest> requests;
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    core::SynthesisRequest request;
+    std::string error;
+    if (!service::parse_request(line, &request, &error)) {
+      std::fprintf(stderr, "thls-client: %s line %zu: %s\n",
+                   options.operand.c_str(), requests.size() + 1,
+                   error.c_str());
+      return 1;
+    }
+    requests.push_back(std::move(request));
+  }
+  if (requests.empty()) {
+    std::fprintf(stderr, "thls-client: %s holds no requests\n",
+                 options.operand.c_str());
+    return 1;
+  }
+
+  // Every request on its own connection, all in flight at once.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(requests.size());
+  for (std::size_t r = 0; r < requests.size(); ++r) {
+    threads.emplace_back([&, r] {
+      const std::string label =
+          "batch[" + std::to_string(r) + "]";
+      std::string error;
+      const std::unique_ptr<service::Client> client =
+          service::Client::connect(options.endpoint, &error);
+      if (client == nullptr) {
+        std::fprintf(stderr, "%s: %s\n", label.c_str(), error.c_str());
+        ++failures;
+        return;
+      }
+      service::JobInfo job = options.job;
+      job.id = label;
+      const service::Client::Reply reply =
+          client->synthesize(requests[r], job);
+      if (!reply.ok) {
+        std::fprintf(stderr, "%s: %s: %s\n", label.c_str(),
+                     reply.error_code.c_str(),
+                     reply.error_message.c_str());
+        ++failures;
+        return;
+      }
+      print_reply(label, reply);
+      if (options.verify &&
+          !verify_against_local(requests[r], reply.response, label)) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  if (failures.load() > 0) {
+    std::fprintf(stderr, "thls-client: %d of %zu batch requests failed\n",
+                 failures.load(), requests.size());
+    return 1;
+  }
+  std::printf("batch: %zu requests ok\n", requests.size());
+  return 0;
+}
+
+int with_client(const ClientOptions& options,
+                int (*run)(service::Client&, const ClientOptions&)) {
+  std::string error;
+  const std::unique_ptr<service::Client> client =
+      service::Client::connect(options.endpoint, &error);
+  if (client == nullptr) {
+    std::fprintf(stderr, "thls-client: %s\n", error.c_str());
+    return 1;
+  }
+  return run(*client, options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const ClientOptions options = parse_args(argc, argv);
+    if (options.command == "optimize") return cmd_optimize(options);
+    if (options.command == "print-request") {
+      return cmd_print_request(options);
+    }
+    if (options.command == "batch") return cmd_batch(options);
+    if (options.command == "stats") {
+      return with_client(options, [](service::Client& client,
+                                     const ClientOptions&) {
+        std::string error;
+        const std::optional<service::Json> stats = client.stats(&error);
+        if (!stats.has_value()) {
+          std::fprintf(stderr, "thls-client: %s\n", error.c_str());
+          return 1;
+        }
+        std::puts(stats->dump().c_str());
+        return 0;
+      });
+    }
+    if (options.command == "ping") {
+      return with_client(options,
+                         [](service::Client& client, const ClientOptions&) {
+                           if (client.ping()) {
+                             std::puts("pong");
+                             return 0;
+                           }
+                           return 1;
+                         });
+    }
+    if (options.command == "cancel") {
+      return with_client(
+          options, [](service::Client& client, const ClientOptions& opts) {
+            const bool cancelled = client.cancel(opts.operand);
+            std::printf("cancel %s: %s\n", opts.operand.c_str(),
+                        cancelled ? "cancelled" : "no such live job");
+            return cancelled ? 0 : 1;
+          });
+    }
+    if (options.command == "shutdown") {
+      return with_client(options,
+                         [](service::Client& client, const ClientOptions&) {
+                           return client.shutdown_server() ? 0 : 1;
+                         });
+    }
+    usage("unknown command " + options.command);
+  } catch (const util::Error& error) {
+    std::fprintf(stderr, "thls-client: %s\n", error.what());
+    return 1;
+  }
+}

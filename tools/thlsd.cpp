@@ -1,0 +1,117 @@
+// thlsd — synthesis-as-a-service daemon.
+//
+// Serves the JSON-lines protocol of src/service/server.hpp on a Unix
+// socket (default /tmp/thlsd.sock) and/or a loopback TCP port, running
+// every request through per-vendor-market warm engines: repeated requests
+// against the same market reuse the accumulated infeasibility proofs,
+// nogoods, and LP-bound memos of earlier ones — same answers, fewer
+// nodes. See DESIGN.md §5.
+//
+//   thlsd [--socket PATH] [--tcp [PORT]] [--workers N] [--queue N]
+//         [--max-line BYTES]
+//
+//   --socket PATH    Unix socket path (default /tmp/thlsd.sock;
+//                    "" disables)
+//   --tcp [PORT]     also listen on 127.0.0.1:PORT (0 or omitted PORT =
+//                    kernel-assigned; the chosen port is printed)
+//   --workers N      concurrent solves (default 2)
+//   --queue N        admission queue depth (default 32); a full queue
+//                    rejects with a structured queue_full error
+//   --max-line BYTES reject longer protocol lines (default 4 MiB)
+//
+// Stop with SIGINT/SIGTERM or the protocol op {"op":"shutdown"}.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+
+using namespace ht;
+
+namespace {
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "thlsd: %s\n\n", error.c_str());
+  std::fputs(
+      "usage: thlsd [--socket PATH] [--tcp [PORT]] [--workers N]\n"
+      "             [--queue N] [--max-line BYTES]\n",
+      stderr);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerConfig config;
+  config.unix_path = "/tmp/thlsd.sock";
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto need_value = [&]() -> std::string {
+      if (i + 1 >= argc) usage("flag " + flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--socket") {
+      config.unix_path = need_value();
+    } else if (flag == "--tcp") {
+      config.tcp = true;
+      // Optional port operand; 0 / absent asks the kernel for one.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        config.tcp_port = std::stoi(argv[++i]);
+      }
+    } else if (flag == "--workers") {
+      config.service.workers = std::stoi(need_value());
+    } else if (flag == "--queue") {
+      config.service.queue_capacity =
+          static_cast<std::size_t>(std::stoull(need_value()));
+    } else if (flag == "--max-line") {
+      config.max_line_bytes =
+          static_cast<std::size_t>(std::stoull(need_value()));
+    } else {
+      usage("unknown flag " + flag);
+    }
+  }
+  if (config.unix_path.empty() && !config.tcp) {
+    usage("nothing to listen on (--socket \"\" and no --tcp)");
+  }
+
+  // Route SIGINT/SIGTERM to a dedicated watcher thread (inherited mask
+  // keeps them blocked everywhere else) so shutdown runs in a normal
+  // thread context instead of a signal handler.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  service::Server server(config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "thlsd: %s\n", error.c_str());
+    return 1;
+  }
+  std::thread([&server, signals] {
+    int received = 0;
+    sigwait(&signals, &received);
+    std::fprintf(stderr, "thlsd: caught %s, shutting down\n",
+                 strsignal(received));
+    server.request_stop();
+  }).detach();
+
+  if (!server.unix_path().empty()) {
+    std::printf("thlsd: listening on unix:%s\n", server.unix_path().c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::printf("thlsd: listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::printf("thlsd: %d workers, queue depth %zu\n",
+              config.service.workers, config.service.queue_capacity);
+  std::fflush(stdout);
+
+  server.wait();
+  server.stop();
+  std::puts("thlsd: stopped");
+  return 0;
+}
