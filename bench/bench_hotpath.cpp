@@ -1,0 +1,365 @@
+// Hot-path microbenchmarks for the flat-solver data-layout kernels: the
+// SWAR/packed mask kernels (util/mask_kernels.hpp), the incremental
+// occupancy skyline (core/skyline.hpp), and the version-stamped fast-reset
+// containers (util/fast_reset.hpp). Each section times the kernel against
+// the scalar/rebuild/clear baseline it replaced, so the per-structure
+// speedups behind the solver-level node-throughput claim stay reproducible
+// in isolation.
+//
+// `--json <path>` appends one record per row to the shared BENCH flow
+// (bench_util.hpp): `benchmark` is "hotpath/<kernel>[/baseline]", `n` the
+// working-set size, `nodes_total` the operations timed, `wall_s` the loop
+// seconds — ns/op is wall_s * 1e9 / nodes_total, the same derivation
+// tools/diff_bench_json.py uses for the per-stage solver metrics.
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/skyline.hpp"
+#include "util/fast_reset.hpp"
+#include "util/mask_kernels.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ht;
+
+/// Per-row records for `--json <path>` (see bench_util.hpp).
+benchx::JsonReport g_json;
+
+/// Defeats dead-code elimination without a memory barrier per iteration.
+volatile long long g_sink = 0;
+
+void record_row(util::TablePrinter& table, const std::string& kernel,
+                int n, long long ops, double seconds) {
+  const double ns_per_op = seconds * 1e9 / static_cast<double>(ops);
+  table.add_row({kernel, std::to_string(n), std::to_string(ops),
+                 util::format_double(ns_per_op, 2)});
+  benchx::JsonRecord record;
+  record.benchmark = "hotpath/" + kernel;
+  record.n = n;
+  record.nodes_total = static_cast<long>(std::min<long long>(
+      ops, std::numeric_limits<long>::max()));
+  record.wall_s = seconds;
+  g_json.add(record);
+}
+
+// --- Mask kernels ---------------------------------------------------------
+
+/// Nogood-literal membership: packed lo<<16|hi single-compare ranges vs the
+/// two-compare (lo <= c && c <= hi) pair the solver used before packing.
+void bench_packed_ranges(util::TablePrinter& table) {
+  util::Rng rng(101);
+  const int n = 4096;
+  std::vector<std::uint32_t> packed(n);
+  std::vector<int> lo(n), hi(n);
+  for (int i = 0; i < n; ++i) {
+    lo[i] = static_cast<int>(rng.uniform_int(0, 200));
+    hi[i] = static_cast<int>(rng.uniform_int(lo[i], 220));
+    packed[i] = util::pack_cycle_range(lo[i], hi[i]);
+  }
+  const long long rounds = 20'000;
+  long long hits = 0;
+  util::Timer timer;
+  for (long long r = 0; r < rounds; ++r) {
+    const int cycle = static_cast<int>(r % 230);
+    for (int i = 0; i < n; ++i) {
+      hits += util::packed_range_contains(packed[i], cycle) ? 1 : 0;
+    }
+  }
+  record_row(table, "mask/packed_range", n, rounds * n,
+             timer.elapsed_seconds());
+  g_sink = g_sink + hits;
+
+  hits = 0;
+  timer.reset();
+  for (long long r = 0; r < rounds; ++r) {
+    const int cycle = static_cast<int>(r % 230);
+    for (int i = 0; i < n; ++i) {
+      hits += (lo[i] <= cycle && cycle <= hi[i]) ? 1 : 0;
+    }
+  }
+  record_row(table, "mask/packed_range/baseline", n, rounds * n,
+             timer.elapsed_seconds());
+  g_sink = g_sink + hits;
+}
+
+/// Four-lane SWAR range membership vs the same test one lane at a time.
+void bench_swar_ranges(util::TablePrinter& table) {
+  util::Rng rng(102);
+  const int n = 4096;  // lanes, packed four per word
+  std::vector<std::uint64_t> lo_lanes(n / 4), hi_lanes(n / 4);
+  std::vector<int> lo(n), hi(n);
+  for (int i = 0; i < n; ++i) {
+    lo[i] = static_cast<int>(rng.uniform_int(0, 200));
+    hi[i] = static_cast<int>(rng.uniform_int(lo[i], 220));
+  }
+  for (int w = 0; w < n / 4; ++w) {
+    for (int lane = 0; lane < 4; ++lane) {
+      lo_lanes[w] |= util::swar16_broadcast(lo[w * 4 + lane]) &
+                     (0xffffull << (16 * lane));
+      hi_lanes[w] |= util::swar16_broadcast(hi[w * 4 + lane]) &
+                     (0xffffull << (16 * lane));
+    }
+  }
+  const long long rounds = 20'000;
+  long long hits = 0;
+  util::Timer timer;
+  for (long long r = 0; r < rounds; ++r) {
+    const std::uint64_t cycle =
+        util::swar16_broadcast(static_cast<int>(r % 230));
+    for (int w = 0; w < n / 4; ++w) {
+      hits += __builtin_popcountll(
+          util::swar16_in_range(cycle, lo_lanes[w], hi_lanes[w]));
+    }
+  }
+  record_row(table, "mask/swar16_in_range", n, rounds * n,
+             timer.elapsed_seconds());
+  g_sink = g_sink + hits;
+
+  hits = 0;
+  timer.reset();
+  for (long long r = 0; r < rounds; ++r) {
+    const int cycle = static_cast<int>(r % 230);
+    for (int i = 0; i < n; ++i) {
+      hits += (lo[i] <= cycle && cycle <= hi[i]) ? 1 : 0;
+    }
+  }
+  record_row(table, "mask/swar16_in_range/baseline", n, rounds * n,
+             timer.elapsed_seconds());
+  g_sink = g_sink + hits;
+}
+
+/// Occupancy-row max: the unrolled range_max_i32 vs std::max_element.
+void bench_range_max(util::TablePrinter& table) {
+  util::Rng rng(103);
+  const int n = 64;  // typical lambda-sized row
+  std::vector<int> row(n);
+  for (int& cell : row) cell = static_cast<int>(rng.uniform_int(0, 1000));
+  const long long rounds = 2'000'000;
+  long long acc = 0;
+  util::Timer timer;
+  for (long long r = 0; r < rounds; ++r) {
+    const int len = 1 + static_cast<int>(r % n);
+    acc += util::range_max_i32(row.data(), len);
+  }
+  record_row(table, "mask/range_max_i32", n, rounds, timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+
+  acc = 0;
+  timer.reset();
+  for (long long r = 0; r < rounds; ++r) {
+    const int len = 1 + static_cast<int>(r % n);
+    acc += *std::max_element(row.begin(), row.begin() + len);
+  }
+  record_row(table, "mask/range_max_i32/baseline", n, rounds,
+             timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+}
+
+// --- Skyline --------------------------------------------------------------
+
+/// Assign/unassign churn with peak queries: delta maintenance on one
+/// OccupancySkyline vs rebuilding the profile from the live set each step
+/// (what bounds.cpp did before the skyline existed).
+void bench_skyline(util::TablePrinter& table) {
+  struct Placement {
+    int start, len, instances;
+    long long area;
+  };
+  const int lambda = 32;
+  const long long steps = 200'000;
+
+  util::Rng rng(104);
+  core::OccupancySkyline sky(lambda);
+  std::vector<Placement> live;
+  long long acc = 0;
+  util::Timer timer;
+  for (long long step = 0; step < steps; ++step) {
+    if (!live.empty() && rng.chance(0.45)) {
+      const std::size_t at = rng.index(live.size());
+      const Placement p = live[at];
+      live[at] = live.back();
+      live.pop_back();
+      sky.remove(p.start, p.len, p.instances, p.area);
+    } else {
+      Placement p;
+      p.len = static_cast<int>(rng.uniform_int(1, 6));
+      p.start = static_cast<int>(rng.uniform_int(1, lambda - p.len + 1));
+      p.instances = static_cast<int>(rng.uniform_int(1, 3));
+      p.area = rng.uniform_int(10, 500);
+      live.push_back(p);
+      sky.add(p.start, p.len, p.instances, p.area);
+    }
+    acc += sky.peak_instances() + sky.peak_area();
+  }
+  record_row(table, "skyline/delta", lambda, steps, timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+
+  // Identical churn sequence (same seed), profile rebuilt every step.
+  util::Rng rng2(104);
+  live.clear();
+  std::vector<int> instances(lambda);
+  std::vector<long long> area(lambda);
+  acc = 0;
+  timer.reset();
+  for (long long step = 0; step < steps; ++step) {
+    if (!live.empty() && rng2.chance(0.45)) {
+      const std::size_t at = rng2.index(live.size());
+      live[at] = live.back();
+      live.pop_back();
+    } else {
+      Placement p;
+      p.len = static_cast<int>(rng2.uniform_int(1, 6));
+      p.start = static_cast<int>(rng2.uniform_int(1, lambda - p.len + 1));
+      p.instances = static_cast<int>(rng2.uniform_int(1, 3));
+      p.area = rng2.uniform_int(10, 500);
+      live.push_back(p);
+    }
+    std::fill(instances.begin(), instances.end(), 0);
+    std::fill(area.begin(), area.end(), 0);
+    for (const Placement& p : live) {
+      for (int cycle = p.start; cycle < p.start + p.len; ++cycle) {
+        instances[static_cast<std::size_t>(cycle - 1)] += p.instances;
+        area[static_cast<std::size_t>(cycle - 1)] += p.area;
+      }
+    }
+    acc += *std::max_element(instances.begin(), instances.end()) +
+           *std::max_element(area.begin(), area.end());
+  }
+  record_row(table, "skyline/rebuild/baseline", lambda, steps,
+             timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+}
+
+// --- Fast reset -----------------------------------------------------------
+
+/// Backtrack-shaped reuse: touch a few slots, reset, repeat. The
+/// version-stamped container pays one counter bump per reset; the honest
+/// baseline re-clears the whole array.
+void bench_fast_reset(util::TablePrinter& table) {
+  const int n = 4096;
+  const int touches = 8;  // sparse writes per reset, like one CSP node
+  const long long rounds = 500'000;
+
+  util::Rng rng(105);
+  util::FastResetVector<int> fast(n, 0);
+  long long acc = 0;
+  util::Timer timer;
+  for (long long r = 0; r < rounds; ++r) {
+    for (int t = 0; t < touches; ++t) {
+      const std::size_t i = rng.index(n);
+      fast.ref(i) += 1;
+      acc += fast.get(i);
+    }
+    fast.reset();
+  }
+  record_row(table, "fast_reset/reset", n, rounds, timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+
+  util::Rng rng2(105);
+  std::vector<int> plain(n, 0);
+  acc = 0;
+  timer.reset();
+  for (long long r = 0; r < rounds; ++r) {
+    for (int t = 0; t < touches; ++t) {
+      const std::size_t i = rng2.index(n);
+      plain[i] += 1;
+      acc += plain[i];
+    }
+    std::fill(plain.begin(), plain.end(), 0);
+  }
+  record_row(table, "fast_reset/clear/baseline", n, rounds,
+             timer.elapsed_seconds());
+  g_sink = g_sink + acc;
+}
+
+void print_hotpath() {
+  util::TablePrinter table({"kernel", "n", "ops", "ns/op"});
+  bench_packed_ranges(table);
+  bench_swar_ranges(table);
+  bench_range_max(table);
+  bench_skyline(table);
+  bench_fast_reset(table);
+  benchx::print_table(table, "Hot-path kernels vs their scalar baselines");
+}
+
+// Google-benchmark registrations for the same kernels, for users who want
+// repetition/statistics handling (`--benchmark_filter=...`).
+
+void BM_PackedRangeContains(benchmark::State& state) {
+  util::Rng rng(201);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::uint32_t> packed(static_cast<std::size_t>(n));
+  for (auto& p : packed) {
+    const int lo = static_cast<int>(rng.uniform_int(0, 200));
+    p = util::pack_cycle_range(lo, static_cast<int>(rng.uniform_int(lo, 220)));
+  }
+  int cycle = 0;
+  for (auto _ : state) {
+    long long hits = 0;
+    for (const std::uint32_t p : packed) {
+      hits += util::packed_range_contains(p, cycle) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(hits);
+    cycle = (cycle + 1) % 230;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_PackedRangeContains)->Arg(256)->Arg(4096);
+
+void BM_SkylineChurn(benchmark::State& state) {
+  const int lambda = static_cast<int>(state.range(0));
+  util::Rng rng(202);
+  core::OccupancySkyline sky(lambda);
+  for (auto _ : state) {
+    const int len = static_cast<int>(rng.uniform_int(1, 6));
+    const int start = static_cast<int>(rng.uniform_int(1, lambda - len + 1));
+    sky.add(start, len, 1, 100);
+    benchmark::DoNotOptimize(sky.peak_instances());
+    sky.remove(start, len, 1, 100);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SkylineChurn)->Arg(16)->Arg(64);
+
+void BM_FastResetCycle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::FastResetVector<int> fast(static_cast<std::size_t>(n), 0);
+  util::Rng rng(203);
+  for (auto _ : state) {
+    for (int t = 0; t < 8; ++t) fast.ref(rng.index(n)) += 1;
+    fast.reset();
+    benchmark::DoNotOptimize(fast.get(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FastResetCycle)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
+  print_hotpath();
+  if (!json_path.empty()) {
+    if (g_json.write_to(json_path)) {
+      std::printf("wrote %zu records to %s\n", g_json.size(),
+                  json_path.c_str());
+    } else {
+      std::printf("FAILED to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/rules.hpp"
+#include "core/skyline.hpp"
 #include "dfg/analysis.hpp"
 #include "obs/trace.hpp"
 
@@ -33,39 +34,24 @@ LowerBounds::LowerBounds(const ProblemSpec& spec) : spec_(spec) {
     const std::vector<int> alap =
         dfg::alap_levels(spec.graph, lambda, latencies);
     for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
-      // items[hi] = total weighted latency of ops with occupancy ending at
-      // hi, bucketed by their earliest start for the window sweep below.
-      std::vector<std::pair<int, long long>> items;  // (lo, weighted latency)
-      std::vector<int> his;
+      // One demand item per op of the class: occupancy confined to
+      // [ASAP start, ALAP start + latency - 1], weighted latency as demand.
+      // The window sweep itself lives in core/skyline.cpp, shared with the
+      // skyline property tests.
+      std::vector<EnergeticItem> items;
       for (dfg::OpId op = 0; op < spec.graph.num_ops(); ++op) {
         if (static_cast<int>(dfg::resource_class_of(spec.graph.op(op).type)) !=
             cls) {
           continue;
         }
         const int lat = latencies[static_cast<std::size_t>(op)];
-        const int lo = asap[static_cast<std::size_t>(op)];
-        const int hi = alap[static_cast<std::size_t>(op)] + lat - 1;
-        items.emplace_back(lo, static_cast<long long>(lat) * weight);
-        his.push_back(hi);
+        items.push_back(
+            EnergeticItem{asap[static_cast<std::size_t>(op)],
+                          alap[static_cast<std::size_t>(op)] + lat - 1,
+                          static_cast<long long>(lat) * weight});
       }
       int& floor = instance_floor_[static_cast<std::size_t>(cls)];
-      for (int a = 1; a <= lambda; ++a) {
-        // Sweep b upward, accumulating the demand of ops fully inside
-        // [a, b]; each (a, b) pair yields a ceil(demand / width) floor.
-        std::vector<long long> ending(static_cast<std::size_t>(lambda) + 1, 0);
-        for (std::size_t i = 0; i < items.size(); ++i) {
-          if (items[i].first >= a && his[i] <= lambda) {
-            ending[static_cast<std::size_t>(his[i])] += items[i].second;
-          }
-        }
-        long long demand = 0;
-        for (int b = a; b <= lambda; ++b) {
-          demand += ending[static_cast<std::size_t>(b)];
-          const long long width = b - a + 1;
-          const long long need = (demand + width - 1) / width;
-          floor = std::max(floor, static_cast<int>(need));
-        }
-      }
+      floor = std::max(floor, energetic_interval_floor(items, lambda));
     }
   };
   add_phase(spec.lambda_detection, 2);

@@ -9,9 +9,12 @@
 #include <unordered_set>
 
 #include "core/rules.hpp"
+#include "core/skyline.hpp"
 #include "dfg/analysis.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fast_reset.hpp"
+#include "util/mask_kernels.hpp"
 
 namespace ht::core {
 namespace {
@@ -101,16 +104,56 @@ class Search {
         2ull * static_cast<std::size_t>(v) * dfg::kNumResourceClasses *
         static_cast<std::size_t>(max_lambda_);
     usage_.assign(usage_size, 0);
+    usage_vstride_ = dfg::kNumResourceClasses * max_lambda_;
     peak_.assign(static_cast<std::size_t>(v) * dfg::kNumResourceClasses, 0);
-    // Pools are sized for the deepest possible search up front: dfs holds
-    // references into them across recursive calls, so they must never
-    // reallocate mid-search.
-    value_pool_.resize(copies_.size() + 1);
+    for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+      class_cap_[static_cast<std::size_t>(cls)] =
+          spec.instance_cap(static_cast<dfg::ResourceClass>(cls));
+    }
+    // The value arena is sized for the deepest possible search up front:
+    // dfs holds spans into it across recursive calls, so it must never
+    // reallocate mid-search. One contiguous block, depth-major; per-depth
+    // capacity is the largest root domain of any copy (windows and masks
+    // only ever shrink during search).
+    std::size_t value_cap = 0;
+    for (std::size_t c = 0; c < copies_.size(); ++c) {
+      const std::size_t window = est_[c] <= lst_[c]
+                                     ? static_cast<std::size_t>(lst_[c] -
+                                                                est_[c] + 1)
+                                     : 0;
+      const std::size_t vendors = static_cast<std::size_t>(
+          __builtin_popcountll(
+              palette_mask_[static_cast<std::size_t>(copies_[c].cls)]));
+      value_cap = std::max(value_cap, window * vendors);
+    }
+    value_cap_ = value_cap;
+    value_arena_.resize((copies_.size() + 1) * value_cap_);
     for (int i = 0; i < kMaxVendors; ++i) vendor_rank_[i] = i;
+    // Packed-representation guards: the flat hot path packs cycles into
+    // 15-bit lanes and (degree, copy) into one 40-bit selection key; solves
+    // outside those ranges run the legacy machinery (bit-identical either
+    // way, so the fallback is silent).
+    bool packed_ok = max_lambda_ < util::kSwarCycleLimit &&
+                     copies_.size() < (1u << 20);
+    for (std::size_t c = 0; packed_ok && c < copies_.size(); ++c) {
+      if (degree_[c] > 0xFFFFF) packed_ok = false;
+    }
+    packed_ok_ = packed_ok;
+    flat_sel_ = options.flat_state && packed_ok_;
+    if (flat_sel_) {
+      select_static_.resize(copies_.size());
+      select_key_.resize(copies_.size());
+      for (std::size_t c = 0; c < copies_.size(); ++c) {
+        select_static_[c] =
+            ((0xFFFFFull - static_cast<std::uint64_t>(degree_[c])) << 20) |
+            static_cast<std::uint64_t>(c);
+        select_key_[c] = select_key_of(c);
+      }
+    }
     if (learning_) {
       words_ = (copies_.size() + 63) / 64;
       conf_pool_.assign(copies_.size() + 1,
-                        std::vector<std::uint64_t>(words_, 0));
+                        util::FastResetBitset(copies_.size()));
       jump_conf_.assign(words_, 0);
       assigned_bits_.assign(words_, 0);
       occ_.assign(usage_size * words_, 0);
@@ -118,7 +161,20 @@ class Search {
       est_setter_.assign(copies_.size(), -1);
       lst_setter_.assign(copies_.size(), -1);
       by_copy_.resize(copies_.size());
-      watch_mode_ = options.nogood_watch;
+      if (packed_ok_) by_copy_packed_.resize(copies_.size());
+      flat_mode_ = flat_sel_;
+      watch_mode_ = !flat_mode_ && options.nogood_watch;
+      if (flat_mode_) {
+        cnt_buckets_.resize(copies_.size() * kMaxVendors);
+        // The trail holds raw pointers into ng_count_; learned nogoods grow
+        // it mid-search, so reserve the worst case (imported + learn cap)
+        // up front — growth within capacity never reallocates.
+        const std::size_t max_nogoods =
+            (options.imported != nullptr ? options.imported->size() : 0) +
+            static_cast<std::size_t>(kLearnCap);
+        ng_count_.reserve(max_nogoods);
+        ng_entries_.reserve(max_nogoods);
+      }
       if (watch_mode_) {
         watch_buckets_.resize(copies_.size() * kMaxVendors);
         assign_stamp_.assign(copies_.size(), 0);
@@ -161,7 +217,8 @@ class Search {
     const int copy = select_variable();
     if (copy < 0) return plan;  // no variables: trivially solvable
     plan.copy = copy;
-    for (const Value& value : enumerate_values(copy, 0, nullptr)) {
+    const ValueSpan values = enumerate_values(copy, 0, nullptr);
+    for (const Value& value : values) {
       plan.values.emplace_back(value.cycle, value.vendor);
     }
     return plan;
@@ -350,6 +407,16 @@ class Search {
   int& usage(int phase, int v, int cls, int cycle) {
     return usage_[usage_index(phase, v, cls, cycle)];
   }
+  /// Index of cycle 1 of the contiguous (phase, vendor, class) usage row.
+  std::size_t usage_row_index(int phase, int v, int cls) const {
+    return (static_cast<std::size_t>(phase) *
+                static_cast<std::size_t>(spec_.catalog.num_vendors()) +
+            static_cast<std::size_t>(v)) *
+               dfg::kNumResourceClasses *
+               static_cast<std::size_t>(max_lambda_) +
+           static_cast<std::size_t>(cls) *
+               static_cast<std::size_t>(max_lambda_);
+  }
   int& peak(int v, int cls) {
     return peak_[static_cast<std::size_t>(v) * dfg::kNumResourceClasses +
                  static_cast<std::size_t>(cls)];
@@ -368,27 +435,22 @@ class Search {
   }
 
   // ---- conflict-set bitsets --------------------------------------------
-  using Conf = std::vector<std::uint64_t>;
+  // Per-depth conflict sets are version-stamped fast-reset bitsets (see
+  // util/fast_reset.hpp): dfs clears one per node, so the O(1) stamped
+  // reset replaces a words-long memset on the hottest path. jump_conf_ and
+  // assigned_bits_ stay plain word vectors — the trail holds raw pointers
+  // into assigned_bits_, which stamping would invalidate.
+  using Conf = util::FastResetBitset;
+  using ConfWords = std::vector<std::uint64_t>;
 
-  static void conf_clear(Conf& conf) {
-    std::fill(conf.begin(), conf.end(), 0);
-  }
-  static void conf_set(Conf& conf, int copy) {
+  static void conf_set(ConfWords& conf, int copy) {
     conf[static_cast<std::size_t>(copy) >> 6] |= 1ull << (copy & 63);
   }
-  static void conf_clear_bit(Conf& conf, int copy) {
+  static void conf_clear_bit(ConfWords& conf, int copy) {
     conf[static_cast<std::size_t>(copy) >> 6] &= ~(1ull << (copy & 63));
   }
-  static bool conf_test(const Conf& conf, int copy) {
+  static bool conf_test(const ConfWords& conf, int copy) {
     return (conf[static_cast<std::size_t>(copy) >> 6] >> (copy & 63)) & 1u;
-  }
-  static void conf_or(Conf& dst, const Conf& src) {
-    for (std::size_t w = 0; w < dst.size(); ++w) dst[w] |= src[w];
-  }
-  static int conf_popcount(const Conf& conf) {
-    int n = 0;
-    for (std::uint64_t word : conf) n += __builtin_popcountll(word);
-    return n;
   }
 
   /// ORs the occupier set of one usage cell into the conflict set: the
@@ -396,7 +458,9 @@ class Search {
   /// culprits for a per-instance-cap overflow at that cell.
   void conf_add_cell(Conf& conf, int phase, int v, int cls, int cycle) {
     const std::size_t base = usage_index(phase, v, cls, cycle) * words_;
-    for (std::size_t w = 0; w < words_; ++w) conf[w] |= occ_[base + w];
+    for (std::size_t w = 0; w < words_; ++w) {
+      conf.word_ref(w) |= occ_[base + w];
+    }
   }
 
   /// ORs every currently assigned copy into the conflict set, minus `self`.
@@ -405,8 +469,10 @@ class Search {
   /// non-contributor can occupy the cell a later contributor raised), so
   /// only the full assignment is a sound explanation.
   void conf_add_all_assigned(Conf& conf, int self) {
-    for (std::size_t w = 0; w < words_; ++w) conf[w] |= assigned_bits_[w];
-    conf_clear_bit(conf, self);
+    for (std::size_t w = 0; w < words_; ++w) {
+      conf.word_ref(w) |= assigned_bits_[w];
+    }
+    conf.clear(static_cast<std::size_t>(self));
   }
 
   /// Seeds the conflict set with the assigned copies responsible for the
@@ -416,15 +482,15 @@ class Search {
   /// culprit — their exclusion is unconditional.
   void seed_domain_culprits(int copy, Conf& conf) {
     const std::size_t cs = static_cast<std::size_t>(copy);
-    if (est_setter_[cs] >= 0) conf_set(conf, est_setter_[cs]);
-    if (lst_setter_[cs] >= 0) conf_set(conf, lst_setter_[cs]);
+    if (est_setter_[cs] >= 0) conf.set(static_cast<std::size_t>(est_setter_[cs]));
+    if (lst_setter_[cs] >= 0) conf.set(static_cast<std::size_t>(lst_setter_[cs]));
     const std::uint64_t missing =
         palette_mask_[static_cast<std::size_t>(copies_[cs].cls)] &
         ~allowed_mask_[cs];
     for (std::uint64_t bits = missing; bits != 0; bits &= bits - 1) {
       const int v = __builtin_ctzll(bits);
       const int setter = forbid_setter(copy, v);
-      if (setter >= 0) conf_set(conf, setter);
+      if (setter >= 0) conf.set(static_cast<std::size_t>(setter));
     }
   }
 
@@ -438,13 +504,171 @@ class Search {
     return !nogood.lits.empty();
   }
 
+  /// Packs one literal for the by-copy prefilter: vendor in the high word,
+  /// cycle range below. Ranges that stick out of the 15-bit cycle domain
+  /// are clamped conservatively — the prefilter may pass such an entry to
+  /// the full check but never rejects a live one.
+  static std::uint64_t pack_lit(const NogoodLit& lit) {
+    const int lo = std::min(lit.cycle_lo, util::kSwarCycleLimit - 1);
+    const int hi = std::min(lit.cycle_hi, util::kSwarCycleLimit - 1);
+    const std::uint32_t range = lo <= hi ? util::pack_cycle_range(lo, hi)
+                                         : util::pack_cycle_range(1, 0);
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                lit.vendor))
+            << 32) |
+           range;
+  }
+
   void add_nogood(const CspNogood& nogood) {
     const int id = static_cast<int>(nogoods_.size());
     nogoods_.push_back(nogood);
     for (const NogoodLit& lit : nogoods_.back().lits) {
       by_copy_[static_cast<std::size_t>(lit.copy)].push_back(id);
+      if (packed_ok_) {
+        by_copy_packed_[static_cast<std::size_t>(lit.copy)].push_back(
+            pack_lit(lit));
+      }
     }
     if (watch_mode_) watch_nogood(id);
+    if (flat_mode_) index_counters(id);
+  }
+
+  // ---- true-literal-counter nogood index (flat mode) --------------------
+  // Per nogood, ng_count_ tracks (an upper bound on) how many of its
+  // literals currently hold. Assignments bump the count through static
+  // per-(copy, vendor) buckets of packed cycle ranges, trailed like every
+  // other search write; a candidate completes the nogood only if the count
+  // already covers every literal outside the candidate's copy, so the
+  // check is one bucket scan of branch-free range compares instead of the
+  // watched-literal index's move-and-requeue churn. When a bucket entry
+  // claims completion the solver re-derives the verdict with the reference
+  // scan, keeping conflict sets — and the whole search tree — bit-identical
+  // to scan mode.
+  //
+  // Counts may run STALE-HIGH, never stale-low: a learned nogood is born
+  // with its literals in force, and when those older assignments rewind,
+  // the trail (recorded before the nogood existed) cannot decrement its
+  // baseline. A stale-high count costs a false completion claim, which the
+  // reference scan refutes and repair_count() then corrects; soundness only
+  // needs count >= true-literal count, which increments, rewinds and
+  // repairs all preserve.
+
+  struct CntRef {
+    std::uint32_t range = 0;  // packed [lo, hi] the entry's group accepts
+    std::int32_t id = 0;      // nogood id
+    std::int32_t inc = 0;     // literals the group contributes when true
+    std::int32_t needs = 0;   // count needed from the *other* copies
+  };
+  struct GroupRef {
+    std::int32_t copy = 0;
+    std::int32_t inc = 0;
+  };
+
+  /// Buckets a fresh nogood's literals by copy and seeds its true-count
+  /// from the current assignment. A group (all literals on one copy) gets
+  /// an entry only if a single assignment can make it fully true — one
+  /// vendor, non-empty intersected range inside the packed cycle domain;
+  /// groups that can never hold keep the nogood unfireable and need no
+  /// entry.
+  void index_counters(int id) {
+    const CspNogood& ng = nogoods_[static_cast<std::size_t>(id)];
+    const int n = static_cast<int>(ng.lits.size());
+    ng_count_.resize(static_cast<std::size_t>(id) + 1, 0);
+    ng_entries_.resize(static_cast<std::size_t>(id) + 1);
+    int count = 0;
+    for (int i = 0; i < n; ++i) {
+      const int c = ng.lits[static_cast<std::size_t>(i)].copy;
+      bool first = true;
+      for (int j = 0; j < i; ++j) {
+        if (ng.lits[static_cast<std::size_t>(j)].copy == c) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;
+      const int vend = ng.lits[static_cast<std::size_t>(i)].vendor;
+      int k = 0;
+      int lo = 1;
+      int hi = util::kSwarCycleLimit - 1;
+      bool one_vendor = true;
+      bool all_true = true;
+      for (int j = 0; j < n; ++j) {
+        const NogoodLit& lit = ng.lits[static_cast<std::size_t>(j)];
+        if (lit.copy != c) continue;
+        ++k;
+        if (lit.vendor != vend) one_vendor = false;
+        lo = std::max(lo, lit.cycle_lo);
+        hi = std::min(hi, lit.cycle_hi);
+        if (!lit_true(lit)) all_true = false;
+      }
+      if (!one_vendor || lo > hi) continue;
+      cnt_buckets_[bucket_index(c, vend)].push_back(
+          CntRef{util::pack_cycle_range(lo, hi), id, k, n - k});
+      ng_entries_[static_cast<std::size_t>(id)].push_back(GroupRef{c, k});
+      if (all_true) count += k;
+    }
+    ng_count_[static_cast<std::size_t>(id)] = count;
+  }
+
+  /// Recomputes one nogood's true-count from scratch after a false
+  /// completion claim exposed it as stale-high. Untrailed on purpose: any
+  /// value the trail later restores was itself >= the true count at its
+  /// snapshot, so the soundness invariant survives the mix.
+  void repair_count(int id) {
+    const CspNogood& ng = nogoods_[static_cast<std::size_t>(id)];
+    int count = 0;
+    for (const GroupRef& group : ng_entries_[static_cast<std::size_t>(id)]) {
+      bool all_true = true;
+      for (const NogoodLit& lit : ng.lits) {
+        if (lit.copy == group.copy && !lit_true(lit)) {
+          all_true = false;
+          break;
+        }
+      }
+      if (all_true) count += group.inc;
+    }
+    ng_count_[static_cast<std::size_t>(id)] = count;
+  }
+
+  /// All literals of `id` hold under the current assignment extended by
+  /// the candidate — the reference scan's per-nogood check, extracted so
+  /// counter claims can be verified without scanning the whole by-copy
+  /// list.
+  bool nogood_fires(int id, int copy, int cycle, int v) const {
+    for (const NogoodLit& lit : nogoods_[static_cast<std::size_t>(id)].lits) {
+      if (!lit_true_under(lit, copy, cycle, v)) return false;
+    }
+    return true;
+  }
+
+  /// Counter-mode counterpart of watched_blocks(): scans the candidate's
+  /// (copy, vendor) bucket; an entry whose range holds the candidate cycle
+  /// and whose count already covers the other copies claims a completion.
+  /// Each claim is verified against the nogood's own literals (<= 4 of
+  /// them) — every nogood that truly fires on this candidate has a
+  /// claiming entry here, and entries sit in id order, so the first
+  /// verified claim IS the reference scan's verdict: same nogood, same
+  /// conflict set, bit for bit.
+  bool counter_blocks(int copy, int cycle, int v, Conf* conf) {
+    const std::vector<CntRef>& bucket = cnt_buckets_[bucket_index(copy, v)];
+    for (const CntRef& ref : bucket) {
+      ++watch_visits_;
+      if (!util::packed_range_contains(ref.range, cycle)) continue;
+      if (ng_count_[static_cast<std::size_t>(ref.id)] < ref.needs) continue;
+      if (nogood_fires(ref.id, copy, cycle, v)) {
+        if (conf != nullptr) {
+          for (const NogoodLit& lit :
+               nogoods_[static_cast<std::size_t>(ref.id)].lits) {
+            if (lit.copy != copy) conf->set(static_cast<std::size_t>(lit.copy));
+          }
+        }
+        return true;
+      }
+      // A refuted claim means the count ran stale-high. Cool it off so the
+      // bucket does not stay permanently hot.
+      repair_count(ref.id);
+    }
+    return false;
   }
 
   // ---- two-watched-literal nogood index ---------------------------------
@@ -589,12 +813,13 @@ class Search {
   /// current variable was derived from exactly those assignments.
   void maybe_learn(const Conf& conf) {
     if (learned_count_ >= kLearnCap) return;
-    const int size = conf_popcount(conf);
+    const int size = conf.popcount();
     if (size < 1 || size > 4) return;
     CspNogood nogood;
     nogood.lits.reserve(static_cast<std::size_t>(size));
-    for (std::size_t w = 0; w < conf.size(); ++w) {
-      for (std::uint64_t bits = conf[w]; bits != 0; bits &= bits - 1) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      for (std::uint64_t bits = conf.word_value(w); bits != 0;
+           bits &= bits - 1) {
         const int c = static_cast<int>(w * 64) + __builtin_ctzll(bits);
         const std::size_t cs = static_cast<std::size_t>(c);
         if (assigned_cycle_[cs] < 0) return;  // culprit must be assigned
@@ -613,7 +838,23 @@ class Search {
   /// copies to the conflict set: their assignments are what rules this
   /// value out.
   bool nogood_blocks(int copy, int cycle, int v, Conf* conf) const {
-    for (const int id : by_copy_[static_cast<std::size_t>(copy)]) {
+    const std::vector<int>& ids = by_copy_[static_cast<std::size_t>(copy)];
+    const std::uint64_t* packed =
+        packed_ok_ ? by_copy_packed_[static_cast<std::size_t>(copy)].data()
+                   : nullptr;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (packed != nullptr) {
+        // Branch-free reject on the literal that put this id in the
+        // by-copy list: if the candidate does not even satisfy that
+        // literal, the full check below would fail at it anyway.
+        const std::uint64_t p = packed[i];
+        if (static_cast<int>(p >> 32) != v ||
+            !util::packed_range_contains(static_cast<std::uint32_t>(p),
+                                         cycle)) {
+          continue;
+        }
+      }
+      const int id = ids[i];
       const CspNogood& nogood = nogoods_[static_cast<std::size_t>(id)];
       bool fired = true;
       for (const NogoodLit& lit : nogood.lits) {
@@ -636,7 +877,9 @@ class Search {
       if (fired) {
         if (conf != nullptr) {
           for (const NogoodLit& lit : nogood.lits) {
-            if (lit.copy != copy) conf_set(*conf, lit.copy);
+            if (lit.copy != copy) {
+              conf->set(static_cast<std::size_t>(lit.copy));
+            }
           }
         }
         return true;
@@ -694,12 +937,14 @@ class Search {
       bool blocked;
       if (record_obs_ && (ng_checks_++ & 63) == 0) {
         const std::int64_t t0 = obs::metrics_now_ns();
-        blocked = watch_mode_ ? watched_blocks(copy, cycle, v, conf)
-                              : nogood_blocks(copy, cycle, v, conf);
+        blocked = flat_mode_ ? counter_blocks(copy, cycle, v, conf)
+                  : watch_mode_ ? watched_blocks(copy, cycle, v, conf)
+                                : nogood_blocks(copy, cycle, v, conf);
         ng_sampled_ns_ += obs::metrics_now_ns() - t0;
       } else {
-        blocked = watch_mode_ ? watched_blocks(copy, cycle, v, conf)
-                              : nogood_blocks(copy, cycle, v, conf);
+        blocked = flat_mode_ ? counter_blocks(copy, cycle, v, conf)
+                  : watch_mode_ ? watched_blocks(copy, cycle, v, conf)
+                                : nogood_blocks(copy, cycle, v, conf);
       }
       if (blocked) return false;
     }
@@ -719,16 +964,32 @@ class Search {
       record_u64(&word);
       word |= 1ull << (copy & 63);
     }
+    // Flat mode: bump the true-literal counters this assignment satisfies.
+    // Trailed like every other write, so rewinds keep counts exact for any
+    // nogood that existed when the assignment committed.
+    if (flat_mode_) {
+      for (const CntRef& ref : cnt_buckets_[bucket_index(copy, v)]) {
+        if (util::packed_range_contains(ref.range, cycle)) {
+          int& count = ng_count_[static_cast<std::size_t>(ref.id)];
+          record(&count);
+          count += ref.inc;
+        }
+      }
+    }
 
-    // Resource usage / peak / area, over the whole occupancy interval.
+    // Resource usage / peak / area, over the whole occupancy interval. The
+    // usage row for (phase, vendor, class) is one contiguous cycle-indexed
+    // skyline row; assignments are O(latency) deltas on it and the value
+    // loop below queries it through the shared row_peak kernel.
+    const std::size_t cell0 = usage_row_index(meta.phase, v, meta.cls);
+    int* const row = usage_.data() + cell0;
     for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
-      int& use = usage(meta.phase, v, meta.cls, busy);
+      int& use = row[busy - 1];
       record(&use);
       ++use;
       int& pk = peak(v, meta.cls);
       if (use > pk) {
-        if (use >
-            spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls))) {
+        if (use > class_cap_[static_cast<std::size_t>(meta.cls)]) {
           // The previous occupiers of this cell alone overflow the cap
           // with us; our own occ bit for this cell is not yet set.
           if (conf != nullptr) {
@@ -749,7 +1010,7 @@ class Search {
       }
       if (learning_) {
         std::uint64_t& word =
-            occ_[usage_index(meta.phase, v, meta.cls, busy) * words_ +
+            occ_[(cell0 + static_cast<std::size_t>(busy - 1)) * words_ +
                  (static_cast<std::size_t>(copy) >> 6)];
         record_u64(&word);
         word |= 1ull << (copy & 63);
@@ -762,7 +1023,7 @@ class Search {
     // no O(vendors) rescan per propagation or per select/enumerate.
     for (int nb : neighbors_[static_cast<std::size_t>(copy)]) {
       if (assigned_vendor_[static_cast<std::size_t>(nb)] == v) {
-        if (conf != nullptr) conf_set(*conf, nb);
+        if (conf != nullptr) conf->set(static_cast<std::size_t>(nb));
         return false;
       }
       if (assigned_vendor_[static_cast<std::size_t>(nb)] >= 0) continue;
@@ -778,6 +1039,11 @@ class Search {
         std::uint64_t& mask = allowed_mask_[static_cast<std::size_t>(nb)];
         record_u64(&mask);
         mask &= ~(1ull << v);
+        if (flat_sel_) {
+          std::uint64_t& key = select_key_[static_cast<std::size_t>(nb)];
+          record_u64(&key);
+          key = select_key_of(static_cast<std::size_t>(nb));
+        }
         if (mask == 0) {
           // Every palette vendor of nb is forbidden; the first forbidder
           // of each vendor (excluding us) plus us make the wipeout.
@@ -788,7 +1054,9 @@ class Search {
             for (std::uint64_t bits = palette; bits != 0; bits &= bits - 1) {
               const int v2 = __builtin_ctzll(bits);
               const int setter = forbid_setter(nb, v2);
-              if (setter >= 0 && setter != copy) conf_set(*conf, setter);
+              if (setter >= 0 && setter != copy) {
+                conf->set(static_cast<std::size_t>(setter));
+              }
             }
           }
           return false;
@@ -804,6 +1072,10 @@ class Search {
       if (est_[ch] < cycle + meta.latency) {
         record(&est_[ch]);
         est_[ch] = cycle + meta.latency;
+        if (flat_sel_) {
+          record_u64(&select_key_[ch]);
+          select_key_[ch] = select_key_of(ch);
+        }
         if (learning_) {
           record(&est_setter_[ch]);
           est_setter_[ch] = copy;
@@ -813,7 +1085,7 @@ class Search {
           // shares the blame.
           if (conf != nullptr && learning_ && lst_setter_[ch] >= 0 &&
               lst_setter_[ch] != copy) {
-            conf_set(*conf, lst_setter_[ch]);
+            conf->set(static_cast<std::size_t>(lst_setter_[ch]));
           }
           return false;
         }
@@ -825,6 +1097,10 @@ class Search {
       if (lst_[pa] > cycle - parent_latency) {
         record(&lst_[pa]);
         lst_[pa] = cycle - parent_latency;
+        if (flat_sel_) {
+          record_u64(&select_key_[pa]);
+          select_key_[pa] = select_key_of(pa);
+        }
         if (learning_) {
           record(&lst_setter_[pa]);
           lst_setter_[pa] = copy;
@@ -832,7 +1108,7 @@ class Search {
         if (est_[pa] > lst_[pa]) {
           if (conf != nullptr && learning_ && est_setter_[pa] >= 0 &&
               est_setter_[pa] != copy) {
-            conf_set(*conf, est_setter_[pa]);
+            conf->set(static_cast<std::size_t>(est_setter_[pa]));
           }
           return false;
         }
@@ -847,7 +1123,34 @@ class Search {
   // assigned copies. The comparator is order-independent — (score asc,
   // degree desc, copy id asc) — and reproduces the historical first-seen
   // tie-breaking of the ascending full scan exactly.
+  /// Packed selection key: score:24 | (2^20-1 - degree):20 | copy:20,
+  /// ordering by exactly (score asc, degree desc, copy asc). Maintained
+  /// incrementally in select_key_ — recomputed (and trailed) at the three
+  /// assign-time sites that change est/lst/allowed — so the per-node argmin
+  /// is a pure min-scan of precomputed keys. A wipeout makes the window
+  /// momentarily negative and the key garbage, but assign fails and the
+  /// caller rewinds before any select can read it.
+  std::uint64_t select_key_of(std::size_t cs) const {
+    const std::uint64_t score =
+        static_cast<std::uint64_t>(lst_[cs] - est_[cs] + 1) *
+        static_cast<std::uint64_t>(__builtin_popcountll(allowed_mask_[cs]));
+    return (score << 40) | select_static_[cs];
+  }
+
   int select_variable() const {
+    if (flat_sel_) {
+      // Copies are unique per key, so the minimum key names the same
+      // variable the legacy comparator picks, with no branches in the
+      // loop. The construction-time guards behind flat_sel_ keep every
+      // field in range.
+      std::uint64_t best_key = ~0ull;
+      for (int c : unassigned_) {
+        const std::uint64_t key = select_key_[static_cast<std::size_t>(c)];
+        if (key < best_key) best_key = key;
+      }
+      return best_key == ~0ull ? -1
+                               : static_cast<int>(best_key & 0xFFFFF);
+    }
     int best = -1;
     long best_score = 0;
     for (int c : unassigned_) {
@@ -897,36 +1200,60 @@ class Search {
 
   struct Value {
     long long area_delta;
+    std::uint64_t order_key;  // cycle << 8 | vendor_rank, packed at push
     int cycle;
     int vendor;
+  };
+
+  /// A per-depth segment of the contiguous value arena.
+  struct ValueSpan {
+    Value* data;
+    int count;
+    Value* begin() const { return data; }
+    Value* end() const { return data + count; }
   };
 
   // Values ordered by (area_delta, cycle, vendor preference): no added area
   // first, then earlier cycles, then lower vendor rank. vendor_rank_ is the
   // identity on the first descent of every solve (and always, with seed 0),
   // which is the historical canonical order; restarts with a nonzero seed
-  // permute it deterministically per segment. Culprits for values pruned
-  // here go to `conf` (nullable) just like assign-time failures.
-  std::vector<Value>& enumerate_values(int copy, std::size_t depth,
-                                       Conf* conf) {
-    std::vector<Value>& values = value_pool_[depth];
-    values.clear();
+  // permute it deterministically per segment. The (cycle, rank) tail of the
+  // comparator is hoisted into one packed key per candidate at push time —
+  // rank is a permutation, so (area_delta, order_key) sorts identically to
+  // the historical three-way comparator without re-ranking per comparison.
+  // Culprits for values pruned here go to `conf` (nullable) just like
+  // assign-time failures.
+  ValueSpan enumerate_values(int copy, std::size_t depth, Conf* conf) {
+    Value* const out = value_arena_.data() + depth * value_cap_;
+    int count = 0;
     const CopyMeta& meta = copies_[static_cast<std::size_t>(copy)];
     const std::uint64_t allowed =
         allowed_mask_[static_cast<std::size_t>(copy)];
-    const int cap =
-        spec_.instance_cap(static_cast<dfg::ResourceClass>(meta.cls));
-    for (int cycle = est_[static_cast<std::size_t>(copy)];
-         cycle <= lst_[static_cast<std::size_t>(copy)]; ++cycle) {
-      for (std::uint64_t bits = allowed; bits != 0; bits &= bits - 1) {
-        const int v = __builtin_ctzll(bits);
-        int needed = 0;  // instances required over the occupancy interval
-        for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
-          needed = std::max(needed, usage(meta.phase, v, meta.cls, busy) + 1);
-        }
-        const int pk = peak_[static_cast<std::size_t>(v) *
-                                 dfg::kNumResourceClasses +
-                             static_cast<std::size_t>(meta.cls)];
+    const int cap = class_cap_[static_cast<std::size_t>(meta.cls)];
+    const int pk_base_lo = est_[static_cast<std::size_t>(copy)];
+    const int pk_base_hi = lst_[static_cast<std::size_t>(copy)];
+    const std::size_t row0 = usage_row_index(meta.phase, 0, meta.cls);
+    for (std::uint64_t bits = allowed; bits != 0; bits &= bits - 1) {
+      const int v = __builtin_ctzll(bits);
+      const int* const row =
+          usage_.data() + row0 +
+          static_cast<std::size_t>(v) * usage_vstride_;
+      const int pk = peak_[static_cast<std::size_t>(v) *
+                               dfg::kNumResourceClasses +
+                           static_cast<std::size_t>(meta.cls)];
+      const long long area_each =
+          offer_area_[static_cast<std::size_t>(meta.cls)]
+                     [static_cast<std::size_t>(v)];
+      const std::uint64_t rank =
+          static_cast<std::uint64_t>(
+              vendor_rank_[static_cast<std::size_t>(v)]);
+      for (int cycle = pk_base_lo; cycle <= pk_base_hi; ++cycle) {
+        // Instances required over the occupancy interval: one above the
+        // row's current skyline there.
+        const int needed =
+            (meta.latency == 1 ? row[cycle - 1]
+                               : row_peak(row, cycle, meta.latency)) +
+            1;
         long long area_delta = 0;
         if (needed > pk) {
           if (needed > cap) {
@@ -934,7 +1261,7 @@ class Search {
               // The occupiers of the fullest busy cycle alone exclude
               // this value.
               for (int busy = cycle; busy < cycle + meta.latency; ++busy) {
-                if (usage(meta.phase, v, meta.cls, busy) == needed - 1) {
+                if (row[busy - 1] == needed - 1) {
                   conf_add_cell(*conf, meta.phase, v, meta.cls, busy);
                   break;
                 }
@@ -942,38 +1269,35 @@ class Search {
             }
             continue;
           }
-          area_delta = static_cast<long long>(needed - pk) *
-                       offer_area_[static_cast<std::size_t>(meta.cls)]
-                                  [static_cast<std::size_t>(v)];
+          area_delta = static_cast<long long>(needed - pk) * area_each;
           if (area_committed_ + area_delta > spec_.area_limit) {
             if (conf != nullptr) conf_add_all_assigned(*conf, copy);
             continue;
           }
         }
-        values.push_back(Value{area_delta, cycle, v});
+        out[count++] =
+            Value{area_delta,
+                  (static_cast<std::uint64_t>(cycle) << 8) | rank, cycle, v};
       }
     }
-    std::sort(values.begin(), values.end(),
-              [this](const Value& a, const Value& b) {
-                if (a.area_delta != b.area_delta) {
-                  return a.area_delta < b.area_delta;
-                }
-                if (a.cycle != b.cycle) return a.cycle < b.cycle;
-                return vendor_rank_[static_cast<std::size_t>(a.vendor)] <
-                       vendor_rank_[static_cast<std::size_t>(b.vendor)];
-              });
-    return values;
+    std::sort(out, out + count, [](const Value& a, const Value& b) {
+      if (a.area_delta != b.area_delta) return a.area_delta < b.area_delta;
+      return a.order_key < b.order_key;
+    });
+    return ValueSpan{out, count};
   }
 
-  void filter_root_values(std::vector<Value>& values) const {
-    values.erase(
-        std::remove_if(values.begin(), values.end(),
-                       [this](const Value& value) {
-                         return !std::binary_search(
-                             root_values_.begin(), root_values_.end(),
-                             std::make_pair(value.cycle, value.vendor));
-                       }),
-        values.end());
+  /// In-place stable filter of a root span to the restricted value block;
+  /// returns the surviving count.
+  int filter_root_values(ValueSpan values) const {
+    Value* out = values.data;
+    for (Value* v = values.data; v != values.data + values.count; ++v) {
+      if (std::binary_search(root_values_.begin(), root_values_.end(),
+                             std::make_pair(v->cycle, v->vendor))) {
+        *out++ = *v;
+      }
+    }
+    return static_cast<int>(out - values.data);
   }
 
   /// Seed-dependent vendor preference for restart segment segment_index_.
@@ -1013,11 +1337,11 @@ class Search {
     Conf* conf = nullptr;
     if (learning_) {
       conf = &conf_pool_[depth];
-      conf_clear(*conf);
+      conf->reset();
       seed_domain_culprits(copy, *conf);
     }
-    std::vector<Value>& values = enumerate_values(copy, depth, conf);
-    if (at_restricted_root) filter_root_values(values);
+    ValueSpan values = enumerate_values(copy, depth, conf);
+    if (at_restricted_root) values.count = filter_root_values(values);
 
     for (const Value& value : values) {
       const Mark m = mark();
@@ -1034,7 +1358,9 @@ class Search {
             return Outcome::kExhausted;
           }
           conf_clear_bit(jump_conf_, copy);
-          conf_or(*conf, jump_conf_);
+          for (std::size_t w = 0; w < words_; ++w) {
+            conf->word_ref(w) |= jump_conf_[w];
+          }
         } else if (outcome == Outcome::kRestart) {
           rewind(m);
           restore_unassigned(copy);
@@ -1047,11 +1373,13 @@ class Search {
     }
     restore_unassigned(copy);
     if (learning_) {
-      conf_clear_bit(*conf, copy);  // never our own decision
+      conf->clear(static_cast<std::size_t>(copy));  // never our own decision
       // A restricted root only exhausted its block of values, which proves
       // nothing about the full domain — no nogood, and no parent anyway.
       if (!at_restricted_root) maybe_learn(*conf);
-      std::copy(conf->begin(), conf->end(), jump_conf_.begin());
+      for (std::size_t w = 0; w < words_; ++w) {
+        jump_conf_[w] = conf->word_value(w);
+      }
     }
     return Outcome::kExhausted;
   }
@@ -1121,27 +1449,48 @@ class Search {
   std::vector<int> unassigned_;      // swap-remove list for select_variable
   std::vector<int> unassigned_pos_;  // copy -> slot in unassigned_
   std::vector<int> usage_;
+  std::size_t usage_vstride_ = 0;  // usage_ stride between vendors
   std::vector<int> peak_;
+  /// spec_.instance_cap per class, cached: the cap sits on the per-cycle
+  /// usage loop and the value enumeration, too hot for an out-of-line call.
+  std::array<int, dfg::kNumResourceClasses> class_cap_{};
   long long area_committed_ = 0;
 
   std::vector<std::pair<int*, int>> trail_;
   std::vector<std::pair<long long*, long long>> trail_ll_;
   std::vector<std::pair<std::uint64_t*, std::uint64_t>> trail_u64_;
-  std::vector<std::vector<Value>> value_pool_;  // per-depth scratch
+  // Depth-major contiguous value storage: slot `depth * value_cap_` holds
+  // that depth's candidate list. Sized once at construction and never
+  // reallocated (dfs holds spans into it across recursion).
+  std::vector<Value> value_arena_;
+  std::size_t value_cap_ = 0;  // per-depth capacity (largest root domain)
+
+  // Packed-path gates (see the constructor's guard block).
+  bool packed_ok_ = false;   // cycles/copies/degrees fit the packed formats
+  bool flat_sel_ = false;    // packed-key variable selection active
+  std::vector<std::uint64_t> select_static_;  // (~degree):20 | copy:20
+  std::vector<std::uint64_t> select_key_;     // see select_key_of
 
   // Conflict-directed state (allocated only with learning on).
   std::size_t words_ = 0;            // bitset words per conflict set
   std::vector<Conf> conf_pool_;      // per-depth conflict sets
-  Conf jump_conf_;                   // wipeout explanation in flight upward
-  Conf assigned_bits_;               // bitset of assigned copies
+  ConfWords jump_conf_;              // wipeout explanation in flight upward
+  ConfWords assigned_bits_;          // bitset of assigned copies
   std::vector<std::uint64_t> occ_;   // per usage cell: occupier bitset
   std::vector<int> forbid_setter_;   // (copy, vendor) -> first forbidder
   std::vector<int> est_setter_, lst_setter_;  // copy -> window tightener
   std::vector<CspNogood> nogoods_;   // imported prefix + learned
   std::vector<std::vector<int>> by_copy_;  // copy -> nogood ids touching it
+  std::vector<std::vector<std::uint64_t>> by_copy_packed_;  // pack_lit mirror
   std::unordered_set<std::uint64_t> nogood_hashes_;
   int imported_count_ = 0;
   int learned_count_ = 0;
+
+  // True-literal-counter index (flat mode only; see counter_blocks).
+  bool flat_mode_ = false;
+  std::vector<std::vector<CntRef>> cnt_buckets_;  // copy*kMaxVendors+v
+  std::vector<int> ng_count_;                // id -> (upper bound on) trues
+  std::vector<std::vector<GroupRef>> ng_entries_;  // id -> indexed groups
 
   // Two-watched-literal index (watch mode only; see watched_blocks).
   struct WatchRef {

@@ -112,6 +112,17 @@ struct CspOptions {
   /// backjumps, learned nogoods, first solution — are bit-identical to
   /// scan mode. Off falls back to the scan-all check (A/B baselines).
   bool nogood_watch = true;
+  /// Flat structure-of-arrays inner loop. On, the solver runs the packed
+  /// hot path: true-literal-counter nogood propagation (per-(copy, vendor)
+  /// buckets of packed cycle ranges replace the watched-literal index, with
+  /// completions re-derived by the reference scan) and packed-key variable
+  /// selection. Off runs the legacy watched/scan machinery. Either way the
+  /// search tree — nodes, backjumps, statuses, costs, learned nogoods — is
+  /// bit-identical; the gate exists for A/B verification (EngineFlatStateTest,
+  /// the bench flat_ab section) until the legacy side is retired. Solves
+  /// whose lambda or copy count exceed the packed-representation guards
+  /// (util/mask_kernels.hpp) silently run the legacy path.
+  bool flat_state = true;
 };
 
 struct CspResult {
@@ -127,9 +138,11 @@ struct CspResult {
   long nodes = 0;
   long backjumps = 0;  ///< frames skipped past by conflict-directed jumps
   long restarts = 0;   ///< Luby re-descents taken
-  /// Watched-literal bucket entries examined by the nogood propagator
-  /// (0 with learning off or nogood_watch off). The scan this replaces
-  /// examined every nogood containing the candidate's copy.
+  /// Propagation-index entries examined by the nogood propagator: watched-
+  /// literal bucket entries in legacy watch mode, counter-bucket entries in
+  /// flat mode (0 with learning off or with plain scan propagation). The
+  /// scan these replace examined every nogood containing the candidate's
+  /// copy.
   long watch_visits = 0;
   /// Nogoods learned this solve (empty with learning off). Deterministic
   /// for kFeasible / kInfeasible / kNodeLimit outcomes; cleared for

@@ -120,6 +120,13 @@ struct PruningOptions {
   /// the combinatorial floor is free and usually as tight on the paper's
   /// markets.
   bool lp_bound = false;
+  /// Flat structure-of-arrays CSP inner loop (CspOptions::flat_state):
+  /// counter-based nogood propagation and packed-key selection. Never
+  /// changes results — either setting produces the same statuses, costs
+  /// and node counts; the knob exists for A/B verification
+  /// (EngineFlatStateTest, the bench flat_ab section) until the legacy
+  /// path is retired.
+  bool csp_flat_state = true;
 };
 
 /// Observability toggles for one synthesis call. Tracing is process-wide

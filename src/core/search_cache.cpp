@@ -125,6 +125,17 @@ std::uint64_t SearchCache::begin_op(const ProblemSpec& spec) {
       }
     }
   }
+  // Seal: everything recorded so far now has an epoch strictly below the
+  // new operation's, so fold the live flood into the frozen antichain and
+  // compact it once. This is the only place the O(n^2) dominance sweep
+  // runs — once per public operation, never on the dispatch path.
+  for (Shard& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard.mutex);
+    shard.frozen.insert(shard.frozen.end(), shard.live.begin(),
+                        shard.live.end());
+    shard.live.clear();
+    compact_frozen(shard.frozen);
+  }
   return ++epoch_;
 }
 
@@ -145,36 +156,32 @@ void SearchCache::record(const PaletteSignature& sig, std::uint64_t epoch,
                          std::uint64_t ctx, long long combo_cost) {
   obs::trace_instant("cache/record", "cost", combo_cost);
   Shard& shard = shards_[static_cast<std::size_t>(shard_of(sig))];
-  Entry entry{sig, combo_cost, epoch, ctx};
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
-  // Dominance-aware compaction, restricted to entries of the same scope so
-  // visibility rules are preserved: drop the newcomer if an at-least-as-
-  // visible entry already dominates it, and evict entries the newcomer
-  // dominates at equal-or-better visibility.
-  for (const Entry& existing : shard.entries) {
-    const bool wider_scope =
-        existing.epoch < epoch ||
-        (existing.epoch == epoch && existing.ctx == ctx &&
-         existing.combo_cost <= combo_cost);
-    if (wider_scope && entry_dominates(existing, sig)) return;
-  }
-  std::erase_if(shard.entries, [&](const Entry& existing) {
-    return existing.epoch == epoch && existing.ctx == ctx &&
-           existing.combo_cost >= combo_cost &&
-           entry_dominates(entry, existing.sig);
-  });
-  shard.entries.push_back(entry);
+  // Plain O(1) append into the live tier: record sits right after every
+  // completed refutation on the dispatch path, so it must not scan the
+  // shard (the old dominance-scan-on-insert was the hottest engine-side
+  // loop outside the solver). A redundant (dominated) entry changes no
+  // query() verdict — whatever it would answer, its dominator answers — so
+  // deferring compaction to the next begin_op() seal is sound.
+  shard.live.push_back(Entry{sig, combo_cost, epoch, ctx});
 }
 
 bool SearchCache::query(const PaletteSignature& sig, std::uint64_t epoch,
                         std::uint64_t ctx, bool frozen_only) const {
   for (const Shard& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    for (const Entry& entry : shard.entries) {
-      const bool visible =
-          entry.epoch < epoch ||
-          (!frozen_only && entry.epoch == epoch && entry.ctx == ctx);
-      if (visible && entry_dominates(entry, sig)) return true;
+    // Frozen entries were sealed by begin_op(), so entry.epoch < epoch
+    // holds for all of them by construction; live entries all carry the
+    // current epoch and are visible only to their own context.
+    for (const Entry& entry : shard.frozen) {
+      if (entry_dominates(entry, sig)) return true;
+    }
+    if (frozen_only) continue;
+    for (const Entry& entry : shard.live) {
+      if (entry.epoch == epoch && entry.ctx == ctx &&
+          entry_dominates(entry, sig)) {
+        return true;
+      }
     }
   }
   return false;
@@ -190,12 +197,38 @@ bool SearchCache::dominated(const PaletteSignature& sig, std::uint64_t epoch,
   return query(sig, epoch, ctx, /*frozen_only=*/false);
 }
 
+// Dominance antichain compaction of the frozen tier: drop an entry when a
+// surviving entry dominates it. Frozen entries are all visible to every
+// future query, so every query() verdict is unchanged by construction —
+// whatever the dropped entry would have answered, its dominator answers.
+// The surviving *set* is order-independent for strict dominance (the
+// maximal elements survive); mutually dominating pairs have equal
+// signatures, so which one the keep-first tie-break retains cannot affect
+// any verdict either.
+void SearchCache::compact_frozen(std::vector<Entry>& entries) {
+  std::vector<char> drop(entries.size(), 0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (j == i || drop[j]) continue;
+      if (!entry_dominates(entries[j], entries[i].sig)) continue;
+      if (entry_dominates(entries[i], entries[j].sig) && i < j) continue;
+      drop[i] = 1;
+      break;
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!drop[i]) entries[out++] = entries[i];
+  }
+  entries.resize(out);
+}
+
 void SearchCache::finalize_context(std::uint64_t epoch, std::uint64_t ctx,
                                    long long keep_below) {
   HT_TRACE_SPAN("cache/finalize");
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    std::erase_if(shard.entries, [&](const Entry& entry) {
+    std::erase_if(shard.live, [&](const Entry& entry) {
       return entry.epoch == epoch && entry.ctx == ctx &&
              entry.combo_cost >= keep_below;
     });
@@ -206,7 +239,7 @@ std::size_t SearchCache::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
-    total += shard.entries.size();
+    total += shard.frozen.size() + shard.live.size();
   }
   return total;
 }
@@ -214,7 +247,8 @@ std::size_t SearchCache::size() const {
 void SearchCache::clear() {
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
-    shard.entries.clear();
+    shard.frozen.clear();
+    shard.live.clear();
   }
   std::unique_lock<std::shared_mutex> lock(lp_mutex_);
   lp_bounds_.clear();

@@ -135,13 +135,27 @@ class SearchCache {
     std::uint64_t epoch = 0;
     std::uint64_t ctx = 0;
   };
+  /// Two-tier storage. `frozen` holds entries sealed by begin_op() (their
+  /// epoch is strictly below the running operation's), kept as a compacted
+  /// dominance antichain — this is the only tier the per-combo
+  /// dominated_frozen() dispatch query scans, so it must stay small.
+  /// `live` holds the current epoch's flood in append order: record() is a
+  /// plain O(1) push_back, finalize_context() prunes a context to its
+  /// deterministic prefix by cost, and the next begin_op() folds the
+  /// survivors into `frozen` and re-compacts once per operation.
   struct Shard {
     mutable std::shared_mutex mutex;
-    std::vector<Entry> entries;
+    std::vector<Entry> frozen;
+    std::vector<Entry> live;
   };
   static constexpr int kShards = 16;
 
   static bool entry_dominates(const Entry& entry, const PaletteSignature& q);
+  /// Drops every entry dominated by another surviving entry (mutually
+  /// dominating pairs keep the first). Only valid for the frozen tier,
+  /// where all entries are visible to all future queries, so dropping a
+  /// dominated entry never changes a query() verdict.
+  static void compact_frozen(std::vector<Entry>& entries);
   int shard_of(const PaletteSignature& sig) const;
   bool query(const PaletteSignature& sig, std::uint64_t epoch,
              std::uint64_t ctx, bool frozen_only) const;

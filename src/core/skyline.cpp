@@ -1,0 +1,90 @@
+#include "core/skyline.hpp"
+
+#include <algorithm>
+
+#include "util/status.hpp"
+
+namespace ht::core {
+
+void OccupancySkyline::reset(int lambda) {
+  lambda_ = lambda;
+  instances_.assign(static_cast<std::size_t>(lambda), 0);
+  area_.assign(static_cast<std::size_t>(lambda), 0);
+  peak_instances_ = 0;
+  peak_area_ = 0;
+  peak_dirty_ = false;
+}
+
+void OccupancySkyline::add(int start, int len, int instances,
+                           long long area) {
+  util::check_internal(start >= 1 && start + len - 1 <= lambda_,
+                       "skyline: interval outside 1..lambda");
+  for (int cycle = start; cycle < start + len; ++cycle) {
+    const std::size_t i = static_cast<std::size_t>(cycle - 1);
+    instances_[i] += instances;
+    area_[i] += area;
+    // Adds only raise cells, so the cached peaks stay exact (when clean).
+    if (!peak_dirty_) {
+      peak_instances_ = std::max(peak_instances_, instances_[i]);
+      peak_area_ = std::max(peak_area_, area_[i]);
+    }
+  }
+}
+
+void OccupancySkyline::remove(int start, int len, int instances,
+                              long long area) {
+  util::check_internal(start >= 1 && start + len - 1 <= lambda_,
+                       "skyline: interval outside 1..lambda");
+  for (int cycle = start; cycle < start + len; ++cycle) {
+    const std::size_t i = static_cast<std::size_t>(cycle - 1);
+    instances_[i] -= instances;
+    area_[i] -= area;
+  }
+  // A removal can lower the peak; recompute lazily on the next query.
+  peak_dirty_ = true;
+}
+
+int OccupancySkyline::peak_instances() const {
+  if (peak_dirty_) {
+    peak_instances_ =
+        lambda_ == 0 ? 0 : util::range_max_i32(instances_.data(), lambda_);
+    peak_area_ = 0;
+    for (long long a : area_) peak_area_ = std::max(peak_area_, a);
+    peak_dirty_ = false;
+  }
+  return peak_instances_;
+}
+
+long long OccupancySkyline::peak_area() const {
+  peak_instances();  // refreshes both caches
+  return peak_area_;
+}
+
+int energetic_interval_floor(const std::vector<EnergeticItem>& items,
+                             int lambda) {
+  if (lambda <= 0) return 0;
+  int floor = 0;
+  // ending.ref(b) accumulates the demand of items whose occupancy ends at b
+  // among those confined to [a, lambda]; re-bucketed per window start a.
+  // The O(1) stamped reset is what makes the per-a rebucketing cheap.
+  util::FastResetVector<long long> ending(
+      static_cast<std::size_t>(lambda) + 1);
+  for (int a = 1; a <= lambda; ++a) {
+    ending.reset();
+    for (const EnergeticItem& item : items) {
+      if (item.lo >= a && item.hi <= lambda) {
+        ending.ref(static_cast<std::size_t>(item.hi)) += item.demand;
+      }
+    }
+    long long demand = 0;
+    for (int b = a; b <= lambda; ++b) {
+      demand += ending.get(static_cast<std::size_t>(b));
+      const long long width = b - a + 1;
+      const long long need = (demand + width - 1) / width;
+      floor = std::max(floor, static_cast<int>(need));
+    }
+  }
+  return floor;
+}
+
+}  // namespace ht::core

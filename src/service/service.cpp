@@ -156,9 +156,18 @@ void SynthesisService::run_job(PendingJob job) {
       std::lock_guard<std::mutex> engine_lock(group->mutex);
       reply.response = group->engine.run(job.request);
     }
+    const double engine_seconds = seconds_between(
+        dispatched, std::chrono::steady_clock::now());
     const core::OptimizeStats& stats = reply.response.result.stats;
     std::lock_guard<std::mutex> lock(mutex_);
     ++group->requests;
+    group->engine_seconds += engine_seconds;
+    if (!reply.response.result.metrics.empty()) {
+      group->metered_csp_ns += reply.response.result.metrics
+                                   .stage(obs::Stage::kCspDispatch)
+                                   .total_ns;
+      group->metered_nodes += stats.nodes_total;
+    }
     group->nodes_total += stats.nodes_total;
     group->combos_tried += stats.combos_tried;
     group->combos_skipped_cache += stats.combos_skipped_cache;
@@ -238,6 +247,21 @@ Json SynthesisService::stats() const {
     entry.set("last_combos_skipped_cache",
               group->last_combos_skipped_cache);
     entry.set("last_lb_prunes", group->last_lb_prunes);
+    // Node throughput of this warm engine: total nodes over wall seconds
+    // spent in run(), plus — when requests collected per-stage metrics —
+    // the tighter csp_dispatch-only ns/node. Operators watch these land
+    // when a solver-speed change rolls out.
+    entry.set("engine_seconds", group->engine_seconds);
+    if (group->engine_seconds > 0.0) {
+      entry.set("nodes_per_sec",
+                static_cast<double>(group->nodes_total) /
+                    group->engine_seconds);
+    }
+    if (group->metered_nodes > 0) {
+      entry.set("csp_ns_per_node",
+                static_cast<double>(group->metered_csp_ns) /
+                    static_cast<double>(group->metered_nodes));
+    }
     markets.push_back(std::move(entry));
   }
   json.set("markets", std::move(markets));

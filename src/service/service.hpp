@@ -101,6 +101,14 @@ class SynthesisService {
     long long combos_skipped_cache = 0;
     long long lb_prunes = 0;
     long long nogoods_learned = 0;
+    /// Wall seconds this group's engine spent inside run(), and the
+    /// csp_dispatch stage nanoseconds of requests that collected metrics
+    /// (with the nodes those requests ran, so the derived ns/node uses a
+    /// consistent denominator). stats() derives nodes/sec from these — the
+    /// operator-visible form of the solver's node throughput.
+    double engine_seconds = 0.0;
+    long long metered_csp_ns = 0;
+    long long metered_nodes = 0;
     // Same counters for the most recent request — the warm-state win is
     // directly visible as last_* improving on the first request.
     long long last_nodes_total = 0;

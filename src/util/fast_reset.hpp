@@ -1,0 +1,131 @@
+// Version-stamped containers with O(1) bulk reset.
+//
+// A FastResetVector<T> behaves like a vector whose every element reverts to
+// a default value on reset(), except that reset() is a single version-counter
+// increment instead of an O(n) fill. Each slot carries the version at which
+// it was last written; a read whose slot version differs from the container
+// version yields the default. The pattern comes from scratch buffers that
+// are cleared once per search node / per sweep iteration but touched in only
+// a few places between clears — exactly where an O(n) clear dominates.
+//
+// FastResetBitset is the same discipline at word granularity: a bitset whose
+// reset() bumps one counter, with per-64-bit-word stamps. Word-level
+// accessors (word_value / word_ref) exist so callers can OR whole occupier
+// words in without per-bit stamp checks.
+//
+// Wraparound: versions are 32-bit. When the counter would wrap to 0 the
+// container does one honest O(n) clear of the stamp array and restarts at
+// version 1 — stale stamps can therefore never alias a live version. The
+// property tests in tests/fast_reset_test.cpp drive the counter across the
+// wrap to pin this down.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ht::util {
+
+template <class T>
+class FastResetVector {
+ public:
+  FastResetVector() = default;
+  explicit FastResetVector(std::size_t size, T default_value = T{})
+      : default_(default_value) {
+    resize(size);
+  }
+
+  void resize(std::size_t size) {
+    slots_.resize(size, default_);
+    stamps_.resize(size, 0);
+  }
+
+  std::size_t size() const { return slots_.size(); }
+
+  /// O(1): every slot reads as the default until written again.
+  void reset() {
+    if (++version_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      version_ = 1;
+    }
+  }
+
+  T get(std::size_t i) const {
+    return stamps_[i] == version_ ? slots_[i] : default_;
+  }
+
+  /// Reference to the slot, revived to the default first if it is stale.
+  T& ref(std::size_t i) {
+    if (stamps_[i] != version_) {
+      stamps_[i] = version_;
+      slots_[i] = default_;
+    }
+    return slots_[i];
+  }
+
+  void set(std::size_t i, T value) {
+    stamps_[i] = version_;
+    slots_[i] = value;
+  }
+
+ private:
+  T default_{};
+  std::uint32_t version_ = 1;
+  std::vector<T> slots_;
+  std::vector<std::uint32_t> stamps_;
+};
+
+class FastResetBitset {
+ public:
+  FastResetBitset() = default;
+  explicit FastResetBitset(std::size_t bits) { resize(bits); }
+
+  void resize(std::size_t bits) {
+    words_.resize((bits + 63) / 64, 0);
+    stamps_.resize(words_.size(), 0);
+  }
+
+  std::size_t num_words() const { return words_.size(); }
+
+  /// O(1) clear of every bit.
+  void reset() {
+    if (++version_ == 0) {
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      version_ = 1;
+    }
+  }
+
+  void set(std::size_t bit) { word_ref(bit >> 6) |= 1ull << (bit & 63); }
+  void clear(std::size_t bit) { word_ref(bit >> 6) &= ~(1ull << (bit & 63)); }
+  bool test(std::size_t bit) const {
+    return (word_value(bit >> 6) >> (bit & 63)) & 1u;
+  }
+
+  std::uint64_t word_value(std::size_t w) const {
+    return stamps_[w] == version_ ? words_[w] : 0;
+  }
+
+  /// Reference to a live word (revived to zero if stale) — for bulk ORs.
+  std::uint64_t& word_ref(std::size_t w) {
+    if (stamps_[w] != version_) {
+      stamps_[w] = version_;
+      words_[w] = 0;
+    }
+    return words_[w];
+  }
+
+  int popcount() const {
+    int n = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      n += __builtin_popcountll(word_value(w));
+    }
+    return n;
+  }
+
+ private:
+  std::uint32_t version_ = 1;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint32_t> stamps_;
+};
+
+}  // namespace ht::util

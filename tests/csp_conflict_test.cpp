@@ -308,6 +308,7 @@ TEST(CspConflictTest, WatchedPropagationMatchesScanExactly) {
     CspOptions scan;
     scan.max_nodes = 50'000'000;
     scan.nogood_watch = false;
+    scan.flat_state = false;
     const CspResult reference = solve(*spec, scan);
     EXPECT_EQ(reference.watch_visits, 0);
 
@@ -362,6 +363,74 @@ TEST(CspConflictTest, WatchedImportedNogoodsMatchScan) {
     EXPECT_EQ(watch_student.learned[k], scan_student.learned[k]);
   }
   EXPECT_GT(watch_student.watch_visits, 0);
+}
+
+TEST(CspConflictTest, FlatCounterPropagationMatchesScanExactly) {
+  // The flat true-literal-counter path replaces the watched-literal index
+  // but keeps the same contract: every completion claim is re-derived by
+  // the reference scan, so the search tree — status, nodes, backjumps,
+  // restarts, learned nogoods, first solution — matches the scan-all
+  // baseline bit for bit. Stale-high counters may cause extra (refuted)
+  // claims; those change only watch_visits, never the tree.
+  const ProblemSpec contested = mixed_contention_spec();
+  const ProblemSpec feasible = chain_spec(24, 4, 2);
+  const ProblemSpec star = star_spec(5, 2, 4);
+  for (const ProblemSpec* spec : {&contested, &feasible, &star}) {
+    CspOptions scan;
+    scan.max_nodes = 50'000'000;
+    scan.nogood_watch = false;
+    scan.flat_state = false;
+    const CspResult reference = solve(*spec, scan);
+
+    CspOptions flat = scan;
+    flat.flat_state = true;
+    const CspResult flat_result = solve(*spec, flat);
+
+    ASSERT_EQ(flat_result.status, reference.status);
+    EXPECT_EQ(flat_result.nodes, reference.nodes);
+    EXPECT_EQ(flat_result.backjumps, reference.backjumps);
+    EXPECT_EQ(flat_result.restarts, reference.restarts);
+    ASSERT_EQ(flat_result.learned.size(), reference.learned.size());
+    for (std::size_t k = 0; k < reference.learned.size(); ++k) {
+      EXPECT_EQ(flat_result.learned[k], reference.learned[k]);
+    }
+    if (reference.status == CspResult::Status::kFeasible) {
+      expect_same_solution(reference.solution, flat_result.solution);
+    }
+    if (spec == &contested) {
+      EXPECT_GT(flat_result.watch_visits, 0);
+    }
+  }
+}
+
+TEST(CspConflictTest, FlatImportedNogoodsMatchScan) {
+  // Imported nogoods arrive before any assignment, so their counters seed
+  // at zero and climb with the trail — the one case where counts stay
+  // exact. They must block the same candidates the scan does.
+  const ProblemSpec spec = star_spec(5, 2, 4);
+  CspOptions teacher_options;
+  teacher_options.max_nodes = 20'000'000;
+  const CspResult teacher = solve(spec, teacher_options);
+  ASSERT_EQ(teacher.status, CspResult::Status::kInfeasible);
+  ASSERT_FALSE(teacher.learned.empty());
+
+  CspOptions scan = teacher_options;
+  scan.imported = &teacher.learned;
+  scan.nogood_watch = false;
+  scan.flat_state = false;
+  const CspResult scan_student = solve(spec, scan);
+
+  CspOptions flat = scan;
+  flat.flat_state = true;
+  const CspResult flat_student = solve(spec, flat);
+
+  ASSERT_EQ(flat_student.status, scan_student.status);
+  EXPECT_EQ(flat_student.nodes, scan_student.nodes);
+  EXPECT_EQ(flat_student.backjumps, scan_student.backjumps);
+  ASSERT_EQ(flat_student.learned.size(), scan_student.learned.size());
+  for (std::size_t k = 0; k < scan_student.learned.size(); ++k) {
+    EXPECT_EQ(flat_student.learned[k], scan_student.learned[k]);
+  }
 }
 
 TEST(CspConflictTest, LearnedNogoodsDroppedOnCancel) {

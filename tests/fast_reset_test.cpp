@@ -1,0 +1,173 @@
+// Property tests for the version-stamped O(1)-reset containers
+// (util/fast_reset.hpp). The solver leans on two promises: a reset makes
+// every slot read as default without touching memory, and the 32-bit
+// version counter can wrap without a stale stamp ever aliasing a live
+// version. Both are driven explicitly here, including across the wrap.
+#include "util/fast_reset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ht::util {
+namespace {
+
+TEST(FastResetVectorTest, ReadsDefaultUntilWritten) {
+  FastResetVector<int> v(8, -1);
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), -1);
+  v.set(3, 42);
+  EXPECT_EQ(v.get(3), 42);
+  EXPECT_EQ(v.get(4), -1);
+}
+
+TEST(FastResetVectorTest, ResetRevertsEverySlot) {
+  FastResetVector<long long> v(16, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v.set(i, static_cast<long long>(i) * 7 + 1);
+  }
+  v.reset();
+  for (std::size_t i = 0; i < v.size(); ++i) EXPECT_EQ(v.get(i), 0);
+}
+
+TEST(FastResetVectorTest, RefRevivesStaleSlotToDefault) {
+  FastResetVector<int> v(4, 5);
+  v.ref(2) += 10;  // 5 -> 15
+  EXPECT_EQ(v.get(2), 15);
+  v.reset();
+  // After reset the slot is stale; ref must hand back the default, not the
+  // leftover 15.
+  EXPECT_EQ(v.ref(2), 5);
+  v.ref(2) += 1;
+  EXPECT_EQ(v.get(2), 6);
+}
+
+TEST(FastResetVectorTest, ReuseAfterResetInterleaved) {
+  // Randomized model check: the container must agree with a plain vector
+  // that is honestly cleared on every reset.
+  util::Rng rng(7);
+  FastResetVector<int> fast(32, 0);
+  std::vector<int> model(32, 0);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t r = rng.next_u64();
+    const std::size_t i = static_cast<std::size_t>(r % 32);
+    switch ((r >> 8) % 4) {
+      case 0:
+        fast.set(i, static_cast<int>((r >> 16) % 1000));
+        model[i] = static_cast<int>((r >> 16) % 1000);
+        break;
+      case 1:
+        fast.ref(i) += 3;
+        model[i] += 3;
+        break;
+      case 2:
+        ASSERT_EQ(fast.get(i), model[i]) << "step " << step;
+        break;
+      default:
+        fast.reset();
+        std::fill(model.begin(), model.end(), 0);
+        break;
+    }
+  }
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(fast.get(i), model[i]);
+  }
+}
+
+TEST(FastResetVectorTest, VersionWraparoundCannotAliasStaleStamps) {
+  // Write at an early version, then force the 32-bit counter across the
+  // wrap. If wraparound restarted at a previously-used version without
+  // clearing stamps, the old write would resurrect.
+  FastResetVector<int> v(4, 0);
+  v.set(1, 99);
+  EXPECT_EQ(v.get(1), 99);
+  // The counter starts at 1; ~2^32 resets force the honest stamp clear.
+  const std::uint64_t to_wrap = (1ull << 32) + 3;
+  for (std::uint64_t i = 0; i < to_wrap; ++i) v.reset();
+  EXPECT_EQ(v.get(1), 0);
+  v.set(2, 7);
+  EXPECT_EQ(v.get(2), 7);
+  EXPECT_EQ(v.get(1), 0);
+}
+
+TEST(FastResetBitsetTest, SetTestClearAndReset) {
+  FastResetBitset b(130);  // crosses word boundaries
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(129));
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_EQ(b.popcount(), 3);
+  b.clear(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.popcount(), 2);
+  b.reset();
+  EXPECT_EQ(b.popcount(), 0);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_FALSE(b.test(129));
+}
+
+TEST(FastResetBitsetTest, WordAccessorsSeeStaleWordsAsZero) {
+  FastResetBitset b(128);
+  b.set(3);
+  b.set(70);
+  EXPECT_EQ(b.word_value(0), 1ull << 3);
+  EXPECT_EQ(b.word_value(1), 1ull << 6);
+  b.reset();
+  EXPECT_EQ(b.word_value(0), 0u);
+  EXPECT_EQ(b.word_value(1), 0u);
+  // word_ref on a stale word must revive it to zero before the OR.
+  b.word_ref(1) |= 0xff00ull;
+  EXPECT_EQ(b.word_value(1), 0xff00ull);
+  EXPECT_EQ(b.word_value(0), 0u);
+}
+
+TEST(FastResetBitsetTest, RandomizedAgainstHonestClear) {
+  util::Rng rng(11);
+  FastResetBitset fast(96);
+  std::vector<bool> model(96, false);
+  for (int step = 0; step < 20000; ++step) {
+    const std::uint64_t r = rng.next_u64();
+    const std::size_t bit = static_cast<std::size_t>(r % 96);
+    switch ((r >> 8) % 4) {
+      case 0:
+        fast.set(bit);
+        model[bit] = true;
+        break;
+      case 1:
+        fast.clear(bit);
+        model[bit] = false;
+        break;
+      case 2:
+        ASSERT_EQ(fast.test(bit), model[bit]) << "step " << step;
+        break;
+      default:
+        fast.reset();
+        std::fill(model.begin(), model.end(), false);
+        break;
+    }
+  }
+  int bits = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    EXPECT_EQ(fast.test(i), model[i]);
+    bits += model[i] ? 1 : 0;
+  }
+  EXPECT_EQ(fast.popcount(), bits);
+}
+
+TEST(FastResetBitsetTest, VersionWraparoundCannotResurrectBits) {
+  FastResetBitset b(64);
+  b.set(5);
+  const std::uint64_t to_wrap = (1ull << 32) + 2;
+  for (std::uint64_t i = 0; i < to_wrap; ++i) b.reset();
+  EXPECT_FALSE(b.test(5));
+  EXPECT_EQ(b.popcount(), 0);
+}
+
+}  // namespace
+}  // namespace ht::util

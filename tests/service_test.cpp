@@ -249,6 +249,11 @@ TEST(SynthesisServiceTest, WarmReuseIsBitIdenticalToColdAndMeasurablyFaster) {
   EXPECT_LT(market.get("last_combos_tried").as_int(),
             first.response.result.stats.combos_tried);
   EXPECT_EQ(stats.get("service").get("completed").as_int(), 3);
+  // Node throughput per warm engine: wall time in run() is always
+  // tracked, so nodes/sec is present whenever the engine ran at all.
+  EXPECT_GT(market.get("engine_seconds").as_double(), 0.0);
+  ASSERT_TRUE(market.has("nodes_per_sec"));
+  EXPECT_GE(market.get("nodes_per_sec").as_double(), 0.0);
 }
 
 TEST(SynthesisServiceTest, MarketsGetSeparateWarmEngines) {

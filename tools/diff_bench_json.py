@@ -86,6 +86,36 @@ def note_metric_drift(key, base, cand):
         if base_prunes.get(name, 0) != cand_prunes.get(name, 0):
             print(f"diff_bench_json: note: {key}: prunes[{name!r}] "
                   f"{base_prunes.get(name, 0)} -> {cand_prunes.get(name, 0)}")
+    note_ns_per_node(key, base, cand)
+
+
+def ns_per_node(row):
+    """csp_dispatch stage nanoseconds per CSP node, or None.
+
+    The per-stage ns/node is the solver's single-thread throughput metric
+    (the one the flat-state work is judged on): total csp_dispatch stage
+    time over every node the row's sub-searches ran.
+    """
+    stage = (row.get("metrics") or {}).get("stages", {}).get("csp_dispatch")
+    nodes = row.get("nodes_total", 0)
+    if not stage or nodes <= 0:
+        return None
+    return stage.get("total_ns", 0) / nodes
+
+
+def note_ns_per_node(key, base, cand):
+    """Informational throughput note so ns/node trends show up in review.
+
+    Never fails the diff: wall-clock-derived, so load- and
+    machine-dependent — but a consistent multi-row drift is exactly what a
+    reviewer wants surfaced.
+    """
+    base_npn, cand_npn = ns_per_node(base), ns_per_node(cand)
+    if base_npn is None or cand_npn is None:
+        return
+    ratio = cand_npn / base_npn if base_npn > 0 else float("inf")
+    print(f"diff_bench_json: note: {key}: csp_dispatch ns/node "
+          f"{base_npn:.1f} -> {cand_npn:.1f} ({ratio:.2f}x)")
 
 
 def main():
