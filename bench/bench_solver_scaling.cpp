@@ -613,6 +613,123 @@ void print_bounds_study() {
             "refute)\n");
 }
 
+// Racing portfolio A/B: the same contested rows solved exact-only and with
+// `PortfolioOptions::enabled` (greedy + SLS incumbent seeders racing the
+// exact enumeration; see core/incumbent_pool.hpp). The portfolio trades
+// none of the answer for time-to-optimal: members supply incumbent *costs*
+// while every proof still comes from the exact dispatch loop, so on any
+// row the exact side proves optimal the portfolio must report the
+// identical status and cost. On budget-truncated rows the pool incumbent
+// can only upgrade the answer (unknown -> feasible, or a cheaper feasible
+// cost) — never weaken it. Either contract violated sets the process exit
+// code; the CI bench-smoke step runs this section via `--fast`. The
+// headline column is time-to-best: seconds until a binding at the final
+// committed cost first existed (the seeders collapse it, the proof then
+// catches up).
+bool g_portfolio_mismatch = false;
+
+void print_portfolio_study() {
+  std::puts("=== Racing portfolio A/B (exact-only vs exact+greedy+SLS) ===\n");
+
+  struct Row {
+    std::string name;
+    core::ProblemSpec spec;
+    bool screens;  ///< static screens + cost bounds on this row
+  };
+  std::vector<Row> rows;
+  // The contested regime the portfolio targets: the polynom row runs
+  // screens/bounds off so every cheap-set refutation is real CSP grind
+  // (the cache-study shape) and the SLS binder races a ~1s proof; the
+  // high-n size-sweep rows keep the production pruning stack. mi=2 eases
+  // capacity so the n=30/35 rows prove optimal — there the exact loop
+  // only *finds* the winner late in the grind while a phase-A member
+  // publishes the same cost in milliseconds.
+  rows.push_back({"polynom contested", suite_like_spec("polynom", 0, 1),
+                  false});
+  rows.push_back({"random n=25", random_spec(25, 1025), true});
+  // One extra cycle of slack + mi=2 keeps the high-n rows provable while
+  // pushing the winning palette deep enough into the cheapest-first order
+  // that the exact loop finds it late.
+  for (const int n : {30, 36}) {
+    core::ProblemSpec spec =
+        random_spec(n, 1000 + static_cast<std::uint64_t>(n));
+    spec.max_instances_per_offer = 2;
+    spec.lambda_detection += 1;
+    spec.lambda_recovery += 1;
+    rows.push_back({"random n=" + std::to_string(n) + " mi=2 slack",
+                    std::move(spec), true});
+  }
+
+  const auto rank = [](core::OptStatus status) {
+    switch (status) {
+      case core::OptStatus::kUnknown: return 0;
+      case core::OptStatus::kFeasible: return 1;
+      default: return 2;
+    }
+  };
+
+  util::TablePrinter table({"benchmark", "status", "mc", "off s", "on s",
+                            "off t-best", "on t-best", "t-best speedup",
+                            "winner", "incumbents", "match"});
+  for (const Row& row : rows) {
+    core::SynthesisRequest request;
+    request.spec = row.spec;
+    request.pruning.static_screens = row.screens;
+    request.pruning.cost_bounds = row.screens && !g_no_bounds;
+    request.limits.time_limit_seconds = 120;
+    request.observability.metrics = true;
+
+    util::Timer timer;
+    const core::OptimizeResult off = core::synthesize(request).result;
+    const double off_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("portfolio_off/" + row.name, row.spec, 1,
+                                 off, off_s));
+
+    request.portfolio.enabled = true;
+    timer.reset();
+    const core::OptimizeResult on = core::synthesize(request).result;
+    const double on_s = timer.elapsed_seconds();
+    g_json.add(benchx::record_of("portfolio_on/" + row.name, row.spec, 1,
+                                 on, on_s));
+
+    // Proved rows: strict identity. Truncated rows: upgrade-only (proof
+    // strength never weaker, committed cost never higher).
+    const bool match =
+        off.status == core::OptStatus::kOptimal ||
+                off.status == core::OptStatus::kInfeasible
+            ? (on.status == off.status && on.cost == off.cost)
+            : (rank(on.status) >= rank(off.status) &&
+               (!off.has_solution() || !on.has_solution() ||
+                on.cost <= off.cost));
+    if (!match) {
+      g_portfolio_mismatch = true;
+      std::printf("MISMATCH on %s: exact-only %s/%lld vs portfolio %s/%lld\n",
+                  row.name.c_str(), core::to_string(off.status).c_str(),
+                  off.cost, core::to_string(on.status).c_str(), on.cost);
+    }
+    const double off_best = off.stats.time_to_best_seconds;
+    const double on_best = on.stats.time_to_best_seconds;
+    table.add_row(
+        {row.name, core::to_string(on.status),
+         on.has_solution() ? util::format_money(on.cost) : std::string("-"),
+         util::format_double(off_s, 3), util::format_double(on_s, 3),
+         off_best >= 0 ? util::format_double(off_best, 3) : std::string("-"),
+         on_best >= 0 ? util::format_double(on_best, 3) : std::string("-"),
+         off_best >= 0 && on_best >= 0
+             ? util::format_double(off_best / std::max(on_best, 1e-3), 1) +
+                   "x"
+             : std::string("-"),
+         core::portfolio_member_name(on.stats.best_source),
+         std::to_string(on.stats.incumbents_published),
+         match ? "yes" : "NO"});
+  }
+  benchx::print_table(table, "portfolio time-to-optimal A/B (1 thread)");
+  std::puts("(the exact loop still supplies every proof; the seeders only "
+            "publish\nincumbent costs, so proved rows must be identical "
+            "and t-best — when a\nbinding at the final cost first existed "
+            "— is the portfolio's win)\n");
+}
+
 void BM_ExactByOps(benchmark::State& state) {
   const core::ProblemSpec spec =
       random_spec(static_cast<int>(state.range(0)),
@@ -646,9 +763,9 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 // `--json <path>`, `--fast` and `--no-bounds` before google-benchmark sees
 // the argv, then run the reproduction, the parallel-scaling / pruning /
 // bounds / cache sections, and the registered timings. `--fast` runs only
-// the node-budgeted pruning and cache studies — the subset whose statuses
-// and costs are reproducible under any load, which is what the CI
-// bench-smoke diff checks. `--no-bounds` disables the lower bounds
+// the pruning / cache / flat-state / portfolio studies — the subset whose
+// statuses and costs are reproducible under any load, which is what the
+// CI bench-smoke diff checks. `--no-bounds` disables the lower bounds
 // everywhere (the bounds study still runs its own explicit A/B).
 int main(int argc, char** argv) {
   const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
@@ -677,6 +794,7 @@ int main(int argc, char** argv) {
   print_pruning_study();
   print_cache_study();
   print_flat_ab_study();
+  print_portfolio_study();
   if (!fast) print_bounds_study();
 
   if (!json_path.empty()) {
@@ -690,6 +808,11 @@ int main(int argc, char** argv) {
   }
   if (g_flat_ab_mismatch) {
     std::puts("flat_ab: bit-identity violated; failing the run");
+    return 1;
+  }
+  if (g_portfolio_mismatch) {
+    std::puts("portfolio: exact-identity/upgrade contract violated; "
+              "failing the run");
     return 1;
   }
   if (fast) return 0;

@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/incumbent_pool.hpp"
 #include "core/optimizer.hpp"
 #include "obs/metrics.hpp"
 #include "util/strings.hpp"
@@ -88,6 +89,20 @@ struct JsonRecord {
   /// (nodes_total-style aggregation).
   long nogood_watch_visits = 0;
   double wall_s = 0.0;
+  // ---- racing portfolio attribution (core/incumbent_pool.hpp). Negative
+  // values mean "not applicable" and the key is omitted, so rows from
+  // pre-portfolio runs and portfolio-off rows without a solution
+  // serialize exactly as before. ------------------------------------------
+  /// Seconds until the first pool incumbent existed (-1: none).
+  double time_to_incumbent_s = -1.0;
+  /// Seconds until a binding at the final committed cost first existed
+  /// (-1: no solution). Populated portfolio-off too (the winning set's
+  /// commit time), so A/B runs compare time-to-optimal directly.
+  double time_to_best_s = -1.0;
+  /// Member whose binding was committed (-1 none; emitted as its name).
+  int winner_member = -1;
+  /// Incumbents published by the greedy/SLS members (0 portfolio-off).
+  long incumbents = 0;
   /// Per-stage counters and duration histograms (obs/metrics.hpp); all
   /// zeros — and omitted from the JSON — unless the bench enabled
   /// OptimizerOptions::collect_metrics for this row.
@@ -118,6 +133,10 @@ inline JsonRecord record_of(std::string benchmark,
   record.lb_lp_solves = result.stats.lb_lp_solves;
   record.nogood_watch_visits = result.stats.nogood_watch_visits;
   record.wall_s = wall_s;
+  record.time_to_incumbent_s = result.stats.time_to_incumbent_seconds;
+  record.time_to_best_s = result.stats.time_to_best_seconds;
+  record.winner_member = result.stats.best_source;
+  record.incumbents = result.stats.incumbents_published;
   record.metrics = result.metrics;
   return record;
 }
@@ -152,6 +171,19 @@ class JsonReport {
           << ", \"lb_lp_solves\": " << r.lb_lp_solves
           << ", \"nogood_watch_visits\": " << r.nogood_watch_visits
           << ", \"wall_s\": " << util::format_double(r.wall_s, 4);
+      if (r.time_to_incumbent_s >= 0.0) {
+        out << ", \"time_to_incumbent_s\": "
+            << util::format_double(r.time_to_incumbent_s, 4);
+      }
+      if (r.time_to_best_s >= 0.0) {
+        out << ", \"time_to_best_s\": "
+            << util::format_double(r.time_to_best_s, 4);
+      }
+      if (r.winner_member >= 0) {
+        out << ", \"winner_member\": \""
+            << core::portfolio_member_name(r.winner_member) << "\"";
+      }
+      if (r.incumbents > 0) out << ", \"incumbents\": " << r.incumbents;
       // Per-stage metrics ride along only when the row collected them, so
       // rows from metrics-off benches serialize exactly as before.
       if (!r.metrics.empty()) {

@@ -73,6 +73,27 @@ struct CspNogood {
   bool operator==(const CspNogood&) const = default;
 };
 
+/// The one per-palette seed schedule every stochastic component draws
+/// from. `palette_seed(seed, k)` is a SplitMix64-style mix of the request
+/// seed with stream index `k`; streams are statistically independent and a
+/// pure function of (seed, k), never of evaluation order or thread count.
+/// Consumers and their stream indices:
+///
+///  * the engine's greedy warm-up and the heuristic CSP restart rotation
+///    use k = palette_index + 1 (the full-market probe is palette -1,
+///    hence the shift) — so every license set gets its own phase schedule
+///    instead of the historical single request-wide seed;
+///  * the SLS binder (core/sls_binder.hpp) uses k = restart + 1 on a
+///    member-salted seed;
+///  * the exact CSP path keeps CspOptions::seed = 0 (no restarts are
+///    scheduled there, and seed 0 keeps every descent canonical).
+inline std::uint64_t palette_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (stream + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 struct CspOptions {
   long max_nodes = 500'000;
   double time_limit_seconds = 10.0;

@@ -10,7 +10,9 @@
 #include "core/bounds.hpp"
 #include "core/greedy.hpp"
 #include "core/ilp_formulation.hpp"
+#include "core/incumbent_pool.hpp"
 #include "core/palette.hpp"
+#include "core/sls_binder.hpp"
 #include "core/reoptimize.hpp"
 #include "core/rules.hpp"
 #include "dfg/analysis.hpp"
@@ -66,12 +68,16 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
   obs::StageTimer dispatch_timer(obs::Stage::kCspDispatch);
   ComboOutcome out;
   // Cheap primal attempts first: a greedy success avoids any search for
-  // this license set (feasibility is feasibility). Seeded by the set's
-  // palette index so results do not depend on evaluation order.
+  // this license set (feasibility is feasibility). Drawn from the shared
+  // per-palette seed schedule (palette_seed in csp_solver.hpp, stream =
+  // palette index + 1 — the full-market probe is index -1) so results do
+  // not depend on evaluation order and every stochastic component of one
+  // request reads one schedule.
   const std::uint64_t salt = request.strategy == Strategy::kExact
                                  ? request.seed
                                  : request.seed * 0x9e3779b9ull;
-  util::Rng greedy_rng(salt + static_cast<std::uint64_t>(index) + 1);
+  util::Rng greedy_rng(
+      palette_seed(salt, static_cast<std::uint64_t>(index + 1)));
   for (int attempt = 0; attempt < 4 * request.limits.heuristic_restarts;
        ++attempt) {
     if (request.cancel && request.cancel->cancelled()) {
@@ -137,7 +143,8 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
   // still a proof (the search is complete, just capped). With learning on,
   // `heuristic_restarts` is a live knob again: the solve gets a Luby
   // restart schedule (unit = per-restart budget, phases rotated by the
-  // request seed) under the restart-scaled total budget — and because the
+  // per-palette seed schedule, so sibling license sets explore different
+  // restart phases) under the restart-scaled total budget — and because the
   // first Luby segment is the canonical descent with the single-attempt
   // budget, outcomes can only upgrade relative to the no-restart engine.
   // With learning off it stays one canonical descent (the historical
@@ -152,7 +159,8 @@ ComboOutcome evaluate_combo(const ProblemSpec& spec, const Palettes& palettes,
     csp_options.max_nodes = request.limits.heuristic_node_limit *
                             std::max(1, request.limits.heuristic_restarts);
     csp_options.restart_base = request.limits.heuristic_node_limit;
-    csp_options.seed = request.seed;
+    csp_options.seed =
+        palette_seed(request.seed, static_cast<std::uint64_t>(index + 1));
     csp_options.imported = imported;
   } else {
     csp_options.max_nodes = request.limits.heuristic_node_limit;
@@ -208,7 +216,17 @@ struct SharedSearch {
 
   bool have_incumbent = false;
   long long best_cost = 0;
+  /// Portfolio member rank of the incumbent (0 = exact; see
+  /// core/incumbent_pool.hpp). Pre-seeded by phase A when the portfolio is
+  /// on; the commit rule below lets an exact solution of equal cost take
+  /// the win back from a seeder.
+  int best_rank = 0;
+  /// Palette index of an exact incumbent; the seeding member's attempt
+  /// index for a pool incumbent (only ever compared within one rank).
   long best_index = -1;
+  /// When a binding at best_cost first existed (operation clock); strictly
+  /// cheaper commits reset it, equal-cost commits keep the earlier time.
+  double best_seconds = -1.0;
   Solution best_solution;
   /// Truncated evaluations, deferred: (combo cost, signature). Classified
   /// after the workers join — a completed dominance proof may retroactively
@@ -485,10 +503,20 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
         if (outcome.feasible) {
           require_valid(spec, outcome.solution);
           const long long cost = outcome.solution.license_cost(spec);
+          // Deterministic commit rule, portfolio-extended: winner = lowest
+          // (license cost, member rank, palette index). Exact commits are
+          // rank 0, so at equal cost they displace any phase-A seeder —
+          // which is what keeps portfolio-on bindings identical to exact
+          // whenever the exact search completes.
+          if (!shared.have_incumbent || cost < shared.best_cost) {
+            shared.best_seconds = timer.elapsed_seconds();
+          }
           if (!shared.have_incumbent || cost < shared.best_cost ||
-              (cost == shared.best_cost && index < shared.best_index)) {
+              (cost == shared.best_cost &&
+               (shared.best_rank > 0 || index < shared.best_index))) {
             shared.have_incumbent = true;
             shared.best_cost = cost;
+            shared.best_rank = 0;
             shared.best_index = index;
             shared.best_solution = outcome.solution;
             obs::trace_instant("engine/incumbent", "cost", cost, "combo",
@@ -746,6 +774,131 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     }
   }
 
+  // Racing portfolio, phase A (request.portfolio.enabled): the greedy
+  // seeder and the SLS binder run first, concurrently on the pool, as
+  // deterministic step-budgeted incumbent hunters publishing validated
+  // bindings into the shared IncumbentPool. The phase joins before the
+  // exact dispatch loop starts, and the pool's deterministic best seeds
+  // the loop's incumbent from time zero — so every set at or above it is
+  // pruned (`next_cost >= best_cost`) and a cost floor meeting it proves
+  // optimality with zero exact dispatching. Members never read the pool
+  // mid-run (their trajectories are pure functions of (spec, seed,
+  // budgets)); the lock-free best-cost hint exists for concurrent
+  // publishes and external observers. Proofs still decide the race: a
+  // seeded incumbent is only an upper bound, and the exact member takes
+  // the win back at equal cost under the (cost, member rank, palette
+  // index) commit rule.
+  IncumbentPool pool;
+  long portfolio_sls_steps = 0;
+  // Full-market incumbent probe state (see the probe block below). In
+  // portfolio mode the probe joins phase A as the exact member's own
+  // seeder, racing the greedy/SLS members instead of running serially —
+  // its billed-cost solution lands in the pool, so a probe binding
+  // cheaper than anything phase A found still seeds the search
+  // (upgrade-only: the portfolio can never commit worse than the serial
+  // engine's probe backfill would have).
+  std::optional<Solution> probe_solution;
+  long probe_nodes = 0, probe_backjumps = 0, probe_restarts = 0;
+  long probe_watch_visits = 0;
+  double probe_seconds = -1.0;
+  const bool probe_wanted =
+      request_.pruning.nogood_learning &&
+      (!request_.cancel || !request_.cancel->cancelled());
+  if (request_.portfolio.enabled &&
+      (!request_.cancel || !request_.cancel->cancelled())) {
+    HT_TRACE_SPAN("engine/portfolio");
+    std::vector<PortfolioMember> members;
+    if (probe_wanted) members.push_back(PortfolioMember::kExact);
+    if (request_.portfolio.greedy_member) {
+      members.push_back(PortfolioMember::kGreedy);
+    }
+    if (request_.portfolio.sls_member) {
+      members.push_back(PortfolioMember::kSls);
+    }
+    std::vector<obs::SolveMetrics> member_metrics(members.size());
+    std::mutex sls_mutex;
+    run_indexed(members.size(), threads, [&](std::size_t i, int) {
+      obs::MetricsBinding member_binding(
+          request_.observability.metrics ? &member_metrics[i] : nullptr);
+      const int rank = static_cast<int>(members[i]);
+      // Distinct deterministic stream per member, well away from the
+      // palette-index streams evaluate_combo draws (see palette_seed).
+      const std::uint64_t member_seed = palette_seed(
+          request_.seed, 0x9e370000ull + static_cast<std::uint64_t>(rank));
+      const auto publish = [&](const Solution& solution, long long cost,
+                               long attempt) {
+        Incumbent entry;
+        entry.cost = cost;
+        entry.member_rank = rank;
+        entry.palette_index = attempt;
+        entry.solution = solution;
+        entry.publish_seconds = timer.elapsed_seconds();
+        if (pool.publish(std::move(entry))) {
+          obs::trace_instant("engine/incumbent", "cost", cost, "member",
+                             static_cast<long>(rank));
+        }
+      };
+      if (members[i] == PortfolioMember::kExact) {
+        // The probe (below) moved into the race: one budgeted solve of
+        // the least constrained palette, published at the licenses its
+        // binding actually uses. palette_index max() keeps the old
+        // backfill precedence — any true palette commit at equal cost
+        // displaces it under the (cost, rank, index) rule.
+        HT_TRACE_SPAN("engine/probe");
+        ComboOutcome probe = evaluate_combo(
+            spec, full_market, /*index=*/-1, request_,
+            request_.limits.time_limit_seconds - timer.elapsed_seconds(),
+            /*imported=*/nullptr);
+        probe_nodes = probe.csp_nodes;
+        probe_backjumps = probe.backjumps;
+        probe_restarts = probe.restarts;
+        probe_watch_visits = probe.watch_visits;
+        probe_seconds = timer.elapsed_seconds();
+        if (probe.feasible) {
+          const long long cost = probe.solution.license_cost(spec);
+          publish(probe.solution, cost, std::numeric_limits<long>::max());
+          probe_solution = std::move(probe.solution);
+        }
+      } else if (members[i] == PortfolioMember::kGreedy) {
+        // Full-market warm-up: the billed cost is the licenses a binding
+        // actually uses, so full-market constructions are real upper
+        // bounds on the optimum, found in microseconds when the spec is
+        // easy for the greedy.
+        util::Rng rng(member_seed);
+        const int attempts =
+            std::max(1, 4 * request_.limits.heuristic_restarts);
+        long long best = std::numeric_limits<long long>::max();
+        for (int a = 0; a < attempts; ++a) {
+          if (request_.cancel && request_.cancel->cancelled()) break;
+          const std::optional<Solution> constructed =
+              greedy_construct(spec, full_market, rng);
+          if (!constructed) continue;
+          const long long cost = constructed->license_cost(spec);
+          if (cost >= best) continue;
+          best = cost;
+          publish(*constructed, cost, a);
+        }
+      } else {
+        obs::StageTimer sls_timer(obs::Stage::kSlsSearch);
+        SlsOptions sls;
+        sls.seed = member_seed;
+        sls.restarts = request_.portfolio.sls_restarts;
+        sls.perturbations = request_.portfolio.sls_perturbations;
+        sls.time_limit_seconds = std::max(
+            0.1,
+            request_.limits.time_limit_seconds - timer.elapsed_seconds());
+        sls.cancel = request_.cancel;
+        sls.on_improved = publish;
+        const SlsOutcome sls_outcome = sls_search(spec, sls);
+        std::lock_guard<std::mutex> lock(sls_mutex);
+        portfolio_sls_steps += sls_outcome.steps;
+      }
+    });
+    for (obs::SolveMetrics& member : member_metrics) {
+      op_metrics.merge(member);
+    }
+  }
+
   // Full-market incumbent probe: one budgeted solve of the *least*
   // constrained palette before the cheapest-first grind. On hard specs the
   // cheap sets are contested and burn their whole node budget inconclusive
@@ -759,10 +912,10 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   // before the search so a node-bounded probe is a pure function of (spec,
   // budgets) — the same determinism carve-out as every other evaluation.
   // Gated on nogood_learning: off must reproduce the historical engine.
-  std::optional<Solution> probe_solution;
-  long probe_nodes = 0, probe_backjumps = 0, probe_restarts = 0;
-  long probe_watch_visits = 0;
-  if (request_.pruning.nogood_learning &&
+  // In portfolio mode the probe already ran inside phase A above,
+  // concurrently with the other members, and published into the pool.
+  const std::optional<Incumbent> seeded = pool.best();
+  if (probe_wanted && !request_.portfolio.enabled &&
       (!request_.cancel || !request_.cancel->cancelled())) {
     HT_TRACE_SPAN("engine/probe");
     ComboOutcome probe = evaluate_combo(
@@ -773,6 +926,7 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     probe_backjumps = probe.backjumps;
     probe_restarts = probe.restarts;
     probe_watch_visits = probe.watch_visits;
+    probe_seconds = timer.elapsed_seconds();
     if (probe.feasible) probe_solution = std::move(probe.solution);
   }
   SharedSearch shared([&] {
@@ -789,6 +943,15 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   shared.epoch = op_epoch_;
   shared.nogood_epoch = nogood_epoch_;
   shared.ctx = ctx;
+  if (seeded) {
+    require_valid(spec, seeded->solution);
+    shared.have_incumbent = true;
+    shared.best_cost = seeded->cost;
+    shared.best_rank = seeded->member_rank;
+    shared.best_index = seeded->palette_index;
+    shared.best_seconds = pool.best_cost_seconds();
+    shared.best_solution = seeded->solution;
+  }
   const int lanes = std::max(1, threads);
   if (lanes == 1) {
     search_worker(shared, request_, spec, timer, progress_mutex_);
@@ -811,6 +974,11 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   result.stats.restarts += probe_restarts;
   result.stats.nogood_watch_visits += probe_watch_visits;
   result.stats.lb_lp_solves = lb_lp_solves;
+  result.stats.incumbents_published = pool.published();
+  result.stats.sls_steps = portfolio_sls_steps;
+  result.stats.time_to_incumbent_seconds = pool.first_publish_seconds();
+  result.stats.time_to_best_seconds = shared.best_seconds;
+  result.stats.best_source = shared.have_incumbent ? shared.best_rank : -1;
   result.stats.seconds = timer.elapsed_seconds();
   if (request_.observability.metrics) {
     op_metrics.merge(shared.metrics);
@@ -876,6 +1044,10 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     // the probe supplies the committed solution, its nodes are the winning
     // sub-search (they are already in nodes_total either way).
     result.stats.csp_nodes += probe_nodes;
+    // Backfill attribution: the committed binding existed the moment the
+    // probe finished, and the probe is the exact member's own seeder.
+    result.stats.best_source = static_cast<int>(PortfolioMember::kExact);
+    result.stats.time_to_best_seconds = probe_seconds;
     // The probe's set is the full market, but its solution is billed at
     // the licenses it uses; a cost floor meeting that bill proves no
     // feasible design anywhere is cheaper, i.e. the backfill is optimal.
@@ -971,6 +1143,8 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
   best.result.stats.backjumps = 0;
   best.result.stats.restarts = 0;
   best.result.stats.nogood_watch_visits = 0;
+  best.result.stats.incumbents_published = 0;
+  best.result.stats.sls_steps = 0;
   best.result.metrics.reset();
   for (const OptimizeResult& attempt : attempts) {
     best.result.stats.nodes_total += attempt.stats.nodes_total;
@@ -978,6 +1152,9 @@ SplitResult SynthesisEngine::split_minimize(const ProblemSpec& base,
     best.result.stats.backjumps += attempt.stats.backjumps;
     best.result.stats.restarts += attempt.stats.restarts;
     best.result.stats.nogood_watch_visits += attempt.stats.nogood_watch_visits;
+    best.result.stats.incumbents_published +=
+        attempt.stats.incumbents_published;
+    best.result.stats.sls_steps += attempt.stats.sls_steps;
     best.result.metrics.merge(attempt.metrics);
   }
   return best;
@@ -1061,6 +1238,7 @@ SynthesisRequest make_request(const ProblemSpec& spec,
   request.limits.max_combos = options.max_combos;
   request.parallelism.threads = options.threads;
   request.pruning.cost_bounds = options.cost_bounds;
+  request.portfolio.enabled = options.portfolio;
   request.observability.metrics = options.collect_metrics;
   request.seed = options.seed;
   return request;

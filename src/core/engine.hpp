@@ -129,6 +129,32 @@ struct PruningOptions {
   bool csp_flat_state = true;
 };
 
+/// Racing algorithm portfolio (see core/incumbent_pool.hpp and DESIGN.md
+/// "Racing portfolio"). Enabled, each license-set minimization races up to
+/// three members: the greedy constructor, the SLS binder
+/// (core/sls_binder.hpp), and the exact member's full-market probe run
+/// concurrently as deterministic, step-budgeted incumbent seeders
+/// publishing validated bindings into a shared IncumbentPool; the exact
+/// cheapest-first enumeration then starts with the pool's best as its
+/// upper bound from time zero — pruning every set at or above it and
+/// stopping instantly when the cost floor meets it.
+/// The race is decided by *proofs*, not costs: seeder bindings only ever
+/// bound the search, and the commit rule (cost, member rank, palette
+/// index) hands the win to the exact member whenever it completes at equal
+/// cost — so statuses and costs of proved results are bit-identical to a
+/// portfolio-off run, at any thread count, and only wall clock (plus
+/// upgrade-only strengthening of budget-truncated rows) changes.
+struct PortfolioOptions {
+  bool enabled = false;
+  /// Run the greedy full-market seeder (member rank 1).
+  bool greedy_member = true;
+  /// Run the SLS decimation binder (member rank 2).
+  bool sls_member = true;
+  /// SLS attempt budget (SlsOptions::restarts / perturbations).
+  int sls_restarts = 8;
+  int sls_perturbations = 12;
+};
+
 /// Observability toggles for one synthesis call. Tracing is process-wide
 /// (obs::start_tracing / trace.hpp) because spans fire from every layer;
 /// metrics collection is per request because the per-stage timers live on
@@ -198,6 +224,7 @@ struct SynthesisRequest {
   SearchLimits limits;
   Parallelism parallelism;
   PruningOptions pruning;
+  PortfolioOptions portfolio;
   ObservabilityOptions observability;
   std::uint64_t seed = 1;
   /// kMinimizeTotalLatency: bound on the combined detection + recovery

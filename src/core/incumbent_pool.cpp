@@ -1,0 +1,89 @@
+#include "core/incumbent_pool.hpp"
+
+namespace ht::core {
+
+const char* portfolio_member_name(int rank) {
+  switch (rank) {
+    case static_cast<int>(PortfolioMember::kExact):
+      return "exact";
+    case static_cast<int>(PortfolioMember::kGreedy):
+      return "greedy";
+    case static_cast<int>(PortfolioMember::kSls):
+      return "sls";
+  }
+  return "-";
+}
+
+bool incumbent_beats(const Incumbent& a, const Incumbent& b) {
+  if (a.cost != b.cost) return a.cost < b.cost;
+  if (a.member_rank != b.member_rank) return a.member_rank < b.member_rank;
+  return a.palette_index < b.palette_index;
+}
+
+bool IncumbentPool::publish(Incumbent entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++published_;
+  if (entry.member_rank >= 0 && entry.member_rank < kNumPortfolioMembers) {
+    MemberStats& member =
+        members_[static_cast<std::size_t>(entry.member_rank)];
+    ++member.published;
+    if (member.first_seconds < 0.0 ||
+        entry.publish_seconds < member.first_seconds) {
+      member.first_seconds = entry.publish_seconds;
+    }
+    if (entry.cost < member.best_cost) member.best_cost = entry.cost;
+  }
+  if (first_publish_seconds_ < 0.0 ||
+      entry.publish_seconds < first_publish_seconds_) {
+    first_publish_seconds_ = entry.publish_seconds;
+  }
+  // Time-to-best tracks the earliest moment a binding at the (current)
+  // best cost existed: a strictly cheaper entry resets the clock, an
+  // equal-cost entry may only move it earlier.
+  const long long prior_best = best_ ? best_->cost
+                                     : std::numeric_limits<long long>::max();
+  if (entry.cost < prior_best) {
+    best_cost_seconds_ = entry.publish_seconds;
+  } else if (entry.cost == prior_best &&
+             entry.publish_seconds < best_cost_seconds_) {
+    best_cost_seconds_ = entry.publish_seconds;
+  }
+  const bool improved = !best_ || incumbent_beats(entry, *best_);
+  if (improved) {
+    // Publish the hint *after* the full entry is recorded: the release
+    // store pairs with best_cost_hint()'s acquire load, so a reader that
+    // sees the lowered bound could also safely read everything the
+    // publisher wrote (today readers only use the cost itself).
+    best_ = std::move(entry);
+    best_cost_hint_.store(best_->cost, std::memory_order_release);
+  }
+  return improved;
+}
+
+std::optional<Incumbent> IncumbentPool::best() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return best_;
+}
+
+double IncumbentPool::first_publish_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_publish_seconds_;
+}
+
+double IncumbentPool::best_cost_seconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return best_cost_seconds_;
+}
+
+long IncumbentPool::published() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+IncumbentPool::MemberStats IncumbentPool::member_stats(int rank) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rank < 0 || rank >= kNumPortfolioMembers) return MemberStats{};
+  return members_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace ht::core

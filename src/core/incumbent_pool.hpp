@@ -1,0 +1,111 @@
+// Shared incumbent pool for the racing algorithm portfolio.
+//
+// Portfolio members (the greedy seeder, the SLS binder, and the exact
+// dispatch loop itself) publish feasible bindings here as they find them.
+// The pool keeps two views of "best so far":
+//
+//  * an atomic best-cost hint — a single long long that concurrent members
+//    may read lock-free as an upper bound on the optimum (monotonically
+//    non-increasing; release on publish, acquire on read, so a reader that
+//    observes the hint also observes every write the publisher made before
+//    lowering it);
+//  * the sequenced best entry — the full (cost, member rank, palette
+//    index, Solution) record, guarded by a mutex and ordered by the
+//    deterministic commit comparator below.
+//
+// Deterministic commit rule. Entries are ranked by the lexicographic key
+// (cost, member rank, palette index): cheaper bindings win, ties go to the
+// stronger member (exact = 0 < greedy = 1 < SLS = 2 — a proof-capable
+// member outranks an incomplete one), and remaining ties to the lower
+// palette index. The key is a pure function of the entry, never of publish
+// order, so best() is identical for every publish interleaving — this is
+// what makes an N-thread portfolio race replayable: feed the same entry
+// set in any order and the same winner falls out. Timing fields
+// (publish_seconds) are attribution-only and excluded from the comparator.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <optional>
+
+#include "core/solution.hpp"
+
+namespace ht::core {
+
+/// Portfolio member identity; the numeric value doubles as the member rank
+/// in the deterministic commit comparator (lower outranks).
+enum class PortfolioMember { kExact = 0, kGreedy = 1, kSls = 2 };
+inline constexpr int kNumPortfolioMembers = 3;
+
+/// Stable name ("exact", "greedy", "sls"); "-" for out-of-range ranks.
+const char* portfolio_member_name(int rank);
+
+/// One published feasible binding.
+struct Incumbent {
+  long long cost = 0;  ///< billed license cost of `solution`
+  int member_rank = 0;  ///< PortfolioMember value of the publisher
+  /// Deterministic intra-member sequence number (restart / attempt index
+  /// for the stochastic members, the palette index for the exact loop).
+  long palette_index = 0;
+  Solution solution;
+  /// Elapsed seconds (operation clock) when the publisher finished the
+  /// attempt that produced this binding. Attribution only — never part of
+  /// the commit comparator.
+  double publish_seconds = 0.0;
+};
+
+/// True when `a` beats `b` under the (cost, member rank, palette index)
+/// rule.
+bool incumbent_beats(const Incumbent& a, const Incumbent& b);
+
+class IncumbentPool {
+ public:
+  /// Per-member attribution counters. `first_seconds` is the earliest
+  /// publish time of the member (-1 when it never published);
+  /// `best_cost` its cheapest published cost.
+  struct MemberStats {
+    long published = 0;
+    long long best_cost = std::numeric_limits<long long>::max();
+    double first_seconds = -1.0;
+  };
+
+  /// Lock-free upper bound on the optimum: the cheapest published cost so
+  /// far, or max() when the pool is empty. Safe to poll from any thread.
+  long long best_cost_hint() const {
+    return best_cost_hint_.load(std::memory_order_acquire);
+  }
+
+  /// Records one feasible binding. Returns true when the entry became the
+  /// pool's deterministic best.
+  bool publish(Incumbent entry);
+
+  /// The deterministic best entry (see the commit rule above), or nullopt
+  /// when nothing was published.
+  std::optional<Incumbent> best() const;
+
+  /// Earliest publish time across every member (-1: empty pool).
+  double first_publish_seconds() const;
+
+  /// Earliest publish time among entries at the pool's best cost (-1:
+  /// empty pool). This is the portfolio's time-to-best: when a binding at
+  /// the winning cost first existed, regardless of which member's entry
+  /// ends up committed.
+  double best_cost_seconds() const;
+
+  long published() const;
+  MemberStats member_stats(int rank) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<long long> best_cost_hint_{
+      std::numeric_limits<long long>::max()};
+  std::optional<Incumbent> best_;
+  double first_publish_seconds_ = -1.0;
+  double best_cost_seconds_ = -1.0;
+  long published_ = 0;
+  std::array<MemberStats, kNumPortfolioMembers> members_{};
+};
+
+}  // namespace ht::core

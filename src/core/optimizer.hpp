@@ -52,6 +52,11 @@ struct OptimizerOptions {
   /// Collect per-stage timing metrics into OptimizeResult::metrics (see
   /// ObservabilityOptions in core/engine.hpp). Purely observational.
   bool collect_metrics = false;
+  /// Racing portfolio mode (see PortfolioOptions in core/engine.hpp):
+  /// greedy + SLS incumbent seeders race ahead of the exact enumeration.
+  /// Statuses and costs of proved results are unchanged; time-to-optimal
+  /// shrinks.
+  bool portfolio = false;
 };
 
 enum class OptStatus {
@@ -94,6 +99,26 @@ struct OptimizeStats {
   /// aggregated like nodes_total. The scan-all check this replaces visited
   /// every nogood containing the copy on every candidate value.
   long nogood_watch_visits = 0;
+  // ---- racing portfolio attribution. The pool counters are zero unless
+  // PortfolioOptions::enabled; best_source and time_to_best_seconds are
+  // reported for every minimize (portfolio off: source 0 = exact, time =
+  // commit time of the winning set) so A/B runs can compare them. --------
+  /// Incumbents published to the shared pool by the phase-A members
+  /// (greedy, SLS, and the exact member's full-market probe).
+  long incumbents_published = 0;
+  /// greedy_construct calls made by the SLS member.
+  long sls_steps = 0;
+  /// Portfolio member whose binding was committed: -1 none, 0 exact,
+  /// 1 greedy, 2 SLS (see core/incumbent_pool.hpp).
+  int best_source = -1;
+  /// Seconds until the first pool incumbent existed (-1: none). This is
+  /// the portfolio's "a valid design in hand" latency.
+  double time_to_incumbent_seconds = -1.0;
+  /// Seconds until a binding at the final committed cost first existed,
+  /// whichever member produced it (-1: no solution). With the portfolio
+  /// off this is the moment the winning set committed; the bench A/B
+  /// compares the two as time-to-optimal.
+  double time_to_best_seconds = -1.0;
   double seconds = 0.0;
 };
 

@@ -1,0 +1,271 @@
+#include "core/sls_binder.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rules.hpp"
+#include "core/validate.hpp"
+#include "util/timer.hpp"
+
+namespace ht::core {
+namespace {
+
+/// Multiplicative field updates. Reinforcement must outweigh decay so a
+/// vendor that keeps appearing in feasible bindings stays dominant; the
+/// clamps keep fields away from degenerate all-zero / runaway states.
+constexpr double kReinforce = 1.6;
+constexpr double kPenalize = 0.7;
+constexpr double kFieldFloor = 1e-6;
+constexpr double kFieldCeil = 1e6;
+
+struct ClassField {
+  dfg::ResourceClass rc = dfg::ResourceClass::kAdder;
+  /// Vendors offering the class, cheapest license first (the catalog's
+  /// canonical order); `bias[k]` belongs to `vendors[k]`.
+  std::vector<vendor::VendorId> vendors;
+  std::vector<double> bias;
+  int min_size = 1;
+  int size = 1;  ///< current decimation width
+
+  void reset_bias() {
+    // Cost prior: rank k in the cheapest-first list starts at 1/(1+k), so
+    // the first samples lean toward cheap palettes — the same bet the
+    // exact enumerator's cheapest-first queue makes.
+    for (std::size_t k = 0; k < bias.size(); ++k) {
+      bias[k] = 1.0 / (1.0 + static_cast<double>(k));
+    }
+    size = min_size;
+  }
+
+  void bump(vendor::VendorId v, double factor) {
+    for (std::size_t k = 0; k < vendors.size(); ++k) {
+      if (vendors[k] != v) continue;
+      bias[k] = std::clamp(bias[k] * factor, kFieldFloor, kFieldCeil);
+      return;
+    }
+  }
+
+  /// Samples `size` distinct vendors by roulette over the bias field
+  /// (weighted, without replacement). Deterministic given the rng state.
+  void sample(util::Rng& rng, std::vector<vendor::VendorId>* out) const {
+    out->clear();
+    std::vector<double> weights = bias;
+    for (int pick = 0; pick < size; ++pick) {
+      double total = 0.0;
+      for (double w : weights) total += w;
+      if (total <= 0.0) break;
+      double roll = rng.uniform01() * total;
+      std::size_t chosen = weights.size() - 1;
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        if (weights[k] <= 0.0) continue;
+        roll -= weights[k];
+        if (roll <= 0.0) {
+          chosen = k;
+          break;
+        }
+      }
+      out->push_back(vendors[chosen]);
+      weights[chosen] = 0.0;  // without replacement
+    }
+    std::sort(out->begin(), out->end());
+  }
+};
+
+}  // namespace
+
+SlsOutcome sls_search(const ProblemSpec& spec, const SlsOptions& options) {
+  SlsOutcome outcome;
+  util::Timer timer;
+
+  const auto min_sizes = min_vendors_per_class(spec);
+  const auto ops_per_class = spec.graph.ops_per_class();
+  std::vector<ClassField> fields;
+  int max_headroom = 0;
+  for (int cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (ops_per_class[cls] == 0) continue;
+    ClassField field;
+    field.rc = static_cast<dfg::ResourceClass>(cls);
+    field.vendors = spec.catalog.vendors_by_cost(field.rc);
+    field.bias.assign(field.vendors.size(), 0.0);
+    field.min_size =
+        std::min(static_cast<int>(field.vendors.size()),
+                 std::max(1, min_sizes[cls]));
+    if (static_cast<int>(field.vendors.size()) < min_sizes[cls]) {
+      // The market cannot supply the class's clique bound; nothing to
+      // search (the engine reports infeasibility before ever calling us,
+      // but stay safe standalone).
+      return outcome;
+    }
+    max_headroom = std::max(
+        max_headroom, static_cast<int>(field.vendors.size()) - field.min_size);
+    fields.push_back(std::move(field));
+  }
+  if (fields.empty()) return outcome;
+
+  long attempt = 0;
+  const auto out_of_time = [&] {
+    return options.time_limit_seconds > 0.0 &&
+           timer.elapsed_seconds() >= options.time_limit_seconds;
+  };
+  const auto record = [&](const Solution& solution, long long cost) {
+    ++outcome.candidates_validated;
+    if (cost >= outcome.cost) return;
+    outcome.feasible = true;
+    outcome.cost = cost;
+    outcome.solution = solution;
+    if (options.on_improved) options.on_improved(solution, cost, attempt);
+  };
+  // Up to `construction_tries` greedy attempts against an explicit
+  // palette set; first success wins. The greedy's randomized
+  // tie-breaking binds tight palettes only a fraction of the time, so a
+  // single shot would misread good narrow palettes as dead ends.
+  const auto construct = [&](const Palettes& palettes,
+                             util::Rng& rng) -> std::optional<Solution> {
+    const int tries = std::max(1, options.construction_tries);
+    for (int t = 0; t < tries; ++t) {
+      ++outcome.steps;
+      ++attempt;
+      std::optional<Solution> built = greedy_construct(spec, palettes, rng);
+      if (built) return built;
+      if (options.cancel && options.cancel->cancelled()) break;
+      if (out_of_time()) break;
+    }
+    return std::nullopt;
+  };
+
+  Palettes palettes;
+  std::vector<vendor::VendorId> sampled;
+  for (int r = 0; r < options.restarts; ++r) {
+    if (options.cancel && options.cancel->cancelled()) break;
+    if (out_of_time()) break;
+    ++outcome.restarts_run;
+    util::Rng rng(palette_seed(options.seed, static_cast<std::uint64_t>(r) + 1));
+    for (ClassField& field : fields) field.reset_bias();
+
+    int failures_in_a_row = 0;
+    for (int p = 0; p < options.perturbations; ++p) {
+      if (options.cancel && options.cancel->cancelled()) break;
+      if (out_of_time()) break;
+      palettes = Palettes{};
+      for (const ClassField& field : fields) {
+        field.sample(rng, &sampled);
+        palettes[static_cast<int>(field.rc)] = sampled;
+      }
+      const std::optional<Solution> constructed = construct(palettes, rng);
+      if (!constructed) {
+        // Decimation failure: the sampled palettes were too narrow or
+        // badly biased. Penalize what we sampled and widen every class
+        // that still has market headroom so the next sample has more
+        // diversity to color with.
+        ++failures_in_a_row;
+        for (ClassField& field : fields) {
+          for (vendor::VendorId v : palettes[static_cast<int>(field.rc)]) {
+            field.bump(v, kPenalize);
+          }
+          if (failures_in_a_row >= 2 &&
+              field.size < static_cast<int>(field.vendors.size())) {
+            ++field.size;
+          }
+        }
+        continue;
+      }
+      failures_in_a_row = 0;
+      long long cost = constructed->license_cost(spec);
+      record(*constructed, cost);
+      Solution current = *constructed;
+      // Feedback: reinforce the licenses the binding actually bills (the
+      // billed set may be a strict subset of the sampled palettes).
+      const std::set<LicenseKey> used = current.licenses_used(spec);
+      for (ClassField& field : fields) {
+        for (vendor::VendorId v : palettes[static_cast<int>(field.rc)]) {
+          const bool billed = used.count(LicenseKey{v, field.rc}) != 0;
+          field.bump(v, billed ? kReinforce : kPenalize);
+        }
+      }
+      // Cost descent, first-improvement hill climbing on the billed
+      // license set. Neighborhoods per move, in deterministic order of
+      // decreasing fee savings: (1) drop a droppable license, most
+      // expensive first (respecting the per-class clique floor); (2) swap
+      // a billed license for a strictly cheaper unbilled vendor of the
+      // same class. Swaps are what let the descent *introduce* vendors
+      // the current binding never used — drop-only descent plateaus as
+      // soon as the optimum needs a license outside the billed set.
+      for (int move = 0; move < options.descent_moves; ++move) {
+        if (options.cancel && options.cancel->cancelled()) break;
+        if (out_of_time()) break;
+        const std::set<LicenseKey> billed = current.licenses_used(spec);
+        const long long current_cost = current.license_cost(spec);
+        // (fee savings, palette) candidates; larger savings tried first.
+        std::vector<std::pair<long long, Palettes>> moves;
+        const auto floor_of = [&](dfg::ResourceClass rc) {
+          for (const ClassField& field : fields) {
+            if (field.rc == rc) return field.min_size;
+          }
+          return 1;
+        };
+        for (const LicenseKey& key : billed) {
+          int class_count = 0;
+          for (const LicenseKey& other : billed) {
+            if (other.rc == key.rc) ++class_count;
+          }
+          const long long fee = spec.catalog.offer(key.vendor, key.rc).cost;
+          Palettes rest{};
+          for (const LicenseKey& other : billed) {
+            if (other == key) continue;
+            rest[static_cast<int>(other.rc)].push_back(other.vendor);
+          }
+          if (class_count > floor_of(key.rc)) moves.emplace_back(fee, rest);
+          for (const ClassField& field : fields) {
+            if (field.rc != key.rc) continue;
+            for (vendor::VendorId v : field.vendors) {
+              const long long swap_fee = spec.catalog.offer(v, key.rc).cost;
+              if (swap_fee >= fee) break;  // cheapest-first list
+              if (billed.count(LicenseKey{v, key.rc}) != 0) continue;
+              Palettes swapped = rest;
+              swapped[static_cast<int>(key.rc)].push_back(v);
+              moves.emplace_back(fee - swap_fee, std::move(swapped));
+            }
+          }
+        }
+        for (auto& [savings, palette] : moves) {
+          for (auto& list : palette) std::sort(list.begin(), list.end());
+        }
+        std::stable_sort(moves.begin(), moves.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first > b.first;
+                         });
+        bool improved = false;
+        for (const auto& [savings, palette] : moves) {
+          if (options.cancel && options.cancel->cancelled()) break;
+          if (out_of_time()) break;
+          const std::optional<Solution> descended = construct(palette, rng);
+          if (!descended) continue;
+          const long long descended_cost = descended->license_cost(spec);
+          ++outcome.candidates_validated;
+          if (descended_cost >= current_cost) continue;
+          current = *descended;
+          if (descended_cost < outcome.cost) {
+            outcome.feasible = true;
+            outcome.cost = descended_cost;
+            outcome.solution = current;
+            if (options.on_improved) {
+              options.on_improved(current, descended_cost, attempt);
+            }
+          }
+          for (ClassField& field : fields) {
+            for (vendor::VendorId v : palette[static_cast<int>(field.rc)]) {
+              field.bump(v, kReinforce);
+            }
+          }
+          improved = true;
+          break;
+        }
+        if (!improved) break;
+      }
+    }
+  }
+  if (outcome.feasible) require_valid(spec, outcome.solution);
+  return outcome;
+}
+
+}  // namespace ht::core

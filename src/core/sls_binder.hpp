@@ -1,0 +1,87 @@
+// Stochastic local-search binder: the incomplete member of the racing
+// portfolio (see core/incumbent_pool.hpp and DESIGN.md "Racing portfolio").
+//
+// The exact optimizer enumerates license sets cheapest-first and proves
+// each one feasible or infeasible; on high-n instances the cheap sets are
+// contested and the proof grind dominates wall clock. This module attacks
+// the same search space from the opposite direction: a message-passing /
+// decimation loop over the (resource class, vendor) factor graph that
+// *guesses* promising palettes and validates each guess with the greedy
+// constructor. Survey-propagation style, each class keeps a bias field
+// over its vendors (initialized from the license-cost prior, so cheap
+// vendors are tried first); a restart samples ("decimates") one palette
+// per class from the fields, validates it, then feeds the outcome back —
+// vendors used by a feasible binding are reinforced, a failed sample
+// penalizes its vendors and grows the palette width so the next sample has
+// more diversity to work with. Feasible bindings additionally take
+// drop-the-most-expensive-license descent steps toward the cost floor.
+//
+// Determinism. The whole search is a pure function of (spec, SlsOptions):
+// restarts draw from the shared per-palette seed schedule
+// (`palette_seed()` in core/csp_solver.hpp), attempt counts are fixed by
+// the options, and nothing reads the clock. Candidate solutions come out
+// of greedy_construct, so every returned binding is validated by
+// construction; SLS proves nothing (it cannot return infeasibility) — it
+// only supplies incumbents whose billed cost upper-bounds the optimum.
+// The optional time limit and cancel token share the engine-wide
+// truncation caveat: when they (rather than the attempt budget) stop the
+// search, the cut point is wall-clock-dependent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "core/greedy.hpp"
+
+namespace ht::core {
+
+struct SlsOptions {
+  /// Request seed; restart r draws util::Rng(palette_seed(seed, r + 1)).
+  std::uint64_t seed = 1;
+  /// Independent decimation restarts (field state resets each restart).
+  int restarts = 8;
+  /// Palette samples ("perturbations") per restart.
+  int perturbations = 12;
+  /// Descent moves attempted per feasible candidate. Each move scans the
+  /// drop/swap neighborhood once and takes the first improvement, so
+  /// moves chain toward the cost floor; the budget is only spent when
+  /// candidates keep improving.
+  int descent_moves = 8;
+  /// greedy_construct attempts per candidate palette (first success wins).
+  /// The greedy's randomized tie-breaking binds tight palettes only some
+  /// of the time — retries are what let a well-sampled narrow palette
+  /// actually land instead of being misread as infeasible.
+  int construction_tries = 8;
+  /// Wall-clock safety net; <= 0 disables. Only truncates — results under
+  /// the attempt budget are unaffected (same caveat as the engine's
+  /// time_limit_seconds).
+  double time_limit_seconds = 0.0;
+  /// Optional cooperative stop; polled between construction attempts.
+  const util::CancelToken* cancel = nullptr;
+  /// Invoked on each strictly improving feasible binding, in improvement
+  /// order (cost strictly decreasing). Observation only: the callback
+  /// cannot steer the search, so publishing incumbents from it keeps the
+  /// trajectory deterministic.
+  std::function<void(const Solution& solution, long long cost, long attempt)>
+      on_improved;
+};
+
+struct SlsOutcome {
+  bool feasible = false;
+  /// Best (cheapest-billed) validated binding found; meaningless unless
+  /// `feasible`.
+  Solution solution;
+  long long cost = std::numeric_limits<long long>::max();
+  /// greedy_construct calls — the search's step count.
+  long steps = 0;
+  long restarts_run = 0;
+  /// Feasible candidates constructed (before cost comparison).
+  long candidates_validated = 0;
+};
+
+/// Runs the decimation search. Deterministic for fixed (spec, options)
+/// whenever the attempt budget (not the clock or the token) ends it.
+SlsOutcome sls_search(const ProblemSpec& spec, const SlsOptions& options);
+
+}  // namespace ht::core

@@ -12,7 +12,7 @@ thread_local SolveMetrics* t_sink = nullptr;
 constexpr const char* kStageNames[kNumStages] = {
     "enumeration",     "screen",       "cache_probe",
     "bounds_refute",   "lp_bound",     "csp_dispatch",
-    "nogood_propagation", "validation",
+    "nogood_propagation", "validation", "sls_search",
 };
 
 constexpr const char* kPruneNames[kNumPruneReasons] = {"screen", "cache",

@@ -36,8 +36,9 @@ enum class Stage {
   kCspDispatch,      ///< full license-set evaluation (greedy + CSP)
   kNogoodPropagation,  ///< nogood blocking checks inside the CSP
   kValidation,       ///< solution validation before commit
+  kSlsSearch,        ///< portfolio SLS member (decimation + descent)
 };
-inline constexpr int kNumStages = 8;
+inline constexpr int kNumStages = 9;
 
 const char* stage_name(Stage stage);
 

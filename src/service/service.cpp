@@ -173,6 +173,7 @@ void SynthesisService::run_job(PendingJob job) {
     group->combos_skipped_cache += stats.combos_skipped_cache;
     group->lb_prunes += stats.lb_prunes;
     group->nogoods_learned += stats.nogoods_learned;
+    group->incumbents_published += stats.incumbents_published;
     group->last_nodes_total = stats.nodes_total;
     group->last_combos_tried = stats.combos_tried;
     group->last_combos_skipped_cache = stats.combos_skipped_cache;
@@ -242,6 +243,7 @@ Json SynthesisService::stats() const {
     entry.set("combos_skipped_cache", group->combos_skipped_cache);
     entry.set("lb_prunes", group->lb_prunes);
     entry.set("nogoods_learned", group->nogoods_learned);
+    entry.set("incumbents_published", group->incumbents_published);
     entry.set("last_nodes_total", group->last_nodes_total);
     entry.set("last_combos_tried", group->last_combos_tried);
     entry.set("last_combos_skipped_cache",

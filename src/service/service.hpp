@@ -101,6 +101,9 @@ class SynthesisService {
     long long combos_skipped_cache = 0;
     long long lb_prunes = 0;
     long long nogoods_learned = 0;
+    /// Portfolio incumbents published by this group's requests (zero until
+    /// a request runs with PortfolioOptions::enabled).
+    long long incumbents_published = 0;
     /// Wall seconds this group's engine spent inside run(), and the
     /// csp_dispatch stage nanoseconds of requests that collected metrics
     /// (with the nodes those requests ran, so the derived ns/node uses a

@@ -160,6 +160,11 @@ Json stats_to_json(const core::OptimizeStats& stats) {
   json.set("lb_prunes", stats.lb_prunes);
   json.set("lb_lp_solves", stats.lb_lp_solves);
   json.set("nogood_watch_visits", stats.nogood_watch_visits);
+  json.set("incumbents_published", stats.incumbents_published);
+  json.set("sls_steps", stats.sls_steps);
+  json.set("best_source", stats.best_source);
+  json.set("time_to_incumbent_seconds", stats.time_to_incumbent_seconds);
+  json.set("time_to_best_seconds", stats.time_to_best_seconds);
   json.set("seconds", stats.seconds);
   return json;
 }
@@ -177,6 +182,16 @@ void stats_from_json(const Json& json, core::OptimizeStats* out) {
   out->lb_prunes = json.get("lb_prunes").as_int(0);
   out->lb_lp_solves = json.get("lb_lp_solves").as_int(0);
   out->nogood_watch_visits = json.get("nogood_watch_visits").as_int(0);
+  out->incumbents_published = json.get("incumbents_published").as_int(0);
+  out->sls_steps = json.get("sls_steps").as_int(0);
+  // Portfolio attribution defaults are sentinels, not zeros: pre-portfolio
+  // peers simply omit the keys.
+  out->best_source =
+      static_cast<int>(json.get("best_source").as_int(-1));
+  out->time_to_incumbent_seconds =
+      json.get("time_to_incumbent_seconds").as_double(-1.0);
+  out->time_to_best_seconds =
+      json.get("time_to_best_seconds").as_double(-1.0);
   out->seconds = json.get("seconds").as_double(0.0);
 }
 
@@ -408,6 +423,14 @@ Json request_to_json(const core::SynthesisRequest& request) {
   pruning.set("lp_bound", request.pruning.lp_bound);
   json.set("pruning", std::move(pruning));
 
+  Json portfolio = Json::object();
+  portfolio.set("enabled", request.portfolio.enabled);
+  portfolio.set("greedy_member", request.portfolio.greedy_member);
+  portfolio.set("sls_member", request.portfolio.sls_member);
+  portfolio.set("sls_restarts", request.portfolio.sls_restarts);
+  portfolio.set("sls_perturbations", request.portfolio.sls_perturbations);
+  json.set("portfolio", std::move(portfolio));
+
   Json observability = Json::object();
   observability.set("metrics", request.observability.metrics);
   json.set("observability", std::move(observability));
@@ -482,6 +505,19 @@ bool request_from_json(const Json& json, core::SynthesisRequest* out,
       pruning.get("cost_bounds").as_bool(request.pruning.cost_bounds);
   request.pruning.lp_bound =
       pruning.get("lp_bound").as_bool(request.pruning.lp_bound);
+
+  const Json& portfolio = json.get("portfolio");
+  request.portfolio.enabled =
+      portfolio.get("enabled").as_bool(request.portfolio.enabled);
+  request.portfolio.greedy_member =
+      portfolio.get("greedy_member").as_bool(request.portfolio.greedy_member);
+  request.portfolio.sls_member =
+      portfolio.get("sls_member").as_bool(request.portfolio.sls_member);
+  request.portfolio.sls_restarts = static_cast<int>(
+      portfolio.get("sls_restarts").as_int(request.portfolio.sls_restarts));
+  request.portfolio.sls_perturbations = static_cast<int>(
+      portfolio.get("sls_perturbations")
+          .as_int(request.portfolio.sls_perturbations));
 
   request.observability.metrics =
       json.get("observability").get("metrics")

@@ -1,0 +1,289 @@
+// Tests for the racing algorithm portfolio: the IncumbentPool commit rule,
+// the SLS binder's safety properties, and the end-to-end determinism
+// contract — portfolio mode must return the statuses and costs of the
+// exact-only engine on proved rows, bit-identically across thread counts.
+#include "core/incumbent_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "benchmarks/suite.hpp"
+#include "core/engine.hpp"
+#include "core/sls_binder.hpp"
+#include "core/validate.hpp"
+#include "dfg/analysis.hpp"
+#include "vendor/catalogs.hpp"
+
+namespace ht::core {
+namespace {
+
+using dfg::ResourceClass;
+
+/// The contested mixed-class fixture from csp_conflict_test: a feasible
+/// adder subproblem interleaved with a multiplier pigeonhole. At
+/// lambda = 4 the 10 multiplier detection copies cannot fit 2 vendors x
+/// 4 cycles x 1 instance (infeasible); lambda = 5 gives exactly 10 slots
+/// (feasible, tightly contested).
+ProblemSpec mixed_contention_spec(int lambda) {
+  ProblemSpec spec;
+  dfg::Dfg graph("mixed");
+  {
+    const dfg::Operand a = graph.add_input("a");
+    const dfg::Operand b = graph.add_input("b");
+    graph.mark_output(graph.add(a, b));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const dfg::Operand a = graph.add_input("ma" + std::to_string(i));
+    const dfg::Operand b = graph.add_input("mb" + std::to_string(i));
+    graph.mark_output(graph.mul(a, b));
+  }
+  spec.graph = std::move(graph);
+  vendor::Catalog catalog(4);
+  catalog.set_offer(0, ResourceClass::kAdder, {100, 1000});
+  catalog.set_offer(1, ResourceClass::kAdder, {100, 1001});
+  catalog.set_offer(2, ResourceClass::kMultiplier, {100, 1002});
+  catalog.set_offer(3, ResourceClass::kMultiplier, {100, 1003});
+  spec.catalog = std::move(catalog);
+  spec.lambda_detection = lambda;
+  spec.with_recovery = false;
+  spec.area_limit = 1'000'000;
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+/// Recovery-mode paper-suite spec, same shape as engine_test's slice of
+/// the bench size sweep: Section 5 market, tight latency, one instance
+/// per license so cheap sets get disproven before the winner.
+ProblemSpec suite_spec(const benchmarks::BenchmarkCase& bench) {
+  ProblemSpec spec;
+  spec.graph = bench.factory();
+  spec.catalog = vendor::section5();
+  const int critical_path =
+      dfg::critical_path_length(spec.graph, spec.op_latencies());
+  spec.lambda_detection = critical_path + 1;
+  spec.lambda_recovery = critical_path;
+  spec.with_recovery = true;
+  spec.area_limit = 400000;
+  spec.max_instances_per_offer = 1;
+  return spec;
+}
+
+SynthesisRequest exact_request(ProblemSpec spec) {
+  SynthesisRequest request;
+  request.spec = std::move(spec);
+  request.strategy = Strategy::kExact;
+  request.limits.csp_node_limit = 400'000;
+  request.limits.max_combos = 4'000;
+  request.limits.time_limit_seconds = 600;  // never the binding limit
+  return request;
+}
+
+void expect_identical(const OptimizeResult& a, const OptimizeResult& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.status, b.status) << label;
+  if (!a.has_solution()) return;
+  EXPECT_EQ(a.cost, b.cost) << label;
+  ASSERT_EQ(a.solution.num_ops(), b.solution.num_ops()) << label;
+  for (CopyKind kind : a.solution.active_kinds()) {
+    for (dfg::OpId op = 0; op < a.solution.num_ops(); ++op) {
+      EXPECT_EQ(a.solution.at(kind, op), b.solution.at(kind, op))
+          << label << " " << copy_kind_name(kind) << " op " << op;
+    }
+  }
+}
+
+// ---- IncumbentPool ------------------------------------------------------
+
+Incumbent make_incumbent(long long cost, int rank, long index,
+                         double seconds) {
+  Incumbent entry;
+  entry.cost = cost;
+  entry.member_rank = rank;
+  entry.palette_index = index;
+  entry.solution = Solution(1, false);
+  entry.publish_seconds = seconds;
+  return entry;
+}
+
+TEST(IncumbentPoolTest, BestIsPublishOrderIndependent) {
+  // The same entry set in two adversarial orders must elect the same
+  // winner: lowest (cost, member rank, palette index).
+  const std::vector<Incumbent> entries = {
+      make_incumbent(50, 2, 9, 0.3), make_incumbent(40, 2, 4, 0.5),
+      make_incumbent(40, 1, 7, 0.9), make_incumbent(40, 1, 2, 1.2),
+      make_incumbent(60, 0, 0, 0.1),
+  };
+  IncumbentPool forward;
+  for (const Incumbent& entry : entries) forward.publish(entry);
+  std::vector<Incumbent> reversed(entries.rbegin(), entries.rend());
+  IncumbentPool backward;
+  for (const Incumbent& entry : reversed) backward.publish(entry);
+
+  const auto best_f = forward.best();
+  const auto best_b = backward.best();
+  ASSERT_TRUE(best_f.has_value());
+  ASSERT_TRUE(best_b.has_value());
+  EXPECT_EQ(best_f->cost, 40);
+  EXPECT_EQ(best_f->member_rank, 1);
+  EXPECT_EQ(best_f->palette_index, 2);
+  EXPECT_EQ(best_b->cost, best_f->cost);
+  EXPECT_EQ(best_b->member_rank, best_f->member_rank);
+  EXPECT_EQ(best_b->palette_index, best_f->palette_index);
+  EXPECT_EQ(forward.best_cost_hint(), 40);
+  EXPECT_EQ(backward.best_cost_hint(), 40);
+  EXPECT_EQ(forward.published(), 5);
+  EXPECT_EQ(forward.member_stats(1).published, 2);
+  EXPECT_EQ(forward.member_stats(2).best_cost, 40);
+}
+
+TEST(IncumbentPoolTest, TimeToBestTracksWhenTheWinningCostFirstExisted) {
+  IncumbentPool pool;
+  pool.publish(make_incumbent(90, 1, 0, 0.2));
+  EXPECT_DOUBLE_EQ(pool.best_cost_seconds(), 0.2);
+  // Strictly cheaper resets the clock...
+  pool.publish(make_incumbent(70, 2, 1, 0.6));
+  EXPECT_DOUBLE_EQ(pool.best_cost_seconds(), 0.6);
+  // ...an equal-cost entry may only move it earlier (stronger member wins
+  // the commit, but the cost existed from the earlier time).
+  pool.publish(make_incumbent(70, 1, 5, 0.4));
+  EXPECT_DOUBLE_EQ(pool.best_cost_seconds(), 0.4);
+  EXPECT_EQ(pool.best()->member_rank, 1);
+  EXPECT_DOUBLE_EQ(pool.first_publish_seconds(), 0.2);
+}
+
+// ---- SLS binder ---------------------------------------------------------
+
+TEST(SlsBinderTest, EveryReturnedBindingValidatesAndDeterministic) {
+  for (const char* name : {"polynom", "diff2"}) {
+    const ProblemSpec spec = suite_spec(benchmarks::by_name(name));
+    SlsOptions options;
+    options.seed = 7;
+    long improvements = 0;
+    long long last_cost = std::numeric_limits<long long>::max();
+    options.on_improved = [&](const Solution& solution, long long cost,
+                              long attempt) {
+      EXPECT_TRUE(validate_solution(spec, solution).ok()) << name;
+      EXPECT_LT(cost, last_cost) << name << ": improvements must descend";
+      EXPECT_GE(attempt, 0) << name;
+      last_cost = cost;
+      ++improvements;
+    };
+    const SlsOutcome first = sls_search(spec, options);
+    ASSERT_TRUE(first.feasible) << name;
+    EXPECT_TRUE(validate_solution(spec, first.solution).ok()) << name;
+    EXPECT_EQ(first.cost, first.solution.license_cost(spec)) << name;
+    EXPECT_EQ(first.cost, last_cost) << name;
+    EXPECT_GT(improvements, 0) << name;
+    EXPECT_GT(first.steps, 0) << name;
+
+    // Pure function of (spec, options): a rerun reproduces everything.
+    options.on_improved = nullptr;
+    const SlsOutcome second = sls_search(spec, options);
+    EXPECT_EQ(second.cost, first.cost) << name;
+    EXPECT_EQ(second.steps, first.steps) << name;
+    EXPECT_EQ(second.candidates_validated, first.candidates_validated)
+        << name;
+  }
+}
+
+TEST(SlsBinderTest, CostNeverBeatsTheBoundsOffExactOptimum) {
+  // SLS is incomplete: it may miss the optimum but must never claim a
+  // cost below it. Reference = exact engine with every bound/prune off.
+  for (const char* name : {"polynom", "diff2"}) {
+    const ProblemSpec spec = suite_spec(benchmarks::by_name(name));
+    SynthesisRequest reference = exact_request(spec);
+    reference.pruning.cost_bounds = false;
+    const OptimizeResult exact = synthesize(reference).result;
+    ASSERT_EQ(exact.status, OptStatus::kOptimal) << name;
+
+    SlsOptions options;
+    options.seed = 3;
+    const SlsOutcome sls = sls_search(spec, options);
+    ASSERT_TRUE(sls.feasible) << name;
+    EXPECT_GE(sls.cost, exact.cost) << name;
+  }
+}
+
+TEST(SlsBinderTest, ReportsInfeasibleFixtureAsNotFeasible) {
+  const SlsOutcome outcome =
+      sls_search(mixed_contention_spec(4), SlsOptions{});
+  EXPECT_FALSE(outcome.feasible);
+  EXPECT_GT(outcome.steps, 0);
+}
+
+// ---- end-to-end determinism --------------------------------------------
+
+TEST(PortfolioDeterminismTest, OnOffStatusesAndCostsMatchOnContestedFixture) {
+  for (int lambda : {4, 5}) {
+    SynthesisRequest request = exact_request(mixed_contention_spec(lambda));
+    const OptimizeResult off = synthesize(request).result;
+    request.portfolio.enabled = true;
+    const OptimizeResult on = synthesize(request).result;
+    const std::string label = "mixed lambda=" + std::to_string(lambda);
+    ASSERT_EQ(off.status, on.status) << label;
+    if (off.has_solution()) {
+      EXPECT_EQ(off.cost, on.cost) << label;
+      require_valid(request.spec, on.solution);
+    }
+    if (lambda == 4) {
+      EXPECT_EQ(off.status, OptStatus::kInfeasible) << label;
+    }
+  }
+}
+
+TEST(PortfolioDeterminismTest, BitIdenticalAcrossThreadCountsOnPaperSuite) {
+  // A representative slice of the suite keeps the test under budget.
+  for (const char* name : {"polynom", "diff2", "mof2"}) {
+    const benchmarks::BenchmarkCase& bench = benchmarks::by_name(name);
+    SynthesisRequest request = exact_request(suite_spec(bench));
+    request.portfolio.enabled = true;
+
+    std::vector<OptimizeResult> results;
+    for (int threads : {1, 4, 8}) {
+      request.parallelism.threads = threads;
+      results.push_back(synthesize(request).result);
+    }
+    expect_identical(results[0], results[1],
+                     std::string(bench.name) + " 1v4");
+    expect_identical(results[0], results[2],
+                     std::string(bench.name) + " 1v8");
+
+    // And the portfolio must not change the proved answer.
+    request.portfolio.enabled = false;
+    request.parallelism.threads = 1;
+    const OptimizeResult off = synthesize(request).result;
+    ASSERT_EQ(off.status, results[0].status) << bench.name;
+    if (off.has_solution()) {
+      EXPECT_EQ(off.cost, results[0].cost) << bench.name;
+    }
+
+    // Attribution fields are populated in portfolio mode.
+    EXPECT_GE(results[0].stats.incumbents_published, 0);
+    if (results[0].has_solution()) {
+      EXPECT_GE(results[0].stats.best_source, 0) << bench.name;
+      EXPECT_GE(results[0].stats.time_to_best_seconds, 0.0) << bench.name;
+    }
+  }
+}
+
+TEST(PortfolioDeterminismTest, SeederBindingCommitsOnlyAtTheExactCost) {
+  // On the motivational fixture the portfolio must agree with exact-only
+  // and produce a validated binding whatever member supplied it.
+  SynthesisRequest request =
+      exact_request(suite_spec(benchmarks::by_name("polynom")));
+  const OptimizeResult off = synthesize(request).result;
+  ASSERT_EQ(off.status, OptStatus::kOptimal);
+
+  request.portfolio.enabled = true;
+  const OptimizeResult on = synthesize(request).result;
+  ASSERT_EQ(on.status, OptStatus::kOptimal);
+  EXPECT_EQ(on.cost, off.cost);
+  require_valid(request.spec, on.solution);
+  EXPECT_GT(on.stats.incumbents_published, 0);
+}
+
+}  // namespace
+}  // namespace ht::core

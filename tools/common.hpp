@@ -40,6 +40,9 @@ struct EngineOptions {
   double time_limit = 0;  // 0: engine default
   bool cost_bounds = true;
   bool metrics = false;
+  /// Racing portfolio mode (PortfolioOptions::enabled): greedy + SLS
+  /// incumbent seeders race ahead of the exact enumeration.
+  bool portfolio = false;
   std::uint64_t seed = 1;
 };
 
@@ -127,6 +130,7 @@ inline core::SynthesisRequest build_request(const core::ProblemSpec& spec,
   request.seed = options.seed;
   request.parallelism.threads = options.threads;
   request.pruning.cost_bounds = options.cost_bounds;
+  request.portfolio.enabled = options.portfolio;
   request.observability.metrics = options.metrics;
   if (options.time_limit > 0) {
     request.limits.time_limit_seconds = options.time_limit;

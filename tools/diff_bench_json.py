@@ -23,6 +23,12 @@ Rows carrying an embedded per-stage "metrics" object (see
 obs/metrics.hpp) are reported informationally only: drift in a stage
 count, a prune-reason split, or a field appearing/disappearing is noted,
 never failed — stage timings and histograms vary with load by design.
+The racing-portfolio attribution keys (time_to_incumbent_s,
+time_to_best_s, winner_member — emitted only by portfolio-aware runs)
+get the same treatment: time-to-first-incumbent / time-to-best shifts
+and winner-member flips are noted, never failed, because they are
+wall-clock races; the committed status/cost those races produce is what
+the hard checks above already cover.
 
 Exit status: 0 = no regression on any shared row, 1 = regression
 (status downgrade, terminal-proof contradiction, or cost change) or
@@ -118,6 +124,35 @@ def note_ns_per_node(key, base, cand):
           f"{base_npn:.1f} -> {cand_npn:.1f} ({ratio:.2f}x)")
 
 
+def note_portfolio_drift(key, base, cand):
+    """Informational portfolio-attribution notes (racing portfolio rows).
+
+    Keys are absent on pre-portfolio logs and on rows that never raced or
+    never held a solution, so every access tolerates a missing field.
+    Never fails the diff: which member wins and how fast an incumbent
+    lands are wall-clock outcomes, load-dependent by nature — but a
+    winner flip or a big time-to-best swing is exactly the kind of drift
+    a reviewer wants surfaced next to the hard status/cost checks.
+    """
+    for field in ("time_to_incumbent_s", "time_to_best_s"):
+        base_t, cand_t = base.get(field), cand.get(field)
+        if base_t is None and cand_t is None:
+            continue
+        if base_t is None or cand_t is None:
+            side = "candidate" if base_t is None else "baseline"
+            print(f"diff_bench_json: note: {key}: {field} only in "
+                  f"{side} row")
+            continue
+        ratio = cand_t / base_t if base_t > 0 else float("inf")
+        if base_t != cand_t:
+            print(f"diff_bench_json: note: {key}: {field} "
+                  f"{base_t:.4f} -> {cand_t:.4f} ({ratio:.2f}x)")
+    base_w, cand_w = base.get("winner_member"), cand.get("winner_member")
+    if base_w != cand_w:
+        print(f"diff_bench_json: note: {key}: winner_member "
+              f"{base_w!r} -> {cand_w!r}")
+
+
 def main():
     if len(sys.argv) != 3:
         raise SystemExit(__doc__)
@@ -156,6 +191,7 @@ def main():
                 and base["cost"] != cand["cost"]):
             regressions.append(f"  {key}: cost {base['cost']!r} -> "
                                f"{cand['cost']!r}")
+        note_portfolio_drift(key, base, cand)
         note_metric_drift(key, base, cand)
 
     if regressions:

@@ -23,6 +23,9 @@
 //   --time-limit S              search wall-clock budget in seconds
 //   --no-bounds                 disable the branch-and-bound lower bounds
 //                               (A/B baseline; same answers, slower)
+//   --portfolio                 racing portfolio: greedy + SLS incumbent
+//                               seeders race ahead of the exact search
+//                               (same proved answers, faster to optimal)
 //   --progress                  print combos-tried / incumbent-cost lines
 //                               as the search advances
 //   --seed N                    RNG seed (default 1)
@@ -67,6 +70,7 @@ struct Options {
   int threads = 1;
   double time_limit = 0;  // 0: engine default
   bool cost_bounds = true;
+  bool portfolio = false;
   bool progress = false;
   std::uint64_t seed = 1;
   int trials = 400;
@@ -98,6 +102,7 @@ struct Options {
     engine.threads = threads;
     engine.time_limit = time_limit;
     engine.cost_bounds = cost_bounds;
+    engine.portfolio = portfolio;
     engine.metrics = wants_metrics();
     engine.seed = seed;
     return engine;
@@ -114,6 +119,7 @@ struct Options {
       "         --detection-only  --area N  --strategy exact|heuristic\n"
       "         --threads N (0 = all cores)  --time-limit SECONDS  --progress\n"
       "         --no-bounds (disable branch-and-bound lower bounds)\n"
+      "         --portfolio (race greedy + SLS incumbent seeders)\n"
       "         --seed N  --trials N  -o FILE  --share-registers\n"
       "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n"
       "         --trace FILE (Chrome trace-event JSON of the solve)\n"
@@ -157,6 +163,8 @@ Options parse_args(int argc, char** argv) {
       options.time_limit = std::stod(need_value(flag));
     } else if (flag == "--no-bounds") {
       options.cost_bounds = false;
+    } else if (flag == "--portfolio") {
+      options.portfolio = true;
     } else if (flag == "--progress") {
       options.progress = true;
     } else if (flag == "--seed") {

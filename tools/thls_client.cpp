@@ -10,14 +10,18 @@
 //
 // optimize shares thls's spec flags (--catalog --lambda-det --lambda-rec
 // --detection-only --area --strategy --threads --time-limit --seed
-// --no-bounds --no-close-pairs --metrics) and adds:
+// --no-bounds --portfolio --no-close-pairs --metrics) and adds:
 //   --kind K          minimize (default) | minimize_total_latency |
 //                     area_frontier | latency_frontier
 //   --lambda-total N  for minimize_total_latency
 //   --sweep A,B,C     constraint values for the frontier kinds
 //   --priority N --deadline-ms N --id S --cold
 //   --verify          also solve locally on a cold engine and fail unless
-//                     status, cost and bindings match the daemon's reply
+//                     status, cost and bindings match the daemon's reply;
+//                     the local run honors --threads (batch: overriding
+//                     each request's own thread count — results are
+//                     thread-count invariant, so any value is a valid
+//                     referee) and the diff line reports the count used
 //
 // print-request writes the request's wire JSON (one line) to stdout —
 // compose batch files with it. batch submits every line of FILE
@@ -65,6 +69,9 @@ struct ClientOptions {
   std::vector<long long> sweep;
   service::JobInfo job;
   bool verify = false;
+  /// --threads was given explicitly: batch --verify then overrides each
+  /// parsed request's thread count for the local referee run.
+  bool threads_set = false;
 };
 
 ClientOptions parse_args(int argc, char** argv) {
@@ -105,10 +112,13 @@ ClientOptions parse_args(int argc, char** argv) {
       options.engine.strategy = need_value(flag);
     } else if (flag == "--threads") {
       options.engine.threads = std::stoi(need_value(flag));
+      options.threads_set = true;
     } else if (flag == "--time-limit") {
       options.engine.time_limit = std::stod(need_value(flag));
     } else if (flag == "--no-bounds") {
       options.engine.cost_bounds = false;
+    } else if (flag == "--portfolio") {
+      options.engine.portfolio = true;
     } else if (flag == "--metrics") {
       options.engine.metrics = true;
     } else if (flag == "--seed") {
@@ -181,20 +191,25 @@ service::Json outcome_json(const core::SynthesisResponse& response) {
 }
 
 /// Daemon reply vs. a local cold-engine run of the same request. Returns
-/// true when the outcomes are bit-identical.
+/// true when the outcomes are bit-identical. The local run uses the
+/// request's thread count as given (callers apply any --threads override
+/// first); both report lines name it so a diff is attributable.
 bool verify_against_local(const core::SynthesisRequest& request,
                           const core::SynthesisResponse& remote,
                           const std::string& label) {
+  const int threads = request.parallelism.resolved_threads();
   const core::SynthesisResponse local = core::synthesize(request);
   const std::string remote_outcome = outcome_json(remote).dump();
   const std::string local_outcome = outcome_json(local).dump();
   if (remote_outcome == local_outcome) {
-    std::printf("%s: verify: daemon matches local cold engine\n",
-                label.c_str());
+    std::printf(
+        "%s: verify: daemon matches local cold engine (threads=%d)\n",
+        label.c_str(), threads);
     return true;
   }
-  std::fprintf(stderr, "%s: verify FAILED\n  daemon: %s\n  local : %s\n",
-               label.c_str(), remote_outcome.c_str(),
+  std::fprintf(stderr,
+               "%s: verify FAILED (threads=%d)\n  daemon: %s\n  local : %s\n",
+               label.c_str(), threads, remote_outcome.c_str(),
                local_outcome.c_str());
   return false;
 }
@@ -309,9 +324,18 @@ int cmd_batch(const ClientOptions& options) {
         return;
       }
       print_reply(label, reply);
-      if (options.verify &&
-          !verify_against_local(requests[r], reply.response, label)) {
-        ++failures;
+      if (options.verify) {
+        // Honor the command line's --threads for the referee run (the
+        // batch file's requests carry their own thread counts; results
+        // are thread-count invariant, so overriding is safe and lets CI
+        // verify at full width).
+        core::SynthesisRequest local = requests[r];
+        if (options.threads_set) {
+          local.parallelism.threads = options.engine.threads;
+        }
+        if (!verify_against_local(local, reply.response, label)) {
+          ++failures;
+        }
       }
     });
   }
