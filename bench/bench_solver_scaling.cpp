@@ -16,8 +16,11 @@
 #include "bench_util.hpp"
 
 #include <algorithm>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "benchmarks/random_dfg.hpp"
@@ -26,6 +29,7 @@
 #include "core/ilp_formulation.hpp"
 #include "core/reoptimize.hpp"
 #include "dfg/analysis.hpp"
+#include "service/service.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "vendor/catalogs.hpp"
@@ -730,6 +734,237 @@ void print_portfolio_study() {
             "— is the portfolio's win)\n");
 }
 
+// Service throughput A/B: the same 16-request single-hot-market batch
+// through an in-process SynthesisService with the engine pool at 1 (the
+// pre-snapshot fully-serialized behavior) and at 4 (concurrent same-market
+// serving over the shared warm snapshot). area_limit is excluded from
+// spec_family_fingerprint, so 16 distinct *ascending* area limits land in
+// one market group — ascending so no request's window is refuted by an
+// earlier request's sealed proofs (a proof at a tighter area never
+// dominates a roomier query) and both sides resolve the same work; the
+// parallelism measured is real, not cache shortcutting. Identity is the
+// hard contract: every concurrent reply must be bit-identical to a cold
+// single-request solve, and a final *descending* replay (the tightest area
+// again, now dominated by the batch's roomier proofs) must hit the warm
+// snapshot. Either violated sets the process exit code. The ≥3x
+// requests/sec gate additionally requires >= 4 hardware threads — on a
+// smaller host the batch still runs and both identity gates still bind,
+// but wall-clock speedup is hardware-limited and only reported.
+bool g_service_mismatch = false;
+
+void print_service_throughput_study() {
+  std::puts("=== Service throughput (same-market concurrency A/B) ===\n");
+
+  constexpr int kRequests = 16;
+  constexpr int kWorkers = 4;
+  std::vector<core::SynthesisRequest> requests;
+  for (int i = 0; i < kRequests; ++i) {
+    core::SynthesisRequest request;
+    request.spec = suite_like_spec("polynom", 0, 1);
+    request.spec.area_limit = 400'000 + 1'000 * static_cast<long long>(i);
+    // Screens and bounds off so each request is real CSP grind; the
+    // node/combo budgets make every resolved window a pure function of
+    // the spec (the identity check depends on that determinism). Sized
+    // for tens of milliseconds per solve so the speedup measurement
+    // dominates scheduling noise, not the other way round.
+    request.pruning.static_screens = false;
+    request.pruning.cost_bounds = false;
+    request.limits.max_combos = 96;
+    request.limits.csp_node_limit = 60'000;
+    request.limits.time_limit_seconds = 300;
+    requests.push_back(std::move(request));
+  }
+
+  // Cold references: each request on a fresh engine, no service, no warm
+  // state. The service's speed-only contract makes these the oracle.
+  std::vector<core::SynthesisResponse> cold;
+  cold.reserve(requests.size());
+  for (const core::SynthesisRequest& request : requests) {
+    cold.push_back(core::synthesize(request));
+  }
+
+  struct Batch {
+    double wall_s = 0.0;
+    double p50 = 0.0, p95 = 0.0, max = 0.0;
+    long long replay_cache_skips = 0;
+    int max_concurrent = 0;
+  };
+  const auto same_outcome = [&](const core::SynthesisResponse& got,
+                                std::size_t i) {
+    const core::SynthesisResponse& want = cold[i];
+    return got.result.status == want.result.status &&
+           got.result.cost == want.result.cost &&
+           (!want.result.has_solution() ||
+            got.result.solution.licenses_used(requests[i].spec) ==
+                want.result.solution.licenses_used(requests[i].spec));
+  };
+
+  const auto run_batch = [&](int pool, const char* tag) {
+    Batch batch;
+    service::ServiceConfig config;
+    config.workers = kWorkers;
+    config.queue_capacity = kRequests + 8;
+    config.engine_pool = pool;
+    service::SynthesisService service(config);
+
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t finished = 0;
+    std::vector<service::ServiceReply> replies(requests.size());
+    util::Timer timer;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      service::JobInfo info;
+      info.id = std::string(tag) + "-" + std::to_string(i);
+      std::string error;
+      const bool admitted = service.submit(
+          info, requests[i],
+          [&, i](const service::ServiceReply& reply) {
+            std::lock_guard<std::mutex> lock(mutex);
+            replies[i] = reply;
+            ++finished;
+            cv.notify_all();
+          },
+          &error);
+      if (!admitted) {
+        g_service_mismatch = true;
+        std::printf("ADMISSION FAILURE (%s) on request %zu: %s\n", tag, i,
+                    error.c_str());
+        std::lock_guard<std::mutex> lock(mutex);
+        ++finished;
+      }
+    }
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      cv.wait(lock, [&] { return finished == requests.size(); });
+    }
+    batch.wall_s = timer.elapsed_seconds();
+
+    std::vector<double> e2e;
+    for (std::size_t i = 0; i < replies.size(); ++i) {
+      const service::ServiceReply& reply = replies[i];
+      if (!reply.ok() || !reply.warm || !same_outcome(reply.response, i)) {
+        g_service_mismatch = true;
+        std::printf(
+            "MISMATCH (%s) on area %lld: service %s/%lld vs cold %s/%lld\n",
+            tag, requests[i].spec.area_limit,
+            core::to_string(reply.response.result.status).c_str(),
+            reply.response.result.cost,
+            core::to_string(cold[i].result.status).c_str(),
+            cold[i].result.cost);
+      }
+      e2e.push_back(reply.queue_seconds + reply.solve_seconds);
+      g_json.add(benchx::record_of(std::string("service_") + tag +
+                                       "/polynom",
+                                   requests[i].spec, kWorkers,
+                                   reply.response.result,
+                                   reply.solve_seconds));
+    }
+    std::sort(e2e.begin(), e2e.end());
+    const auto pct = [&](double p) {
+      const std::size_t idx = std::min(
+          e2e.size() - 1, static_cast<std::size_t>(
+                              p * static_cast<double>(e2e.size())));
+      return e2e[idx];
+    };
+    batch.p50 = pct(0.50);
+    batch.p95 = pct(0.95);
+    batch.max = e2e.back();
+
+    // Descending replay: the tightest area again. Every roomier request's
+    // sealed proofs dominate it, so the published snapshot must hand this
+    // solve cache skips — and the skips consume dispatch slots, so the
+    // answer still matches the cold oracle exactly.
+    service::JobInfo replay;
+    replay.id = std::string(tag) + "-replay";
+    const service::ServiceReply replayed =
+        service.execute(replay, requests.front());
+    batch.replay_cache_skips =
+        replayed.response.result.stats.combos_skipped_cache;
+    if (!replayed.ok() || !same_outcome(replayed.response, 0) ||
+        batch.replay_cache_skips <= 0) {
+      g_service_mismatch = true;
+      std::printf(
+          "REPLAY FAILURE (%s): %s, cache skips %lld (want > 0, identical "
+          "outcome)\n",
+          tag,
+          replayed.ok() ? core::to_string(replayed.response.result.status)
+                              .c_str()
+                        : replayed.error.c_str(),
+          batch.replay_cache_skips);
+    }
+
+    // Measured engine concurrency, from the market group's high-water
+    // mark (reported; the pool=1 side must stay at exactly 1).
+    const service::Json stats = service.stats();
+    for (const service::Json& market : stats.get("markets").items()) {
+      batch.max_concurrent = std::max(
+          batch.max_concurrent,
+          static_cast<int>(market.get("max_concurrent").as_int(0)));
+    }
+    if (pool == 1 && batch.max_concurrent > 1) {
+      g_service_mismatch = true;
+      std::printf("POOL BREACH (%s): max_concurrent %d with pool=1\n", tag,
+                  batch.max_concurrent);
+    }
+
+    benchx::JsonRecord summary;
+    summary.benchmark = std::string("service_throughput/") + tag;
+    summary.n = requests.front().spec.graph.num_ops();
+    summary.lambda = requests.front().spec.lambda_detection;
+    summary.threads = kWorkers;
+    summary.status = "batch";
+    summary.wall_s = batch.wall_s;
+    summary.req_per_sec =
+        static_cast<double>(kRequests) / std::max(batch.wall_s, 1e-9);
+    summary.latency_p50_s = batch.p50;
+    summary.latency_p95_s = batch.p95;
+    summary.latency_max_s = batch.max;
+    summary.combos_skipped_cache = batch.replay_cache_skips;
+    g_json.add(std::move(summary));
+    return batch;
+  };
+
+  const Batch serial = run_batch(1, "pool1");
+  const Batch pooled = run_batch(kWorkers, "pool4");
+
+  const double speedup =
+      serial.wall_s / std::max(pooled.wall_s, 1e-9);
+  const unsigned hw = std::thread::hardware_concurrency();
+  util::TablePrinter table({"mode", "wall s", "req/s", "p50 s", "p95 s",
+                            "max s", "max conc", "replay skips"});
+  const auto add_row = [&](const char* name, const Batch& batch) {
+    table.add_row(
+        {name, util::format_double(batch.wall_s, 2),
+         util::format_double(static_cast<double>(kRequests) /
+                                 std::max(batch.wall_s, 1e-9),
+                             1),
+         util::format_double(batch.p50, 3),
+         util::format_double(batch.p95, 3),
+         util::format_double(batch.max, 3),
+         std::to_string(batch.max_concurrent),
+         std::to_string(batch.replay_cache_skips)});
+  };
+  add_row("pool=1 (serialized)", serial);
+  add_row("pool=4 (concurrent)", pooled);
+  benchx::print_table(table, "single hot market, 16 requests, 4 workers");
+  std::printf("throughput speedup: %.2fx (%u hardware threads)\n",
+              speedup, hw);
+  if (hw >= 4) {
+    if (speedup < 3.0) {
+      g_service_mismatch = true;
+      std::printf("SPEEDUP FAILURE: %.2fx < 3x with %u hardware threads\n",
+                  speedup, hw);
+    }
+  } else {
+    std::puts("(hardware-limited: < 4 hardware threads, so the >=3x "
+              "requests/sec gate is\nreported only; identity and replay "
+              "gates above still bind)");
+  }
+  std::puts("(every reply is bit-identical to a cold single-request solve; "
+            "the pool only\nchanges who computes an answer first, never the "
+            "answer)\n");
+}
+
 void BM_ExactByOps(benchmark::State& state) {
   const core::ProblemSpec spec =
       random_spec(static_cast<int>(state.range(0)),
@@ -763,9 +998,9 @@ BENCHMARK(BM_HeuristicByOps)->Arg(5)->Arg(10)->Arg(15)->Arg(20)
 // `--json <path>`, `--fast` and `--no-bounds` before google-benchmark sees
 // the argv, then run the reproduction, the parallel-scaling / pruning /
 // bounds / cache sections, and the registered timings. `--fast` runs only
-// the pruning / cache / flat-state / portfolio studies — the subset whose
-// statuses and costs are reproducible under any load, which is what the
-// CI bench-smoke diff checks. `--no-bounds` disables the lower bounds
+// the pruning / cache / flat-state / portfolio / service-throughput
+// studies — the subset whose statuses and costs are reproducible under any
+// load, which is what the CI bench-smoke diff checks. `--no-bounds` disables the lower bounds
 // everywhere (the bounds study still runs its own explicit A/B).
 int main(int argc, char** argv) {
   const std::string json_path = ht::benchx::consume_json_flag(argc, argv);
@@ -795,6 +1030,7 @@ int main(int argc, char** argv) {
   print_cache_study();
   print_flat_ab_study();
   print_portfolio_study();
+  print_service_throughput_study();
   if (!fast) print_bounds_study();
 
   if (!json_path.empty()) {
@@ -813,6 +1049,11 @@ int main(int argc, char** argv) {
   if (g_portfolio_mismatch) {
     std::puts("portfolio: exact-identity/upgrade contract violated; "
               "failing the run");
+    return 1;
+  }
+  if (g_service_mismatch) {
+    std::puts("service_throughput: identity/replay/speedup contract "
+              "violated; failing the run");
     return 1;
   }
   if (fast) return 0;

@@ -103,6 +103,15 @@ struct JsonRecord {
   int winner_member = -1;
   /// Incumbents published by the greedy/SLS members (0 portfolio-off).
   long incumbents = 0;
+  // ---- service-throughput summary rows (thlsd concurrency study).
+  // Negative values mean "not a service row" and the keys are omitted, so
+  // solver rows serialize exactly as before. ------------------------------
+  /// Completed requests per wall second for the batch this row summarizes.
+  double req_per_sec = -1.0;
+  /// End-to-end (queue wait + solve) latency percentiles of the batch.
+  double latency_p50_s = -1.0;
+  double latency_p95_s = -1.0;
+  double latency_max_s = -1.0;
   /// Per-stage counters and duration histograms (obs/metrics.hpp); all
   /// zeros — and omitted from the JSON — unless the bench enabled
   /// OptimizerOptions::collect_metrics for this row.
@@ -184,6 +193,21 @@ class JsonReport {
             << core::portfolio_member_name(r.winner_member) << "\"";
       }
       if (r.incumbents > 0) out << ", \"incumbents\": " << r.incumbents;
+      if (r.req_per_sec >= 0.0) {
+        out << ", \"req_per_sec\": " << util::format_double(r.req_per_sec, 4);
+      }
+      if (r.latency_p50_s >= 0.0) {
+        out << ", \"latency_p50_s\": "
+            << util::format_double(r.latency_p50_s, 4);
+      }
+      if (r.latency_p95_s >= 0.0) {
+        out << ", \"latency_p95_s\": "
+            << util::format_double(r.latency_p95_s, 4);
+      }
+      if (r.latency_max_s >= 0.0) {
+        out << ", \"latency_max_s\": "
+            << util::format_double(r.latency_max_s, 4);
+      }
       // Per-stage metrics ride along only when the row collected them, so
       // rows from metrics-off benches serialize exactly as before.
       if (!r.metrics.empty()) {

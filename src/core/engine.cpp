@@ -659,6 +659,27 @@ SynthesisResponse synthesize(const SynthesisRequest& request) {
   return engine.run(request);
 }
 
+void SynthesisEngine::adopt_warm(const WarmSnapshotPtr& snap) {
+  if (snap == nullptr) {
+    cache_.adopt(nullptr);
+    nogoods_.adopt(nullptr);
+    return;
+  }
+  // Aliasing shared_ptrs: both sub-snapshots pin the whole WarmSnapshot, so
+  // the bundle stays alive as long as either store reads from it.
+  cache_.adopt(
+      std::shared_ptr<const CacheSnapshot>(snap, &snap->cache));
+  nogoods_.adopt(
+      std::shared_ptr<const NogoodSnapshot>(snap, &snap->nogoods));
+}
+
+WarmDelta SynthesisEngine::export_warm_delta() const {
+  WarmDelta delta;
+  delta.cache = cache_.export_delta();
+  delta.nogoods = nogoods_.export_delta();
+  return delta;
+}
+
 OptimizeResult SynthesisEngine::minimize() {
   op_epoch_ = cache_.begin_op(request_.spec);
   nogood_epoch_ = nogoods_.begin_op(request_.spec);

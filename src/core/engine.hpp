@@ -40,6 +40,7 @@
 #include "core/nogood.hpp"
 #include "core/optimizer.hpp"
 #include "core/search_cache.hpp"
+#include "core/warm_state.hpp"
 #include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
@@ -315,6 +316,20 @@ class SynthesisEngine {
   /// Palette-guarded nogoods accumulated across this engine's operations
   /// (see core/nogood.hpp); same lifetime discipline as cache().
   const NogoodStore& nogoods() const { return nogoods_; }
+
+  /// Installs a shared read-only warm-state snapshot (core/warm_state.hpp):
+  /// the engine drops everything it accumulated itself and serves sealed
+  /// queries from `snap` plus whatever the next run records privately.
+  /// nullptr resets the engine to cold. Not thread-safe — call between
+  /// operations; the snapshot itself may be adopted by any number of
+  /// engines concurrently.
+  void adopt_warm(const WarmSnapshotPtr& snap);
+
+  /// The warm state this engine accumulated on top of its adopted base
+  /// (the base itself is excluded). Call after run() returns — the
+  /// operation's finalize has already pruned live tiers to their
+  /// deterministically-dispatched prefix.
+  WarmDelta export_warm_delta() const;
 
  private:
   /// minimize() against an explicit spec (splits/frontier points override

@@ -26,6 +26,29 @@ guard_key(const PaletteSignature& sig) {
 
 }  // namespace
 
+// Canonical (cost, literals, guard) order; the epoch/ctx tie-break keys of
+// begin_op()'s seal are gone from snapshot entries by design — they scope
+// recordings *within* one engine and mean nothing across engines.
+void canonicalize_sealed_nogoods(std::vector<SealedNogood>* entries) {
+  std::sort(entries->begin(), entries->end(),
+            [](const SealedNogood& a, const SealedNogood& b) {
+              if (a.combo_cost != b.combo_cost) {
+                return a.combo_cost < b.combo_cost;
+              }
+              if (a.nogood != b.nogood) return nogood_less(a.nogood, b.nogood);
+              return guard_key(a.guard) < guard_key(b.guard);
+            });
+  entries->erase(std::unique(entries->begin(), entries->end(),
+                             [](const SealedNogood& a, const SealedNogood& b) {
+                               return a.nogood == b.nogood &&
+                                      guard_key(a.guard) == guard_key(b.guard);
+                             }),
+                 entries->end());
+  if (entries->size() > NogoodStore::seal_cap()) {
+    entries->resize(NogoodStore::seal_cap());
+  }
+}
+
 std::uint64_t NogoodStore::begin_op(const ProblemSpec& spec) {
   std::lock_guard<std::mutex> lock(mutex_);
   // Same family-compatibility discipline as SearchCache::begin_op: the
@@ -116,6 +139,16 @@ void NogoodStore::collect_frozen(const PaletteSignature& sig,
                                  std::uint64_t epoch,
                                  std::vector<CspNogood>* out) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // The adopted base tier is sealed by construction, so it is visible to
+  // every epoch; its stored order is canonical, keeping imports
+  // deterministic for any engine that adopted the same snapshot.
+  if (base_ != nullptr) {
+    for (const SealedNogood& sealed : base_->entries) {
+      if (signature_dominates(sealed.guard, sig)) {
+        out->push_back(sealed.nogood);
+      }
+    }
+  }
   for (const Stored& stored : frozen_) {
     if (stored.epoch >= epoch) continue;  // not sealed: invisible
     if (signature_dominates(stored.guard, sig)) {
@@ -135,7 +168,8 @@ void NogoodStore::finalize_context(std::uint64_t epoch, std::uint64_t ctx,
 
 std::size_t NogoodStore::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return frozen_.size() + pending_.size();
+  const std::size_t base = base_ != nullptr ? base_->entries.size() : 0;
+  return base + frozen_.size() + pending_.size();
 }
 
 void NogoodStore::clear() {
@@ -144,8 +178,42 @@ void NogoodStore::clear() {
 }
 
 void NogoodStore::clear_locked() {
+  base_.reset();  // an incompatible spec family drops the adopted tier too
   frozen_.clear();
   pending_.clear();
+}
+
+void NogoodStore::adopt(std::shared_ptr<const NogoodSnapshot> base) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clear_locked();
+  base_ = std::move(base);
+  if (base_ != nullptr) {
+    fingerprint_ = base_->fingerprint;
+    offer_areas_ = base_->offer_areas;
+  } else {
+    fingerprint_ = 0;
+    offer_areas_.clear();
+  }
+}
+
+NogoodSnapshot NogoodStore::export_delta() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NogoodSnapshot delta;
+  delta.fingerprint = fingerprint_;
+  delta.offer_areas = offer_areas_;
+  delta.entries.reserve(frozen_.size() + pending_.size());
+  for (const Stored& stored : frozen_) {
+    delta.entries.push_back(
+        SealedNogood{stored.nogood, stored.guard, stored.combo_cost});
+  }
+  // pending_ has been pruned by finalize_context() to the deterministically
+  // dispatched prefix, same argument as SearchCache::export_delta.
+  for (const Stored& stored : pending_) {
+    delta.entries.push_back(
+        SealedNogood{stored.nogood, stored.guard, stored.combo_cost});
+  }
+  canonicalize_sealed_nogoods(&delta.entries);
+  return delta;
 }
 
 }  // namespace ht::core

@@ -23,12 +23,36 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "core/search_cache.hpp"
 
 namespace ht::core {
+
+/// One sealed guarded nogood, stripped of epoch/ctx scoping (snapshot
+/// entries are sealed before any operation that imports them).
+struct SealedNogood {
+  CspNogood nogood;
+  PaletteSignature guard;
+  long long combo_cost = 0;
+};
+
+/// Immutable always-sealed nogood tier shared read-only between concurrent
+/// engines serving the same spec family. Entries are kept in the canonical
+/// sealed order (cost, literals, guard), deduped and capped exactly like
+/// NogoodStore's own frozen tier, so imports stay deterministic.
+struct NogoodSnapshot {
+  std::uint64_t fingerprint = 0;       ///< spec_family_fingerprint
+  std::vector<long long> offer_areas;  ///< union layout, -1 = unseen
+  std::vector<SealedNogood> entries;
+};
+
+/// Sorts `entries` canonically, drops duplicate (nogood, guard) pairs and
+/// caps the result at NogoodStore's seal cap — the same rule begin_op()
+/// applies when sealing, shared with snapshot merges.
+void canonicalize_sealed_nogoods(std::vector<SealedNogood>* entries);
 
 /// Thread-safe store of palette-guarded nogoods, scoped to one spec family
 /// (same fingerprint discipline as SearchCache::begin_op).
@@ -61,6 +85,20 @@ class NogoodStore {
   void finalize_context(std::uint64_t epoch, std::uint64_t ctx,
                         long long keep_below);
 
+  /// Installs `base` as an always-sealed read-only tier underneath this
+  /// store (collect_frozen scans it first, in its stored canonical order),
+  /// dropping everything the store held before and adopting the base's
+  /// family fingerprint and offer-area layout. nullptr resets to cold.
+  /// Not thread-safe: call between engine operations only.
+  void adopt(std::shared_ptr<const NogoodSnapshot> base);
+
+  /// Exports the store's *own* surviving entries (frozen + pending, base
+  /// excluded) canonicalized. Call after finalize_context().
+  NogoodSnapshot export_delta() const;
+
+  /// The frozen-tier size cap sealing and snapshot merges share.
+  static constexpr std::size_t seal_cap() { return kSealCap; }
+
   std::size_t size() const;
   void clear();
 
@@ -87,6 +125,8 @@ class NogoodStore {
   /// Recordings of the current operation; merged into frozen_ (sorted,
   /// deduped, capped) by the next begin_op.
   std::vector<Stored> pending_;
+  /// Adopted always-sealed tier (see adopt()); nullptr when running cold.
+  std::shared_ptr<const NogoodSnapshot> base_;
   std::uint64_t epoch_ = 0;
   std::uint64_t fingerprint_ = 0;  ///< 0 = no family adopted yet
   /// Offer areas seen so far (vendor * kNumResourceClasses + cls -> area,

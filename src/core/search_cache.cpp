@@ -84,6 +84,53 @@ bool signature_dominates(const PaletteSignature& entry,
   return true;
 }
 
+namespace {
+
+/// Total lexicographic order over signatures; any fixed total order works
+/// for canonicalization, this one matches the field declaration order.
+bool signature_less(const PaletteSignature& a, const PaletteSignature& b) {
+  for (std::size_t cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (a.masks[cls] != b.masks[cls]) return a.masks[cls] < b.masks[cls];
+  }
+  if (a.lambda_detection != b.lambda_detection) {
+    return a.lambda_detection < b.lambda_detection;
+  }
+  if (a.lambda_recovery != b.lambda_recovery) {
+    return a.lambda_recovery < b.lambda_recovery;
+  }
+  return a.area_limit < b.area_limit;
+}
+
+}  // namespace
+
+bool cache_proof_less(const CacheProof& a, const CacheProof& b) {
+  if (a.combo_cost != b.combo_cost) return a.combo_cost < b.combo_cost;
+  return signature_less(a.sig, b.sig);
+}
+
+// Same keep-first antichain rule as SearchCache::compact_frozen; verdicts
+// are unchanged because every dropped proof's dominator survives.
+void compact_cache_proofs(std::vector<CacheProof>* proofs) {
+  std::vector<CacheProof>& entries = *proofs;
+  std::vector<char> drop(entries.size(), 0);
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    for (std::size_t j = 0; j < entries.size(); ++j) {
+      if (j == i || drop[j]) continue;
+      if (!signature_dominates(entries[j].sig, entries[i].sig)) continue;
+      if (signature_dominates(entries[i].sig, entries[j].sig) && i < j) {
+        continue;
+      }
+      drop[i] = 1;
+      break;
+    }
+  }
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!drop[i]) entries[out++] = entries[i];
+  }
+  entries.resize(out);
+}
+
 std::uint64_t SearchCache::begin_op(const ProblemSpec& spec) {
   HT_TRACE_SPAN("cache/begin_op");
   const std::uint64_t fingerprint = spec_family_fingerprint(spec);
@@ -168,6 +215,14 @@ void SearchCache::record(const PaletteSignature& sig, std::uint64_t epoch,
 
 bool SearchCache::query(const PaletteSignature& sig, std::uint64_t epoch,
                         std::uint64_t ctx, bool frozen_only) const {
+  // The adopted base tier is immutable and sealed by construction (it only
+  // holds entries that survived a completed operation elsewhere), so it is
+  // visible to frozen queries of every epoch without any locking.
+  if (base_ != nullptr) {
+    for (const CacheProof& proof : base_->proofs) {
+      if (signature_dominates(proof.sig, sig)) return true;
+    }
+  }
   for (const Shard& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
     // Frozen entries were sealed by begin_op(), so entry.epoch < epoch
@@ -236,7 +291,7 @@ void SearchCache::finalize_context(std::uint64_t epoch, std::uint64_t ctx,
 }
 
 std::size_t SearchCache::size() const {
-  std::size_t total = 0;
+  std::size_t total = base_ != nullptr ? base_->proofs.size() : 0;
   for (const Shard& shard : shards_) {
     std::shared_lock<std::shared_mutex> lock(shard.mutex);
     total += shard.frozen.size() + shard.live.size();
@@ -245,6 +300,7 @@ std::size_t SearchCache::size() const {
 }
 
 void SearchCache::clear() {
+  base_.reset();  // an incompatible spec family drops the adopted tier too
   for (Shard& shard : shards_) {
     std::unique_lock<std::shared_mutex> lock(shard.mutex);
     shard.frozen.clear();
@@ -252,6 +308,54 @@ void SearchCache::clear() {
   }
   std::unique_lock<std::shared_mutex> lock(lp_mutex_);
   lp_bounds_.clear();
+}
+
+void SearchCache::adopt(std::shared_ptr<const CacheSnapshot> base) {
+  clear();
+  base_ = std::move(base);
+  if (base_ != nullptr) {
+    fingerprint_ = base_->fingerprint;
+    offer_areas_ = base_->offer_areas;
+  } else {
+    fingerprint_ = 0;
+    offer_areas_.clear();
+  }
+}
+
+CacheSnapshot SearchCache::export_delta() const {
+  CacheSnapshot delta;
+  delta.fingerprint = fingerprint_;
+  delta.offer_areas = offer_areas_;
+  for (const Shard& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    for (const Entry& entry : shard.frozen) {
+      delta.proofs.push_back(CacheProof{entry.sig, entry.combo_cost});
+    }
+    // The live tier has been pruned by finalize_context() to entries whose
+    // queue position is dispatched in every run, so exporting it does not
+    // leak thread-count-dependent content into the shared snapshot.
+    for (const Entry& entry : shard.live) {
+      delta.proofs.push_back(CacheProof{entry.sig, entry.combo_cost});
+    }
+  }
+  std::sort(delta.proofs.begin(), delta.proofs.end(), cache_proof_less);
+  compact_cache_proofs(&delta.proofs);
+  {
+    std::shared_lock<std::shared_mutex> lock(lp_mutex_);
+    for (const LpEntry& entry : lp_bounds_) {
+      delta.lp_memos.push_back(LpMemo{entry.sig, entry.cost_digest,
+                                      entry.bound});
+    }
+  }
+  std::sort(delta.lp_memos.begin(), delta.lp_memos.end(),
+            [](const LpMemo& a, const LpMemo& b) {
+              if (a.cost_digest != b.cost_digest) {
+                return a.cost_digest < b.cost_digest;
+              }
+              if (a.bound != b.bound) return a.bound < b.bound;
+              return signature_less(a.sig, b.sig);
+            });
+  return delta;
 }
 
 namespace {
@@ -285,6 +389,14 @@ bool SearchCache::lp_bound(const ProblemSpec& spec,
                            const PaletteSignature& sig,
                            long long* bound) const {
   const std::uint64_t digest = catalog_cost_digest(spec);
+  if (base_ != nullptr) {
+    for (const LpMemo& memo : base_->lp_memos) {
+      if (memo.cost_digest == digest && same_signature(memo.sig, sig)) {
+        *bound = memo.bound;
+        return true;
+      }
+    }
+  }
   std::shared_lock<std::shared_mutex> lock(lp_mutex_);
   for (const LpEntry& entry : lp_bounds_) {
     if (entry.cost_digest == digest && same_signature(entry.sig, sig)) {
@@ -299,6 +411,13 @@ void SearchCache::store_lp_bound(const ProblemSpec& spec,
                                  const PaletteSignature& sig,
                                  long long bound) {
   const std::uint64_t digest = catalog_cost_digest(spec);
+  if (base_ != nullptr) {
+    for (const LpMemo& memo : base_->lp_memos) {
+      if (memo.cost_digest == digest && same_signature(memo.sig, sig)) {
+        return;  // the adopted tier already carries this memo
+      }
+    }
+  }
   std::unique_lock<std::shared_mutex> lock(lp_mutex_);
   for (const LpEntry& entry : lp_bounds_) {
     if (entry.cost_digest == digest && same_signature(entry.sig, sig)) {

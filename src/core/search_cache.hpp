@@ -32,6 +32,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <vector>
 
@@ -64,6 +65,41 @@ bool signature_dominates(const PaletteSignature& entry,
 /// SearchCache's per-offer area compatibility check. Shared key of the
 /// dominance cache and the NogoodStore (core/nogood.hpp).
 std::uint64_t spec_family_fingerprint(const ProblemSpec& spec);
+
+/// One sealed infeasibility proof, stripped of epoch/ctx scoping: snapshot
+/// entries are by construction sealed before any operation that reads them,
+/// so the scoping tags carry no information across engines.
+struct CacheProof {
+  PaletteSignature sig;
+  long long combo_cost = 0;
+};
+
+/// One LP lower-bound memo (see SearchCache::lp_bound), snapshot form.
+struct LpMemo {
+  PaletteSignature sig;
+  std::uint64_t cost_digest = 0;
+  long long bound = 0;
+};
+
+/// Immutable always-sealed cache tier shared read-only between concurrent
+/// engines serving the same spec family. Proofs are kept as a compacted
+/// dominance antichain in canonical (combo_cost, signature) order so merges
+/// are deterministic regardless of which engine produced what.
+struct CacheSnapshot {
+  std::uint64_t fingerprint = 0;       ///< spec_family_fingerprint
+  std::vector<long long> offer_areas;  ///< union layout, -1 = unseen
+  std::vector<CacheProof> proofs;
+  std::vector<LpMemo> lp_memos;
+};
+
+/// Canonical order of snapshot proofs: by combo cost, then by signature
+/// fields. Used by export_delta() and by snapshot merges so the published
+/// tier has one deterministic representation per entry set.
+bool cache_proof_less(const CacheProof& a, const CacheProof& b);
+
+/// Compacts `proofs` to a dominance antichain, keeping the first of any
+/// mutually-dominating pair (same keep-first rule as the frozen tier).
+void compact_cache_proofs(std::vector<CacheProof>* proofs);
 
 /// Thread-safe store of complete infeasibility proofs, sharded over
 /// reader/writer mutexes (queries take shared locks only).
@@ -125,6 +161,22 @@ class SearchCache {
   void store_lp_bound(const ProblemSpec& spec, const PaletteSignature& sig,
                       long long bound);
 
+  /// Installs `base` as an always-sealed read-only tier underneath this
+  /// store, dropping everything the store held before. Frozen queries scan
+  /// the base tier in addition to the store's own frozen entries; the
+  /// store's family fingerprint and offer-area layout are adopted from the
+  /// base, so a later begin_op() with an incompatible spec drops the base
+  /// together with everything else (clear() releases the reference).
+  /// Pass nullptr to reset to a cold store. Not thread-safe: call between
+  /// engine operations only.
+  void adopt(std::shared_ptr<const CacheSnapshot> base);
+
+  /// Exports the store's *own* surviving entries (frozen + live tiers and
+  /// LP memos — the adopted base is excluded) in canonical order. Call
+  /// after the operation's finalize_context() so the live tier has been
+  /// pruned to its deterministically-dispatched prefix.
+  CacheSnapshot export_delta() const;
+
   std::size_t size() const;
   void clear();
 
@@ -170,6 +222,9 @@ class SearchCache {
   };
   mutable std::shared_mutex lp_mutex_;
   std::vector<LpEntry> lp_bounds_;
+  /// Adopted always-sealed tier (see adopt()); nullptr when running cold.
+  /// Immutable and refcounted, so concurrent engines share one copy.
+  std::shared_ptr<const CacheSnapshot> base_;
   std::uint64_t epoch_ = 0;
   /// Structural fingerprint of the spec family; 0 = no family adopted yet.
   std::uint64_t fingerprint_ = 0;

@@ -116,6 +116,39 @@ SynthesisService::MarketGroup* SynthesisService::group_for(
   return slot.get();
 }
 
+int SynthesisService::engine_pool_cap() const {
+  const int cap = config_.engine_pool > 0 ? config_.engine_pool
+                                          : config_.workers;
+  return std::max(1, cap);
+}
+
+std::vector<core::WarmSnapshotPtr> SynthesisService::export_warm() const {
+  // Lock order: service mutex_ (group map), then each group's own mutex
+  // (snapshot pointer). run_job never holds both at once, so this nesting
+  // cannot deadlock.
+  std::vector<MarketGroup*> groups;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    groups.reserve(groups_.size());
+    for (const auto& [fingerprint, group] : groups_) {
+      groups.push_back(group.get());
+    }
+  }
+  std::vector<core::WarmSnapshotPtr> snapshots;
+  for (MarketGroup* group : groups) {
+    std::lock_guard<std::mutex> pool_lock(group->mutex);
+    if (group->snapshot != nullptr) snapshots.push_back(group->snapshot);
+  }
+  return snapshots;
+}
+
+void SynthesisService::import_warm(core::WarmSnapshotPtr snapshot) {
+  if (snapshot == nullptr) return;
+  MarketGroup* group = group_for(snapshot->market);
+  std::lock_guard<std::mutex> pool_lock(group->mutex);
+  group->snapshot = std::move(snapshot);
+}
+
 void SynthesisService::run_job(PendingJob job) {
   ServiceReply reply;
   reply.warm = job.info.warm;
@@ -149,12 +182,48 @@ void SynthesisService::run_job(PendingJob job) {
 
   if (job.info.warm) {
     MarketGroup* group = group_for(reply.market);
+    // Acquire: one snapshot read plus one engine checkout under the group
+    // mutex — never a solve. Same-market requests only block each other
+    // when every pooled engine is busy.
+    std::unique_ptr<core::SynthesisEngine> engine;
+    core::WarmSnapshotPtr snapshot;
     {
-      // Same-market requests serialize here; that serialization is what
-      // makes the frozen cache tiers / nogood import of the previous
-      // request visible to this one.
-      std::lock_guard<std::mutex> engine_lock(group->mutex);
-      reply.response = group->engine.run(job.request);
+      std::unique_lock<std::mutex> pool_lock(group->mutex);
+      const int cap = engine_pool_cap();
+      group->pool_cv.wait(pool_lock, [&] {
+        return !group->idle.empty() || group->engines_built < cap;
+      });
+      if (!group->idle.empty()) {
+        engine = std::move(group->idle.back());
+        group->idle.pop_back();
+      } else {
+        engine = std::make_unique<core::SynthesisEngine>();
+        ++group->engines_built;
+      }
+      snapshot = group->snapshot;
+      ++group->active;
+      group->max_active = std::max(group->max_active, group->active);
+    }
+    // Solve over the shared immutable snapshot; the engine's own recordings
+    // land in its private live/pending tiers.
+    engine->adopt_warm(snapshot);
+    reply.response = engine->run(job.request);
+    core::WarmDelta delta = engine->export_warm_delta();
+    engine->adopt_warm(nullptr);  // detach: the engine keeps no warm state
+    {
+      // Publish: fold this request's surviving context into the next
+      // snapshot. merge_warm canonicalizes, so the published tier does not
+      // depend on which pooled engine produced which entry.
+      std::lock_guard<std::mutex> pool_lock(group->mutex);
+      core::WarmSnapshotPtr merged =
+          core::merge_warm(group->snapshot, reply.market, delta);
+      if (merged != group->snapshot) {
+        group->snapshot = std::move(merged);
+        ++group->merges;
+      }
+      group->idle.push_back(std::move(engine));
+      --group->active;
+      group->pool_cv.notify_one();
     }
     const double engine_seconds = seconds_between(
         dispatched, std::chrono::steady_clock::now());
@@ -211,6 +280,16 @@ void SynthesisService::finish(const PendingJob& job,
       if (!reply.response.result.metrics.empty()) {
         metrics_.merge(reply.response.result.metrics);
       }
+      // Sliding latency window (ring): overwrite the oldest sample once
+      // kLatencyWindow replies have been recorded.
+      const std::pair<double, double> sample{
+          reply.queue_seconds, reply.queue_seconds + reply.solve_seconds};
+      if (latency_samples_.size() < kLatencyWindow) {
+        latency_samples_.push_back(sample);
+      } else {
+        latency_samples_[latency_next_] = sample;
+      }
+      latency_next_ = (latency_next_ + 1) % kLatencyWindow;
     }
   }
   if (done) done(reply);
@@ -249,24 +328,70 @@ Json SynthesisService::stats() const {
     entry.set("last_combos_skipped_cache",
               group->last_combos_skipped_cache);
     entry.set("last_lb_prunes", group->last_lb_prunes);
-    // Node throughput of this warm engine: total nodes over wall seconds
-    // spent in run(), plus — when requests collected per-stage metrics —
-    // the tighter csp_dispatch-only ns/node. Operators watch these land
-    // when a solver-speed change rolls out.
+    // Wall seconds spent inside run() across this market's engines. With a
+    // pooled group these overlap, so wall time is NOT a valid throughput
+    // denominator — nodes_per_sec is derived from the summed metered
+    // csp_dispatch nanoseconds instead (each engine meters its own CPU
+    // time, so the sum is overlap-free). It is present whenever at least
+    // one request collected per-stage metrics.
     entry.set("engine_seconds", group->engine_seconds);
-    if (group->engine_seconds > 0.0) {
+    if (group->metered_nodes > 0 && group->metered_csp_ns > 0) {
       entry.set("nodes_per_sec",
-                static_cast<double>(group->nodes_total) /
-                    group->engine_seconds);
-    }
-    if (group->metered_nodes > 0) {
+                static_cast<double>(group->metered_nodes) /
+                    (static_cast<double>(group->metered_csp_ns) * 1e-9));
       entry.set("csp_ns_per_node",
                 static_cast<double>(group->metered_csp_ns) /
                     static_cast<double>(group->metered_nodes));
     }
+    {
+      std::lock_guard<std::mutex> pool_lock(group->mutex);
+      entry.set("engines", group->engines_built);
+      entry.set("max_concurrent", group->max_active);
+      entry.set("snapshot_merges", static_cast<long long>(group->merges));
+      if (group->snapshot != nullptr) {
+        entry.set("snapshot_version",
+                  static_cast<long long>(group->snapshot->version));
+        entry.set("snapshot_proofs",
+                  static_cast<long long>(group->snapshot->cache.proofs.size()));
+        entry.set("snapshot_nogoods",
+                  static_cast<long long>(
+                      group->snapshot->nogoods.entries.size()));
+      }
+    }
     markets.push_back(std::move(entry));
   }
   json.set("markets", std::move(markets));
+
+  // Latency distribution over the sliding reply window: queue wait and
+  // end-to-end (wait + solve) percentiles. Saturation shows up here long
+  // before counters move — queue_p95 grows with backlog.
+  if (!latency_samples_.empty()) {
+    std::vector<double> queue_waits;
+    std::vector<double> e2e;
+    queue_waits.reserve(latency_samples_.size());
+    e2e.reserve(latency_samples_.size());
+    for (const auto& [wait, total] : latency_samples_) {
+      queue_waits.push_back(wait);
+      e2e.push_back(total);
+    }
+    std::sort(queue_waits.begin(), queue_waits.end());
+    std::sort(e2e.begin(), e2e.end());
+    const auto percentile = [](const std::vector<double>& sorted, double p) {
+      const std::size_t n = sorted.size();
+      std::size_t idx = static_cast<std::size_t>(p * static_cast<double>(n));
+      if (idx >= n) idx = n - 1;
+      return sorted[idx];
+    };
+    Json latency = Json::object();
+    latency.set("samples", static_cast<long long>(queue_waits.size()));
+    latency.set("queue_p50_s", percentile(queue_waits, 0.50));
+    latency.set("queue_p95_s", percentile(queue_waits, 0.95));
+    latency.set("queue_max_s", queue_waits.back());
+    latency.set("e2e_p50_s", percentile(e2e, 0.50));
+    latency.set("e2e_p95_s", percentile(e2e, 0.95));
+    latency.set("e2e_max_s", e2e.back());
+    json.set("latency", std::move(latency));
+  }
 
   Json metrics;
   std::string metrics_error;

@@ -2,16 +2,18 @@
 // in-process.
 //
 // A fixed pool of worker threads pops jobs off the bounded AdmissionQueue
-// and runs each on a long-lived SynthesisEngine selected by the request's
+// and runs each on a pooled SynthesisEngine selected by the request's
 // *vendor market*: spec_family_fingerprint(spec) keys a map of market
-// groups, each owning one engine plus a mutex. Same-market requests
-// serialize on the group mutex — which is exactly what lets the second
-// request reuse the first one's frozen SearchCache tiers, nogood store and
-// LP-bound memos — while requests for different markets run concurrently
-// on separate engines. Warm reuse may only change *speed*: statuses, costs
-// and bindings are bit-identical to a cold engine within equal budgets
-// (DESIGN.md §5 has the argument and the budget-truncation caveat);
-// `JobInfo::warm = false` forces a throwaway engine for A/B runs.
+// groups, each holding a bounded engine pool plus one published
+// WarmSnapshot (core/warm_state.hpp) under an RCU-style pointer swap.
+// Same-market requests run CONCURRENTLY: a worker grabs the current
+// snapshot and an idle engine under the group mutex, adopts the snapshot,
+// solves with no lock held, then folds its surviving delta into the next
+// snapshot with a short merge_warm() under the lock. Warm reuse may only
+// change *speed*: statuses, costs and bindings are bit-identical to a cold
+// engine within equal budgets (DESIGN.md §5 has the argument and the
+// budget-truncation caveat); `JobInfo::warm = false` forces a throwaway
+// engine for A/B runs.
 //
 // Deadlines clamp the request's wall-clock budget to the time remaining at
 // dispatch; a job that is already past its deadline when a worker reaches
@@ -23,14 +25,17 @@
 // request — the /stats endpoint serves it verbatim.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/warm_state.hpp"
 #include "service/queue.hpp"
 #include "service/wire.hpp"
 
@@ -41,6 +46,10 @@ struct ServiceConfig {
   int workers = 2;
   /// Bounded admission queue depth (excluding the jobs being solved).
   std::size_t queue_capacity = 32;
+  /// Warm engines per market group: same-market requests beyond this many
+  /// block until an engine frees. 0 = match `workers`; 1 reproduces the
+  /// pre-snapshot fully-serialized behavior (the throughput A/B baseline).
+  int engine_pool = 0;
 };
 
 /// Outcome of one job, delivered to the submitter's callback.
@@ -82,18 +91,42 @@ class SynthesisService {
   /// when no live job has this id.
   bool cancel(const std::string& id);
 
-  /// Counters + per-market warm-state ledger + merged SolveMetrics.
+  /// Counters + per-market warm-state ledger + latency percentiles +
+  /// merged SolveMetrics.
   Json stats() const;
+
+  /// The published warm snapshot of every market that has one — what
+  /// `thlsd --warm-dir` persists at shutdown/checkpoint.
+  std::vector<core::WarmSnapshotPtr> export_warm() const;
+
+  /// Installs `snapshot` as the published warm state of its market,
+  /// pre-seeding the group (a restored daemon serves its first same-market
+  /// request warm). Later request deltas merge on top; an incompatible
+  /// spec family simply replaces it via the usual merge rules.
+  void import_warm(core::WarmSnapshotPtr snapshot);
 
   /// Stops admission, joins workers, and answers still-queued jobs with a
   /// "shutdown" reply. Idempotent; the destructor calls it.
   void shutdown();
 
  private:
-  /// Per-vendor-market warm state: one engine, serialized by `mutex`.
+  /// Per-vendor-market warm state: a bounded pool of engines sharing one
+  /// published immutable snapshot. `mutex` guards only the pool fields and
+  /// the snapshot pointer — never a solve.
   struct MarketGroup {
     std::mutex mutex;
-    core::SynthesisEngine engine;
+    std::condition_variable pool_cv;  ///< signalled when an engine frees
+    /// Published warm state (refcounted, immutable). Swapped by merge_warm
+    /// after each completed request; readers keep their adopted copy alive.
+    core::WarmSnapshotPtr snapshot;
+    /// Engines not currently solving. Engines carry no private warm state
+    /// between requests — everything flows through `snapshot` — so any
+    /// idle engine is as good as any other.
+    std::vector<std::unique_ptr<core::SynthesisEngine>> idle;
+    int engines_built = 0;  ///< total engines constructed (≤ pool cap)
+    int active = 0;         ///< engines currently solving
+    int max_active = 0;     ///< concurrency high-water mark (stats)
+    std::uint64_t merges = 0;  ///< deltas folded into the snapshot
     // Ledger (guarded by the service mutex, not the group mutex):
     long requests = 0;
     long long nodes_total = 0;
@@ -124,6 +157,7 @@ class SynthesisService {
   void run_job(PendingJob job);
   void finish(const PendingJob& job, const ServiceReply& reply);
   MarketGroup* group_for(std::uint64_t fingerprint);
+  int engine_pool_cap() const;
 
   const ServiceConfig config_;
   AdmissionQueue queue_;
@@ -140,6 +174,12 @@ class SynthesisService {
   long long completed_ = 0;
   long long cancelled_ = 0;
   long long expired_ = 0;
+  /// Sliding window of per-reply {queue wait, end-to-end} seconds feeding
+  /// the stats() latency percentiles; bounded so a long-lived daemon's
+  /// stats reflect recent behavior, not its whole life.
+  static constexpr std::size_t kLatencyWindow = 4096;
+  std::vector<std::pair<double, double>> latency_samples_;
+  std::size_t latency_next_ = 0;
   obs::SolveMetrics metrics_;  // merged across metrics-enabled requests
 
   std::vector<std::thread> workers_;

@@ -1,5 +1,9 @@
 #include "service/wire.hpp"
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
 #include "dfg/parse.hpp"
 #include "util/status.hpp"
 
@@ -617,6 +621,230 @@ bool parse_response(std::string_view text, core::SynthesisResponse* out,
   Json json;
   if (!Json::parse(text, &json, error)) return false;
   return response_from_json(json, out, error);
+}
+
+// ---- warm-state snapshots -----------------------------------------------
+
+namespace {
+
+std::string u64_hex(std::uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+bool u64_from_hex(const Json& json, std::uint64_t* out) {
+  const std::string text = json.as_string();
+  if (text.size() < 3 || text[0] != '0' || (text[1] != 'x' && text[1] != 'X')) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str() + 2, &end, 16);
+  if (end == nullptr || *end != '\0') return false;
+  *out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+Json signature_to_json(const core::PaletteSignature& sig) {
+  Json json = Json::object();
+  Json masks = Json::array();
+  for (std::uint64_t mask : sig.masks) masks.push_back(u64_hex(mask));
+  json.set("masks", std::move(masks));
+  json.set("lambda_detection", sig.lambda_detection);
+  json.set("lambda_recovery", sig.lambda_recovery);
+  json.set("area_limit", sig.area_limit);
+  return json;
+}
+
+bool signature_from_json(const Json& json, core::PaletteSignature* out,
+                         std::string* error) {
+  if (!json.is_object()) return fail(error, "signature is not an object");
+  core::PaletteSignature sig;
+  const Json& masks = json.get("masks");
+  if (!masks.is_array() ||
+      masks.items().size() != dfg::kNumResourceClasses) {
+    return fail(error, "signature.masks must have " +
+                           std::to_string(dfg::kNumResourceClasses) +
+                           " entries");
+  }
+  for (std::size_t cls = 0; cls < dfg::kNumResourceClasses; ++cls) {
+    if (!u64_from_hex(masks.items()[cls], &sig.masks[cls])) {
+      return fail(error, "signature.masks entry is not a hex string");
+    }
+  }
+  sig.lambda_detection =
+      static_cast<int>(json.get("lambda_detection").as_int(0));
+  sig.lambda_recovery =
+      static_cast<int>(json.get("lambda_recovery").as_int(0));
+  sig.area_limit = json.get("area_limit").as_int(0);
+  *out = sig;
+  return true;
+}
+
+Json offer_areas_to_json(const std::vector<long long>& areas) {
+  Json json = Json::array();
+  for (long long area : areas) json.push_back(area);
+  return json;
+}
+
+void offer_areas_from_json(const Json& json, std::vector<long long>* out) {
+  if (!json.is_array()) return;
+  for (const Json& entry : json.items()) out->push_back(entry.as_int(-1));
+}
+
+}  // namespace
+
+Json warm_snapshot_to_json(const core::WarmSnapshot& snapshot) {
+  Json json = Json::object();
+  json.set("schema_version", kSchemaVersion);
+  json.set("market", u64_hex(snapshot.market));
+  json.set("version", static_cast<long long>(snapshot.version));
+
+  Json cache = Json::object();
+  cache.set("fingerprint", u64_hex(snapshot.cache.fingerprint));
+  cache.set("offer_areas", offer_areas_to_json(snapshot.cache.offer_areas));
+  Json proofs = Json::array();
+  for (const core::CacheProof& proof : snapshot.cache.proofs) {
+    Json entry = Json::object();
+    entry.set("sig", signature_to_json(proof.sig));
+    entry.set("cost", proof.combo_cost);
+    proofs.push_back(std::move(entry));
+  }
+  cache.set("proofs", std::move(proofs));
+  Json memos = Json::array();
+  for (const core::LpMemo& memo : snapshot.cache.lp_memos) {
+    Json entry = Json::object();
+    entry.set("sig", signature_to_json(memo.sig));
+    entry.set("digest", u64_hex(memo.cost_digest));
+    entry.set("bound", memo.bound);
+    memos.push_back(std::move(entry));
+  }
+  cache.set("lp_memos", std::move(memos));
+  json.set("cache", std::move(cache));
+
+  Json nogoods = Json::object();
+  nogoods.set("fingerprint", u64_hex(snapshot.nogoods.fingerprint));
+  nogoods.set("offer_areas",
+              offer_areas_to_json(snapshot.nogoods.offer_areas));
+  Json entries = Json::array();
+  for (const core::SealedNogood& sealed : snapshot.nogoods.entries) {
+    Json entry = Json::object();
+    entry.set("guard", signature_to_json(sealed.guard));
+    entry.set("cost", sealed.combo_cost);
+    // Compact literal form: [copy, vendor, cycle_lo, cycle_hi] per lit.
+    Json lits = Json::array();
+    for (const core::NogoodLit& lit : sealed.nogood.lits) {
+      Json tuple = Json::array();
+      tuple.push_back(lit.copy);
+      tuple.push_back(lit.vendor);
+      tuple.push_back(lit.cycle_lo);
+      tuple.push_back(lit.cycle_hi);
+      lits.push_back(std::move(tuple));
+    }
+    entry.set("lits", std::move(lits));
+    entries.push_back(std::move(entry));
+  }
+  nogoods.set("entries", std::move(entries));
+  json.set("nogoods", std::move(nogoods));
+  return json;
+}
+
+std::string serialize_warm_snapshot(const core::WarmSnapshot& snapshot) {
+  return warm_snapshot_to_json(snapshot).dump();
+}
+
+bool warm_snapshot_from_json(const Json& json, core::WarmSnapshot* out,
+                             std::string* error) {
+  if (!json.is_object()) {
+    return fail(error, "warm snapshot is not an object");
+  }
+  if (!check_version(json, error)) return false;
+  core::WarmSnapshot snapshot;
+  if (!u64_from_hex(json.get("market"), &snapshot.market)) {
+    return fail(error, "warm snapshot missing hex market fingerprint");
+  }
+  snapshot.version =
+      static_cast<std::uint64_t>(json.get("version").as_int(0));
+
+  const Json& cache = json.get("cache");
+  if (cache.is_object()) {
+    if (!u64_from_hex(cache.get("fingerprint"),
+                      &snapshot.cache.fingerprint)) {
+      return fail(error, "warm snapshot cache missing hex fingerprint");
+    }
+    offer_areas_from_json(cache.get("offer_areas"),
+                          &snapshot.cache.offer_areas);
+    const Json& proofs = cache.get("proofs");
+    if (proofs.is_array()) {
+      for (const Json& entry : proofs.items()) {
+        core::CacheProof proof;
+        if (!signature_from_json(entry.get("sig"), &proof.sig, error)) {
+          return false;
+        }
+        proof.combo_cost = entry.get("cost").as_int(0);
+        snapshot.cache.proofs.push_back(proof);
+      }
+    }
+    const Json& memos = cache.get("lp_memos");
+    if (memos.is_array()) {
+      for (const Json& entry : memos.items()) {
+        core::LpMemo memo;
+        if (!signature_from_json(entry.get("sig"), &memo.sig, error)) {
+          return false;
+        }
+        if (!u64_from_hex(entry.get("digest"), &memo.cost_digest)) {
+          return fail(error, "lp memo missing hex digest");
+        }
+        memo.bound = entry.get("bound").as_int(0);
+        snapshot.cache.lp_memos.push_back(memo);
+      }
+    }
+  }
+
+  const Json& nogoods = json.get("nogoods");
+  if (nogoods.is_object()) {
+    if (!u64_from_hex(nogoods.get("fingerprint"),
+                      &snapshot.nogoods.fingerprint)) {
+      return fail(error, "warm snapshot nogoods missing hex fingerprint");
+    }
+    offer_areas_from_json(nogoods.get("offer_areas"),
+                          &snapshot.nogoods.offer_areas);
+    const Json& entries = nogoods.get("entries");
+    if (entries.is_array()) {
+      for (const Json& entry : entries.items()) {
+        core::SealedNogood sealed;
+        if (!signature_from_json(entry.get("guard"), &sealed.guard, error)) {
+          return false;
+        }
+        sealed.combo_cost = entry.get("cost").as_int(0);
+        const Json& lits = entry.get("lits");
+        if (lits.is_array()) {
+          for (const Json& tuple : lits.items()) {
+            if (!tuple.is_array() || tuple.items().size() != 4) {
+              return fail(error, "nogood lit is not a 4-tuple");
+            }
+            core::NogoodLit lit;
+            lit.copy = static_cast<int>(tuple.items()[0].as_int(0));
+            lit.vendor = static_cast<int>(tuple.items()[1].as_int(0));
+            lit.cycle_lo = static_cast<int>(tuple.items()[2].as_int(0));
+            lit.cycle_hi = static_cast<int>(tuple.items()[3].as_int(0));
+            sealed.nogood.lits.push_back(lit);
+          }
+        }
+        snapshot.nogoods.entries.push_back(std::move(sealed));
+      }
+    }
+  }
+  *out = std::move(snapshot);
+  return true;
+}
+
+bool parse_warm_snapshot(std::string_view text, core::WarmSnapshot* out,
+                         std::string* error) {
+  Json json;
+  if (!Json::parse(text, &json, error)) return false;
+  return warm_snapshot_from_json(json, out, error);
 }
 
 }  // namespace ht::service

@@ -53,6 +53,23 @@ bool response_from_json(const Json& json, core::SynthesisResponse* out,
 bool parse_response(std::string_view text, core::SynthesisResponse* out,
                     std::string* error);
 
+// ---- warm-state snapshots (thlsd --warm-dir persistence) ----------------
+
+/// Serializes a published WarmSnapshot (core/warm_state.hpp). 64-bit
+/// fingerprints, palette masks and cost digests travel as "0x…" hex
+/// strings (JSON numbers are signed 64-bit in this DOM; hex strings
+/// round-trip the full unsigned range and match the stats envelope's
+/// fingerprint rendering).
+Json warm_snapshot_to_json(const core::WarmSnapshot& snapshot);
+std::string serialize_warm_snapshot(const core::WarmSnapshot& snapshot);
+
+/// Tolerant read under the same versioning contract as requests: unknown
+/// fields ignored, absent lists empty, newer schema_version rejected.
+bool warm_snapshot_from_json(const Json& json, core::WarmSnapshot* out,
+                             std::string* error);
+bool parse_warm_snapshot(std::string_view text, core::WarmSnapshot* out,
+                         std::string* error);
+
 // ---- shared pieces (used by tests and the /stats endpoint) --------------
 
 Json spec_to_json(const core::ProblemSpec& spec);

@@ -210,7 +210,10 @@ TEST(SynthesisServiceTest, ExecuteMatchesDirectColdEngine) {
 // core::synthesize — while the warm stats must show the reuse.
 TEST(SynthesisServiceTest, WarmReuseIsBitIdenticalToColdAndMeasurablyFaster) {
   SynthesisService service(ServiceConfig{});
-  const core::SynthesisRequest request = contested_request();
+  core::SynthesisRequest request = contested_request();
+  // Metrics on: nodes_per_sec in /stats derives from metered csp_dispatch
+  // time (wall time double-counts once same-market solves overlap).
+  request.observability.metrics = true;
   const core::SynthesisResponse cold_direct = core::synthesize(request);
   ASSERT_TRUE(cold_direct.result.has_solution());
   ASSERT_GT(cold_direct.result.stats.combos_tried, 1)
@@ -249,11 +252,141 @@ TEST(SynthesisServiceTest, WarmReuseIsBitIdenticalToColdAndMeasurablyFaster) {
   EXPECT_LT(market.get("last_combos_tried").as_int(),
             first.response.result.stats.combos_tried);
   EXPECT_EQ(stats.get("service").get("completed").as_int(), 3);
-  // Node throughput per warm engine: wall time in run() is always
-  // tracked, so nodes/sec is present whenever the engine ran at all.
+  // Wall seconds are still tracked, but node throughput comes from the
+  // summed metered csp_dispatch time — overlap-free under concurrency —
+  // and both requests above collected metrics.
   EXPECT_GT(market.get("engine_seconds").as_double(), 0.0);
   ASSERT_TRUE(market.has("nodes_per_sec"));
   EXPECT_GE(market.get("nodes_per_sec").as_double(), 0.0);
+  ASSERT_TRUE(market.has("csp_ns_per_node"));
+  // Latency percentiles cover every completed reply.
+  ASSERT_TRUE(stats.has("latency"));
+  EXPECT_EQ(stats.get("latency").get("samples").as_int(), 3);
+  EXPECT_GE(stats.get("latency").get("e2e_p95_s").as_double(),
+            stats.get("latency").get("e2e_p50_s").as_double());
+  EXPECT_GE(stats.get("latency").get("e2e_max_s").as_double(),
+            stats.get("latency").get("e2e_p95_s").as_double());
+  EXPECT_GE(stats.get("latency").get("queue_max_s").as_double(), 0.0);
+}
+
+// The tentpole: N clients saturating ONE market must achieve measured
+// engine concurrency > 1 (the old design serialized them behind a single
+// warm engine) while every response stays bit-identical to a cold solve.
+// A rendezvous inside the progress callbacks *proves* two solves were
+// in flight simultaneously: each of the first two jobs to start parks at
+// its first progress event until the other arrives (with a bounded wait
+// so a serialized regression fails the assertions instead of hanging).
+TEST(SynthesisServiceTest, SaturatedSingleMarketRunsEnginesConcurrently) {
+  ServiceConfig config;
+  config.workers = 4;
+  config.engine_pool = 4;
+  SynthesisService service(config);
+  const core::SynthesisRequest base_request = contested_request();
+  const core::SynthesisResponse cold_direct = core::synthesize(base_request);
+  ASSERT_TRUE(cold_direct.result.has_solution());
+
+  std::mutex rendezvous_mutex;
+  std::condition_variable rendezvous_cv;
+  int arrived = 0;
+  const auto rendezvous = [&] {
+    std::unique_lock<std::mutex> lock(rendezvous_mutex);
+    ++arrived;
+    rendezvous_cv.notify_all();
+    rendezvous_cv.wait_for(lock, std::chrono::seconds(10),
+                           [&] { return arrived >= 2; });
+  };
+
+  constexpr int kJobs = 4;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int done = 0;
+  std::vector<ServiceReply> replies(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    core::SynthesisRequest request = base_request;
+    auto first_progress = std::make_shared<std::atomic<bool>>(false);
+    request.progress = [&rendezvous,
+                        first_progress](const core::SynthesisProgress&) {
+      if (!first_progress->exchange(true)) rendezvous();
+    };
+    std::string error;
+    ASSERT_TRUE(service.submit({}, std::move(request),
+                               [&, i](const ServiceReply& reply) {
+                                 std::lock_guard<std::mutex> lock(done_mutex);
+                                 replies[static_cast<std::size_t>(i)] = reply;
+                                 ++done;
+                                 done_cv.notify_all();
+                               },
+                               &error))
+        << error;
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == kJobs; });
+  }
+
+  for (const ServiceReply& reply : replies) {
+    ASSERT_TRUE(reply.ok()) << reply.error;
+    EXPECT_TRUE(reply.warm);
+    expect_same_outcome(reply.response, cold_direct, base_request.spec);
+  }
+
+  const Json stats = service.stats();
+  ASSERT_EQ(stats.get("markets").size(), 1u);
+  const Json& market = stats.get("markets").at(0);
+  EXPECT_GT(market.get("max_concurrent").as_int(), 1)
+      << "same-market requests never overlapped";
+  EXPECT_GT(market.get("engines").as_int(), 1);
+  EXPECT_GT(market.get("snapshot_merges").as_int(), 0);
+  EXPECT_GT(market.get("snapshot_proofs").as_int(0), 0);
+
+  // The concurrent deltas all merged into the published snapshot: a fifth
+  // request must skip sealed refutations and still answer identically.
+  const ServiceReply replay = service.execute({}, base_request);
+  ASSERT_TRUE(replay.ok()) << replay.error;
+  expect_same_outcome(replay.response, cold_direct, base_request.spec);
+  EXPECT_GT(replay.response.result.stats.combos_skipped_cache, 0);
+}
+
+// Persistence round-trip: snapshots survive the wire JSON layer
+// byte-for-byte canonically, and a fresh service pre-seeded with the
+// restored snapshot serves its FIRST same-market request with nonzero
+// skip counters and identical results — the thlsd --warm-dir contract.
+TEST(SynthesisServiceTest, WarmSnapshotPersistenceRoundTrip) {
+  const core::SynthesisRequest request = contested_request();
+  const core::SynthesisResponse cold_direct = core::synthesize(request);
+
+  SynthesisService original(ServiceConfig{});
+  ASSERT_TRUE(original.execute({}, request).ok());
+  ASSERT_TRUE(original.execute({}, request).ok());
+  const std::vector<core::WarmSnapshotPtr> snapshots =
+      original.export_warm();
+  ASSERT_EQ(snapshots.size(), 1u);
+  EXPECT_GT(snapshots[0]->cache.proofs.size(), 0u);
+  EXPECT_EQ(snapshots[0]->market,
+            core::spec_family_fingerprint(request.spec));
+
+  const std::string text = serialize_warm_snapshot(*snapshots[0]);
+  auto restored = std::make_shared<core::WarmSnapshot>();
+  std::string error;
+  ASSERT_TRUE(parse_warm_snapshot(text, restored.get(), &error)) << error;
+  EXPECT_EQ(restored->market, snapshots[0]->market);
+  EXPECT_EQ(restored->version, snapshots[0]->version);
+  ASSERT_EQ(restored->cache.proofs.size(), snapshots[0]->cache.proofs.size());
+  ASSERT_EQ(restored->nogoods.entries.size(),
+            snapshots[0]->nogoods.entries.size());
+  // Canonical form: serialize(parse(serialize(x))) is byte-identical.
+  EXPECT_EQ(serialize_warm_snapshot(*restored), text);
+
+  SynthesisService reborn(ServiceConfig{});
+  reborn.import_warm(restored);
+  const ServiceReply first = reborn.execute({}, request);
+  ASSERT_TRUE(first.ok()) << first.error;
+  expect_same_outcome(first.response, cold_direct, request.spec);
+  EXPECT_GT(first.response.result.stats.combos_skipped_cache, 0)
+      << "restored snapshot did not serve the first request warm";
+  const Json stats = reborn.stats();
+  const Json& market = stats.get("markets").at(0);
+  EXPECT_GT(market.get("last_combos_skipped_cache").as_int(), 0);
 }
 
 TEST(SynthesisServiceTest, MarketsGetSeparateWarmEngines) {

@@ -375,5 +375,75 @@ TEST(WirePropertyTest, RandomRequestsRoundTripByteIdentically) {
   }
 }
 
+// ---- warm snapshots -------------------------------------------------------
+
+TEST(WireWarmSnapshotTest, RoundTripsByteIdenticallyWithFullU64Range) {
+  core::WarmSnapshot snapshot;
+  snapshot.market = 0xfedcba9876543210ull;  // exercises the sign bit
+  snapshot.version = 7;
+  snapshot.cache.fingerprint = snapshot.market;
+  snapshot.cache.offer_areas = {-1, 120, -1, 4075, 2000, 1500};
+  core::CacheProof proof;
+  proof.sig.masks = {0x8000000000000001ull, 0x6ull, 0x1ull};
+  proof.sig.lambda_detection = 9;
+  proof.sig.lambda_recovery = 11;
+  proof.sig.area_limit = 400000;
+  proof.combo_cost = 1234;
+  snapshot.cache.proofs.push_back(proof);
+  core::LpMemo memo;
+  memo.sig = proof.sig;
+  memo.cost_digest = 0xdeadbeefcafef00dull;
+  memo.bound = 999;
+  snapshot.cache.lp_memos.push_back(memo);
+  snapshot.nogoods.fingerprint = snapshot.market;
+  snapshot.nogoods.offer_areas = snapshot.cache.offer_areas;
+  core::SealedNogood sealed;
+  sealed.guard = proof.sig;
+  sealed.combo_cost = 777;
+  sealed.nogood.lits.push_back(core::NogoodLit{3, 1, 0, 8});
+  sealed.nogood.lits.push_back(core::NogoodLit{5, 0, 2, 4});
+  snapshot.nogoods.entries.push_back(sealed);
+
+  const std::string wire = serialize_warm_snapshot(snapshot);
+  core::WarmSnapshot parsed;
+  std::string error;
+  ASSERT_TRUE(parse_warm_snapshot(wire, &parsed, &error)) << error;
+  EXPECT_EQ(serialize_warm_snapshot(parsed), wire);
+  EXPECT_EQ(parsed.market, snapshot.market);
+  EXPECT_EQ(parsed.version, snapshot.version);
+  ASSERT_EQ(parsed.cache.proofs.size(), 1u);
+  EXPECT_EQ(parsed.cache.proofs[0].sig.masks, proof.sig.masks);
+  EXPECT_EQ(parsed.cache.proofs[0].combo_cost, proof.combo_cost);
+  ASSERT_EQ(parsed.cache.lp_memos.size(), 1u);
+  EXPECT_EQ(parsed.cache.lp_memos[0].cost_digest, memo.cost_digest);
+  ASSERT_EQ(parsed.nogoods.entries.size(), 1u);
+  EXPECT_EQ(parsed.nogoods.entries[0].nogood, sealed.nogood);
+  EXPECT_EQ(parsed.cache.offer_areas, snapshot.cache.offer_areas);
+}
+
+TEST(WireWarmSnapshotTest, TolerantReadsAndVersionDiscipline) {
+  // Minimal document: absent lists come back empty.
+  core::WarmSnapshot minimal;
+  std::string error;
+  ASSERT_TRUE(parse_warm_snapshot(
+      "{\"schema_version\":1,\"market\":\"0x0000000000000001\","
+      "\"unknown_field\":42}",
+      &minimal, &error))
+      << error;
+  EXPECT_EQ(minimal.market, 1u);
+  EXPECT_TRUE(minimal.cache.proofs.empty());
+  EXPECT_TRUE(minimal.nogoods.entries.empty());
+
+  // Newer schema rejected; missing market rejected; output untouched.
+  core::WarmSnapshot untouched;
+  untouched.market = 99;
+  EXPECT_FALSE(parse_warm_snapshot(
+      "{\"schema_version\":99,\"market\":\"0x1\"}", &untouched, &error));
+  EXPECT_FALSE(
+      parse_warm_snapshot("{\"schema_version\":1}", &untouched, &error));
+  EXPECT_FALSE(parse_warm_snapshot("{not json", &untouched, &error));
+  EXPECT_EQ(untouched.market, 99u);
+}
+
 }  // namespace
 }  // namespace ht::service

@@ -29,6 +29,11 @@ struct SpecOptions {
   int lambda_rec = 0;
   bool detection_only = false;
   long long area = 0;
+  /// Per-license instance cap (--max-instances); 0 keeps the spec default.
+  /// 1 is the contested-market shape: cheap license sets become genuinely
+  /// scarce, so the engine has to refute them (and the daemon's warm
+  /// snapshot has something to remember).
+  int max_instances = 0;
   bool close_pairs = true;
   std::uint64_t seed = 1;
 };
@@ -39,6 +44,10 @@ struct EngineOptions {
   int threads = 1;
   double time_limit = 0;  // 0: engine default
   bool cost_bounds = true;
+  /// --no-screens: disable the static pre-CSP screens so every refutation
+  /// is a complete CSP proof (the shape the dominance cache and the warm
+  /// snapshot record; pairs with --no-bounds for cache-visible A/Bs).
+  bool static_screens = true;
   bool metrics = false;
   /// Racing portfolio mode (PortfolioOptions::enabled): greedy + SLS
   /// incumbent seeders race ahead of the exact enumeration.
@@ -102,6 +111,9 @@ inline core::ProblemSpec build_spec(const SpecOptions& options) {
     }
     spec.area_limit = 10 * biggest;
   }
+  if (options.max_instances > 0) {
+    spec.max_instances_per_offer = options.max_instances;
+  }
   if (options.close_pairs && spec.with_recovery) {
     // Section 3.3: profile closely-related op pairs; recovery Rule 2 then
     // keeps their recovery bindings apart. Disable with --no-close-pairs.
@@ -130,6 +142,7 @@ inline core::SynthesisRequest build_request(const core::ProblemSpec& spec,
   request.seed = options.seed;
   request.parallelism.threads = options.threads;
   request.pruning.cost_bounds = options.cost_bounds;
+  request.pruning.static_screens = options.static_screens;
   request.portfolio.enabled = options.portfolio;
   request.observability.metrics = options.metrics;
   if (options.time_limit > 0) {

@@ -66,10 +66,12 @@ struct Options {
   int lambda_rec = 0;
   bool detection_only = false;
   long long area = 0;
+  int max_instances = 0;
   std::string strategy = "exact";
   int threads = 1;
   double time_limit = 0;  // 0: engine default
   bool cost_bounds = true;
+  bool static_screens = true;
   bool portfolio = false;
   bool progress = false;
   std::uint64_t seed = 1;
@@ -91,6 +93,7 @@ struct Options {
     spec.lambda_rec = lambda_rec;
     spec.detection_only = detection_only;
     spec.area = area;
+    spec.max_instances = max_instances;
     spec.close_pairs = close_pairs;
     spec.seed = seed;
     return spec;
@@ -102,6 +105,7 @@ struct Options {
     engine.threads = threads;
     engine.time_limit = time_limit;
     engine.cost_bounds = cost_bounds;
+    engine.static_screens = static_screens;
     engine.portfolio = portfolio;
     engine.metrics = wants_metrics();
     engine.seed = seed;
@@ -116,9 +120,11 @@ struct Options {
       "<dfg-file|benchmark> [options]\n"
       "       thls benchmarks\n"
       "options: --catalog table1|section5  --lambda-det N  --lambda-rec N\n"
-      "         --detection-only  --area N  --strategy exact|heuristic\n"
+      "         --detection-only  --area N  --max-instances N\n"
+      "         --strategy exact|heuristic\n"
       "         --threads N (0 = all cores)  --time-limit SECONDS  --progress\n"
       "         --no-bounds (disable branch-and-bound lower bounds)\n"
+      "         --no-screens (disable the static pre-CSP screens)\n"
       "         --portfolio (race greedy + SLS incumbent seeders)\n"
       "         --seed N  --trials N  -o FILE  --share-registers\n"
       "         --no-close-pairs (skip Section 3.3 close-pair profiling)\n"
@@ -155,6 +161,8 @@ Options parse_args(int argc, char** argv) {
       options.detection_only = true;
     } else if (flag == "--area") {
       options.area = std::stoll(need_value(flag));
+    } else if (flag == "--max-instances") {
+      options.max_instances = std::stoi(need_value(flag));
     } else if (flag == "--strategy") {
       options.strategy = need_value(flag);
     } else if (flag == "--threads") {
@@ -163,6 +171,8 @@ Options parse_args(int argc, char** argv) {
       options.time_limit = std::stod(need_value(flag));
     } else if (flag == "--no-bounds") {
       options.cost_bounds = false;
+    } else if (flag == "--no-screens") {
+      options.static_screens = false;
     } else if (flag == "--portfolio") {
       options.portfolio = true;
     } else if (flag == "--progress") {

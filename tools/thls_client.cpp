@@ -9,8 +9,9 @@
 // ENDPOINT is unix:/path or tcp:host:port (default unix:/tmp/thlsd.sock).
 //
 // optimize shares thls's spec flags (--catalog --lambda-det --lambda-rec
-// --detection-only --area --strategy --threads --time-limit --seed
-// --no-bounds --portfolio --no-close-pairs --metrics) and adds:
+// --detection-only --area --max-instances --strategy --threads
+// --time-limit --seed --no-bounds --no-screens --portfolio
+// --no-close-pairs --metrics) and adds:
 //   --kind K          minimize (default) | minimize_total_latency |
 //                     area_frontier | latency_frontier
 //   --lambda-total N  for minimize_total_latency
@@ -50,10 +51,12 @@ namespace {
       "commands: optimize <dfg|benchmark> [options]\n"
       "          batch FILE [--verify] [--cold]\n"
       "          print-request <dfg|benchmark> [options]\n"
-      "          stats | ping | shutdown | cancel ID\n"
+      "          stats [--assert-warm-hits] | ping | shutdown | cancel ID\n"
       "optimize options: thls spec flags plus --kind K --lambda-total N\n"
       "          --sweep A,B,C --priority N --deadline-ms N --id S --cold\n"
-      "          --verify\n",
+      "          --verify\n"
+      "stats --assert-warm-hits exits 1 unless some market's last request\n"
+      "          skipped combos via warm state (CI warm-restore check)\n",
       stderr);
   std::exit(2);
 }
@@ -69,6 +72,9 @@ struct ClientOptions {
   std::vector<long long> sweep;
   service::JobInfo job;
   bool verify = false;
+  /// stats: exit nonzero unless some market shows warm-state skips on its
+  /// most recent request (asserts a --warm-dir restore actually paid off).
+  bool assert_warm_hits = false;
   /// --threads was given explicitly: batch --verify then overrides each
   /// parsed request's thread count for the local referee run.
   bool threads_set = false;
@@ -106,6 +112,10 @@ ClientOptions parse_args(int argc, char** argv) {
       options.spec.detection_only = true;
     } else if (flag == "--area") {
       options.spec.area = std::stoll(need_value(flag));
+    } else if (flag == "--max-instances") {
+      options.spec.max_instances = std::stoi(need_value(flag));
+    } else if (flag == "--no-screens") {
+      options.engine.static_screens = false;
     } else if (flag == "--no-close-pairs") {
       options.spec.close_pairs = false;
     } else if (flag == "--strategy") {
@@ -144,6 +154,8 @@ ClientOptions parse_args(int argc, char** argv) {
       options.job.warm = false;
     } else if (flag == "--verify") {
       options.verify = true;
+    } else if (flag == "--assert-warm-hits") {
+      options.assert_warm_hits = true;
     } else {
       usage("unknown flag " + flag);
     }
@@ -373,7 +385,7 @@ int main(int argc, char** argv) {
     if (options.command == "batch") return cmd_batch(options);
     if (options.command == "stats") {
       return with_client(options, [](service::Client& client,
-                                     const ClientOptions&) {
+                                     const ClientOptions& opts) {
         std::string error;
         const std::optional<service::Json> stats = client.stats(&error);
         if (!stats.has_value()) {
@@ -381,6 +393,25 @@ int main(int argc, char** argv) {
           return 1;
         }
         std::puts(stats->dump().c_str());
+        if (opts.assert_warm_hits) {
+          // The warm-restore smoke gate: at least one market's most recent
+          // request must have skipped combos via warm state (dominance
+          // cache hits seeded by earlier requests or a --warm-dir restore).
+          const service::Json& markets = stats->get("markets");
+          bool hit = false;
+          for (const service::Json& market : markets.items()) {
+            if (market.get("last_combos_skipped_cache").as_int(0) > 0) {
+              hit = true;
+              break;
+            }
+          }
+          if (!hit) {
+            std::fprintf(stderr,
+                         "thls-client: no market shows warm-state skips "
+                         "on its last request\n");
+            return 1;
+          }
+        }
         return 0;
       });
     }

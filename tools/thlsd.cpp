@@ -2,13 +2,14 @@
 //
 // Serves the JSON-lines protocol of src/service/server.hpp on a Unix
 // socket (default /tmp/thlsd.sock) and/or a loopback TCP port, running
-// every request through per-vendor-market warm engines: repeated requests
-// against the same market reuse the accumulated infeasibility proofs,
-// nogoods, and LP-bound memos of earlier ones — same answers, fewer
-// nodes. See DESIGN.md §5.
+// every request through per-vendor-market warm engine pools: same-market
+// requests run concurrently over a shared immutable warm-state snapshot
+// and fold what they learn back in, so repeated requests reuse the
+// accumulated infeasibility proofs, nogoods, and LP-bound memos of
+// earlier ones — same answers, fewer nodes. See DESIGN.md §5.
 //
 //   thlsd [--socket PATH] [--tcp [PORT]] [--workers N] [--queue N]
-//         [--max-line BYTES]
+//         [--max-line BYTES] [--engine-pool N] [--warm-dir DIR]
 //
 //   --socket PATH    Unix socket path (default /tmp/thlsd.sock;
 //                    "" disables)
@@ -18,13 +19,25 @@
 //   --queue N        admission queue depth (default 32); a full queue
 //                    rejects with a structured queue_full error
 //   --max-line BYTES reject longer protocol lines (default 4 MiB)
+//   --engine-pool N  warm engines per market (default 0 = match workers;
+//                    1 serializes same-market requests, the old behavior)
+//   --warm-dir DIR   persist per-market warm-state snapshots: restore
+//                    market-<hex>.json files from DIR on start, write the
+//                    published snapshots back on shutdown, so a restarted
+//                    daemon skips the warm-up cliff
 //
 // Stop with SIGINT/SIGTERM or the protocol op {"op":"shutdown"}.
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "service/server.hpp"
 
@@ -36,9 +49,64 @@ namespace {
   if (!error.empty()) std::fprintf(stderr, "thlsd: %s\n\n", error.c_str());
   std::fputs(
       "usage: thlsd [--socket PATH] [--tcp [PORT]] [--workers N]\n"
-      "             [--queue N] [--max-line BYTES]\n",
+      "             [--queue N] [--max-line BYTES] [--engine-pool N]\n"
+      "             [--warm-dir DIR]\n",
       stderr);
   std::exit(2);
+}
+
+/// Loads every market-*.json snapshot in `dir` into the service. Files
+/// that fail to parse are skipped with a warning — a stale or corrupt
+/// snapshot must never stop the daemon (worst case it starts cold).
+int restore_warm_snapshots(const std::string& dir,
+                           service::SynthesisService& service) {
+  DIR* handle = opendir(dir.c_str());
+  if (handle == nullptr) return 0;  // absent dir = first run, start cold
+  int restored = 0;
+  while (dirent* entry = readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() < 13 || name.compare(0, 7, "market-") != 0 ||
+        name.compare(name.size() - 5, 5, ".json") != 0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    std::ifstream in(path);
+    if (!in) continue;
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto snapshot = std::make_shared<core::WarmSnapshot>();
+    std::string error;
+    if (!service::parse_warm_snapshot(text.str(), snapshot.get(), &error)) {
+      std::fprintf(stderr, "thlsd: skipping %s: %s\n", path.c_str(),
+                   error.c_str());
+      continue;
+    }
+    service.import_warm(std::move(snapshot));
+    ++restored;
+  }
+  closedir(handle);
+  return restored;
+}
+
+/// Writes every published snapshot to `dir` as market-<hex16>.json.
+int save_warm_snapshots(const std::string& dir,
+                        service::SynthesisService& service) {
+  ::mkdir(dir.c_str(), 0755);  // best effort; open() below reports failures
+  int saved = 0;
+  for (const core::WarmSnapshotPtr& snapshot : service.export_warm()) {
+    char name[48];
+    std::snprintf(name, sizeof name, "market-%016llx.json",
+                  static_cast<unsigned long long>(snapshot->market));
+    const std::string path = dir + "/" + name;
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "thlsd: cannot write %s\n", path.c_str());
+      continue;
+    }
+    out << service::serialize_warm_snapshot(*snapshot) << "\n";
+    ++saved;
+  }
+  return saved;
 }
 
 }  // namespace
@@ -46,6 +114,7 @@ namespace {
 int main(int argc, char** argv) {
   service::ServerConfig config;
   config.unix_path = "/tmp/thlsd.sock";
+  std::string warm_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -69,6 +138,10 @@ int main(int argc, char** argv) {
     } else if (flag == "--max-line") {
       config.max_line_bytes =
           static_cast<std::size_t>(std::stoull(need_value()));
+    } else if (flag == "--engine-pool") {
+      config.service.engine_pool = std::stoi(need_value());
+    } else if (flag == "--warm-dir") {
+      warm_dir = need_value();
     } else {
       usage("unknown flag " + flag);
     }
@@ -87,6 +160,13 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
 
   service::Server server(config);
+  // Restore before the listeners exist: the very first request a client
+  // can reach the daemon with must already see the warm snapshots.
+  if (!warm_dir.empty()) {
+    const int restored = restore_warm_snapshots(warm_dir, server.service());
+    std::printf("thlsd: restored %d warm snapshot(s) from %s\n", restored,
+                warm_dir.c_str());
+  }
   std::string error;
   if (!server.start(&error)) {
     std::fprintf(stderr, "thlsd: %s\n", error.c_str());
@@ -112,6 +192,13 @@ int main(int argc, char** argv) {
 
   server.wait();
   server.stop();
+  // Persist warm state only after stop(): workers have joined, so every
+  // in-flight delta has been folded into its market's published snapshot.
+  if (!warm_dir.empty()) {
+    const int saved = save_warm_snapshots(warm_dir, server.service());
+    std::printf("thlsd: saved %d warm snapshot(s) to %s\n", saved,
+                warm_dir.c_str());
+  }
   std::puts("thlsd: stopped");
   return 0;
 }
