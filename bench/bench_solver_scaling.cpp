@@ -17,11 +17,16 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <vector>
+
+#include "obs/journal.hpp"
 
 #include "benchmarks/random_dfg.hpp"
 #include "benchmarks/suite.hpp"
@@ -799,12 +804,14 @@ void print_service_throughput_study() {
                 want.result.solution.licenses_used(requests[i].spec));
   };
 
-  const auto run_batch = [&](int pool, const char* tag) {
+  const auto run_batch = [&](int pool, const char* tag,
+                             obs::RequestJournal* journal = nullptr) {
     Batch batch;
     service::ServiceConfig config;
     config.workers = kWorkers;
     config.queue_capacity = kRequests + 8;
     config.engine_pool = pool;
+    config.journal = journal;
     service::SynthesisService service(config);
 
     std::mutex mutex;
@@ -927,6 +934,64 @@ void print_service_throughput_study() {
   const Batch serial = run_batch(1, "pool1");
   const Batch pooled = run_batch(kWorkers, "pool4");
 
+  // Journal A/B: the same saturated pool-4 batch with the request journal
+  // attached. The identity/replay gates inside run_batch bind again (the
+  // journal only observes), and the journal itself must hold exactly one
+  // admit and one "end" terminal for each of the 17 requests (16 batch +
+  // 1 replay). The req/s delta vs. journal-off is the observability tax;
+  // it is reported for every run and only a catastrophic slowdown fails
+  // (CI machines are too noisy for a tight throughput gate).
+  const std::string journal_path = "bench_service_journal.jsonl";
+  std::remove(journal_path.c_str());
+  Batch journaled;
+  {
+    std::string journal_error;
+    auto journal = obs::RequestJournal::open(journal_path, &journal_error);
+    if (journal == nullptr) {
+      g_service_mismatch = true;
+      std::printf("JOURNAL OPEN FAILURE: %s\n", journal_error.c_str());
+    } else {
+      journaled = run_batch(kWorkers, "pool4_journal", journal.get());
+      journal->flush();
+    }
+  }  // journal destructor joins the writer before the file is read
+  {
+    std::ifstream in(journal_path);
+    std::string line;
+    int admits = 0;
+    int ends = 0;
+    int other_terminals = 0;
+    while (std::getline(in, line)) {
+      if (line.find("\"event\":\"admit\"") != std::string::npos) ++admits;
+      if (line.find("\"event\":\"end\"") != std::string::npos) ++ends;
+      if (line.find("\"event\":\"cancel\"") != std::string::npos ||
+          line.find("\"event\":\"deadline_miss\"") != std::string::npos ||
+          line.find("\"event\":\"drop\"") != std::string::npos) {
+        ++other_terminals;
+      }
+    }
+    if (admits != kRequests + 1 || ends != kRequests + 1 ||
+        other_terminals != 0) {
+      g_service_mismatch = true;
+      std::printf(
+          "JOURNAL MISMATCH: %d admits, %d ends, %d other terminals "
+          "(want %d/%d/0)\n",
+          admits, ends, other_terminals, kRequests + 1, kRequests + 1);
+    }
+  }
+  std::remove(journal_path.c_str());
+  const double journal_tax =
+      journaled.wall_s > 0.0
+          ? (journaled.wall_s - pooled.wall_s) / pooled.wall_s
+          : 0.0;
+  std::printf("journal overhead: %+.1f%% wall time on the pool=%d batch\n",
+              journal_tax * 100.0, kWorkers);
+  if (journal_tax > 0.25) {
+    g_service_mismatch = true;
+    std::printf("JOURNAL OVERHEAD FAILURE: %+.1f%% > 25%%\n",
+                journal_tax * 100.0);
+  }
+
   const double speedup =
       serial.wall_s / std::max(pooled.wall_s, 1e-9);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -946,6 +1011,7 @@ void print_service_throughput_study() {
   };
   add_row("pool=1 (serialized)", serial);
   add_row("pool=4 (concurrent)", pooled);
+  add_row("pool=4 + journal", journaled);
   benchx::print_table(table, "single hot market, 16 requests, 4 workers");
   std::printf("throughput speedup: %.2fx (%u hardware threads)\n",
               speedup, hw);

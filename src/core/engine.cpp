@@ -271,6 +271,9 @@ void search_worker(SharedSearch& shared, const SynthesisRequest& request,
                    const ProblemSpec& spec, const util::Timer& timer,
                    std::mutex& progress_mutex) {
   try {
+    // Lanes run on pool threads that know nothing about the request, so
+    // each one re-establishes the service correlation id for its spans.
+    obs::CorrelationScope correlation(request.observability.request_id);
     // Per-worker metrics sink: every instrumentation site below this frame
     // (dispatch checks, CSP, cache, validator) records here lock-free;
     // commits merge it into shared.metrics under the search mutex. The
@@ -621,6 +624,9 @@ SynthesisResponse SynthesisEngine::run(const SynthesisRequest& request) {
 }
 
 SynthesisResponse SynthesisEngine::run() {
+  // Covers the calling thread for the whole operation (enumeration,
+  // sweeps, logging); spawned lanes re-establish the scope themselves.
+  obs::CorrelationScope correlation(request_.observability.request_id);
   SynthesisResponse response;
   response.kind = request_.kind;
   switch (request_.kind) {
@@ -693,6 +699,9 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
   spec.validate();
   util::Timer timer;
   OptimizeResult result;
+  // Split/sweep points reach here on pool lanes where the run()-level
+  // scope does not apply; declared before the span so the span carries it.
+  obs::CorrelationScope correlation(request_.observability.request_id);
   HT_TRACE_SPAN("engine/minimize");
   // The calling thread's sink covers the pre-search stages (enumeration,
   // LP pricing, the probe, full-market screens); workers bind their own
@@ -839,6 +848,7 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
     std::vector<obs::SolveMetrics> member_metrics(members.size());
     std::mutex sls_mutex;
     run_indexed(members.size(), threads, [&](std::size_t i, int) {
+      obs::CorrelationScope correlation(request_.observability.request_id);
       obs::MetricsBinding member_binding(
           request_.observability.metrics ? &member_metrics[i] : nullptr);
       const int rank = static_cast<int>(members[i]);
@@ -1084,7 +1094,9 @@ OptimizeResult SynthesisEngine::minimize_spec(const ProblemSpec& spec,
                     {"combos", result.stats.combos_tried},
                     {"nodes", result.stats.csp_nodes},
                     {"seconds", result.stats.seconds},
-                    {"threads", lanes}});
+                    {"threads", lanes},
+                    {"req", static_cast<long long>(
+                                request_.observability.request_id)}});
   return result;
 }
 

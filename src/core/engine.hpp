@@ -166,6 +166,12 @@ struct ObservabilityOptions {
   /// statuses, costs, or bindings — only observes. Off: every
   /// instrumentation site is a thread-local load + branch.
   bool metrics = false;
+  /// Request-correlation id minted by the service at admission (0 = not a
+  /// service request). The engine establishes an obs::CorrelationScope
+  /// with it on every search lane, so each trace span and log line of a
+  /// daemon request is joinable back to its journal record. Never read by
+  /// the search itself — results are bit-identical for any value.
+  std::uint64_t request_id = 0;
 };
 
 /// Snapshot passed to the progress callback after each evaluated license

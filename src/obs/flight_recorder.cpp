@@ -1,0 +1,153 @@
+#include "obs/flight_recorder.hpp"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace ht::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig config)
+    : config_(std::move(config)),
+      base_(std::chrono::steady_clock::now()),
+      window_(4096) {}
+
+std::uint64_t FlightRecorder::now_ns() const {
+  const auto elapsed = std::chrono::steady_clock::now() - base_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+void FlightRecorder::record(int lane, const FlightSpan& span) {
+  if (lane < 0 || span.name == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto index = static_cast<std::size_t>(lane);
+  while (lanes_.size() <= index) {
+    lanes_.push_back(std::make_unique<Lane>());
+  }
+  Lane& slot = *lanes_[index];
+  if (slot.ring.size() < config_.ring_capacity) {
+    slot.ring.push_back(span);
+  } else {
+    slot.ring[slot.next] = span;
+  }
+  slot.next = (slot.next + 1) % std::max<std::size_t>(1,
+                                                      config_.ring_capacity);
+  ++slot.recorded;
+}
+
+double FlightRecorder::latency_threshold() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (window_.size() < static_cast<std::size_t>(
+                           std::max(1, config_.min_samples))) {
+    return -1.0;
+  }
+  return std::max(config_.min_anomaly_seconds,
+                  config_.anomaly_factor * window_.quantile(0.95));
+}
+
+std::string FlightRecorder::note_reply(std::uint64_t corr,
+                                       double e2e_seconds, bool expired,
+                                       bool cancelled) {
+  bool anomalous = expired || cancelled;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Threshold BEFORE this sample joins the window, so one slow request
+    // cannot raise the bar it is judged against.
+    if (!anomalous &&
+        window_.size() >=
+            static_cast<std::size_t>(std::max(1, config_.min_samples))) {
+      const double threshold =
+          std::max(config_.min_anomaly_seconds,
+                   config_.anomaly_factor * window_.quantile(0.95));
+      anomalous = e2e_seconds > threshold;
+    }
+    window_.push(e2e_seconds);
+    if (!anomalous || config_.dump_dir.empty() ||
+        dumps_ >= config_.max_dumps) {
+      return "";
+    }
+    ++dumps_;
+  }
+  return dump(corr);
+}
+
+std::vector<FlightSpan> FlightRecorder::correlated(std::uint64_t corr) const {
+  std::vector<FlightSpan> spans;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<Lane>& lane : lanes_) {
+    // Oldest-first ring order: [next, end) then [0, next) once wrapped.
+    const std::size_t n = lane->ring.size();
+    const std::size_t start =
+        n == config_.ring_capacity ? lane->next : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlightSpan& span = lane->ring[(start + i) % n];
+      if (span.corr == corr) spans.push_back(span);
+    }
+  }
+  return spans;
+}
+
+int FlightRecorder::dumps_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+std::string FlightRecorder::dump(std::uint64_t corr) {
+  // Lanes are snapshotted with lane indices so the dump keeps per-worker
+  // rows ("tid" = lane) like a live trace would.
+  struct Entry {
+    FlightSpan span;
+    int lane;
+  };
+  std::vector<Entry> entries;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      const Lane& lane = *lanes_[l];
+      const std::size_t n = lane.ring.size();
+      const std::size_t start =
+          n == config_.ring_capacity ? lane.next : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const FlightSpan& span = lane.ring[(start + i) % n];
+        if (span.corr == corr) {
+          entries.push_back({span, static_cast<int>(l)});
+        }
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.span.begin_ns != b.span.begin_ns) {
+                return a.span.begin_ns < b.span.begin_ns;
+              }
+              return a.lane < b.lane;
+            });
+
+  ::mkdir(config_.dump_dir.c_str(), 0755);  // best effort; open reports
+  char name[48];
+  std::snprintf(name, sizeof name, "req-%llu.trace.json",
+                static_cast<unsigned long long>(corr));
+  const std::string path = config_.dump_dir + "/" + name;
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return "";
+  out << "{\"traceEvents\": [\n";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const FlightSpan& span = entries[i].span;
+    const std::uint64_t dur_ns =
+        span.end_ns > span.begin_ns ? span.end_ns - span.begin_ns : 0;
+    out << "  {\"name\": \"" << span.name << "\", \"ph\": \"X\", \"ts\": "
+        << span.begin_ns / 1000 << '.' << (span.begin_ns % 1000) / 100
+        << (span.begin_ns % 100) / 10 << span.begin_ns % 10
+        << ", \"dur\": " << dur_ns / 1000 << '.' << (dur_ns % 1000) / 100
+        << (dur_ns % 100) / 10 << dur_ns % 10 << ", \"pid\": 1, \"tid\": "
+        << entries[i].lane << ", \"args\": {\"req\": " << span.corr << "}}"
+        << (i + 1 < entries.size() ? ",\n" : "\n");
+  }
+  out << "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"req\": " << corr
+      << "}}\n";
+  return out.good() ? path : "";
+}
+
+}  // namespace ht::obs

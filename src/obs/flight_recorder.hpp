@@ -1,0 +1,118 @@
+// Flight recorder: an always-on fixed-size ring of recent coarse spans per
+// service worker, dumped as a Chrome-trace file when a request ends
+// anomalously — so a slow, cancelled, or deadline-missed request is
+// explained after the fact without ever running with full tracing on.
+//
+// Recording model. Each service worker lane owns one ring slot; the
+// service records a handful of phase spans per request (queue wait, engine
+// checkout, solve, snapshot merge) tagged with the request-correlation id.
+// Rings are fixed-size and overwrite oldest-first, so steady-state cost is
+// a few array writes per request and memory is bounded for the daemon's
+// lifetime. Recording never touches the solver hot path — only the
+// service's per-request bookkeeping, which is microseconds next to a
+// solve.
+//
+// Anomaly rules (checked once per finished request, in note_reply):
+//   1. the request missed its deadline, or
+//   2. it finished cancelled, or
+//   3. its end-to-end latency exceeds
+//        max(min_anomaly_seconds, anomaly_factor * rolling_p95)
+//      once at least `min_samples` replies have been observed (the rolling
+//      p95 comes from a bounded PercentileWindow of recent latencies).
+// On anomaly the correlated slice of EVERY lane's ring (all spans carrying
+// the request id, plus each lane's overlapping recent activity for
+// context) is written to `dump_dir/req-<id>.trace.json` as Chrome "X"
+// complete events — loadable in Perfetto, validated by
+// tools/check_trace_json.py. At most `max_dumps` files are written per
+// recorder lifetime so an anomaly storm cannot fill a disk.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/telemetry.hpp"
+
+namespace ht::obs {
+
+struct FlightRecorderConfig {
+  /// Directory for anomaly dumps (created on first dump). Empty disables
+  /// dumping; the rings still record (cheap) so tests can inspect them.
+  std::string dump_dir;
+  /// Spans retained per worker lane.
+  std::size_t ring_capacity = 256;
+  /// Latency floor below which a request is never anomalous on time alone.
+  double min_anomaly_seconds = 0.25;
+  /// e2e > anomaly_factor * rolling p95 flags a request.
+  double anomaly_factor = 4.0;
+  /// Replies observed before the latency rule arms (deadline misses and
+  /// cancellations dump from the first request).
+  int min_samples = 64;
+  /// Lifetime cap on dump files.
+  int max_dumps = 64;
+};
+
+/// One recorded span. Names must be string literals (the ring stores the
+/// pointer, trace.hpp's convention).
+struct FlightSpan {
+  const char* name = nullptr;
+  std::uint64_t corr = 0;      ///< request id the span belongs to
+  std::uint64_t begin_ns = 0;  ///< recorder-relative steady clock
+  std::uint64_t end_ns = 0;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Steady nanoseconds since the recorder was created — the timebase
+  /// every recorded span uses.
+  std::uint64_t now_ns() const;
+
+  /// Records one completed span into lane `lane` (any non-negative index;
+  /// lanes materialize on first use). Thread-safe; lanes are expected to
+  /// be worker-private so contention is nil.
+  void record(int lane, const FlightSpan& span);
+
+  /// Feeds one finished request's end-to-end latency, evaluates the
+  /// anomaly rules, and dumps the correlated ring slice when they fire.
+  /// Returns the dump path ("" = no dump). `expired`/`cancelled` mirror
+  /// the service reply flags.
+  std::string note_reply(std::uint64_t corr, double e2e_seconds,
+                         bool expired, bool cancelled);
+
+  /// The latency threshold a request must exceed to be anomalous right
+  /// now, or a negative value while the window is still arming.
+  double latency_threshold() const;
+
+  /// Spans recorded for `corr` across every lane (oldest first per lane).
+  /// Test/diagnostic surface; dumps use the same extraction.
+  std::vector<FlightSpan> correlated(std::uint64_t corr) const;
+
+  int dumps_written() const;
+
+ private:
+  struct Lane {
+    std::vector<FlightSpan> ring;  ///< capacity-bounded, wraps
+    std::size_t next = 0;
+    std::uint64_t recorded = 0;
+  };
+
+  std::string dump(std::uint64_t corr);
+
+  const FlightRecorderConfig config_;
+  const std::chrono::steady_clock::time_point base_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  PercentileWindow window_;
+  int dumps_ = 0;
+};
+
+}  // namespace ht::obs

@@ -1,0 +1,195 @@
+#include "obs/journal.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace ht::obs {
+namespace {
+
+long long wall_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_escaped(const std::string& text, std::string* out) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) *out += c;
+    }
+  }
+}
+
+void append_hex64(std::uint64_t value, std::string* out) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                static_cast<unsigned long long>(value));
+  *out += buffer;
+}
+
+void append_double(double value, std::string* out) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.6f", value);
+  *out += buffer;
+}
+
+}  // namespace
+
+bool JournalEvent::lifecycle_endpoint() const {
+  return std::strcmp(type, "admit") == 0 || std::strcmp(type, "end") == 0 ||
+         std::strcmp(type, "cancel") == 0 ||
+         std::strcmp(type, "deadline_miss") == 0 ||
+         std::strcmp(type, "reject") == 0 || std::strcmp(type, "drop") == 0;
+}
+
+std::string journal_line(const JournalEvent& event, std::uint64_t seq,
+                         long long ts_ms) {
+  std::string line;
+  line.reserve(160);
+  line += "{\"journal_version\":";
+  line += std::to_string(kJournalVersion);
+  line += ",\"seq\":";
+  line += std::to_string(seq);
+  line += ",\"ts_ms\":";
+  line += std::to_string(ts_ms);
+  line += ",\"event\":\"";
+  append_escaped(event.type, &line);
+  line += "\",\"req\":";
+  line += std::to_string(event.req);
+  if (event.market != 0) {
+    line += ",\"market\":\"";
+    append_hex64(event.market, &line);
+    line += '"';
+  }
+  if (!event.id.empty()) {
+    line += ",\"id\":\"";
+    append_escaped(event.id, &line);
+    line += '"';
+  }
+  if (!event.status.empty()) {
+    line += ",\"status\":\"";
+    append_escaped(event.status, &line);
+    line += '"';
+  }
+  if (event.queue_s >= 0.0) {
+    line += ",\"queue_s\":";
+    append_double(event.queue_s, &line);
+  }
+  if (event.solve_s >= 0.0) {
+    line += ",\"solve_s\":";
+    append_double(event.solve_s, &line);
+  }
+  if (event.cost != JournalEvent::kNoCost) {
+    line += ",\"cost\":";
+    line += std::to_string(event.cost);
+  }
+  if (event.nodes >= 0) {
+    line += ",\"nodes\":";
+    line += std::to_string(event.nodes);
+  }
+  if (event.snapshot_version >= 0) {
+    line += ",\"snapshot_version\":";
+    line += std::to_string(event.snapshot_version);
+  }
+  line += '}';
+  return line;
+}
+
+std::unique_ptr<RequestJournal> RequestJournal::open(
+    const std::string& path, std::string* error,
+    std::size_t buffer_capacity) {
+  std::FILE* file = std::fopen(path.c_str(), "a");
+  if (file == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open journal " + path + ": " + std::strerror(errno);
+    }
+    return nullptr;
+  }
+  return std::unique_ptr<RequestJournal>(
+      new RequestJournal(file, path, buffer_capacity));
+}
+
+RequestJournal::RequestJournal(std::FILE* file, std::string path,
+                               std::size_t buffer_capacity)
+    : path_(std::move(path)),
+      buffer_capacity_(std::max<std::size_t>(1, buffer_capacity)),
+      file_(file),
+      writer_([this] { writer_loop(); }) {}
+
+RequestJournal::~RequestJournal() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closing_ = true;
+    ready_.notify_all();
+  }
+  writer_.join();
+  std::fclose(file_);
+}
+
+void RequestJournal::append(const JournalEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closing_) return;
+  if (pending_.size() >= buffer_capacity_ && !event.lifecycle_endpoint()) {
+    // Backlogged: shed the best-effort in-between events, never the
+    // admit/terminal pair the journal's exactly-once contract rides on
+    // (their overshoot is bounded by the admission queue depth).
+    ++counters_.dropped;
+    return;
+  }
+  pending_.push_back(journal_line(event, next_seq_++, wall_ms_now()));
+  ++counters_.appended;
+  ready_.notify_one();
+}
+
+void RequestJournal::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  flushed_.wait(lock, [&] {
+    return pending_.empty() || closing_;
+  });
+}
+
+JournalCounters RequestJournal::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+void RequestJournal::writer_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    ready_.wait(lock, [&] { return !pending_.empty() || closing_; });
+    while (!pending_.empty()) {
+      const std::string line = std::move(pending_.front());
+      pending_.pop_front();
+      // Write with no lock held: a slow disk must never stall append().
+      lock.unlock();
+      std::fputs(line.c_str(), file_);
+      std::fputc('\n', file_);
+      // Line-at-a-time flush: a crash loses only still-buffered events,
+      // and a concurrent reader (tail -f, the CI validator on a live
+      // daemon) only ever sees whole lines.
+      std::fflush(file_);
+      lock.lock();
+      ++counters_.written;
+    }
+    flushed_.notify_all();
+    if (closing_) return;
+  }
+}
+
+}  // namespace ht::obs

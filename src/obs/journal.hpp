@@ -1,0 +1,133 @@
+// Append-only JSON-lines request journal — the durable record of every
+// request's lifecycle through the synthesis service (thlsd --journal).
+//
+// One line per event, one event per request-lifecycle transition:
+//
+//   admit         request accepted into the admission queue
+//   reject        admission failed (queue full); TERMINAL
+//   dequeue       a worker picked the request up (carries the queue wait)
+//   warm_attach   worker adopted the market's published warm snapshot
+//   solve_start   the engine was entered
+//   incumbent     the solve published a new best solution (cost attached)
+//   end           request completed; TERMINAL (status/cost/nodes attached)
+//   cancel        request finished cancelled (queued or mid-solve); TERMINAL
+//   deadline_miss request expired before or during the solve; TERMINAL
+//   drop          request drained at shutdown without running; TERMINAL
+//
+// Every request writes exactly one admit (or nothing, if admission never
+// assigned it an id) and exactly one terminal event; the in-between events
+// are best-effort. tools/check_trace_json.py --journal enforces exactly
+// that shape, plus monotonic request ids and per-request ordering.
+//
+// Line schema (journal_version 1; unknown keys must be tolerated):
+//   {"journal_version":1,"seq":N,"ts_ms":N,"event":"admit","req":N,
+//    "market":"0x...","id":"...",...}
+// `seq` is a process-wide strictly increasing sequence number; `ts_ms` is
+// wall-clock milliseconds since the Unix epoch (for operators; ordering
+// guarantees ride on `seq`, never on the clock). Event-specific keys:
+// queue_s, solve_s, status, cost, nodes, snapshot_version.
+//
+// Durability and bounding. append() serializes the line and hands it to a
+// dedicated writer thread over a bounded buffer; the writer flushes after
+// every line (fputs + fflush), so a crash loses at most the lines still in
+// the buffer — never tears one mid-line. When the buffer is full,
+// *droppable* events (dequeue/warm_attach/solve_start/incumbent) are
+// counted and discarded; lifecycle endpoints (admit and the terminals) are
+// never dropped — the buffer grows past its cap for them, bounded by the
+// admission queue depth. The journal never blocks a solver thread on disk.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace ht::obs {
+
+inline constexpr int kJournalVersion = 1;
+
+/// One journal line before serialization. Optional fields use sentinels:
+/// negative seconds/nodes and kJournalNoCost are "absent".
+struct JournalEvent {
+  /// Event name from the fixed vocabulary above. Must outlive the call
+  /// (string literals in practice).
+  const char* type = "";
+  std::uint64_t req = 0;     ///< service request id (admission ticket)
+  std::uint64_t market = 0;  ///< spec_family_fingerprint; 0 = omit
+  std::string id;            ///< client-chosen job id; empty = omit
+  std::string status;        ///< OptStatus name; empty = omit
+  double queue_s = -1.0;     ///< queue wait; < 0 = omit
+  double solve_s = -1.0;     ///< solve wall time; < 0 = omit
+  long long cost = kNoCost;  ///< incumbent / final cost; kNoCost = omit
+  long long nodes = -1;      ///< CSP nodes of the solve; < 0 = omit
+  long long snapshot_version = -1;  ///< warm snapshot adopted; < 0 = omit
+
+  static constexpr long long kNoCost = -0x7fffffffffffffff;
+  /// True for events that may never be discarded at the buffer cap.
+  bool lifecycle_endpoint() const;
+};
+
+/// Monotonic journal counters, for stats()/telemetry reconciliation.
+struct JournalCounters {
+  long long appended = 0;  ///< events accepted into the buffer
+  long long written = 0;   ///< lines flushed to the file
+  long long dropped = 0;   ///< droppable events discarded at the cap
+};
+
+class RequestJournal {
+ public:
+  /// Opens `path` for appending and starts the writer thread. Returns
+  /// nullptr with `error` set when the file cannot be opened.
+  /// `buffer_capacity` bounds the droppable-event backlog.
+  static std::unique_ptr<RequestJournal> open(
+      const std::string& path, std::string* error,
+      std::size_t buffer_capacity = 4096);
+
+  /// Flushes everything buffered and joins the writer thread.
+  ~RequestJournal();
+
+  RequestJournal(const RequestJournal&) = delete;
+  RequestJournal& operator=(const RequestJournal&) = delete;
+
+  /// Serializes and enqueues one event. Thread-safe; never blocks on I/O.
+  /// Stamps `seq` and `ts_ms`. Callers must order a request's admit before
+  /// its other events themselves (the service appends admit while still
+  /// holding its admission lock).
+  void append(const JournalEvent& event);
+
+  /// Blocks until every event appended so far has been flushed to disk.
+  void flush();
+
+  JournalCounters counters() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  RequestJournal(std::FILE* file, std::string path,
+                 std::size_t buffer_capacity);
+  void writer_loop();
+
+  const std::string path_;
+  const std::size_t buffer_capacity_;
+  std::FILE* file_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;    ///< writer wakeup
+  std::condition_variable flushed_;  ///< flush() wakeup
+  std::deque<std::string> pending_;
+  std::uint64_t next_seq_ = 1;
+  JournalCounters counters_;
+  bool closing_ = false;
+
+  std::thread writer_;
+};
+
+/// Serializes one event as a journal line (no trailing newline); exposed
+/// for tests. `seq`/`ts_ms` are the values the journal would stamp.
+std::string journal_line(const JournalEvent& event, std::uint64_t seq,
+                         long long ts_ms);
+
+}  // namespace ht::obs

@@ -1,0 +1,139 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ht::obs {
+
+PercentileWindow::PercentileWindow(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void PercentileWindow::push(double sample) {
+  ++pushed_;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(sample);
+    std::push_heap(samples_.begin(), samples_.end(), std::greater<>());
+    return;
+  }
+  // Saturated: keep the top-capacity multiset. Ties at the boundary keep
+  // the incumbent — either choice retains the same multiset of values, so
+  // the merge stays order-independent.
+  if (sample <= samples_.front()) return;
+  std::pop_heap(samples_.begin(), samples_.end(), std::greater<>());
+  samples_.back() = sample;
+  std::push_heap(samples_.begin(), samples_.end(), std::greater<>());
+}
+
+void PercentileWindow::merge(const PercentileWindow& other) {
+  const long long other_pushed = other.pushed_;
+  for (const double sample : other.samples_) push(sample);
+  // push() already counted the retained samples; account for the ones the
+  // other window had itself evicted, so pushed() is partition-invariant.
+  pushed_ +=
+      other_pushed - static_cast<long long>(other.samples_.size());
+}
+
+void PercentileWindow::clear() {
+  samples_.clear();
+  pushed_ = 0;
+}
+
+double PercentileWindow::quantile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = sorted_samples();
+  std::size_t idx =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+double PercentileWindow::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+std::vector<double> PercentileWindow::sorted_samples() const {
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+namespace {
+
+std::string format_value(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  // Integral values (the common counter case) print without a fraction so
+  // scrapes diff cleanly; everything else gets fixed precision.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(value));
+    return buffer;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.9g", value);
+  return buffer;
+}
+
+}  // namespace
+
+void PrometheusText::header(const std::string& name, const std::string& help,
+                            const char* type) {
+  body_ += "# HELP " + name + " " + help + "\n";
+  body_ += "# TYPE " + name + " ";
+  body_ += type;
+  body_ += '\n';
+}
+
+void PrometheusText::sample(const std::string& name,
+                            const std::string& labels, double value) {
+  body_ += name;
+  if (!labels.empty()) body_ += "{" + labels + "}";
+  body_ += ' ';
+  body_ += format_value(value);
+  body_ += '\n';
+}
+
+void PrometheusText::counter(const std::string& name, const std::string& help,
+                             double value, const std::string& labels) {
+  // One header per metric name even when labeled series repeat it: track
+  // by scanning the body for the TYPE line (bodies are small; scrapes are
+  // seconds apart).
+  if (body_.find("# TYPE " + name + " ") == std::string::npos) {
+    header(name, help, "counter");
+  }
+  sample(name, labels, value);
+}
+
+void PrometheusText::gauge(const std::string& name, const std::string& help,
+                           double value, const std::string& labels) {
+  if (body_.find("# TYPE " + name + " ") == std::string::npos) {
+    header(name, help, "gauge");
+  }
+  sample(name, labels, value);
+}
+
+void PrometheusText::histogram(const std::string& name,
+                               const std::string& help,
+                               const StageStats& stats) {
+  header(name, help, "histogram");
+  // metrics.hpp buckets are <1us, <10us, ..., <1s, >=1s: the first seven
+  // map onto cumulative le bounds 1e-06..1 (seconds), the last is +Inf.
+  static const char* kBounds[] = {"1e-06", "1e-05", "0.0001", "0.001",
+                                  "0.01",  "0.1",   "1"};
+  long long cumulative = 0;
+  for (int b = 0; b < kNumBuckets - 1; ++b) {
+    cumulative += stats.buckets[static_cast<std::size_t>(b)];
+    sample(name + "_bucket", std::string("le=\"") + kBounds[b] + "\"",
+           static_cast<double>(cumulative));
+  }
+  cumulative += stats.buckets[kNumBuckets - 1];
+  sample(name + "_bucket", "le=\"+Inf\"", static_cast<double>(cumulative));
+  sample(name + "_sum", "", static_cast<double>(stats.total_ns) * 1e-9);
+  // _count must equal the +Inf bucket (one bucket hit per add(); `count`
+  // can run ahead of it for multi-event samples, see StageStats::add).
+  sample(name + "_count", "", static_cast<double>(cumulative));
+}
+
+}  // namespace ht::obs

@@ -1,0 +1,88 @@
+// Scrape-side observability primitives: a bounded percentile window with
+// an order-independent merge, and a Prometheus text-exposition builder.
+//
+// PercentileWindow holds at most `capacity` samples. Past the cap it keeps
+// the LARGEST samples seen — the multiset of the top-capacity values of
+// everything ever pushed — which makes push() and merge() commutative and
+// associative: any partition of the same samples across worker threads,
+// merged in any order, yields bit-identical window contents (the property
+// obs_test locks down). Keeping the top tail biases retained quantiles
+// upward once the window saturates; for the latency windows that feed
+// anomaly thresholds and telemetry gauges that is the conservative
+// direction (a threshold never relaxes because old slow samples aged out
+// of a FIFO). Size the capacity above the expected scrape interval's
+// traffic and the bias never engages.
+//
+// PrometheusText renders the text exposition format (version 0.0.4):
+// counters, gauges, and cumulative histograms — the `telemetry` wire op's
+// payload, scraped by `thls-client top/tail` or any Prometheus agent.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace ht::obs {
+
+class PercentileWindow {
+ public:
+  explicit PercentileWindow(std::size_t capacity = 4096);
+
+  void push(double sample);
+  void merge(const PercentileWindow& other);
+
+  std::size_t size() const { return samples_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total samples ever pushed (merge sums it), not just those retained.
+  long long pushed() const { return pushed_; }
+  bool empty() const { return samples_.empty(); }
+  void clear();
+
+  /// The p-quantile (0 <= p <= 1) of the retained samples by the same
+  /// index rule stats() uses: sorted[floor(p * n)], clamped. 0 when empty.
+  double quantile(double p) const;
+  double max() const;
+
+  /// Retained samples, ascending — the deterministic merge artifact the
+  /// tests compare.
+  std::vector<double> sorted_samples() const;
+
+ private:
+  std::size_t capacity_;
+  /// Min-heap over the retained samples (samples_[0] is the smallest), so
+  /// evicting the smallest on overflow is O(log n).
+  std::vector<double> samples_;
+  long long pushed_ = 0;
+};
+
+/// Builder for Prometheus text exposition (one TYPE/HELP header per
+/// metric, then samples). Append in metric order; emit() returns the body.
+class PrometheusText {
+ public:
+  /// `labels` is the rendered label set without braces, e.g.
+  /// "market=\"0x1234\"" — empty for none.
+  void counter(const std::string& name, const std::string& help,
+               double value, const std::string& labels = "");
+  void gauge(const std::string& name, const std::string& help, double value,
+             const std::string& labels = "");
+
+  /// Cumulative histogram from a StageStats (nanosecond log-decade
+  /// buckets, see metrics.hpp) rendered with seconds-valued `le` bounds
+  /// 1e-06 .. 1 plus +Inf, `_sum` in seconds, and `_count`.
+  void histogram(const std::string& name, const std::string& help,
+                 const StageStats& stats);
+
+  std::string str() const { return body_; }
+
+ private:
+  void sample(const std::string& name, const std::string& labels,
+              double value);
+  void header(const std::string& name, const std::string& help,
+              const char* type);
+
+  std::string body_;
+};
+
+}  // namespace ht::obs

@@ -9,6 +9,15 @@ namespace ht::obs {
 
 namespace internal {
 std::atomic<bool> g_tracing{false};
+
+namespace {
+// Plain thread_local (not atomic): only the owning thread reads or writes
+// its own slot, so scopes cost one store on entry and one on exit.
+thread_local std::uint64_t g_correlation = 0;
+}  // namespace
+
+std::uint64_t correlation() { return g_correlation; }
+void set_correlation(std::uint64_t id) { g_correlation = id; }
 }  // namespace internal
 
 namespace {
@@ -98,6 +107,7 @@ void append(TraceEvent event) {
   }
   event.tid = buffer.tid;
   event.seq = buffer.seq++;
+  event.corr = internal::correlation();
   const std::int64_t base = reg.base_ns.load(std::memory_order_relaxed);
   const std::int64_t now = now_ns_since_epoch();
   event.ts_ns = now > base ? static_cast<std::uint64_t>(now - base) : 0;
@@ -266,7 +276,7 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
         << static_cast<char>('0' + (frac / 10) % 10)
         << static_cast<char>('0' + frac % 10);
     out << ", \"pid\": 1, \"tid\": " << event.tid;
-    if (event.num_args > 0) {
+    if (event.num_args > 0 || event.corr != 0) {
       out << ", \"args\": {";
       for (int a = 0; a < event.num_args; ++a) {
         if (a > 0) out << ", ";
@@ -280,6 +290,10 @@ void write_chrome_trace(const TraceLog& log, std::ostream& out) {
         } else {
           out << event.args[a].num;
         }
+      }
+      if (event.corr != 0) {
+        if (event.num_args > 0) out << ", ";
+        out << "\"req\": " << event.corr;
       }
       out << '}';
     }

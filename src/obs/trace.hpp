@@ -35,6 +35,10 @@ namespace ht::obs {
 
 namespace internal {
 extern std::atomic<bool> g_tracing;
+/// The calling thread's request-correlation id (0 = none). Stamped onto
+/// every recorded event; see CorrelationScope.
+std::uint64_t correlation();
+void set_correlation(std::uint64_t id);
 }  // namespace internal
 
 /// True while a capture is open. The relaxed load is the entire cost of a
@@ -57,6 +61,10 @@ struct TraceEvent {
   std::uint32_t tid = 0;
   std::uint64_t ts_ns = 0;  ///< relative to the capture start
   std::uint64_t seq = 0;    ///< per-thread recording order
+  /// Request-correlation id active on the recording thread (0 = none).
+  /// Exported as a "req" arg, so every span of one service request is
+  /// joinable across threads and with the request journal.
+  std::uint64_t corr = 0;
   int num_args = 0;
   TraceArg args[2];
 };
@@ -116,6 +124,30 @@ class TraceSpan {
 
  private:
   const char* name_ = nullptr;  ///< non-null iff the begin was recorded
+};
+
+/// The calling thread's correlation id (0 when none is set).
+inline std::uint64_t correlation_id() { return internal::correlation(); }
+
+/// RAII request-correlation scope: every event the calling thread records
+/// while the scope is alive carries `id` (0 = clear). Nestable — the
+/// previous id is restored on destruction — and zero-cost beyond one
+/// thread-local store each way; when tracing is off nothing ever reads it.
+/// The service worker sets one per job; the engine re-establishes it on
+/// every search lane it spawns (the id travels inside the request, not via
+/// thread inheritance).
+class CorrelationScope {
+ public:
+  explicit CorrelationScope(std::uint64_t id)
+      : previous_(internal::correlation()) {
+    internal::set_correlation(id);
+  }
+  ~CorrelationScope() { internal::set_correlation(previous_); }
+  CorrelationScope(const CorrelationScope&) = delete;
+  CorrelationScope& operator=(const CorrelationScope&) = delete;
+
+ private:
+  std::uint64_t previous_;
 };
 
 #define HT_OBS_CONCAT_(a, b) a##b

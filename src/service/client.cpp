@@ -224,6 +224,19 @@ std::optional<Json> Client::stats(std::string* error) {
   }
 }
 
+std::optional<std::string> Client::telemetry(std::string* error) {
+  Json envelope = Json::object();
+  envelope.set("schema_version", kSchemaVersion);
+  envelope.set("op", "telemetry");
+  if (!send_envelope(envelope, error)) return std::nullopt;
+  while (true) {
+    Json in;
+    if (!read_envelope(&in, error)) return std::nullopt;
+    if (in.get("op").as_string("") != "telemetry") continue;
+    return in.get("text").as_string("");
+  }
+}
+
 bool Client::ping() {
   Json envelope = Json::object();
   envelope.set("schema_version", kSchemaVersion);

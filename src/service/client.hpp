@@ -62,6 +62,8 @@ class Client {
   bool cancel(const std::string& id);
 
   std::optional<Json> stats(std::string* error = nullptr);
+  /// Prometheus text-exposition body from the `telemetry` op.
+  std::optional<std::string> telemetry(std::string* error = nullptr);
   bool ping();
   bool shutdown_server();
 

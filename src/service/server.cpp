@@ -258,6 +258,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
             out.set("ok", true);
             out.set("response", response_to_json(reply.response));
             Json info_json = Json::object();
+            info_json.set("request_id",
+                          static_cast<long long>(reply.request_id));
             info_json.set("warm", reply.warm);
             info_json.set("expired", reply.expired);
             info_json.set("cancelled", reply.cancelled);
@@ -306,6 +308,16 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection,
     reply.set("op", "stats");
     reply.set("ok", true);
     reply.set("stats", service_.stats());
+    connection->write_line(reply.dump());
+    return;
+  }
+  if (op == "telemetry") {
+    Json reply = Json::object();
+    reply.set("schema_version", kSchemaVersion);
+    reply.set("op", "telemetry");
+    reply.set("ok", true);
+    reply.set("content_type", "text/plain; version=0.0.4");
+    reply.set("text", service_.telemetry());
     connection->write_line(reply.dump());
     return;
   }

@@ -13,7 +13,10 @@
 //     "priority", "deadline_ms", "warm".
 //   op "cancel": "id" names the job to cancel.
 //   op "stats" | "ping" | "shutdown".
-// Server → client: {"schema_version":1,"op":"response"|"stats"|"pong"|
+//   op "telemetry": Prometheus text exposition; the reply carries the
+//     body in "text" plus "content_type" = "text/plain; version=0.0.4".
+// Server → client: {"schema_version":1,"op":"response"|"stats"|
+// "telemetry"|"pong"|
 // "cancel_ack"|"shutdown_ack"|"error","ok":bool,...}; failures carry
 // {"error":{"code","message"}} with codes "malformed_json",
 // "oversized_line", "unsupported_version", "bad_request", "unknown_op",

@@ -5,6 +5,7 @@
 #include <future>
 
 #include "core/search_cache.hpp"
+#include "obs/trace.hpp"
 
 namespace ht::service {
 namespace {
@@ -29,8 +30,12 @@ SynthesisService::SynthesisService(const ServiceConfig& config)
   const int workers = std::max(1, config.workers);
   workers_.reserve(static_cast<std::size_t>(workers));
   for (int i = 0; i < workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
+}
+
+void SynthesisService::journal_event(const obs::JournalEvent& event) {
+  if (config_.journal != nullptr) config_.journal->append(event);
 }
 
 SynthesisService::~SynthesisService() { shutdown(); }
@@ -50,6 +55,8 @@ bool SynthesisService::submit(const JobInfo& info,
                            info.deadline_seconds));
   }
   job.cancel = std::make_shared<util::CancelToken>();
+  const std::uint64_t market =
+      core::spec_family_fingerprint(job.request.spec);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopped_) {
@@ -61,6 +68,15 @@ bool SynthesisService::submit(const JobInfo& info,
     ++submitted_;
     callbacks_[job.ticket] = std::move(done);
     if (!job.info.id.empty()) live_[job.info.id] = job.cancel;
+    // Admit is journaled while the admission lock is still held, so admit
+    // records appear in strictly increasing request-id order and always
+    // precede every event a worker can produce for the job.
+    obs::JournalEvent admit;
+    admit.type = "admit";
+    admit.req = job.ticket;
+    admit.market = market;
+    admit.id = job.info.id;
+    journal_event(admit);
   }
   const std::uint64_t ticket = job.ticket;
   const std::string id = job.info.id;
@@ -73,6 +89,12 @@ bool SynthesisService::submit(const JobInfo& info,
     const auto it = live_.find(id);
     if (it != live_.end() && it->second == token) live_.erase(it);
     if (error != nullptr) *error = "queue_full";
+    obs::JournalEvent reject;
+    reject.type = "reject";
+    reject.req = ticket;
+    reject.market = market;
+    reject.id = id;
+    journal_event(reject);
     return false;
   }
   return true;
@@ -103,9 +125,9 @@ bool SynthesisService::cancel(const std::string& id) {
   return true;
 }
 
-void SynthesisService::worker_loop() {
+void SynthesisService::worker_loop(int lane) {
   PendingJob job;
-  while (queue_.pop(&job)) run_job(std::move(job));
+  while (queue_.pop(&job)) run_job(std::move(job), lane);
 }
 
 SynthesisService::MarketGroup* SynthesisService::group_for(
@@ -149,14 +171,38 @@ void SynthesisService::import_warm(core::WarmSnapshotPtr snapshot) {
   group->snapshot = std::move(snapshot);
 }
 
-void SynthesisService::run_job(PendingJob job) {
+void SynthesisService::run_job(PendingJob job, int lane) {
   ServiceReply reply;
+  reply.request_id = job.ticket;
   reply.warm = job.info.warm;
   reply.market = core::spec_family_fingerprint(job.request.spec);
   reply.response.kind = job.request.kind;
+  // Thread the admission ticket into the engine (correlation for every
+  // trace span and log line) and onto this worker thread for the
+  // service-level spans recorded below. Purely observational: the engine
+  // never reads it into the search.
+  job.request.observability.request_id = job.ticket;
+  obs::CorrelationScope correlation(job.ticket);
+  obs::FlightRecorder* flight = config_.flight;
 
   const auto dispatched = std::chrono::steady_clock::now();
   reply.queue_seconds = seconds_between(job.admitted, dispatched);
+  {
+    obs::JournalEvent dequeue;
+    dequeue.type = "dequeue";
+    dequeue.req = job.ticket;
+    dequeue.market = reply.market;
+    dequeue.queue_s = reply.queue_seconds;
+    journal_event(dequeue);
+  }
+  if (flight != nullptr) {
+    // The queue wait as one span: end now, begin back-dated by the wait.
+    const std::uint64_t end_ns = flight->now_ns();
+    const auto wait_ns =
+        static_cast<std::uint64_t>(reply.queue_seconds * 1e9);
+    flight->record(lane, {"svc/queue", job.ticket,
+                          end_ns > wait_ns ? end_ns - wait_ns : 0, end_ns});
+  }
 
   if (job.cancel->cancelled()) {
     reply.cancelled = true;
@@ -180,6 +226,34 @@ void SynthesisService::run_job(PendingJob job) {
   }
   job.request.cancel = job.cancel.get();
 
+  if (config_.journal != nullptr) {
+    // Journal every improving incumbent by wrapping the progress callback.
+    // Publications are serialized under the engine's progress mutex, so
+    // `last_cost` needs no lock of its own. Installing a callback only
+    // adds observation points — statuses, costs and bindings are
+    // callback-invariant (the PR 5 identity guarantee).
+    const core::ProgressFn inner = job.request.progress;
+    auto last_cost =
+        std::make_shared<long long>(obs::JournalEvent::kNoCost);
+    const std::uint64_t ticket = job.ticket;
+    const std::uint64_t market = reply.market;
+    job.request.progress =
+        [this, inner, last_cost, ticket,
+         market](const core::SynthesisProgress& progress) {
+          if (progress.have_incumbent &&
+              progress.incumbent_cost != *last_cost) {
+            *last_cost = progress.incumbent_cost;
+            obs::JournalEvent incumbent;
+            incumbent.type = "incumbent";
+            incumbent.req = ticket;
+            incumbent.market = market;
+            incumbent.cost = progress.incumbent_cost;
+            journal_event(incumbent);
+          }
+          if (inner) inner(progress);
+        };
+  }
+
   if (job.info.warm) {
     MarketGroup* group = group_for(reply.market);
     // Acquire: one snapshot read plus one engine checkout under the group
@@ -187,6 +261,8 @@ void SynthesisService::run_job(PendingJob job) {
     // when every pooled engine is busy.
     std::unique_ptr<core::SynthesisEngine> engine;
     core::WarmSnapshotPtr snapshot;
+    const std::uint64_t acquire_ns =
+        flight != nullptr ? flight->now_ns() : 0;
     {
       std::unique_lock<std::mutex> pool_lock(group->mutex);
       const int cap = engine_pool_cap();
@@ -204,12 +280,39 @@ void SynthesisService::run_job(PendingJob job) {
       ++group->active;
       group->max_active = std::max(group->max_active, group->active);
     }
+    if (flight != nullptr) {
+      flight->record(lane, {"svc/acquire", job.ticket, acquire_ns,
+                            flight->now_ns()});
+    }
+    {
+      obs::JournalEvent attach;
+      attach.type = "warm_attach";
+      attach.req = job.ticket;
+      attach.market = reply.market;
+      attach.snapshot_version =
+          snapshot != nullptr ? static_cast<long long>(snapshot->version)
+                              : 0;
+      journal_event(attach);
+      obs::JournalEvent start;
+      start.type = "solve_start";
+      start.req = job.ticket;
+      start.market = reply.market;
+      journal_event(start);
+    }
     // Solve over the shared immutable snapshot; the engine's own recordings
     // land in its private live/pending tiers.
     engine->adopt_warm(snapshot);
+    const std::uint64_t solve_ns =
+        flight != nullptr ? flight->now_ns() : 0;
     reply.response = engine->run(job.request);
+    if (flight != nullptr) {
+      flight->record(lane,
+                     {"svc/solve", job.ticket, solve_ns, flight->now_ns()});
+    }
     core::WarmDelta delta = engine->export_warm_delta();
     engine->adopt_warm(nullptr);  // detach: the engine keeps no warm state
+    const std::uint64_t merge_ns =
+        flight != nullptr ? flight->now_ns() : 0;
     {
       // Publish: fold this request's surviving context into the next
       // snapshot. merge_warm canonicalizes, so the published tier does not
@@ -225,6 +328,10 @@ void SynthesisService::run_job(PendingJob job) {
       --group->active;
       group->pool_cv.notify_one();
     }
+    if (flight != nullptr) {
+      flight->record(lane,
+                     {"svc/merge", job.ticket, merge_ns, flight->now_ns()});
+    }
     const double engine_seconds = seconds_between(
         dispatched, std::chrono::steady_clock::now());
     const core::OptimizeStats& stats = reply.response.result.stats;
@@ -232,6 +339,7 @@ void SynthesisService::run_job(PendingJob job) {
     ++group->requests;
     group->engine_seconds += engine_seconds;
     if (!reply.response.result.metrics.empty()) {
+      ++group->metered_requests;
       group->metered_csp_ns += reply.response.result.metrics
                                    .stage(obs::Stage::kCspDispatch)
                                    .total_ns;
@@ -248,8 +356,19 @@ void SynthesisService::run_job(PendingJob job) {
     group->last_combos_skipped_cache = stats.combos_skipped_cache;
     group->last_lb_prunes = stats.lb_prunes;
   } else {
+    obs::JournalEvent start;
+    start.type = "solve_start";
+    start.req = job.ticket;
+    start.market = reply.market;
+    journal_event(start);
+    const std::uint64_t solve_ns =
+        flight != nullptr ? flight->now_ns() : 0;
     core::SynthesisEngine cold;
     reply.response = cold.run(job.request);
+    if (flight != nullptr) {
+      flight->record(lane,
+                     {"svc/solve", job.ticket, solve_ns, flight->now_ns()});
+    }
   }
   reply.solve_seconds = seconds_between(
       dispatched, std::chrono::steady_clock::now());
@@ -290,7 +409,42 @@ void SynthesisService::finish(const PendingJob& job,
         latency_samples_[latency_next_] = sample;
       }
       latency_next_ = (latency_next_ + 1) % kLatencyWindow;
+      queue_hist_.add(
+          static_cast<long long>(reply.queue_seconds * 1e9));
+      e2e_hist_.add(static_cast<long long>(
+          (reply.queue_seconds + reply.solve_seconds) * 1e9));
     }
+  }
+  // Exactly one terminal journal line per admitted request, whichever way
+  // it ended. Priority: a shutdown drop never ran; a deadline miss beats
+  // the cancel flag (an expired job may also observe its token tripped);
+  // everything else is a normal end.
+  obs::JournalEvent terminal;
+  terminal.req = job.ticket;
+  terminal.market = reply.market;
+  terminal.id = job.info.id;
+  terminal.queue_s = reply.queue_seconds;
+  if (!reply.ok()) {
+    terminal.type = "drop";
+    terminal.queue_s = -1.0;  // never dispatched; no measured wait
+  } else if (reply.expired) {
+    terminal.type = "deadline_miss";
+  } else if (reply.cancelled) {
+    terminal.type = "cancel";
+  } else {
+    terminal.type = "end";
+    terminal.status = core::to_string(reply.response.result.status);
+    if (reply.response.result.has_solution()) {
+      terminal.cost = reply.response.result.cost;
+    }
+    terminal.nodes = reply.response.result.stats.nodes_total;
+    terminal.solve_s = reply.solve_seconds;
+  }
+  journal_event(terminal);
+  if (config_.flight != nullptr && reply.ok()) {
+    config_.flight->note_reply(job.ticket,
+                               reply.queue_seconds + reply.solve_seconds,
+                               reply.expired, reply.cancelled);
   }
   if (done) done(reply);
 }
@@ -317,6 +471,14 @@ Json SynthesisService::stats() const {
     Json entry = Json::object();
     entry.set("fingerprint", fingerprint_hex(fingerprint));
     entry.set("requests", static_cast<long long>(group->requests));
+    // Split the request count by whether the request collected per-stage
+    // metrics: only metered ones feed the nodes/sec denominator below, so
+    // readers can see how much of the traffic the derived rate covers.
+    entry.set("metered_requests",
+              static_cast<long long>(group->metered_requests));
+    entry.set("unmetered_requests",
+              static_cast<long long>(group->requests -
+                                     group->metered_requests));
     entry.set("nodes_total", group->nodes_total);
     entry.set("combos_tried", group->combos_tried);
     entry.set("combos_skipped_cache", group->combos_skipped_cache);
@@ -401,6 +563,122 @@ Json SynthesisService::stats() const {
   return json;
 }
 
+std::string SynthesisService::telemetry() const {
+  obs::PrometheusText prom;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++telemetry_scrapes_;
+    prom.counter("thlsd_telemetry_scrapes_total",
+                 "Telemetry scrapes served (monotonic per process).",
+                 static_cast<double>(telemetry_scrapes_));
+    prom.counter("thlsd_requests_submitted_total",
+                 "Requests admitted to the queue.",
+                 static_cast<double>(submitted_));
+    prom.counter("thlsd_requests_rejected_total",
+                 "Requests refused at admission (queue_full or shutdown).",
+                 static_cast<double>(rejected_));
+    prom.counter("thlsd_requests_completed_total",
+                 "Requests that produced a reply.",
+                 static_cast<double>(completed_));
+    prom.counter("thlsd_requests_cancelled_total",
+                 "Replies whose cancel token was tripped.",
+                 static_cast<double>(cancelled_));
+    prom.counter("thlsd_requests_expired_total",
+                 "Replies that missed their deadline.",
+                 static_cast<double>(expired_));
+    prom.gauge("thlsd_workers", "Worker threads in the solve pool.",
+               static_cast<double>(workers_.size()));
+    prom.gauge("thlsd_queue_capacity", "Bounded admission queue capacity.",
+               static_cast<double>(queue_.capacity()));
+    prom.gauge("thlsd_queue_depth", "Jobs currently waiting in the queue.",
+               static_cast<double>(queue_.size()));
+
+    prom.histogram("thlsd_queue_wait_seconds",
+                   "Queue wait of completed requests (cumulative).",
+                   queue_hist_);
+    prom.histogram("thlsd_e2e_latency_seconds",
+                   "End-to-end latency (wait + solve) of completed "
+                   "requests (cumulative).",
+                   e2e_hist_);
+
+    // Rolling-window percentile gauges over the same sliding reply window
+    // stats() reports — recent behavior, unlike the histograms above.
+    if (!latency_samples_.empty()) {
+      std::vector<double> queue_waits;
+      std::vector<double> e2e;
+      queue_waits.reserve(latency_samples_.size());
+      e2e.reserve(latency_samples_.size());
+      for (const auto& [wait, total] : latency_samples_) {
+        queue_waits.push_back(wait);
+        e2e.push_back(total);
+      }
+      std::sort(queue_waits.begin(), queue_waits.end());
+      std::sort(e2e.begin(), e2e.end());
+      const auto pct = [](const std::vector<double>& sorted, double p) {
+        std::size_t idx =
+            static_cast<std::size_t>(p * static_cast<double>(sorted.size()));
+        if (idx >= sorted.size()) idx = sorted.size() - 1;
+        return sorted[idx];
+      };
+      prom.gauge("thlsd_latency_window_samples",
+                 "Replies in the rolling latency window.",
+                 static_cast<double>(queue_waits.size()));
+      prom.gauge("thlsd_queue_wait_window_seconds",
+                 "Rolling-window queue wait quantiles.",
+                 pct(queue_waits, 0.50), "quantile=\"0.5\"");
+      prom.gauge("thlsd_queue_wait_window_seconds", "",
+                 pct(queue_waits, 0.95), "quantile=\"0.95\"");
+      prom.gauge("thlsd_queue_wait_window_seconds", "", queue_waits.back(),
+                 "quantile=\"1\"");
+      prom.gauge("thlsd_e2e_latency_window_seconds",
+                 "Rolling-window end-to-end latency quantiles.",
+                 pct(e2e, 0.50), "quantile=\"0.5\"");
+      prom.gauge("thlsd_e2e_latency_window_seconds", "", pct(e2e, 0.95),
+                 "quantile=\"0.95\"");
+      prom.gauge("thlsd_e2e_latency_window_seconds", "", e2e.back(),
+                 "quantile=\"1\"");
+    }
+
+    for (const auto& [fingerprint, group] : groups_) {
+      const std::string market =
+          "market=\"" + fingerprint_hex(fingerprint) + "\"";
+      prom.counter("thlsd_market_requests_total",
+                   "Requests served, by vendor market.",
+                   static_cast<double>(group->requests), market);
+      prom.counter("thlsd_market_metered_requests_total",
+                   "Requests that collected per-stage metrics, by market.",
+                   static_cast<double>(group->metered_requests), market);
+      prom.counter("thlsd_market_nodes_total",
+                   "CSP nodes expanded, by market.",
+                   static_cast<double>(group->nodes_total), market);
+      std::lock_guard<std::mutex> pool_lock(group->mutex);
+      prom.counter("thlsd_market_snapshot_merges_total",
+                   "Warm-state deltas folded into the published snapshot.",
+                   static_cast<double>(group->merges), market);
+    }
+  }
+  // Journal / flight-recorder health, when attached: counters come from
+  // those components' own locks, so read them outside mutex_.
+  if (config_.journal != nullptr) {
+    const obs::JournalCounters counters = config_.journal->counters();
+    prom.counter("thlsd_journal_events_appended_total",
+                 "Journal events accepted for writing.",
+                 static_cast<double>(counters.appended));
+    prom.counter("thlsd_journal_events_written_total",
+                 "Journal lines flushed to disk.",
+                 static_cast<double>(counters.written));
+    prom.counter("thlsd_journal_events_dropped_total",
+                 "Non-endpoint journal events shed under backpressure.",
+                 static_cast<double>(counters.dropped));
+  }
+  if (config_.flight != nullptr) {
+    prom.counter("thlsd_flight_dumps_total",
+                 "Flight-recorder anomaly dumps written.",
+                 static_cast<double>(config_.flight->dumps_written()));
+  }
+  return prom.str();
+}
+
 void SynthesisService::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -415,6 +693,7 @@ void SynthesisService::shutdown() {
   for (PendingJob& job : queue_.drain()) {
     ServiceReply reply;
     reply.error = "shutdown";
+    reply.request_id = job.ticket;
     reply.response.kind = job.request.kind;
     finish(job, reply);
   }

@@ -36,6 +36,9 @@
 #include <vector>
 
 #include "core/warm_state.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
 #include "service/queue.hpp"
 #include "service/wire.hpp"
 
@@ -50,12 +53,22 @@ struct ServiceConfig {
   /// block until an engine frees. 0 = match `workers`; 1 reproduces the
   /// pre-snapshot fully-serialized behavior (the throughput A/B baseline).
   int engine_pool = 0;
+  /// Request-lifecycle journal (thlsd --journal). Not owned; must outlive
+  /// the service. nullptr = journaling off (the default; no cost).
+  obs::RequestJournal* journal = nullptr;
+  /// Flight recorder for anomaly dumps (thlsd --flight-dir). Not owned;
+  /// must outlive the service. nullptr = off.
+  obs::FlightRecorder* flight = nullptr;
 };
 
 /// Outcome of one job, delivered to the submitter's callback.
 struct ServiceReply {
   /// Non-empty on service-level failure ("queue_full", "shutdown").
   std::string error;
+  /// Monotonic request id minted at admission (the queue ticket) — the
+  /// key every journal line, trace span, and flight-recorder dump of this
+  /// request carries. 0 only when admission itself failed.
+  std::uint64_t request_id = 0;
   core::SynthesisResponse response;
   bool expired = false;    ///< deadline passed; result.status is kUnknown
   bool cancelled = false;  ///< token was tripped (solve may be partial)
@@ -95,6 +108,14 @@ class SynthesisService {
   /// merged SolveMetrics.
   Json stats() const;
 
+  /// Prometheus text-exposition snapshot (version 0.0.4): request
+  /// counters, queue-depth gauge, cumulative latency histograms, rolling
+  /// percentile gauges, per-market counters, and journal/flight-recorder
+  /// health when attached. Each call increments
+  /// thlsd_telemetry_scrapes_total, so two scrapes are always
+  /// distinguishable (the CI monotonicity probe).
+  std::string telemetry() const;
+
   /// The published warm snapshot of every market that has one — what
   /// `thlsd --warm-dir` persists at shutdown/checkpoint.
   std::vector<core::WarmSnapshotPtr> export_warm() const;
@@ -129,6 +150,10 @@ class SynthesisService {
     std::uint64_t merges = 0;  ///< deltas folded into the snapshot
     // Ledger (guarded by the service mutex, not the group mutex):
     long requests = 0;
+    /// Requests that collected per-stage metrics — the only ones feeding
+    /// metered_csp_ns/metered_nodes, so stats() can report how much of
+    /// `requests` the derived nodes/sec actually covers.
+    long metered_requests = 0;
     long long nodes_total = 0;
     long long combos_tried = 0;
     long long combos_skipped_cache = 0;
@@ -153,11 +178,13 @@ class SynthesisService {
     long long last_lb_prunes = 0;
   };
 
-  void worker_loop();
-  void run_job(PendingJob job);
+  void worker_loop(int lane);
+  void run_job(PendingJob job, int lane);
   void finish(const PendingJob& job, const ServiceReply& reply);
   MarketGroup* group_for(std::uint64_t fingerprint);
   int engine_pool_cap() const;
+  /// Appends to the journal when one is attached; no-op otherwise.
+  void journal_event(const obs::JournalEvent& event);
 
   const ServiceConfig config_;
   AdmissionQueue queue_;
@@ -181,6 +208,12 @@ class SynthesisService {
   std::vector<std::pair<double, double>> latency_samples_;
   std::size_t latency_next_ = 0;
   obs::SolveMetrics metrics_;  // merged across metrics-enabled requests
+  /// Cumulative (never-reset) latency histograms feeding telemetry() —
+  /// Prometheus histograms must be monotonic, unlike the sliding window
+  /// above. Durations recorded in nanoseconds (StageStats convention).
+  obs::StageStats e2e_hist_;
+  obs::StageStats queue_hist_;
+  mutable long long telemetry_scrapes_ = 0;
 
   std::vector<std::thread> workers_;
 };

@@ -450,3 +450,290 @@ TEST(ObsEngineTest, EasySpecDispatchesWithoutForcedPublications) {
 
 }  // namespace
 }  // namespace ht::core
+
+// ---------------------------------------------------------------------------
+// Request-lifecycle observability: correlation, journal, flight recorder,
+// percentile windows, and the Prometheus exposition builder.
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/journal.hpp"
+#include "obs/telemetry.hpp"
+#include "service/wire.hpp"
+
+namespace ht::obs {
+namespace {
+
+TEST(TraceTest, CorrelationScopeStampsReqOnEveryEvent) {
+  start_tracing();
+  {
+    CorrelationScope correlation(77);
+    EXPECT_EQ(correlation_id(), 77u);
+    HT_TRACE_SPAN("test/correlated");
+    {
+      CorrelationScope nested(78);
+      trace_instant("test/nested");
+    }
+    // RAII restore: back to the outer id after the nested scope.
+    EXPECT_EQ(correlation_id(), 77u);
+  }
+  EXPECT_EQ(correlation_id(), 0u);
+  trace_instant("test/uncorrelated");
+  const TraceLog log = stop_tracing();
+  ASSERT_EQ(log.events.size(), 4u);
+
+  std::ostringstream out;
+  write_chrome_trace(log, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"req\": 77"), std::string::npos);
+  EXPECT_NE(json.find("\"req\": 78"), std::string::npos);
+  // The uncorrelated instant must not carry a req arg at all.
+  EXPECT_EQ(json.find("\"req\": 0"), std::string::npos);
+}
+
+TEST(PercentileWindowTest, RetainsLargestWhenSaturated) {
+  PercentileWindow window(4);
+  for (int i = 1; i <= 10; ++i) window.push(static_cast<double>(i));
+  EXPECT_EQ(window.size(), 4u);
+  EXPECT_EQ(window.pushed(), 10);
+  EXPECT_EQ(window.sorted_samples(),
+            (std::vector<double>{7.0, 8.0, 9.0, 10.0}));
+  EXPECT_EQ(window.max(), 10.0);
+  EXPECT_EQ(window.quantile(1.0), 10.0);
+}
+
+TEST(PercentileWindowTest, MergeIsOrderAndPartitionInvariantAcrossThreads) {
+  // A fixed pseudo-random sample set (no wall clock, no RNG state): the
+  // reference window sees everything sequentially; four thread-local
+  // windows each see a strided partition and are merged in two different
+  // orders. All three must retain the identical multiset.
+  std::vector<double> samples;
+  samples.reserve(997);
+  for (std::uint64_t i = 0; i < 997; ++i) {
+    samples.push_back(
+        static_cast<double>((i * 2654435761ULL) % 100003ULL) / 1000.0);
+  }
+  PercentileWindow reference(64);
+  for (const double sample : samples) reference.push(sample);
+
+  std::vector<PercentileWindow> locals(4, PercentileWindow(64));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = static_cast<std::size_t>(t); i < samples.size();
+           i += 4) {
+        locals[static_cast<std::size_t>(t)].push(samples[i]);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  PercentileWindow forward(64);
+  for (int t = 0; t < 4; ++t) {
+    forward.merge(locals[static_cast<std::size_t>(t)]);
+  }
+  PercentileWindow backward(64);
+  for (int t = 3; t >= 0; --t) {
+    backward.merge(locals[static_cast<std::size_t>(t)]);
+  }
+  EXPECT_EQ(forward.sorted_samples(), reference.sorted_samples());
+  EXPECT_EQ(backward.sorted_samples(), reference.sorted_samples());
+  EXPECT_EQ(forward.pushed(), reference.pushed());
+  EXPECT_EQ(backward.pushed(), reference.pushed());
+  EXPECT_EQ(forward.quantile(0.95), reference.quantile(0.95));
+}
+
+TEST(JournalTest, LineSerializationParsesBackWithAllFields) {
+  JournalEvent event;
+  event.type = "end";
+  event.req = 42;
+  event.market = 0x00c0ffee;
+  event.id = "job \"quoted\"";
+  event.status = "optimal";
+  event.queue_s = 0.25;
+  event.solve_s = 1.5;
+  event.cost = 1234;
+  event.nodes = 5678;
+  event.snapshot_version = 3;
+  const std::string line = journal_line(event, 9, 1700000000123LL);
+
+  service::Json parsed;
+  std::string error;
+  ASSERT_TRUE(service::Json::parse(line, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.get("journal_version").as_int(), kJournalVersion);
+  EXPECT_EQ(parsed.get("seq").as_int(), 9);
+  EXPECT_EQ(parsed.get("ts_ms").as_int(), 1700000000123LL);
+  EXPECT_EQ(parsed.get("event").as_string(), "end");
+  EXPECT_EQ(parsed.get("req").as_int(), 42);
+  EXPECT_EQ(parsed.get("market").as_string(), "0x0000000000c0ffee");
+  EXPECT_EQ(parsed.get("id").as_string(), "job \"quoted\"");
+  EXPECT_EQ(parsed.get("status").as_string(), "optimal");
+  EXPECT_DOUBLE_EQ(parsed.get("queue_s").as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(parsed.get("solve_s").as_double(), 1.5);
+  EXPECT_EQ(parsed.get("cost").as_int(), 1234);
+  EXPECT_EQ(parsed.get("nodes").as_int(), 5678);
+  EXPECT_EQ(parsed.get("snapshot_version").as_int(), 3);
+
+  // Optional fields stay absent when unset, so readers can rely on
+  // presence = meaningful.
+  JournalEvent bare;
+  bare.type = "admit";
+  bare.req = 1;
+  const std::string bare_line = journal_line(bare, 1, 0);
+  ASSERT_TRUE(service::Json::parse(bare_line, &parsed, &error)) << error;
+  EXPECT_FALSE(parsed.has("market"));
+  EXPECT_FALSE(parsed.has("cost"));
+  EXPECT_FALSE(parsed.has("queue_s"));
+}
+
+TEST(JournalTest, WritesWholeLinesWithStrictlyIncreasingSeq) {
+  const std::string path =
+      ::testing::TempDir() + "ht_obs_journal_test.jsonl";
+  std::remove(path.c_str());
+  {
+    std::string error;
+    auto journal = RequestJournal::open(path, &error);
+    ASSERT_NE(journal, nullptr) << error;
+    for (std::uint64_t req = 1; req <= 3; ++req) {
+      JournalEvent admit;
+      admit.type = "admit";
+      admit.req = req;
+      journal->append(admit);
+      JournalEvent start;
+      start.type = "solve_start";
+      start.req = req;
+      journal->append(start);
+      JournalEvent end;
+      end.type = "end";
+      end.req = req;
+      end.status = "optimal";
+      journal->append(end);
+    }
+    journal->flush();
+    const JournalCounters counters = journal->counters();
+    EXPECT_EQ(counters.appended, 9);
+    EXPECT_EQ(counters.written, 9);
+    EXPECT_EQ(counters.dropped, 0);
+  }  // destructor joins the writer; the file is complete
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  long long last_seq = -1;
+  std::map<long long, int> admits;
+  std::map<long long, int> ends;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    service::Json parsed;
+    std::string error;
+    ASSERT_TRUE(service::Json::parse(line, &parsed, &error))
+        << line << ": " << error;
+    const long long seq = parsed.get("seq").as_int(-1);
+    EXPECT_GT(seq, last_seq) << "seq must be strictly increasing";
+    last_seq = seq;
+    const long long req = parsed.get("req").as_int(0);
+    const std::string type = parsed.get("event").as_string();
+    if (type == "admit") ++admits[req];
+    if (type == "end") ++ends[req];
+  }
+  EXPECT_EQ(lines, 9);
+  for (long long req = 1; req <= 3; ++req) {
+    EXPECT_EQ(admits[req], 1) << "req " << req;
+    EXPECT_EQ(ends[req], 1) << "req " << req;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, ThresholdIsComputedBeforeTheJudgedSample) {
+  FlightRecorderConfig config;
+  config.min_samples = 4;
+  config.anomaly_factor = 2.0;
+  config.min_anomaly_seconds = 0.001;
+  FlightRecorder recorder(config);
+  EXPECT_LT(recorder.latency_threshold(), 0.0);  // not enough samples
+  for (int i = 0; i < 4; ++i) {
+    recorder.note_reply(static_cast<std::uint64_t>(i + 1), 0.01, false,
+                        false);
+  }
+  // p95 of four 0.01s samples is 0.01; threshold = 2 x 0.01.
+  EXPECT_DOUBLE_EQ(recorder.latency_threshold(), 0.02);
+  EXPECT_EQ(recorder.dumps_written(), 0);
+}
+
+TEST(FlightRecorderTest, AnomalyDumpHoldsOnlyCorrelatedSpansAcrossLanes) {
+  FlightRecorderConfig config;
+  config.dump_dir = ::testing::TempDir() + "ht_obs_flight_test";
+  config.ring_capacity = 8;
+  FlightRecorder recorder(config);
+
+  const std::uint64_t base = recorder.now_ns();
+  recorder.record(0, {"svc/queue", 42, base, base + 1000});
+  recorder.record(0, {"svc/solve", 42, base + 1000, base + 5000});
+  recorder.record(1, {"svc/solve", 7, base, base + 2000});  // other request
+  recorder.record(1, {"svc/merge", 42, base + 5000, base + 6000});
+
+  ASSERT_EQ(recorder.correlated(42).size(), 3u);
+  // expired forces the anomaly path regardless of latency history.
+  const std::string path = recorder.note_reply(42, 0.001, true, false);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(recorder.dumps_written(), 1);
+  EXPECT_NE(path.find("req-42.trace.json"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  service::Json parsed;
+  std::string error;
+  ASSERT_TRUE(service::Json::parse(buffer.str(), &parsed, &error)) << error;
+  const service::Json& events = parsed.get("traceEvents");
+  ASSERT_EQ(events.size(), 3u);
+  for (const service::Json& event : events.items()) {
+    EXPECT_EQ(event.get("ph").as_string(), "X");
+    EXPECT_EQ(event.get("args").get("req").as_int(), 42);
+    EXPECT_GE(event.get("dur").as_double(-1.0), 0.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeAndCountMatchesInf) {
+  StageStats stats;
+  stats.add(500);          // <1us
+  stats.add(50'000);       // <100us
+  stats.add(2'000'000'000);  // >=1s
+  PrometheusText prom;
+  prom.histogram("test_seconds", "help text", stats);
+  const std::string body = prom.str();
+  EXPECT_NE(body.find("# TYPE test_seconds histogram"), std::string::npos);
+  EXPECT_NE(body.find("test_seconds_bucket{le=\"1e-06\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("test_seconds_bucket{le=\"0.0001\"} 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("test_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("test_seconds_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(body.find("test_seconds_count 3"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, RepeatedLabeledSeriesShareOneHeader) {
+  PrometheusText prom;
+  prom.counter("x_total", "help", 1.0, "market=\"a\"");
+  prom.counter("x_total", "help", 2.0, "market=\"b\"");
+  const std::string body = prom.str();
+  std::size_t headers = 0;
+  for (std::size_t pos = body.find("# TYPE x_total");
+       pos != std::string::npos;
+       pos = body.find("# TYPE x_total", pos + 1)) {
+    ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(body.find("x_total{market=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(body.find("x_total{market=\"b\"} 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ht::obs

@@ -23,13 +23,19 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/search_cache.hpp"
 #include "dfg/analysis.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/journal.hpp"
 #include "service/client.hpp"
 #include "service/queue.hpp"
 #include "service/server.hpp"
@@ -786,6 +792,218 @@ TEST_F(ServerTest, CancelOverTheProtocolReachesALiveJob) {
   EXPECT_EQ(reply.get("id").as_string(), "protocol-cancel");
   EXPECT_TRUE(reply.get("ok").as_bool(false));
   EXPECT_TRUE(reply.get("service").get("cancelled").as_bool(false));
+}
+
+
+// ---- request-lifecycle observability --------------------------------------
+
+TEST(SynthesisServiceTest, JournalHasOneAdmitAndOneTerminalPerRequest) {
+  const std::string path =
+      ::testing::TempDir() + "ht_service_journal_test.jsonl";
+  std::remove(path.c_str());
+  std::string open_error;
+  auto journal = obs::RequestJournal::open(path, &open_error);
+  ASSERT_NE(journal, nullptr) << open_error;
+
+  long long completed = 0;
+  long long cancelled = 0;
+  long long expired = 0;
+  {
+    ServiceConfig config;
+    config.workers = 2;
+    config.journal = journal.get();
+    SynthesisService service(config);
+
+    // A normal request, a cancelled one, and an expired one: three
+    // distinct terminal types in one journal.
+    ASSERT_TRUE(service.execute({}, contested_request()).ok());
+
+    Gate gate;
+    JobInfo cancel_info;
+    cancel_info.id = "journal-cancel";
+    ServiceReply cancel_reply;
+    std::thread submitter([&] {
+      cancel_reply = service.execute(cancel_info, gated_request(&gate));
+    });
+    gate.wait_entered();
+    EXPECT_TRUE(service.cancel("journal-cancel"));
+    gate.release();
+    submitter.join();
+    ASSERT_TRUE(cancel_reply.ok());
+    EXPECT_TRUE(cancel_reply.cancelled);
+
+    JobInfo expired_info;
+    expired_info.deadline_seconds = 1e-9;  // already past at dispatch
+    const ServiceReply expired_reply =
+        service.execute(expired_info, contested_request());
+    ASSERT_TRUE(expired_reply.ok());
+    EXPECT_TRUE(expired_reply.expired);
+
+    const Json stats = service.stats();
+    completed = stats.get("service").get("completed").as_int();
+    cancelled = stats.get("service").get("cancelled").as_int();
+    expired = stats.get("service").get("expired").as_int();
+    service.shutdown();
+  }
+  journal->flush();
+  journal.reset();  // joins the writer; the file is complete
+
+  // Replay the journal and reconcile against the stats() counters.
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::map<long long, int> admits;
+  std::map<long long, std::string> terminals;
+  long long last_seq = -1;
+  while (std::getline(in, line)) {
+    Json parsed;
+    std::string error;
+    ASSERT_TRUE(Json::parse(line, &parsed, &error)) << line << ": " << error;
+    const long long seq = parsed.get("seq").as_int(-1);
+    EXPECT_GT(seq, last_seq);
+    last_seq = seq;
+    const long long req = parsed.get("req").as_int(0);
+    ASSERT_GE(req, 1);
+    const std::string type = parsed.get("event").as_string();
+    if (type == "admit") {
+      EXPECT_EQ(admits.count(req), 0u) << "duplicate admit for " << req;
+      ++admits[req];
+      continue;
+    }
+    // Every non-admit event of a request follows its admit (admit is
+    // journaled under the service lock before the worker can see it).
+    EXPECT_EQ(admits.count(req), 1u) << type << " before admit for " << req;
+    EXPECT_EQ(terminals.count(req), 0u)
+        << type << " after terminal for " << req;
+    if (type == "end" || type == "cancel" || type == "deadline_miss" ||
+        type == "drop") {
+      terminals[req] = type;
+    }
+  }
+  ASSERT_EQ(admits.size(), 3u);
+  ASSERT_EQ(terminals.size(), 3u);
+  std::map<std::string, int> by_type;
+  for (const auto& [req, type] : terminals) ++by_type[type];
+  EXPECT_EQ(by_type["end"], static_cast<int>(completed - cancelled -
+                                             expired));
+  EXPECT_EQ(by_type["cancel"], static_cast<int>(cancelled));
+  EXPECT_EQ(by_type["deadline_miss"], static_cast<int>(expired));
+  std::remove(path.c_str());
+}
+
+TEST(SynthesisServiceTest, ResultsBitIdenticalWithFullObservabilityOn) {
+  const core::SynthesisRequest request = contested_request();
+
+  ServiceConfig plain_config;
+  SynthesisService plain(plain_config);
+  const ServiceReply baseline = plain.execute({}, request);
+  ASSERT_TRUE(baseline.ok());
+
+  const std::string journal_path =
+      ::testing::TempDir() + "ht_service_identity_journal.jsonl";
+  std::remove(journal_path.c_str());
+  std::string open_error;
+  auto journal = obs::RequestJournal::open(journal_path, &open_error);
+  ASSERT_NE(journal, nullptr) << open_error;
+  obs::FlightRecorderConfig flight_config;
+  flight_config.dump_dir = ::testing::TempDir() + "ht_service_identity_fr";
+  obs::FlightRecorder flight(flight_config);
+
+  ServiceConfig observed_config;
+  observed_config.journal = journal.get();
+  observed_config.flight = &flight;
+  SynthesisService observed(observed_config);
+  const ServiceReply reply = observed.execute({}, request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_GE(reply.request_id, 1u);
+  expect_same_outcome(reply.response, baseline.response, request.spec);
+  observed.shutdown();
+  journal.reset();
+  std::remove(journal_path.c_str());
+}
+
+TEST(SynthesisServiceTest, ExpiredRequestTriggersFlightRecorderDump) {
+  obs::FlightRecorderConfig flight_config;
+  flight_config.dump_dir = ::testing::TempDir() + "ht_service_flight_dump";
+  obs::FlightRecorder flight(flight_config);
+  ServiceConfig config;
+  config.flight = &flight;
+  SynthesisService service(config);
+
+  JobInfo info;
+  info.deadline_seconds = 1e-9;
+  const ServiceReply reply = service.execute(info, contested_request());
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(reply.expired);
+  EXPECT_EQ(flight.dumps_written(), 1);
+  char name[64];
+  std::snprintf(name, sizeof name, "/req-%llu.trace.json",
+                static_cast<unsigned long long>(reply.request_id));
+  const std::string dump_path = flight_config.dump_dir + name;
+  std::ifstream in(dump_path);
+  EXPECT_TRUE(in.good()) << dump_path;
+  // The queue phase of the expired request is in the ring, so the dump
+  // carries at least that span, correlated by request id.
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("svc/queue"), std::string::npos);
+  std::remove(dump_path.c_str());
+}
+
+TEST(SynthesisServiceTest, StatsSplitsMeteredFromUnmeteredRequests) {
+  SynthesisService service(ServiceConfig{});
+  ASSERT_TRUE(service.execute({}, contested_request()).ok());
+  core::SynthesisRequest metered = contested_request();
+  metered.observability.metrics = true;
+  ASSERT_TRUE(service.execute({}, metered).ok());
+
+  const Json stats = service.stats();
+  const Json& market = stats.get("markets").at(0);
+  EXPECT_EQ(market.get("requests").as_int(), 2);
+  EXPECT_EQ(market.get("metered_requests").as_int(), 1);
+  EXPECT_EQ(market.get("unmetered_requests").as_int(), 1);
+}
+
+TEST(SynthesisServiceTest, TelemetryScrapesAreMonotonicAndCoherent) {
+  SynthesisService service(ServiceConfig{});
+  ASSERT_TRUE(service.execute({}, contested_request()).ok());
+
+  const std::string first = service.telemetry();
+  const std::string second = service.telemetry();
+  EXPECT_NE(first.find("thlsd_telemetry_scrapes_total 1"),
+            std::string::npos);
+  EXPECT_NE(second.find("thlsd_telemetry_scrapes_total 2"),
+            std::string::npos);
+  EXPECT_NE(first.find("thlsd_requests_submitted_total 1"),
+            std::string::npos);
+  EXPECT_NE(first.find("thlsd_requests_completed_total 1"),
+            std::string::npos);
+  // One completed request: both cumulative histograms hold one sample.
+  EXPECT_NE(first.find("thlsd_e2e_latency_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(first.find("thlsd_queue_wait_seconds_count 1"),
+            std::string::npos);
+  EXPECT_NE(first.find("thlsd_market_requests_total{market=\"0x"),
+            std::string::npos);
+}
+
+TEST_F(ServerTest, TelemetryOpServesPrometheusText) {
+  const std::unique_ptr<Server> server = start_server();
+  ASSERT_NE(server, nullptr);
+  const std::unique_ptr<Client> client = connect(*server);
+  ASSERT_NE(client, nullptr);
+
+  std::string error;
+  const std::optional<std::string> first = client->telemetry(&error);
+  ASSERT_TRUE(first.has_value()) << error;
+  const std::optional<std::string> second = client->telemetry(&error);
+  ASSERT_TRUE(second.has_value()) << error;
+  EXPECT_NE(first->find("thlsd_telemetry_scrapes_total 1"),
+            std::string::npos);
+  EXPECT_NE(second->find("thlsd_telemetry_scrapes_total 2"),
+            std::string::npos);
+  EXPECT_NE(first->find("# TYPE thlsd_queue_depth gauge"),
+            std::string::npos);
 }
 
 }  // namespace

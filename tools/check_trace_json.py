@@ -1,31 +1,61 @@
 #!/usr/bin/env python3
-"""Validate a Chrome trace-event JSON file produced by `thls --trace`.
+"""Validate a Chrome trace-event JSON file produced by `thls --trace`,
+a flight-recorder dump produced by `thlsd --flight-dir`, or (with
+--journal) a request-lifecycle journal produced by `thlsd --journal`.
 
-Checks, in order:
+Trace mode checks, in order:
   1. schema  — the file is either {"traceEvents": [...]} or a bare event
-     list; every event has a string `name`, `ph` in {B, E, i, M}, numeric
-     `ts` >= 0, and integer `pid`/`tid`.
+     list; every event has a string `name`, `ph` in {B, E, X, i, M},
+     numeric `ts` >= 0, and integer `pid`/`tid`. "X" (complete) events —
+     the flight recorder's dump format — must also carry a numeric
+     `dur` >= 0.
   2. balance — per (pid, tid), B/E events form properly nested spans with
-     matching names, and nothing is left open at the end.
+     matching names, and nothing is left open at the end. X events are
+     self-contained and exempt.
   3. order   — per (pid, tid), timestamps never decrease in file order
      (the exporter merges deterministically by timestamp then sequence).
 
 Optionally, --require-span NAME (repeatable) asserts that at least one
 complete span with that exact name exists anywhere in the trace — CI uses
 this to prove every instrumented solver layer actually emitted events.
+X events count as complete spans.
 
-Exit status: 0 when the trace passes every check, 1 otherwise.
+Journal mode (--journal) validates a JSON-lines request journal instead
+(see src/obs/journal.hpp):
+  1. schema    — every line parses as an object with string `event`,
+     integer `journal_version`/`seq`/`ts_ms`, and `req` >= 1.
+  2. sequence  — `seq` is strictly increasing in file order.
+  3. lifecycle — per request id: exactly one `admit` (or `reject`), at
+     most one terminal event (`end`/`cancel`/`deadline_miss`/`drop`), the
+     admit precedes every other event of that request, and any
+     `solve_start` precedes the terminal. --require-terminals asserts
+     every admitted request reached a terminal (use after the daemon has
+     shut down, when no request can still be in flight).
+
+Exit status: 0 when the file passes every check, 1 otherwise.
 
 Usage:
   python3 tools/check_trace_json.py trace.json \
       --require-span stage/screen --require-span stage/csp
+  python3 tools/check_trace_json.py thlsd.journal --journal \
+      --require-terminals
 """
 
 import argparse
 import json
 import sys
 
-VALID_PHASES = {"B", "E", "i", "M"}
+VALID_PHASES = {"B", "E", "X", "i", "M"}
+
+JOURNAL_TERMINALS = {"end", "cancel", "deadline_miss", "drop"}
+JOURNAL_TYPES = JOURNAL_TERMINALS | {
+    "admit",
+    "reject",
+    "dequeue",
+    "warm_attach",
+    "solve_start",
+    "incumbent",
+}
 
 
 def fail(message):
@@ -59,6 +89,14 @@ def check_schema(events):
         ts = event.get("ts")
         if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
             return f"event #{i} ({name}) has invalid ts {ts!r}"
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                return f"event #{i} ({name}) has invalid dur {dur!r}"
         for key in ("pid", "tid"):
             value = event.get(key)
             if not isinstance(value, int) or isinstance(value, bool):
@@ -117,15 +155,130 @@ def check_required(events, required):
             if stack and stack[-1] == event["name"]:
                 stack.pop()
                 complete.add(event["name"])
+        elif event["ph"] == "X":
+            complete.add(event["name"])
     missing = [name for name in required if name not in complete]
     if missing:
         return f"required spans missing from trace: {missing}"
     return None
 
 
+def load_journal(path):
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"line {lineno}: {error}") from error
+            if not isinstance(event, dict):
+                raise ValueError(f"line {lineno}: not an object")
+            events.append((lineno, event))
+    return events
+
+
+def check_journal_schema(events):
+    for lineno, event in events:
+        kind = event.get("event")
+        if kind not in JOURNAL_TYPES:
+            return f"line {lineno}: invalid event {kind!r}"
+        for key in ("journal_version", "seq", "ts_ms"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                return f"line {lineno} ({kind}): invalid {key} {value!r}"
+        req = event.get("req")
+        if not isinstance(req, int) or isinstance(req, bool) or req < 1:
+            return f"line {lineno} ({kind}): invalid req {req!r}"
+    return None
+
+
+def check_journal_sequence(events):
+    last = None
+    for lineno, event in events:
+        seq = event["seq"]
+        if last is not None and seq <= last:
+            return (
+                f"line {lineno}: seq {seq} does not increase from {last} "
+                "(writer must stamp strictly increasing sequence numbers)"
+            )
+        last = seq
+    return None
+
+
+def check_journal_lifecycle(events, require_terminals):
+    admitted = {}  # req -> admit line number
+    rejected = set()
+    terminal = {}  # req -> (line, type)
+    for lineno, event in events:
+        kind = event["event"]
+        req = event["req"]
+        if kind == "admit":
+            if req in admitted:
+                return f"line {lineno}: duplicate admit for req {req}"
+            if req in rejected:
+                return f"line {lineno}: admit for rejected req {req}"
+            admitted[req] = lineno
+            continue
+        if kind == "reject":
+            # A rejected ticket never entered the queue: it must have no
+            # admit and no further events.
+            if req in admitted:
+                return f"line {lineno}: reject for admitted req {req}"
+            if req in rejected:
+                return f"line {lineno}: duplicate reject for req {req}"
+            rejected.add(req)
+            continue
+        if req in rejected:
+            return f"line {lineno}: {kind} after reject for req {req}"
+        if req not in admitted:
+            return f"line {lineno}: {kind} before admit for req {req}"
+        if req in terminal:
+            prior_line, prior_kind = terminal[req]
+            return (
+                f"line {lineno}: {kind} for req {req} after terminal "
+                f"{prior_kind} at line {prior_line}"
+            )
+        if kind in JOURNAL_TERMINALS:
+            terminal[req] = (lineno, kind)
+    if require_terminals:
+        open_requests = sorted(set(admitted) - set(terminal))
+        if open_requests:
+            return (
+                f"{len(open_requests)} admitted request(s) without a "
+                f"terminal event: {open_requests[:10]}"
+            )
+    return None
+
+
+def run_journal(args):
+    try:
+        events = load_journal(args.trace)
+    except (OSError, ValueError) as error:
+        return fail(f"{args.trace}: {error}")
+
+    for check in (check_journal_schema, check_journal_sequence):
+        error = check(events)
+        if error:
+            return fail(error)
+    error = check_journal_lifecycle(events, args.require_terminals)
+    if error:
+        return fail(error)
+
+    admits = sum(1 for _, e in events if e["event"] == "admit")
+    terminals = sum(1 for _, e in events if e["event"] in JOURNAL_TERMINALS)
+    print(
+        f"check_trace_json: OK: journal {len(events)} events "
+        f"({admits} admits, {terminals} terminals)"
+    )
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument("trace", help="path to the trace/journal file")
     parser.add_argument(
         "--require-span",
         action="append",
@@ -133,7 +286,20 @@ def main():
         metavar="NAME",
         help="assert at least one complete span with this name (repeatable)",
     )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="validate a JSON-lines request journal instead of a trace",
+    )
+    parser.add_argument(
+        "--require-terminals",
+        action="store_true",
+        help="journal mode: every admitted request must have a terminal",
+    )
     args = parser.parse_args()
+
+    if args.journal:
+        return run_journal(args)
 
     try:
         events = load_events(args.trace)
@@ -150,10 +316,11 @@ def main():
             return fail(error)
 
     spans = sum(1 for e in events if e["ph"] == "B")
+    completes = sum(1 for e in events if e["ph"] == "X")
     instants = sum(1 for e in events if e["ph"] == "i")
     print(
         f"check_trace_json: OK: {len(events)} events "
-        f"({spans} spans, {instants} instants)"
+        f"({spans} spans, {completes} complete, {instants} instants)"
     )
     return 0
 

@@ -38,8 +38,11 @@ machine-dependent, so shifts are noted, never failed. The hard contract
 of that section — every concurrent reply bit-identical to a cold solve
 — rides in its per-request service_pool* rows, whose statuses and
 costs get the normal checks; the section's own exit gate enforces the
-rest. Logs from before the section existed simply lack the rows, which
-the added/removed reporting already tolerates.
+rest. The journal A/B row (service_throughput/pool4_journal) gets the
+same treatment: its req/s delta vs. pool4 is the observability tax,
+surfaced as a note while the bench's own gate bounds it. Logs from
+before a section existed simply lack its rows, which the added/removed
+reporting already tolerates.
 
 Exit status: 0 = no regression on any shared row, 1 = regression
 (status downgrade, terminal-proof contradiction, or cost change) or

@@ -5,6 +5,16 @@
 //   thls-client print-request <dfg|benchmark> [options]
 //   thls-client [--connect ENDPOINT] stats | ping | shutdown
 //   thls-client [--connect ENDPOINT] cancel ID
+//   thls-client [--connect ENDPOINT] telemetry
+//   thls-client [--connect ENDPOINT] top  [--interval-ms N] [--count N]
+//   thls-client [--connect ENDPOINT] tail [--interval-ms N] [--count N]
+//
+// telemetry prints one Prometheus text-exposition scrape (the `telemetry`
+// wire op). top prints a one-line service summary per interval (queue
+// depth, counters, rolling latency percentiles — a load-test dashboard).
+// tail follows the telemetry stream and prints only the series whose
+// values changed since the previous scrape. --count 0 (default) runs
+// until interrupted.
 //
 // ENDPOINT is unix:/path or tcp:host:port (default unix:/tmp/thlsd.sock).
 //
@@ -27,9 +37,13 @@
 // print-request writes the request's wire JSON (one line) to stdout —
 // compose batch files with it. batch submits every line of FILE
 // concurrently on its own connection (the CI smoke job's shape).
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -52,6 +66,8 @@ namespace {
       "          batch FILE [--verify] [--cold]\n"
       "          print-request <dfg|benchmark> [options]\n"
       "          stats [--assert-warm-hits] | ping | shutdown | cancel ID\n"
+      "          telemetry | top [--interval-ms N] [--count N]\n"
+      "          tail [--interval-ms N] [--count N]\n"
       "optimize options: thls spec flags plus --kind K --lambda-total N\n"
       "          --sweep A,B,C --priority N --deadline-ms N --id S --cold\n"
       "          --verify\n"
@@ -78,6 +94,9 @@ struct ClientOptions {
   /// --threads was given explicitly: batch --verify then overrides each
   /// parsed request's thread count for the local referee run.
   bool threads_set = false;
+  /// top/tail: scrape cadence and iteration cap (0 = until interrupted).
+  int interval_ms = 1000;
+  int count = 0;
 };
 
 ClientOptions parse_args(int argc, char** argv) {
@@ -156,6 +175,10 @@ ClientOptions parse_args(int argc, char** argv) {
       options.verify = true;
     } else if (flag == "--assert-warm-hits") {
       options.assert_warm_hits = true;
+    } else if (flag == "--interval-ms") {
+      options.interval_ms = std::stoi(need_value(flag));
+    } else if (flag == "--count") {
+      options.count = std::stoi(need_value(flag));
     } else {
       usage("unknown flag " + flag);
     }
@@ -361,6 +384,84 @@ int cmd_batch(const ClientOptions& options) {
   return 0;
 }
 
+/// One `top` row from a stats() document: queue pressure, lifetime
+/// counters, and the rolling latency percentiles.
+void print_top_row(int tick, const service::Json& stats) {
+  const service::Json& service = stats.get("service");
+  const service::Json& latency = stats.get("latency");
+  std::printf(
+      "top[%d] queue=%lld/%lld submitted=%lld completed=%lld "
+      "cancelled=%lld expired=%lld rejected=%lld",
+      tick, service.get("queue_depth").as_int(0),
+      service.get("queue_capacity").as_int(0),
+      service.get("submitted").as_int(0),
+      service.get("completed").as_int(0),
+      service.get("cancelled").as_int(0),
+      service.get("expired").as_int(0),
+      service.get("rejected").as_int(0));
+  if (latency.is_object()) {
+    std::printf(" queue_p95=%.1fms e2e_p50=%.1fms e2e_p95=%.1fms",
+                latency.get("queue_p95_s").as_double(0.0) * 1000.0,
+                latency.get("e2e_p50_s").as_double(0.0) * 1000.0,
+                latency.get("e2e_p95_s").as_double(0.0) * 1000.0);
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int cmd_top(service::Client& client, const ClientOptions& options) {
+  for (int tick = 0; options.count == 0 || tick < options.count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, options.interval_ms)));
+    }
+    std::string error;
+    const std::optional<service::Json> stats = client.stats(&error);
+    if (!stats.has_value()) {
+      std::fprintf(stderr, "thls-client: %s\n", error.c_str());
+      return 1;
+    }
+    print_top_row(tick, *stats);
+  }
+  return 0;
+}
+
+int cmd_tail(service::Client& client, const ClientOptions& options) {
+  // Print only the sample lines whose value changed since the previous
+  // scrape — `tail -f` over the telemetry counters. Headers (# lines)
+  // never print; the first scrape establishes the baseline silently.
+  std::map<std::string, std::string> previous;
+  for (int tick = 0; options.count == 0 || tick < options.count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(std::max(1, options.interval_ms)));
+    }
+    std::string error;
+    const std::optional<std::string> body = client.telemetry(&error);
+    if (!body.has_value()) {
+      std::fprintf(stderr, "thls-client: %s\n", error.c_str());
+      return 1;
+    }
+    std::istringstream lines(*body);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      if (space == std::string::npos) continue;
+      const std::string series = line.substr(0, space);
+      const std::string value = line.substr(space + 1);
+      auto it = previous.find(series);
+      const bool changed = it == previous.end() || it->second != value;
+      previous[series] = value;
+      if (tick > 0 && changed) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 int with_client(const ClientOptions& options,
                 int (*run)(service::Client&, const ClientOptions&)) {
   std::string error;
@@ -415,6 +516,23 @@ int main(int argc, char** argv) {
         return 0;
       });
     }
+    if (options.command == "telemetry") {
+      return with_client(options,
+                         [](service::Client& client, const ClientOptions&) {
+                           std::string error;
+                           const std::optional<std::string> body =
+                               client.telemetry(&error);
+                           if (!body.has_value()) {
+                             std::fprintf(stderr, "thls-client: %s\n",
+                                          error.c_str());
+                             return 1;
+                           }
+                           std::fputs(body->c_str(), stdout);
+                           return 0;
+                         });
+    }
+    if (options.command == "top") return with_client(options, cmd_top);
+    if (options.command == "tail") return with_client(options, cmd_tail);
     if (options.command == "ping") {
       return with_client(options,
                          [](service::Client& client, const ClientOptions&) {

@@ -10,6 +10,8 @@
 //
 //   thlsd [--socket PATH] [--tcp [PORT]] [--workers N] [--queue N]
 //         [--max-line BYTES] [--engine-pool N] [--warm-dir DIR]
+//         [--journal PATH] [--flight-dir DIR] [--telemetry PATH]
+//         [--telemetry-period-ms N]
 //
 //   --socket PATH    Unix socket path (default /tmp/thlsd.sock;
 //                    "" disables)
@@ -25,20 +27,38 @@
 //                    market-<hex>.json files from DIR on start, write the
 //                    published snapshots back on shutdown, so a restarted
 //                    daemon skips the warm-up cliff
+//   --journal PATH   append-only request-lifecycle journal (JSON lines;
+//                    see src/obs/journal.hpp): one admit and exactly one
+//                    terminal event per request, keyed by request id
+//   --flight-dir DIR flight recorder: keep a ring of recent service spans
+//                    per worker and dump req-<id>.trace.json into DIR when
+//                    a request misses its deadline, is cancelled, or runs
+//                    anomalously slow (see src/obs/flight_recorder.hpp)
+//   --telemetry PATH periodically write the Prometheus text exposition
+//                    (the `telemetry` wire op's body) to PATH via
+//                    tmp+rename, for file-based scrapers
+//   --telemetry-period-ms N   rewrite interval (default 1000)
 //
 // Stop with SIGINT/SIGTERM or the protocol op {"op":"shutdown"}.
 #include <dirent.h>
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
+#include "obs/journal.hpp"
 #include "service/server.hpp"
 
 using namespace ht;
@@ -50,7 +70,8 @@ namespace {
   std::fputs(
       "usage: thlsd [--socket PATH] [--tcp [PORT]] [--workers N]\n"
       "             [--queue N] [--max-line BYTES] [--engine-pool N]\n"
-      "             [--warm-dir DIR]\n",
+      "             [--warm-dir DIR] [--journal PATH] [--flight-dir DIR]\n"
+      "             [--telemetry PATH] [--telemetry-period-ms N]\n",
       stderr);
   std::exit(2);
 }
@@ -115,6 +136,10 @@ int main(int argc, char** argv) {
   service::ServerConfig config;
   config.unix_path = "/tmp/thlsd.sock";
   std::string warm_dir;
+  std::string journal_path;
+  std::string flight_dir;
+  std::string telemetry_path;
+  int telemetry_period_ms = 1000;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -142,6 +167,14 @@ int main(int argc, char** argv) {
       config.service.engine_pool = std::stoi(need_value());
     } else if (flag == "--warm-dir") {
       warm_dir = need_value();
+    } else if (flag == "--journal") {
+      journal_path = need_value();
+    } else if (flag == "--flight-dir") {
+      flight_dir = need_value();
+    } else if (flag == "--telemetry") {
+      telemetry_path = need_value();
+    } else if (flag == "--telemetry-period-ms") {
+      telemetry_period_ms = std::stoi(need_value());
     } else {
       usage("unknown flag " + flag);
     }
@@ -158,6 +191,27 @@ int main(int argc, char** argv) {
   sigaddset(&signals, SIGINT);
   sigaddset(&signals, SIGTERM);
   pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  // Observability sinks must outlive the Server (the service keeps raw
+  // pointers), so they are built first and the config points at them.
+  std::unique_ptr<obs::RequestJournal> journal;
+  if (!journal_path.empty()) {
+    std::string journal_error;
+    journal = obs::RequestJournal::open(journal_path, &journal_error);
+    if (journal == nullptr) {
+      std::fprintf(stderr, "thlsd: cannot open journal %s: %s\n",
+                   journal_path.c_str(), journal_error.c_str());
+      return 1;
+    }
+    config.service.journal = journal.get();
+  }
+  std::unique_ptr<obs::FlightRecorder> flight;
+  if (!flight_dir.empty()) {
+    obs::FlightRecorderConfig flight_config;
+    flight_config.dump_dir = flight_dir;
+    flight = std::make_unique<obs::FlightRecorder>(flight_config);
+    config.service.flight = flight.get();
+  }
 
   service::Server server(config);
   // Restore before the listeners exist: the very first request a client
@@ -190,8 +244,47 @@ int main(int argc, char** argv) {
               config.service.workers, config.service.queue_capacity);
   std::fflush(stdout);
 
+  // File-based telemetry: rewrite the Prometheus exposition atomically
+  // (tmp + rename) every period, so a scraper never reads a torn file.
+  std::mutex telemetry_mutex;
+  std::condition_variable telemetry_cv;
+  bool telemetry_stop = false;
+  std::thread telemetry_thread;
+  if (!telemetry_path.empty()) {
+    telemetry_thread = std::thread([&] {
+      const auto period =
+          std::chrono::milliseconds(std::max(1, telemetry_period_ms));
+      const std::string tmp_path = telemetry_path + ".tmp";
+      while (true) {
+        {
+          std::ofstream out(tmp_path, std::ios::trunc);
+          if (out) {
+            out << server.service().telemetry();
+            out.close();
+            if (out.good()) {
+              std::rename(tmp_path.c_str(), telemetry_path.c_str());
+            }
+          }
+        }
+        std::unique_lock<std::mutex> lock(telemetry_mutex);
+        if (telemetry_cv.wait_for(lock, period,
+                                  [&] { return telemetry_stop; })) {
+          return;
+        }
+      }
+    });
+  }
+
   server.wait();
   server.stop();
+  if (telemetry_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(telemetry_mutex);
+      telemetry_stop = true;
+    }
+    telemetry_cv.notify_all();
+    telemetry_thread.join();
+  }
   // Persist warm state only after stop(): workers have joined, so every
   // in-flight delta has been folded into its market's published snapshot.
   if (!warm_dir.empty()) {
